@@ -1,0 +1,199 @@
+(* Regenerates every table and figure of the paper, plus the ablation
+   studies indexed in DESIGN.md. `experiments all` is what EXPERIMENTS.md
+   records. *)
+
+open Cmdliner
+module Runner = Numa_metrics.Runner
+module Table3 = Numa_metrics.Table3
+module Table4 = Numa_metrics.Table4
+module Ablations = Numa_metrics.Ablations
+module System = Numa_system.System
+
+let scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"S" ~doc:"Problem-size multiplier for all workloads.")
+
+let cpus_arg =
+  Arg.(value & opt int 7 & info [ "cpus" ] ~docv:"N" ~doc:"Number of processors.")
+
+let spec_of ~scale ~cpus =
+  { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus }
+
+let table1 () =
+  print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load)
+
+let table2 () =
+  print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Store)
+
+let figure1 ~cpus =
+  print_endline (Numa_machine.Topology.render (Numa_machine.Config.ace ~n_cpus:cpus ()))
+
+let figure2 () = print_endline (Numa_core.Pmap_manager.figure2 ())
+
+let table3 ~spec =
+  let rows = Table3.run ~spec () in
+  print_endline (Table3.render rows);
+  print_endline (Table3.render_comparison rows);
+  rows
+
+let table4_from rows =
+  let t4 = Table4.of_measurements rows in
+  print_endline (Table4.render t4);
+  print_endline (Table4.render_comparison t4)
+
+let false_sharing ~spec =
+  let measure name =
+    let app = Option.get (Numa_apps.Registry.find name) in
+    Runner.measure app spec
+  in
+  let seg = measure "primes2" and unseg = measure "primes2-unseg" in
+  Printf.printf
+    "Ablation A2: false sharing in primes2 (section 4.2)\n\
+     variant          alpha(model)  alpha(counted)  Tnuma\n\
+     unsegregated     %.2f          %.2f            %.1f\n\
+     segregated       %.2f          %.2f            %.1f\n\
+     (the paper reports the same tuning took alpha from 0.66 to 1.00)\n"
+    unseg.Runner.alpha unseg.Runner.r_numa.Numa_system.Report.alpha_counted
+    unseg.Runner.times.Numa_metrics.Model.t_numa seg.Runner.alpha
+    seg.Runner.r_numa.Numa_system.Report.alpha_counted
+    seg.Runner.times.Numa_metrics.Model.t_numa
+
+let optimal_study ~spec =
+  (* Trace an imatmult numa run and compare against the DP optimum. *)
+  let app = Option.get (Numa_apps.Registry.find "imatmult") in
+  let config = Numa_machine.Config.ace ~n_cpus:spec.Runner.n_cpus () in
+  let sys = System.create ~policy:spec.Runner.policy ~config () in
+  let buffer = Numa_trace.Trace_buffer.create () in
+  Numa_trace.Trace_buffer.attach buffer sys;
+  app.Numa_apps.App_sig.setup sys
+    {
+      Numa_apps.App_sig.nthreads = spec.Runner.nthreads;
+      scale = spec.Runner.scale;
+      seed = spec.Runner.seed;
+    };
+  ignore (System.run sys);
+  print_endline "Ablation A7: offline optimal placement vs the live policy (imatmult)";
+  print_endline (Numa_trace.Optimal.render (Numa_trace.Optimal.analyse ~config buffer))
+
+let replay_study ~spec =
+  (* Trace one primes3 run, then evaluate every policy on the same trace —
+     the cheap comparison methodology of section 5. *)
+  let app = Option.get (Numa_apps.Registry.find "primes3") in
+  let config = Numa_machine.Config.ace ~n_cpus:spec.Runner.n_cpus () in
+  let sys = System.create ~policy:spec.Runner.policy ~config () in
+  let buffer = Numa_trace.Trace_buffer.create () in
+  Numa_trace.Trace_buffer.attach buffer sys;
+  app.Numa_apps.App_sig.setup sys
+    {
+      Numa_apps.App_sig.nthreads = spec.Runner.nthreads;
+      scale = 0.2 *. spec.Runner.scale;
+      seed = spec.Runner.seed;
+    };
+  ignore (System.run sys);
+  Printf.printf
+    "Trace-driven policy comparison (primes3 trace: %d events, %d references)\n"
+    (Numa_trace.Trace_buffer.length buffer)
+    (Numa_trace.Trace_buffer.total_references buffer);
+  print_endline
+    (Numa_trace.Replay.render
+       (Numa_trace.Replay.compare_policies ~config
+          ~policies:
+            [
+              System.Move_limit { threshold = 0 };
+              System.Move_limit { threshold = 4 };
+              System.Move_limit { threshold = 16 };
+              System.Never_pin;
+              System.All_global;
+              System.Random_assign { p_global = 0.5; seed = 7L };
+            ]
+          buffer))
+
+let run_section section ~spec ~cpus =
+  match section with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "figure1" -> figure1 ~cpus
+  | "figure2" -> figure2 ()
+  | "table3" -> ignore (table3 ~spec)
+  | "table4" -> table4_from (Table3.run ~apps:Numa_apps.Registry.table4 ~spec ())
+  | "threshold-sweep" ->
+      print_endline (Ablations.render_threshold_sweep (Ablations.threshold_sweep ~spec ()))
+  | "false-sharing" -> false_sharing ~spec
+  | "scheduler" ->
+      print_endline (Ablations.render_scheduler_study (Ablations.scheduler_study ~spec ()))
+  | "gl-sweep" -> print_endline (Ablations.render_gl_sweep (Ablations.gl_sweep ~spec ()))
+  | "pragmas" ->
+      print_endline (Ablations.render_pragma_study (Ablations.pragma_study ~spec ()))
+  | "unix-master" ->
+      print_endline
+        (Ablations.render_unix_master_study (Ablations.unix_master_study ~spec ()))
+  | "optimal" -> optimal_study ~spec
+  | "remote" ->
+      print_endline (Ablations.render_remote_study (Ablations.remote_study ~spec ()))
+  | "replay" -> replay_study ~spec
+  | "bus" -> print_endline (Ablations.render_bus_study (Ablations.bus_study ~spec ()))
+  | "migration" ->
+      print_endline (Ablations.render_migration_study (Ablations.migration_study ~spec ()))
+  | "cpu-sweep" ->
+      print_endline (Ablations.render_cpu_sweep (Ablations.cpu_sweep ~spec ()))
+  | "butterfly" ->
+      print_endline (Ablations.render_butterfly_study (Ablations.butterfly_study ~spec ()))
+  | "reconsider" ->
+      print_endline
+        (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
+  | other -> failwith ("unknown section: " ^ other)
+
+let sections =
+  [
+    "table1"; "table2"; "figure1"; "figure2"; "table3"; "table4"; "threshold-sweep";
+    "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
+    "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "reconsider";
+  ]
+
+let all ~spec ~cpus =
+  table1 ();
+  table2 ();
+  figure1 ~cpus;
+  figure2 ();
+  let rows = table3 ~spec in
+  table4_from rows;
+  print_endline (Ablations.render_threshold_sweep (Ablations.threshold_sweep ~spec ()));
+  false_sharing ~spec;
+  print_endline (Ablations.render_scheduler_study (Ablations.scheduler_study ~spec ()));
+  print_endline (Ablations.render_gl_sweep (Ablations.gl_sweep ~spec ()));
+  print_endline (Ablations.render_pragma_study (Ablations.pragma_study ~spec ()));
+  print_endline (Ablations.render_unix_master_study (Ablations.unix_master_study ~spec ()));
+  optimal_study ~spec;
+  print_endline (Ablations.render_remote_study (Ablations.remote_study ~spec ()));
+  replay_study ~spec;
+  print_endline (Ablations.render_bus_study (Ablations.bus_study ~spec ()));
+  print_endline (Ablations.render_migration_study (Ablations.migration_study ~spec ()));
+  print_endline (Ablations.render_cpu_sweep (Ablations.cpu_sweep ~spec ()));
+  print_endline (Ablations.render_butterfly_study (Ablations.butterfly_study ~spec ()));
+  print_endline (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
+
+let () =
+  let section_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"SECTION"
+          ~doc:(Printf.sprintf "One of: all, %s." (String.concat ", " sections)))
+  in
+  let action section scale cpus =
+    let spec = spec_of ~scale ~cpus in
+    if section = "all" then all ~spec ~cpus
+    else if List.mem section sections then run_section section ~spec ~cpus
+    else begin
+      Printf.eprintf "unknown section %S; known: all, %s\n" section
+        (String.concat ", " sections);
+      exit 1
+    end
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "experiments" ~version:"1.0.0"
+         ~doc:"Regenerate the paper's tables/figures and the ablation studies.")
+      Term.(const action $ section_arg $ scale_arg $ cpus_arg)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,258 @@
+(* Command-line driver: run one application on the simulated ACE, or run
+   the paper's three-measurement protocol for it. *)
+
+open Cmdliner
+module System = Numa_system.System
+module Report = Numa_system.Report
+module Runner = Numa_metrics.Runner
+module Model = Numa_metrics.Model
+
+let policy_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "move-limit" ] -> Ok (System.Move_limit { threshold = 4 })
+    | [ "move-limit"; n ] -> (
+        match int_of_string_opt n with
+        | Some threshold when threshold >= 0 -> Ok (System.Move_limit { threshold })
+        | Some _ | None -> Error (`Msg "move-limit threshold must be a non-negative int"))
+    | [ "all-global" ] -> Ok System.All_global
+    | [ "never-pin" ] -> Ok System.Never_pin
+    | [ "random"; p ] -> (
+        match float_of_string_opt p with
+        | Some p_global when p_global >= 0. && p_global <= 1. ->
+            Ok (System.Random_assign { p_global; seed = 7L })
+        | Some _ | None -> Error (`Msg "random probability must be in [0,1]"))
+    | [ "reconsider"; n; w ] -> (
+        match (int_of_string_opt n, float_of_string_opt w) with
+        | Some threshold, Some window_ms when threshold >= 0 && window_ms > 0. ->
+            Ok (System.Reconsider { threshold; window_ns = window_ms *. 1e6 })
+        | _ -> Error (`Msg "expected reconsider:<threshold>:<window-ms>"))
+    | _ ->
+        Error
+          (`Msg
+            "unknown policy; use move-limit[:N], all-global, never-pin, random:P, \
+             reconsider:N:MS")
+  in
+  let print ppf p = Format.pp_print_string ppf (System.policy_spec_name p) in
+  Arg.conv (parse, print)
+
+let scheduler_conv =
+  Arg.enum
+    [ ("affinity", Numa_sim.Engine.Affinity); ("single-queue", Numa_sim.Engine.Single_queue) ]
+
+let app_arg =
+  let doc = "Application to run (see the list command)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv (System.Move_limit { threshold = 4 })
+    & info [ "policy"; "p" ] ~docv:"POLICY" ~doc:"NUMA placement policy.")
+
+let cpus_arg =
+  Arg.(value & opt int 7 & info [ "cpus" ] ~docv:"N" ~doc:"Number of processors.")
+
+let threads_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "threads" ] ~docv:"N" ~doc:"Number of threads (default: one per CPU).")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"Problem-size multiplier.")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt scheduler_conv Numa_sim.Engine.Affinity
+    & info [ "scheduler" ] ~docv:"MODE" ~doc:"affinity or single-queue (section 4.7).")
+
+let unix_master_arg =
+  Arg.(
+    value & flag
+    & info [ "unix-master" ] ~doc:"Serialise system calls on CPU 0 (section 4.6).")
+
+let find_app name =
+  match Numa_apps.Registry.find name with
+  | Some app -> Ok app
+  | None ->
+      Error
+        (Printf.sprintf "unknown application %S; known: %s" name
+           (String.concat ", " (Numa_apps.Registry.names ())))
+
+let spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master =
+  {
+    Runner.policy;
+    n_cpus = cpus;
+    nthreads = Option.value threads ~default:cpus;
+    scale;
+    seed;
+    scheduler;
+    unix_master;
+    config_tweak = Fun.id;
+  }
+
+let run_cmd =
+  let action app_name policy cpus threads scale seed scheduler unix_master =
+    match find_app app_name with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok app ->
+        let spec = spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master in
+        let report = Runner.run app spec in
+        Format.printf "%a@." Report.pp report;
+        0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one application once and print the full report.")
+    Term.(
+      const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
+      $ scheduler_arg $ unix_master_arg)
+
+let measure_cmd =
+  let action app_name policy cpus threads scale seed scheduler unix_master =
+    match find_app app_name with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok app ->
+        let spec = spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master in
+        let m = Runner.measure app spec in
+        let t = m.Runner.times in
+        Format.printf
+          "@[<v>%s (G/L = %.2f)@,\
+           Tglobal = %.3f s@,Tnuma   = %.3f s@,Tlocal  = %.3f s@,\
+           alpha = %.3f   beta = %.3f   gamma = %.3f@,\
+           alpha (counted, numa run) = %.3f@]@."
+          m.Runner.app_name m.Runner.gl t.Model.t_global t.Model.t_numa t.Model.t_local
+          m.Runner.alpha m.Runner.beta m.Runner.gamma
+          m.Runner.r_numa.Report.alpha_counted;
+        0
+  in
+  Cmd.v
+    (Cmd.info "measure"
+       ~doc:"Run the three-measurement protocol (Tnuma/Tglobal/Tlocal) and the model.")
+    Term.(
+      const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
+      $ scheduler_arg $ unix_master_arg)
+
+let trace_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Where to write the trace (TSV).")
+  in
+  let action app_name policy cpus threads scale seed scheduler unix_master path =
+    match find_app app_name with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok app ->
+        let spec = spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master in
+        let config = Numa_machine.Config.ace ~n_cpus:spec.Runner.n_cpus () in
+        let sys =
+          System.create ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
+            ~unix_master:spec.Runner.unix_master ~config ()
+        in
+        let buffer = Numa_trace.Trace_buffer.create () in
+        Numa_trace.Trace_buffer.attach buffer sys;
+        app.Numa_apps.App_sig.setup sys
+          {
+            Numa_apps.App_sig.nthreads = spec.Runner.nthreads;
+            scale = spec.Runner.scale;
+            seed = spec.Runner.seed;
+          };
+        ignore (System.run sys);
+        Numa_trace.Trace_buffer.save buffer path;
+        Printf.printf "wrote %d events (%d references) to %s\n"
+          (Numa_trace.Trace_buffer.length buffer)
+          (Numa_trace.Trace_buffer.total_references buffer)
+          path;
+        0
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run one application and save its reference trace.")
+    Term.(
+      const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
+      $ scheduler_arg $ unix_master_arg $ path_arg)
+
+let replay_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file written by the trace command.")
+  in
+  let policies_arg =
+    Arg.(
+      value
+      & opt_all policy_conv []
+      & info [ "policy"; "p" ] ~docv:"POLICY"
+          ~doc:"Policy to evaluate (repeatable; default: a standard slate).")
+  in
+  let action path policies cpus =
+    let buffer = Numa_trace.Trace_buffer.load path in
+    let config = Numa_machine.Config.ace ~n_cpus:cpus () in
+    let policies =
+      if policies <> [] then policies
+      else
+        [
+          System.Move_limit { threshold = 0 };
+          System.Move_limit { threshold = 4 };
+          System.Never_pin;
+          System.All_global;
+        ]
+    in
+    print_endline
+      (Numa_trace.Replay.render
+         (Numa_trace.Replay.compare_policies ~config ~policies buffer));
+    0
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Evaluate placement policies on a saved trace (no application re-run).")
+    Term.(const action $ path_arg $ policies_arg $ cpus_arg)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun (a : Numa_apps.App_sig.t) ->
+        Printf.printf "%-16s %s\n" a.Numa_apps.App_sig.name a.Numa_apps.App_sig.description)
+      Numa_apps.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available applications.") Term.(const action $ const ())
+
+let topology_cmd =
+  let action cpus =
+    print_string (Numa_machine.Topology.render (Numa_machine.Config.ace ~n_cpus:cpus ()));
+    0
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Print the machine architecture (Figure 1).")
+    Term.(const action $ cpus_arg)
+
+let tables_cmd =
+  let action () =
+    print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load);
+    print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Store);
+    print_endline (Numa_core.Pmap_manager.figure2 ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the protocol action tables (Tables 1-2) and Figure 2.")
+    Term.(const action $ const ())
+
+let () =
+  let info =
+    Cmd.info "numa_sim" ~version:"1.0.0"
+      ~doc:"Simulated ACE multiprocessor with Mach NUMA page placement (SOSP '89)."
+  in
+  exit (Cmd.eval' (Cmd.group info
+       [ run_cmd; measure_cmd; trace_cmd; replay_cmd; list_cmd; topology_cmd; tables_cmd ]))

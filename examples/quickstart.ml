@@ -1,0 +1,60 @@
+(* Quickstart: build a simulated ACE, run a tiny parallel program on it,
+   and read the placement report.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module System = Numa_system.System
+module Report = Numa_system.Report
+module Api = Numa_sim.Api
+module Region_attr = Numa_vm.Region_attr
+
+let () =
+  (* A 4-processor ACE with the paper's memory timings. *)
+  let config = Numa_machine.Config.ace ~n_cpus:4 () in
+  let sys = System.create ~policy:(System.Move_limit { threshold = 4 }) ~config () in
+
+  (* One read-mostly table, one writably-shared accumulator. *)
+  let table =
+    System.alloc_region sys ~name:"lookup-table" ~kind:Region_attr.Data
+      ~sharing:Region_attr.Declared_read_shared ~pages:2 ()
+  in
+  let accumulator =
+    System.alloc_region sys ~name:"accumulator" ~kind:Region_attr.Data
+      ~sharing:Region_attr.Declared_write_shared ~pages:1 ()
+  in
+  let lock = System.make_lock sys ~name:"accumulator-lock" in
+  let barrier = System.make_barrier sys ~name:"start" ~parties:4 in
+
+  for cpu = 0 to 3 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "worker-%d" cpu)
+         (fun ~stack_vpage ->
+           (* Worker 0 initialises the table; then everyone reads it
+              (it will be replicated read-only into each local memory)
+              and updates the shared accumulator (which will migrate,
+              then get pinned in global memory). *)
+           if cpu = 0 then Api.write ~count:256 table.System.base_vpage;
+           Api.barrier barrier;
+           for _round = 1 to 50 do
+             Api.read ~count:200 table.System.base_vpage;
+             Api.read ~count:20 stack_vpage;
+             Api.compute 200_000.;
+             Api.with_lock lock (fun () ->
+                 let v = Api.read_value accumulator.System.base_vpage in
+                 Api.write ~value:(v + 1) accumulator.System.base_vpage)
+           done))
+  done;
+
+  let report = System.run sys in
+  Format.printf "%a@." Report.pp report;
+
+  (* Where did the pages end up? *)
+  let show name vpage =
+    match System.lpage_of sys ~vpage () with
+    | None -> Format.printf "%-14s never touched@." name
+    | Some lpage ->
+        Format.printf "%-14s %a@." name Numa_core.Numa_manager.pp_state
+          (Numa_core.Numa_manager.state_of (System.numa_manager sys) ~lpage)
+  in
+  show "lookup-table" table.System.base_vpage;
+  show "accumulator" accumulator.System.base_vpage

@@ -1,0 +1,62 @@
+(* Trace-driven analysis (the paper's section 5 future work): record a
+   run's reference trace, classify each page's observed sharing, flag
+   false-sharing suspects, and compute the offline-optimal placement bound.
+
+   Run with: dune exec examples/trace_analysis.exe *)
+
+module System = Numa_system.System
+module Trace_buffer = Numa_trace.Trace_buffer
+module Classify = Numa_trace.Classify
+
+let () =
+  let config = Numa_machine.Config.ace ~n_cpus:4 () in
+  let sys = System.create ~config () in
+  let buffer = Trace_buffer.create () in
+  Trace_buffer.attach buffer sys;
+
+  (* Trace the unsegregated primes2 — the paper's false-sharing example. *)
+  let app = Option.get (Numa_apps.Registry.find "primes2-unseg") in
+  app.Numa_apps.App_sig.setup sys
+    { Numa_apps.App_sig.nthreads = 4; scale = 0.1; seed = 42L };
+  ignore (System.run sys);
+
+  Printf.printf "trace: %d batched events, %d references\n\n" (Trace_buffer.length buffer)
+    (Trace_buffer.total_references buffer);
+
+  (* Per-page sharing classes, summarised per region. *)
+  let summaries = Classify.classify buffer in
+  print_endline "observed sharing by region:";
+  List.iter
+    (fun (region, pages) ->
+      let count cls =
+        List.length (List.filter (fun (s : Classify.summary) -> s.Classify.cls = cls) pages)
+      in
+      Printf.printf "  %-24s %3d pages: %d private, %d read-shared, %d write-shared\n"
+        region (List.length pages)
+        (count Classify.Class_private)
+        (count Classify.Class_read_shared)
+        (count Classify.Class_write_shared))
+    (Classify.by_region summaries);
+
+  (* False-sharing findings: declared intent vs observed behaviour. *)
+  let findings =
+    Numa_trace.False_sharing.analyse
+      ~declared_of:(Numa_trace.False_sharing.declared_of_system sys)
+      summaries
+  in
+  let problems = Numa_trace.False_sharing.problems findings in
+  Printf.printf "\nfalse-sharing findings (%d):\n" (List.length problems);
+  if problems <> [] then print_string (Numa_trace.False_sharing.render problems);
+
+  (* Offline optimal placement: how much headroom was left? *)
+  print_newline ();
+  print_string (Numa_trace.Optimal.render (Numa_trace.Optimal.analyse ~config buffer));
+
+  (* Round-trip the trace through the on-disk format. *)
+  let path = Filename.temp_file "numa_trace" ".tsv" in
+  Trace_buffer.save buffer path;
+  let reloaded = Trace_buffer.load path in
+  Printf.printf "\ntrace saved to %s and reloaded: %d events (match: %b)\n" path
+    (Trace_buffer.length reloaded)
+    (Trace_buffer.length reloaded = Trace_buffer.length buffer);
+  Sys.remove path

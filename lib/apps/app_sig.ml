@@ -1,0 +1,10 @@
+type params = { nthreads : int; scale : float; seed : int64 }
+
+let default_params = { nthreads = 7; scale = 1.0; seed = 42L }
+
+type t = {
+  name : string;
+  description : string;
+  fetch_dominated : bool;
+  setup : Numa_system.System.t -> params -> unit;
+}

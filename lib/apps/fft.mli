@@ -1,0 +1,8 @@
+(** FFT: EPEX-style two-dimensional FFT (section 3.2): ~95% of references
+    private per Baylor & Rathi; the shared array pins in the column
+    phase. *)
+
+val dimension : float -> int
+(** Transform size (a power of two) for a given scale. *)
+
+val app : App_sig.t

@@ -1,0 +1,55 @@
+(** Gfetch: "does nothing but fetch from shared virtual memory"
+    (section 3.2) — the other end of the spectrum: beta = 1, alpha = 0.
+
+    Every thread first initialises the shared buffer (making it writably
+    shared, so the move-limit policy pins it in global memory), then spends
+    the whole run fetching from it. On one CPU the buffer stays local, so
+    gamma approaches the G/L fetch ratio of 2.3. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let app : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let config = System.config sys in
+    let wpp = config.Numa_machine.Config.page_size_words in
+    let pages = 16 in
+    let buffer =
+      W.alloc_arr sys ~name:"gfetch.buffer" ~sharing:Region_attr.Declared_write_shared
+        ~words:(pages * wpp) ()
+    in
+    let total_fetches = int_of_float (500_000. *. p.App_sig.scale) in
+    let barrier = System.make_barrier sys ~name:"gfetch.init" ~parties:p.App_sig.nthreads in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "gfetch.%d" i)
+           (fun ~stack_vpage:_ ->
+             (* Initialisation: every thread stores into every page (starting
+                at a different page to interleave), twice, which drives the
+                pages through enough ownership moves to pin them regardless
+                of the processor count. On one processor nothing moves and
+                the buffer stays local, as T_local requires. *)
+             for pass = 0 to 1 do
+               for k = 0 to pages - 1 do
+                 let page = (i + k + pass) mod pages in
+                 Api.write ~count:8 ~value:i (W.vpage_of buffer (page * wpp))
+               done;
+               Api.barrier barrier
+             done;
+             let lo, hi = W.static_share ~total:total_fetches ~nthreads:p.App_sig.nthreads ~tid:i in
+             let mine = hi - lo in
+             let per_page = max 1 (mine / pages) in
+             for k = 0 to pages - 1 do
+               let page = (i + k) mod pages in
+               Api.read ~count:per_page (W.vpage_of buffer (page * wpp))
+             done))
+    done
+  in
+  {
+    App_sig.name = "gfetch";
+    description = "pure shared-memory fetch loop (alpha = 0, beta = 1)";
+    fetch_dominated = true;
+    setup;
+  }

@@ -1,0 +1,4 @@
+(** Gfetch: pure shared-memory fetching, the paper's alpha = 0 / beta = 1
+    extreme (section 3.2); gamma approaches the G/L fetch ratio. *)
+
+val app : App_sig.t

@@ -1,0 +1,62 @@
+(** IMatMult: integer matrix product (section 3.2).
+
+    Workload allocation parcels out elements of the output matrix, so the
+    output is writably shared and ends up pinned in global memory; the
+    input matrices are written during initialisation and only read after,
+    so they become read-only logical pages replicated in every local memory
+    — the paper's showcase for "replicating data that is writable, but that
+    is never written". High alpha (400 local fetches per global store), low
+    beta (integer multiplication is expensive on the ACE). *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let dimension scale = max 8 (int_of_float (160. *. Float.cbrt scale))
+
+let app : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let n = dimension p.App_sig.scale in
+    let alloc name sharing = W.alloc_arr sys ~name ~sharing ~words:(n * n) () in
+    let a = alloc "imatmult.A" Region_attr.Declared_read_shared in
+    let b = alloc "imatmult.B" Region_attr.Declared_read_shared in
+    let c = alloc "imatmult.C" Region_attr.Declared_write_shared in
+    let barrier = System.make_barrier sys ~name:"imatmult.init" ~parties:p.App_sig.nthreads in
+    let pile = W.make_workpile sys ~name:"imatmult.alloc" ~total:(n * n) ~chunk:48 in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "imatmult.%d" i)
+           (fun ~stack_vpage:_ ->
+             (* Parallel initialisation: each thread fills its share of the
+                input matrices; they are never written again. *)
+             let lo_i, hi_i =
+               W.static_share ~total:(n * n) ~nthreads:p.App_sig.nthreads ~tid:i
+             in
+             if hi_i > lo_i then begin
+               W.write_range a ~lo:lo_i ~n:(hi_i - lo_i);
+               W.write_range b ~lo:lo_i ~n:(hi_i - lo_i)
+             end;
+             Api.barrier barrier;
+             let rec work () =
+               match W.workpile_take pile with
+               | None -> ()
+               | Some (lo, hi) ->
+                   for e = lo to hi do
+                     let row = e / n and col = e mod n in
+                     W.read_range a ~lo:(row * n) ~n;
+                     W.read_stride b ~lo:col ~n ~stride:n;
+                     Api.compute (float_of_int n *. (W.Cost.int_mul_ns +. W.Cost.loop_ns));
+                     W.write_word c e
+                   done;
+                   work ()
+             in
+             work ()))
+    done
+  in
+  {
+    App_sig.name = "imatmult";
+    description = "integer matrix multiply; replicated inputs, pinned output";
+    fetch_dominated = true;
+    setup;
+  }

@@ -1,0 +1,7 @@
+(** IMatMult: integer matrix product with work-pile output allocation
+    (section 3.2). Inputs replicate read-only; the output matrix pins. *)
+
+val dimension : float -> int
+(** Matrix dimension for a given scale (exposed for tests). *)
+
+val app : App_sig.t

@@ -1,0 +1,58 @@
+(** A lopsided-sharing workload for the remote-reference study
+    (section 4.4).
+
+    One producer updates a status buffer continuously; the other threads
+    read it only occasionally. Under the normal policy the buffer is
+    writably shared and ends up pinned in global memory, so the producer
+    pays global latency for every store. With the [Homed] pragma the buffer
+    lives in the producer's local memory: the producer runs at local speed
+    and the occasional consumers pay remote latency — profitable exactly
+    when the reference pattern is lopsided enough, the question the paper
+    leaves open. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let producer_writes scale = max 100 (int_of_float (60_000. *. scale))
+let consumer_reads scale = max 10 (int_of_float (1_500. *. scale))
+
+let make ?pragma () : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let buffer =
+      W.alloc_arr sys ?pragma ~name:"lopsided.status"
+        ~sharing:Region_attr.Declared_write_shared ~words:1024 ()
+    in
+    let writes = producer_writes p.App_sig.scale in
+    let reads = consumer_reads p.App_sig.scale in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "lopsided.%d" i)
+           (fun ~stack_vpage:_ ->
+             if i = 0 then
+               (* The producer: a store burst and a little bookkeeping per
+                  iteration. *)
+               for _it = 1 to writes / 64 do
+                 W.write_range buffer ~lo:0 ~n:64;
+                 Api.compute 50_000.
+               done
+             else
+               (* Consumers: occasional polls of the status buffer. *)
+               for _it = 1 to reads / 16 do
+                 W.read_range buffer ~lo:0 ~n:16;
+                 Api.compute 2_000_000.
+               done))
+    done
+  in
+  let name, description =
+    match pragma with
+    | None -> ("lopsided", "one hot writer, occasional readers; policy pins it global")
+    | Some _ ->
+        ( "lopsided-homed",
+          "the same buffer homed in the producer's local memory (remote reads)" )
+  in
+  { App_sig.name; description; fetch_dominated = false; setup }
+
+let app = make ()
+let app_homed = make ~pragma:(Region_attr.Homed 0) ()

@@ -1,0 +1,5 @@
+(** One hot writer, occasional readers: the remote-reference study of
+    section 4.4, with and without the [Homed] pragma. *)
+
+val app : App_sig.t
+val app_homed : App_sig.t

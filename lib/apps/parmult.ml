@@ -1,0 +1,42 @@
+(** ParMult: "does nothing but integer multiplication" (section 3.2).
+
+    One end of the reference-behaviour spectrum: beta = 0. The only data
+    references are workload allocation — an occasional unlocked touch of a
+    shared progress counter, far too infrequent to be visible through
+    measurement error. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let blocks = 70 (* fixed, so total work is independent of thread count *)
+
+let app : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let total_mults = int_of_float (120_000. *. p.App_sig.scale) in
+    let mults_per_block = max 1 (total_mults / blocks) in
+    let progress =
+      System.alloc_region sys ~name:"parmult.progress" ~kind:Region_attr.Data
+        ~sharing:Region_attr.Declared_write_shared ~pages:1 ()
+    in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "parmult.%d" i)
+           (fun ~stack_vpage:_ ->
+             let lo, hi = W.static_share ~total:blocks ~nthreads:p.App_sig.nthreads ~tid:i in
+             for _block = lo to hi - 1 do
+               Api.compute
+                 (float_of_int mults_per_block *. (W.Cost.int_mul_ns +. W.Cost.loop_ns));
+               (* Note a block done on the shared progress page. *)
+               Api.read progress.System.base_vpage;
+               Api.write progress.System.base_vpage
+             done))
+    done
+  in
+  {
+    App_sig.name = "parmult";
+    description = "pure integer multiplication; no data references (beta = 0)";
+    fetch_dominated = false;
+    setup;
+  }

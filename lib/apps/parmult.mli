@@ -1,0 +1,4 @@
+(** ParMult: pure integer multiplication, the paper's beta = 0 extreme
+    (section 3.2). *)
+
+val app : App_sig.t

@@ -1,0 +1,56 @@
+(** A phase-shifting workload for the pin-reconsideration study
+    (footnote 4 / section 5).
+
+    Phase 1 writes a set of pages from every thread, driving them over the
+    move threshold so the default policy pins them. Phase 2 then partitions
+    the same pages among the threads and hammers them privately for a long
+    time. [Move_limit] leaves the pages in global memory forever; the
+    [Reconsider] policy un-pins them once the pin ages out, letting phase 2
+    run at local speed. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let app : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let config = System.config sys in
+    let wpp = config.Numa_machine.Config.page_size_words in
+    let pages_per_thread = 2 in
+    let n_pages = pages_per_thread * p.App_sig.nthreads in
+    let data =
+      W.alloc_arr sys ~name:"phased.data" ~sharing:Region_attr.Declared_write_shared
+        ~words:(n_pages * wpp) ()
+    in
+    let phase2_rounds = max 1 (int_of_float (60. *. p.App_sig.scale)) in
+    let barrier = System.make_barrier sys ~name:"phased.phase" ~parties:p.App_sig.nthreads in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "phased.%d" i)
+           (fun ~stack_vpage:_ ->
+             (* Phase 1: everyone writes every page, repeatedly. *)
+             for _round = 1 to 8 do
+               for page = 0 to n_pages - 1 do
+                 Api.write ~count:4 (W.vpage_of data (page * wpp))
+               done;
+               Api.barrier barrier
+             done;
+             Api.barrier barrier;
+             (* Phase 2: strictly private access to this thread's share. *)
+             for _round = 1 to phase2_rounds do
+               for k = 0 to pages_per_thread - 1 do
+                 let page = (i * pages_per_thread) + k in
+                 let vpage = W.vpage_of data (page * wpp) in
+                 Api.write ~count:256 vpage;
+                 Api.read ~count:256 vpage
+               done
+             done))
+    done
+  in
+  {
+    App_sig.name = "phased";
+    description = "write-shared warm-up, then long private phase (reconsideration study)";
+    fetch_dominated = false;
+    setup;
+  }

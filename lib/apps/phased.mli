@@ -1,0 +1,4 @@
+(** Write-shared warm-up followed by a long private phase: the
+    pin-reconsideration study (footnote 4 / section 5). *)
+
+val app : App_sig.t

@@ -1,0 +1,84 @@
+(** PlyTrace (after Garcia): rendering of synthetic images whose surfaces
+    are approximated by polygons (section 3.2).
+
+    Floating-point intensive. The parallel phase uses a work pile — the
+    queue of lists of polygons to be rendered. Polygon descriptions are
+    written once and then only read (replicated read-only); per-thread
+    scratch (edge tables, spans) is private; the output image is written by
+    whichever thread renders each polygon, so image pages are writably
+    shared and drift into global memory. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let n_polygons scale = max 40 (int_of_float (2400. *. scale))
+
+let poly_words = 40 (* vertices, normal, material *)
+let image_words = 64 * 1024 (* 256 x 256 pixels *)
+let span_words = 30 (* pixels written per polygon *)
+let scratch_refs = 600 (* private edge-table traffic per polygon *)
+let flops_per_poly = 420.
+
+let app : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let n_polys = n_polygons p.App_sig.scale in
+    let db =
+      W.alloc_arr sys ~name:"plytrace.polygons" ~sharing:Region_attr.Declared_read_shared
+        ~words:(n_polys * poly_words) ()
+    in
+    let image =
+      W.alloc_arr sys ~name:"plytrace.image" ~sharing:Region_attr.Declared_write_shared
+        ~words:image_words ()
+    in
+    (* Where each polygon lands in the image is a property of the scene,
+       not of scheduling: derive it deterministically from the seed. *)
+    let prng = Numa_util.Prng.create ~seed:p.App_sig.seed in
+    let spans =
+      Array.init n_polys (fun _ -> Numa_util.Prng.int prng (image_words - span_words))
+    in
+    let barrier = System.make_barrier sys ~name:"plytrace.init" ~parties:p.App_sig.nthreads in
+    let pile = W.make_workpile sys ~name:"plytrace.queue" ~total:n_polys ~chunk:4 in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      let scratch =
+        W.alloc_arr sys
+          ~name:(Printf.sprintf "plytrace.scratch.%d" i)
+          ~sharing:Region_attr.Declared_private ~words:512 ()
+      in
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "plytrace.%d" i)
+           (fun ~stack_vpage:_ ->
+             (* Scene setup is parallel: each thread fills its share of the
+                polygon database. *)
+             let lo_i, hi_i =
+               W.static_share ~total:n_polys ~nthreads:p.App_sig.nthreads ~tid:i
+             in
+             if hi_i > lo_i then
+               W.write_range db ~lo:(lo_i * poly_words) ~n:((hi_i - lo_i) * poly_words);
+             Api.barrier barrier;
+             let render poly =
+               W.read_range db ~lo:(poly * poly_words) ~n:poly_words;
+               W.read_range scratch ~lo:0 ~n:(scratch_refs / 2);
+               W.write_range scratch ~lo:0 ~n:(scratch_refs / 2);
+               Api.compute (flops_per_poly *. W.Cost.flop_ns);
+               W.write_range image ~lo:spans.(poly) ~n:span_words
+             in
+             let rec work () =
+               match W.workpile_take pile with
+               | None -> ()
+               | Some (lo, hi) ->
+                   for poly = lo to hi do
+                     render poly
+                   done;
+                   work ()
+             in
+             work ()))
+    done
+  in
+  {
+    App_sig.name = "plytrace";
+    description = "polygon renderer; work pile, replicated scene, shared image";
+    fetch_dominated = false;
+    setup;
+  }

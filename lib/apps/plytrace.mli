@@ -1,0 +1,4 @@
+(** PlyTrace: polygon renderer with a work-pile queue (section 3.2):
+    replicated scene data, private scratch, writably-shared image. *)
+
+val app : App_sig.t

@@ -1,0 +1,87 @@
+(** Primes1 (after Beck & Olien): trial division of each odd candidate by
+    all odd numbers up to its square root (section 3.2).
+
+    Computes heavily — division is expensive on the ACE — and most memory
+    references are subroutine-linkage stack traffic, which is thread
+    private; alpha is essentially 1 and beta small. Found primes are
+    appended to a shared output vector under a lock, but far too rarely to
+    matter. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let limit scale = max 1_000 (int_of_float (60_000. *. scale))
+
+let app : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let limit = limit p.App_sig.scale in
+    let n_candidates = (limit - 3 + 2) / 2 in
+    let primes = Primes_util.primes_upto limit in
+    let output =
+      W.alloc_arr sys ~name:"primes1.output" ~sharing:Region_attr.Declared_write_shared
+        ~words:(max 1 (Array.length primes)) ()
+    in
+    let out_lock = System.make_lock sys ~name:"primes1.outlock" in
+    let out_index = ref 0 in
+    let pile = W.make_workpile sys ~name:"primes1.alloc" ~total:n_candidates ~chunk:200 in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "primes1.%d" i)
+           (fun ~stack_vpage ->
+             (* Found primes are buffered and appended to the shared vector
+                in batches, keeping the critical section rare. *)
+             let buffered = ref 0 in
+             let flush () =
+               if !buffered > 0 then begin
+                 let n = !buffered in
+                 buffered := 0;
+                 Api.with_lock out_lock (fun () ->
+                     let lo = min !out_index (output.W.words - n - 1) in
+                     out_index := !out_index + n;
+                     W.write_range output ~lo:(max 0 lo) ~n)
+               end
+             in
+             let try_candidate idx =
+               let n = 3 + (2 * idx) in
+               (* Divide by 3, 5, 7, ... up to sqrt n; stop early on the
+                  first divisor, as the real program does. *)
+               let root = Primes_util.isqrt n in
+               let rec first_divisor d = if d > root then None
+                 else if n mod d = 0 then Some d
+                 else first_divisor (d + 2)
+               in
+               let divisor = if n < 9 then None else first_divisor 3 in
+               let divisions =
+                 match divisor with
+                 | Some d -> (d - 3) / 2 + 1
+                 | None -> if n < 9 then 1 else ((root - 3) / 2) + 1
+               in
+               W.linkage ~stack_vpage ~refs:(4 * divisions);
+               Api.compute
+                 (float_of_int divisions *. (W.Cost.trial_div_ns +. W.Cost.call_ns));
+               if divisor = None then begin
+                 incr buffered;
+                 if !buffered >= 64 then flush ()
+               end
+             in
+             let rec work () =
+               match W.workpile_take pile with
+               | None -> ()
+               | Some (lo, hi) ->
+                   for idx = lo to hi do
+                     try_candidate idx
+                   done;
+                   work ()
+             in
+             work ();
+             flush ()))
+    done
+  in
+  {
+    App_sig.name = "primes1";
+    description = "trial division by all odd numbers; stack-dominated references";
+    fetch_dominated = false;
+    setup;
+  }

@@ -1,0 +1,7 @@
+(** Primes1: trial division by all odd numbers up to the square root
+    (section 3.2). Stack-dominated references, expensive division. *)
+
+val limit : float -> int
+(** Candidate limit for a given scale (exposed for tests). *)
+
+val app : App_sig.t

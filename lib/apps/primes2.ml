@@ -1,0 +1,128 @@
+(** Primes2 (after Carriero & Gelernter): trial division by previously
+    found primes (section 3.2).
+
+    The tuned version is the paper's false-sharing success story
+    (section 4.2): each thread copies the divisors it needs from the shared
+    output vector into a private vector, raising alpha from 0.66 to 1.00.
+    Both variants are built here; the registry exposes them as "primes2"
+    (segregated, the paper's final version) and "primes2-unseg" (reading
+    divisors straight from the writably-shared output vector). *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+let limit scale = max 1_000 (int_of_float (60_000. *. scale))
+
+type variant = Segregated | Unsegregated
+
+let make variant : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let limit = limit p.App_sig.scale in
+    let n_candidates = (limit - 3 + 2) / 2 in
+    let primes = Primes_util.primes_upto limit in
+    (* primes.(k) for k >= 1 are the odd primes, in order. *)
+    let n_odd_primes = Array.length primes - 1 in
+    let output =
+      W.alloc_arr sys ~name:"primes2.output" ~sharing:Region_attr.Declared_write_shared
+        ~words:(max 1 n_odd_primes) ()
+    in
+    let out_lock = System.make_lock sys ~name:"primes2.outlock" in
+    let out_count = ref 0 in
+    (* Number of odd primes <= sqrt n, i.e. the divisors the algorithm
+       tries for candidate n (all of them: remainders are checked). *)
+    let divisors_for n =
+      let root = Primes_util.isqrt n in
+      let rec count k =
+        if k + 1 <= n_odd_primes && primes.(k + 1) <= root then count (k + 1) else k
+      in
+      count 0
+    in
+    let pile = W.make_workpile sys ~name:"primes2.alloc" ~total:n_candidates ~chunk:200 in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      let private_divisors =
+        match variant with
+        | Unsegregated -> None
+        | Segregated ->
+            Some
+              (W.alloc_arr sys
+                 ~name:(Printf.sprintf "primes2.divisors.%d" i)
+                 ~sharing:Region_attr.Declared_private
+                 ~words:(max 1 (divisors_for limit + 1))
+                 ())
+      in
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "primes2.%d" i)
+           (fun ~stack_vpage ->
+             let copied = ref 0 in
+             (* Batched appends, as in primes1: keeps output-lock
+                contention negligible (the paper notes the applications do
+                not contend much for locks). *)
+             let buffered = ref 0 in
+             let flush () =
+               if !buffered > 0 then begin
+                 let n = !buffered in
+                 buffered := 0;
+                 Api.with_lock out_lock (fun () ->
+                     let lo = min !out_count (output.W.words - n - 1) in
+                     out_count := !out_count + n;
+                     W.write_range output ~lo:(max 0 lo) ~n)
+               end
+             in
+             let try_candidate idx =
+               let n = 3 + (2 * idx) in
+               let ndiv = max 1 (divisors_for n) in
+               (match private_divisors with
+               | Some priv ->
+                   (* Top up the private divisor vector from the shared
+                      output vector, then divide out of private memory. *)
+                   if ndiv > !copied then begin
+                     let need = ndiv - !copied in
+                     W.read_range output ~lo:!copied ~n:need;
+                     W.write_range priv ~lo:!copied ~n:need;
+                     copied := ndiv
+                   end;
+                   W.read_range priv ~lo:0 ~n:ndiv
+               | None ->
+                   (* False-sharing variant: fetch divisors from the shared
+                      vector on every test. *)
+                   W.read_range output ~lo:0 ~n:ndiv);
+               W.linkage ~stack_vpage ~refs:(2 * ndiv);
+               Api.compute (float_of_int ndiv *. W.Cost.prime_div_ns);
+               let rec is_prime k =
+                 k > n_odd_primes
+                 || primes.(k) * primes.(k) > n
+                 || (n mod primes.(k) <> 0 && is_prime (k + 1))
+               in
+               if n >= 3 && is_prime 1 then begin
+                 incr buffered;
+                 if !buffered >= 64 then flush ()
+               end
+             in
+             let rec work () =
+               match W.workpile_take pile with
+               | None -> ()
+               | Some (lo, hi) ->
+                   for idx = lo to hi do
+                     try_candidate idx
+                   done;
+                   work ()
+             in
+             work ();
+             flush ()))
+    done
+  in
+  let name, description =
+    match variant with
+    | Segregated ->
+        ( "primes2",
+          "trial division by private copies of found primes (tuned, alpha ~ 1.0)" )
+    | Unsegregated ->
+        ( "primes2-unseg",
+          "trial division reading divisors from the shared vector (alpha ~ 0.66)" )
+  in
+  { App_sig.name; description; fetch_dominated = false; setup }
+
+let app = make Segregated
+let app_unsegregated = make Unsegregated

@@ -1,0 +1,12 @@
+(** Primes2: trial division by previously found primes (section 3.2), in
+    the paper's tuned form (private divisor copies) and the original
+    false-sharing form that reads the shared output vector directly —
+    the alpha 0.66 -> 1.00 example of section 4.2. *)
+
+val limit : float -> int
+
+val app : App_sig.t
+(** The segregated (tuned) version. *)
+
+val app_unsegregated : App_sig.t
+(** The version that fetches divisors from the writably-shared vector. *)

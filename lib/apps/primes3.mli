@@ -1,0 +1,11 @@
+(** Primes3: parallel Sieve of Eratosthenes over a shared bit vector
+    (section 3.2) — the paper's heavy legitimate write-sharer, with the
+    worst alpha and the largest NUMA-management overhead. *)
+
+val limit : float -> int
+
+val app : App_sig.t
+
+val app_pragma : App_sig.t
+(** The sieve with its shared vectors marked noncacheable up front
+    (the section 4.3 pragma study). *)

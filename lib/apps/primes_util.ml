@@ -1,0 +1,62 @@
+let isqrt n =
+  if n < 0 then invalid_arg "isqrt: negative";
+  if n < 2 then n
+  else begin
+    let s = ref (int_of_float (sqrt (float_of_int n))) in
+    while !s * !s > n do
+      decr s
+    done;
+    while (!s + 1) * (!s + 1) <= n do
+      incr s
+    done;
+    !s
+  end
+
+let primes_upto n =
+  if n < 2 then [||]
+  else begin
+    let sieve = Array.make (n + 1) true in
+    sieve.(0) <- false;
+    sieve.(1) <- false;
+    let i = ref 2 in
+    while !i * !i <= n do
+      if sieve.(!i) then begin
+        let j = ref (!i * !i) in
+        while !j <= n do
+          sieve.(!j) <- false;
+          j := !j + !i
+        done
+      end;
+      incr i
+    done;
+    let count = ref 0 in
+    Array.iter (fun b -> if b then incr count) sieve;
+    let out = Array.make !count 0 in
+    let k = ref 0 in
+    Array.iteri
+      (fun v b ->
+        if b then begin
+          out.(!k) <- v;
+          incr k
+        end)
+      sieve;
+    out
+  end
+
+(* Bit i of the odd-number vector represents value 2i + 3. Prime p marks
+   odd multiples p*p, p*(p+2), ... i.e. values p*p + 2kp. *)
+let count_odd_multiples_in_bit_range ~p ~lo_bit ~hi_bit ~limit =
+  if p < 3 then invalid_arg "count_odd_multiples_in_bit_range: p must be odd >= 3";
+  let value_of_bit i = (2 * i) + 3 in
+  let lo_v = value_of_bit lo_bit and hi_v = min (value_of_bit hi_bit) limit in
+  let first = p * p in
+  if first > hi_v then 0
+  else begin
+    (* Smallest odd multiple of p that is >= max(first, lo_v). *)
+    let start = max first lo_v in
+    let m = (start + p - 1) / p in
+    let m = if m mod 2 = 0 then m + 1 else m in
+    let m = max m p in
+    let first_val = m * p in
+    if first_val > hi_v then 0 else ((hi_v - first_val) / (2 * p)) + 1
+  end

@@ -1,0 +1,71 @@
+(** A load-balancing workload for the section 4.7 study.
+
+    "For load balancing in the presence of longer-lived compute-bound
+    applications, we will need to migrate processes to new homes and move
+    their local pages with them." This program makes the need concrete:
+    one thread is repeatedly re-homed between two processors (as a load
+    balancer would), working on its private pages between hops.
+
+    Without kernel page migration, every hop makes each private page fault
+    across — and each crossing counts against the move threshold, so after
+    a few hops the thread's {e private} pages are pinned in global memory
+    for good. With kernel page migration ([System.migrate_pages]) the
+    pages follow the thread without touching its placement history. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+module Region_attr = Numa_vm.Region_attr
+
+type variant = Faults_only | Kernel_migration
+
+let make variant : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let hops = 8 in
+    let work_per_phase = max 1 (int_of_float (40. *. p.App_sig.scale)) in
+    let data =
+      W.alloc_arr sys ~name:"rebalance.private" ~sharing:Region_attr.Declared_private
+        ~words:(4 * 512)
+        ()
+    in
+    ignore
+      (System.spawn sys ~cpu:0 ~name:"migrant" (fun ~stack_vpage:_ ->
+           for hop = 0 to hops - 1 do
+             let here = hop mod 2 in
+             for _round = 1 to work_per_phase do
+               W.write_range data ~lo:0 ~n:(4 * 512);
+               W.read_range data ~lo:0 ~n:(4 * 512);
+               Api.compute 500_000.
+             done;
+             if hop < hops - 1 then begin
+               let next = (here + 1) mod 2 in
+               Api.migrate ~cpu:next;
+               match variant with
+               | Kernel_migration -> ignore (System.migrate_pages sys ~src:here ~dst:next)
+               | Faults_only -> ()
+             end
+           done));
+    (* A second, stationary thread keeps the other CPUs honest (and makes
+       single-CPU T_local runs meaningful). *)
+    if p.App_sig.nthreads > 1 then
+      ignore
+        (System.spawn sys ~cpu:(min 2 (p.App_sig.nthreads - 1)) ~name:"resident"
+           (fun ~stack_vpage ->
+             for _round = 1 to hops * work_per_phase do
+               W.linkage ~stack_vpage ~refs:256;
+               Api.compute 500_000.
+             done))
+  in
+  let name, description =
+    match variant with
+    | Faults_only ->
+        ( "rebalance",
+          "a thread re-homed by a load balancer; pages bounce by faulting" )
+    | Kernel_migration ->
+        ( "rebalance-migrate",
+          "the same thread with kernel page migration moving its pages along" )
+  in
+  { App_sig.name; description; fetch_dominated = false; setup }
+
+let app = make Faults_only
+let app_migrate = make Kernel_migration

@@ -1,0 +1,6 @@
+(** A thread repeatedly re-homed by a load balancer: the section 4.7
+    page-migration study, with fault-driven page movement vs kernel page
+    migration. *)
+
+val app : App_sig.t
+val app_migrate : App_sig.t

@@ -1,0 +1,24 @@
+let table3 =
+  [
+    Parmult.app;
+    Gfetch.app;
+    Imatmult.app;
+    Primes1.app;
+    Primes2.app;
+    Primes3.app;
+    Fft.app;
+    Plytrace.app;
+  ]
+
+let table4 = [ Imatmult.app; Primes1.app; Primes2.app; Primes3.app; Fft.app ]
+
+let all =
+  table3
+  @ [
+      Primes2.app_unsegregated; Primes3.app_pragma; Syscall_mix.app; Phased.app;
+      Lopsided.app; Lopsided.app_homed; Rebalance.app; Rebalance.app_migrate;
+    ]
+
+let find name = List.find_opt (fun (a : App_sig.t) -> a.App_sig.name = name) all
+
+let names () = List.map (fun (a : App_sig.t) -> a.App_sig.name) all

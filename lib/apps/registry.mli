@@ -1,0 +1,15 @@
+(** All application programs, by name. *)
+
+val all : App_sig.t list
+(** The paper's application mix (Table 3 order) plus the unsegregated
+    primes2 variant used in the false-sharing study. *)
+
+val table3 : App_sig.t list
+(** Exactly the eight programs of Table 3. *)
+
+val table4 : App_sig.t list
+(** The five programs of Table 4 (IMatMult, Primes1-3, FFT). *)
+
+val find : string -> App_sig.t option
+
+val names : unit -> string list

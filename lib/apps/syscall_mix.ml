@@ -1,0 +1,46 @@
+(** A Unix-flavoured workload for the section 4.6 study: threads alternate
+    computation with system calls (sigvec/fstat/ioctl-style) that reference
+    the caller's user stack from kernel mode.
+
+    With the Unix-master model on, those references come from CPU 0, making
+    each thread's stack writably shared with the master — so stacks drift
+    into global memory and every subsequent stack reference slows down.
+    With the model off (the paper's ad hoc fix: the offending calls no
+    longer touch user memory from the master), stacks stay local. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module W = Workload
+
+let app : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let iterations = max 10 (int_of_float (400. *. p.App_sig.scale)) in
+    let blocks = 200 (* fixed work split *) in
+    let pile = W.make_workpile sys ~name:"sysmix.alloc" ~total:blocks ~chunk:1 in
+    let per_block = max 1 (iterations / blocks) in
+    for i = 0 to p.App_sig.nthreads - 1 do
+      ignore
+        (System.spawn sys ~name:(Printf.sprintf "sysmix.%d" i)
+           (fun ~stack_vpage ->
+             let rec work () =
+               match W.workpile_take pile with
+               | None -> ()
+               | Some (_, _) ->
+                   for _it = 1 to per_block do
+                     (* Normal user work with stack traffic. *)
+                     W.linkage ~stack_vpage ~refs:400;
+                     Api.compute 300_000.;
+                     (* An fstat-ish call that reads/writes the user stack. *)
+                     Api.syscall ~touch_stack:true ~service_ns:150_000. ()
+                   done;
+                   work ()
+             in
+             work ()))
+    done
+  in
+  {
+    App_sig.name = "syscall-mix";
+    description = "compute + stack-touching system calls (Unix master study)";
+    fetch_dominated = false;
+    setup;
+  }

@@ -1,0 +1,4 @@
+(** Compute + stack-touching system calls: the Unix-master study of
+    section 4.6. *)
+
+val app : App_sig.t

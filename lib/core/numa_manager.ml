@@ -1,0 +1,441 @@
+open Numa_machine
+
+type state = Untouched | Read_only | Local_writable of int | Global_writable | Homed of int
+
+type request_result = { final_state : state; moved : bool; fell_back_global : bool }
+
+type page = {
+  mutable state : state;
+  replicas : (int, Frame_table.local_frame) Hashtbl.t;  (** node -> frame *)
+  mutable needs_zero : bool;
+  mutable moves : int;
+}
+
+type t = {
+  config : Config.t;
+  frames : Frame_table.t;
+  mmu : Mmu.t;
+  sink : Cost_sink.t;
+  stats : Numa_stats.t;
+  pages : page array;
+}
+
+let create ~config ~frames ~mmu ~sink ~stats =
+  let fresh _ =
+    { state = Untouched; replicas = Hashtbl.create 4; needs_zero = false; moves = 0 }
+  in
+  { config; frames; mmu; sink; stats; pages = Array.init config.Config.global_pages fresh }
+
+let page t lpage =
+  if lpage < 0 || lpage >= Array.length t.pages then
+    invalid_arg "Numa_manager: logical page out of range";
+  t.pages.(lpage)
+
+let state_of t ~lpage = (page t lpage).state
+
+let replica_frame t ~lpage ~node = Hashtbl.find_opt (page t lpage).replicas node
+
+let replica_nodes t ~lpage =
+  Hashtbl.fold (fun node _ acc -> node :: acc) (page t lpage).replicas []
+
+let moves_of t ~lpage = (page t lpage).moves
+
+let charge t ~cpu ns = Cost_sink.charge t.sink ~cpu ns
+
+(* --- primitive protocol actions ------------------------------------- *)
+
+(* Drop every mapping of [lpage] on [node]; they all point at the node's
+   replica (we never map remote frames). *)
+let drop_mappings_on_node t ~lpage ~node ~by_cpu =
+  List.iter
+    (fun (e : Mmu.entry) ->
+      if e.cpu = node then begin
+        Mmu.remove_entry t.mmu e;
+        t.stats.mappings_dropped <- t.stats.mappings_dropped + 1;
+        charge t ~cpu:by_cpu (Cost.tlb_shootdown_ns t.config)
+      end)
+    (Mmu.entries_of_lpage t.mmu ~lpage)
+
+(* Copy a node's dirty frame back to the global master. *)
+let sync_node t ~lpage ~node ~by_cpu =
+  let p = page t lpage in
+  match Hashtbl.find_opt p.replicas node with
+  | None -> invalid_arg "Numa_manager.sync_node: node holds no copy"
+  | Some frame ->
+      Frame_table.copy_local_to_global t.frames frame ~lpage;
+      let src = if node = by_cpu then Location.Local_here else Location.Remote_local in
+      charge t ~cpu:by_cpu (Cost.page_copy_ns t.config ~src ~dst:Location.In_global);
+      t.stats.syncs_to_global <- t.stats.syncs_to_global + 1
+
+(* Drop a node's cached copy (mappings first, then the frame). *)
+let flush_node t ~lpage ~node ~by_cpu =
+  let p = page t lpage in
+  match Hashtbl.find_opt p.replicas node with
+  | None -> ()
+  | Some frame ->
+      drop_mappings_on_node t ~lpage ~node ~by_cpu;
+      Frame_table.free_local t.frames frame;
+      Hashtbl.remove p.replicas node;
+      t.stats.replicas_flushed <- t.stats.replicas_flushed + 1
+
+let unmap_all t ~lpage ~by_cpu =
+  List.iter
+    (fun (e : Mmu.entry) ->
+      Mmu.remove_entry t.mmu e;
+      t.stats.mappings_dropped <- t.stats.mappings_dropped + 1;
+      charge t ~cpu:by_cpu (Cost.tlb_shootdown_ns t.config))
+    (Mmu.entries_of_lpage t.mmu ~lpage)
+
+(* Ensure [cpu] holds a local copy; the caller has checked capacity. *)
+let copy_to_local t ~lpage ~cpu =
+  let p = page t lpage in
+  if not (Hashtbl.mem p.replicas cpu) then begin
+    match Frame_table.alloc_local t.frames ~node:cpu with
+    | None -> invalid_arg "Numa_manager.copy_to_local: pool exhausted (unchecked)"
+    | Some frame ->
+        Frame_table.copy_global_to_local t.frames ~lpage frame;
+        charge t ~cpu
+          (Cost.page_copy_ns t.config ~src:Location.In_global ~dst:Location.Local_here);
+        t.stats.copies_to_local <- t.stats.copies_to_local + 1;
+        Hashtbl.replace p.replicas cpu frame
+  end
+
+(* --- first touch ------------------------------------------------------ *)
+
+let first_touch t ~lpage ~cpu ~access ~decision =
+  let p = page t lpage in
+  let place_global () =
+    if p.needs_zero then begin
+      Frame_table.zero_global t.frames ~lpage;
+      charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.In_global);
+      t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
+      p.needs_zero <- false
+    end;
+    p.state <- Global_writable;
+    Global_writable
+  in
+  match decision with
+  | Protocol.Place_global ->
+      { final_state = place_global (); moved = false; fell_back_global = false }
+  | Protocol.Place_local -> (
+      match Frame_table.alloc_local t.frames ~node:cpu with
+      | None ->
+          t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+          { final_state = place_global (); moved = false; fell_back_global = true }
+      | Some frame ->
+          (* Lazy zero-fill lands directly in the right memory, avoiding the
+             write-zeros-to-global-then-copy round trip (section 2.3.1). *)
+          if p.needs_zero then begin
+            Frame_table.zero_local frame;
+            charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.Local_here);
+            t.stats.zero_fills_local <- t.stats.zero_fills_local + 1;
+            p.needs_zero <- false;
+            (* A read leaves the page Read_only, whose invariant is that
+               the global frame is the clean master; later replicas copy
+               from it. Zero the master cell too — on the real machine the
+               second replica would be copied from the first at comparable
+               cost, so only the content bookkeeping is needed here. *)
+            if access = Access.Load then Frame_table.zero_global t.frames ~lpage
+          end
+          else begin
+            Frame_table.copy_global_to_local t.frames ~lpage frame;
+            charge t ~cpu
+              (Cost.page_copy_ns t.config ~src:Location.In_global ~dst:Location.Local_here);
+            t.stats.copies_to_local <- t.stats.copies_to_local + 1
+          end;
+          Hashtbl.replace p.replicas cpu frame;
+          let final_state =
+            match access with
+            | Access.Load -> Read_only
+            | Access.Store -> Local_writable cpu
+          in
+          p.state <- final_state;
+          { final_state; moved = false; fell_back_global = false })
+
+(* --- steady-state requests ------------------------------------------- *)
+
+let view_of_state ~cpu = function
+  | Read_only -> Protocol.Sv_read_only
+  | Global_writable -> Protocol.Sv_global_writable
+  | Local_writable owner when owner = cpu -> Protocol.Sv_local_writable_own
+  | Local_writable _ -> Protocol.Sv_local_writable_other
+  | Untouched -> invalid_arg "Numa_manager.view_of_state: untouched"
+  | Homed _ -> invalid_arg "Numa_manager.view_of_state: homed pages bypass the protocol"
+
+(* A LOCAL decision that will need a fresh frame on a full node is demoted
+   to GLOBAL up front, before any cleanup runs. *)
+let needs_new_frame t ~lpage ~cpu outcome =
+  List.mem Protocol.Copy_to_local outcome.Protocol.actions
+  && not (Hashtbl.mem (page t lpage).replicas cpu)
+
+let node_is_full t ~node =
+  Frame_table.local_in_use t.frames ~node >= Frame_table.local_capacity t.frames ~node
+
+let execute t ~lpage ~cpu ~(outcome : Protocol.outcome) =
+  let p = page t lpage in
+  let flushed_other = ref 0 in
+  let owner () =
+    match p.state with
+    | Local_writable o -> o
+    | Untouched | Read_only | Global_writable | Homed _ ->
+        invalid_arg "Numa_manager.execute: sync on non-owned page"
+  in
+  let run = function
+    | Protocol.Sync_and_flush_own ->
+        let o = owner () in
+        sync_node t ~lpage ~node:o ~by_cpu:cpu;
+        flush_node t ~lpage ~node:o ~by_cpu:cpu;
+        if o <> cpu then incr flushed_other
+    | Protocol.Sync_and_flush_other ->
+        let o = owner () in
+        sync_node t ~lpage ~node:o ~by_cpu:cpu;
+        flush_node t ~lpage ~node:o ~by_cpu:cpu;
+        incr flushed_other
+    | Protocol.Flush_all ->
+        List.iter
+          (fun node ->
+            if node <> cpu then incr flushed_other;
+            flush_node t ~lpage ~node ~by_cpu:cpu)
+          (replica_nodes t ~lpage)
+    | Protocol.Flush_other ->
+        List.iter
+          (fun node ->
+            if node <> cpu then begin
+              incr flushed_other;
+              flush_node t ~lpage ~node ~by_cpu:cpu
+            end)
+          (replica_nodes t ~lpage)
+    | Protocol.Unmap_all -> unmap_all t ~lpage ~by_cpu:cpu
+    | Protocol.Copy_to_local -> copy_to_local t ~lpage ~cpu
+  in
+  List.iter run outcome.actions;
+  (match outcome.new_state with
+  | Protocol.Becomes_read_only -> p.state <- Read_only
+  | Protocol.Becomes_local_writable -> p.state <- Local_writable cpu
+  | Protocol.Becomes_global_writable -> p.state <- Global_writable);
+  !flushed_other
+
+(* Un-home a page: sync its contents to global, flush the home frame and
+   every mapping; it becomes an ordinary global page. Used when the homing
+   pragma is cleared and the page re-enters normal policy control. *)
+let demote_homed t ~lpage ~cpu ~home =
+  sync_node t ~lpage ~node:home ~by_cpu:cpu;
+  unmap_all t ~lpage ~by_cpu:cpu;
+  flush_node t ~lpage ~node:home ~by_cpu:cpu;
+  (page t lpage).state <- Global_writable
+
+let request t ~lpage ~cpu ~access ~decision =
+  charge t ~cpu (Cost.pmap_action_ns t.config);
+  let p = page t lpage in
+  (match p.state with
+  | Homed h -> demote_homed t ~lpage ~cpu ~home:h
+  | Untouched | Read_only | Local_writable _ | Global_writable -> ());
+  match p.state with
+  | Homed _ -> assert false
+  | Untouched -> first_touch t ~lpage ~cpu ~access ~decision
+  | Read_only | Local_writable _ | Global_writable ->
+      let state = view_of_state ~cpu p.state in
+      let decision, fell_back_global =
+        if
+          decision = Protocol.Place_local
+          && needs_new_frame t ~lpage ~cpu (Protocol.transition ~access ~state ~decision)
+          && node_is_full t ~node:cpu
+        then begin
+          t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+          (Protocol.Place_global, true)
+        end
+        else (decision, false)
+      in
+      let outcome = Protocol.transition ~access ~state ~decision in
+      let flushed_other = execute t ~lpage ~cpu ~outcome in
+      let moved = decision = Protocol.Place_local && flushed_other > 0 in
+      if moved then begin
+        p.moves <- p.moves + 1;
+        t.stats.moves <- t.stats.moves + 1
+      end;
+      { final_state = p.state; moved; fell_back_global }
+
+let request_homed t ~lpage ~cpu ~home =
+  charge t ~cpu (Cost.pmap_action_ns t.config);
+  let p = page t lpage in
+  match p.state with
+  | Homed h when h = home -> { final_state = p.state; moved = false; fell_back_global = false }
+  | _ -> (
+      (* Clean up whatever cache state exists, leaving contents in the
+         global master (the GLOBAL row of the tables). *)
+      (match p.state with
+      | Untouched ->
+          if p.needs_zero then begin
+            Frame_table.zero_global t.frames ~lpage;
+            charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.In_global);
+            t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
+            p.needs_zero <- false
+          end
+      | Homed h -> demote_homed t ~lpage ~cpu ~home:h
+      | Local_writable o ->
+          sync_node t ~lpage ~node:o ~by_cpu:cpu;
+          flush_node t ~lpage ~node:o ~by_cpu:cpu
+      | Read_only ->
+          List.iter (fun node -> flush_node t ~lpage ~node ~by_cpu:cpu)
+            (replica_nodes t ~lpage)
+      | Global_writable -> unmap_all t ~lpage ~by_cpu:cpu);
+      p.state <- Global_writable;
+      match Frame_table.alloc_local t.frames ~node:home with
+      | None ->
+          t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+          { final_state = Global_writable; moved = false; fell_back_global = true }
+      | Some frame ->
+          Frame_table.copy_global_to_local t.frames ~lpage frame;
+          let dst = if home = cpu then Location.Local_here else Location.Remote_local in
+          charge t ~cpu (Cost.page_copy_ns t.config ~src:Location.In_global ~dst);
+          t.stats.copies_to_local <- t.stats.copies_to_local + 1;
+          Hashtbl.replace p.replicas home frame;
+          p.state <- Homed home;
+          { final_state = p.state; moved = false; fell_back_global = false })
+
+let migrate_owned_pages t ~src ~dst =
+  if src = dst then 0
+  else begin
+    let moved = ref 0 in
+    Array.iteri
+      (fun lpage p ->
+        match p.state with
+        | Local_writable o when o = src ->
+            (* The kernel on the destination performs the move. *)
+            sync_node t ~lpage ~node:src ~by_cpu:dst;
+            flush_node t ~lpage ~node:src ~by_cpu:dst;
+            (match Frame_table.alloc_local t.frames ~node:dst with
+            | Some frame ->
+                Frame_table.copy_global_to_local t.frames ~lpage frame;
+                charge t ~cpu:dst
+                  (Cost.page_copy_ns t.config ~src:Location.In_global
+                     ~dst:Location.Local_here);
+                t.stats.copies_to_local <- t.stats.copies_to_local + 1;
+                Hashtbl.replace p.replicas dst frame;
+                p.state <- Local_writable dst;
+                incr moved
+            | None ->
+                t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+                p.state <- Global_writable)
+        | Untouched | Read_only | Local_writable _ | Global_writable | Homed _ -> ())
+      t.pages;
+    !moved
+  end
+
+(* --- pager / pool integration ----------------------------------------- *)
+
+let mark_zero_fill t ~lpage =
+  let p = page t lpage in
+  (match p.state with
+  | Untouched -> ()
+  | Read_only | Local_writable _ | Global_writable | Homed _ ->
+      invalid_arg "Numa_manager.mark_zero_fill: page is live");
+  p.needs_zero <- true
+
+let install_content t ~lpage ~content =
+  let p = page t lpage in
+  (match p.state with
+  | Untouched -> ()
+  | Read_only | Local_writable _ | Global_writable | Homed _ ->
+      invalid_arg "Numa_manager.install_content: page is live");
+  Frame_table.write_global t.frames ~lpage content;
+  p.needs_zero <- false
+
+let sync_if_dirty t ~lpage =
+  let p = page t lpage in
+  match p.state with
+  | Local_writable owner ->
+      (* Charged to the owner: the pageout daemon runs kernel code on the
+         CPU whose memory holds the dirty copy. *)
+      sync_node t ~lpage ~node:owner ~by_cpu:owner
+  | Homed home -> sync_node t ~lpage ~node:home ~by_cpu:home
+  | Untouched | Read_only | Global_writable -> ()
+
+let reset_page t ~lpage =
+  let p = page t lpage in
+  Numa_stats.record_final_moves t.stats p.moves;
+  List.iter
+    (fun (e : Mmu.entry) ->
+      Mmu.remove_entry t.mmu e;
+      t.stats.mappings_dropped <- t.stats.mappings_dropped + 1)
+    (Mmu.entries_of_lpage t.mmu ~lpage);
+  Hashtbl.iter (fun _ frame -> Frame_table.free_local t.frames frame) p.replicas;
+  Hashtbl.reset p.replicas;
+  p.state <- Untouched;
+  p.needs_zero <- false;
+  p.moves <- 0
+
+(* --- invariants -------------------------------------------------------- *)
+
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  try
+    Array.iteri
+      (fun lpage p ->
+        let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+        let mappings = Mmu.entries_of_lpage t.mmu ~lpage in
+        let n_replicas = Hashtbl.length p.replicas in
+        Hashtbl.iter
+          (fun node (frame : Frame_table.local_frame) ->
+            if frame.node <> node then
+              fail "page %d: replica indexed under node %d lives on node %d" lpage node
+                frame.node)
+          p.replicas;
+        match p.state with
+        | Untouched ->
+            if n_replicas <> 0 then fail "untouched page %d has replicas" lpage;
+            if mappings <> [] then fail "untouched page %d has mappings" lpage
+        | Global_writable ->
+            if n_replicas <> 0 then fail "global page %d has replicas" lpage;
+            List.iter
+              (fun (e : Mmu.entry) ->
+                match e.phys with
+                | Mmu.Global_frame l when l = lpage -> ()
+                | Mmu.Global_frame _ | Mmu.Frame _ ->
+                    fail "global page %d has a non-global mapping" lpage)
+              mappings
+        | Read_only ->
+            if n_replicas < 1 then fail "read-only page %d has no replicas" lpage;
+            List.iter
+              (fun (e : Mmu.entry) ->
+                if Prot.compare e.prot Prot.Read_only > 0 then
+                  fail "read-only page %d mapped writable on cpu %d" lpage e.cpu;
+                match e.phys with
+                | Mmu.Frame f when Hashtbl.find_opt p.replicas e.cpu = Some f -> ()
+                | Mmu.Frame _ | Mmu.Global_frame _ ->
+                    fail "read-only page %d: mapping on cpu %d not via its replica" lpage
+                      e.cpu)
+              mappings
+        | Homed home ->
+            if n_replicas <> 1 || not (Hashtbl.mem p.replicas home) then
+              fail "homed page %d: replicas not exactly the home %d" lpage home;
+            List.iter
+              (fun (e : Mmu.entry) ->
+                match e.phys with
+                | Mmu.Frame f when Hashtbl.find_opt p.replicas home = Some f -> ()
+                | Mmu.Frame _ | Mmu.Global_frame _ ->
+                    fail "homed page %d: mapping not via the home frame" lpage)
+              mappings
+        | Local_writable owner ->
+            if n_replicas <> 1 || not (Hashtbl.mem p.replicas owner) then
+              fail "local-writable page %d: replicas not exactly the owner %d" lpage owner;
+            List.iter
+              (fun (e : Mmu.entry) ->
+                if e.cpu <> owner then
+                  fail "local-writable page %d mapped on non-owner cpu %d" lpage e.cpu;
+                match e.phys with
+                | Mmu.Frame f when Hashtbl.find_opt p.replicas owner = Some f -> ()
+                | Mmu.Frame _ | Mmu.Global_frame _ ->
+                    fail "local-writable page %d: mapping not via owner frame" lpage)
+              mappings)
+      t.pages;
+    Ok ()
+  with Bad msg -> err "%s" msg
+
+let pp_state ppf = function
+  | Untouched -> Format.pp_print_string ppf "untouched"
+  | Read_only -> Format.pp_print_string ppf "read-only"
+  | Local_writable n -> Format.fprintf ppf "local-writable(%d)" n
+  | Global_writable -> Format.pp_print_string ppf "global-writable"
+  | Homed n -> Format.fprintf ppf "homed(%d)" n

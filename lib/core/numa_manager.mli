@@ -1,0 +1,109 @@
+(** The NUMA manager: effectful executor of the consistency {!Protocol}.
+
+    Local memories are managed as caches over global memory (section 2.3.1):
+    each logical page is permanently backed by its global frame and may
+    additionally be replicated read-only in any number of local memories or
+    held writable in exactly one. This module owns that directory and
+    performs the protocol's sync / flush / unmap / copy actions against the
+    {!Numa_machine.Frame_table} and {!Numa_machine.Mmu}, charging their
+    simulated cost to the requesting CPU's system time.
+
+    Policy is deliberately absent here: the caller (the pmap manager)
+    supplies a {!Protocol.decision} per request and is told whether the
+    request moved the page between local memories, which is what the policy
+    layer counts. *)
+
+open Numa_machine
+
+type state =
+  | Untouched
+      (** no content yet (zero-fill pending) or freshly installed in global;
+          no copies, no mappings *)
+  | Read_only  (** replicated; global frame is the clean master *)
+  | Local_writable of int  (** owned by one node; global master may be stale *)
+  | Global_writable  (** lives in global; never cached *)
+  | Homed of int
+      (** section 4.4 extension: permanently resident in one node's local
+          memory under a [Homed] pragma; other processors reference it
+          remotely. Like a pinned page, it never moves again. *)
+
+type request_result = {
+  final_state : state;
+  moved : bool;
+      (** the request transferred the page's contents/copies away from some
+          other node while placing it locally: the event the move-counting
+          policy observes *)
+  fell_back_global : bool;
+      (** a LOCAL decision was demoted because the local memory was full *)
+}
+
+type t
+
+val create :
+  config:Config.t ->
+  frames:Frame_table.t ->
+  mmu:Mmu.t ->
+  sink:Cost_sink.t ->
+  stats:Numa_stats.t ->
+  t
+
+val request :
+  t -> lpage:int -> cpu:int -> access:Access.t -> decision:Protocol.decision ->
+  request_result
+(** Bring the page into a state satisfying the access on [cpu] under the
+    policy decision, per Tables 1 and 2. After the call the caller may map
+    the page on [cpu] (read-only if the state is [Read_only]). *)
+
+val request_homed : t -> lpage:int -> cpu:int -> home:int -> request_result
+(** Place (or keep) the page in [home]'s local memory, cleaning up any
+    other cache state first — the straightforward protocol extension for
+    remote references the paper sketches in section 4.4. Falls back to
+    global memory when the home node's local memory is full. *)
+
+val state_of : t -> lpage:int -> state
+
+val replica_frame : t -> lpage:int -> node:int -> Frame_table.local_frame option
+(** The node's cached copy, if any. *)
+
+val replica_nodes : t -> lpage:int -> int list
+(** Nodes holding a copy, unordered. *)
+
+val moves_of : t -> lpage:int -> int
+(** Inter-memory moves this page has made since (re)allocation. *)
+
+val migrate_owned_pages : t -> src:int -> dst:int -> int
+(** Kernel page migration (the section 4.7 load-balancing requirement:
+    "migrate processes to new homes and move their local pages with
+    them"): every page local-writable on [src] is synced, flushed and
+    re-established local-writable on [dst]. Deliberate migration does not
+    count against the policy's move threshold. Pages that do not fit in
+    [dst]'s local memory are left in global memory. Returns the number of
+    pages moved. *)
+
+val mark_zero_fill : t -> lpage:int -> unit
+(** The page will be zero-filled lazily at first placement. Only valid on
+    an [Untouched] page. *)
+
+val install_content : t -> lpage:int -> content:int -> unit
+(** Page-in path: set the global master's contents. Only valid on an
+    [Untouched] page. *)
+
+val sync_if_dirty : t -> lpage:int -> unit
+(** Ensure the global master holds current contents (copies a
+    local-writable owner's frame back). Page-out path. *)
+
+val reset_page : t -> lpage:int -> unit
+(** Frame-free path (pmap_free_page): drop every mapping and cached copy,
+    record the final move count, and forget placement history, returning
+    the page to [Untouched]. *)
+
+val check_invariants : t -> (unit, string) result
+(** Directory/MMU consistency, used by the property-based tests:
+    - [Read_only] pages have >= 1 replica and only read-only mappings, each
+      mapping reaching its own node's replica;
+    - [Local_writable] pages have exactly the owner's replica and mappings
+      only on the owner;
+    - [Global_writable] / [Untouched] pages have no replicas, and any
+      mappings point at the global frame (none for [Untouched]). *)
+
+val pp_state : Format.formatter -> state -> unit

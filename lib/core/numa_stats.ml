@@ -1,0 +1,46 @@
+type t = {
+  mutable enters : int;
+  mutable zero_fills_local : int;
+  mutable zero_fills_global : int;
+  mutable copies_to_local : int;
+  mutable syncs_to_global : int;
+  mutable replicas_flushed : int;
+  mutable mappings_dropped : int;
+  mutable moves : int;
+  mutable local_fallbacks : int;
+  move_histogram : Numa_util.Histogram.t;
+}
+
+let create () =
+  {
+    enters = 0;
+    zero_fills_local = 0;
+    zero_fills_global = 0;
+    copies_to_local = 0;
+    syncs_to_global = 0;
+    replicas_flushed = 0;
+    mappings_dropped = 0;
+    moves = 0;
+    local_fallbacks = 0;
+    move_histogram = Numa_util.Histogram.create ();
+  }
+
+let record_final_moves t n = Numa_util.Histogram.add t.move_histogram n
+
+let to_assoc t =
+  [
+    ("pmap enters", string_of_int t.enters);
+    ("zero fills (local)", string_of_int t.zero_fills_local);
+    ("zero fills (global)", string_of_int t.zero_fills_global);
+    ("page copies to local", string_of_int t.copies_to_local);
+    ("page syncs to global", string_of_int t.syncs_to_global);
+    ("replicas flushed", string_of_int t.replicas_flushed);
+    ("mappings dropped", string_of_int t.mappings_dropped);
+    ("page moves", string_of_int t.moves);
+    ("local-memory fallbacks", string_of_int t.local_fallbacks);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s: %s@," k v) (to_assoc t);
+  Format.fprintf ppf "@]"

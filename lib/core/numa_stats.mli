@@ -1,0 +1,31 @@
+(** Counters kept by the NUMA layer.
+
+    These feed Table 4 (system-time decomposition) and the ablation
+    experiments; they are bookkeeping only and have no influence on
+    placement. *)
+
+type t = {
+  mutable enters : int;  (** pmap_enter calls (resolved faults) *)
+  mutable zero_fills_local : int;
+  mutable zero_fills_global : int;
+  mutable copies_to_local : int;  (** global -> local page copies *)
+  mutable syncs_to_global : int;  (** local -> global page copies *)
+  mutable replicas_flushed : int;
+  mutable mappings_dropped : int;
+  mutable moves : int;  (** inter-local-memory page transfers *)
+  mutable local_fallbacks : int;
+      (** LOCAL decisions demoted to GLOBAL because the local memory was full *)
+  move_histogram : Numa_util.Histogram.t;
+      (** distribution of per-page move counts, recorded when a page is
+          freed and for all live pages via {!record_final_moves} *)
+}
+
+val create : unit -> t
+
+val record_final_moves : t -> int -> unit
+(** Add one page's final move count to the histogram. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_assoc : t -> (string * string) list
+(** For report rendering. *)

@@ -1,0 +1,249 @@
+open Numa_machine
+
+type t = {
+  config : Config.t;
+  frames : Frame_table.t;
+  mmu : Mmu.t;
+  sink : Cost_sink.t;
+  stats : Numa_stats.t;
+  manager : Numa_manager.t;
+  mutable policy : Policy.t;
+  pragmas : (int * int, Numa_vm.Region_attr.pragma) Hashtbl.t;  (** (pmap, vpage) *)
+  live_pmaps : (int, string) Hashtbl.t;
+  mutable next_pmap : int;
+  pending_tags : (int, unit) Hashtbl.t;
+  mutable next_tag : int;
+}
+
+let create ~config ~policy =
+  let frames = Frame_table.create config in
+  let mmu = Mmu.create config in
+  let sink = Cost_sink.create ~n_cpus:config.Config.n_cpus in
+  let stats = Numa_stats.create () in
+  let manager = Numa_manager.create ~config ~frames ~mmu ~sink ~stats in
+  {
+    config;
+    frames;
+    mmu;
+    sink;
+    stats;
+    manager;
+    policy;
+    pragmas = Hashtbl.create 64;
+    live_pmaps = Hashtbl.create 8;
+    next_pmap = 0;
+    pending_tags = Hashtbl.create 16;
+    next_tag = 0;
+  }
+
+let set_policy t p = t.policy <- p
+let policy t = t.policy
+let manager t = t.manager
+let stats t = t.stats
+let mmu t = t.mmu
+let frames t = t.frames
+let sink t = t.sink
+let config t = t.config
+
+let set_pragma t ~pmap ~vpage ~n pragma =
+  for v = vpage to vpage + n - 1 do
+    match pragma with
+    | None -> Hashtbl.remove t.pragmas (pmap, v)
+    | Some p -> Hashtbl.replace t.pragmas (pmap, v) p
+  done
+
+let pragma_at t ~pmap ~vpage = Hashtbl.find_opt t.pragmas (pmap, vpage)
+
+(* --- the pmap interface ------------------------------------------------ *)
+
+let pmap_create t ~name =
+  let id = t.next_pmap in
+  t.next_pmap <- id + 1;
+  Hashtbl.replace t.live_pmaps id name;
+  id
+
+let drop_entry t (e : Mmu.entry) =
+  Mmu.remove_entry t.mmu e;
+  t.stats.Numa_stats.mappings_dropped <- t.stats.Numa_stats.mappings_dropped + 1;
+  Cost_sink.charge t.sink ~cpu:e.cpu (Cost.tlb_shootdown_ns t.config)
+
+let pmap_destroy t id =
+  if not (Hashtbl.mem t.live_pmaps id) then invalid_arg "pmap_destroy: unknown pmap";
+  List.iter (drop_entry t) (Mmu.entries_of_pmap t.mmu ~pmap:id);
+  Hashtbl.filter_map_inplace
+    (fun (pm, _) pragma -> if pm = id then None else Some pragma)
+    t.pragmas;
+  Hashtbl.remove t.live_pmaps id
+
+let enter t ~pmap ~cpu ~vpage ~lpage ~min_prot ~max_prot =
+  if Prot.compare min_prot max_prot > 0 then
+    invalid_arg "pmap_enter: min protection exceeds max";
+  if min_prot = Prot.No_access then invalid_arg "pmap_enter: no-access mapping";
+  let access =
+    match min_prot with
+    | Prot.Read_write -> Access.Store
+    | Prot.Read_only -> Access.Load
+    | Prot.No_access -> assert false
+  in
+  let result =
+    match pragma_at t ~pmap ~vpage with
+    | Some (Numa_vm.Region_attr.Homed home) ->
+        Numa_manager.request_homed t.manager ~lpage ~cpu ~home
+    | (Some Numa_vm.Region_attr.Noncacheable | Some Numa_vm.Region_attr.Cacheable | None)
+      as pragma ->
+        let decision =
+          match pragma with
+          | Some Numa_vm.Region_attr.Noncacheable -> Protocol.Place_global
+          | Some Numa_vm.Region_attr.Cacheable -> Protocol.Place_local
+          | Some (Numa_vm.Region_attr.Homed _) -> assert false
+          | None -> t.policy.Policy.decide ~lpage ~cpu ~access
+        in
+        Numa_manager.request t.manager ~lpage ~cpu ~access ~decision
+  in
+  if result.Numa_manager.moved then t.policy.Policy.note (Policy.Page_moved { lpage });
+  let phys, prot =
+    match result.Numa_manager.final_state with
+    | Numa_manager.Read_only -> (
+        match Numa_manager.replica_frame t.manager ~lpage ~node:cpu with
+        | Some frame -> (Mmu.Frame frame, Prot.Read_only)
+        | None -> assert false (* the protocol just copied to local *))
+    | Numa_manager.Local_writable owner -> (
+        assert (owner = cpu);
+        match Numa_manager.replica_frame t.manager ~lpage ~node:cpu with
+        | Some frame -> (Mmu.Frame frame, max_prot)
+        | None -> assert false)
+    | Numa_manager.Global_writable -> (Mmu.Global_frame lpage, max_prot)
+    | Numa_manager.Homed home -> (
+        match Numa_manager.replica_frame t.manager ~lpage ~node:home with
+        | Some frame -> (Mmu.Frame frame, max_prot)
+        | None -> assert false)
+    | Numa_manager.Untouched -> assert false
+  in
+  Mmu.enter t.mmu ~pmap ~cpu ~vpage ~lpage ~prot ~phys;
+  t.stats.Numa_stats.enters <- t.stats.Numa_stats.enters + 1
+
+let protect t ~pmap ~vpage ~n prot =
+  let doomed = ref [] in
+  Mmu.iter_range t.mmu ~pmap ~vpage ~n (fun e ->
+      let clamped = Prot.min e.prot prot in
+      if clamped = Prot.No_access then doomed := e :: !doomed
+      else if clamped <> e.prot then begin
+        Mmu.set_prot t.mmu e clamped;
+        Cost_sink.charge t.sink ~cpu:e.cpu (Cost.tlb_shootdown_ns t.config)
+      end);
+  List.iter (drop_entry t) !doomed
+
+let remove t ~pmap ~vpage ~n =
+  let doomed = ref [] in
+  Mmu.iter_range t.mmu ~pmap ~vpage ~n (fun e -> doomed := e :: !doomed);
+  List.iter (drop_entry t) !doomed
+
+let remove_all t ~lpage = List.iter (drop_entry t) (Mmu.entries_of_lpage t.mmu ~lpage)
+
+let free_page t ~lpage =
+  Numa_manager.reset_page t.manager ~lpage;
+  t.policy.Policy.note (Policy.Page_freed { lpage });
+  let tag = t.next_tag in
+  t.next_tag <- tag + 1;
+  Hashtbl.replace t.pending_tags tag ();
+  tag
+
+let free_page_sync t tag =
+  (* Cleanup ran eagerly at [free_page]; the tag records that the lazy
+     window closed. An unknown tag is a caller bug. *)
+  if not (Hashtbl.mem t.pending_tags tag) then
+    invalid_arg "pmap_free_page_sync: unknown or already-synced tag";
+  Hashtbl.remove t.pending_tags tag
+
+let resident t ~pmap ~cpu ~vpage =
+  match Mmu.lookup t.mmu ~pmap ~cpu ~vpage with
+  | None -> None
+  | Some e -> Some (e.prot, Mmu.phys_location ~cpu e.phys)
+
+let read_slot t ~pmap ~cpu ~vpage =
+  match Mmu.lookup t.mmu ~pmap ~cpu ~vpage with
+  | None -> invalid_arg "read_slot: not resident"
+  | Some e -> (
+      match e.phys with
+      | Mmu.Frame f -> Frame_table.read_local f
+      | Mmu.Global_frame l -> Frame_table.read_global t.frames ~lpage:l)
+
+let write_slot t ~pmap ~cpu ~vpage v =
+  match Mmu.lookup t.mmu ~pmap ~cpu ~vpage with
+  | None -> invalid_arg "write_slot: not resident"
+  | Some e -> (
+      if not (Prot.allows e.prot Access.Store) then
+        invalid_arg "write_slot: mapping not writable";
+      match e.phys with
+      | Mmu.Frame f -> Frame_table.write_local f v
+      | Mmu.Global_frame l -> Frame_table.write_global t.frames ~lpage:l v)
+
+let ops t : Numa_vm.Pmap_intf.ops =
+  {
+    pmap_create = (fun ~name -> pmap_create t ~name);
+    pmap_destroy = (fun id -> pmap_destroy t id);
+    enter =
+      (fun ~pmap ~cpu ~vpage ~lpage ~min_prot ~max_prot ->
+        enter t ~pmap ~cpu ~vpage ~lpage ~min_prot ~max_prot);
+    protect = (fun ~pmap ~vpage ~n prot -> protect t ~pmap ~vpage ~n prot);
+    remove = (fun ~pmap ~vpage ~n -> remove t ~pmap ~vpage ~n);
+    remove_all = (fun ~lpage -> remove_all t ~lpage);
+    zero_page = (fun ~lpage -> Numa_manager.mark_zero_fill t.manager ~lpage);
+    install_page =
+      (fun ~lpage ~content -> Numa_manager.install_content t.manager ~lpage ~content);
+    extract_content =
+      (fun ~lpage ->
+        Numa_manager.sync_if_dirty t.manager ~lpage;
+        Frame_table.read_global t.frames ~lpage);
+    free_page = (fun ~lpage -> free_page t ~lpage);
+    free_page_sync = (fun tag -> free_page_sync t tag);
+    resident = (fun ~pmap ~cpu ~vpage -> resident t ~pmap ~cpu ~vpage);
+    read_slot = (fun ~pmap ~cpu ~vpage -> read_slot t ~pmap ~cpu ~vpage);
+    write_slot = (fun ~pmap ~cpu ~vpage v -> write_slot t ~pmap ~cpu ~vpage v);
+  }
+
+let migrate_node_pages t ~src ~dst = Numa_manager.migrate_owned_pages t.manager ~src ~dst
+
+let reconsider_scan t =
+  let expired = t.policy.Policy.expired_pins () in
+  List.iter (fun lpage -> remove_all t ~lpage) expired;
+  List.length expired
+
+let placement_summary t =
+  let untouched = ref 0 and ro = ref 0 and lw = ref 0 and gw = ref 0 and homed = ref 0 in
+  for lpage = 0 to t.config.Config.global_pages - 1 do
+    match Numa_manager.state_of t.manager ~lpage with
+    | Numa_manager.Untouched -> incr untouched
+    | Numa_manager.Read_only -> incr ro
+    | Numa_manager.Local_writable _ -> incr lw
+    | Numa_manager.Global_writable -> incr gw
+    | Numa_manager.Homed _ -> incr homed
+  done;
+  [
+    ("untouched", !untouched);
+    ("read-only (replicated)", !ro);
+    ("local-writable", !lw);
+    ("global-writable", !gw);
+    ("homed", !homed);
+  ]
+
+let figure2 () =
+  String.concat "\n"
+    [
+      "ACE pmap layer (Figure 2)";
+      "";
+      "        Mach machine-independent VM";
+      "                  |";
+      "           [pmap interface]";
+      "                  |";
+      "           +--------------+      +--------------+";
+      "           | pmap manager | ---- | NUMA manager |";
+      "           +--------------+      +--------------+";
+      "                  |                     |";
+      "           [mmu interface]       +-------------+";
+      "                  |              | NUMA policy |";
+      "           +--------------+      +-------------+";
+      "           |  MMU (Rosetta)|";
+      "           +--------------+";
+      "";
+    ]

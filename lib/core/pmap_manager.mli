@@ -1,0 +1,62 @@
+(** The ACE pmap layer (Figure 2 of the paper).
+
+    Exports the machine-independent {!Numa_vm.Pmap_intf.ops} interface and
+    coordinates the three modules below it: the MMU interface
+    ({!Numa_machine.Mmu}), the {!Numa_manager} (cache consistency), and the
+    {!Policy} (LOCAL/GLOBAL placement). Placement pragmas (section 4.3) are
+    honoured here, overriding the policy for marked virtual ranges.
+
+    Mapping protections follow the paper's min/max extension: a page in
+    [Read_only] state is mapped read-only even when the region allows
+    writing (so replicated-but-unwritten pages stay replicas until a write
+    fault), while local-writable and global pages are mapped with the
+    loosest legal protection to avoid spurious refaults. *)
+
+open Numa_machine
+
+type t
+
+val create : config:Config.t -> policy:Policy.t -> t
+(** Builds a complete pmap layer with fresh machine state (frame table and
+    MMU). *)
+
+val ops : t -> Numa_vm.Pmap_intf.ops
+(** The interface handed to the machine-independent VM system. *)
+
+val set_policy : t -> Policy.t -> unit
+(** Swap the placement policy. Existing cache state is kept; the paper's
+    claim that a policy can be substituted without touching the NUMA
+    manager is exactly this call. *)
+
+val policy : t -> Policy.t
+val manager : t -> Numa_manager.t
+val stats : t -> Numa_stats.t
+val mmu : t -> Mmu.t
+val frames : t -> Frame_table.t
+val sink : t -> Cost_sink.t
+val config : t -> Config.t
+
+val set_pragma :
+  t -> pmap:int -> vpage:int -> n:int -> Numa_vm.Region_attr.pragma option -> unit
+(** Mark a virtual range cacheable / noncacheable (or clear the mark).
+    Consulted before the policy on every fault in the range. *)
+
+val pragma_at : t -> pmap:int -> vpage:int -> Numa_vm.Region_attr.pragma option
+
+val migrate_node_pages : t -> src:int -> dst:int -> int
+(** Kernel page migration for a thread that moved from [src] to [dst]:
+    see {!Numa_manager.migrate_owned_pages}. *)
+
+val reconsider_scan : t -> int
+(** Reconsideration daemon tick: ask the policy for pins whose decision has
+    expired and drop every mapping of those pages, so their next reference
+    faults and gets a fresh placement decision. Returns the number of pages
+    whose mappings were dropped. A no-op (returns 0) for policies that never
+    reconsider. *)
+
+val placement_summary : t -> (string * int) list
+(** Count of logical pages per current state — the "where did pages end
+    up" digest printed in reports. *)
+
+val figure2 : unit -> string
+(** ASCII rendering of the pmap-layer module structure (Figure 2). *)

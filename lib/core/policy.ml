@@ -1,0 +1,140 @@
+type event = Page_moved of { lpage : int } | Page_freed of { lpage : int }
+
+type t = {
+  name : string;
+  decide : lpage:int -> cpu:int -> access:Numa_machine.Access.t -> Protocol.decision;
+  note : event -> unit;
+  n_pinned : unit -> int;
+  expired_pins : unit -> int list;
+  info : unit -> (string * string) list;
+}
+
+let no_expiry () = []
+
+let move_limit ?(threshold = 4) ~n_pages () =
+  if threshold < 0 then invalid_arg "Policy.move_limit: negative threshold";
+  let moves = Array.make n_pages 0 in
+  let pinned = Hashtbl.create 64 in
+  let decide ~lpage ~cpu:_ ~access:_ =
+    if moves.(lpage) > threshold then begin
+      if not (Hashtbl.mem pinned lpage) then Hashtbl.replace pinned lpage ();
+      Protocol.Place_global
+    end
+    else Protocol.Place_local
+  in
+  let note = function
+    | Page_moved { lpage } -> moves.(lpage) <- moves.(lpage) + 1
+    | Page_freed { lpage } ->
+        moves.(lpage) <- 0;
+        Hashtbl.remove pinned lpage
+  in
+  {
+    name = "move-limit";
+    decide;
+    note;
+    n_pinned = (fun () -> Hashtbl.length pinned);
+    expired_pins = no_expiry;
+    info =
+      (fun () ->
+        [
+          ("threshold", string_of_int threshold);
+          ("pinned pages", string_of_int (Hashtbl.length pinned));
+        ]);
+  }
+
+let all_global () =
+  {
+    name = "all-global";
+    decide = (fun ~lpage:_ ~cpu:_ ~access:_ -> Protocol.Place_global);
+    note = (fun _ -> ());
+    n_pinned = (fun () -> 0);
+    expired_pins = no_expiry;
+    info = (fun () -> []);
+  }
+
+let never_pin () =
+  {
+    name = "never-pin";
+    decide = (fun ~lpage:_ ~cpu:_ ~access:_ -> Protocol.Place_local);
+    note = (fun _ -> ());
+    n_pinned = (fun () -> 0);
+    expired_pins = no_expiry;
+    info = (fun () -> []);
+  }
+
+let random ~prng ~p_global ~n_pages =
+  if p_global < 0. || p_global > 1. then invalid_arg "Policy.random: bad probability";
+  (* 0 = undecided, 1 = local, 2 = global; the flip is sticky so that the
+     page does not bounce between memories on every fault. *)
+  let assignment = Array.make n_pages 0 in
+  let pinned = ref 0 in
+  let decide ~lpage ~cpu:_ ~access:_ =
+    if assignment.(lpage) = 0 then
+      if Numa_util.Prng.float prng 1.0 < p_global then begin
+        assignment.(lpage) <- 2;
+        incr pinned
+      end
+      else assignment.(lpage) <- 1;
+    if assignment.(lpage) = 2 then Protocol.Place_global else Protocol.Place_local
+  in
+  let note = function
+    | Page_freed { lpage } ->
+        if assignment.(lpage) = 2 then decr pinned;
+        assignment.(lpage) <- 0
+    | Page_moved _ -> ()
+  in
+  {
+    name = "random";
+    decide;
+    note;
+    n_pinned = (fun () -> !pinned);
+    expired_pins = no_expiry;
+    info = (fun () -> [ ("p_global", Printf.sprintf "%.2f" p_global) ]);
+  }
+
+let reconsider ?(threshold = 4) ~window_ns ~now ~n_pages () =
+  if threshold < 0 then invalid_arg "Policy.reconsider: negative threshold";
+  if window_ns <= 0. then invalid_arg "Policy.reconsider: window must be positive";
+  let moves = Array.make n_pages 0 in
+  let pinned_at = Hashtbl.create 64 in
+  let decide ~lpage ~cpu:_ ~access:_ =
+    if moves.(lpage) > threshold then begin
+      let t = now () in
+      match Hashtbl.find_opt pinned_at lpage with
+      | None ->
+          Hashtbl.replace pinned_at lpage t;
+          Protocol.Place_global
+      | Some since when t -. since < window_ns -> Protocol.Place_global
+      | Some _ ->
+          (* The pin has aged out: give the page a fresh chance locally. *)
+          Hashtbl.remove pinned_at lpage;
+          moves.(lpage) <- 0;
+          Protocol.Place_local
+    end
+    else Protocol.Place_local
+  in
+  let note = function
+    | Page_moved { lpage } -> moves.(lpage) <- moves.(lpage) + 1
+    | Page_freed { lpage } ->
+        moves.(lpage) <- 0;
+        Hashtbl.remove pinned_at lpage
+  in
+  {
+    name = "reconsider";
+    decide;
+    note;
+    n_pinned = (fun () -> Hashtbl.length pinned_at);
+    expired_pins =
+      (fun () ->
+        let t = now () in
+        Hashtbl.fold
+          (fun lpage since acc -> if t -. since >= window_ns then lpage :: acc else acc)
+          pinned_at []);
+    info =
+      (fun () ->
+        [
+          ("threshold", string_of_int threshold);
+          ("window_ns", Printf.sprintf "%.0f" window_ns);
+          ("pinned pages", string_of_int (Hashtbl.length pinned_at));
+        ]);
+  }

@@ -1,0 +1,63 @@
+(** NUMA placement policies.
+
+    The interface mirrors the paper's policy module: a single
+    [cache_policy] function from (page, request) to LOCAL or GLOBAL
+    (section 2.3.1), plus event notifications flowing back from the NUMA
+    manager so a policy can count page moves. Policies are values, so the
+    manager can be rewired with a different policy without modification —
+    the property the paper calls out for its pmap layer design.
+
+    {!move_limit} is the paper's policy (section 2.3.2): answer LOCAL until
+    the page has moved between processors more than [threshold] times, then
+    answer GLOBAL forever ("pinning"). The default threshold is 4, the
+    paper's boot-time default. *)
+
+type event =
+  | Page_moved of { lpage : int }
+      (** the consistency protocol moved the page's contents from one local
+          memory to another (a transfer of page ownership) *)
+  | Page_freed of { lpage : int }
+      (** the logical page was freed and will be reallocated; placement
+          history must be forgotten (footnote 4: pageout resets pinning) *)
+
+type t = {
+  name : string;
+  decide : lpage:int -> cpu:int -> access:Numa_machine.Access.t -> Protocol.decision;
+      (** the paper's [cache_policy] entry point, consulted on every fault *)
+  note : event -> unit;  (** notifications from the NUMA manager *)
+  n_pinned : unit -> int;
+      (** distinct pages currently pinned in global memory by this policy
+          (always 0 for policies without a pinning notion) *)
+  expired_pins : unit -> int list;
+      (** pages whose pinning decision should be reconsidered now. Pinned
+          pages are mapped with loose protection and never fault again, so
+          a policy that wants to reconsider must be polled: the pmap layer
+          runs a periodic scan that drops the mappings of expired pins,
+          forcing a fresh fault and a fresh decision. Empty for the paper's
+          policies, which never reconsider (footnote 4). *)
+  info : unit -> (string * string) list;
+      (** human-readable parameter/state summary for reports *)
+}
+
+val move_limit : ?threshold:int -> n_pages:int -> unit -> t
+(** The paper's policy. [threshold] defaults to 4; a page is pinned once
+    its move count exceeds the threshold. *)
+
+val all_global : unit -> t
+(** Baseline for the paper's T_global measurement: every page is placed in
+    global memory. *)
+
+val never_pin : unit -> t
+(** Always answers LOCAL: pages replicate and migrate forever. Equivalent
+    to [move_limit] with an infinite threshold; writably-shared pages
+    thrash. *)
+
+val random : prng:Numa_util.Prng.t -> p_global:float -> n_pages:int -> t
+(** Straw-man: each page is permanently assigned LOCAL or GLOBAL by a coin
+    flip on first decision. Used in ablations to show that the simple
+    counting policy carries real information. *)
+
+val reconsider : ?threshold:int -> window_ns:float -> now:(unit -> float) -> n_pages:int -> unit -> t
+(** Future-work extension (section 5): like {!move_limit}, but a pinning
+    decision expires after [window_ns] of simulated time, after which the
+    page's move count is reset and it may be cached locally again. *)

@@ -1,0 +1,120 @@
+open Numa_machine
+
+type decision = Place_local | Place_global
+
+type state_view =
+  | Sv_read_only
+  | Sv_global_writable
+  | Sv_local_writable_own
+  | Sv_local_writable_other
+
+type action =
+  | Sync_and_flush_own
+  | Sync_and_flush_other
+  | Flush_all
+  | Flush_other
+  | Unmap_all
+  | Copy_to_local
+
+type new_state = Becomes_read_only | Becomes_local_writable | Becomes_global_writable
+
+type outcome = { actions : action list; new_state : new_state }
+
+(* The GLOBAL row is identical in Tables 1 and 2: clean up any cached
+   copies (syncing dirty ones) and leave the page in global memory. *)
+let global_row state =
+  match state with
+  | Sv_read_only -> { actions = [ Flush_all ]; new_state = Becomes_global_writable }
+  | Sv_global_writable -> { actions = []; new_state = Becomes_global_writable }
+  | Sv_local_writable_own ->
+      { actions = [ Sync_and_flush_own ]; new_state = Becomes_global_writable }
+  | Sv_local_writable_other ->
+      { actions = [ Sync_and_flush_other ]; new_state = Becomes_global_writable }
+
+let transition ~access ~state ~decision =
+  match (access, decision, state) with
+  | _, Place_global, _ -> global_row state
+  (* Table 1, LOCAL row: read requests. *)
+  | Access.Load, Place_local, Sv_read_only ->
+      { actions = [ Copy_to_local ]; new_state = Becomes_read_only }
+  | Access.Load, Place_local, Sv_global_writable ->
+      { actions = [ Unmap_all; Copy_to_local ]; new_state = Becomes_read_only }
+  | Access.Load, Place_local, Sv_local_writable_own ->
+      { actions = []; new_state = Becomes_local_writable }
+  | Access.Load, Place_local, Sv_local_writable_other ->
+      { actions = [ Sync_and_flush_other; Copy_to_local ]; new_state = Becomes_read_only }
+  (* Table 2, LOCAL row: write requests. *)
+  | Access.Store, Place_local, Sv_read_only ->
+      { actions = [ Flush_other; Copy_to_local ]; new_state = Becomes_local_writable }
+  | Access.Store, Place_local, Sv_global_writable ->
+      { actions = [ Unmap_all; Copy_to_local ]; new_state = Becomes_local_writable }
+  | Access.Store, Place_local, Sv_local_writable_own ->
+      { actions = []; new_state = Becomes_local_writable }
+  | Access.Store, Place_local, Sv_local_writable_other ->
+      { actions = [ Sync_and_flush_other; Copy_to_local ]; new_state = Becomes_local_writable }
+
+let all_state_views =
+  [ Sv_read_only; Sv_global_writable; Sv_local_writable_own; Sv_local_writable_other ]
+
+let all_decisions = [ Place_local; Place_global ]
+
+let decision_to_string = function
+  | Place_local -> "LOCAL"
+  | Place_global -> "GLOBAL"
+
+let state_view_to_string = function
+  | Sv_read_only -> "Read-Only"
+  | Sv_global_writable -> "Global-Writable"
+  | Sv_local_writable_own -> "Local-Writable (own node)"
+  | Sv_local_writable_other -> "Local-Writable (other node)"
+
+let action_to_string = function
+  | Sync_and_flush_own -> "sync&flush own"
+  | Sync_and_flush_other -> "sync&flush other"
+  | Flush_all -> "flush all"
+  | Flush_other -> "flush other"
+  | Unmap_all -> "unmap all"
+  | Copy_to_local -> "copy to local"
+
+let new_state_to_string = function
+  | Becomes_read_only -> "Read-Only"
+  | Becomes_local_writable -> "Local-Writable"
+  | Becomes_global_writable -> "Global-Writable"
+
+(* Render in the paper's three-line cell format: cleanup actions / copy
+   line / new state. Actions other than Copy_to_local are cleanup. *)
+let render_table access =
+  let open Numa_util in
+  let columns =
+    ("Policy Decision", Text_table.Left)
+    :: List.map (fun sv -> (state_view_to_string sv, Text_table.Left)) all_state_views
+  in
+  let table = Text_table.create ~columns in
+  let cell_lines outcome =
+    let cleanup =
+      List.filter (fun a -> a <> Copy_to_local) outcome.actions
+      |> List.map action_to_string
+    in
+    let cleanup_line = if cleanup = [] then "-" else String.concat "; " cleanup in
+    let copy_line =
+      if List.mem Copy_to_local outcome.actions then "copy to local" else "no copy"
+    in
+    (cleanup_line, copy_line, new_state_to_string outcome.new_state)
+  in
+  List.iter
+    (fun decision ->
+      let cells = List.map (fun sv -> cell_lines (transition ~access ~state:sv ~decision)) all_state_views in
+      let line1 = List.map (fun (a, _, _) -> a) cells in
+      let line2 = List.map (fun (_, b, _) -> b) cells in
+      let line3 = List.map (fun (_, _, c) -> c) cells in
+      Text_table.add_row table (decision_to_string decision :: line1);
+      Text_table.add_row table ("" :: line2);
+      Text_table.add_row table ("" :: line3);
+      Text_table.add_rule table)
+    all_decisions;
+  let title =
+    match access with
+    | Access.Load -> "Table 1: NUMA Manager Actions for Read Requests"
+    | Access.Store -> "Table 2: NUMA Manager Actions for Write Requests"
+  in
+  title ^ "\n" ^ Text_table.render table

@@ -1,0 +1,61 @@
+(** The NUMA manager's consistency protocol, as a pure function.
+
+    This module is Tables 1 and 2 of the paper, verbatim: given the kind of
+    request (read or write), the current state of the logical page as seen
+    from the requesting processor, and the policy's decision (LOCAL or
+    GLOBAL), it yields the ordered list of cleanup actions and the page's
+    new state.
+
+    Keeping the transition function pure and separate from its effectful
+    executor ({!Numa_manager}) lets the test suite check the whole table
+    exhaustively against the paper, and lets the benchmark harness print
+    the tables for visual comparison. *)
+
+type decision = Place_local | Place_global
+(** The answer of the policy module's [cache_policy] function. *)
+
+type state_view =
+  | Sv_read_only
+  | Sv_global_writable
+  | Sv_local_writable_own  (** local-writable on the requesting node *)
+  | Sv_local_writable_other  (** local-writable on some other node *)
+
+type action =
+  | Sync_and_flush_own
+      (** copy the requester's own local-writable copy back to global
+          memory, then drop its mappings and free the frame *)
+  | Sync_and_flush_other
+      (** ditto for the copy held by the (single) other owning node *)
+  | Flush_all
+      (** drop all replicas and their mappings, on every node *)
+  | Flush_other
+      (** drop replicas and mappings on every node except the requester *)
+  | Unmap_all
+      (** drop all virtual mappings (page lives in global; no copies) *)
+  | Copy_to_local
+      (** ensure the requester holds a copy in its local memory (a no-op
+          when it already does) *)
+
+type new_state = Becomes_read_only | Becomes_local_writable | Becomes_global_writable
+(** [Becomes_local_writable] means local-writable on the requesting node. *)
+
+type outcome = { actions : action list; new_state : new_state }
+
+val transition :
+  access:Numa_machine.Access.t -> state:state_view -> decision:decision -> outcome
+(** The table entry: row [decision], column [state], in Table 1 for loads
+    and Table 2 for stores. *)
+
+val all_state_views : state_view list
+val all_decisions : decision list
+
+val decision_to_string : decision -> string
+val state_view_to_string : state_view -> string
+val action_to_string : action -> string
+val new_state_to_string : new_state -> string
+
+val render_table : Numa_machine.Access.t -> string
+(** The full table in the paper's layout (Table 1 for [Load], Table 2 for
+    [Store]): one row per policy decision, one column per page state, each
+    cell listing cleanup actions, whether the page is copied to local
+    memory, and the new state. *)

@@ -1,0 +1,161 @@
+module Region_attr = Numa_vm.Region_attr
+module System = Numa_system.System
+
+type obj_spec = {
+  o_name : string;
+  o_words : int;
+  o_sharing : Region_attr.sharing;
+  o_owner : int option;
+}
+
+let obj ?owner ~name ~words ~sharing () =
+  if words <= 0 then invalid_arg "Layout.obj: words must be positive";
+  { o_name = name; o_words = words; o_sharing = sharing; o_owner = owner }
+
+type placement = { p_obj : obj_spec; p_region : string; p_offset_words : int }
+
+type planned_region = {
+  r_name : string;
+  r_sharing : Region_attr.sharing;
+  r_words : int;
+}
+
+type plan = { regions : planned_region list; placements : placement list }
+
+let naive objects =
+  let offset = ref 0 in
+  let placements =
+    List.map
+      (fun o ->
+        let p = { p_obj = o; p_region = "data"; p_offset_words = !offset } in
+        offset := !offset + o.o_words;
+        p)
+      objects
+  in
+  {
+    regions =
+      [
+        {
+          r_name = "data";
+          r_sharing = Region_attr.Declared_write_shared;
+          r_words = max 1 !offset;
+        };
+      ];
+    placements;
+  }
+
+let round_up_to words page_words = (words + page_words - 1) / page_words * page_words
+
+(* Group key: private objects split per owner; everything else by class. *)
+type group_key = G_private of int option | G_read_shared | G_write_shared
+
+let group_of o =
+  match o.o_sharing with
+  | Region_attr.Declared_private -> G_private o.o_owner
+  | Region_attr.Declared_read_shared -> G_read_shared
+  | Region_attr.Declared_write_shared -> G_write_shared
+
+let group_name = function
+  | G_private (Some t) -> Printf.sprintf "private.%d" t
+  | G_private None -> "private"
+  | G_read_shared -> "read-shared"
+  | G_write_shared -> "write-shared"
+
+let group_sharing = function
+  | G_private _ -> Region_attr.Declared_private
+  | G_read_shared -> Region_attr.Declared_read_shared
+  | G_write_shared -> Region_attr.Declared_write_shared
+
+let segregated ~page_words ?(pad_write_shared = true) objects =
+  if page_words <= 0 then invalid_arg "Layout.segregated: page size must be positive";
+  (* Stable grouping in first-appearance order. *)
+  let order = ref [] in
+  let members = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      let g = group_of o in
+      if not (Hashtbl.mem members g) then begin
+        order := g :: !order;
+        Hashtbl.replace members g []
+      end;
+      Hashtbl.replace members g (o :: Hashtbl.find members g))
+    objects;
+  let groups = List.rev !order in
+  let regions = ref [] and placements = ref [] in
+  List.iter
+    (fun g ->
+      let objs = List.rev (Hashtbl.find members g) in
+      let name = group_name g in
+      let offset = ref 0 in
+      List.iter
+        (fun o ->
+          (* Writably-shared objects get page-aligned starts so they do not
+             interfere with each other either. *)
+          if pad_write_shared && g = G_write_shared then
+            offset := round_up_to !offset page_words;
+          placements := { p_obj = o; p_region = name; p_offset_words = !offset } :: !placements;
+          offset := !offset + o.o_words)
+        objs;
+      regions :=
+        {
+          r_name = name;
+          r_sharing = group_sharing g;
+          r_words = max 1 (round_up_to !offset page_words);
+        }
+        :: !regions)
+    groups;
+  { regions = List.rev !regions; placements = List.rev !placements }
+
+type located = {
+  l_base_word : int;
+  l_words : int;
+  l_arr_base_vpage : int;
+  l_words_per_page : int;
+}
+
+let materialise sys plan =
+  let config = System.config sys in
+  let words_per_page = config.Numa_machine.Config.page_size_words in
+  let bases = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let pages = (r.r_words + words_per_page - 1) / words_per_page in
+      let region =
+        System.alloc_region sys ~name:("layout." ^ r.r_name) ~kind:Region_attr.Data
+          ~sharing:r.r_sharing ~pages ()
+      in
+      Hashtbl.replace bases r.r_name region.System.base_vpage)
+    plan.regions;
+  let located = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt bases p.p_region with
+      | None -> invalid_arg "Layout.materialise: placement in unknown region"
+      | Some base ->
+          Hashtbl.replace located p.p_obj.o_name
+            {
+              l_base_word = p.p_offset_words;
+              l_words = p.p_obj.o_words;
+              l_arr_base_vpage = base;
+              l_words_per_page = words_per_page;
+            })
+    plan.placements;
+  located
+
+let vpage_of_word l i =
+  if i < 0 || i >= l.l_words then invalid_arg "Layout.vpage_of_word: out of range";
+  l.l_arr_base_vpage + ((l.l_base_word + i) / l.l_words_per_page)
+
+let describe plan =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "region %-16s %6d words\n" r.r_name r.r_words;
+      List.iter
+        (fun p ->
+          if p.p_region = r.r_name then
+            Printf.bprintf buf "  +%-6d %-24s (%d words)\n" p.p_offset_words
+              p.p_obj.o_name p.p_obj.o_words)
+        plan.placements)
+    plan.regions;
+  Buffer.contents buf

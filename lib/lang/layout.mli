@@ -1,0 +1,72 @@
+(** The language-processor layout tool the paper calls for.
+
+    Section 4.2: "Not all false sharing is explicit in application source
+    code ... Loaders arrange data segments without regard to what objects
+    are near to and far from each other", and section 5 asks what language
+    processors can do to automate the reduction of false sharing. This
+    module is that tool for our simulated programs: given the program's
+    objects with their declared sharing, it produces a page-level data
+    layout.
+
+    Two strategies are provided:
+
+    - {!naive} mimics a 1989 loader: every object packed into one data
+      segment in declaration order, no padding. Objects with different
+      sharing classes share pages, so a single writably-shared object can
+      drag its page-mates into global memory.
+    - {!segregated} is the automated version of the paper's manual fix:
+      objects are grouped by sharing class (private objects further
+      grouped per owning thread), each group starts on a fresh page, and
+      writably-shared objects are additionally padded apart so they do not
+      interfere with each other. *)
+
+type obj_spec = {
+  o_name : string;
+  o_words : int;
+  o_sharing : Numa_vm.Region_attr.sharing;
+  o_owner : int option;
+      (** owning thread for private objects, when known; used to give each
+          thread its own private pages *)
+}
+
+val obj :
+  ?owner:int -> name:string -> words:int -> sharing:Numa_vm.Region_attr.sharing -> unit ->
+  obj_spec
+
+type placement = {
+  p_obj : obj_spec;
+  p_region : string;  (** name of the region the object landed in *)
+  p_offset_words : int;  (** word offset within that region *)
+}
+
+type planned_region = {
+  r_name : string;
+  r_sharing : Numa_vm.Region_attr.sharing;  (** declared sharing of the region *)
+  r_words : int;  (** size including padding *)
+}
+
+type plan = { regions : planned_region list; placements : placement list }
+
+val naive : obj_spec list -> plan
+(** One region ("data"), declaration order, declared write-shared (the
+    loader knows nothing). *)
+
+val segregated : page_words:int -> ?pad_write_shared:bool -> obj_spec list -> plan
+(** Group by class and owner; every group page-aligned. With
+    [pad_write_shared] (default true) each writably-shared object also
+    starts on its own page. Raises [Invalid_argument] on a non-positive
+    page size. *)
+
+type located = { l_base_word : int; l_words : int; l_arr_base_vpage : int; l_words_per_page : int }
+
+val materialise :
+  Numa_system.System.t -> plan -> (string, located) Hashtbl.t
+(** Allocate the plan's regions in the system's task and return, for each
+    object, where it lives: the object's first word's page is
+    [l_arr_base_vpage + l_base_word / l_words_per_page]. *)
+
+val vpage_of_word : located -> int -> int
+(** Virtual page holding the object's [i]-th word. *)
+
+val describe : plan -> string
+(** Human-readable layout listing: region sizes and object placements. *)

@@ -1,0 +1,31 @@
+type t = {
+  words_per_ns : float;
+  mutable backlog_clears_at : float;  (** virtual time when queued traffic drains *)
+  mutable total_words : int;
+  mutable total_delay_ns : float;
+}
+
+let create (config : Config.t) =
+  {
+    words_per_ns = config.bus_words_per_ns;
+    backlog_clears_at = 0.;
+    total_words = 0;
+    total_delay_ns = 0.;
+  }
+
+let enabled t = t.words_per_ns > 0.
+
+let delay_ns t ~now ~words =
+  if not (enabled t) || words <= 0 then 0.
+  else begin
+    t.total_words <- t.total_words + words;
+    let service_ns = float_of_int words /. t.words_per_ns in
+    let start = Float.max now t.backlog_clears_at in
+    let delay = start -. now in
+    t.backlog_clears_at <- start +. service_ns;
+    t.total_delay_ns <- t.total_delay_ns +. delay;
+    delay
+  end
+
+let total_words t = t.total_words
+let total_delay_ns t = t.total_delay_ns

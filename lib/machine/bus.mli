@@ -1,0 +1,31 @@
+(** The Inter-Processor Communication bus.
+
+    Every reference to global memory (and every word of a page copy that
+    crosses the bus) consumes IPC-bus bandwidth. The paper's measurement
+    method explicitly assumes runs "relatively free of lock, bus or memory
+    contention"; this model lets the bus-contention ablation check where
+    that assumption breaks.
+
+    The model is a deterministic fluid queue: traffic drains at the
+    configured bandwidth; arrivals beyond the drain rate accumulate a
+    backlog, and each batch of references is delayed by the backlog in
+    front of it. With [bus_words_per_ns = 0] the bus is infinite and
+    {!delay_ns} always returns 0. *)
+
+type t
+
+val create : Config.t -> t
+
+val enabled : t -> bool
+
+val delay_ns : t -> now:float -> words:int -> float
+(** Register [words] of global-memory traffic starting at virtual time
+    [now] and return the queueing delay those words suffer. [now] must be
+    non-decreasing across calls up to the engine's event ordering; small
+    reorderings are tolerated (the backlog simply drains less). *)
+
+val total_words : t -> int
+(** Total traffic ever offered. *)
+
+val total_delay_ns : t -> float
+(** Total queueing delay ever charged. *)

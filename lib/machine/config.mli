@@ -1,0 +1,56 @@
+(** Machine configuration: geometry and reference timing.
+
+    The defaults are the IBM ACE prototype the paper measured: up to eight
+    ROMP processor modules with 8 MB of local memory each, one or more
+    16 MB global memory boards on the 80 MB/s IPC bus, and the measured
+    32-bit reference times of section 2.2 (local fetch 0.65 us, local store
+    0.84 us, global fetch 1.5 us, global store 1.4 us). *)
+
+type t = {
+  n_cpus : int;  (** processor modules; the ACE backplane allows 1-8 *)
+  page_size_words : int;  (** 32-bit words per page (ROMP pages are 2 KB) *)
+  local_pages_per_cpu : int;  (** capacity of each local-memory cache *)
+  global_pages : int;  (** global memory = the Mach logical page pool *)
+  local_fetch_ns : float;
+  local_store_ns : float;
+  global_fetch_ns : float;
+  global_store_ns : float;
+  remote_fetch_ns : float;  (** another node's local memory; unused by default policies *)
+  remote_store_ns : float;
+  bus_words_per_ns : float;
+      (** IPC-bus bandwidth in 32-bit words per nanosecond; 0 disables
+          contention modelling (infinite bus). The real bus moves 80 MB/s
+          = 0.02 words/ns *)
+  fault_trap_ns : float;  (** fixed cost of taking and dispatching a page fault *)
+  pmap_action_ns : float;  (** bookkeeping per NUMA-manager protocol action *)
+  tlb_shootdown_ns : float;  (** dropping one mapping on one processor *)
+}
+
+val ace : ?n_cpus:int -> ?local_pages_per_cpu:int -> ?global_pages:int -> unit -> t
+(** The "typical" ACE of the paper: [n_cpus] defaults to 7 (the
+    configuration of Table 4), 2 KB pages, 8 MB local memory per CPU and
+    16 MB of global memory, with the measured reference times. *)
+
+val butterfly_like : ?n_cpus:int -> unit -> t
+(** A machine without physically global memory, in the style of the BBN
+    Butterfly / IBM RP3 the paper discusses in section 4.4: all memory
+    belongs to some processor, and "global" placement actually means a
+    page in somebody's (slower to everyone else) local memory. Modelled by
+    pricing the global level at the remote timings — section 4.4's
+    expectation that "remote memory is likely to be significantly slower
+    than global memory on most machines". The placement machinery is
+    unchanged; the paper argues such machines would lean on pragmas. *)
+
+val validate : t -> (t, string) result
+(** Checks that geometry and timings are positive and mutually consistent. *)
+
+val global_to_local_fetch_ratio : t -> float
+(** G/L for pure fetch streams: 2.3 on the ACE. *)
+
+val global_to_local_ratio : t -> store_fraction:float -> float
+(** G/L for a mixed reference stream; the paper quotes "about 2" at 45%
+    stores. *)
+
+val page_size_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

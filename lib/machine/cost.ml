@@ -1,0 +1,26 @@
+let reference_ns (c : Config.t) ~access ~where =
+  match (where, access) with
+  | Location.Local_here, Access.Load -> c.local_fetch_ns
+  | Location.Local_here, Access.Store -> c.local_store_ns
+  | Location.In_global, Access.Load -> c.global_fetch_ns
+  | Location.In_global, Access.Store -> c.global_store_ns
+  | Location.Remote_local, Access.Load -> c.remote_fetch_ns
+  | Location.Remote_local, Access.Store -> c.remote_store_ns
+
+let references_ns c ~access ~where ~count =
+  if count < 0 then invalid_arg "Cost.references_ns: negative count";
+  float_of_int count *. reference_ns c ~access ~where
+
+let page_copy_ns (c : Config.t) ~src ~dst =
+  let per_word =
+    reference_ns c ~access:Access.Load ~where:src
+    +. reference_ns c ~access:Access.Store ~where:dst
+  in
+  float_of_int c.page_size_words *. per_word
+
+let page_zero_ns (c : Config.t) ~dst =
+  float_of_int c.page_size_words *. reference_ns c ~access:Access.Store ~where:dst
+
+let fault_trap_ns (c : Config.t) = c.fault_trap_ns
+let pmap_action_ns (c : Config.t) = c.pmap_action_ns
+let tlb_shootdown_ns (c : Config.t) = c.tlb_shootdown_ns

@@ -1,0 +1,26 @@
+(** The ACE cost model.
+
+    Everything the simulator charges for — individual references, page
+    copies, zero-fills, TLB operations, fault traps — is priced here from
+    the machine {!Config.t}, so experiments can sweep timing parameters
+    (e.g. the G/L ratio ablation) without touching any other module. *)
+
+val reference_ns : Config.t -> access:Access.t -> where:Location.relative -> float
+(** Cost of one 32-bit reference of the given kind to memory at the given
+    relative location. *)
+
+val references_ns :
+  Config.t -> access:Access.t -> where:Location.relative -> count:int -> float
+(** [count] back-to-back references. *)
+
+val page_copy_ns : Config.t -> src:Location.relative -> dst:Location.relative -> float
+(** Copying one page word-by-word: each word is a fetch from [src] plus a
+    store to [dst], as the kernel's copy loop would issue. The [src]/[dst]
+    classification is relative to the CPU performing the copy. *)
+
+val page_zero_ns : Config.t -> dst:Location.relative -> float
+(** Zero-filling one page: a store per word at the destination. *)
+
+val fault_trap_ns : Config.t -> float
+val pmap_action_ns : Config.t -> float
+val tlb_shootdown_ns : Config.t -> float

@@ -1,0 +1,21 @@
+type t = { pending : float array; cumulative : float array }
+
+let create ~n_cpus =
+  if n_cpus <= 0 then invalid_arg "Cost_sink.create: n_cpus must be positive";
+  { pending = Array.make n_cpus 0.; cumulative = Array.make n_cpus 0. }
+
+let charge t ~cpu ns =
+  if ns < 0. then invalid_arg "Cost_sink.charge: negative charge";
+  t.pending.(cpu) <- t.pending.(cpu) +. ns;
+  t.cumulative.(cpu) <- t.cumulative.(cpu) +. ns
+
+let drain t ~cpu =
+  let v = t.pending.(cpu) in
+  t.pending.(cpu) <- 0.;
+  v
+
+let pending t ~cpu = t.pending.(cpu)
+
+let total_charged t ~cpu = t.cumulative.(cpu)
+
+let grand_total t = Array.fold_left ( +. ) 0. t.cumulative

@@ -1,0 +1,26 @@
+(** Per-CPU accumulator for kernel (system) time.
+
+    The VM and NUMA layers charge protocol work here as they perform it;
+    the simulation engine drains the accumulator after each operation and
+    advances the faulting CPU's clock by the drained amount. Keeping the
+    sink separate from the engine lets the lower layers stay ignorant of
+    scheduling. *)
+
+type t
+
+val create : n_cpus:int -> t
+
+val charge : t -> cpu:int -> float -> unit
+(** Add [ns] of system time against a CPU. Negative charges are rejected. *)
+
+val drain : t -> cpu:int -> float
+(** Return and reset the pending system time of a CPU. *)
+
+val pending : t -> cpu:int -> float
+(** Peek without resetting. *)
+
+val total_charged : t -> cpu:int -> float
+(** Cumulative system time ever charged to a CPU (not reset by [drain]). *)
+
+val grand_total : t -> float
+(** Cumulative system time across all CPUs. *)

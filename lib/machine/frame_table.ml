@@ -1,0 +1,57 @@
+type local_frame = { node : int; id : int; mutable cell : int }
+
+type node_pool = {
+  capacity : int;
+  mutable free : local_frame list;
+  mutable in_use : int;
+  free_set : (int, unit) Hashtbl.t;  (** ids currently free, to detect double frees *)
+}
+
+type t = { globals : int array; pools : node_pool array }
+
+let create (config : Config.t) =
+  let make_pool node =
+    let frames =
+      List.init config.local_pages_per_cpu (fun id -> { node; id; cell = 0 })
+    in
+    let free_set = Hashtbl.create 64 in
+    List.iter (fun f -> Hashtbl.replace free_set f.id ()) frames;
+    { capacity = config.local_pages_per_cpu; free = frames; in_use = 0; free_set }
+  in
+  {
+    globals = Array.make config.global_pages 0;
+    pools = Array.init config.n_cpus make_pool;
+  }
+
+let read_global t ~lpage = t.globals.(lpage)
+let write_global t ~lpage v = t.globals.(lpage) <- v
+
+let alloc_local t ~node =
+  let pool = t.pools.(node) in
+  match pool.free with
+  | [] -> None
+  | frame :: rest ->
+      pool.free <- rest;
+      pool.in_use <- pool.in_use + 1;
+      Hashtbl.remove pool.free_set frame.id;
+      frame.cell <- 0;
+      Some frame
+
+let free_local t frame =
+  let pool = t.pools.(frame.node) in
+  if Hashtbl.mem pool.free_set frame.id then
+    invalid_arg "Frame_table.free_local: double free";
+  Hashtbl.replace pool.free_set frame.id ();
+  pool.free <- frame :: pool.free;
+  pool.in_use <- pool.in_use - 1
+
+let local_in_use t ~node = t.pools.(node).in_use
+let local_capacity t ~node = t.pools.(node).capacity
+
+let read_local (f : local_frame) = f.cell
+let write_local (f : local_frame) v = f.cell <- v
+
+let copy_global_to_local t ~lpage frame = frame.cell <- t.globals.(lpage)
+let copy_local_to_global t frame ~lpage = t.globals.(lpage) <- frame.cell
+let zero_local frame = frame.cell <- 0
+let zero_global t ~lpage = t.globals.(lpage) <- 0

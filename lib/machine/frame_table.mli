@@ -1,0 +1,52 @@
+(** Physical page frames.
+
+    Following the paper's two-level model, global memory is identical in
+    size to the Mach logical page pool: logical page [l] *is* global frame
+    [l] (section 2.3.1). Local memories are caches: local frames are
+    allocated on demand from a fixed per-node pool when the NUMA manager
+    replicates or migrates a page, and freed when copies are flushed.
+
+    Each frame carries a single integer cell standing in for the page's
+    contents. The protocol's copy/sync operations move the cell, which lets
+    the test suite check coherence (a read must observe the value of the
+    most recent write) without simulating full page data. *)
+
+type local_frame = private {
+  node : int;  (** owning local memory *)
+  id : int;  (** unique among this node's frames *)
+  mutable cell : int;
+}
+
+type t
+
+val create : Config.t -> t
+
+(** {1 Global frames} *)
+
+val read_global : t -> lpage:int -> int
+val write_global : t -> lpage:int -> int -> unit
+
+(** {1 Local frames} *)
+
+val alloc_local : t -> node:int -> local_frame option
+(** Take a frame from a node's pool; [None] when the local memory is full
+    (the caller then falls back to a GLOBAL placement). *)
+
+val free_local : t -> local_frame -> unit
+(** Return a frame to its pool. Raises [Invalid_argument] on double free. *)
+
+val local_in_use : t -> node:int -> int
+val local_capacity : t -> node:int -> int
+
+val read_local : local_frame -> int
+val write_local : local_frame -> int -> unit
+
+(** {1 Page transfers}
+
+    These move cell contents the way the kernel's copy loops move words;
+    they do no cost accounting (the caller charges {!Cost}). *)
+
+val copy_global_to_local : t -> lpage:int -> local_frame -> unit
+val copy_local_to_global : t -> local_frame -> lpage:int -> unit
+val zero_local : local_frame -> unit
+val zero_global : t -> lpage:int -> unit

@@ -1,0 +1,21 @@
+type node = int
+
+type t = Local of node | Global
+
+type relative = Local_here | Remote_local | In_global
+
+let where_from ~cpu = function
+  | Global -> In_global
+  | Local n -> if n = cpu then Local_here else Remote_local
+
+let equal a b =
+  match (a, b) with
+  | Global, Global -> true
+  | Local a, Local b -> a = b
+  | Global, Local _ | Local _, Global -> false
+
+let to_string = function
+  | Global -> "global"
+  | Local n -> Printf.sprintf "local(%d)" n
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,27 @@
+(** Physical memory locations on the ACE.
+
+    The machine has one local memory per processor module and a pool of
+    global memory boards on the IPC bus. A physical page therefore lives
+    either in the local memory of a specific node or in global memory.
+
+    [where_from] classifies a location relative to the CPU making a
+    reference; the cost model prices each class separately. Remote
+    references (one processor reaching into another's local memory) are
+    supported by the hardware but deliberately unused by the paper's
+    policies (section 4.4); the classification keeps the hook. *)
+
+type node = int
+(** Node index; on the ACE every processor module carries its own local
+    memory, so nodes and CPUs are the same index space. *)
+
+type t = Local of node | Global
+
+type relative = Local_here | Remote_local | In_global
+(** A location as seen from a referencing CPU. *)
+
+val where_from : cpu:int -> t -> relative
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,91 @@
+type phys = Frame of Frame_table.local_frame | Global_frame of int
+
+type entry = {
+  pmap : int;
+  cpu : int;
+  vpage : int;
+  lpage : int;
+  mutable prot : Prot.t;
+  mutable phys : phys;
+}
+
+type key = { k_pmap : int; k_cpu : int; k_vpage : int }
+
+type t = {
+  n_cpus : int;
+  forward : (key, entry) Hashtbl.t;
+  reverse : (int, (key, entry) Hashtbl.t) Hashtbl.t;  (** lpage -> its mappings *)
+}
+
+let create (config : Config.t) =
+  { n_cpus = config.n_cpus; forward = Hashtbl.create 1024; reverse = Hashtbl.create 256 }
+
+let key_of_entry e = { k_pmap = e.pmap; k_cpu = e.cpu; k_vpage = e.vpage }
+
+let reverse_bucket t lpage =
+  match Hashtbl.find_opt t.reverse lpage with
+  | Some b -> b
+  | None ->
+      let b = Hashtbl.create 8 in
+      Hashtbl.replace t.reverse lpage b;
+      b
+
+let unlink_reverse t e =
+  match Hashtbl.find_opt t.reverse e.lpage with
+  | None -> ()
+  | Some b ->
+      Hashtbl.remove b (key_of_entry e);
+      if Hashtbl.length b = 0 then Hashtbl.remove t.reverse e.lpage
+
+let remove_entry t e =
+  Hashtbl.remove t.forward (key_of_entry e);
+  unlink_reverse t e
+
+let enter t ~pmap ~cpu ~vpage ~lpage ~prot ~phys =
+  if cpu < 0 || cpu >= t.n_cpus then invalid_arg "Mmu.enter: bad cpu";
+  let key = { k_pmap = pmap; k_cpu = cpu; k_vpage = vpage } in
+  (match Hashtbl.find_opt t.forward key with
+  | Some old -> remove_entry t old
+  | None -> ());
+  let e = { pmap; cpu; vpage; lpage; prot; phys } in
+  Hashtbl.replace t.forward key e;
+  Hashtbl.replace (reverse_bucket t lpage) key e
+
+let lookup t ~pmap ~cpu ~vpage =
+  Hashtbl.find_opt t.forward { k_pmap = pmap; k_cpu = cpu; k_vpage = vpage }
+
+let set_prot _t e prot = e.prot <- prot
+let set_phys _t e phys = e.phys <- phys
+
+let remove t ~pmap ~cpu ~vpage =
+  match lookup t ~pmap ~cpu ~vpage with
+  | None -> ()
+  | Some e -> remove_entry t e
+
+let entries_of_lpage t ~lpage =
+  match Hashtbl.find_opt t.reverse lpage with
+  | None -> []
+  | Some b -> Hashtbl.fold (fun _ e acc -> e :: acc) b []
+
+let entries_of_pmap t ~pmap =
+  Hashtbl.fold (fun _ e acc -> if e.pmap = pmap then e :: acc else acc) t.forward []
+
+let iter_range t ~pmap ~vpage ~n f =
+  for v = vpage to vpage + n - 1 do
+    for cpu = 0 to t.n_cpus - 1 do
+      match lookup t ~pmap ~cpu ~vpage:v with
+      | Some e -> f e
+      | None -> ()
+    done
+  done
+
+let remove_range t ~pmap ~vpage ~n =
+  let doomed = ref [] in
+  iter_range t ~pmap ~vpage ~n (fun e -> doomed := e :: !doomed);
+  List.iter (remove_entry t) !doomed
+
+let n_mappings t = Hashtbl.length t.forward
+
+let phys_location ~cpu = function
+  | Global_frame _ -> Location.In_global
+  | Frame f -> if f.Frame_table.node = cpu then Location.Local_here else Location.Remote_local

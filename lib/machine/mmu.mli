@@ -1,0 +1,57 @@
+(** Per-processor address-translation state (the Rosetta model).
+
+    A mapping binds (pmap, cpu, virtual page) to a physical page — either a
+    local frame on the referencing CPU's node or a global frame — with a
+    protection. Mappings are per-CPU, as on the ACE, because the NUMA
+    manager must know which processors can reach which pages; the paper
+    added a target-processor argument to [pmap_enter] for exactly this
+    reason.
+
+    A reverse index from logical page to the mappings that reach it backs
+    [pmap_remove_all]-style protocol actions. *)
+
+type phys = Frame of Frame_table.local_frame | Global_frame of int
+
+type entry = private {
+  pmap : int;
+  cpu : int;
+  vpage : int;
+  lpage : int;
+  mutable prot : Prot.t;
+  mutable phys : phys;
+}
+
+type t
+
+val create : Config.t -> t
+
+val enter :
+  t -> pmap:int -> cpu:int -> vpage:int -> lpage:int -> prot:Prot.t -> phys:phys -> unit
+(** Install or replace a mapping. *)
+
+val lookup : t -> pmap:int -> cpu:int -> vpage:int -> entry option
+
+val set_prot : t -> entry -> Prot.t -> unit
+val set_phys : t -> entry -> phys -> unit
+
+val remove : t -> pmap:int -> cpu:int -> vpage:int -> unit
+(** Drop one mapping if present. *)
+
+val remove_entry : t -> entry -> unit
+
+val entries_of_lpage : t -> lpage:int -> entry list
+(** Every mapping, on any processor and in any pmap, that reaches the
+    logical page. *)
+
+val entries_of_pmap : t -> pmap:int -> entry list
+(** Every mapping of one pmap. Linear in the total number of mappings;
+    used only on the rare pmap-destroy path. *)
+
+val remove_range : t -> pmap:int -> vpage:int -> n:int -> unit
+(** Drop all mappings (on every CPU) for a virtual range of one pmap. *)
+
+val iter_range : t -> pmap:int -> vpage:int -> n:int -> (entry -> unit) -> unit
+
+val n_mappings : t -> int
+val phys_location : cpu:int -> phys -> Location.relative
+(** Where the mapped physical page sits relative to a referencing CPU. *)

@@ -1,0 +1,24 @@
+type t = No_access | Read_only | Read_write
+
+let rank = function No_access -> 0 | Read_only -> 1 | Read_write -> 2
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let allows t access =
+  match (t, access) with
+  | No_access, (Access.Load | Access.Store) -> false
+  | Read_only, Access.Load -> true
+  | Read_only, Access.Store -> false
+  | Read_write, (Access.Load | Access.Store) -> true
+
+let of_access = function Access.Load -> Read_only | Access.Store -> Read_write
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string = function
+  | No_access -> "none"
+  | Read_only -> "read-only"
+  | Read_write -> "read-write"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

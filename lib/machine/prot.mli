@@ -1,0 +1,26 @@
+(** Page protection as seen by the MMU.
+
+    Ordered by permissiveness: [No_access < Read_only < Read_write].
+    The Mach pmap interface (as extended by the paper) passes protections
+    in min/max pairs: the minimum is what is needed to resolve the fault,
+    the maximum is what the user is legally allowed. *)
+
+type t = No_access | Read_only | Read_write
+
+val compare : t -> t -> int
+(** Orders by permissiveness. *)
+
+val allows : t -> Access.t -> bool
+(** Does a mapping with this protection satisfy the given reference? *)
+
+val of_access : Access.t -> t
+(** Minimum protection required to perform the reference. *)
+
+val min : t -> t -> t
+(** Stricter of the two. *)
+
+val max : t -> t -> t
+(** Looser of the two. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,35 @@
+let render (c : Config.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let mb_local = c.local_pages_per_cpu * Config.page_size_bytes c / (1024 * 1024) in
+  let mb_global = c.global_pages * Config.page_size_bytes c / (1024 * 1024) in
+  add "ACE memory architecture (Figure 1)";
+  add "";
+  let module_box i =
+    Printf.sprintf "[cpu%-2d mmu local:%dMB]" i mb_local
+  in
+  let shown = min c.n_cpus 4 in
+  let boxes = List.init shown module_box in
+  let ellipsis = if c.n_cpus > shown then " ..." else "" in
+  add "  %s%s   (%d processor modules)" (String.concat " " boxes) ellipsis c.n_cpus;
+  let width =
+    String.length (String.concat " " boxes) + String.length ellipsis + 2
+  in
+  add "  %s" (String.make (max width 24) '=');
+  add "   Inter-Processor Communication (IPC) bus, 32-bit, 80 MB/s";
+  add "  %s" (String.make (max width 24) '=');
+  add "  [global memory: %d MB = %d pages of %d B]" mb_global c.global_pages
+    (Config.page_size_bytes c);
+  add "";
+  add "  32-bit reference times:";
+  add "    local : fetch %.2f us, store %.2f us" (c.local_fetch_ns /. 1000.)
+    (c.local_store_ns /. 1000.);
+  add "    global: fetch %.2f us, store %.2f us   (G/L fetch = %.1f, mixed ~ %.1f)"
+    (c.global_fetch_ns /. 1000.) (c.global_store_ns /. 1000.)
+    (Config.global_to_local_fetch_ratio c)
+    (Config.global_to_local_ratio c ~store_fraction:0.45);
+  Buffer.contents buf
+
+let summary (c : Config.t) =
+  Printf.sprintf "ACE: %d CPUs, %d B pages, %d local pages/CPU, %d global pages"
+    c.n_cpus (Config.page_size_bytes c) c.local_pages_per_cpu c.global_pages

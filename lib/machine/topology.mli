@@ -1,0 +1,12 @@
+(** Textual rendering of the machine architecture (Figure 1 of the paper).
+
+    The figure itself is a diagram; we regenerate it as an ASCII topology
+    derived from the live {!Config.t}, so any reconfiguration of the
+    simulated machine is reflected in the reproduced figure. *)
+
+val render : Config.t -> string
+(** Multi-line drawing: processor modules with MMU and local memory on the
+    IPC bus, global memory boards, and the measured reference times. *)
+
+val summary : Config.t -> string
+(** One-line description, e.g. for log headers. *)

@@ -1,0 +1,621 @@
+open Numa_util
+module System = Numa_system.System
+module Report = Numa_system.Report
+module App_sig = Numa_apps.App_sig
+
+(* --- threshold sweep ---------------------------------------------------- *)
+
+type threshold_row = {
+  ts_app : string;
+  ts_threshold : int option;
+  ts_t_numa : float;
+  ts_t_system : float;
+  ts_gamma : float;
+  ts_moves : int;
+  ts_pins : int;
+}
+
+let default_thresholds = [ Some 0; Some 1; Some 2; Some 4; Some 8; Some 16; None ]
+
+let threshold_sweep ?apps ?(thresholds = default_thresholds)
+    ?(spec = Runner.default_spec) () =
+  let apps =
+    match apps with
+    | Some l -> l
+    | None -> [ Option.get (Numa_apps.Registry.find "primes3") ]
+  in
+  List.concat_map
+    (fun (app : App_sig.t) ->
+      (* T_local once per app, to derive gamma per threshold. *)
+      let local_spec = { spec with Runner.n_cpus = 1; nthreads = 1 } in
+      let r_local = Runner.run app local_spec in
+      let t_local = Report.total_user_s r_local in
+      List.map
+        (fun threshold ->
+          let policy =
+            match threshold with
+            | Some t -> System.Move_limit { threshold = t }
+            | None -> System.Never_pin
+          in
+          let r = Runner.run app { spec with Runner.policy } in
+          let t_numa = Report.total_user_s r in
+          {
+            ts_app = app.App_sig.name;
+            ts_threshold = threshold;
+            ts_t_numa = t_numa;
+            ts_t_system = Report.total_system_s r;
+            ts_gamma = t_numa /. t_local;
+            ts_moves = r.Report.numa_moves;
+            ts_pins = r.Report.pins;
+          })
+        thresholds)
+    apps
+
+let render_threshold_sweep rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Application", Text_table.Left);
+          ("threshold", Text_table.Right);
+          ("Tnuma", Text_table.Right);
+          ("Tsystem", Text_table.Right);
+          ("gamma", Text_table.Right);
+          ("moves", Text_table.Right);
+          ("pins", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.ts_app;
+          (match r.ts_threshold with Some t -> string_of_int t | None -> "inf");
+          Text_table.cell_f1 r.ts_t_numa;
+          Text_table.cell_f1 r.ts_t_system;
+          Text_table.cell_f2 r.ts_gamma;
+          string_of_int r.ts_moves;
+          string_of_int r.ts_pins;
+        ])
+    rows;
+  "Ablation A1: move-threshold sweep (section 2.3.2 policy parameter)\n"
+  ^ Text_table.render table
+
+(* --- scheduler study ----------------------------------------------------- *)
+
+type scheduler_row = {
+  sc_app : string;
+  sc_affinity_user : float;
+  sc_single_queue_user : float;
+  sc_slowdown : float;
+}
+
+let scheduler_study ?apps ?(spec = Runner.default_spec) () =
+  let apps =
+    match apps with
+    | Some l -> l
+    | None ->
+        List.filter_map Numa_apps.Registry.find [ "imatmult"; "fft"; "plytrace" ]
+  in
+  List.map
+    (fun (app : App_sig.t) ->
+      let affinity =
+        Runner.run app { spec with Runner.scheduler = Numa_sim.Engine.Affinity }
+      in
+      (* Original Mach: a single run queue; oversubscribe so migration
+         actually happens. *)
+      let single =
+        Runner.run app
+          {
+            spec with
+            Runner.scheduler = Numa_sim.Engine.Single_queue;
+            nthreads = spec.Runner.nthreads;
+          }
+      in
+      let a = Report.total_user_s affinity and s = Report.total_user_s single in
+      {
+        sc_app = app.App_sig.name;
+        sc_affinity_user = a;
+        sc_single_queue_user = s;
+        sc_slowdown = (if a > 0. then s /. a else 0.);
+      })
+    apps
+
+let render_scheduler_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Application", Text_table.Left);
+          ("affinity (s)", Text_table.Right);
+          ("single-queue (s)", Text_table.Right);
+          ("slowdown", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.sc_app;
+          Text_table.cell_f1 r.sc_affinity_user;
+          Text_table.cell_f1 r.sc_single_queue_user;
+          Text_table.cell_f2 r.sc_slowdown;
+        ])
+    rows;
+  "Ablation A3: processor affinity vs original Mach single queue (section 4.7)\n"
+  ^ Text_table.render table
+
+(* --- G/L sweep ------------------------------------------------------------ *)
+
+type gl_row = { gl_factor : float; gl_ratio : float; gl_gamma : float; gl_alpha : float }
+
+let gl_sweep ?app ?(factors = [ 0.75; 1.0; 1.5; 2.0; 3.0 ]) ?(spec = Runner.default_spec)
+    () =
+  let app =
+    match app with Some a -> a | None -> Option.get (Numa_apps.Registry.find "fft")
+  in
+  List.map
+    (fun factor ->
+      let tweak (c : Numa_machine.Config.t) =
+        {
+          c with
+          Numa_machine.Config.global_fetch_ns = c.Numa_machine.Config.global_fetch_ns *. factor;
+          global_store_ns = c.Numa_machine.Config.global_store_ns *. factor;
+        }
+      in
+      let spec = { spec with Runner.config_tweak = tweak } in
+      let m = Runner.measure app spec in
+      {
+        gl_factor = factor;
+        gl_ratio =
+          Numa_machine.Config.global_to_local_ratio
+            (tweak (Numa_machine.Config.ace ~n_cpus:spec.Runner.n_cpus ()))
+            ~store_fraction:0.45;
+        gl_gamma = m.Runner.gamma;
+        gl_alpha = m.Runner.alpha;
+      })
+    factors
+
+let render_gl_sweep rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("global x", Text_table.Right);
+          ("G/L", Text_table.Right);
+          ("gamma", Text_table.Right);
+          ("alpha", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          Text_table.cell_f2 r.gl_factor;
+          Text_table.cell_f2 r.gl_ratio;
+          Text_table.cell_f2 r.gl_gamma;
+          Text_table.cell_f2 r.gl_alpha;
+        ])
+    rows;
+  "Ablation A4: sensitivity to the global/local latency ratio\n"
+  ^ Text_table.render table
+
+(* --- pragma study ---------------------------------------------------------- *)
+
+type pragma_row = { pr_variant : string; pr_t_numa : float; pr_s_numa : float; pr_moves : int }
+
+let pragma_study ?(spec = Runner.default_spec) () =
+  List.map
+    (fun name ->
+      let app = Option.get (Numa_apps.Registry.find name) in
+      let r = Runner.run app spec in
+      {
+        pr_variant = name;
+        pr_t_numa = Report.total_user_s r;
+        pr_s_numa = Report.total_system_s r;
+        pr_moves = r.Report.numa_moves;
+      })
+    [ "primes3"; "primes3-pragma" ]
+
+let render_pragma_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("variant", Text_table.Left);
+          ("Tnuma", Text_table.Right);
+          ("Snuma", Text_table.Right);
+          ("moves", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.pr_variant;
+          Text_table.cell_f1 r.pr_t_numa;
+          Text_table.cell_f1 r.pr_s_numa;
+          string_of_int r.pr_moves;
+        ])
+    rows;
+  "Ablation A5: noncacheable pragma on primes3's shared vectors (section 4.3)\n"
+  ^ Text_table.render table
+
+(* --- unix master ------------------------------------------------------------ *)
+
+type unix_master_row = {
+  um_variant : string;
+  um_user : float;
+  um_system : float;
+  um_stack_global_refs : int;
+}
+
+let stack_global_refs (r : Report.t) =
+  List.fold_left
+    (fun acc (name, c) ->
+      let is_stack =
+        (* stack regions are named "<thread>.stack" by the system layer *)
+        String.length name > 6 && String.sub name (String.length name - 6) 6 = ".stack"
+      in
+      if is_stack then acc + c.Report.global_reads + c.Report.global_writes else acc)
+    0 r.Report.per_region
+
+let unix_master_study ?(spec = Runner.default_spec) () =
+  let app = Option.get (Numa_apps.Registry.find "syscall-mix") in
+  List.map
+    (fun (variant, unix_master) ->
+      let r = Runner.run app { spec with Runner.unix_master } in
+      {
+        um_variant = variant;
+        um_user = Report.total_user_s r;
+        um_system = Report.total_system_s r;
+        um_stack_global_refs = stack_global_refs r;
+      })
+    [ ("master-touches-stacks", true); ("fixed-syscalls", false) ]
+
+let render_unix_master_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("variant", Text_table.Left);
+          ("user (s)", Text_table.Right);
+          ("system (s)", Text_table.Right);
+          ("global stack refs", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.um_variant;
+          Text_table.cell_f1 r.um_user;
+          Text_table.cell_f1 r.um_system;
+          string_of_int r.um_stack_global_refs;
+        ])
+    rows;
+  "Ablation A6: system calls on the Unix master sharing user stacks (section 4.6)\n"
+  ^ Text_table.render table
+
+(* --- processor-count sweep --------------------------------------------------------- *)
+
+type cpu_row = {
+  cs_app : string;
+  cs_cpus : int;
+  cs_t_numa : float;
+  cs_gamma : float;
+  cs_alpha_counted : float;
+}
+
+let cpu_sweep ?apps ?(cpu_counts = [ 2; 4; 6; 8 ]) ?(spec = Runner.default_spec) () =
+  let apps =
+    match apps with
+    | Some l -> l
+    | None -> List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3" ]
+  in
+  List.concat_map
+    (fun (app : App_sig.t) ->
+      let t_local =
+        Report.total_user_s (Runner.run app { spec with Runner.n_cpus = 1; nthreads = 1 })
+      in
+      List.map
+        (fun cpus ->
+          let r = Runner.run app { spec with Runner.n_cpus = cpus; nthreads = cpus } in
+          let t_numa = Report.total_user_s r in
+          {
+            cs_app = app.App_sig.name;
+            cs_cpus = cpus;
+            cs_t_numa = t_numa;
+            cs_gamma = (if t_local > 0. then t_numa /. t_local else 0.);
+            cs_alpha_counted = r.Report.alpha_counted;
+          })
+        cpu_counts)
+    apps
+
+let render_cpu_sweep rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Application", Text_table.Left);
+          ("CPUs", Text_table.Right);
+          ("Tnuma", Text_table.Right);
+          ("gamma", Text_table.Right);
+          ("alpha", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.cs_app;
+          string_of_int r.cs_cpus;
+          Text_table.cell_f1 r.cs_t_numa;
+          Text_table.cell_f2 r.cs_gamma;
+          Text_table.cell_f2 r.cs_alpha_counted;
+        ])
+    rows;
+  "Ablation A13: measurement stability across processor counts\n"
+  ^ Text_table.render table
+
+(* --- butterfly-class machines ------------------------------------------------------- *)
+
+type butterfly_row = {
+  bf_app : string;
+  bf_gamma_ace : float;
+  bf_gamma_butterfly : float;
+  bf_alpha_ace : float;
+  bf_alpha_butterfly : float;
+}
+
+let butterfly_study ?apps ?(spec = Runner.default_spec) () =
+  let apps =
+    match apps with
+    | Some l -> l
+    | None -> List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3"; "fft" ]
+  in
+  List.map
+    (fun (app : App_sig.t) ->
+      let measure tweak =
+        Runner.measure app { spec with Runner.config_tweak = tweak }
+      in
+      let ace = measure Fun.id in
+      let butterfly =
+        measure (fun (c : Numa_machine.Config.t) ->
+            let b = Numa_machine.Config.butterfly_like ~n_cpus:c.Numa_machine.Config.n_cpus () in
+            b)
+      in
+      {
+        bf_app = app.App_sig.name;
+        bf_gamma_ace = ace.Runner.gamma;
+        bf_gamma_butterfly = butterfly.Runner.gamma;
+        bf_alpha_ace = ace.Runner.r_numa.Report.alpha_counted;
+        bf_alpha_butterfly = butterfly.Runner.r_numa.Report.alpha_counted;
+      })
+    apps
+
+let render_butterfly_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Application", Text_table.Left);
+          ("gamma ACE", Text_table.Right);
+          ("gamma Butterfly", Text_table.Right);
+          ("alpha ACE", Text_table.Right);
+          ("alpha Butterfly", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.bf_app;
+          Text_table.cell_f2 r.bf_gamma_ace;
+          Text_table.cell_f2 r.bf_gamma_butterfly;
+          Text_table.cell_f2 r.bf_alpha_ace;
+          Text_table.cell_f2 r.bf_alpha_butterfly;
+        ])
+    rows;
+  "Ablation A14: a Butterfly-class machine (shared level at remote speed, section 4.4)\n"
+  ^ Text_table.render table
+
+(* --- bus contention --------------------------------------------------------------- *)
+
+type bus_row = {
+  bu_bandwidth_mb_s : float;
+  bu_t_numa : float;
+  bu_t_global : float;
+  bu_bus_delay_s : float;
+  bu_gamma : float;
+}
+
+let bus_study ?app ?(bandwidths = [ 0.; 80.; 40.; 20.; 10. ]) ?(spec = Runner.default_spec)
+    () =
+  let app =
+    match app with Some a -> a | None -> Option.get (Numa_apps.Registry.find "gfetch")
+  in
+  List.map
+    (fun mb_s ->
+      let words_per_ns = mb_s *. 1e6 /. 4. /. 1e9 in
+      let tweak (c : Numa_machine.Config.t) =
+        { c with Numa_machine.Config.bus_words_per_ns = words_per_ns }
+      in
+      let spec = { spec with Runner.config_tweak = tweak } in
+      let r_numa = Runner.run app spec in
+      let r_global = Runner.run app { spec with Runner.policy = System.All_global } in
+      let local_spec = { spec with Runner.n_cpus = 1; nthreads = 1 } in
+      let t_local = Report.total_user_s (Runner.run app local_spec) in
+      let t_numa = Report.total_user_s r_numa in
+      {
+        bu_bandwidth_mb_s = mb_s;
+        bu_t_numa = t_numa;
+        bu_t_global = Report.total_user_s r_global;
+        bu_bus_delay_s = r_global.Report.bus_delay_ns /. 1e9;
+        bu_gamma = (if t_local > 0. then t_numa /. t_local else 0.);
+      })
+    bandwidths
+
+let render_bus_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("bus MB/s", Text_table.Right);
+          ("Tnuma", Text_table.Right);
+          ("Tglobal", Text_table.Right);
+          ("bus delay (global run)", Text_table.Right);
+          ("gamma", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          (if r.bu_bandwidth_mb_s = 0. then "inf" else Text_table.cell_f1 r.bu_bandwidth_mb_s);
+          Text_table.cell_f1 r.bu_t_numa;
+          Text_table.cell_f1 r.bu_t_global;
+          Text_table.cell_f1 r.bu_bus_delay_s;
+          Text_table.cell_f2 r.bu_gamma;
+        ])
+    rows;
+  "Ablation A11: IPC-bus contention (gfetch, 7 CPUs hammering global memory)\n"
+  ^ Text_table.render table
+
+(* --- remote references --------------------------------------------------------- *)
+
+type remote_row = {
+  rm_variant : string;
+  rm_producer_user : float;
+  rm_total_user : float;
+  rm_remote_refs : int;
+}
+
+let remote_study ?(spec = Runner.default_spec) () =
+  List.map
+    (fun name ->
+      let app = Option.get (Numa_apps.Registry.find name) in
+      let r = Runner.run app spec in
+      {
+        rm_variant = name;
+        rm_producer_user = r.Report.user_ns_per_cpu.(0) /. 1e9;
+        rm_total_user = Report.total_user_s r;
+        rm_remote_refs =
+          r.Report.refs_all.Report.remote_reads + r.Report.refs_all.Report.remote_writes;
+      })
+    [ "lopsided"; "lopsided-homed" ]
+
+let render_remote_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("variant", Text_table.Left);
+          ("producer user (s)", Text_table.Right);
+          ("total user (s)", Text_table.Right);
+          ("remote refs", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.rm_variant;
+          Text_table.cell_f2 r.rm_producer_user;
+          Text_table.cell_f2 r.rm_total_user;
+          string_of_int r.rm_remote_refs;
+        ])
+    rows;
+  "Ablation A9: remote references for lopsided sharing (section 4.4)\n"
+  ^ Text_table.render table
+
+(* --- thread migration ------------------------------------------------------------ *)
+
+type migration_row = {
+  mg_variant : string;
+  mg_user : float;
+  mg_moves : int;
+  mg_pins : int;
+  mg_alpha : float;
+}
+
+let migration_study ?(spec = Runner.default_spec) () =
+  List.map
+    (fun name ->
+      let app = Option.get (Numa_apps.Registry.find name) in
+      let r = Runner.run app spec in
+      {
+        mg_variant = name;
+        mg_user = Report.total_user_s r;
+        mg_moves = r.Report.numa_moves;
+        mg_pins = r.Report.pins;
+        mg_alpha = r.Report.alpha_counted;
+      })
+    [ "rebalance"; "rebalance-migrate" ]
+
+let render_migration_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("variant", Text_table.Left);
+          ("user (s)", Text_table.Right);
+          ("moves", Text_table.Right);
+          ("pins", Text_table.Right);
+          ("alpha", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.mg_variant;
+          Text_table.cell_f1 r.mg_user;
+          string_of_int r.mg_moves;
+          string_of_int r.mg_pins;
+          Text_table.cell_f2 r.mg_alpha;
+        ])
+    rows;
+  "Ablation A12: load-balancing migration, with and without page migration (section 4.7)\n"
+  ^ Text_table.render table
+
+(* --- reconsideration --------------------------------------------------------- *)
+
+type reconsider_row = { rc_policy : string; rc_user : float; rc_final_global_pages : int }
+
+let final_global_pages (r : Report.t) =
+  match List.assoc_opt "global-writable" r.Report.placement with Some n -> n | None -> 0
+
+let reconsider_study ?(spec = Runner.default_spec) ?(window_ms = 50.) () =
+  let app = Option.get (Numa_apps.Registry.find "phased") in
+  List.map
+    (fun (name, policy) ->
+      let r = Runner.run app { spec with Runner.policy } in
+      {
+        rc_policy = name;
+        rc_user = Report.total_user_s r;
+        rc_final_global_pages = final_global_pages r;
+      })
+    [
+      ("move-limit(4)", System.Move_limit { threshold = 4 });
+      ( Printf.sprintf "reconsider(4, %.0f ms)" window_ms,
+        System.Reconsider { threshold = 4; window_ns = window_ms *. 1e6 } );
+    ]
+
+let render_reconsider_study rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("policy", Text_table.Left);
+          ("user (s)", Text_table.Right);
+          ("pages left in global", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [ r.rc_policy; Text_table.cell_f1 r.rc_user; string_of_int r.rc_final_global_pages ])
+    rows;
+  "Ablation A8: reconsidering pinning decisions on the phase-shifting workload\n"
+  ^ Text_table.render table

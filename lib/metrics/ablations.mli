@@ -1,0 +1,180 @@
+(** Studies beyond the paper's two tables: the policy-parameter and design
+    questions the paper raises in sections 2.3.2, 4.2, 4.3, 4.6, 4.7 and 5.
+    Each returns structured rows plus a renderer, and is reachable from
+    [bin/experiments.exe]. *)
+
+(** {1 Move-threshold sweep (section 2.3.2)} *)
+
+type threshold_row = {
+  ts_app : string;
+  ts_threshold : int option;  (** [None] = never pin *)
+  ts_t_numa : float;
+  ts_t_system : float;
+  ts_gamma : float;
+  ts_moves : int;
+  ts_pins : int;
+}
+
+val threshold_sweep :
+  ?apps:Numa_apps.App_sig.t list ->
+  ?thresholds:int option list ->
+  ?spec:Runner.run_spec ->
+  unit ->
+  threshold_row list
+
+val render_threshold_sweep : threshold_row list -> string
+
+(** {1 Scheduler affinity (section 4.7)} *)
+
+type scheduler_row = {
+  sc_app : string;
+  sc_affinity_user : float;
+  sc_single_queue_user : float;
+  sc_slowdown : float;  (** single-queue / affinity user time *)
+}
+
+val scheduler_study :
+  ?apps:Numa_apps.App_sig.t list -> ?spec:Runner.run_spec -> unit -> scheduler_row list
+
+val render_scheduler_study : scheduler_row list -> string
+
+(** {1 G/L ratio sensitivity} *)
+
+type gl_row = {
+  gl_factor : float;  (** multiplier on global reference times *)
+  gl_ratio : float;  (** resulting G/L (mixed) *)
+  gl_gamma : float;
+  gl_alpha : float;
+}
+
+val gl_sweep :
+  ?app:Numa_apps.App_sig.t -> ?factors:float list -> ?spec:Runner.run_spec -> unit ->
+  gl_row list
+
+val render_gl_sweep : gl_row list -> string
+
+(** {1 Placement pragmas (section 4.3)} *)
+
+type pragma_row = {
+  pr_variant : string;
+  pr_t_numa : float;
+  pr_s_numa : float;
+  pr_moves : int;
+}
+
+val pragma_study : ?spec:Runner.run_spec -> unit -> pragma_row list
+(** primes3 with and without noncacheable pragmas on its shared vectors. *)
+
+val render_pragma_study : pragma_row list -> string
+
+(** {1 Unix master (section 4.6)} *)
+
+type unix_master_row = {
+  um_variant : string;
+  um_user : float;
+  um_system : float;
+  um_stack_global_refs : int;  (** global references made to stack regions *)
+}
+
+val unix_master_study : ?spec:Runner.run_spec -> unit -> unix_master_row list
+
+val render_unix_master_study : unix_master_row list -> string
+
+(** {1 Processor-count sweep} *)
+
+type cpu_row = {
+  cs_app : string;
+  cs_cpus : int;
+  cs_t_numa : float;
+  cs_gamma : float;
+  cs_alpha_counted : float;
+}
+
+val cpu_sweep :
+  ?apps:Numa_apps.App_sig.t list -> ?cpu_counts:int list -> ?spec:Runner.run_spec ->
+  unit -> cpu_row list
+(** The paper's method requires measurements "not vary too much with the
+    number of processors"; this sweep checks that requirement for our
+    programs (T_numa and alpha across 2-8 CPUs). *)
+
+val render_cpu_sweep : cpu_row list -> string
+
+(** {1 Butterfly-class machines (section 4.4)} *)
+
+type butterfly_row = {
+  bf_app : string;
+  bf_gamma_ace : float;
+  bf_gamma_butterfly : float;
+  bf_alpha_ace : float;
+  bf_alpha_butterfly : float;
+}
+
+val butterfly_study :
+  ?apps:Numa_apps.App_sig.t list -> ?spec:Runner.run_spec -> unit -> butterfly_row list
+(** The same programs on a machine whose shared level is as slow as remote
+    memory (no physically global memory): placement quality (alpha) is
+    machine-independent, but the penalty for the residual shared
+    references grows with the steeper ratio. *)
+
+val render_butterfly_study : butterfly_row list -> string
+
+(** {1 IPC-bus contention} *)
+
+type bus_row = {
+  bu_bandwidth_mb_s : float;  (** 0 = infinite (the default model) *)
+  bu_t_numa : float;
+  bu_t_global : float;
+  bu_bus_delay_s : float;  (** queueing delay in the all-global run *)
+  bu_gamma : float;
+}
+
+val bus_study :
+  ?app:Numa_apps.App_sig.t -> ?bandwidths:float list -> ?spec:Runner.run_spec -> unit ->
+  bus_row list
+(** Sweep the IPC-bus bandwidth (MB/s) for a global-memory-intensive
+    program (default gfetch) and show where the paper's "relatively free
+    of bus contention" assumption breaks: with the real 80 MB/s bus the
+    7-CPU fetch stream is comfortably under capacity, but a few times less
+    bandwidth makes the all-global run queue-bound. *)
+
+val render_bus_study : bus_row list -> string
+
+(** {1 Remote references (section 4.4)} *)
+
+type remote_row = {
+  rm_variant : string;
+  rm_producer_user : float;  (** user seconds of the producing CPU *)
+  rm_total_user : float;
+  rm_remote_refs : int;
+}
+
+val remote_study : ?spec:Runner.run_spec -> unit -> remote_row list
+(** The lopsided workload with the status buffer under normal policy
+    (pinned global) vs homed in the producer's local memory. *)
+
+val render_remote_study : remote_row list -> string
+
+(** {1 Thread migration (section 4.7)} *)
+
+type migration_row = {
+  mg_variant : string;
+  mg_user : float;
+  mg_moves : int;
+  mg_pins : int;
+  mg_alpha : float;
+}
+
+val migration_study : ?spec:Runner.run_spec -> unit -> migration_row list
+(** The re-homed thread with and without kernel page migration. *)
+
+val render_migration_study : migration_row list -> string
+
+(** {1 Pin reconsideration (footnote 4 / section 5)} *)
+
+type reconsider_row = { rc_policy : string; rc_user : float; rc_final_global_pages : int }
+
+val reconsider_study : ?spec:Runner.run_spec -> ?window_ms:float -> unit -> reconsider_row list
+(** The phase-shifting workload under move-limit vs the reconsider
+    extension. *)
+
+val render_reconsider_study : reconsider_row list -> string

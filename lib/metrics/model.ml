@@ -1,0 +1,16 @@
+type times = { t_global : float; t_numa : float; t_local : float }
+
+let gamma t = t.t_numa /. t.t_local
+
+let alpha t = (t.t_global -. t.t_numa) /. (t.t_global -. t.t_local)
+
+let beta t ~gl = (t.t_global -. t.t_local) /. t.t_local *. (1. /. (gl -. 1.))
+
+let predicted_t_numa ~t_local ~alpha ~beta ~gl =
+  t_local *. ((1. -. beta) +. (beta *. (alpha +. ((1. -. alpha) *. gl))))
+
+let valid_times t =
+  let tolerance = 1.005 in
+  t.t_local > 0. && t.t_numa > 0. && t.t_global > 0.
+  && t.t_numa <= t.t_global *. tolerance
+  && t.t_local <= t.t_numa *. tolerance

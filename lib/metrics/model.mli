@@ -1,0 +1,33 @@
+(** The paper's analytical model of section 3.1.
+
+    Program execution time is modelled (equation 2) as
+
+    {v T_numa = T_local ((1 - beta) + beta (alpha + (1 - alpha) G/L)) v}
+
+    where [alpha] is the fraction of writable-data references that hit
+    local memory and [beta] the fraction of all-local run time spent
+    referencing writable data. Setting alpha = 0 gives the all-global model
+    (equation 3); solving the two simultaneously yields the measurement
+    equations 4 and 5 implemented here. *)
+
+type times = { t_global : float; t_numa : float; t_local : float }
+(** The three measured user times (any consistent unit). *)
+
+val gamma : times -> float
+(** User-time expansion factor: T_numa / T_local (equation 1). *)
+
+val alpha : times -> float
+(** Equation 4: (T_global - T_numa) / (T_global - T_local). Degenerate
+    denominators (a program that never references writable memory) yield
+    [nan]; callers render that as the paper's "na". *)
+
+val beta : times -> gl:float -> float
+(** Equation 5: ((T_global - T_local) / T_local) * (L / (G - L)). *)
+
+val predicted_t_numa : t_local:float -> alpha:float -> beta:float -> gl:float -> float
+(** Equation 2, forward direction: used by tests to confirm the
+    solve/measure round trip and by the what-if ablations. *)
+
+val valid_times : times -> bool
+(** Sanity: all positive and T_local <= T_numa <= T_global (up to noise
+    tolerance); the model's applicability condition. *)

@@ -1,0 +1,42 @@
+type table3_row = {
+  app : string;
+  t_global : float;
+  t_numa : float;
+  t_local : float;
+  alpha : float option;
+  beta : float;
+  gamma : float;
+}
+
+let table3 =
+  [
+    { app = "parmult"; t_global = 67.4; t_numa = 67.4; t_local = 67.3; alpha = None; beta = 0.00; gamma = 1.00 };
+    { app = "gfetch"; t_global = 60.2; t_numa = 60.2; t_local = 26.5; alpha = Some 0.0; beta = 1.0; gamma = 2.27 };
+    { app = "imatmult"; t_global = 82.1; t_numa = 69.0; t_local = 68.2; alpha = Some 0.94; beta = 0.26; gamma = 1.01 };
+    { app = "primes1"; t_global = 18502.2; t_numa = 17413.9; t_local = 17413.3; alpha = Some 1.0; beta = 0.06; gamma = 1.00 };
+    { app = "primes2"; t_global = 5754.3; t_numa = 4972.9; t_local = 4968.9; alpha = Some 0.99; beta = 0.16; gamma = 1.00 };
+    { app = "primes3"; t_global = 39.1; t_numa = 37.4; t_local = 28.8; alpha = Some 0.17; beta = 0.36; gamma = 1.30 };
+    { app = "fft"; t_global = 687.4; t_numa = 449.0; t_local = 438.4; alpha = Some 0.96; beta = 0.56; gamma = 1.02 };
+    { app = "plytrace"; t_global = 56.9; t_numa = 38.8; t_local = 38.0; alpha = Some 0.96; beta = 0.50; gamma = 1.02 };
+  ]
+
+type table4_row = {
+  app : string;
+  s_numa : float;
+  s_global : float;
+  delta_s : float option;
+  t_numa : float;
+  overhead_pct : float;
+}
+
+let table4 =
+  [
+    { app = "imatmult"; s_numa = 4.5; s_global = 1.2; delta_s = Some 3.3; t_numa = 82.1; overhead_pct = 4.0 };
+    { app = "primes1"; s_numa = 1.4; s_global = 2.3; delta_s = None; t_numa = 17413.9; overhead_pct = 0.0 };
+    { app = "primes2"; s_numa = 29.9; s_global = 8.5; delta_s = Some 21.4; t_numa = 4972.9; overhead_pct = 0.4 };
+    { app = "primes3"; s_numa = 11.2; s_global = 1.9; delta_s = Some 9.3; t_numa = 37.4; overhead_pct = 24.9 };
+    { app = "fft"; s_numa = 21.1; s_global = 10.0; delta_s = Some 11.1; t_numa = 449.0; overhead_pct = 2.5 };
+  ]
+
+let find_table3 app = List.find_opt (fun (r : table3_row) -> r.app = app) table3
+let find_table4 app = List.find_opt (fun (r : table4_row) -> r.app = app) table4

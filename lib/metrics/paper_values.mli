@@ -1,0 +1,31 @@
+(** The numbers published in the paper, for side-by-side comparison in
+    experiment output and EXPERIMENTS.md. Times are in seconds on the 1989
+    ACE prototype and are {e not} expected to match the simulator; the
+    model parameters (alpha, beta, gamma) and orderings are the
+    reproduction targets. *)
+
+type table3_row = {
+  app : string;
+  t_global : float;
+  t_numa : float;
+  t_local : float;
+  alpha : float option;  (** [None] renders as the paper's "na" *)
+  beta : float;
+  gamma : float;
+}
+
+val table3 : table3_row list
+
+type table4_row = {
+  app : string;
+  s_numa : float;
+  s_global : float;
+  delta_s : float option;  (** [None] = the paper's "na" (negative noise) *)
+  t_numa : float;
+  overhead_pct : float;  (** the Delta-S / T_numa column, in percent *)
+}
+
+val table4 : table4_row list
+
+val find_table3 : string -> table3_row option
+val find_table4 : string -> table4_row option

@@ -1,0 +1,85 @@
+open Numa_machine
+module System = Numa_system.System
+
+type run_spec = {
+  policy : System.policy_spec;
+  n_cpus : int;
+  nthreads : int;
+  scale : float;
+  seed : int64;
+  scheduler : Numa_sim.Engine.scheduler_mode;
+  unix_master : bool;
+  config_tweak : Config.t -> Config.t;
+}
+
+let default_spec =
+  {
+    policy = System.Move_limit { threshold = 4 };
+    n_cpus = 7;
+    nthreads = 7;
+    scale = 1.0;
+    seed = 42L;
+    scheduler = Numa_sim.Engine.Affinity;
+    unix_master = false;
+    config_tweak = Fun.id;
+  }
+
+let config_for spec ~n_cpus = spec.config_tweak (Config.ace ~n_cpus ())
+
+let run_with (app : Numa_apps.App_sig.t) spec ~policy ~n_cpus ~nthreads =
+  let config = config_for spec ~n_cpus in
+  let sys =
+    System.create ~policy ~scheduler:spec.scheduler ~unix_master:spec.unix_master ~config
+      ()
+  in
+  app.Numa_apps.App_sig.setup sys
+    { Numa_apps.App_sig.nthreads; scale = spec.scale; seed = spec.seed };
+  System.run sys
+
+let run app spec =
+  run_with app spec ~policy:spec.policy ~n_cpus:spec.n_cpus ~nthreads:spec.nthreads
+
+let app_gl (app : Numa_apps.App_sig.t) config =
+  if app.Numa_apps.App_sig.fetch_dominated then Config.global_to_local_fetch_ratio config
+  else Config.global_to_local_ratio config ~store_fraction:0.45
+
+type measurement = {
+  app_name : string;
+  times : Model.times;
+  gl : float;
+  alpha : float;
+  beta : float;
+  gamma : float;
+  r_numa : Numa_system.Report.t;
+  r_global : Numa_system.Report.t;
+  r_local : Numa_system.Report.t;
+}
+
+let measure (app : Numa_apps.App_sig.t) spec =
+  let r_numa = run app spec in
+  let r_global =
+    run_with app spec ~policy:System.All_global ~n_cpus:spec.n_cpus
+      ~nthreads:spec.nthreads
+  in
+  (* T_local: one thread on a one-processor system, so that every page is
+     private and local (section 3.1). *)
+  let r_local = run_with app spec ~policy:spec.policy ~n_cpus:1 ~nthreads:1 in
+  let times =
+    {
+      Model.t_numa = Numa_system.Report.total_user_s r_numa;
+      t_global = Numa_system.Report.total_user_s r_global;
+      t_local = Numa_system.Report.total_user_s r_local;
+    }
+  in
+  let gl = app_gl app (config_for spec ~n_cpus:spec.n_cpus) in
+  {
+    app_name = app.Numa_apps.App_sig.name;
+    times;
+    gl;
+    alpha = Model.alpha times;
+    beta = Model.beta times ~gl;
+    gamma = Model.gamma times;
+    r_numa;
+    r_global;
+    r_local;
+  }

@@ -1,0 +1,46 @@
+(** Drives applications through the simulator under the measurement
+    protocol of section 3.1. *)
+
+open Numa_machine
+
+type run_spec = {
+  policy : Numa_system.System.policy_spec;
+  n_cpus : int;
+  nthreads : int;
+  scale : float;
+  seed : int64;
+  scheduler : Numa_sim.Engine.scheduler_mode;
+  unix_master : bool;
+  config_tweak : Config.t -> Config.t;
+      (** applied to the ACE base configuration; identity for the paper's
+          machine, used by the G/L and page-size ablations *)
+}
+
+val default_spec : run_spec
+(** Move-limit(4), 7 CPUs, 7 threads, scale 1.0, affinity scheduling. *)
+
+val run : Numa_apps.App_sig.t -> run_spec -> Numa_system.Report.t
+(** One run: build a fresh system, set the application up, run it. *)
+
+type measurement = {
+  app_name : string;
+  times : Model.times;  (** user times in seconds *)
+  gl : float;  (** the G/L ratio used for this program's model *)
+  alpha : float;  (** equation 4 *)
+  beta : float;  (** equation 5 *)
+  gamma : float;  (** equation 1 *)
+  r_numa : Numa_system.Report.t;
+  r_global : Numa_system.Report.t;
+  r_local : Numa_system.Report.t;
+}
+
+val measure : Numa_apps.App_sig.t -> run_spec -> measurement
+(** The paper's three-run protocol: T_numa under [spec]'s policy, T_global
+    under the all-global policy, and T_local with one thread on a one-CPU
+    machine; then the derived model parameters. [spec.policy] is the policy
+    measured as "numa". *)
+
+val app_gl : Numa_apps.App_sig.t -> Config.t -> float
+(** G/L for the program's reference mix: the fetch ratio (2.3) for
+    fetch-dominated programs, the 45%-store mix (~2.0) otherwise —
+    Table 3, footnote 3. *)

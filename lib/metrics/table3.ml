@@ -1,0 +1,88 @@
+open Numa_util
+
+type row = { m : Runner.measurement; alpha_counted : float }
+
+let run ?apps ?(spec = Runner.default_spec) () =
+  let apps = match apps with Some l -> l | None -> Numa_apps.Registry.table3 in
+  List.map
+    (fun app ->
+      let m = Runner.measure app spec in
+      { m; alpha_counted = m.Runner.r_numa.Numa_system.Report.alpha_counted })
+    apps
+
+(* ParMult's alpha is meaningless (beta = 0 means the denominator of
+   equation 4 is measurement noise); the paper prints "na". We apply the
+   same rule when the global/local spread is under half a percent. *)
+let alpha_is_meaningful (m : Runner.measurement) =
+  let t = m.Runner.times in
+  t.Model.t_global -. t.Model.t_local > 0.005 *. t.Model.t_local
+
+let cell_alpha r =
+  if alpha_is_meaningful r.m then Text_table.cell_f2 r.m.Runner.alpha else "na"
+
+let render rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Application", Text_table.Left);
+          ("Tglobal", Text_table.Right);
+          ("Tnuma", Text_table.Right);
+          ("Tlocal", Text_table.Right);
+          ("alpha", Text_table.Right);
+          ("beta", Text_table.Right);
+          ("gamma", Text_table.Right);
+          ("alpha(counted)", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      let t = r.m.Runner.times in
+      Text_table.add_row table
+        [
+          r.m.Runner.app_name;
+          Text_table.cell_f1 t.Model.t_global;
+          Text_table.cell_f1 t.Model.t_numa;
+          Text_table.cell_f1 t.Model.t_local;
+          cell_alpha r;
+          Text_table.cell_f2 r.m.Runner.beta;
+          Text_table.cell_f2 r.m.Runner.gamma;
+          Text_table.cell_f2 r.alpha_counted;
+        ])
+    rows;
+  "Table 3: measured user times (simulated seconds) and computed model parameters\n"
+  ^ Text_table.render table
+
+let render_comparison rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Application", Text_table.Left);
+          ("alpha meas", Text_table.Right);
+          ("alpha paper", Text_table.Right);
+          ("beta meas", Text_table.Right);
+          ("beta paper", Text_table.Right);
+          ("gamma meas", Text_table.Right);
+          ("gamma paper", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      match Paper_values.find_table3 r.m.Runner.app_name with
+      | None -> ()
+      | Some p ->
+          Text_table.add_row table
+            [
+              r.m.Runner.app_name;
+              cell_alpha r;
+              (match p.Paper_values.alpha with
+              | None -> "na"
+              | Some a -> Text_table.cell_f2 a);
+              Text_table.cell_f2 r.m.Runner.beta;
+              Text_table.cell_f2 p.Paper_values.beta;
+              Text_table.cell_f2 r.m.Runner.gamma;
+              Text_table.cell_f2 p.Paper_values.gamma;
+            ])
+    rows;
+  "Measured vs paper (Table 3 model parameters)\n" ^ Text_table.render table

@@ -1,0 +1,22 @@
+(** Reproduction of Table 4: total system time of the NUMA-managed and
+    all-global runs on 7 processors, and the NUMA-management overhead
+    Delta-S / T_numa. *)
+
+type row = {
+  app_name : string;
+  s_numa : float;  (** seconds of system time, policy run *)
+  s_global : float;  (** seconds of system time, all-global run *)
+  delta_s : float option;  (** [None] when negative (the paper's "na") *)
+  t_numa : float;
+  overhead_pct : float;
+}
+
+val of_measurements : Table3.row list -> row list
+(** Table 4 is computed from the same runs as Table 3; pass the rows for
+    the five Table-4 programs (others are filtered by name). *)
+
+val run : ?spec:Runner.run_spec -> unit -> row list
+(** Standalone: run the five Table-4 programs and derive the rows. *)
+
+val render : row list -> string
+val render_comparison : row list -> string

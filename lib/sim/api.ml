@@ -1,0 +1,34 @@
+type _ Effect.t += Sim_op : Op.t -> int Effect.t
+
+let perform op = Effect.perform (Sim_op op)
+
+let read ?(count = 1) vpage =
+  if count > 0 then ignore (perform (Op.Read { vpage; count }))
+
+let read_value vpage = perform (Op.Read { vpage; count = 1 })
+
+let write ?(count = 1) ?(value = 0) vpage =
+  if count > 0 then ignore (perform (Op.Write { vpage; count; value }))
+
+let compute ns = if ns > 0. then ignore (perform (Op.Compute { ns }))
+
+let lock l = ignore (perform (Op.Lock_acquire l))
+
+let unlock l = ignore (perform (Op.Lock_release l))
+
+let with_lock l f =
+  lock l;
+  match f () with
+  | v ->
+      unlock l;
+      v
+  | exception e ->
+      unlock l;
+      raise e
+
+let barrier b = ignore (perform (Op.Barrier_wait b))
+
+let syscall ?(touch_stack = false) ~service_ns () =
+  ignore (perform (Op.Syscall { service_ns; touch_stack }))
+
+let migrate ~cpu = ignore (perform (Op.Migrate { cpu }))

@@ -1,0 +1,50 @@
+(** The programming interface of simulated threads.
+
+    These functions may only be called from inside a thread body running
+    under {!Engine.run}; elsewhere they raise [Effect.Unhandled]. Pages are
+    named by virtual page number within the workload's task; applications
+    get them from the system layer's region allocator. *)
+
+val read : ?count:int -> int -> unit
+(** [read ~count vpage]: [count] (default 1) fetches from the page. *)
+
+val read_value : int -> int
+(** One fetch, returning the page cell's current content (used by
+    coherence tests and by workloads that consume produced data). *)
+
+val write : ?count:int -> ?value:int -> int -> unit
+(** [write ~count ~value vpage]: [count] (default 1) stores; the page's
+    content cell becomes [value] (default 0). *)
+
+val compute : float -> unit
+(** Pure computation for the given number of nanoseconds. *)
+
+val lock : Sync.lock -> unit
+(** Spin until the lock is acquired. Every poll references the lock's
+    page. *)
+
+val unlock : Sync.lock -> unit
+(** Release; raises (at engine level) if the caller is not the holder. *)
+
+val with_lock : Sync.lock -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)
+
+val barrier : Sync.barrier -> unit
+(** Arrive and spin until all parties have arrived. *)
+
+val syscall : ?touch_stack:bool -> service_ns:float -> unit -> unit
+(** Perform a Unix system call of the given service time. [touch_stack]
+    (default false) makes the kernel reference the caller's user stack, the
+    behaviour that shares stack pages with the Unix master (section 4.6). *)
+
+val migrate : cpu:int -> unit
+(** Move the calling thread to another processor (costs a reschedule).
+    Under the affinity scheduler this is the thread's new permanent home.
+    Local pages do not follow automatically — pair with the pmap layer's
+    page-migration call, or watch them bounce over one by one (and count
+    against the move threshold) as they fault. *)
+
+(**/**)
+
+type _ Effect.t += Sim_op : Op.t -> int Effect.t
+(** Exposed for the engine's handler only. *)

@@ -1,0 +1,411 @@
+open Numa_machine
+
+type scheduler_mode = Affinity | Single_queue
+
+type config = {
+  n_cpus : int;
+  chunk_refs : int;
+  compute_slice_ns : float;
+  spin_poll_ns : float;
+  unix_master : bool;
+  max_events : int;
+}
+
+let default_config ~n_cpus =
+  {
+    n_cpus;
+    chunk_refs = 2048;
+    compute_slice_ns = 2_000_000. (* 2 ms *);
+    spin_poll_ns = 10_000. (* 10 us *);
+    unix_master = false;
+    max_events = 200_000_000;
+  }
+
+exception Deadlock of string
+
+type step = Finished | Blocked of Op.t * (int, step) Effect.Deep.continuation
+
+(* The op currently being worked through, chunk by chunk. *)
+type pending =
+  | P_refs of {
+      vpage : int;
+      access : Access.t;
+      mutable remaining : int;
+      value : int;
+      mutable last_value : int;
+    }
+  | P_compute of { mutable remaining_ns : float }
+  | P_lock of Sync.lock
+  | P_unlock of Sync.lock
+  | P_barrier of { b : Sync.barrier; mutable arrived : bool; mutable gen : int }
+  | P_syscall of { service_ns : float; touch_stack : bool }
+  | P_migrate of { target : int }
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable cpu : int;
+  stack_vpage : int option;
+  mutable kont : (int, step) Effect.Deep.continuation option;
+  mutable pending : pending option;
+  mutable finished : bool;
+  mutable ready_at : float;
+}
+
+type t = {
+  config : config;
+  memory : Memory_iface.t;
+  scheduler : scheduler_mode;
+  clock : float array;
+  user : float array;
+  system : float array;
+  mutable vnow : float;
+  events : (float * int, int) Numa_util.Pairing_heap.t;  (* (time, seq) -> tid *)
+  mutable seq : int;
+  threads : (int, thread) Hashtbl.t;
+  mutable next_tid : int;
+  mutable live : int;
+  mutable spawn_rr : int;  (* round-robin cursor for default CPU assignment *)
+  mutable n_events : int;
+  mutable next_sync_id : int;
+  mutable running : bool;
+  mutable completed : bool;
+}
+
+let cmp_key (t1, s1) (t2, s2) =
+  let c = Float.compare t1 t2 in
+  if c <> 0 then c else Int.compare s1 s2
+
+let create config ~memory ~scheduler =
+  if config.n_cpus <= 0 then invalid_arg "Engine.create: n_cpus must be positive";
+  if config.chunk_refs <= 0 then invalid_arg "Engine.create: chunk_refs must be positive";
+  {
+    config;
+    memory;
+    scheduler;
+    clock = Array.make config.n_cpus 0.;
+    user = Array.make config.n_cpus 0.;
+    system = Array.make config.n_cpus 0.;
+    vnow = 0.;
+    events = Numa_util.Pairing_heap.create ~cmp:cmp_key;
+    seq = 0;
+    threads = Hashtbl.create 32;
+    next_tid = 0;
+    live = 0;
+    spawn_rr = 0;
+    n_events = 0;
+    next_sync_id = 0;
+    running = false;
+    completed = false;
+  }
+
+let make_lock t ~vpage =
+  let id = t.next_sync_id in
+  t.next_sync_id <- id + 1;
+  Sync.make_lock ~id ~vpage
+
+let make_barrier t ~vpage ~parties =
+  let id = t.next_sync_id in
+  t.next_sync_id <- id + 1;
+  Sync.make_barrier ~id ~vpage ~parties
+
+let schedule t th time =
+  th.ready_at <- time;
+  Numa_util.Pairing_heap.add t.events (time, t.seq) th.tid;
+  t.seq <- t.seq + 1
+
+let handler : (unit, step) Effect.Deep.handler =
+  {
+    retc = (fun () -> Finished);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Api.Sim_op op ->
+            Some (fun (k : (a, step) Effect.Deep.continuation) -> Blocked (op, k))
+        | _ -> None);
+  }
+
+let begin_pending = function
+  | Op.Read { vpage; count } ->
+      P_refs { vpage; access = Access.Load; remaining = count; value = 0; last_value = 0 }
+  | Op.Write { vpage; count; value } ->
+      P_refs { vpage; access = Access.Store; remaining = count; value; last_value = value }
+  | Op.Compute { ns } -> P_compute { remaining_ns = ns }
+  | Op.Lock_acquire l -> P_lock l
+  | Op.Lock_release l -> P_unlock l
+  | Op.Barrier_wait b -> P_barrier { b; arrived = false; gen = b.Sync.generation }
+  | Op.Syscall { service_ns; touch_stack } -> P_syscall { service_ns; touch_stack }
+  | Op.Migrate { cpu } -> P_migrate { target = cpu }
+
+let spawn t ?cpu ?stack_vpage ~name body =
+  if t.running || t.completed then invalid_arg "Engine.spawn: engine already running";
+  let cpu =
+    match cpu with
+    | Some c ->
+        if c < 0 || c >= t.config.n_cpus then invalid_arg "Engine.spawn: bad cpu";
+        c
+    | None ->
+        let c = t.spawn_rr mod t.config.n_cpus in
+        t.spawn_rr <- t.spawn_rr + 1;
+        c
+  in
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th =
+    {
+      tid;
+      name;
+      cpu;
+      stack_vpage;
+      kont = None;
+      pending = None;
+      finished = false;
+      ready_at = 0.;
+    }
+  in
+  Hashtbl.replace t.threads tid th;
+  t.live <- t.live + 1;
+  (* Launch the body up to its first operation right away; the first chunk
+     is processed when the run loop pops the thread's initial event. *)
+  (match Effect.Deep.match_with (fun () -> body ()) () handler with
+  | Finished ->
+      th.finished <- true;
+      t.live <- t.live - 1
+  | Blocked (op, k) ->
+      th.kont <- Some k;
+      th.pending <- Some (begin_pending op);
+      schedule t th 0.);
+  tid
+
+(* Outcome of processing one chunk at time [start] on [cpu]:
+   [user]/[system] durations consumed on that CPU, whether the whole op is
+   now complete (with its result value), and — for operations that park the
+   thread elsewhere (system calls) or that poll — an explicit next-ready
+   time instead of cpu-clock progression. *)
+type chunk_outcome = {
+  d_user : float;
+  d_system : float;
+  completed : bool;
+  result : int;
+  ready_override : float option;
+}
+
+let chunk ~d_user ~d_system ?(completed = false) ?(result = 0) ?ready_override () =
+  { d_user; d_system; completed; result; ready_override }
+
+let access t th ~cpu ~vpage ~access:a ~count ~value =
+  t.memory.Memory_iface.access ~cpu ~tid:th.tid ~vpage ~access:a ~count ~value
+
+let process_chunk t th ~cpu ~start pending =
+  match pending with
+  | P_refs r ->
+      let n = min r.remaining t.config.chunk_refs in
+      let res = access t th ~cpu ~vpage:r.vpage ~access:r.access ~count:n ~value:r.value in
+      r.remaining <- r.remaining - n;
+      r.last_value <- res.Memory_iface.value;
+      chunk ~d_user:res.Memory_iface.user_ns ~d_system:res.Memory_iface.system_ns
+        ~completed:(r.remaining = 0) ~result:r.last_value ()
+  | P_compute c ->
+      let slice = Float.min c.remaining_ns t.config.compute_slice_ns in
+      c.remaining_ns <- c.remaining_ns -. slice;
+      chunk ~d_user:slice ~d_system:0. ~completed:(c.remaining_ns <= 0.) ()
+  | P_lock l -> (
+      match l.Sync.holder with
+      | None ->
+          (* Successful test-and-set: a fetch and a store on the lock page. *)
+          let rd = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Load ~count:1 ~value:0 in
+          let wr = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Store ~count:1 ~value:1 in
+          l.Sync.holder <- Some th.tid;
+          l.Sync.acquisitions <- l.Sync.acquisitions + 1;
+          chunk
+            ~d_user:(rd.Memory_iface.user_ns +. wr.Memory_iface.user_ns)
+            ~d_system:(rd.Memory_iface.system_ns +. wr.Memory_iface.system_ns)
+            ~completed:true ()
+      | Some _ ->
+          (* Busy: burn one poll interval in user state and try again. *)
+          let rd = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Load ~count:1 ~value:0 in
+          l.Sync.contended_polls <- l.Sync.contended_polls + 1;
+          let d_user = Float.max rd.Memory_iface.user_ns t.config.spin_poll_ns in
+          chunk ~d_user ~d_system:rd.Memory_iface.system_ns ())
+  | P_unlock l ->
+      (match l.Sync.holder with
+      | Some tid when tid = th.tid -> ()
+      | Some _ | None ->
+          failwith
+            (Printf.sprintf "thread %d (%s) released lock %d it does not hold" th.tid
+               th.name l.Sync.lock_id));
+      l.Sync.holder <- None;
+      let wr = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Store ~count:1 ~value:0 in
+      chunk ~d_user:wr.Memory_iface.user_ns ~d_system:wr.Memory_iface.system_ns
+        ~completed:true ()
+  | P_barrier pb ->
+      let b = pb.b in
+      if not pb.arrived then begin
+        (* Arrival: read-modify-write of the counter. *)
+        let rd = access t th ~cpu ~vpage:b.Sync.barrier_vpage ~access:Access.Load ~count:1 ~value:0 in
+        let wr =
+          access t th ~cpu ~vpage:b.Sync.barrier_vpage ~access:Access.Store ~count:1
+            ~value:(b.Sync.arrived + 1)
+        in
+        pb.arrived <- true;
+        pb.gen <- b.Sync.generation;
+        b.Sync.arrived <- b.Sync.arrived + 1;
+        let released = b.Sync.arrived = b.Sync.parties in
+        if released then begin
+          b.Sync.generation <- b.Sync.generation + 1;
+          b.Sync.arrived <- 0
+        end;
+        chunk
+          ~d_user:(rd.Memory_iface.user_ns +. wr.Memory_iface.user_ns)
+          ~d_system:(rd.Memory_iface.system_ns +. wr.Memory_iface.system_ns)
+          ~completed:released ()
+      end
+      else if b.Sync.generation > pb.gen then
+        (* Release observed on this poll. *)
+        let rd = access t th ~cpu ~vpage:b.Sync.barrier_vpage ~access:Access.Load ~count:1 ~value:0 in
+        chunk ~d_user:rd.Memory_iface.user_ns ~d_system:rd.Memory_iface.system_ns
+          ~completed:true ()
+      else
+        let rd = access t th ~cpu ~vpage:b.Sync.barrier_vpage ~access:Access.Load ~count:1 ~value:0 in
+        let d_user = Float.max rd.Memory_iface.user_ns t.config.spin_poll_ns in
+        chunk ~d_user ~d_system:rd.Memory_iface.system_ns ()
+  | P_migrate { target } ->
+      if target < 0 || target >= t.config.n_cpus then
+        failwith
+          (Printf.sprintf "thread %d (%s) migrated to nonexistent cpu %d" th.tid th.name
+             target);
+      th.cpu <- target;
+      (* A reschedule: the thread resumes on the target once it is past
+         both its own time and the target's clock; the dispatch work is
+         system time there. *)
+      let resume = Float.max start t.clock.(target) +. 50_000. in
+      t.system.(target) <- t.system.(target) +. 50_000.;
+      t.clock.(target) <- resume;
+      chunk ~d_user:0. ~d_system:0. ~completed:true ~ready_override:resume ()
+  | P_syscall { service_ns; touch_stack } ->
+      let master = if t.config.unix_master then 0 else cpu in
+      let start_service = Float.max start t.clock.(master) in
+      let stack_ns =
+        if touch_stack then
+          match th.stack_vpage with
+          | None -> 0.
+          | Some vpage ->
+              (* The kernel reads arguments from and writes results to the
+                 caller's stack while running on the (master) CPU. *)
+              let rd = access t th ~cpu:master ~vpage ~access:Access.Load ~count:4 ~value:0 in
+              let wr = access t th ~cpu:master ~vpage ~access:Access.Store ~count:4 ~value:0 in
+              rd.Memory_iface.user_ns +. wr.Memory_iface.user_ns
+              +. rd.Memory_iface.system_ns +. wr.Memory_iface.system_ns
+        else 0.
+      in
+      let finish = start_service +. service_ns +. stack_ns in
+      t.system.(master) <- t.system.(master) +. service_ns +. stack_ns;
+      t.clock.(master) <- Float.max t.clock.(master) finish;
+      (* The calling thread was blocked, not computing: its own CPU accrues
+         neither user nor system time; it resumes when the call returns. *)
+      chunk ~d_user:0. ~d_system:0. ~completed:true ~ready_override:finish ()
+
+let pick_cpu t th =
+  match t.scheduler with
+  | Affinity -> th.cpu
+  | Single_queue ->
+      (* Original Mach: the next available processor takes the thread. *)
+      let best = ref 0 in
+      for c = 1 to t.config.n_cpus - 1 do
+        if t.clock.(c) < t.clock.(!best) then best := c
+      done;
+      th.cpu <- !best;
+      !best
+
+let finish_thread t th =
+  th.finished <- true;
+  th.kont <- None;
+  th.pending <- None;
+  t.live <- t.live - 1
+
+(* Process one scheduling turn for [th]: one chunk; on op completion,
+   resume the thread body (possibly through several ops) while no other
+   event is due earlier. *)
+let turn t th =
+  let cpu = pick_cpu t th in
+  let start = Float.max th.ready_at t.clock.(cpu) in
+  t.vnow <- start;
+  let rec go start =
+    match th.pending with
+    | None -> ()
+    | Some pending ->
+        let o = process_chunk t th ~cpu ~start pending in
+        t.user.(cpu) <- t.user.(cpu) +. o.d_user;
+        t.system.(cpu) <- t.system.(cpu) +. o.d_system;
+        let after =
+          match o.ready_override with
+          | Some v -> v
+          | None ->
+              t.clock.(cpu) <- start +. o.d_user +. o.d_system;
+              t.clock.(cpu)
+        in
+        t.vnow <- Float.max t.vnow after;
+        if not o.completed then schedule t th after
+        else begin
+          th.pending <- None;
+          match th.kont with
+          | None -> assert false
+          | Some k -> (
+              th.kont <- None;
+              match Effect.Deep.continue k o.result with
+              | Finished -> finish_thread t th
+              | Blocked (op, k') ->
+                  th.kont <- Some k';
+                  th.pending <- Some (begin_pending op);
+                  (* Keep running inline while no other event is due first;
+                     avoids heap churn for single-threaded phases. *)
+                  let can_inline =
+                    o.ready_override = None
+                    &&
+                    match Numa_util.Pairing_heap.min_elt t.events with
+                    | None -> true
+                    | Some ((time, _), _) -> time >= after
+                  in
+                  if can_inline then begin
+                    t.n_events <- t.n_events + 1;
+                    if t.n_events > t.config.max_events then
+                      failwith "Engine.run: event budget exceeded";
+                    go after
+                  end
+                  else schedule t th after)
+        end
+  in
+  go start
+
+let run t =
+  if t.running || t.completed then invalid_arg "Engine.run: already running";
+  t.running <- true;
+  let rec loop () =
+    match Numa_util.Pairing_heap.pop_min t.events with
+    | None ->
+        if t.live > 0 then
+          raise
+            (Deadlock
+               (Printf.sprintf "%d thread(s) blocked with no runnable events" t.live))
+    | Some (_, tid) ->
+        t.n_events <- t.n_events + 1;
+        if t.n_events > t.config.max_events then
+          failwith "Engine.run: event budget exceeded";
+        let th = Hashtbl.find t.threads tid in
+        if not th.finished then turn t th;
+        loop ()
+  in
+  loop ();
+  t.running <- false;
+  t.completed <- true
+
+let now t = t.vnow
+let user_ns t ~cpu = t.user.(cpu)
+let system_ns t ~cpu = t.system.(cpu)
+let total_user_ns t = Array.fold_left ( +. ) 0. t.user
+let total_system_ns t = Array.fold_left ( +. ) 0. t.system
+let elapsed_ns t = Array.fold_left Float.max 0. t.clock
+let n_events t = t.n_events
+let n_threads t = Hashtbl.length t.threads
+let thread_cpu t ~tid = (Hashtbl.find t.threads tid).cpu

@@ -1,0 +1,68 @@
+(** The discrete-event execution engine.
+
+    Simulated threads are OCaml functions that perform {!Api} effects; the
+    engine resumes them one bounded chunk of work at a time, in strict
+    virtual-time order across all CPUs. Each CPU has its own clock; a
+    thread's chunk runs at [max(event time, cpu clock)], which serialises
+    threads sharing a CPU and makes chunk size the effective time-slicing
+    granularity.
+
+    Accounting follows Unix [time(1)], the paper's instrument: memory
+    references, computation and spinning accrue {e user} time on the
+    running CPU; fault handling, protocol actions and system-call service
+    accrue {e system} time. T_numa and friends are sums of per-CPU user
+    times (section 3.1).
+
+    Two scheduler modes reproduce section 4.7: [Affinity] binds each thread
+    to a CPU at spawn (the paper's modified scheduler); [Single_queue]
+    models original Mach, re-dispatching a thread to the least-advanced CPU
+    at every chunk boundary, destroying locality. *)
+
+type scheduler_mode = Affinity | Single_queue
+
+type config = {
+  n_cpus : int;
+  chunk_refs : int;  (** max references per chunk (interleaving granularity) *)
+  compute_slice_ns : float;  (** max computation per chunk *)
+  spin_poll_ns : float;  (** spin-lock / barrier poll interval *)
+  unix_master : bool;  (** serialise system calls on CPU 0 (section 4.6) *)
+  max_events : int;  (** safety valve against runaway simulations *)
+}
+
+val default_config : n_cpus:int -> config
+
+type t
+
+exception Deadlock of string
+(** Raised when no thread can make progress (e.g. a lock was never
+    released). *)
+
+val create : config -> memory:Memory_iface.t -> scheduler:scheduler_mode -> t
+
+val make_lock : t -> vpage:int -> Sync.lock
+val make_barrier : t -> vpage:int -> parties:int -> Sync.barrier
+
+val spawn : t -> ?cpu:int -> ?stack_vpage:int -> name:string -> (unit -> unit) -> int
+(** Create a thread; returns its tid. Under [Affinity], [cpu] (default:
+    round-robin over CPUs) is the thread's home for the whole run.
+    [stack_vpage] names the thread's stack page, which system calls touch
+    when the Unix-master model is active. Must be called before {!run}. *)
+
+val run : t -> unit
+(** Execute until every thread finishes. Raises {!Deadlock} or [Failure]
+    (event budget exceeded) on pathological workloads. *)
+
+val now : t -> float
+(** Current virtual time; callable during [run] (e.g. from policies). *)
+
+val user_ns : t -> cpu:int -> float
+val system_ns : t -> cpu:int -> float
+val total_user_ns : t -> float
+val total_system_ns : t -> float
+val elapsed_ns : t -> float
+(** Wall-clock analogue: the largest CPU clock. *)
+
+val n_events : t -> int
+val n_threads : t -> int
+val thread_cpu : t -> tid:int -> int
+(** CPU the thread last ran on. *)

@@ -1,0 +1,29 @@
+(** What the engine needs from a memory system.
+
+    The engine is generic over this record so it can be tested against a
+    flat UMA memory and run in production against the full
+    machine/VM/NUMA stack (wired up by [Numa_system]).
+
+    [access] performs [count] back-to-back references by one CPU to one
+    page, resolving faults as needed, and reports the virtual time consumed:
+    [user_ns] for the references themselves and [system_ns] for any kernel
+    work (faults, page copies) they triggered. For reads, [value] is the
+    content observed; for writes it echoes the stored value. *)
+
+type result = { user_ns : float; system_ns : float; value : int }
+
+type t = {
+  access :
+    cpu:int ->
+    tid:int ->
+    vpage:int ->
+    access:Numa_machine.Access.t ->
+    count:int ->
+    value:int ->
+    result;
+}
+
+val flat : Numa_machine.Config.t -> t
+(** A uniform-memory-access reference implementation: every reference at
+    local speed, no faults, contents in a plain table. Used by the engine's
+    own unit tests. *)

@@ -1,0 +1,20 @@
+type t =
+  | Read of { vpage : int; count : int }
+  | Write of { vpage : int; count : int; value : int }
+  | Compute of { ns : float }
+  | Lock_acquire of Sync.lock
+  | Lock_release of Sync.lock
+  | Barrier_wait of Sync.barrier
+  | Syscall of { service_ns : float; touch_stack : bool }
+  | Migrate of { cpu : int }
+
+let pp ppf = function
+  | Read { vpage; count } -> Format.fprintf ppf "read[%d x%d]" vpage count
+  | Write { vpage; count; value } -> Format.fprintf ppf "write[%d x%d <- %d]" vpage count value
+  | Compute { ns } -> Format.fprintf ppf "compute[%.0fns]" ns
+  | Lock_acquire l -> Format.fprintf ppf "lock[%d]" l.Sync.lock_id
+  | Lock_release l -> Format.fprintf ppf "unlock[%d]" l.Sync.lock_id
+  | Barrier_wait b -> Format.fprintf ppf "barrier[%d]" b.Sync.barrier_id
+  | Syscall { service_ns; touch_stack } ->
+      Format.fprintf ppf "syscall[%.0fns%s]" service_ns (if touch_stack then ",stack" else "")
+  | Migrate { cpu } -> Format.fprintf ppf "migrate[cpu%d]" cpu

@@ -1,0 +1,30 @@
+(** The operations a simulated thread can perform.
+
+    Thread bodies are ordinary OCaml functions; each operation is delivered
+    to the engine as an effect (see {!Api}), the engine charges virtual
+    time for it, and the thread resumes. Memory operations are batched
+    ([count] back-to-back references to one page): the engine slices large
+    batches into bounded chunks so that consistency-protocol activity from
+    other processors interleaves realistically. *)
+
+type t =
+  | Read of { vpage : int; count : int }
+      (** [count] 32-bit fetches from one virtual page *)
+  | Write of { vpage : int; count : int; value : int }
+      (** [count] 32-bit stores; the page's content cell ends up holding
+          [value] *)
+  | Compute of { ns : float }
+      (** pure computation (no data references) *)
+  | Lock_acquire of Sync.lock
+  | Lock_release of Sync.lock
+  | Barrier_wait of Sync.barrier
+  | Syscall of { service_ns : float; touch_stack : bool }
+      (** a Unix system call; with the Unix-master model enabled it
+          serialises on CPU 0, and with [touch_stack] it references the
+          calling thread's stack page from the master CPU (section 4.6) *)
+  | Migrate of { cpu : int }
+      (** rebind the thread to another processor (the section 4.7 load
+          balancing hook); its pages stay behind unless the kernel moves
+          them too *)
+
+val pp : Format.formatter -> t -> unit

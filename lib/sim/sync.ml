@@ -1,0 +1,22 @@
+type lock = {
+  lock_id : int;
+  lock_vpage : int;
+  mutable holder : int option;
+  mutable acquisitions : int;
+  mutable contended_polls : int;
+}
+
+type barrier = {
+  barrier_id : int;
+  barrier_vpage : int;
+  parties : int;
+  mutable arrived : int;
+  mutable generation : int;
+}
+
+let make_lock ~id ~vpage =
+  { lock_id = id; lock_vpage = vpage; holder = None; acquisitions = 0; contended_polls = 0 }
+
+let make_barrier ~id ~vpage ~parties =
+  if parties <= 0 then invalid_arg "Sync.make_barrier: parties must be positive";
+  { barrier_id = id; barrier_vpage = vpage; parties; arrived = 0; generation = 0 }

@@ -1,0 +1,28 @@
+(** Synchronisation objects for simulated threads.
+
+    Matching the paper's applications, locks are non-blocking spin locks
+    and barriers are spin barriers: waiting threads burn user time polling,
+    and every poll is a real memory reference to the object's page — so a
+    lock word that gets pinned into global memory makes every subsequent
+    acquisition more expensive, exactly as on the ACE.
+
+    The engine owns all state transitions; these records only carry it. *)
+
+type lock = {
+  lock_id : int;
+  lock_vpage : int;  (** the page holding the lock word *)
+  mutable holder : int option;  (** tid of the current holder *)
+  mutable acquisitions : int;
+  mutable contended_polls : int;  (** failed test-and-set attempts *)
+}
+
+type barrier = {
+  barrier_id : int;
+  barrier_vpage : int;  (** the page holding the arrival counter *)
+  parties : int;
+  mutable arrived : int;
+  mutable generation : int;  (** bumped on each release *)
+}
+
+val make_lock : id:int -> vpage:int -> lock
+val make_barrier : id:int -> vpage:int -> parties:int -> barrier

@@ -1,0 +1,106 @@
+type ref_counts = {
+  mutable local_reads : int;
+  mutable local_writes : int;
+  mutable global_reads : int;
+  mutable global_writes : int;
+  mutable remote_reads : int;
+  mutable remote_writes : int;
+}
+
+let zero_counts () =
+  {
+    local_reads = 0;
+    local_writes = 0;
+    global_reads = 0;
+    global_writes = 0;
+    remote_reads = 0;
+    remote_writes = 0;
+  }
+
+let total_refs c =
+  c.local_reads + c.local_writes + c.global_reads + c.global_writes + c.remote_reads
+  + c.remote_writes
+
+let local_fraction c =
+  let total = total_refs c in
+  if total = 0 then 0.
+  else float_of_int (c.local_reads + c.local_writes) /. float_of_int total
+
+type t = {
+  policy_name : string;
+  n_cpus : int;
+  n_threads : int;
+  user_ns_per_cpu : float array;
+  system_ns_per_cpu : float array;
+  total_user_ns : float;
+  total_system_ns : float;
+  elapsed_ns : float;
+  refs_all : ref_counts;
+  refs_writable_data : ref_counts;
+  per_region : (string * ref_counts) list;
+  alpha_counted : float;
+  numa_enters : int;
+  numa_moves : int;
+  numa_copies_to_local : int;
+  numa_syncs_to_global : int;
+  numa_replicas_flushed : int;
+  numa_mappings_dropped : int;
+  numa_zero_fills_local : int;
+  numa_zero_fills_global : int;
+  numa_local_fallbacks : int;
+  pins : int;
+  placement : (string * int) list;
+  policy_info : (string * string) list;
+  n_events : int;
+  lock_acquisitions : int;
+  lock_contended_polls : int;
+  bus_words : int;
+  bus_delay_ns : float;
+}
+
+let total_user_s t = t.total_user_ns /. 1e9
+let total_system_s t = t.total_system_ns /. 1e9
+
+let summary_line t =
+  Printf.sprintf "policy=%s cpus=%d user=%.2fs system=%.2fs alpha=%.3f moves=%d pins=%d"
+    t.policy_name t.n_cpus (total_user_s t) (total_system_s t) t.alpha_counted
+    t.numa_moves t.pins
+
+let pp_counts ppf c =
+  Format.fprintf ppf "local %d/%d  global %d/%d  remote %d/%d (reads/writes)"
+    c.local_reads c.local_writes c.global_reads c.global_writes c.remote_reads
+    c.remote_writes
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "run: policy=%s, %d CPUs, %d threads@," t.policy_name t.n_cpus
+    t.n_threads;
+  Format.fprintf ppf "time: user %.3f s, system %.3f s, elapsed %.3f s, %d events@,"
+    (total_user_s t) (total_system_s t) (t.elapsed_ns /. 1e9) t.n_events;
+  Format.fprintf ppf "refs (all): %a@," pp_counts t.refs_all;
+  Format.fprintf ppf "refs (writable data): %a@," pp_counts t.refs_writable_data;
+  Format.fprintf ppf "alpha (counted): %.4f@," t.alpha_counted;
+  Format.fprintf ppf
+    "numa: enters %d, moves %d, copies %d, syncs %d, flushes %d, unmapped %d@,"
+    t.numa_enters t.numa_moves t.numa_copies_to_local t.numa_syncs_to_global
+    t.numa_replicas_flushed t.numa_mappings_dropped;
+  Format.fprintf ppf "zero fills: %d local, %d global; fallbacks %d; pins %d@,"
+    t.numa_zero_fills_local t.numa_zero_fills_global t.numa_local_fallbacks t.pins;
+  Format.fprintf ppf "locks: %d acquisitions, %d contended polls@," t.lock_acquisitions
+    t.lock_contended_polls;
+  if t.bus_delay_ns > 0. then
+    Format.fprintf ppf "bus: %d words, %.3f s queueing delay@," t.bus_words
+      (t.bus_delay_ns /. 1e9);
+  Format.fprintf ppf "placement:";
+  List.iter (fun (k, n) -> if n > 0 then Format.fprintf ppf " %s=%d" k n) t.placement;
+  Format.fprintf ppf "@,";
+  if t.policy_info <> [] then begin
+    Format.fprintf ppf "policy:";
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) t.policy_info;
+    Format.fprintf ppf "@,"
+  end;
+  Format.fprintf ppf "per-region:@,";
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "  %-24s %a@," name pp_counts c)
+    t.per_region;
+  Format.fprintf ppf "@]"

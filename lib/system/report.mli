@@ -1,0 +1,64 @@
+(** Results of one simulated run — the raw material of every experiment.
+
+    Times follow the Unix [time(1)] split the paper measures with: user
+    time is references + computation + spinning; system time is fault
+    handling, protocol actions, page copies and system-call service.
+    T_numa / T_global / T_local of section 3.1 are [total_user_s] of runs
+    under the corresponding policies. *)
+
+type ref_counts = {
+  mutable local_reads : int;
+  mutable local_writes : int;
+  mutable global_reads : int;
+  mutable global_writes : int;
+  mutable remote_reads : int;
+  mutable remote_writes : int;
+}
+
+val zero_counts : unit -> ref_counts
+val total_refs : ref_counts -> int
+val local_fraction : ref_counts -> float
+(** Directly counted alpha: local references over all references. *)
+
+type t = {
+  policy_name : string;
+  n_cpus : int;
+  n_threads : int;
+  user_ns_per_cpu : float array;
+  system_ns_per_cpu : float array;
+  total_user_ns : float;
+  total_system_ns : float;
+  elapsed_ns : float;
+  refs_all : ref_counts;  (** every data reference the run made *)
+  refs_writable_data : ref_counts;  (** references to writable-data regions only *)
+  per_region : (string * ref_counts) list;
+  alpha_counted : float;
+      (** measured alpha over writable data (reference counts, not the
+          timing model): cross-checks equation 4 *)
+  numa_enters : int;
+  numa_moves : int;
+  numa_copies_to_local : int;
+  numa_syncs_to_global : int;
+  numa_replicas_flushed : int;
+  numa_mappings_dropped : int;
+  numa_zero_fills_local : int;
+  numa_zero_fills_global : int;
+  numa_local_fallbacks : int;
+  pins : int;  (** pages pinned in global by the policy *)
+  placement : (string * int) list;  (** final logical-page states *)
+  policy_info : (string * string) list;
+  n_events : int;
+  lock_acquisitions : int;
+  lock_contended_polls : int;
+  bus_words : int;  (** global-memory traffic offered to the IPC bus *)
+  bus_delay_ns : float;  (** queueing delay charged by the contention model *)
+}
+
+val total_user_s : t -> float
+val total_system_s : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Multi-section human-readable report. *)
+
+val summary_line : t -> string
+(** One line: user/system seconds, alpha, moves, pins. *)

@@ -1,0 +1,419 @@
+open Numa_machine
+module Engine = Numa_sim.Engine
+module Sync = Numa_sim.Sync
+module Memory_iface = Numa_sim.Memory_iface
+module Region_attr = Numa_vm.Region_attr
+module Policy = Numa_core.Policy
+
+type policy_spec =
+  | Move_limit of { threshold : int }
+  | All_global
+  | Never_pin
+  | Random_assign of { p_global : float; seed : int64 }
+  | Reconsider of { threshold : int; window_ns : float }
+
+let policy_spec_name = function
+  | Move_limit { threshold } -> Printf.sprintf "move-limit(%d)" threshold
+  | All_global -> "all-global"
+  | Never_pin -> "never-pin"
+  | Random_assign { p_global; _ } -> Printf.sprintf "random(%.2f)" p_global
+  | Reconsider { threshold; _ } -> Printf.sprintf "reconsider(%d)" threshold
+
+type region = {
+  base_vpage : int;
+  pages : int;
+  attr : Region_attr.t;
+  obj : Numa_vm.Vm_object.t;
+  task : Numa_vm.Task.t;
+}
+
+type access_event = {
+  at : float;
+  cpu : int;
+  tid : int;
+  vpage : int;
+  kind : Access.t;
+  count : int;
+  where : Location.relative;
+  region : string;
+}
+
+type t = {
+  config : Config.t;
+  pmap_mgr : Numa_core.Pmap_manager.t;
+  ops : Numa_vm.Pmap_intf.ops;
+  pool : Numa_vm.Lpage_pool.t;
+  task : Numa_vm.Task.t;
+  fault_ctx : Numa_vm.Fault.ctx;
+  pageout : Numa_vm.Pageout.t;
+  bus : Bus.t;
+  engine : Engine.t;
+  regions_by_vpage : (int * int, region) Hashtbl.t;  (** (task id, vpage) *)
+  mutable tasks : Numa_vm.Task.t list;  (** additional tasks beyond the default *)
+  mutable next_task_id : int;
+  task_of_tid : (int, Numa_vm.Task.t) Hashtbl.t;
+  mutable regions : region list;
+  mutable next_obj_id : int;
+  mutable n_threads : int;
+  mutable locks : Sync.lock list;
+  refs_all : Report.ref_counts;
+  refs_writable : Report.ref_counts;
+  per_region : (string, Report.ref_counts) Hashtbl.t;
+  mutable hook : (access_event -> unit) option;
+  mutable accesses_since_scan : int;
+  reconsider_interval : int;
+      (** access-count period of the reconsideration daemon (only matters
+          for policies with expiring pins) *)
+}
+
+(* --- reference accounting --------------------------------------------- *)
+
+let bump (c : Report.ref_counts) ~(kind : Access.t) ~(where : Location.relative) ~count =
+  match (where, kind) with
+  | Location.Local_here, Access.Load -> c.local_reads <- c.local_reads + count
+  | Location.Local_here, Access.Store -> c.local_writes <- c.local_writes + count
+  | Location.In_global, Access.Load -> c.global_reads <- c.global_reads + count
+  | Location.In_global, Access.Store -> c.global_writes <- c.global_writes + count
+  | Location.Remote_local, Access.Load -> c.remote_reads <- c.remote_reads + count
+  | Location.Remote_local, Access.Store -> c.remote_writes <- c.remote_writes + count
+
+let region_counts t name =
+  match Hashtbl.find_opt t.per_region name with
+  | Some c -> c
+  | None ->
+      let c = Report.zero_counts () in
+      Hashtbl.replace t.per_region name c;
+      c
+
+(* --- the memory interface handed to the engine ------------------------ *)
+
+let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
+  (* Reconsideration daemon: a cheap periodic tick piggybacked on the
+     access stream (the real system would use a kernel timer). *)
+  t.accesses_since_scan <- t.accesses_since_scan + 1;
+  if t.accesses_since_scan >= t.reconsider_interval then begin
+    t.accesses_since_scan <- 0;
+    ignore (Numa_core.Pmap_manager.reconsider_scan t.pmap_mgr)
+  end;
+  (* Resolve the reference in the issuing thread's address space. *)
+  let thread_task =
+    match Hashtbl.find_opt t.task_of_tid tid with Some task -> task | None -> t.task
+  in
+  let region =
+    match Hashtbl.find_opt t.regions_by_vpage (thread_task.Numa_vm.Task.id, vpage) with
+    | Some r -> r
+    | None ->
+        failwith
+          (Printf.sprintf "access to unmapped virtual page %d in task %d" vpage
+             thread_task.Numa_vm.Task.id)
+  in
+  let pmap = thread_task.Numa_vm.Task.pmap in
+  let rec ensure attempts =
+    if attempts > 3 then failwith "fault loop did not converge";
+    match t.ops.Numa_vm.Pmap_intf.resident ~pmap ~cpu ~vpage with
+    | Some (prot, where) when Prot.allows prot kind -> where
+    | Some _ | None -> (
+        match Numa_vm.Fault.handle t.fault_ctx thread_task ~cpu ~vpage ~access:kind with
+        | Ok () -> ensure (attempts + 1)
+        | Error e ->
+            failwith
+              (Printf.sprintf "page fault failed at vpage %d: %s" vpage
+                 (Numa_vm.Fault.error_to_string e)))
+  in
+  let where = ensure 0 in
+  let bus_delay =
+    match where with
+    | Location.In_global | Location.Remote_local ->
+        (* Global and remote traffic crosses the IPC bus. *)
+        Bus.delay_ns t.bus ~now:(Engine.now t.engine) ~words:count
+    | Location.Local_here -> 0.
+  in
+  let user_ns = Cost.references_ns t.config ~access:kind ~where ~count +. bus_delay in
+  let system_ns =
+    Cost_sink.drain (Numa_core.Pmap_manager.sink t.pmap_mgr) ~cpu
+  in
+  let value =
+    match kind with
+    | Access.Store ->
+        t.ops.Numa_vm.Pmap_intf.write_slot ~pmap ~cpu ~vpage value;
+        value
+    | Access.Load -> t.ops.Numa_vm.Pmap_intf.read_slot ~pmap ~cpu ~vpage
+  in
+  bump t.refs_all ~kind ~where ~count;
+  if Region_attr.is_writable_data region.attr then
+    bump t.refs_writable ~kind ~where ~count;
+  bump (region_counts t region.attr.Region_attr.name) ~kind ~where ~count;
+  (match t.hook with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          at = Engine.now t.engine;
+          cpu;
+          tid;
+          vpage;
+          kind;
+          count;
+          where;
+          region = region.attr.Region_attr.name;
+        });
+  { Memory_iface.user_ns; system_ns; value }
+
+(* --- construction ------------------------------------------------------ *)
+
+let policy_of_spec spec ~n_pages ~now =
+  match spec with
+  | Move_limit { threshold } -> Policy.move_limit ~threshold ~n_pages ()
+  | All_global -> Policy.all_global ()
+  | Never_pin -> Policy.never_pin ()
+  | Random_assign { p_global; seed } ->
+      Policy.random ~prng:(Numa_util.Prng.create ~seed) ~p_global ~n_pages
+  | Reconsider { threshold; window_ns } ->
+      Policy.reconsider ~threshold ~window_ns ~now ~n_pages ()
+
+let build_policy = policy_of_spec
+
+let create ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinity)
+    ?(chunk_refs = 2048) ?(spin_poll_ns = 10_000.) ?(unix_master = false) ~config () =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("System.create: bad machine config: " ^ msg));
+  let now_cell = ref (fun () -> 0.) in
+  let pol =
+    build_policy policy ~n_pages:config.Config.global_pages ~now:(fun () -> !now_cell ())
+  in
+  let pmap_mgr = Numa_core.Pmap_manager.create ~config ~policy:pol in
+  let ops = Numa_core.Pmap_manager.ops pmap_mgr in
+  let pool = Numa_vm.Lpage_pool.create config ~ops in
+  let task = Numa_vm.Task.create ~ops ~id:0 ~name:"workload" in
+  let pageout =
+    Numa_vm.Pageout.create ~pool ~ops ~low_water:2
+      ~high_water:(max 8 (config.Config.global_pages / 64))
+      ()
+  in
+  let fault_ctx =
+    {
+      Numa_vm.Fault.ops;
+      config;
+      sink = Numa_core.Pmap_manager.sink pmap_mgr;
+      pool;
+      pageout = Some pageout;
+    }
+  in
+  let tref = ref None in
+  let memory =
+    {
+      Memory_iface.access =
+        (fun ~cpu ~tid ~vpage ~access ~count ~value ->
+          match !tref with
+          | Some t -> do_access t ~cpu ~tid ~vpage ~access ~count ~value
+          | None -> assert false);
+    }
+  in
+  let engine_config =
+    {
+      (Engine.default_config ~n_cpus:config.Config.n_cpus) with
+      Engine.chunk_refs;
+      spin_poll_ns;
+      unix_master;
+    }
+  in
+  let engine = Engine.create engine_config ~memory ~scheduler in
+  let bus = Bus.create config in
+  let t =
+    {
+      config;
+      pmap_mgr;
+      ops;
+      pool;
+      task;
+      fault_ctx;
+      pageout;
+      bus;
+      engine;
+      regions_by_vpage = Hashtbl.create 256;
+      tasks = [];
+      next_task_id = 1;
+      task_of_tid = Hashtbl.create 32;
+      regions = [];
+      next_obj_id = 0;
+      n_threads = 0;
+      locks = [];
+      refs_all = Report.zero_counts ();
+      refs_writable = Report.zero_counts ();
+      per_region = Hashtbl.create 32;
+      hook = None;
+      accesses_since_scan = 0;
+      reconsider_interval = 512;
+    }
+  in
+  tref := Some t;
+  (now_cell := fun () -> Engine.now engine);
+  t
+
+(* --- workload construction --------------------------------------------- *)
+
+let register_region t ?pragma ~(task : Numa_vm.Task.t) ~attr ~obj ~pages ~max_prot () =
+  let vm_region =
+    Numa_vm.Vm_map.allocate task.Numa_vm.Task.map ~npages:pages ~obj ~obj_offset:0
+      ~max_prot ~attr ()
+  in
+  let region =
+    { base_vpage = vm_region.Numa_vm.Vm_map.base_vpage; pages; attr; obj; task }
+  in
+  for v = region.base_vpage to region.base_vpage + pages - 1 do
+    Hashtbl.replace t.regions_by_vpage (task.Numa_vm.Task.id, v) region
+  done;
+  (match pragma with
+  | None -> ()
+  | Some _ ->
+      Numa_core.Pmap_manager.set_pragma t.pmap_mgr ~pmap:task.Numa_vm.Task.pmap
+        ~vpage:region.base_vpage ~n:pages pragma);
+  t.regions <- region :: t.regions;
+  region
+
+let max_prot_of_kind = function
+  | Region_attr.Code -> Prot.Read_only
+  | Region_attr.Data | Region_attr.Stack _ | Region_attr.Sync -> Prot.Read_write
+
+let alloc_region t ?pragma ?task ~name ~kind ~sharing ~pages () =
+  if pages <= 0 then invalid_arg "System.alloc_region: pages must be positive";
+  let task = Option.value task ~default:t.task in
+  let attr = Region_attr.v ?pragma ~name ~kind ~sharing () in
+  let obj = Numa_vm.Vm_object.create ~id:t.next_obj_id ~name ~size_pages:pages in
+  t.next_obj_id <- t.next_obj_id + 1;
+  let region =
+    register_region t ?pragma ~task ~attr ~obj ~pages ~max_prot:(max_prot_of_kind kind) ()
+  in
+  Numa_vm.Pageout.register t.pageout region.obj;
+  region
+
+let create_task t ~name =
+  let task = Numa_vm.Task.create ~ops:t.ops ~id:t.next_task_id ~name in
+  t.next_task_id <- t.next_task_id + 1;
+  t.tasks <- task :: t.tasks;
+  task
+
+let map_shared t ?pragma ~into source_region =
+  (* Map the source region's memory object into another task: the Mach
+     named-memory-object idiom -- both tasks reach the same logical pages
+     through their own pmaps, and the NUMA layer sees the sharing. *)
+  let attr = source_region.attr in
+  register_region t ?pragma ~task:into ~attr ~obj:source_region.obj
+    ~pages:source_region.pages
+    ~max_prot:(max_prot_of_kind attr.Region_attr.kind)
+    ()
+
+let make_lock t ~name =
+  let r =
+    alloc_region t ~name ~kind:Region_attr.Sync ~sharing:Region_attr.Declared_write_shared
+      ~pages:1 ()
+  in
+  let lock = Engine.make_lock t.engine ~vpage:r.base_vpage in
+  t.locks <- lock :: t.locks;
+  lock
+
+let make_barrier t ~name ~parties =
+  let r =
+    alloc_region t ~name ~kind:Region_attr.Sync ~sharing:Region_attr.Declared_write_shared
+      ~pages:1 ()
+  in
+  Engine.make_barrier t.engine ~vpage:r.base_vpage ~parties
+
+let spawn t ?cpu ?task ?(stack_pages = 1) ~name body =
+  let tid_guess = t.n_threads in
+  let stack =
+    alloc_region t ?task
+      ~name:(Printf.sprintf "%s.stack" name)
+      ~kind:(Region_attr.Stack tid_guess) ~sharing:Region_attr.Declared_private
+      ~pages:stack_pages ()
+  in
+  let tid =
+    Engine.spawn t.engine ?cpu ~stack_vpage:stack.base_vpage ~name (fun () ->
+        body ~stack_vpage:stack.base_vpage)
+  in
+  (match task with
+  | Some task -> Hashtbl.replace t.task_of_tid tid task
+  | None -> ());
+  t.n_threads <- t.n_threads + 1;
+  assert (tid = tid_guess);
+  tid
+
+let set_access_hook t hook = t.hook <- hook
+
+(* --- running and reporting --------------------------------------------- *)
+
+let run t =
+  Engine.run t.engine;
+  let stats = Numa_core.Pmap_manager.stats t.pmap_mgr in
+  let pol = Numa_core.Pmap_manager.policy t.pmap_mgr in
+  let n_cpus = t.config.Config.n_cpus in
+  {
+    Report.policy_name = pol.Policy.name;
+    n_cpus;
+    n_threads = t.n_threads;
+    user_ns_per_cpu = Array.init n_cpus (fun cpu -> Engine.user_ns t.engine ~cpu);
+    system_ns_per_cpu = Array.init n_cpus (fun cpu -> Engine.system_ns t.engine ~cpu);
+    total_user_ns = Engine.total_user_ns t.engine;
+    total_system_ns = Engine.total_system_ns t.engine;
+    elapsed_ns = Engine.elapsed_ns t.engine;
+    refs_all = t.refs_all;
+    refs_writable_data = t.refs_writable;
+    per_region =
+      List.rev_map
+        (fun r ->
+          let name = r.attr.Region_attr.name in
+          (name, region_counts t name))
+        t.regions;
+    alpha_counted = Report.local_fraction t.refs_writable;
+    numa_enters = stats.Numa_core.Numa_stats.enters;
+    numa_moves = stats.Numa_core.Numa_stats.moves;
+    numa_copies_to_local = stats.Numa_core.Numa_stats.copies_to_local;
+    numa_syncs_to_global = stats.Numa_core.Numa_stats.syncs_to_global;
+    numa_replicas_flushed = stats.Numa_core.Numa_stats.replicas_flushed;
+    numa_mappings_dropped = stats.Numa_core.Numa_stats.mappings_dropped;
+    numa_zero_fills_local = stats.Numa_core.Numa_stats.zero_fills_local;
+    numa_zero_fills_global = stats.Numa_core.Numa_stats.zero_fills_global;
+    numa_local_fallbacks = stats.Numa_core.Numa_stats.local_fallbacks;
+    pins = pol.Policy.n_pinned ();
+    placement = Numa_core.Pmap_manager.placement_summary t.pmap_mgr;
+    policy_info = pol.Policy.info ();
+    n_events = Engine.n_events t.engine;
+    lock_acquisitions = List.fold_left (fun acc l -> acc + l.Sync.acquisitions) 0 t.locks;
+    lock_contended_polls =
+      List.fold_left (fun acc l -> acc + l.Sync.contended_polls) 0 t.locks;
+    bus_words = Bus.total_words t.bus;
+    bus_delay_ns = Bus.total_delay_ns t.bus;
+  }
+
+(* --- introspection ------------------------------------------------------ *)
+
+let config t = t.config
+let engine t = t.engine
+let pmap_manager t = t.pmap_mgr
+let numa_manager t = Numa_core.Pmap_manager.manager t.pmap_mgr
+let policy t = Numa_core.Pmap_manager.policy t.pmap_mgr
+let task t = t.task
+let pool t = t.pool
+let region_at t ?task ~vpage () =
+  let task = Option.value task ~default:t.task in
+  Hashtbl.find_opt t.regions_by_vpage (task.Numa_vm.Task.id, vpage)
+
+let lpage_of t ?task ~vpage () =
+  match region_at t ?task ~vpage () with
+  | None -> None
+  | Some r -> (
+      let offset = vpage - r.base_vpage in
+      match Numa_vm.Vm_object.slot r.obj ~offset with
+      | Numa_vm.Vm_object.Resident lpage -> Some lpage
+      | Numa_vm.Vm_object.Empty | Numa_vm.Vm_object.Paged_out _ -> None)
+
+let migrate_pages t ~src ~dst =
+  Numa_core.Pmap_manager.migrate_node_pages t.pmap_mgr ~src ~dst
+
+let page_out t region ~page_index =
+  if page_index < 0 || page_index >= region.pages then
+    invalid_arg "System.page_out: page index out of range";
+  Numa_vm.Vm_object.page_out region.obj ~pool:t.pool ~ops:t.ops ~offset:page_index
+
+let check_invariants t = Numa_core.Numa_manager.check_invariants (numa_manager t)

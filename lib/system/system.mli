@@ -1,0 +1,147 @@
+(** A complete simulated ACE running Mach with NUMA page placement.
+
+    This is the top of the substrate stack and the API applications are
+    written against: it assembles the machine model (frames, MMU, costs),
+    the Mach-flavoured VM (logical page pool, maps, fault handler), the
+    paper's pmap layer (NUMA manager + policy) and the discrete-event
+    engine, and exposes region allocation, thread spawning and
+    synchronisation.
+
+    Typical use:
+    {[
+      let sys = System.create ~config:(Config.ace ()) () in
+      let data = System.alloc_region sys ~name:"data" ~kind:Data
+                   ~sharing:Declared_write_shared ~pages:8 () in
+      System.spawn sys ~name:"worker" (fun ~stack_vpage:_ ->
+          Api.write data.base_vpage; Api.compute 1e6);
+      let report = System.run sys in
+      Format.printf "%a@." Report.pp report
+    ]} *)
+
+open Numa_machine
+
+type policy_spec =
+  | Move_limit of { threshold : int }
+      (** the paper's policy; threshold 4 is the boot-time default *)
+  | All_global  (** the T_global baseline *)
+  | Never_pin  (** replicate/migrate forever *)
+  | Random_assign of { p_global : float; seed : int64 }
+  | Reconsider of { threshold : int; window_ns : float }
+
+val policy_spec_name : policy_spec -> string
+
+val policy_of_spec :
+  policy_spec -> n_pages:int -> now:(unit -> float) -> Numa_core.Policy.t
+(** Instantiate a policy outside a full system (used by the trace-replay
+    evaluator, which supplies trace timestamps as "now"). *)
+
+type region = private {
+  base_vpage : int;
+  pages : int;
+  attr : Numa_vm.Region_attr.t;
+  obj : Numa_vm.Vm_object.t;
+  task : Numa_vm.Task.t;  (** the address space the region lives in *)
+}
+
+type access_event = {
+  at : float;
+  cpu : int;
+  tid : int;
+  vpage : int;
+  kind : Access.t;
+  count : int;
+  where : Location.relative;
+  region : string;
+}
+(** One batched reference, as delivered to the trace hook. *)
+
+type t
+
+val create :
+  ?policy:policy_spec ->
+  ?scheduler:Numa_sim.Engine.scheduler_mode ->
+  ?chunk_refs:int ->
+  ?spin_poll_ns:float ->
+  ?unix_master:bool ->
+  config:Config.t ->
+  unit ->
+  t
+(** Defaults: the paper's [Move_limit {threshold = 4}] policy, affinity
+    scheduling, 2048-reference chunks, no Unix-master modelling. *)
+
+val alloc_region :
+  t ->
+  ?pragma:Numa_vm.Region_attr.pragma ->
+  ?task:Numa_vm.Task.t ->
+  name:string ->
+  kind:Numa_vm.Region_attr.kind ->
+  sharing:Numa_vm.Region_attr.sharing ->
+  pages:int ->
+  unit ->
+  region
+(** Allocate zero-fill virtual memory ([task] defaults to the workload
+    task). [Code] regions are mapped read-only; everything else
+    read-write. A [pragma] registers the section 4.3 placement override
+    for the range. *)
+
+val create_task : t -> name:string -> Numa_vm.Task.t
+(** A further Mach task (its own address space and pmap). Threads are
+    placed in a task via [spawn ~task]; memory is shared between tasks
+    with {!map_shared}. Caveat: {!make_lock}/{!make_barrier} objects live
+    at default-task addresses, so threads of other tasks can only use them
+    if the sync region is mapped at the same virtual address in their
+    task; cross-task workloads normally coordinate through shared memory
+    instead. *)
+
+val map_shared : t -> ?pragma:Numa_vm.Region_attr.pragma -> into:Numa_vm.Task.t -> region -> region
+(** Map an existing region's memory object into another task — Mach's
+    named-memory-object sharing: both tasks reach the same logical pages
+    through their own pmaps, and the NUMA layer handles the cross-task
+    sharing exactly like cross-thread sharing. Returns the new task's view
+    (its own virtual addresses). *)
+
+val make_lock : t -> name:string -> Numa_sim.Sync.lock
+(** A spin lock on its own freshly allocated sync page. *)
+
+val make_barrier : t -> name:string -> parties:int -> Numa_sim.Sync.barrier
+
+val spawn :
+  t -> ?cpu:int -> ?task:Numa_vm.Task.t -> ?stack_pages:int -> name:string ->
+  (stack_vpage:int -> unit) -> int
+(** Create a thread (in [task], default the workload task) with a private
+    stack region ([stack_pages] pages, default 1); the body receives the
+    stack's base page so it can issue the stack references real code
+    would. Returns the tid. *)
+
+val set_access_hook : t -> (access_event -> unit) option -> unit
+(** Observe every batched reference (for tracing). *)
+
+val run : t -> Report.t
+(** Run all spawned threads to completion and assemble the report. *)
+
+(** {1 Introspection (tests, pager, experiments)} *)
+
+val config : t -> Config.t
+val engine : t -> Numa_sim.Engine.t
+val pmap_manager : t -> Numa_core.Pmap_manager.t
+val numa_manager : t -> Numa_core.Numa_manager.t
+val policy : t -> Numa_core.Policy.t
+val task : t -> Numa_vm.Task.t
+val pool : t -> Numa_vm.Lpage_pool.t
+val region_at : t -> ?task:Numa_vm.Task.t -> vpage:int -> unit -> region option
+
+val lpage_of : t -> ?task:Numa_vm.Task.t -> vpage:int -> unit -> int option
+(** Logical page currently backing a virtual page of a task (default the
+    workload task), if materialised. *)
+
+val migrate_pages : t -> src:int -> dst:int -> int
+(** Kernel page migration after a thread re-homed with [Api.migrate]:
+    moves every page local-writable on [src] to [dst] without counting
+    policy moves. Call from inside the migrating thread's body, right
+    after [Api.migrate]. *)
+
+val page_out : t -> region -> page_index:int -> unit
+(** Evict one page of a region through the pager (exercises the
+    footnote-4 pin reset). *)
+
+val check_invariants : t -> (unit, string) result

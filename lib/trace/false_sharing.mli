@@ -1,0 +1,43 @@
+(** False-sharing detection (section 4.2).
+
+    An object is falsely shared when it is not writably shared itself but
+    sits on a writably shared page. Our regions declare their intended
+    sharing; comparing the declaration with the observed per-page behaviour
+    from a trace flags the suspects:
+
+    - a [Declared_private] or [Declared_read_shared] page observed
+      write-shared is suffering interference from co-located data
+      (the primes2-unsegregated divisor vector is the paper's example);
+    - a [Declared_write_shared] page observed private suggests padding or
+      segregation opportunity in the other direction (the page could have
+      been cached locally all along). *)
+
+type verdict =
+  | Consistent
+  | False_shared  (** declared private/read-shared, observed write-shared *)
+  | Over_declared  (** declared write-shared, observed private *)
+  | Segregation_candidate
+      (** write-shared as declared, but reads dominate writes by a wide
+          margin: the readers are paying global-memory latency for data
+          that is almost never written — copy-out segregation (the primes2
+          fix) or page-sized padding would let it replicate *)
+
+type finding = {
+  page : Classify.summary;
+  declared : Numa_vm.Region_attr.sharing;
+  verdict : verdict;
+}
+
+val analyse :
+  declared_of:(vpage:int -> Numa_vm.Region_attr.sharing option) ->
+  Classify.summary list ->
+  finding list
+(** Pair each page's observed class with its region's declaration.
+    Pages with no known region declaration are skipped. *)
+
+val declared_of_system : Numa_system.System.t -> vpage:int -> Numa_vm.Region_attr.sharing option
+
+val problems : finding list -> finding list
+(** Only the non-[Consistent] findings. *)
+
+val render : finding list -> string

@@ -1,0 +1,230 @@
+open Numa_machine
+module Sys_ = Numa_system.System
+
+(* Page placement states, encoded as integers:
+   fresh (before first touch), global-writable, local-writable on node c,
+   or read-only with a replica bitmask. n_cpus <= 16 keeps masks small. *)
+type state = Fresh | Gw | Lw of int | Ro of int
+
+let encode = function
+  | Fresh -> -1
+  | Gw -> 0
+  | Lw c -> 1 + c
+  | Ro mask -> 1024 + mask
+
+type result = {
+  actual_ns : float;
+  optimal_ns : float;
+  pages : int;
+  per_page_gap : (int * float) list;
+}
+
+let ref_cost config ~kind ~where ~count = Cost.references_ns config ~access:kind ~where ~count
+
+let copy_in config = Cost.page_copy_ns config ~src:Location.In_global ~dst:Location.Local_here
+
+let sync_out config ~by ~owner =
+  let src = if by = owner then Location.Local_here else Location.Remote_local in
+  Cost.page_copy_ns config ~src ~dst:Location.In_global
+
+let zero_local config = Cost.page_zero_ns config ~dst:Location.Local_here
+let zero_global config = Cost.page_zero_ns config ~dst:Location.In_global
+
+let popcount mask =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 mask
+
+(* Cost of moving from [s] to a target serving CPU [c], per the protocol's
+   action repertoire. Returns None for illegal targets (a write served from
+   read-only state is not a state; callers only request legal targets). *)
+let transition config s target ~c =
+  let act = Cost.pmap_action_ns config in
+  let tlb n = float_of_int n *. Cost.tlb_shootdown_ns config in
+  match (s, target) with
+  | Fresh, Gw -> zero_global config +. act
+  | Fresh, Lw c' when c' = c -> zero_local config +. act
+  | Fresh, Ro mask when mask = 1 lsl c -> zero_local config +. act
+  | Gw, Gw -> 0.
+  | Gw, Lw c' when c' = c -> copy_in config +. tlb 1 +. act
+  | Gw, Ro mask when mask = 1 lsl c -> copy_in config +. tlb 1 +. act
+  | Lw o, Gw -> sync_out config ~by:c ~owner:o +. tlb 1 +. act
+  | Lw o, Lw c' when c' = c ->
+      if o = c then 0.
+      else sync_out config ~by:c ~owner:o +. copy_in config +. tlb 1 +. act
+  | Lw o, Ro mask when mask = 1 lsl c ->
+      if o = c then act (* re-protect in place *)
+      else sync_out config ~by:c ~owner:o +. copy_in config +. tlb 1 +. act
+  | Ro mask, Gw -> tlb (popcount mask) +. act
+  | Ro mask, Lw c' when c' = c ->
+      let others = popcount (mask land lnot (1 lsl c)) in
+      let copy = if mask land (1 lsl c) <> 0 then 0. else copy_in config in
+      copy +. tlb others +. act
+  | Ro mask, Ro mask' when mask' = mask lor (1 lsl c) ->
+      if mask land (1 lsl c) <> 0 then 0. else copy_in config +. act
+  | _, _ -> infinity
+
+let serve_cost config target ~c ~kind ~count =
+  match target with
+  | Gw -> ref_cost config ~kind ~where:Location.In_global ~count
+  | Lw c' when c' = c -> ref_cost config ~kind ~where:Location.Local_here ~count
+  | Ro mask when mask land (1 lsl c) <> 0 ->
+      ref_cost config ~kind ~where:Location.Local_here ~count
+  | Fresh | Lw _ | Ro _ -> infinity
+
+(* One DP step: for every frontier state, consider the legal targets for
+   this event and accumulate minimum costs. Frontier is pruned to the
+   cheapest [max_states] entries to bound mask blow-up. *)
+let max_states = 96
+
+let page_optimal_ns ~config events =
+  let frontier : (int, float * state) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.replace frontier (encode Fresh) (0., Fresh);
+  let step (e : Sys_.access_event) =
+    let c = e.Sys_.cpu and kind = e.Sys_.kind and count = e.Sys_.count in
+    let targets =
+      match kind with
+      | Access.Store -> [ Gw; Lw c ]
+      | Access.Load ->
+          (* Reads may also extend a read-only replica set; candidate masks
+             derive from each source state below. *)
+          [ Gw; Lw c ]
+    in
+    let next : (int, float * state) Hashtbl.t = Hashtbl.create 32 in
+    let offer cost state =
+      if cost < infinity then begin
+        let key = encode state in
+        match Hashtbl.find_opt next key with
+        | Some (best, _) when best <= cost -> ()
+        | Some _ | None -> Hashtbl.replace next key (cost, state)
+      end
+    in
+    Hashtbl.iter
+      (fun _ (cost, s) ->
+        List.iter
+          (fun target ->
+            offer
+              (cost +. transition config s target ~c +. serve_cost config target ~c ~kind ~count)
+              target)
+          targets;
+        (* Read-only target: the reachable mask depends on the source. *)
+        if kind = Access.Load then begin
+          let ro_target =
+            match s with
+            | Ro mask -> Some (Ro (mask lor (1 lsl c)))
+            | Fresh | Gw | Lw _ -> Some (Ro (1 lsl c))
+          in
+          match ro_target with
+          | Some target ->
+              offer
+                (cost +. transition config s target ~c
+                +. serve_cost config target ~c ~kind ~count)
+                target
+          | None -> ()
+        end)
+      frontier;
+    (* Prune. *)
+    Hashtbl.reset frontier;
+    let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) next [] in
+    let entries =
+      List.sort (fun (_, (a, _)) (_, (b, _)) -> Float.compare a b) entries
+    in
+    List.iteri
+      (fun i (k, v) -> if i < max_states then Hashtbl.replace frontier k v)
+      entries
+  in
+  List.iter step events;
+  Hashtbl.fold (fun _ (cost, _) best -> Float.min best cost) frontier infinity
+
+(* Estimate the protocol work the live run actually performed on one page
+   from its observed placement sequence. Replica sets matter: consecutive
+   local reads on different CPUs are replication (one copy per new
+   replica), not migration, while a local write implies exclusivity and
+   flushes the other holders. This mirrors the protocol's own actions, so
+   the "actual" side is comparable with the DP optimum. *)
+module Int_set = Set.Make (Int)
+
+type inferred = I_global | I_locals of Int_set.t
+
+let page_actual_ns ~config events =
+  let refs = ref 0. and proto = ref (Cost.pmap_action_ns config (* first touch *)) in
+  let tlb n = float_of_int n *. Cost.tlb_shootdown_ns config in
+  let act () = proto := !proto +. Cost.pmap_action_ns config in
+  let state = ref I_global in
+  let step (e : Sys_.access_event) =
+    refs :=
+      !refs +. ref_cost config ~kind:e.Sys_.kind ~where:e.Sys_.where ~count:e.Sys_.count;
+    let c = e.Sys_.cpu in
+    match (e.Sys_.where, e.Sys_.kind, !state) with
+    | Location.In_global, _, I_global -> ()
+    | Location.In_global, _, I_locals s ->
+        (* The run moved the page to global: sync one holder, flush all. *)
+        proto := !proto +. sync_out config ~by:c ~owner:c +. tlb (Int_set.cardinal s);
+        act ();
+        state := I_global
+    | Location.Local_here, Access.Load, I_global ->
+        proto := !proto +. copy_in config +. tlb 1;
+        act ();
+        state := I_locals (Int_set.singleton c)
+    | Location.Local_here, Access.Load, I_locals s ->
+        if not (Int_set.mem c s) then begin
+          proto := !proto +. copy_in config;
+          act ();
+          state := I_locals (Int_set.add c s)
+        end
+    | Location.Local_here, Access.Store, I_global ->
+        proto := !proto +. copy_in config +. tlb 1;
+        act ();
+        state := I_locals (Int_set.singleton c)
+    | Location.Local_here, Access.Store, I_locals s ->
+        if not (Int_set.equal s (Int_set.singleton c)) then begin
+          let others = Int_set.cardinal (Int_set.remove c s) in
+          let copy = if Int_set.mem c s then 0. else sync_out config ~by:c ~owner:c +. copy_in config in
+          proto := !proto +. copy +. tlb others;
+          act ();
+          state := I_locals (Int_set.singleton c)
+        end
+    | Location.Remote_local, _, _ ->
+        (* Remote placements are stable by construction; no transition. *)
+        ()
+  in
+  List.iter step events;
+  !refs +. !proto
+
+let analyse ~config buffer =
+  let by_page = Trace_buffer.events_by_vpage buffer in
+  let gaps = ref [] in
+  let actual = ref 0. in
+  let optimal = ref 0. in
+  let pages = ref 0 in
+  Hashtbl.iter
+    (fun vpage events ->
+      incr pages;
+      let opt = page_optimal_ns ~config events in
+      let act = page_actual_ns ~config events in
+      actual := !actual +. act;
+      optimal := !optimal +. opt;
+      gaps := (vpage, act -. opt) :: !gaps)
+    by_page;
+  let per_page_gap =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) !gaps
+    |> List.filteri (fun i _ -> i < 16)
+  in
+  { actual_ns = !actual; optimal_ns = !optimal; pages = !pages; per_page_gap }
+
+let render r =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf
+    "offline placement analysis over %d pages:\n\
+     \  trace at observed placements: %.3f s (references + inferred protocol work)\n\
+     \  future-knowledge optimum:     %.3f s (references + protocol work)\n\
+     \  headroom for any OS policy:   %.1f%%\n"
+    r.pages (r.actual_ns /. 1e9) (r.optimal_ns /. 1e9)
+    (100. *. (r.actual_ns -. r.optimal_ns) /. Float.max r.actual_ns 1.);
+  if r.per_page_gap <> [] then begin
+    Buffer.add_string buf "  largest per-page gaps (vpage, seconds):\n";
+    List.iter
+      (fun (vpage, gap) ->
+        if gap > 0. then Printf.bprintf buf "    %6d  %.4f\n" vpage (gap /. 1e9))
+      r.per_page_gap
+  end;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Offline (future-knowledge) placement analysis: a T_optimal estimate.
+
+    The paper compares T_numa against T_local because T_optimal — the time
+    under a placement strategy that minimises user + NUMA system time with
+    future knowledge — could not be measured (section 3.1). With a
+    reference trace we can do better: for each page, a dynamic program over
+    the protocol's state space (global-writable, local-writable per node,
+    read-only with any replica set) finds the cheapest way to serve the
+    page's exact reference sequence, charging the same per-reference and
+    page-copy costs as the live system.
+
+    The result is per-run: [actual_ns] prices the trace at the placements
+    the policy actually chose; [optimal_ns] is the DP optimum. Their ratio
+    bounds how much any operating-system policy could still win — the
+    paper's claim that the simple policy is near what "any operating system
+    level strategy could have" achieved becomes checkable. *)
+
+type result = {
+  actual_ns : float;
+      (** trace priced at observed placements: references plus an estimate
+          of the protocol work implied by each observed placement change *)
+  optimal_ns : float;  (** DP optimum: references + protocol transitions *)
+  pages : int;  (** pages analysed *)
+  per_page_gap : (int * float) list;
+      (** pages with the largest (actual - optimal) gaps, descending *)
+}
+
+val analyse : config:Numa_machine.Config.t -> Trace_buffer.t -> result
+
+val page_optimal_ns :
+  config:Numa_machine.Config.t -> Numa_system.System.access_event list -> float
+(** DP optimum for one page's event list (time-ordered). Exposed for
+    unit tests. *)
+
+val render : result -> string

@@ -1,0 +1,45 @@
+(** Trace-driven policy evaluation.
+
+    Section 5: "Trace-driven analyses can provide much more detailed
+    understanding than what we could garner through the processor-time
+    based approach" — and they are also cheap: once one run's reference
+    trace is captured, any number of candidate policies can be compared by
+    replaying the same reference stream through a fresh pmap layer,
+    without re-running the application. This is the methodology of the
+    contemporaneous policy-comparison studies the paper cites (Holliday;
+    LaRowe & Ellis).
+
+    The replay drives the real {!Numa_core.Pmap_manager} — the same
+    protocol, cost model and policy code as the live system — so its cost
+    estimates are consistent with live runs up to scheduling interactions
+    (spin waits and convoy effects do not replay). *)
+
+type result = {
+  policy_name : string;
+  ref_ns : float;  (** reference time at the placements the policy chose *)
+  protocol_ns : float;  (** fault/copy/shootdown work *)
+  moves : int;
+  pins : int;
+  local_refs : int;
+  global_refs : int;
+  remote_refs : int;
+}
+
+val replay :
+  config:Numa_machine.Config.t ->
+  policy:Numa_system.System.policy_spec ->
+  Trace_buffer.t ->
+  result
+(** Replay every event in trace order under the given policy. Pages seen
+    in the trace are assigned fresh logical pages on first touch; raises
+    [Failure] if the trace touches more distinct pages than the
+    configuration's logical page pool holds. For the [Reconsider] policy,
+    "now" is the trace timestamp of the event being replayed. *)
+
+val compare_policies :
+  config:Numa_machine.Config.t ->
+  policies:Numa_system.System.policy_spec list ->
+  Trace_buffer.t ->
+  result list
+
+val render : result list -> string

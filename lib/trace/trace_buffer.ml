@@ -1,0 +1,104 @@
+open Numa_machine
+
+type event = Numa_system.System.access_event
+
+type t = { mutable events : event array; mutable len : int }
+
+let create () = { events = [||]; len = 0 }
+
+let add t (e : event) =
+  if t.len = Array.length t.events then begin
+    let cap = max 1024 (2 * Array.length t.events) in
+    let grown = Array.make cap e in
+    Array.blit t.events 0 grown 0 t.len;
+    t.events <- grown
+  end;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1
+
+let attach t sys = Numa_system.System.set_access_hook sys (Some (add t))
+
+let length t = t.len
+
+let total_references t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    n := !n + t.events.(i).Numa_system.System.count
+  done;
+  !n
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let events_by_vpage t =
+  let table = Hashtbl.create 256 in
+  (* Build in reverse so each list comes out in time order. *)
+  for i = t.len - 1 downto 0 do
+    let e = t.events.(i) in
+    let existing =
+      Option.value (Hashtbl.find_opt table e.Numa_system.System.vpage) ~default:[]
+    in
+    Hashtbl.replace table e.Numa_system.System.vpage (e :: existing)
+  done;
+  table
+
+let kind_to_char = function Access.Load -> 'R' | Access.Store -> 'W'
+
+let kind_of_char = function
+  | 'R' -> Access.Load
+  | 'W' -> Access.Store
+  | c -> failwith (Printf.sprintf "Trace_buffer.load: bad access kind %C" c)
+
+let where_to_string = function
+  | Location.Local_here -> "local"
+  | Location.In_global -> "global"
+  | Location.Remote_local -> "remote"
+
+let where_of_string = function
+  | "local" -> Location.Local_here
+  | "global" -> Location.In_global
+  | "remote" -> Location.Remote_local
+  | s -> failwith (Printf.sprintf "Trace_buffer.load: bad location %S" s)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      iter t (fun e ->
+          Printf.fprintf oc "%.0f\t%d\t%d\t%d\t%c\t%d\t%s\t%s\n"
+            e.Numa_system.System.at e.Numa_system.System.cpu e.Numa_system.System.tid
+            e.Numa_system.System.vpage
+            (kind_to_char e.Numa_system.System.kind)
+            e.Numa_system.System.count
+            (where_to_string e.Numa_system.System.where)
+            e.Numa_system.System.region))
+
+let load path =
+  let t = create () in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          match String.split_on_char '\t' line with
+          | [ at; cpu; tid; vpage; kind; count; where; region ] ->
+              add t
+                {
+                  Numa_system.System.at = float_of_string at;
+                  cpu = int_of_string cpu;
+                  tid = int_of_string tid;
+                  vpage = int_of_string vpage;
+                  kind = kind_of_char kind.[0];
+                  count = int_of_string count;
+                  where = where_of_string where;
+                  region;
+                }
+          | _ -> failwith ("Trace_buffer.load: malformed line: " ^ line)
+        done;
+        assert false
+      with End_of_file -> t)

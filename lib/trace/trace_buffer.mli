@@ -1,0 +1,36 @@
+(** Reference-trace capture.
+
+    Section 5 of the paper calls for trace-driven analyses "to rectify the
+    weakness" of the processor-time method (it cannot separate placement
+    errors from legitimate sharing). This module records the batched
+    reference stream of a run; {!Classify}, {!False_sharing} and {!Optimal}
+    analyse it. *)
+
+type event = Numa_system.System.access_event
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Numa_system.System.t -> unit
+(** Install this buffer as the system's access hook (replacing any other). *)
+
+val add : t -> event -> unit
+
+val length : t -> int
+(** Number of recorded (batched) events. *)
+
+val total_references : t -> int
+(** Sum of the batch counts. *)
+
+val iter : t -> (event -> unit) -> unit
+(** In record order (= virtual time order). *)
+
+val events_by_vpage : t -> (int, event list) Hashtbl.t
+(** Per-page event lists, each in time order. *)
+
+val save : t -> string -> unit
+(** Write a tab-separated text trace (one batched event per line). *)
+
+val load : string -> t
+(** Read a trace written by {!save}. Raises [Failure] on malformed input. *)

@@ -1,0 +1,26 @@
+module Int_map = Map.Make (Int)
+
+type t = { mutable counts : int Int_map.t; mutable total : int }
+
+let create () = { counts = Int_map.empty; total = 0 }
+
+let add_many t key n =
+  if n < 0 then invalid_arg "Histogram.add_many: negative count";
+  let current = Option.value (Int_map.find_opt key t.counts) ~default:0 in
+  t.counts <- Int_map.add key (current + n) t.counts;
+  t.total <- t.total + n
+
+let add t key = add_many t key 1
+
+let count t key = Option.value (Int_map.find_opt key t.counts) ~default:0
+
+let total t = t.total
+
+let to_sorted_list t = Int_map.bindings t.counts
+
+let keys t = List.map fst (to_sorted_list t)
+
+let pp ppf t =
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "%d: %d@." k n)
+    (to_sorted_list t)

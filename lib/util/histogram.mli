@@ -1,0 +1,29 @@
+(** Integer-valued histogram with unbounded keys.
+
+    Used for per-page move-count distributions (how many ownership transfers
+    each page suffered before pinning) and fault-kind breakdowns. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Increment the count of the given key by one. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t key n] increments the count of [key] by [n]. *)
+
+val count : t -> int -> int
+(** Count recorded for a key (0 if never seen). *)
+
+val total : t -> int
+(** Sum of all counts. *)
+
+val keys : t -> int list
+(** Keys with non-zero count, in increasing order. *)
+
+val to_sorted_list : t -> (int * int) list
+(** (key, count) pairs in increasing key order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per key: [key: count]. *)

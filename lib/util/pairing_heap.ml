@@ -1,0 +1,74 @@
+type ('k, 'v) node = { key : 'k; value : 'v; mutable children : ('k, 'v) node list }
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable root : ('k, 'v) node option;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; root = None; size = 0 }
+
+let is_empty t = t.root = None
+
+let length t = t.size
+
+let meld cmp a b =
+  if cmp a.key b.key <= 0 then begin
+    a.children <- b :: a.children;
+    a
+  end
+  else begin
+    b.children <- a :: b.children;
+    b
+  end
+
+let add t key value =
+  let node = { key; value; children = [] } in
+  t.size <- t.size + 1;
+  match t.root with
+  | None -> t.root <- Some node
+  | Some r -> t.root <- Some (meld t.cmp r node)
+
+let min_elt t =
+  match t.root with
+  | None -> None
+  | Some r -> Some (r.key, r.value)
+
+(* Two-pass pairing: meld children left-to-right in pairs, then meld the
+   results right-to-left. This is the classic strategy with the amortised
+   O(log n) delete-min bound. *)
+let rec merge_pairs cmp = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest -> (
+      let ab = meld cmp a b in
+      match merge_pairs cmp rest with
+      | None -> Some ab
+      | Some r -> Some (meld cmp ab r))
+
+let pop_min t =
+  match t.root with
+  | None -> None
+  | Some r ->
+      t.root <- merge_pairs t.cmp r.children;
+      t.size <- t.size - 1;
+      Some (r.key, r.value)
+
+let clear t =
+  t.root <- None;
+  t.size <- 0
+
+let to_sorted_list t =
+  (* Rebuild a structural copy so draining does not disturb [t]. *)
+  let copy = create ~cmp:t.cmp in
+  let rec push node =
+    add copy node.key node.value;
+    List.iter push node.children
+  in
+  (match t.root with None -> () | Some r -> push r);
+  let rec drain acc =
+    match pop_min copy with
+    | None -> List.rev acc
+    | Some kv -> drain (kv :: acc)
+  in
+  drain []

@@ -1,0 +1,31 @@
+(** Imperative pairing heap keyed by a totally ordered priority.
+
+    Used as the event queue of the discrete-event engine, where the priority
+    is (virtual time, sequence number). Pairing heaps give O(1) insert and
+    find-min with amortised O(log n) delete-min, which matches the engine's
+    insert-heavy access pattern. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+(** Empty heap ordered by [cmp] (minimum first). *)
+
+val is_empty : ('k, 'v) t -> bool
+
+val length : ('k, 'v) t -> int
+(** Number of elements currently in the heap. O(1). *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert a binding. O(1). *)
+
+val min_elt : ('k, 'v) t -> ('k * 'v) option
+(** Smallest binding without removing it. O(1). *)
+
+val pop_min : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the smallest binding. Amortised O(log n). *)
+
+val clear : ('k, 'v) t -> unit
+
+val to_sorted_list : ('k, 'v) t -> ('k * 'v) list
+(** Drains a copy of the heap in priority order; the heap is unchanged.
+    O(n log n); intended for tests and debugging. *)

@@ -1,0 +1,48 @@
+open Numa_machine
+
+type ctx = {
+  ops : Pmap_intf.ops;
+  config : Config.t;
+  sink : Cost_sink.t;
+  pool : Lpage_pool.t;
+  pageout : Pageout.t option;
+}
+
+type error = No_region | Protection_violation | Out_of_memory
+
+let error_to_string = function
+  | No_region -> "no region at faulting address"
+  | Protection_violation -> "access exceeds region protection"
+  | Out_of_memory -> "logical page pool exhausted"
+
+let handle ctx (task : Task.t) ~cpu ~vpage ~access =
+  Cost_sink.charge ctx.sink ~cpu (Cost.fault_trap_ns ctx.config);
+  match Vm_map.region_at task.map ~vpage with
+  | None -> Error No_region
+  | Some region ->
+      if not (Prot.allows region.max_prot access) then Error Protection_violation
+      else
+        let offset = Vm_map.obj_offset_of_vpage region ~vpage in
+        let materialise () =
+          Vm_object.lpage_for region.obj ~pool:ctx.pool ~ops:ctx.ops ~offset
+        in
+        let materialise_with_reclaim () =
+          match materialise () with
+          | Ok _ as ok -> ok
+          | Error `Pool_exhausted -> (
+              (* Kick the pageout daemon and retry once. The eviction work
+                 (syncing dirty copies, dropping mappings) is charged
+                 through the pmap layer as it happens; approximate the
+                 daemon's own latency with one pmap action. *)
+              match ctx.pageout with
+              | Some daemon when Pageout.ensure_free daemon ~needed:1 ->
+                  Cost_sink.charge ctx.sink ~cpu (Cost.pmap_action_ns ctx.config);
+                  materialise ()
+              | Some _ | None -> Error `Pool_exhausted)
+        in
+        (match materialise_with_reclaim () with
+        | Error `Pool_exhausted -> Error Out_of_memory
+        | Ok lpage ->
+            ctx.ops.enter ~pmap:task.pmap ~cpu ~vpage ~lpage
+              ~min_prot:(Prot.of_access access) ~max_prot:region.max_prot;
+            Ok ())

@@ -1,0 +1,50 @@
+type slot = { mutable allocated : bool; mutable cleanup : Pmap_intf.free_tag option }
+
+type t = {
+  slots : slot array;
+  mutable free : int list;
+  mutable n_free : int;
+  ops : Pmap_intf.ops;
+}
+
+let create (config : Numa_machine.Config.t) ~ops =
+  let n = config.global_pages in
+  {
+    slots = Array.init n (fun _ -> { allocated = false; cleanup = None });
+    free = List.init n (fun i -> i);
+    n_free = n;
+    ops;
+  }
+
+let size t = Array.length t.slots
+let n_free t = t.n_free
+let n_allocated t = size t - t.n_free
+
+let alloc t =
+  match t.free with
+  | [] -> None
+  | lpage :: rest ->
+      t.free <- rest;
+      t.n_free <- t.n_free - 1;
+      let slot = t.slots.(lpage) in
+      (* Reallocation point: wait for any lazy cleanup left from the
+         previous life of this frame (pmap_free_page_sync). *)
+      (match slot.cleanup with
+      | Some tag ->
+          t.ops.free_page_sync tag;
+          slot.cleanup <- None
+      | None -> ());
+      slot.allocated <- true;
+      Some lpage
+
+let free t lpage =
+  if lpage < 0 || lpage >= size t then invalid_arg "Lpage_pool.free: out of range";
+  let slot = t.slots.(lpage) in
+  if not slot.allocated then invalid_arg "Lpage_pool.free: double free";
+  slot.allocated <- false;
+  slot.cleanup <- Some (t.ops.free_page ~lpage);
+  t.free <- lpage :: t.free;
+  t.n_free <- t.n_free + 1
+
+let is_allocated t lpage =
+  lpage >= 0 && lpage < size t && t.slots.(lpage).allocated

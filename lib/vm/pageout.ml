@@ -1,0 +1,81 @@
+type t = {
+  pool : Lpage_pool.t;
+  ops : Pmap_intf.ops;
+  mutable objects : Vm_object.t array;
+  low_water : int;
+  high_water : int;
+  mutable cursor_obj : int;
+  mutable cursor_page : int;
+  mutable evictions : int;
+}
+
+let create ~pool ~ops ?(low_water = 2) ?(high_water = 8) () =
+  if low_water <= 0 || high_water < low_water then
+    invalid_arg "Pageout.create: need 0 < low_water <= high_water";
+  {
+    pool;
+    ops;
+    objects = [||];
+    low_water;
+    high_water;
+    cursor_obj = 0;
+    cursor_page = 0;
+    evictions = 0;
+  }
+
+let register t obj = t.objects <- Array.append t.objects [| obj |]
+
+(* Advance the clock hand to the next resident page and evict it. Returns
+   false when a full sweep finds nothing resident. *)
+let evict_one t =
+  let n_objs = Array.length t.objects in
+  if n_objs = 0 then false
+  else begin
+    let total_slots =
+      Array.fold_left (fun acc o -> acc + Vm_object.size_pages o) 0 t.objects
+    in
+    let rec hunt steps =
+      if steps > total_slots then false
+      else begin
+        let obj = t.objects.(t.cursor_obj) in
+        if t.cursor_page >= Vm_object.size_pages obj then begin
+          t.cursor_obj <- (t.cursor_obj + 1) mod n_objs;
+          t.cursor_page <- 0;
+          hunt steps
+        end
+        else begin
+          let offset = t.cursor_page in
+          t.cursor_page <- t.cursor_page + 1;
+          match Vm_object.slot obj ~offset with
+          | Vm_object.Resident _ ->
+              Vm_object.page_out obj ~pool:t.pool ~ops:t.ops ~offset;
+              t.evictions <- t.evictions + 1;
+              true
+          | Vm_object.Empty | Vm_object.Paged_out _ -> hunt (steps + 1)
+        end
+      end
+    in
+    hunt 0
+  end
+
+let rec evict_until t ~target =
+  if Lpage_pool.n_free t.pool >= target then true
+  else if evict_one t then evict_until t ~target
+  else false
+
+let ensure_free t ~needed =
+  if Lpage_pool.n_free t.pool >= needed then true
+  else begin
+    let reached = evict_until t ~target:(max needed t.high_water) in
+    reached || Lpage_pool.n_free t.pool >= needed
+  end
+
+let tick t =
+  if Lpage_pool.n_free t.pool >= t.low_water then 0
+  else begin
+    let before = t.evictions in
+    ignore (evict_until t ~target:t.high_water);
+    t.evictions - before
+  end
+
+let evictions t = t.evictions

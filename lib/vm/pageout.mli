@@ -1,0 +1,40 @@
+(** The pageout daemon.
+
+    Mach's logical page pool is fixed at boot (section 2.1), so a workload
+    whose footprint exceeds it needs page reclamation. This daemon evicts
+    resident object pages — saving their contents, dropping their mappings
+    and freeing their logical pages — whenever free pages fall below the
+    low-water mark, until the high-water mark is restored.
+
+    Victim selection is round-robin over the registered objects' resident
+    pages: the ACE has no page-reference bits (the paper cites the
+    Babaoglu-Joy trick for exactly this situation), and FIFO-like rotation
+    is what such systems actually shipped.
+
+    Page-out and page-in go through the pmap layer's
+    [extract_content]/[free_page]/[install_page] operations, so an evicted
+    page's NUMA placement history — including a pinning decision — is
+    forgotten, exactly the footnote-4 behaviour. *)
+
+type t
+
+val create :
+  pool:Lpage_pool.t -> ops:Pmap_intf.ops -> ?low_water:int -> ?high_water:int -> unit -> t
+(** Defaults: low-water 2, high-water 8 (small, suited to the simulated
+    pools; real systems scale these with memory size). Requires
+    [0 < low_water <= high_water]. *)
+
+val register : t -> Vm_object.t -> unit
+(** Make an object's pages eligible for eviction. *)
+
+val ensure_free : t -> needed:int -> bool
+(** Evict until at least [needed] logical pages are free (and, if any
+    eviction happened, up to the high-water mark). Returns false if not
+    enough evictable pages exist. *)
+
+val tick : t -> int
+(** Daemon heartbeat: evict down to the high-water mark if below the
+    low-water mark. Returns pages evicted. *)
+
+val evictions : t -> int
+(** Total pages evicted over the daemon's lifetime. *)

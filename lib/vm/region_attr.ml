@@ -1,0 +1,37 @@
+type kind = Code | Data | Stack of int | Sync
+
+type sharing = Declared_private | Declared_read_shared | Declared_write_shared
+
+type pragma = Cacheable | Noncacheable | Homed of int
+
+type t = {
+  name : string;
+  kind : kind;
+  sharing : sharing;
+  pragma : pragma option;
+}
+
+let v ?pragma ~name ~kind ~sharing () = { name; kind; sharing; pragma }
+
+let is_writable_data t =
+  match t.kind with Code -> false | Data | Stack _ | Sync -> true
+
+let kind_to_string = function
+  | Code -> "code"
+  | Data -> "data"
+  | Stack tid -> Printf.sprintf "stack(%d)" tid
+  | Sync -> "sync"
+
+let sharing_to_string = function
+  | Declared_private -> "private"
+  | Declared_read_shared -> "read-shared"
+  | Declared_write_shared -> "write-shared"
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%s, %s%s]" t.name (kind_to_string t.kind)
+    (sharing_to_string t.sharing)
+    (match t.pragma with
+    | None -> ""
+    | Some Cacheable -> ", pragma:cacheable"
+    | Some Noncacheable -> ", pragma:noncacheable"
+    | Some (Homed n) -> Printf.sprintf ", pragma:homed(%d)" n)

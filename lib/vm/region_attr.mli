@@ -1,0 +1,46 @@
+(** Declared attributes of a virtual memory region.
+
+    The kind and sharing class do not influence placement (the paper's whole
+    point is that placement is automatic); they feed the evaluation
+    machinery: "writable data" selection for the alpha/beta model, per-class
+    reference counting, and the false-sharing analyser, which compares the
+    declared sharing of objects against the observed per-page behaviour.
+
+    The [pragma] is the section 4.3 extension: an application may force a
+    region cacheable (always placed local, never pinned) or noncacheable
+    (placed global immediately). [None] means placement is left to the
+    policy — the paper's default. *)
+
+type kind =
+  | Code  (** program text: read-only, replicated by any reasonable system *)
+  | Data  (** heap / static data *)
+  | Stack of int  (** thread-private stack; argument is the thread id *)
+  | Sync  (** lock words, barrier counters, work-pile indices *)
+
+type sharing =
+  | Declared_private  (** used by one thread *)
+  | Declared_read_shared  (** written at most during initialisation *)
+  | Declared_write_shared  (** writably shared in steady state *)
+
+type pragma =
+  | Cacheable
+  | Noncacheable
+  | Homed of int
+      (** section 4.4 extension: place the region permanently in the local
+          memory of one node; other processors reference it remotely *)
+
+type t = {
+  name : string;
+  kind : kind;
+  sharing : sharing;
+  pragma : pragma option;
+}
+
+val v : ?pragma:pragma -> name:string -> kind:kind -> sharing:sharing -> unit -> t
+
+val is_writable_data : t -> bool
+(** Does this region count as "writable data" in the paper's measurements?
+    Everything except code: the paper's T_global placed {e all data pages}
+    in global memory, including data that is never written. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+type t = { id : int; name : string; map : Vm_map.t; pmap : int }
+
+let create ~(ops : Pmap_intf.ops) ~id ~name =
+  { id; name; map = Vm_map.create (); pmap = ops.pmap_create ~name }
+
+let destroy ~(ops : Pmap_intf.ops) t = ops.pmap_destroy t.pmap

@@ -1,0 +1,10 @@
+(** A Mach task: a virtual address space (a {!Vm_map}) plus its physical
+    map in the machine-dependent layer. *)
+
+type t = private { id : int; name : string; map : Vm_map.t; pmap : int }
+
+val create : ops:Pmap_intf.ops -> id:int -> name:string -> t
+
+val destroy : ops:Pmap_intf.ops -> t -> unit
+(** Drops the task's pmap (and with it every mapping). Object pages are the
+    caller's to free. *)

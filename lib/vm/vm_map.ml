@@ -1,0 +1,50 @@
+open Numa_machine
+
+type region = {
+  base_vpage : int;
+  npages : int;
+  obj : Vm_object.t;
+  obj_offset : int;
+  max_prot : Prot.t;
+  attr : Region_attr.t;
+}
+
+type t = { mutable regions : region list (* sorted by base_vpage *) }
+
+let create () = { regions = [] }
+
+let region_end r = r.base_vpage + r.npages
+
+let overlaps a b =
+  a.base_vpage < region_end b && b.base_vpage < region_end a
+
+let next_free_vpage t =
+  List.fold_left (fun acc r -> Stdlib.max acc (region_end r)) 0 t.regions
+
+let allocate t ?at ~npages ~obj ~obj_offset ~max_prot ~attr () =
+  if npages <= 0 then invalid_arg "Vm_map.allocate: empty region";
+  if obj_offset < 0 || obj_offset + npages > Vm_object.size_pages obj then
+    invalid_arg "Vm_map.allocate: object window out of range";
+  let base_vpage = match at with Some a -> a | None -> next_free_vpage t in
+  if base_vpage < 0 then invalid_arg "Vm_map.allocate: negative address";
+  let region = { base_vpage; npages; obj; obj_offset; max_prot; attr } in
+  if List.exists (overlaps region) t.regions then
+    invalid_arg "Vm_map.allocate: overlapping region";
+  t.regions <-
+    List.sort (fun a b -> Int.compare a.base_vpage b.base_vpage) (region :: t.regions);
+  region
+
+let deallocate t region =
+  if not (List.memq region t.regions) then
+    invalid_arg "Vm_map.deallocate: region not in map";
+  t.regions <- List.filter (fun r -> r != region) t.regions
+
+let region_at t ~vpage =
+  List.find_opt (fun r -> vpage >= r.base_vpage && vpage < region_end r) t.regions
+
+let regions t = t.regions
+
+let obj_offset_of_vpage r ~vpage =
+  if vpage < r.base_vpage || vpage >= region_end r then
+    invalid_arg "Vm_map.obj_offset_of_vpage: vpage outside region";
+  r.obj_offset + (vpage - r.base_vpage)

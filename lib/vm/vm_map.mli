@@ -1,0 +1,43 @@
+(** A task's virtual address map: a set of non-overlapping page-granular
+    regions, each backed by a window of a {!Vm_object}. *)
+
+open Numa_machine
+
+type region = private {
+  base_vpage : int;
+  npages : int;
+  obj : Vm_object.t;
+  obj_offset : int;  (** page offset of the region's start within [obj] *)
+  max_prot : Prot.t;
+  attr : Region_attr.t;
+}
+
+type t
+
+val create : unit -> t
+
+val allocate :
+  t ->
+  ?at:int ->
+  npages:int ->
+  obj:Vm_object.t ->
+  obj_offset:int ->
+  max_prot:Prot.t ->
+  attr:Region_attr.t ->
+  unit ->
+  region
+(** Add a region. Without [?at] the map chooses the next free address.
+    Raises [Invalid_argument] on overlap, empty range, or an object window
+    that does not fit. *)
+
+val deallocate : t -> region -> unit
+(** Remove the region from the map. The caller is responsible for dropping
+    mappings and freeing pages. Raises [Invalid_argument] if not present. *)
+
+val region_at : t -> vpage:int -> region option
+
+val regions : t -> region list
+(** In increasing address order. *)
+
+val obj_offset_of_vpage : region -> vpage:int -> int
+(** Object page offset backing a virtual page of the region. *)

@@ -1,0 +1,36 @@
+(** A Mach memory object: the backing store of a range of virtual memory.
+
+    Our objects are zero-fill (anonymous) memory. A page of an object is
+    [Empty] until first touched, then [Resident] on a logical page; the
+    pager may move it to [Paged_out], saving its contents, after which the
+    next touch pages it back in on a fresh logical page. That round trip is
+    the one event that legitimately resets a page's placement history
+    (paper, footnote 4). *)
+
+type slot = Empty | Resident of int  (** logical page *) | Paged_out of int  (** saved contents *)
+
+type t
+
+val create : id:int -> name:string -> size_pages:int -> t
+
+val id : t -> int
+val name : t -> string
+val size_pages : t -> int
+
+val slot : t -> offset:int -> slot
+
+val lpage_for :
+  t -> pool:Lpage_pool.t -> ops:Pmap_intf.ops -> offset:int ->
+  (int, [ `Pool_exhausted ]) result
+(** Logical page backing the given page offset, materialising it if needed:
+    an [Empty] slot allocates a page and marks it zero-fill (lazily zeroed
+    at first [enter]); a [Paged_out] slot allocates a page and installs the
+    saved contents. *)
+
+val page_out : t -> pool:Lpage_pool.t -> ops:Pmap_intf.ops -> offset:int -> unit
+(** Evict a resident page: save its authoritative contents, remove every
+    mapping, and free the logical page (starting lazy NUMA cleanup).
+    No-op when the slot is not resident. *)
+
+val resident_pages : t -> (int * int) list
+(** (offset, lpage) pairs currently resident. *)

@@ -1,0 +1,459 @@
+(* Unit tests for the NUMA core: policies, the protocol executor, and the
+   pmap manager, driven directly (no engine). *)
+
+open Numa_machine
+open Numa_core
+
+let small_config ?(n_cpus = 4) ?(local_pages = 16) () =
+  Config.ace ~n_cpus ~local_pages_per_cpu:local_pages ~global_pages:32 ()
+
+type env = {
+  mgr : Pmap_manager.t;
+  ops : Numa_vm.Pmap_intf.ops;
+  pmap : int;
+  config : Config.t;
+}
+
+let make_env ?policy ?(config = small_config ()) () =
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> Policy.move_limit ~n_pages:config.Config.global_pages ()
+  in
+  let mgr = Pmap_manager.create ~config ~policy in
+  let ops = Pmap_manager.ops mgr in
+  let pmap = ops.Numa_vm.Pmap_intf.pmap_create ~name:"t" in
+  { mgr; ops; pmap; config }
+
+(* Shorthand: fault-style entry for (cpu, vpage, lpage). vpage = lpage by
+   convention in these tests. *)
+let enter env ~cpu ~lpage ~(access : Access.t) =
+  env.ops.Numa_vm.Pmap_intf.enter ~pmap:env.pmap ~cpu ~vpage:lpage ~lpage
+    ~min_prot:(Prot.of_access access) ~max_prot:Prot.Read_write
+
+let state env ~lpage = Numa_manager.state_of (Pmap_manager.manager env.mgr) ~lpage
+
+let check_inv env =
+  match Numa_manager.check_invariants (Pmap_manager.manager env.mgr) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant: %s" msg
+
+let check_state env ~lpage expected =
+  let got = state env ~lpage in
+  if got <> expected then
+    Alcotest.failf "expected %a, got %a" Numa_manager.pp_state expected
+      Numa_manager.pp_state got
+
+(* --- policy units ------------------------------------------------------ *)
+
+let test_policy_move_limit () =
+  let p = Policy.move_limit ~threshold:2 ~n_pages:8 () in
+  let decide () = p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store in
+  Alcotest.(check bool) "local before moves" true (decide () = Protocol.Place_local);
+  p.Policy.note (Policy.Page_moved { lpage = 0 });
+  p.Policy.note (Policy.Page_moved { lpage = 0 });
+  Alcotest.(check bool) "local at threshold" true (decide () = Protocol.Place_local);
+  p.Policy.note (Policy.Page_moved { lpage = 0 });
+  Alcotest.(check bool) "global past threshold" true (decide () = Protocol.Place_global);
+  Alcotest.(check int) "one pin" 1 (p.Policy.n_pinned ());
+  (* Other pages are unaffected. *)
+  Alcotest.(check bool) "page 1 still local" true
+    (p.Policy.decide ~lpage:1 ~cpu:0 ~access:Access.Store = Protocol.Place_local);
+  (* Freeing resets history (footnote 4). *)
+  p.Policy.note (Policy.Page_freed { lpage = 0 });
+  Alcotest.(check bool) "local again after free" true (decide () = Protocol.Place_local);
+  Alcotest.(check int) "unpinned" 0 (p.Policy.n_pinned ())
+
+let test_policy_all_global_never_pin () =
+  let g = Policy.all_global () and l = Policy.never_pin () in
+  for lpage = 0 to 3 do
+    Alcotest.(check bool) "all-global" true
+      (g.Policy.decide ~lpage ~cpu:1 ~access:Access.Load = Protocol.Place_global);
+    Alcotest.(check bool) "never-pin" true
+      (l.Policy.decide ~lpage ~cpu:1 ~access:Access.Store = Protocol.Place_local)
+  done;
+  (* Move notifications never change their answers. *)
+  l.Policy.note (Policy.Page_moved { lpage = 0 });
+  Alcotest.(check bool) "never-pin ignores moves" true
+    (l.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store = Protocol.Place_local)
+
+let test_policy_random_sticky () =
+  let prng = Numa_util.Prng.create ~seed:3L in
+  let p = Policy.random ~prng ~p_global:0.5 ~n_pages:64 in
+  for lpage = 0 to 63 do
+    let first = p.Policy.decide ~lpage ~cpu:0 ~access:Access.Load in
+    for _ = 1 to 5 do
+      Alcotest.(check bool) "sticky" true
+        (p.Policy.decide ~lpage ~cpu:0 ~access:Access.Load = first)
+    done
+  done;
+  let pins = p.Policy.n_pinned () in
+  Alcotest.(check bool) "roughly half global" true (pins > 10 && pins < 54)
+
+let test_policy_reconsider_expires () =
+  let now = ref 0. in
+  let p =
+    Policy.reconsider ~threshold:1 ~window_ns:1000. ~now:(fun () -> !now) ~n_pages:4 ()
+  in
+  p.Policy.note (Policy.Page_moved { lpage = 0 });
+  p.Policy.note (Policy.Page_moved { lpage = 0 });
+  Alcotest.(check bool) "pinned" true
+    (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store = Protocol.Place_global);
+  now := 500.;
+  Alcotest.(check bool) "still pinned inside window" true
+    (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store = Protocol.Place_global);
+  now := 2000.;
+  Alcotest.(check bool) "unpinned after window" true
+    (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store = Protocol.Place_local);
+  Alcotest.(check int) "no longer pinned" 0 (p.Policy.n_pinned ())
+
+(* --- manager transitions ------------------------------------------------- *)
+
+let test_first_touch_read_replicates () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Load;
+  check_state env ~lpage:0 Numa_manager.Read_only;
+  Alcotest.(check (list int)) "replica on reader" [ 1 ]
+    (Numa_manager.replica_nodes (Pmap_manager.manager env.mgr) ~lpage:0);
+  check_inv env
+
+let test_first_touch_write_owns () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:2 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 (Numa_manager.Local_writable 2);
+  check_inv env
+
+let test_replication_across_readers () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  for cpu = 0 to 3 do
+    enter env ~cpu ~lpage:0 ~access:Access.Load
+  done;
+  check_state env ~lpage:0 Numa_manager.Read_only;
+  Alcotest.(check int) "4 replicas" 4
+    (List.length (Numa_manager.replica_nodes (Pmap_manager.manager env.mgr) ~lpage:0));
+  check_inv env
+
+let test_write_invalidates_replicas () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  for cpu = 0 to 3 do
+    enter env ~cpu ~lpage:0 ~access:Access.Load
+  done;
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 (Numa_manager.Local_writable 1);
+  Alcotest.(check (list int)) "only writer holds a copy" [ 1 ]
+    (Numa_manager.replica_nodes (Pmap_manager.manager env.mgr) ~lpage:0);
+  (* Readers' mappings were shot down. *)
+  Alcotest.(check bool) "reader 0 unmapped" true
+    (env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:0 ~vpage:0 = None);
+  check_inv env
+
+let test_write_write_migration_counts_moves () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 (Numa_manager.Local_writable 1);
+  Alcotest.(check int) "one move" 1
+    (Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0);
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  Alcotest.(check int) "two moves" 2
+    (Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0);
+  check_inv env
+
+let test_read_of_written_page_moves_to_read_only () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  enter env ~cpu:3 ~lpage:0 ~access:Access.Load;
+  (* Table 1, LOCAL x local-writable-other: sync&flush other, copy, RO. *)
+  check_state env ~lpage:0 Numa_manager.Read_only;
+  Alcotest.(check (list int)) "reader holds the only copy" [ 3 ]
+    (Numa_manager.replica_nodes (Pmap_manager.manager env.mgr) ~lpage:0);
+  Alcotest.(check int) "counts as a move" 1
+    (Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0);
+  check_inv env
+
+let test_pinning_after_threshold () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  (* Ping-pong writes; with the default threshold (4) the fifth move takes
+     the count past the threshold and the next fault pins the page. *)
+  for round = 0 to 6 do
+    enter env ~cpu:(round mod 2) ~lpage:0 ~access:Access.Store
+  done;
+  check_state env ~lpage:0 Numa_manager.Global_writable;
+  Alcotest.(check int) "policy pinned it" 1 ((Pmap_manager.policy env.mgr).Policy.n_pinned ());
+  (* Further requests stay global with no new moves. *)
+  let before = Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0 in
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Load;
+  Alcotest.(check int) "no more moves once pinned" before
+    (Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0);
+  check_state env ~lpage:0 Numa_manager.Global_writable;
+  check_inv env
+
+let test_sole_replica_write_upgrade_is_free () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:2 ~lpage:0 ~access:Access.Load;
+  enter env ~cpu:2 ~lpage:0 ~access:Access.Store;
+  (* Private read-then-write: no move counted (nothing left another node). *)
+  Alcotest.(check int) "no moves" 0
+    (Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0);
+  check_state env ~lpage:0 (Numa_manager.Local_writable 2);
+  check_inv env
+
+let test_zero_fill_is_lazy_and_local () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:5;
+  let stats = Pmap_manager.stats env.mgr in
+  Alcotest.(check int) "no zeroing yet" 0
+    (stats.Numa_stats.zero_fills_local + stats.Numa_stats.zero_fills_global);
+  enter env ~cpu:0 ~lpage:5 ~access:Access.Store;
+  Alcotest.(check int) "zeroed locally at first touch" 1 stats.Numa_stats.zero_fills_local;
+  Alcotest.(check int) "never zeroed in global" 0 stats.Numa_stats.zero_fills_global
+
+let test_local_memory_exhaustion_falls_back_global () =
+  (* One local frame per node: the second distinct page placed on a node
+     must fall back to global. *)
+  let env = make_env ~config:(small_config ~local_pages:1 ()) () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:1;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 (Numa_manager.Local_writable 0);
+  enter env ~cpu:0 ~lpage:1 ~access:Access.Store;
+  check_state env ~lpage:1 Numa_manager.Global_writable;
+  let stats = Pmap_manager.stats env.mgr in
+  Alcotest.(check int) "fallback recorded" 1 stats.Numa_stats.local_fallbacks;
+  check_inv env
+
+let test_reset_page_forgets_everything () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Store;
+  let tag = env.ops.Numa_vm.Pmap_intf.free_page ~lpage:0 in
+  check_state env ~lpage:0 Numa_manager.Untouched;
+  Alcotest.(check int) "moves reset" 0
+    (Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0);
+  Alcotest.(check (list int)) "replicas freed" []
+    (Numa_manager.replica_nodes (Pmap_manager.manager env.mgr) ~lpage:0);
+  env.ops.Numa_vm.Pmap_intf.free_page_sync tag;
+  Alcotest.check_raises "tag is single-use"
+    (Invalid_argument "pmap_free_page_sync: unknown or already-synced tag") (fun () ->
+      env.ops.Numa_vm.Pmap_intf.free_page_sync tag);
+  check_inv env
+
+(* --- content movement ---------------------------------------------------- *)
+
+let test_content_follows_protocol () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  env.ops.Numa_vm.Pmap_intf.write_slot ~pmap:env.pmap ~cpu:0 ~vpage:0 111;
+  (* Another CPU writes: content must migrate through global. *)
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Store;
+  Alcotest.(check int) "cpu1 reads what cpu0 wrote" 111
+    (env.ops.Numa_vm.Pmap_intf.read_slot ~pmap:env.pmap ~cpu:1 ~vpage:0);
+  env.ops.Numa_vm.Pmap_intf.write_slot ~pmap:env.pmap ~cpu:1 ~vpage:0 222;
+  (* Pin it and check the final sync reached global memory. *)
+  for round = 0 to 5 do
+    enter env ~cpu:(round mod 2) ~lpage:0 ~access:Access.Store
+  done;
+  Alcotest.(check int) "global master holds latest" 222
+    (env.ops.Numa_vm.Pmap_intf.extract_content ~lpage:0)
+
+let test_install_and_extract () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.install_page ~lpage:7 ~content:4242;
+  Alcotest.(check int) "extract" 4242 (env.ops.Numa_vm.Pmap_intf.extract_content ~lpage:7);
+  (* First touch of installed content copies it local, not zeroes. *)
+  enter env ~cpu:0 ~lpage:7 ~access:Access.Load;
+  Alcotest.(check int) "reader sees installed content" 4242
+    (env.ops.Numa_vm.Pmap_intf.read_slot ~pmap:env.pmap ~cpu:0 ~vpage:7)
+
+(* --- pmap interface details ------------------------------------------------ *)
+
+let test_min_max_protection_mapping () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  (* Read fault on a writable region: mapped read-only (provisional
+     replication), so a later write must fault again. *)
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Load;
+  (match env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:0 ~vpage:0 with
+  | Some (prot, _) ->
+      Alcotest.(check bool) "provisionally read-only" true (prot = Prot.Read_only)
+  | None -> Alcotest.fail "not resident");
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  match env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:0 ~vpage:0 with
+  | Some (prot, _) -> Alcotest.(check bool) "writable after write fault" true (prot = Prot.Read_write)
+  | None -> Alcotest.fail "not resident after upgrade"
+
+let test_protect_clamps_and_removes () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  env.ops.Numa_vm.Pmap_intf.protect ~pmap:env.pmap ~vpage:0 ~n:1 Prot.Read_only;
+  (match env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:0 ~vpage:0 with
+  | Some (prot, _) -> Alcotest.(check bool) "clamped to RO" true (prot = Prot.Read_only)
+  | None -> Alcotest.fail "mapping should survive RO clamp");
+  env.ops.Numa_vm.Pmap_intf.protect ~pmap:env.pmap ~vpage:0 ~n:1 Prot.No_access;
+  Alcotest.(check bool) "no-access removes" true
+    (env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:0 ~vpage:0 = None)
+
+let test_remove_all_leaves_cache_state () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Load;
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Load;
+  env.ops.Numa_vm.Pmap_intf.remove_all ~lpage:0;
+  Alcotest.(check bool) "mappings gone" true
+    (env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:0 ~vpage:0 = None);
+  (* Replicas persist: pmap_remove_all is mapping-only. *)
+  Alcotest.(check int) "replicas kept" 2
+    (List.length (Numa_manager.replica_nodes (Pmap_manager.manager env.mgr) ~lpage:0))
+
+let test_pragmas_override_policy () =
+  let env = make_env () in
+  Pmap_manager.set_pragma env.mgr ~pmap:env.pmap ~vpage:0 ~n:1
+    (Some Numa_vm.Region_attr.Noncacheable);
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 Numa_manager.Global_writable;
+  (* Cacheable pragma pins nothing even under ping-pong. *)
+  Pmap_manager.set_pragma env.mgr ~pmap:env.pmap ~vpage:1 ~n:1
+    (Some Numa_vm.Region_attr.Cacheable);
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:1;
+  for round = 0 to 11 do
+    env.ops.Numa_vm.Pmap_intf.enter ~pmap:env.pmap ~cpu:(round mod 2) ~vpage:1 ~lpage:1
+      ~min_prot:Prot.Read_write ~max_prot:Prot.Read_write
+  done;
+  (match state env ~lpage:1 with
+  | Numa_manager.Local_writable _ -> ()
+  | st -> Alcotest.failf "cacheable page pinned: %a" Numa_manager.pp_state st);
+  (* Clearing the pragma hands control back to the (now well past
+     threshold) policy. *)
+  Pmap_manager.set_pragma env.mgr ~pmap:env.pmap ~vpage:1 ~n:1 None;
+  enter env ~cpu:0 ~lpage:1 ~access:Access.Store;
+  check_state env ~lpage:1 Numa_manager.Global_writable
+
+let test_homed_pages () =
+  let env = make_env () in
+  Pmap_manager.set_pragma env.mgr ~pmap:env.pmap ~vpage:0 ~n:1
+    (Some (Numa_vm.Region_attr.Homed 3));
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  (* Any CPU's fault places the page in node 3's local memory. *)
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 (Numa_manager.Homed 3);
+  Alcotest.(check (list int)) "single copy at the home" [ 3 ]
+    (Numa_manager.replica_nodes (Pmap_manager.manager env.mgr) ~lpage:0);
+  (* The non-home CPU's mapping is remote; the home CPU's is local. *)
+  (match env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:0 ~vpage:0 with
+  | Some (_, where) -> Alcotest.(check bool) "remote for cpu 0" true (where = Location.Remote_local)
+  | None -> Alcotest.fail "cpu 0 not resident");
+  enter env ~cpu:3 ~lpage:0 ~access:Access.Load;
+  (match env.ops.Numa_vm.Pmap_intf.resident ~pmap:env.pmap ~cpu:3 ~vpage:0 with
+  | Some (_, where) -> Alcotest.(check bool) "local for the home" true (where = Location.Local_here)
+  | None -> Alcotest.fail "cpu 3 not resident");
+  (* Writes through remote mappings are coherent: one physical frame. *)
+  env.ops.Numa_vm.Pmap_intf.write_slot ~pmap:env.pmap ~cpu:0 ~vpage:0 555;
+  Alcotest.(check int) "home reads the remote write" 555
+    (env.ops.Numa_vm.Pmap_intf.read_slot ~pmap:env.pmap ~cpu:3 ~vpage:0);
+  (* Ping-pong writes never move or pin the page. *)
+  for round = 0 to 9 do
+    enter env ~cpu:(round mod 2) ~lpage:0 ~access:Access.Store
+  done;
+  check_state env ~lpage:0 (Numa_manager.Homed 3);
+  Alcotest.(check int) "no moves" 0
+    (Numa_manager.moves_of (Pmap_manager.manager env.mgr) ~lpage:0);
+  (* extract_content syncs the home frame back to global. *)
+  Alcotest.(check int) "extract syncs home" 555
+    (env.ops.Numa_vm.Pmap_intf.extract_content ~lpage:0);
+  check_inv env;
+  (* Clearing the pragma demotes the page back to policy control. *)
+  Pmap_manager.set_pragma env.mgr ~pmap:env.pmap ~vpage:0 ~n:1 None;
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Store;
+  (match state env ~lpage:0 with
+  | Numa_manager.Homed _ -> Alcotest.fail "still homed after pragma cleared"
+  | _ -> ());
+  Alcotest.(check int) "content survives demotion" 555
+    (env.ops.Numa_vm.Pmap_intf.read_slot ~pmap:env.pmap ~cpu:1 ~vpage:0);
+  check_inv env
+
+let test_homed_falls_back_when_home_full () =
+  let env = make_env ~config:(small_config ~local_pages:1 ()) () in
+  (* Fill node 2's only local frame. *)
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:5;
+  enter env ~cpu:2 ~lpage:5 ~access:Access.Store;
+  Pmap_manager.set_pragma env.mgr ~pmap:env.pmap ~vpage:0 ~n:1
+    (Some (Numa_vm.Region_attr.Homed 2));
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 Numa_manager.Global_writable;
+  check_inv env
+
+let test_placement_summary () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:1;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  enter env ~cpu:0 ~lpage:1 ~access:Access.Load;
+  let summary = Pmap_manager.placement_summary env.mgr in
+  Alcotest.(check (option int)) "one local-writable" (Some 1)
+    (List.assoc_opt "local-writable" summary);
+  Alcotest.(check (option int)) "one read-only" (Some 1)
+    (List.assoc_opt "read-only (replicated)" summary);
+  Alcotest.(check (option int)) "rest untouched" (Some 30)
+    (List.assoc_opt "untouched" summary)
+
+let test_policy_swap_keeps_state () =
+  let env = make_env () in
+  env.ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  Pmap_manager.set_policy env.mgr (Policy.all_global ());
+  (* Existing cache state intact... *)
+  check_state env ~lpage:0 (Numa_manager.Local_writable 0);
+  (* ...but the next fault follows the new policy. *)
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Store;
+  check_state env ~lpage:0 Numa_manager.Global_writable;
+  check_inv env
+
+let suite =
+  [
+    Alcotest.test_case "move-limit policy" `Quick test_policy_move_limit;
+    Alcotest.test_case "all-global / never-pin" `Quick test_policy_all_global_never_pin;
+    Alcotest.test_case "random policy is sticky" `Quick test_policy_random_sticky;
+    Alcotest.test_case "reconsider policy expires pins" `Quick test_policy_reconsider_expires;
+    Alcotest.test_case "first touch read replicates" `Quick test_first_touch_read_replicates;
+    Alcotest.test_case "first touch write owns" `Quick test_first_touch_write_owns;
+    Alcotest.test_case "replication across readers" `Quick test_replication_across_readers;
+    Alcotest.test_case "write invalidates replicas" `Quick test_write_invalidates_replicas;
+    Alcotest.test_case "write-write migration counts moves" `Quick
+      test_write_write_migration_counts_moves;
+    Alcotest.test_case "read of written page -> read-only" `Quick
+      test_read_of_written_page_moves_to_read_only;
+    Alcotest.test_case "pinning after threshold" `Quick test_pinning_after_threshold;
+    Alcotest.test_case "sole-replica write upgrade is free" `Quick
+      test_sole_replica_write_upgrade_is_free;
+    Alcotest.test_case "zero fill lazy and local" `Quick test_zero_fill_is_lazy_and_local;
+    Alcotest.test_case "local exhaustion falls back global" `Quick
+      test_local_memory_exhaustion_falls_back_global;
+    Alcotest.test_case "reset page forgets everything" `Quick
+      test_reset_page_forgets_everything;
+    Alcotest.test_case "content follows protocol" `Quick test_content_follows_protocol;
+    Alcotest.test_case "install and extract content" `Quick test_install_and_extract;
+    Alcotest.test_case "min/max protection mapping" `Quick test_min_max_protection_mapping;
+    Alcotest.test_case "protect clamps and removes" `Quick test_protect_clamps_and_removes;
+    Alcotest.test_case "remove_all leaves cache state" `Quick
+      test_remove_all_leaves_cache_state;
+    Alcotest.test_case "pragmas override policy" `Quick test_pragmas_override_policy;
+    Alcotest.test_case "homed pages (remote references)" `Quick test_homed_pages;
+    Alcotest.test_case "homed falls back when home full" `Quick
+      test_homed_falls_back_when_home_full;
+    Alcotest.test_case "placement summary" `Quick test_placement_summary;
+    Alcotest.test_case "policy swap keeps state" `Quick test_policy_swap_keeps_state;
+  ]

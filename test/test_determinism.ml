@@ -1,0 +1,93 @@
+(* Simulation-quality properties: determinism across reruns, and the
+   robustness of results to the engine's discretisation knobs. *)
+
+module System = Numa_system.System
+module Report = Numa_system.Report
+module Runner = Numa_metrics.Runner
+module App_sig = Numa_apps.App_sig
+
+let fingerprint (r : Report.t) =
+  ( r.Report.total_user_ns,
+    r.Report.total_system_ns,
+    Report.total_refs r.Report.refs_all,
+    r.Report.numa_moves,
+    r.Report.pins,
+    r.Report.n_events )
+
+let run_app ?(chunk_refs = 2048) name ~scale =
+  let app = Option.get (Numa_apps.Registry.find name) in
+  let config = Numa_machine.Config.ace ~n_cpus:4 () in
+  let sys = System.create ~chunk_refs ~config () in
+  app.App_sig.setup sys { App_sig.nthreads = 4; scale; seed = 42L };
+  System.run sys
+
+let test_reruns_identical () =
+  List.iter
+    (fun name ->
+      let a = fingerprint (run_app name ~scale:0.03) in
+      let b = fingerprint (run_app name ~scale:0.03) in
+      if a <> b then Alcotest.failf "%s: two identical runs disagreed" name)
+    [ "imatmult"; "primes3"; "plytrace"; "gfetch" ]
+
+let test_seed_changes_plytrace () =
+  (* plytrace's scene layout is seeded; different seeds must change the
+     image access pattern (and generally the timings). *)
+  let app = Option.get (Numa_apps.Registry.find "plytrace") in
+  let run seed =
+    let config = Numa_machine.Config.ace ~n_cpus:4 () in
+    let sys = System.create ~config () in
+    app.App_sig.setup sys { App_sig.nthreads = 4; scale = 0.05; seed };
+    fingerprint (System.run sys)
+  in
+  Alcotest.(check bool) "seed matters" true (run 1L <> run 2L)
+
+let test_single_thread_chunk_invariance () =
+  (* A single-threaded run has no interleaving, so the chunk size must not
+     change any reference count or placement outcome, and user time must
+     agree to rounding. *)
+  let get chunk_refs =
+    let app = Option.get (Numa_apps.Registry.find "imatmult") in
+    let config = Numa_machine.Config.ace ~n_cpus:1 () in
+    let sys = System.create ~chunk_refs ~config () in
+    app.App_sig.setup sys { App_sig.nthreads = 1; scale = 0.02; seed = 42L };
+    let r = System.run sys in
+    ( Report.total_refs r.Report.refs_all,
+      r.Report.numa_moves,
+      r.Report.pins,
+      r.Report.total_user_ns )
+  in
+  let r64, m64, p64, u64 = get 64 in
+  let r4096, m4096, p4096, u4096 = get 4096 in
+  Alcotest.(check int) "refs invariant" r64 r4096;
+  Alcotest.(check int) "moves invariant" m64 m4096;
+  Alcotest.(check int) "pins invariant" p64 p4096;
+  Alcotest.(check (float 1.)) "user time invariant" u64 u4096
+
+let test_multithread_chunk_robustness () =
+  (* Across threads, chunking changes interleaving details but not the
+     placement story: the sieve still pins and alpha stays in its band. *)
+  let get chunk_refs =
+    let r = run_app ~chunk_refs "primes3" ~scale:0.03 in
+    (r.Report.pins, r.Report.alpha_counted)
+  in
+  let pins_small, alpha_small = get 256 in
+  let pins_large, alpha_large = get 8192 in
+  Alcotest.(check bool) "pins under both" true (pins_small > 3 && pins_large > 3);
+  Alcotest.(check bool) "alpha band stable" true
+    (Float.abs (alpha_small -. alpha_large) < 0.25)
+
+let test_scale_monotonicity () =
+  (* More work means more simulated time — a sanity check on scaling. *)
+  let user scale = (run_app "primes1" ~scale).Report.total_user_ns in
+  Alcotest.(check bool) "monotone in scale" true (user 0.02 < user 0.06)
+
+let suite =
+  [
+    Alcotest.test_case "reruns are bit-identical" `Quick test_reruns_identical;
+    Alcotest.test_case "seed changes plytrace" `Quick test_seed_changes_plytrace;
+    Alcotest.test_case "single-thread chunk invariance" `Quick
+      test_single_thread_chunk_invariance;
+    Alcotest.test_case "multi-thread chunk robustness" `Quick
+      test_multithread_chunk_robustness;
+    Alcotest.test_case "scale monotonicity" `Quick test_scale_monotonicity;
+  ]

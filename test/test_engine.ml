@@ -1,0 +1,293 @@
+(* Unit tests for the discrete-event engine, over the flat (UMA) reference
+   memory so costs are exactly predictable. *)
+
+open Numa_machine
+module Engine = Numa_sim.Engine
+module Api = Numa_sim.Api
+module Memory_iface = Numa_sim.Memory_iface
+
+let config ?(n_cpus = 4) () = Config.ace ~n_cpus ()
+
+let make ?(n_cpus = 4) ?(engine_tweak = Fun.id) ?(scheduler = Engine.Affinity) () =
+  let machine = config ~n_cpus () in
+  let memory = Memory_iface.flat machine in
+  Engine.create (engine_tweak (Engine.default_config ~n_cpus)) ~memory ~scheduler
+
+let test_compute_accounting () =
+  let e = make () in
+  ignore (Engine.spawn e ~cpu:1 ~name:"t" (fun () -> Api.compute 5e6));
+  Engine.run e;
+  Alcotest.(check (float 1.)) "5 ms of user time on cpu 1" 5e6 (Engine.user_ns e ~cpu:1);
+  Alcotest.(check (float 0.)) "nothing on cpu 0" 0. (Engine.user_ns e ~cpu:0);
+  Alcotest.(check (float 1.)) "elapsed = the compute" 5e6 (Engine.elapsed_ns e)
+
+let test_reference_accounting () =
+  let e = make () in
+  ignore
+    (Engine.spawn e ~cpu:0 ~name:"t" (fun () ->
+         Api.read ~count:100 7;
+         Api.write ~count:50 7));
+  Engine.run e;
+  (* flat memory: local speeds. *)
+  Alcotest.(check (float 1.)) "user = 100 fetches + 50 stores"
+    ((100. *. 650.) +. (50. *. 840.))
+    (Engine.user_ns e ~cpu:0)
+
+let test_parallel_clocks_independent () =
+  let e = make () in
+  ignore (Engine.spawn e ~cpu:0 ~name:"a" (fun () -> Api.compute 10e6));
+  ignore (Engine.spawn e ~cpu:1 ~name:"b" (fun () -> Api.compute 4e6));
+  Engine.run e;
+  Alcotest.(check (float 1.)) "total user is sum" 14e6 (Engine.total_user_ns e);
+  Alcotest.(check (float 1.)) "elapsed is max" 10e6 (Engine.elapsed_ns e)
+
+let test_two_threads_share_a_cpu () =
+  let e = make () in
+  ignore (Engine.spawn e ~cpu:2 ~name:"a" (fun () -> Api.compute 10e6));
+  ignore (Engine.spawn e ~cpu:2 ~name:"b" (fun () -> Api.compute 10e6));
+  Engine.run e;
+  (* Serialised on one clock: elapsed = 20 ms, user = 20 ms on cpu 2. *)
+  Alcotest.(check (float 1.)) "user" 20e6 (Engine.user_ns e ~cpu:2);
+  Alcotest.(check (float 1.)) "elapsed serialised" 20e6 (Engine.elapsed_ns e)
+
+let test_read_value_roundtrip () =
+  let e = make () in
+  let seen = ref (-1) in
+  ignore
+    (Engine.spawn e ~cpu:0 ~name:"t" (fun () ->
+         Api.write ~value:33 4;
+         seen := Api.read_value 4));
+  Engine.run e;
+  Alcotest.(check int) "read back" 33 !seen
+
+let test_lock_mutual_exclusion () =
+  let e = make () in
+  let lock = Engine.make_lock e ~vpage:0 in
+  let in_section = ref 0 and max_seen = ref 0 and entries = ref 0 in
+  for cpu = 0 to 3 do
+    ignore
+      (Engine.spawn e ~cpu ~name:(Printf.sprintf "t%d" cpu) (fun () ->
+           for _ = 1 to 10 do
+             Api.lock lock;
+             incr in_section;
+             incr entries;
+             if !in_section > !max_seen then max_seen := !in_section;
+             Api.compute 100_000.;
+             decr in_section;
+             Api.unlock lock
+           done))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "never two holders" 1 !max_seen;
+  Alcotest.(check int) "all entries" 40 !entries;
+  Alcotest.(check int) "acquisitions counted" 40 lock.Numa_sim.Sync.acquisitions
+
+let test_unlock_by_non_holder_fails () =
+  let e = make () in
+  let lock = Engine.make_lock e ~vpage:0 in
+  ignore (Engine.spawn e ~cpu:0 ~name:"holder" (fun () ->
+      Api.lock lock;
+      Api.compute 1e6));
+  ignore (Engine.spawn e ~cpu:1 ~name:"thief" (fun () -> Api.unlock lock));
+  Alcotest.(check bool) "raises" true
+    (match Engine.run e with
+    | () -> false
+    | exception Failure _ -> true)
+
+let test_barrier_synchronises () =
+  let e = make () in
+  let barrier = Engine.make_barrier e ~vpage:0 ~parties:3 in
+  let order = ref [] in
+  for i = 0 to 2 do
+    ignore
+      (Engine.spawn e ~cpu:i ~name:(Printf.sprintf "t%d" i) (fun () ->
+           (* Unequal pre-barrier work. *)
+           Api.compute (float_of_int (i + 1) *. 1e6);
+           order := (`Before i) :: !order;
+           Api.barrier barrier;
+           order := (`After i) :: !order))
+  done;
+  Engine.run e;
+  let events = List.rev !order in
+  let all_befores_first =
+    let rec split = function
+      | `Before _ :: rest -> split rest
+      | rest -> List.for_all (function `After _ -> true | `Before _ -> false) rest
+    in
+    split events
+  in
+  Alcotest.(check bool) "no thread passes early" true all_befores_first;
+  Alcotest.(check int) "barrier cycled once" 1 barrier.Numa_sim.Sync.generation
+
+let test_barrier_reusable () =
+  let e = make () in
+  let barrier = Engine.make_barrier e ~vpage:0 ~parties:2 in
+  let rounds = ref 0 in
+  for i = 0 to 1 do
+    ignore
+      (Engine.spawn e ~cpu:i ~name:(Printf.sprintf "t%d" i) (fun () ->
+           for _ = 1 to 5 do
+             Api.compute 1e5;
+             Api.barrier barrier;
+             if i = 0 then incr rounds
+           done))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "five rounds" 5 !rounds;
+  Alcotest.(check int) "five generations" 5 barrier.Numa_sim.Sync.generation
+
+let test_spin_wait_burns_user_time () =
+  let e = make () in
+  let lock = Engine.make_lock e ~vpage:0 in
+  ignore
+    (Engine.spawn e ~cpu:0 ~name:"holder" (fun () ->
+         Api.lock lock;
+         Api.compute 5e6;
+         Api.unlock lock));
+  ignore
+    (Engine.spawn e ~cpu:1 ~name:"waiter" (fun () ->
+         Api.compute 1e5 (* let the holder get there first *);
+         Api.lock lock;
+         Api.unlock lock));
+  Engine.run e;
+  (* The waiter spun for ~4.9 ms of user time on its own CPU. *)
+  Alcotest.(check bool) "waiter burned user time spinning" true
+    (Engine.user_ns e ~cpu:1 > 3e6);
+  Alcotest.(check bool) "polls were counted" true (lock.Numa_sim.Sync.contended_polls > 100)
+
+let test_syscall_plain () =
+  let e = make () in
+  ignore
+    (Engine.spawn e ~cpu:2 ~name:"t" (fun () ->
+         Api.syscall ~service_ns:2e6 ();
+         Api.compute 1e6));
+  Engine.run e;
+  Alcotest.(check (float 1.)) "service is system time" 2e6 (Engine.system_ns e ~cpu:2);
+  Alcotest.(check (float 1.)) "user unaffected by the call" 1e6 (Engine.user_ns e ~cpu:2)
+
+let test_syscall_unix_master_serialises () =
+  let e =
+    make
+      ~engine_tweak:(fun c -> { c with Engine.unix_master = true })
+      ()
+  in
+  for cpu = 1 to 3 do
+    ignore
+      (Engine.spawn e ~cpu ~name:(Printf.sprintf "t%d" cpu) (fun () ->
+           Api.syscall ~service_ns:3e6 ()))
+  done;
+  Engine.run e;
+  (* All service time lands on cpu 0 and the calls serialise there. *)
+  Alcotest.(check (float 1.)) "master does all the work" 9e6 (Engine.system_ns e ~cpu:0);
+  Alcotest.(check (float 1.)) "callers accrue nothing" 0.
+    (Engine.system_ns e ~cpu:1 +. Engine.user_ns e ~cpu:1);
+  Alcotest.(check bool) "master clock reflects the queue" true
+    (Engine.elapsed_ns e >= 9e6)
+
+let test_single_queue_migrates () =
+  let e = make ~scheduler:Engine.Single_queue () in
+  (* More threads than CPUs; under a single queue they spread onto idle
+     CPUs rather than stacking on their spawn CPU. *)
+  let tids = ref [] in
+  for i = 0 to 5 do
+    tids :=
+      Engine.spawn e ~cpu:0 ~name:(Printf.sprintf "t%d" i) (fun () ->
+          for _ = 1 to 10 do
+            Api.compute 1e6
+          done)
+      :: !tids
+  done;
+  Engine.run e;
+  let cpus_used =
+    List.sort_uniq compare (List.map (fun tid -> Engine.thread_cpu e ~tid) !tids)
+  in
+  Alcotest.(check bool) "threads spread over CPUs" true (List.length cpus_used > 1);
+  (* Work conservation: total user time is exactly the computation. *)
+  Alcotest.(check (float 10.)) "total user conserved" 60e6 (Engine.total_user_ns e)
+
+let test_deadlock_detection () =
+  (* A barrier that can never fill: the lone waiter spins forever; the
+     event budget must stop the run. *)
+  let e = make ~engine_tweak:(fun c -> { c with Engine.max_events = 10_000 }) () in
+  let barrier = Engine.make_barrier e ~vpage:1 ~parties:2 in
+  ignore (Engine.spawn e ~cpu:0 ~name:"lonely" (fun () -> Api.barrier barrier));
+  Alcotest.(check bool) "event budget catches the livelock" true
+    (match Engine.run e with
+    | () -> false
+    | exception Failure _ -> true
+    | exception Engine.Deadlock _ -> true)
+
+let test_migrate_rebinds_thread () =
+  let e = make () in
+  let tid =
+    Engine.spawn e ~cpu:0 ~name:"hopper" (fun () ->
+        Api.compute 1e6;
+        Api.migrate ~cpu:3;
+        Api.compute 2e6)
+  in
+  Engine.run e;
+  Alcotest.(check int) "ends on target cpu" 3 (Engine.thread_cpu e ~tid);
+  Alcotest.(check (float 1.)) "pre-hop work on cpu 0" 1e6 (Engine.user_ns e ~cpu:0);
+  Alcotest.(check (float 1.)) "post-hop work on cpu 3" 2e6 (Engine.user_ns e ~cpu:3);
+  Alcotest.(check bool) "reschedule charged as system time" true
+    (Engine.system_ns e ~cpu:3 > 0.)
+
+let test_migrate_bad_cpu_fails () =
+  let e = make () in
+  ignore (Engine.spawn e ~cpu:0 ~name:"bad" (fun () -> Api.migrate ~cpu:99));
+  Alcotest.(check bool) "rejected" true
+    (match Engine.run e with () -> false | exception Failure _ -> true)
+
+let test_determinism () =
+  let run () =
+    let e = make () in
+    let lock = Engine.make_lock e ~vpage:0 in
+    for cpu = 0 to 3 do
+      ignore
+        (Engine.spawn e ~cpu ~name:(Printf.sprintf "t%d" cpu) (fun () ->
+             for _ = 1 to 20 do
+               Api.with_lock lock (fun () -> Api.write ~count:3 5);
+               Api.compute 1e5;
+               Api.read ~count:10 6
+             done))
+    done;
+    Engine.run e;
+    (Engine.total_user_ns e, Engine.total_system_ns e, Engine.n_events e)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical reruns" true (a = b)
+
+let test_spawn_after_run_rejected () =
+  let e = make () in
+  ignore (Engine.spawn e ~name:"t" (fun () -> Api.compute 1e3));
+  Engine.run e;
+  Alcotest.check_raises "late spawn" (Invalid_argument "Engine.spawn: engine already running")
+    (fun () -> ignore (Engine.spawn e ~name:"late" (fun () -> ())))
+
+let test_empty_run () =
+  let e = make () in
+  Engine.run e;
+  Alcotest.(check (float 0.)) "no time passes" 0. (Engine.elapsed_ns e)
+
+let suite =
+  [
+    Alcotest.test_case "compute accounting" `Quick test_compute_accounting;
+    Alcotest.test_case "reference accounting" `Quick test_reference_accounting;
+    Alcotest.test_case "parallel clocks" `Quick test_parallel_clocks_independent;
+    Alcotest.test_case "threads share a cpu" `Quick test_two_threads_share_a_cpu;
+    Alcotest.test_case "read value round trip" `Quick test_read_value_roundtrip;
+    Alcotest.test_case "lock mutual exclusion" `Quick test_lock_mutual_exclusion;
+    Alcotest.test_case "unlock by non-holder" `Quick test_unlock_by_non_holder_fails;
+    Alcotest.test_case "barrier synchronises" `Quick test_barrier_synchronises;
+    Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
+    Alcotest.test_case "spin burns user time" `Quick test_spin_wait_burns_user_time;
+    Alcotest.test_case "syscall plain" `Quick test_syscall_plain;
+    Alcotest.test_case "syscall unix master" `Quick test_syscall_unix_master_serialises;
+    Alcotest.test_case "single queue migrates" `Quick test_single_queue_migrates;
+    Alcotest.test_case "stuck barrier detected" `Quick test_deadlock_detection;
+    Alcotest.test_case "migrate rebinds thread" `Quick test_migrate_rebinds_thread;
+    Alcotest.test_case "migrate to bad cpu fails" `Quick test_migrate_bad_cpu_fails;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "spawn after run rejected" `Quick test_spawn_after_run_rejected;
+    Alcotest.test_case "empty run" `Quick test_empty_run;
+  ]

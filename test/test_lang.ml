@@ -1,0 +1,134 @@
+(* Tests for the layout tool. *)
+
+module Layout = Numa_lang.Layout
+module Region_attr = Numa_vm.Region_attr
+module System = Numa_system.System
+
+let objects =
+  [
+    Layout.obj ~owner:0 ~name:"c0" ~words:10 ~sharing:Region_attr.Declared_private ();
+    Layout.obj ~name:"log" ~words:20 ~sharing:Region_attr.Declared_write_shared ();
+    Layout.obj ~owner:1 ~name:"c1" ~words:10 ~sharing:Region_attr.Declared_private ();
+    Layout.obj ~name:"table" ~words:700 ~sharing:Region_attr.Declared_read_shared ();
+    Layout.obj ~name:"queue" ~words:6 ~sharing:Region_attr.Declared_write_shared ();
+  ]
+
+let placement plan name =
+  List.find
+    (fun (p : Layout.placement) -> p.Layout.p_obj.Layout.o_name = name)
+    plan.Layout.placements
+
+let test_naive_packs_in_order () =
+  let plan = Layout.naive objects in
+  Alcotest.(check int) "one region" 1 (List.length plan.Layout.regions);
+  Alcotest.(check int) "c0 first" 0 (placement plan "c0").Layout.p_offset_words;
+  Alcotest.(check int) "log follows" 10 (placement plan "log").Layout.p_offset_words;
+  Alcotest.(check int) "c1 follows" 30 (placement plan "c1").Layout.p_offset_words;
+  let r = List.hd plan.Layout.regions in
+  Alcotest.(check int) "region covers everything" (10 + 20 + 10 + 700 + 6)
+    r.Layout.r_words
+
+let test_segregated_groups_by_class () =
+  let plan = Layout.segregated ~page_words:512 objects in
+  (* Groups: private.0, write-shared, private.1, read-shared. *)
+  Alcotest.(check int) "four regions" 4 (List.length plan.Layout.regions);
+  Alcotest.(check string) "c0 in its own private region" "private.0"
+    (placement plan "c0").Layout.p_region;
+  Alcotest.(check string) "c1 separate" "private.1" (placement plan "c1").Layout.p_region;
+  Alcotest.(check string) "log write-shared" "write-shared"
+    (placement plan "log").Layout.p_region;
+  (* Write-shared objects page-padded apart. *)
+  Alcotest.(check int) "log at 0" 0 (placement plan "log").Layout.p_offset_words;
+  Alcotest.(check int) "queue on its own page" 512
+    (placement plan "queue").Layout.p_offset_words;
+  (* Region sizes are page multiples. *)
+  List.iter
+    (fun (r : Layout.planned_region) ->
+      Alcotest.(check int) (r.Layout.r_name ^ " page aligned") 0 (r.Layout.r_words mod 512))
+    plan.Layout.regions
+
+let test_segregated_no_padding_option () =
+  let plan = Layout.segregated ~page_words:512 ~pad_write_shared:false objects in
+  Alcotest.(check int) "queue directly after log" 20
+    (placement plan "queue").Layout.p_offset_words
+
+let test_every_object_placed_once () =
+  List.iter
+    (fun plan ->
+      let names =
+        List.map (fun (p : Layout.placement) -> p.Layout.p_obj.Layout.o_name)
+          plan.Layout.placements
+      in
+      Alcotest.(check int) "all objects" (List.length objects) (List.length names);
+      Alcotest.(check int) "no duplicates" (List.length names)
+        (List.length (List.sort_uniq compare names)))
+    [ Layout.naive objects; Layout.segregated ~page_words:512 objects ]
+
+let test_materialise_and_address () =
+  let config = Numa_machine.Config.ace ~n_cpus:2 ~local_pages_per_cpu:32 ~global_pages:64 () in
+  let sys = System.create ~config () in
+  let plan = Layout.segregated ~page_words:512 objects in
+  let located = Layout.materialise sys plan in
+  Alcotest.(check int) "all objects located" (List.length objects) (Hashtbl.length located);
+  let table = Hashtbl.find located "table" in
+  (* 700 words spill onto a second page. *)
+  Alcotest.(check bool) "page split" true
+    (Layout.vpage_of_word table 0 <> Layout.vpage_of_word table 699);
+  Alcotest.(check int) "consecutive pages" 1
+    (Layout.vpage_of_word table 699 - Layout.vpage_of_word table 0);
+  (* Distinct objects in the same group can share a region but the private
+     groups must be disjoint regions. *)
+  let c0 = Hashtbl.find located "c0" and c1 = Hashtbl.find located "c1" in
+  Alcotest.(check bool) "private objects on different pages" true
+    (Layout.vpage_of_word c0 0 <> Layout.vpage_of_word c1 0);
+  Alcotest.check_raises "address out of range"
+    (Invalid_argument "Layout.vpage_of_word: out of range") (fun () ->
+      ignore (Layout.vpage_of_word c0 10))
+
+let test_naive_vs_segregated_behaviour () =
+  (* End to end: a private counter colocated with a shared log pins under
+     the naive layout and stays local under segregation. *)
+  let run plan_of =
+    let config = Numa_machine.Config.ace ~n_cpus:2 ~local_pages_per_cpu:32 ~global_pages:64 () in
+    let sys = System.create ~config () in
+    let objs =
+      [
+        Layout.obj ~owner:0 ~name:"mine" ~words:8 ~sharing:Region_attr.Declared_private ();
+        Layout.obj ~name:"shared" ~words:8 ~sharing:Region_attr.Declared_write_shared ();
+      ]
+    in
+    let located = Layout.materialise sys (plan_of objs) in
+    let mine = Hashtbl.find located "mine" and shared = Hashtbl.find located "shared" in
+    let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+    for i = 0 to 1 do
+      ignore
+        (System.spawn sys ~cpu:i ~name:(Printf.sprintf "t%d" i) (fun ~stack_vpage:_ ->
+             for _r = 1 to 12 do
+               if i = 0 then Numa_sim.Api.write ~count:16 (Layout.vpage_of_word mine 0);
+               Numa_sim.Api.write ~count:2 (Layout.vpage_of_word shared 0);
+               Numa_sim.Api.barrier barrier
+             done))
+    done;
+    let report = System.run sys in
+    (report, Layout.vpage_of_word mine 0 = Layout.vpage_of_word shared 0)
+  in
+  let naive_report, naive_colocated = run Layout.naive in
+  let seg_report, seg_colocated =
+    run (fun objs -> Layout.segregated ~page_words:512 objs)
+  in
+  Alcotest.(check bool) "naive colocates" true naive_colocated;
+  Alcotest.(check bool) "segregated separates" false seg_colocated;
+  Alcotest.(check bool) "segregation raises alpha" true
+    (seg_report.Numa_system.Report.alpha_counted
+    > naive_report.Numa_system.Report.alpha_counted +. 0.2)
+
+let suite =
+  [
+    Alcotest.test_case "naive packs in order" `Quick test_naive_packs_in_order;
+    Alcotest.test_case "segregated groups by class" `Quick test_segregated_groups_by_class;
+    Alcotest.test_case "padding can be disabled" `Quick test_segregated_no_padding_option;
+    Alcotest.test_case "every object placed once" `Quick test_every_object_placed_once;
+    Alcotest.test_case "materialise and address" `Quick test_materialise_and_address;
+    Alcotest.test_case "naive vs segregated behaviour" `Quick
+      test_naive_vs_segregated_behaviour;
+  ]

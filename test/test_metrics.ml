@@ -1,0 +1,196 @@
+(* Tests for the evaluation model and the experiment machinery, at small
+   scale. *)
+
+module Model = Numa_metrics.Model
+module Runner = Numa_metrics.Runner
+module Table3 = Numa_metrics.Table3
+module Table4 = Numa_metrics.Table4
+module Ablations = Numa_metrics.Ablations
+module Paper_values = Numa_metrics.Paper_values
+module Report = Numa_system.Report
+
+let small_spec ?(scale = 0.05) () =
+  { Runner.default_spec with Runner.scale; n_cpus = 4; nthreads = 4 }
+
+(* --- model equations -------------------------------------------------------- *)
+
+let test_equations_on_paper_rows () =
+  (* Applying equations 1/4/5 to the paper's published times must recover
+     the paper's published alpha/beta/gamma (to rounding). This pins our
+     implementation of the model to the paper itself. *)
+  let gl_of app = if app = "gfetch" || app = "imatmult" then 2.3 else 2.0 in
+  List.iter
+    (fun (r : Paper_values.table3_row) ->
+      let times =
+        {
+          Model.t_global = r.Paper_values.t_global;
+          t_numa = r.Paper_values.t_numa;
+          t_local = r.Paper_values.t_local;
+        }
+      in
+      (match r.Paper_values.alpha with
+      | Some expected when r.Paper_values.app <> "primes1" ->
+          Alcotest.(check (float 0.03))
+            (r.Paper_values.app ^ " alpha")
+            expected (Model.alpha times)
+      | Some _ | None -> ());
+      Alcotest.(check (float 0.03))
+        (r.Paper_values.app ^ " gamma")
+        r.Paper_values.gamma (Model.gamma times);
+      (* IMatMult is excluded: the paper's published beta (0.26) does not
+         satisfy equation 5 against its own published times with either
+         G/L value (2.3 gives 0.16, 2.0 gives 0.20) — presumably a typo or
+         a different L in their arithmetic; every other row solves
+         exactly. *)
+      if r.Paper_values.app <> "parmult" && r.Paper_values.app <> "imatmult" then
+        Alcotest.(check (float 0.04))
+          (r.Paper_values.app ^ " beta")
+          r.Paper_values.beta
+          (Model.beta times ~gl:(gl_of r.Paper_values.app)))
+    Paper_values.table3
+
+let test_equation2_forward () =
+  (* gamma = 1 + beta (1 - alpha)(G/L - 1). *)
+  let t = Model.predicted_t_numa ~t_local:100. ~alpha:0.5 ~beta:0.4 ~gl:2.0 in
+  Alcotest.(check (float 1e-9)) "forward model" 120. t;
+  let tg = Model.predicted_t_numa ~t_local:100. ~alpha:0. ~beta:1.0 ~gl:2.3 in
+  Alcotest.(check (float 1e-9)) "all-global, all-memory" 230. tg
+
+let test_valid_times () =
+  Alcotest.(check bool) "ordered times valid" true
+    (Model.valid_times { Model.t_global = 3.; t_numa = 2.; t_local = 1. });
+  Alcotest.(check bool) "numa above global invalid" false
+    (Model.valid_times { Model.t_global = 2.; t_numa = 3.; t_local = 1. });
+  Alcotest.(check bool) "small noise tolerated" true
+    (Model.valid_times { Model.t_global = 2.; t_numa = 2.004; t_local = 1. })
+
+(* --- runner ------------------------------------------------------------------- *)
+
+let test_app_gl_selection () =
+  let config = Numa_machine.Config.ace () in
+  let gl name =
+    Runner.app_gl (Option.get (Numa_apps.Registry.find name)) config
+  in
+  Alcotest.(check (float 0.05)) "gfetch uses fetch ratio" 2.31 (gl "gfetch");
+  Alcotest.(check (float 0.05)) "primes1 uses mixed ratio" 1.98 (gl "primes1")
+
+let test_measure_protocol () =
+  let app = Option.get (Numa_apps.Registry.find "parmult") in
+  let m = Runner.measure app (small_spec ()) in
+  (* ParMult: the three times coincide (beta = 0). *)
+  let t = m.Runner.times in
+  Alcotest.(check bool) "t_local <= t_numa" true
+    (t.Model.t_local <= t.Model.t_numa *. 1.01);
+  Alcotest.(check (float 0.02)) "gamma ~ 1" 1.0 m.Runner.gamma;
+  Alcotest.(check bool) "t_local measured on one cpu" true
+    (m.Runner.r_local.Report.n_cpus = 1 && m.Runner.r_local.Report.n_threads = 1);
+  Alcotest.(check bool) "t_global under all-global" true
+    (m.Runner.r_global.Report.policy_name = "all-global")
+
+(* --- tables ---------------------------------------------------------------------- *)
+
+let test_table3_rows_render () =
+  let app = Option.get (Numa_apps.Registry.find "imatmult") in
+  let rows = Table3.run ~apps:[ app ] ~spec:(small_spec ~scale:0.1 ()) () in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let rendered = Table3.render rows in
+  let contains sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions the app" true (contains "imatmult" rendered);
+  Alcotest.(check bool) "has the Tglobal column" true (contains "Tglobal" rendered);
+  let cmp = Table3.render_comparison rows in
+  Alcotest.(check bool) "comparison cites paper value 0.94" true (contains "0.94" cmp)
+
+let test_table4_from_measurements () =
+  let apps = List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3" ] in
+  let rows = Table3.run ~apps ~spec:(small_spec ~scale:0.1 ()) () in
+  let t4 = Table4.of_measurements rows in
+  Alcotest.(check int) "both are table-4 apps" 2 (List.length t4);
+  List.iter
+    (fun (r : Table4.row) ->
+      Alcotest.(check bool) "system time present in numa runs" true (r.Table4.s_numa > 0.);
+      match r.Table4.delta_s with
+      | Some d ->
+          Alcotest.(check (float 1e-6)) "overhead consistent"
+            (100. *. d /. r.Table4.t_numa)
+            r.Table4.overhead_pct
+      | None -> ())
+    t4;
+  (* parmult is not a table-4 program: filtered out. *)
+  let p3 = Table3.run ~apps:[ Option.get (Numa_apps.Registry.find "parmult") ]
+      ~spec:(small_spec ()) () in
+  Alcotest.(check int) "non-table-4 app filtered" 0
+    (List.length (Table4.of_measurements p3))
+
+(* --- ablations ---------------------------------------------------------------------- *)
+
+let test_threshold_sweep_never_pin_thrashes () =
+  let rows =
+    Ablations.threshold_sweep
+      ~apps:[ Option.get (Numa_apps.Registry.find "primes3") ]
+      ~thresholds:[ Some 4; None ]
+      ~spec:(small_spec ()) ()
+  in
+  match rows with
+  | [ limited; unlimited ] ->
+      Alcotest.(check bool) "never-pin never pins" true (unlimited.Ablations.ts_pins = 0);
+      Alcotest.(check bool) "never-pin moves much more" true
+        (unlimited.Ablations.ts_moves > 2 * limited.Ablations.ts_moves);
+      Alcotest.(check bool) "never-pin pays more system time" true
+        (unlimited.Ablations.ts_t_system > limited.Ablations.ts_t_system)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_pragma_study_cuts_moves () =
+  match Ablations.pragma_study ~spec:(small_spec ()) () with
+  | [ plain; pragma ] ->
+      Alcotest.(check bool) "pragma reduces moves" true
+        (pragma.Ablations.pr_moves < plain.Ablations.pr_moves)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_unix_master_study () =
+  match Ablations.unix_master_study ~spec:(small_spec ~scale:0.2 ()) () with
+  | [ master; fixed ] ->
+      Alcotest.(check bool) "master leaks stacks to global" true
+        (master.Ablations.um_stack_global_refs > 0);
+      Alcotest.(check int) "fixed kernel leaks nothing" 0
+        fixed.Ablations.um_stack_global_refs
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_reconsider_study () =
+  match Ablations.reconsider_study ~spec:(small_spec ~scale:0.5 ()) ~window_ms:20. () with
+  | [ fixed; reconsider ] ->
+      Alcotest.(check bool) "reconsideration frees pages from global" true
+        (reconsider.Ablations.rc_final_global_pages < fixed.Ablations.rc_final_global_pages);
+      Alcotest.(check bool) "and saves user time" true
+        (reconsider.Ablations.rc_user < fixed.Ablations.rc_user)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_paper_values_lookup () =
+  Alcotest.(check bool) "table3 lookup" true (Paper_values.find_table3 "fft" <> None);
+  Alcotest.(check bool) "table4 lookup" true (Paper_values.find_table4 "primes3" <> None);
+  Alcotest.(check bool) "missing app" true (Paper_values.find_table3 "nope" = None);
+  (* Primes1's Delta-S is the paper's "na". *)
+  match Paper_values.find_table4 "primes1" with
+  | Some r -> Alcotest.(check bool) "primes1 na" true (r.Paper_values.delta_s = None)
+  | None -> Alcotest.fail "primes1 missing"
+
+let suite =
+  [
+    Alcotest.test_case "equations recover paper's parameters" `Quick
+      test_equations_on_paper_rows;
+    Alcotest.test_case "equation 2 forward" `Quick test_equation2_forward;
+    Alcotest.test_case "valid_times" `Quick test_valid_times;
+    Alcotest.test_case "per-app G/L selection" `Quick test_app_gl_selection;
+    Alcotest.test_case "measure protocol" `Quick test_measure_protocol;
+    Alcotest.test_case "table 3 rows render" `Quick test_table3_rows_render;
+    Alcotest.test_case "table 4 derivation" `Quick test_table4_from_measurements;
+    Alcotest.test_case "threshold sweep: never-pin thrashes" `Slow
+      test_threshold_sweep_never_pin_thrashes;
+    Alcotest.test_case "pragma study cuts moves" `Quick test_pragma_study_cuts_moves;
+    Alcotest.test_case "unix-master study" `Quick test_unix_master_study;
+    Alcotest.test_case "reconsider study" `Quick test_reconsider_study;
+    Alcotest.test_case "paper values lookup" `Quick test_paper_values_lookup;
+  ]

@@ -1,0 +1,146 @@
+(* Tests for the pageout daemon, both standalone and end-to-end through a
+   workload whose footprint exceeds the logical page pool. *)
+
+open Numa_machine
+open Numa_vm
+module System = Numa_system.System
+module Api = Numa_sim.Api
+module Region_attr = Numa_vm.Region_attr
+
+let make_env ~global_pages =
+  let config = Config.ace ~n_cpus:2 ~local_pages_per_cpu:8 ~global_pages () in
+  let policy = Numa_core.Policy.move_limit ~n_pages:global_pages () in
+  let pmap_mgr = Numa_core.Pmap_manager.create ~config ~policy in
+  let ops = Numa_core.Pmap_manager.ops pmap_mgr in
+  let pool = Lpage_pool.create config ~ops in
+  (config, ops, pool)
+
+let test_daemon_evicts_to_high_water () =
+  let _, ops, pool = make_env ~global_pages:8 in
+  let daemon = Pageout.create ~pool ~ops ~low_water:2 ~high_water:4 () in
+  let obj = Vm_object.create ~id:0 ~name:"o" ~size_pages:8 in
+  Pageout.register daemon obj;
+  (* Fill the pool. *)
+  for offset = 0 to 7 do
+    ignore (Result.get_ok (Vm_object.lpage_for obj ~pool ~ops ~offset))
+  done;
+  Alcotest.(check int) "pool full" 0 (Lpage_pool.n_free pool);
+  let evicted = Pageout.tick daemon in
+  Alcotest.(check int) "evicted to high water" 4 evicted;
+  Alcotest.(check int) "free restored" 4 (Lpage_pool.n_free pool);
+  Alcotest.(check int) "counter" 4 (Pageout.evictions daemon);
+  (* Above low water: tick is a no-op. *)
+  Alcotest.(check int) "no-op tick" 0 (Pageout.tick daemon)
+
+let test_daemon_preserves_content () =
+  let _, ops, pool = make_env ~global_pages:4 in
+  let daemon = Pageout.create ~pool ~ops ~low_water:1 ~high_water:2 () in
+  let obj = Vm_object.create ~id:0 ~name:"o" ~size_pages:8 in
+  Pageout.register daemon obj;
+  (* Touch every page, writing a distinct value, reclaiming as needed. *)
+  for offset = 0 to 7 do
+    if Lpage_pool.n_free pool = 0 then
+      Alcotest.(check bool) "reclaim" true (Pageout.ensure_free daemon ~needed:1);
+    let lpage = Result.get_ok (Vm_object.lpage_for obj ~pool ~ops ~offset) in
+    ops.Pmap_intf.install_page ~lpage ~content:(1000 + offset)
+  done;
+  (* Read them all back, reclaiming again; contents must survive. *)
+  for offset = 0 to 7 do
+    (match Vm_object.slot obj ~offset with
+    | Vm_object.Resident _ -> ()
+    | Vm_object.Paged_out _ ->
+        if Lpage_pool.n_free pool = 0 then
+          ignore (Pageout.ensure_free daemon ~needed:1)
+    | Vm_object.Empty -> Alcotest.fail "page lost");
+    let lpage = Result.get_ok (Vm_object.lpage_for obj ~pool ~ops ~offset) in
+    Alcotest.(check int)
+      (Printf.sprintf "content of page %d" offset)
+      (1000 + offset)
+      (ops.Pmap_intf.extract_content ~lpage)
+  done
+
+let test_daemon_gives_up_when_nothing_evictable () =
+  let _, ops, pool = make_env ~global_pages:2 in
+  let daemon = Pageout.create ~pool ~ops ~low_water:1 ~high_water:2 () in
+  (* No registered objects: allocate the pool dry directly. *)
+  ignore (Lpage_pool.alloc pool);
+  ignore (Lpage_pool.alloc pool);
+  Alcotest.(check bool) "cannot reclaim" false (Pageout.ensure_free daemon ~needed:1)
+
+(* End to end: a workload with a footprint twice the pool size runs to
+   completion through transparent reclamation, and values written before
+   eviction are read back correctly after page-in. *)
+let test_system_overcommit () =
+  let config = Config.ace ~n_cpus:2 ~local_pages_per_cpu:32 ~global_pages:16 () in
+  let sys = System.create ~config () in
+  let data =
+    System.alloc_region sys ~name:"big" ~kind:Region_attr.Data
+      ~sharing:Region_attr.Declared_private ~pages:28 ()
+  in
+  let mismatches = ref 0 in
+  ignore
+    (System.spawn sys ~cpu:0 ~name:"writer" (fun ~stack_vpage:_ ->
+         for p = 0 to 27 do
+           Api.write ~value:(500 + p) ~count:4 (data.System.base_vpage + p)
+         done;
+         for p = 0 to 27 do
+           if Api.read_value (data.System.base_vpage + p) <> 500 + p then incr mismatches
+         done));
+  let report = System.run sys in
+  Alcotest.(check int) "all values survive eviction" 0 !mismatches;
+  Alcotest.(check bool) "run produced work" true (report.Numa_system.Report.total_user_ns > 0.);
+  match System.check_invariants sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariants: %s" msg
+
+(* Pin reset through the daemon: a pinned page that is evicted and paged
+   back in starts fresh and can live locally again (footnote 4). *)
+let test_overcommit_resets_pins () =
+  let config = Config.ace ~n_cpus:2 ~local_pages_per_cpu:32 ~global_pages:12 () in
+  let sys = System.create ~policy:(System.Move_limit { threshold = 1 }) ~config () in
+  let shared =
+    System.alloc_region sys ~name:"shared" ~kind:Region_attr.Data
+      ~sharing:Region_attr.Declared_write_shared ~pages:1 ()
+  in
+  let filler =
+    System.alloc_region sys ~name:"filler" ~kind:Region_attr.Data
+      ~sharing:Region_attr.Declared_private ~pages:20 ()
+  in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+  ignore
+    (System.spawn sys ~cpu:0 ~name:"a" (fun ~stack_vpage:_ ->
+         (* Ping-pong to pin the shared page. *)
+         for _ = 1 to 6 do
+           Api.write shared.System.base_vpage;
+           Api.barrier barrier
+         done;
+         (* Churn through the filler to force the shared page out. *)
+         for p = 0 to 19 do
+           Api.write ~count:2 (filler.System.base_vpage + p)
+         done;
+         Api.barrier barrier;
+         (* Touch the shared page again: fresh history. *)
+         Api.write ~count:8 shared.System.base_vpage;
+         Api.barrier barrier));
+  ignore
+    (System.spawn sys ~cpu:1 ~name:"b" (fun ~stack_vpage:_ ->
+         for _ = 1 to 6 do
+           Api.barrier barrier;
+           Api.write shared.System.base_vpage
+         done;
+         Api.barrier barrier;
+         Api.barrier barrier));
+  ignore (System.run sys);
+  match System.check_invariants sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariants: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "daemon evicts to high water" `Quick test_daemon_evicts_to_high_water;
+    Alcotest.test_case "daemon preserves content" `Quick test_daemon_preserves_content;
+    Alcotest.test_case "daemon gives up gracefully" `Quick
+      test_daemon_gives_up_when_nothing_evictable;
+    Alcotest.test_case "overcommitted workload completes" `Quick test_system_overcommit;
+    Alcotest.test_case "overcommit resets pins" `Quick test_overcommit_resets_pins;
+  ]

@@ -1,0 +1,351 @@
+(* Property-based tests (qcheck) on the protocol core and the full system:
+   coherence against a flat reference memory, directory invariants under
+   random operation sequences, and model/DP sanity. *)
+
+open Numa_machine
+open Numa_core
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* --- random pmap-level workloads ------------------------------------------ *)
+
+type op = Op_read of int * int | Op_write of int * int * int | Op_free of int
+(* (cpu, lpage[, value]) over a small machine. *)
+
+let n_cpus = 4
+let n_pages = 6
+
+let op_gen =
+  let open QCheck.Gen in
+  let cpu = int_bound (n_cpus - 1) and lpage = int_bound (n_pages - 1) in
+  frequency
+    [
+      (5, map2 (fun c l -> Op_read (c, l)) cpu lpage);
+      (5, map3 (fun c l v -> Op_write (c, l, v)) cpu lpage (int_bound 10_000));
+      (1, map (fun l -> Op_free l) lpage);
+    ]
+
+let op_print = function
+  | Op_read (c, l) -> Printf.sprintf "read(cpu%d, p%d)" c l
+  | Op_write (c, l, v) -> Printf.sprintf "write(cpu%d, p%d, %d)" c l v
+  | Op_free l -> Printf.sprintf "free(p%d)" l
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map op_print l))
+    QCheck.Gen.(list_size (int_range 1 120) op_gen)
+
+(* Drive a random operation sequence through the real pmap layer, mirroring
+   it against a flat memory; after every step, contents must agree and the
+   directory invariants must hold. *)
+let run_against_reference ~policy ops =
+  let config =
+    Config.ace ~n_cpus ~local_pages_per_cpu:4 (* small: exercises fallback *)
+      ~global_pages:n_pages ()
+  in
+  let mgr = Pmap_manager.create ~config ~policy:(policy ~n_pages) in
+  let pmap_ops = Pmap_manager.ops mgr in
+  let pmap = pmap_ops.Numa_vm.Pmap_intf.pmap_create ~name:"prop" in
+  let reference = Array.make n_pages 0 in
+  let freed = Array.make n_pages false in
+  let ensure ~cpu ~lpage ~access =
+    (* Fault loop, as the machine-independent handler would do. *)
+    let rec go n =
+      if n > 3 then failwith "no convergence";
+      match pmap_ops.Numa_vm.Pmap_intf.resident ~pmap ~cpu ~vpage:lpage with
+      | Some (prot, _) when Prot.allows prot access -> ()
+      | Some _ | None ->
+          pmap_ops.Numa_vm.Pmap_intf.enter ~pmap ~cpu ~vpage:lpage ~lpage
+            ~min_prot:(Prot.of_access access) ~max_prot:Prot.Read_write;
+          go (n + 1)
+    in
+    go 0
+  in
+  let ok = ref true in
+  let check_step () =
+    (match Numa_manager.check_invariants (Pmap_manager.manager mgr) with
+    | Ok () -> ()
+    | Error msg -> QCheck.Test.fail_reportf "invariant violated: %s" msg);
+    ()
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Op_read (cpu, lpage) ->
+          if freed.(lpage) then begin
+            (* Page was freed: reallocate it fresh (content resets). *)
+            freed.(lpage) <- false;
+            reference.(lpage) <- 0;
+            pmap_ops.Numa_vm.Pmap_intf.zero_page ~lpage
+          end;
+          ensure ~cpu ~lpage ~access:Access.Load;
+          let got = pmap_ops.Numa_vm.Pmap_intf.read_slot ~pmap ~cpu ~vpage:lpage in
+          if got <> reference.(lpage) then begin
+            ok := false;
+            QCheck.Test.fail_reportf "cpu%d read %d from p%d, expected %d" cpu got lpage
+              reference.(lpage)
+          end
+      | Op_write (cpu, lpage, v) ->
+          if freed.(lpage) then begin
+            freed.(lpage) <- false;
+            reference.(lpage) <- 0;
+            pmap_ops.Numa_vm.Pmap_intf.zero_page ~lpage
+          end;
+          ensure ~cpu ~lpage ~access:Access.Store;
+          pmap_ops.Numa_vm.Pmap_intf.write_slot ~pmap ~cpu ~vpage:lpage v;
+          reference.(lpage) <- v
+      | Op_free lpage ->
+          if not freed.(lpage) then begin
+            let tag = pmap_ops.Numa_vm.Pmap_intf.free_page ~lpage in
+            pmap_ops.Numa_vm.Pmap_intf.free_page_sync tag;
+            freed.(lpage) <- true
+          end);
+      check_step ())
+    ops;
+  !ok
+
+let prop_coherence_move_limit =
+  QCheck.Test.make ~name:"coherence under move-limit(2)" ~count:150 ops_arbitrary
+    (run_against_reference ~policy:(fun ~n_pages -> Policy.move_limit ~threshold:2 ~n_pages ()))
+
+let prop_coherence_all_global =
+  QCheck.Test.make ~name:"coherence under all-global" ~count:75 ops_arbitrary
+    (run_against_reference ~policy:(fun ~n_pages ->
+         ignore n_pages;
+         Policy.all_global ()))
+
+let prop_coherence_never_pin =
+  QCheck.Test.make ~name:"coherence under never-pin" ~count:75 ops_arbitrary
+    (run_against_reference ~policy:(fun ~n_pages ->
+         ignore n_pages;
+         Policy.never_pin ()))
+
+let prop_coherence_random_policy =
+  QCheck.Test.make ~name:"coherence under random placement" ~count:75 ops_arbitrary
+    (run_against_reference ~policy:(fun ~n_pages ->
+         Policy.random ~prng:(Numa_util.Prng.create ~seed:99L) ~p_global:0.4 ~n_pages))
+
+(* --- engine-level coherence over the full system ---------------------------- *)
+
+let prop_system_coherence =
+  (* Random per-thread write/read scripts on shared pages with barrier
+     separation: after each barrier, readers must observe the last write of
+     the previous phase. *)
+  QCheck.Test.make ~name:"engine + numa coherence across barriers" ~count:40
+    QCheck.(pair (int_bound 1000) (int_range 2 4))
+    (fun (seed, nthreads) ->
+      let module System = Numa_system.System in
+      let module Api = Numa_sim.Api in
+      let config = Config.ace ~n_cpus:nthreads ~local_pages_per_cpu:32 ~global_pages:64 () in
+      let sys = System.create ~config () in
+      let data =
+        System.alloc_region sys ~name:"d" ~kind:Numa_vm.Region_attr.Data
+          ~sharing:Numa_vm.Region_attr.Declared_write_shared ~pages:2 ()
+      in
+      let barrier = System.make_barrier sys ~name:"b" ~parties:nthreads in
+      let rounds = 6 in
+      let failures = ref 0 in
+      for i = 0 to nthreads - 1 do
+        ignore
+          (System.spawn sys ~cpu:i ~name:(Printf.sprintf "t%d" i)
+             (fun ~stack_vpage:_ ->
+               for round = 1 to rounds do
+                 (* One deterministic writer per round. *)
+                 let writer = (round + seed) mod nthreads in
+                 let value = (round * 1000) + writer in
+                 if i = writer then Api.write ~value data.System.base_vpage;
+                 Api.barrier barrier;
+                 let got = Api.read_value data.System.base_vpage in
+                 if got <> value then incr failures;
+                 Api.barrier barrier
+               done))
+      done;
+      ignore (System.run sys);
+      (match System.check_invariants sys with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "invariants: %s" msg);
+      !failures = 0)
+
+(* --- model sanity --------------------------------------------------------------- *)
+
+let prop_model_roundtrip =
+  (* Solving equations 4/5 on times generated from equation 2 recovers the
+     original alpha and beta. *)
+  QCheck.Test.make ~name:"alpha/beta solve inverts equation 2" ~count:300
+    QCheck.(triple (float_bound_inclusive 1.0) (float_bound_inclusive 1.0) pos_float)
+    (fun (a0, b0, t_local_raw) ->
+      QCheck.assume (t_local_raw > 1e-3 && t_local_raw < 1e12);
+      QCheck.assume (b0 > 0.01);
+      let gl = 2.0 in
+      let t_local = t_local_raw in
+      let t_numa = Numa_metrics.Model.predicted_t_numa ~t_local ~alpha:a0 ~beta:b0 ~gl in
+      let t_global = Numa_metrics.Model.predicted_t_numa ~t_local ~alpha:0. ~beta:b0 ~gl in
+      QCheck.assume (t_global -. t_local > 1e-9 *. t_local);
+      let times = { Numa_metrics.Model.t_global; t_numa; t_local } in
+      let alpha' = Numa_metrics.Model.alpha times in
+      let beta' = Numa_metrics.Model.beta times ~gl in
+      Float.abs (alpha' -. a0) < 1e-6 && Float.abs (beta' -. b0) < 1e-6)
+
+(* --- offline DP sanity ------------------------------------------------------------ *)
+
+let trace_events_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (map2
+         (fun cpu is_write ->
+           {
+             Numa_system.System.at = 0.;
+             cpu;
+             tid = cpu;
+             vpage = 0;
+             kind = (if is_write then Access.Store else Access.Load);
+             count = 8;
+             where = Location.In_global;
+             region = "p";
+           })
+         (int_bound 3) bool))
+
+let prop_optimal_bounded =
+  (* The DP optimum never beats the absolute lower bound (every reference
+     local, zero protocol cost) and never loses to serving everything in
+     global memory (a legal strategy whose cost it could always choose). *)
+  QCheck.Test.make ~name:"offline DP between local and global bounds" ~count:150
+    (QCheck.make trace_events_gen)
+    (fun events ->
+      let config = Config.ace ~n_cpus:4 () in
+      let opt = Numa_trace.Optimal.page_optimal_ns ~config events in
+      let cost_at where =
+        List.fold_left
+          (fun acc (e : Numa_system.System.access_event) ->
+            acc
+            +. Cost.references_ns config ~access:e.Numa_system.System.kind ~where
+                 ~count:e.Numa_system.System.count)
+          0. events
+      in
+      let lower = cost_at Location.Local_here in
+      let global_strategy =
+        (* zero-fill in global + every reference global + one pmap action *)
+        cost_at Location.In_global
+        +. Cost.page_zero_ns config ~dst:Location.In_global
+        +. Cost.pmap_action_ns config
+      in
+      opt >= lower -. 1e-6 && opt <= global_strategy +. 1e-6)
+
+(* --- layout properties -------------------------------------------------------- *)
+
+let obj_gen =
+  QCheck.Gen.(
+    map3
+      (fun words cls owner ->
+        let sharing =
+          match cls with
+          | 0 -> Numa_vm.Region_attr.Declared_private
+          | 1 -> Numa_vm.Region_attr.Declared_read_shared
+          | _ -> Numa_vm.Region_attr.Declared_write_shared
+        in
+        (words + 1, sharing, owner))
+      (int_bound 900) (int_bound 2) (int_bound 3))
+
+let prop_segregated_never_mixes_classes =
+  QCheck.Test.make ~name:"segregated layout never colocates sharing classes" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 20) obj_gen))
+    (fun raw ->
+      let objects =
+        List.mapi
+          (fun i (words, sharing, owner) ->
+            Numa_lang.Layout.obj ~owner ~name:(Printf.sprintf "o%d" i) ~words ~sharing ())
+          raw
+      in
+      let page_words = 512 in
+      let plan = Numa_lang.Layout.segregated ~page_words objects in
+      (* Map every word of every object to (region, page); no page may hold
+         two different sharing classes, and private pages may not hold two
+         different owners. *)
+      let page_class = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun (p : Numa_lang.Layout.placement) ->
+          let o = p.Numa_lang.Layout.p_obj in
+          let first = p.Numa_lang.Layout.p_offset_words / page_words in
+          let last = (p.Numa_lang.Layout.p_offset_words + o.Numa_lang.Layout.o_words - 1) / page_words in
+          for pg = first to last do
+            let key = (p.Numa_lang.Layout.p_region, pg) in
+            let cls = (o.Numa_lang.Layout.o_sharing, o.Numa_lang.Layout.o_owner) in
+            let cls =
+              (* Only private pages are owner-distinguished. *)
+              match o.Numa_lang.Layout.o_sharing with
+              | Numa_vm.Region_attr.Declared_private -> cls
+              | Numa_vm.Region_attr.Declared_read_shared
+              | Numa_vm.Region_attr.Declared_write_shared ->
+                  (o.Numa_lang.Layout.o_sharing, None)
+            in
+            match Hashtbl.find_opt page_class key with
+            | None -> Hashtbl.replace page_class key cls
+            | Some existing -> if existing <> cls then ok := false
+          done)
+        plan.Numa_lang.Layout.placements;
+      !ok)
+
+(* --- DP monotonicity ------------------------------------------------------------ *)
+
+let prop_optimal_monotone_in_events =
+  QCheck.Test.make ~name:"offline DP cost is monotone in the event list" ~count:100
+    (QCheck.make trace_events_gen)
+    (fun events ->
+      let config = Config.ace ~n_cpus:4 () in
+      let costs =
+        List.mapi
+          (fun i _ ->
+            let prefix = List.filteri (fun j _ -> j <= i) events in
+            Numa_trace.Optimal.page_optimal_ns ~config prefix)
+          events
+      in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-6 && non_decreasing rest
+        | [ _ ] | [] -> true
+      in
+      non_decreasing costs)
+
+(* --- replay determinism ------------------------------------------------------------ *)
+
+let prop_replay_deterministic =
+  QCheck.Test.make ~name:"trace replay is deterministic" ~count:30
+    QCheck.(pair (int_bound 1000) (int_range 2 4))
+    (fun (seed, nthreads) ->
+      let module System = Numa_system.System in
+      let module Api = Numa_sim.Api in
+      let config = Config.ace ~n_cpus:nthreads ~local_pages_per_cpu:32 ~global_pages:64 () in
+      let sys = System.create ~config () in
+      let buffer = Numa_trace.Trace_buffer.create () in
+      Numa_trace.Trace_buffer.attach buffer sys;
+      let data =
+        System.alloc_region sys ~name:"d" ~kind:Numa_vm.Region_attr.Data
+          ~sharing:Numa_vm.Region_attr.Declared_write_shared ~pages:2 ()
+      in
+      for i = 0 to nthreads - 1 do
+        ignore
+          (System.spawn sys ~cpu:i ~name:(string_of_int i) (fun ~stack_vpage:_ ->
+               for r = 1 to 8 do
+                 Api.write ~count:((seed mod 7) + r) (data.System.base_vpage + (r mod 2));
+                 Api.compute 1e4
+               done))
+      done;
+      ignore (System.run sys);
+      let run () =
+        Numa_trace.Replay.replay ~config ~policy:(System.Move_limit { threshold = 2 }) buffer
+      in
+      run () = run ())
+
+let suite =
+  [
+    qcheck prop_coherence_move_limit;
+    qcheck prop_coherence_all_global;
+    qcheck prop_coherence_never_pin;
+    qcheck prop_coherence_random_policy;
+    qcheck prop_system_coherence;
+    qcheck prop_model_roundtrip;
+    qcheck prop_optimal_bounded;
+    qcheck prop_segregated_never_mixes_classes;
+    qcheck prop_optimal_monotone_in_events;
+    qcheck prop_replay_deterministic;
+  ]

@@ -1,0 +1,123 @@
+(* Exhaustive check of the protocol transition function against Tables 1
+   and 2 of the paper, entry by entry. *)
+
+open Numa_core
+open Numa_machine
+
+let outcome = Alcotest.testable
+    (Fmt.of_to_string (fun (o : Protocol.outcome) ->
+         Printf.sprintf "[%s] -> %s"
+           (String.concat "; " (List.map Protocol.action_to_string o.actions))
+           (Protocol.new_state_to_string o.new_state)))
+    ( = )
+
+let check ~access ~state ~decision ~actions ~new_state () =
+  Alcotest.check outcome
+    (Printf.sprintf "%s / %s / %s"
+       (Access.to_string access)
+       (Protocol.decision_to_string decision)
+       (Protocol.state_view_to_string state))
+    { Protocol.actions; new_state }
+    (Protocol.transition ~access ~state ~decision)
+
+(* Table 1: read requests. *)
+let test_table1 () =
+  let open Protocol in
+  check ~access:Access.Load ~decision:Place_local ~state:Sv_read_only
+    ~actions:[ Copy_to_local ] ~new_state:Becomes_read_only ();
+  check ~access:Access.Load ~decision:Place_local ~state:Sv_global_writable
+    ~actions:[ Unmap_all; Copy_to_local ] ~new_state:Becomes_read_only ();
+  check ~access:Access.Load ~decision:Place_local ~state:Sv_local_writable_own
+    ~actions:[] ~new_state:Becomes_local_writable ();
+  check ~access:Access.Load ~decision:Place_local ~state:Sv_local_writable_other
+    ~actions:[ Sync_and_flush_other; Copy_to_local ] ~new_state:Becomes_read_only ();
+  check ~access:Access.Load ~decision:Place_global ~state:Sv_read_only
+    ~actions:[ Flush_all ] ~new_state:Becomes_global_writable ();
+  check ~access:Access.Load ~decision:Place_global ~state:Sv_global_writable ~actions:[]
+    ~new_state:Becomes_global_writable ();
+  check ~access:Access.Load ~decision:Place_global ~state:Sv_local_writable_own
+    ~actions:[ Sync_and_flush_own ] ~new_state:Becomes_global_writable ();
+  check ~access:Access.Load ~decision:Place_global ~state:Sv_local_writable_other
+    ~actions:[ Sync_and_flush_other ] ~new_state:Becomes_global_writable ()
+
+(* Table 2: write requests. *)
+let test_table2 () =
+  let open Protocol in
+  check ~access:Access.Store ~decision:Place_local ~state:Sv_read_only
+    ~actions:[ Flush_other; Copy_to_local ] ~new_state:Becomes_local_writable ();
+  check ~access:Access.Store ~decision:Place_local ~state:Sv_global_writable
+    ~actions:[ Unmap_all; Copy_to_local ] ~new_state:Becomes_local_writable ();
+  check ~access:Access.Store ~decision:Place_local ~state:Sv_local_writable_own
+    ~actions:[] ~new_state:Becomes_local_writable ();
+  check ~access:Access.Store ~decision:Place_local ~state:Sv_local_writable_other
+    ~actions:[ Sync_and_flush_other; Copy_to_local ] ~new_state:Becomes_local_writable ();
+  check ~access:Access.Store ~decision:Place_global ~state:Sv_read_only
+    ~actions:[ Flush_all ] ~new_state:Becomes_global_writable ();
+  check ~access:Access.Store ~decision:Place_global ~state:Sv_global_writable ~actions:[]
+    ~new_state:Becomes_global_writable ();
+  check ~access:Access.Store ~decision:Place_global ~state:Sv_local_writable_own
+    ~actions:[ Sync_and_flush_own ] ~new_state:Becomes_global_writable ();
+  check ~access:Access.Store ~decision:Place_global ~state:Sv_local_writable_other
+    ~actions:[ Sync_and_flush_other ] ~new_state:Becomes_global_writable ()
+
+(* Structural properties that hold across the whole table. *)
+let test_global_decisions_never_copy () =
+  List.iter
+    (fun access ->
+      List.iter
+        (fun state ->
+          let o = Protocol.transition ~access ~state ~decision:Protocol.Place_global in
+          Alcotest.(check bool)
+            "GLOBAL never copies to local" false
+            (List.mem Protocol.Copy_to_local o.actions);
+          Alcotest.(check bool)
+            "GLOBAL always ends global" true
+            (o.new_state = Protocol.Becomes_global_writable))
+        Protocol.all_state_views)
+    [ Access.Load; Access.Store ]
+
+let test_local_decisions_end_cached () =
+  List.iter
+    (fun access ->
+      List.iter
+        (fun state ->
+          let o = Protocol.transition ~access ~state ~decision:Protocol.Place_local in
+          Alcotest.(check bool)
+            "LOCAL never ends global" false
+            (o.new_state = Protocol.Becomes_global_writable))
+        Protocol.all_state_views)
+    [ Access.Load; Access.Store ]
+
+let test_writes_never_end_read_only () =
+  List.iter
+    (fun decision ->
+      List.iter
+        (fun state ->
+          let o = Protocol.transition ~access:Access.Store ~state ~decision in
+          Alcotest.(check bool)
+            "store never yields read-only" false
+            (o.new_state = Protocol.Becomes_read_only))
+        Protocol.all_state_views)
+    Protocol.all_decisions
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_render_tables () =
+  let t1 = Protocol.render_table Access.Load in
+  let t2 = Protocol.render_table Access.Store in
+  Alcotest.(check bool) "table 1 mentions unmap" true (contains ~sub:"unmap all" t1);
+  Alcotest.(check bool) "table 2 mentions flush other" true
+    (contains ~sub:"flush other" t2)
+
+let suite =
+  [
+    Alcotest.test_case "table 1 entries" `Quick test_table1;
+    Alcotest.test_case "table 2 entries" `Quick test_table2;
+    Alcotest.test_case "GLOBAL row invariants" `Quick test_global_decisions_never_copy;
+    Alcotest.test_case "LOCAL row invariants" `Quick test_local_decisions_end_cached;
+    Alcotest.test_case "stores never end read-only" `Quick test_writes_never_end_read_only;
+    Alcotest.test_case "tables render" `Quick test_render_tables;
+  ]

@@ -1,0 +1,209 @@
+(* End-to-end smoke tests of the assembled system: small workloads driven
+   through the full machine/VM/NUMA/engine stack. *)
+
+open Numa_machine
+module System = Numa_system.System
+module Report = Numa_system.Report
+module Api = Numa_sim.Api
+module Region_attr = Numa_vm.Region_attr
+module Manager = Numa_core.Numa_manager
+
+let small_config ?(n_cpus = 4) () =
+  Config.ace ~n_cpus ~local_pages_per_cpu:64 ~global_pages:256 ()
+
+let mk ?policy ?(n_cpus = 4) () =
+  System.create ?policy ~config:(small_config ~n_cpus ()) ()
+
+let alloc_data sys ~name ~pages =
+  System.alloc_region sys ~name ~kind:Region_attr.Data
+    ~sharing:Region_attr.Declared_write_shared ~pages ()
+
+let check_ok sys =
+  match System.check_invariants sys with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant violated: %s" msg
+
+(* A single thread writing one private page: page must become
+   local-writable on the thread's CPU, all references local. *)
+let test_private_page_stays_local () =
+  let sys = mk () in
+  let data = alloc_data sys ~name:"private" ~pages:1 in
+  ignore
+    (System.spawn sys ~cpu:2 ~name:"w" (fun ~stack_vpage:_ ->
+         Api.write ~count:100 data.System.base_vpage;
+         Api.read ~count:50 data.System.base_vpage));
+  let report = System.run sys in
+  check_ok sys;
+  (match System.lpage_of sys ~vpage:data.System.base_vpage () with
+  | None -> Alcotest.fail "page never materialised"
+  | Some lpage -> (
+      match Manager.state_of (System.numa_manager sys) ~lpage with
+      | Manager.Local_writable 2 -> ()
+      | st -> Alcotest.failf "expected local-writable(2), got %a" Manager.pp_state st));
+  Alcotest.(check int) "no global data refs" 0
+    report.Report.refs_writable_data.Report.global_reads;
+  Alcotest.(check bool) "alpha = 1" true (report.Report.alpha_counted > 0.999)
+
+(* A page written once then only read by everyone: must end replicated
+   read-only, with a replica on every reading CPU. *)
+let test_read_mostly_page_replicates () =
+  let sys = mk () in
+  let data = alloc_data sys ~name:"table" ~pages:1 in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:4 in
+  for cpu = 0 to 3 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "r%d" cpu)
+         (fun ~stack_vpage:_ ->
+           if cpu = 0 then Api.write ~count:10 ~value:42 data.System.base_vpage;
+           Api.barrier barrier;
+           Api.read ~count:200 data.System.base_vpage))
+  done;
+  ignore (System.run sys);
+  check_ok sys;
+  let lpage = Option.get (System.lpage_of sys ~vpage:data.System.base_vpage ()) in
+  let mgr = System.numa_manager sys in
+  (match Manager.state_of mgr ~lpage with
+  | Manager.Read_only -> ()
+  | st -> Alcotest.failf "expected read-only, got %a" Manager.pp_state st);
+  Alcotest.(check int) "replicated on all 4 nodes" 4
+    (List.length (Manager.replica_nodes mgr ~lpage))
+
+(* A page written alternately by two CPUs: must exceed the move threshold
+   and end up pinned in global memory. *)
+let test_ping_pong_page_pins () =
+  let sys = mk ~policy:(System.Move_limit { threshold = 4 }) () in
+  let data = alloc_data sys ~name:"pingpong" ~pages:1 in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+  for cpu = 0 to 1 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "w%d" cpu)
+         (fun ~stack_vpage:_ ->
+           for _round = 1 to 20 do
+             Api.write data.System.base_vpage;
+             Api.barrier barrier
+           done))
+  done;
+  let report = System.run sys in
+  check_ok sys;
+  let lpage = Option.get (System.lpage_of sys ~vpage:data.System.base_vpage ()) in
+  (match Manager.state_of (System.numa_manager sys) ~lpage with
+  | Manager.Global_writable -> ()
+  | st -> Alcotest.failf "expected global-writable, got %a" Manager.pp_state st);
+  Alcotest.(check bool) "policy pinned at least one page" true (report.Report.pins >= 1);
+  Alcotest.(check bool) "moves were counted" true (report.Report.numa_moves >= 4)
+
+(* All-global policy: every data reference goes to global memory. *)
+let test_all_global_policy () =
+  let sys = mk ~policy:System.All_global () in
+  let data = alloc_data sys ~name:"d" ~pages:2 in
+  ignore
+    (System.spawn sys ~name:"w" (fun ~stack_vpage:_ ->
+         Api.write ~count:64 data.System.base_vpage;
+         Api.read ~count:64 (data.System.base_vpage + 1)));
+  let report = System.run sys in
+  check_ok sys;
+  Alcotest.(check int) "no local refs at all" 0
+    (report.Report.refs_all.Report.local_reads + report.Report.refs_all.Report.local_writes);
+  Alcotest.(check bool) "alpha = 0" true (report.Report.alpha_counted < 0.001)
+
+(* Coherence: a value written by one thread must be observed by another
+   after synchronisation, across protocol state changes. *)
+let test_producer_consumer_coherence () =
+  let sys = mk () in
+  let data = alloc_data sys ~name:"d" ~pages:1 in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+  let seen = ref (-1) in
+  ignore
+    (System.spawn sys ~cpu:0 ~name:"producer" (fun ~stack_vpage:_ ->
+         Api.write ~value:7777 data.System.base_vpage;
+         Api.barrier barrier));
+  ignore
+    (System.spawn sys ~cpu:1 ~name:"consumer" (fun ~stack_vpage:_ ->
+         Api.barrier barrier;
+         seen := Api.read_value data.System.base_vpage));
+  ignore (System.run sys);
+  check_ok sys;
+  Alcotest.(check int) "consumer saw the produced value" 7777 !seen
+
+(* Locks: mutual exclusion and accounting. *)
+let test_lock_counter () =
+  let sys = mk () in
+  let data = alloc_data sys ~name:"counter" ~pages:1 in
+  let lock = System.make_lock sys ~name:"l" in
+  let hits = ref 0 in
+  for cpu = 0 to 3 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "t%d" cpu)
+         (fun ~stack_vpage:_ ->
+           for _i = 1 to 25 do
+             Api.with_lock lock (fun () ->
+                 let v = Api.read_value data.System.base_vpage in
+                 Api.compute 2000.;
+                 Api.write ~value:(v + 1) data.System.base_vpage;
+                 incr hits)
+           done))
+  done;
+  let report = System.run sys in
+  check_ok sys;
+  Alcotest.(check int) "all critical sections ran" 100 !hits;
+  Alcotest.(check int) "lock acquisitions" 100 report.Report.lock_acquisitions;
+  let lpage = Option.get (System.lpage_of sys ~vpage:data.System.base_vpage ()) in
+  (* The shared counter page was written from four CPUs: it must have been
+     pinned global by the default policy. *)
+  match Manager.state_of (System.numa_manager sys) ~lpage with
+  | Manager.Global_writable -> ()
+  | st -> Alcotest.failf "counter page should be global, got %a" Manager.pp_state st
+
+(* T_local semantics: one thread on a one-CPU machine keeps everything
+   local even for "shared" data. *)
+let test_single_cpu_all_local () =
+  let sys = mk ~n_cpus:1 () in
+  let data = alloc_data sys ~name:"d" ~pages:4 in
+  ignore
+    (System.spawn sys ~name:"solo" (fun ~stack_vpage ->
+         for p = 0 to 3 do
+           Api.write ~count:100 (data.System.base_vpage + p);
+           Api.read ~count:100 (data.System.base_vpage + p)
+         done;
+         Api.read ~count:10 stack_vpage));
+  let report = System.run sys in
+  check_ok sys;
+  Alcotest.(check bool) "alpha = 1 on a single CPU" true
+    (report.Report.alpha_counted > 0.999)
+
+(* Pageout resets pinning (footnote 4). *)
+let test_pageout_resets_pin () =
+  let sys = mk ~policy:(System.Move_limit { threshold = 1 }) () in
+  let data = alloc_data sys ~name:"d" ~pages:1 in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+  for cpu = 0 to 1 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "w%d" cpu)
+         (fun ~stack_vpage:_ ->
+           for _i = 1 to 10 do
+             Api.write ~value:cpu data.System.base_vpage;
+             Api.barrier barrier
+           done))
+  done;
+  ignore (System.run sys);
+  let mgr = System.numa_manager sys in
+  let lpage0 = Option.get (System.lpage_of sys ~vpage:data.System.base_vpage ()) in
+  (match Manager.state_of mgr ~lpage:lpage0 with
+  | Manager.Global_writable -> ()
+  | st -> Alcotest.failf "expected pinned global page, got %a" Manager.pp_state st);
+  System.page_out sys data ~page_index:0;
+  Alcotest.(check bool) "page no longer resident" true
+    (System.lpage_of sys ~vpage:data.System.base_vpage () = None);
+  check_ok sys
+
+let suite =
+  [
+    Alcotest.test_case "private page stays local" `Quick test_private_page_stays_local;
+    Alcotest.test_case "read-mostly page replicates" `Quick test_read_mostly_page_replicates;
+    Alcotest.test_case "ping-pong page pins" `Quick test_ping_pong_page_pins;
+    Alcotest.test_case "all-global policy" `Quick test_all_global_policy;
+    Alcotest.test_case "producer/consumer coherence" `Quick test_producer_consumer_coherence;
+    Alcotest.test_case "lock-protected counter" `Quick test_lock_counter;
+    Alcotest.test_case "single CPU is all-local" `Quick test_single_cpu_all_local;
+    Alcotest.test_case "pageout resets pinning" `Quick test_pageout_resets_pin;
+  ]

@@ -1,0 +1,279 @@
+(* Unit and property tests for the util library. *)
+
+module Prng = Numa_util.Prng
+module Pairing_heap = Numa_util.Pairing_heap
+module Bitvec = Numa_util.Bitvec
+module Stats = Numa_util.Stats
+module Histogram = Numa_util.Histogram
+module Text_table = Numa_util.Text_table
+
+(* --- prng --------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123L and b = Prng.create ~seed:123L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_bounds () =
+  let t = Prng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t ~lo:5 ~hi:9 in
+    Alcotest.(check bool) "in inclusive range" true (v >= 5 && v <= 9)
+  done;
+  for _ = 1 to 100 do
+    let f = Prng.float t 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:99L in
+  let child = Prng.split parent in
+  (* The two streams should not be identical. *)
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Prng.next_int64 parent = Prng.next_int64 child then incr same
+  done;
+  Alcotest.(check bool) "split stream differs" true (!same < 20)
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:5L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create ~seed:11L in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle_in_place t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_invalid () =
+  let t = Prng.create ~seed:1L in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (Prng.choose t [||]))
+
+(* --- pairing heap -------------------------------------------------------- *)
+
+let test_heap_basic () =
+  let h = Pairing_heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Pairing_heap.is_empty h);
+  Pairing_heap.add h 3 "c";
+  Pairing_heap.add h 1 "a";
+  Pairing_heap.add h 2 "b";
+  Alcotest.(check int) "length" 3 (Pairing_heap.length h);
+  Alcotest.(check (option (pair int string))) "min" (Some (1, "a")) (Pairing_heap.min_elt h);
+  Alcotest.(check (option (pair int string))) "pop 1" (Some (1, "a")) (Pairing_heap.pop_min h);
+  Alcotest.(check (option (pair int string))) "pop 2" (Some (2, "b")) (Pairing_heap.pop_min h);
+  Alcotest.(check (option (pair int string))) "pop 3" (Some (3, "c")) (Pairing_heap.pop_min h);
+  Alcotest.(check (option (pair int string))) "pop empty" None (Pairing_heap.pop_min h)
+
+let test_heap_fifo_ties () =
+  (* The engine's event queue relies on (time, seq) keys; equal times must
+     not lose elements. *)
+  let h = Pairing_heap.create ~cmp:(fun (a, s1) (b, s2) ->
+      match Int.compare a b with 0 -> Int.compare s1 s2 | c -> c)
+  in
+  Pairing_heap.add h (1, 0) "first";
+  Pairing_heap.add h (1, 1) "second";
+  Alcotest.(check (option string)) "fifo on tie" (Some "first")
+    (Option.map snd (Pairing_heap.pop_min h));
+  Alcotest.(check (option string)) "then second" (Some "second")
+    (Option.map snd (Pairing_heap.pop_min h))
+
+let test_heap_clear () =
+  let h = Pairing_heap.create ~cmp:Int.compare in
+  for i = 1 to 10 do Pairing_heap.add h i i done;
+  Pairing_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Pairing_heap.is_empty h);
+  Alcotest.(check int) "length 0" 0 (Pairing_heap.length h)
+
+let test_heap_to_sorted_preserves () =
+  let h = Pairing_heap.create ~cmp:Int.compare in
+  List.iter (fun k -> Pairing_heap.add h k k) [ 5; 3; 9; 1 ];
+  let sorted = Pairing_heap.to_sorted_list h in
+  Alcotest.(check (list int)) "sorted keys" [ 1; 3; 5; 9 ] (List.map fst sorted);
+  Alcotest.(check int) "heap unchanged" 4 (Pairing_heap.length h);
+  Alcotest.(check (option (pair int int))) "min unchanged" (Some (1, 1))
+    (Pairing_heap.min_elt h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"pairing heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Pairing_heap.create ~cmp:Int.compare in
+      List.iter (fun k -> Pairing_heap.add h k k) keys;
+      let rec drain acc =
+        match Pairing_heap.pop_min h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort Int.compare keys)
+
+(* --- bitvec --------------------------------------------------------------- *)
+
+let test_bitvec_basic () =
+  let v = Bitvec.create 70 in
+  Alcotest.(check int) "length" 70 (Bitvec.length v);
+  Alcotest.(check bool) "initially clear" false (Bitvec.get v 33);
+  Bitvec.set v 33;
+  Alcotest.(check bool) "set" true (Bitvec.get v 33);
+  Bitvec.clear v 33;
+  Alcotest.(check bool) "cleared" false (Bitvec.get v 33);
+  Bitvec.assign v 69 true;
+  Alcotest.(check int) "popcount" 1 (Bitvec.popcount v)
+
+let test_bitvec_fill_popcount () =
+  let v = Bitvec.create 13 in
+  Bitvec.fill v true;
+  Alcotest.(check int) "all set (partial last byte)" 13 (Bitvec.popcount v);
+  Bitvec.fill v false;
+  Alcotest.(check int) "all clear" 0 (Bitvec.popcount v)
+
+let test_bitvec_union_equal () =
+  let a = Bitvec.create 20 and b = Bitvec.create 20 in
+  Bitvec.set a 1;
+  Bitvec.set b 2;
+  Bitvec.union_into ~dst:a b;
+  Alcotest.(check bool) "union has both" true (Bitvec.get a 1 && Bitvec.get a 2);
+  let c = Bitvec.create 20 in
+  Bitvec.set c 1;
+  Bitvec.set c 2;
+  Alcotest.(check bool) "equal" true (Bitvec.equal a c)
+
+let test_bitvec_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v 8))
+
+let prop_bitvec_model =
+  QCheck.Test.make ~name:"bitvec agrees with bool array" ~count:200
+    QCheck.(pair (int_bound 100) (list (pair (int_bound 100) bool)))
+    (fun (size, ops) ->
+      let size = size + 1 in
+      let v = Bitvec.create size and model = Array.make size false in
+      List.iter
+        (fun (i, b) ->
+          let i = i mod size in
+          Bitvec.assign v i b;
+          model.(i) <- b)
+        ops;
+      let ok = ref true in
+      Array.iteri (fun i b -> if Bitvec.get v i <> b then ok := false) model;
+      !ok && Bitvec.popcount v = Array.fold_left (fun a b -> if b then a + 1 else a) 0 model)
+
+(* --- stats ----------------------------------------------------------------- *)
+
+let test_stats_moments () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Stats.total s);
+  Alcotest.(check (float 1e-9)) "variance (unbiased)" (32. /. 7.) (Stats.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.)) "mean of empty" 0. (Stats.mean s);
+  Alcotest.(check (float 0.)) "variance of empty" 0. (Stats.variance s)
+
+let test_stats_helpers () =
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio ~num:1. ~den:2.);
+  Alcotest.(check (float 1e-9)) "ratio by zero" 0. (Stats.ratio ~num:1. ~den:0.);
+  Alcotest.(check (float 1e-9)) "percent" 50. (Stats.percent ~num:1. ~den:2.)
+
+(* --- histogram ---------------------------------------------------------------- *)
+
+let test_histogram () =
+  let h = Histogram.create () in
+  Histogram.add h 3;
+  Histogram.add h 3;
+  Histogram.add_many h 7 5;
+  Alcotest.(check int) "count 3" 2 (Histogram.count h 3);
+  Alcotest.(check int) "count 7" 5 (Histogram.count h 7);
+  Alcotest.(check int) "count missing" 0 (Histogram.count h 99);
+  Alcotest.(check int) "total" 7 (Histogram.total h);
+  Alcotest.(check (list int)) "keys sorted" [ 3; 7 ] (Histogram.keys h);
+  Alcotest.(check (list (pair int int))) "sorted list" [ (3, 2); (7, 5) ]
+    (Histogram.to_sorted_list h)
+
+(* --- text table ----------------------------------------------------------------- *)
+
+let test_text_table_render () =
+  let t =
+    Text_table.create ~columns:[ ("name", Text_table.Left); ("value", Text_table.Right) ]
+  in
+  Text_table.add_row t [ "x"; "10" ];
+  Text_table.add_rule t;
+  Text_table.add_row t [ "longer"; "3" ];
+  let s = Text_table.render t in
+  (* header, header rule, row, explicit rule, row *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "5 lines" 5 (List.length lines);
+  (match lines with
+  | header :: _ -> Alcotest.(check bool) "header first" true (String.length header > 0)
+  | [] -> Alcotest.fail "empty render");
+  Alcotest.(check bool) "contains both rows" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> l = "x          10"
+                                                            || String.length l > 0))
+
+let test_text_table_arity () =
+  let t = Text_table.create ~columns:[ ("a", Text_table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Text_table.add_row: arity mismatch")
+    (fun () -> Text_table.add_row t [ "x"; "y" ])
+
+let test_text_table_cells () =
+  Alcotest.(check string) "f1" "1.5" (Text_table.cell_f1 1.54);
+  Alcotest.(check string) "f2" "0.94" (Text_table.cell_f2 0.938);
+  Alcotest.(check string) "pct" "24.9%" (Text_table.cell_pct 24.91);
+  Alcotest.(check string) "int" "42" (Text_table.cell_int 42)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "prng invalid args" `Quick test_prng_invalid;
+    Alcotest.test_case "heap basic" `Quick test_heap_basic;
+    Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap clear" `Quick test_heap_clear;
+    Alcotest.test_case "heap to_sorted preserves" `Quick test_heap_to_sorted_preserves;
+    qcheck prop_heap_sorts;
+    Alcotest.test_case "bitvec basic" `Quick test_bitvec_basic;
+    Alcotest.test_case "bitvec fill/popcount" `Quick test_bitvec_fill_popcount;
+    Alcotest.test_case "bitvec union/equal" `Quick test_bitvec_union_equal;
+    Alcotest.test_case "bitvec bounds" `Quick test_bitvec_bounds;
+    qcheck prop_bitvec_model;
+    Alcotest.test_case "stats moments" `Quick test_stats_moments;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats helpers" `Quick test_stats_helpers;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "text table render" `Quick test_text_table_render;
+    Alcotest.test_case "text table arity" `Quick test_text_table_arity;
+    Alcotest.test_case "text table cells" `Quick test_text_table_cells;
+  ]
