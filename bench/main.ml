@@ -13,7 +13,11 @@
       Tables 1-2, topology/diagram rendering for Figures 1-2, a bounded
       simulation run for Table 3, the system-time accounting path for
       Table 4, and the trace DP behind the optimal study). Skip with
-      BENCH_SKIP_MICRO=1. *)
+      BENCH_SKIP_MICRO=1.
+
+   Set BENCH_JSON_OUT=FILE to also write the Table 3 measurements (model
+   parameters plus all three per-run reports for every application) as a
+   machine-readable JSON record. *)
 
 open Bechamel
 open Toolkit
@@ -50,7 +54,23 @@ let reproduce () =
   print_endline (Table3.render_comparison rows);
   let t4 = Table4.of_measurements rows in
   print_endline (Table4.render t4);
-  print_endline (Table4.render_comparison t4)
+  print_endline (Table4.render_comparison t4);
+  match Sys.getenv_opt "BENCH_JSON_OUT" with
+  | None -> ()
+  | Some path ->
+      let record =
+        Numa_obs.Json.Obj
+          [
+            ("scale", Numa_obs.Json.Float scale);
+            ("cpus", Numa_obs.Json.Int cpus);
+            ( "measurements",
+              Numa_obs.Json.List
+                (List.map (fun (r : Table3.row) -> Runner.measurement_to_json r.Table3.m) rows)
+            );
+          ]
+      in
+      Numa_obs.Json.save record path;
+      Printf.printf "wrote JSON measurements to %s\n\n" path
 
 (* --- part 2: micro-benchmarks ------------------------------------------ *)
 
@@ -95,7 +115,7 @@ let bench_figure2 =
   Test.make ~name:"figure2/pmap-layer-build"
     (Staged.stage (fun () ->
          let policy = Numa_core.Policy.move_limit ~n_pages:64 () in
-         ignore (Numa_core.Pmap_manager.create ~config ~policy)))
+         ignore (Numa_core.Pmap_manager.create ~config ~policy ())))
 
 (* Table 3 kernel: a bounded end-to-end simulation (ping-pong workload
    driving the full fault/protocol/accounting path). *)

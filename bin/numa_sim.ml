@@ -96,23 +96,132 @@ let spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master =
     config_tweak = Fun.id;
   }
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON timeline of the run (load it in \
+           Perfetto or chrome://tracing; one lane per CPU plus a protocol lane, \
+           timestamps in simulated nanoseconds).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write epoch-bucketed time-series metrics as CSV: one row per 10 ms \
+           epoch with alpha, bus traffic/delay, moves, pins, copies and live \
+           replica count.")
+
+let report_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-json" ] ~docv:"FILE"
+        ~doc:"Write the full run report as JSON (every counter the text report prints).")
+
+let explain_page_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "explain-page" ] ~docv:"LPAGE"
+        ~doc:
+          "Audit logical page $(docv): after the run, print its full placement \
+           timeline (faults, moves, replicas, policy decisions with reasons) and \
+           why it did or did not pin.")
+
 let run_cmd =
-  let action app_name policy cpus threads scale seed scheduler unix_master =
+  let action app_name policy cpus threads scale seed scheduler unix_master trace_out
+      metrics_out report_json explain_page =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app ->
         let spec = spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master in
-        let report = Runner.run app spec in
+        let config = Runner.config_for spec ~n_cpus:spec.Runner.n_cpus in
+        let obs = Numa_obs.Hub.create () in
+        let chrome =
+          match trace_out with
+          | None -> None
+          | Some path ->
+              let tr = Numa_obs.Chrome_trace.create ~n_cpus:spec.Runner.n_cpus in
+              Numa_obs.Chrome_trace.attach tr obs;
+              Some (tr, path)
+        in
+        let series =
+          match metrics_out with
+          | None -> None
+          | Some path ->
+              let ts = Numa_obs.Timeseries.create () in
+              Numa_obs.Timeseries.attach ts obs;
+              Some (ts, path)
+        in
+        let audit =
+          match explain_page with
+          | None -> None
+          | Some lpage ->
+              let a = Numa_obs.Page_audit.create ~lpage in
+              Numa_obs.Page_audit.attach a obs;
+              Some a
+        in
+        let sys =
+          System.create ~obs ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
+            ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master ~config ()
+        in
+        app.Numa_apps.App_sig.setup sys
+          {
+            Numa_apps.App_sig.nthreads = spec.Runner.nthreads;
+            scale = spec.Runner.scale;
+            seed = spec.Runner.seed;
+          };
+        let report = System.run sys in
         Format.printf "%a@." Report.pp report;
-        0
+        let save_errors = ref 0 in
+        let saving what path f =
+          try f () with Sys_error msg ->
+            incr save_errors;
+            Printf.eprintf "numa_sim: cannot write %s %s: %s\n" what path msg
+        in
+        (match chrome with
+        | None -> ()
+        | Some (tr, path) ->
+            saving "trace" path (fun () ->
+                Numa_obs.Chrome_trace.save tr path;
+                Printf.printf "trace: wrote %d events to %s\n"
+                  (Numa_obs.Chrome_trace.length tr)
+                  path));
+        (match series with
+        | None -> ()
+        | Some (ts, path) ->
+            saving "metrics" path (fun () ->
+                Numa_obs.Timeseries.save_csv ts path;
+                Printf.printf "metrics: wrote %d epochs to %s\n"
+                  (List.length (Numa_obs.Timeseries.rows ts))
+                  path));
+        (match report_json with
+        | None -> ()
+        | Some path ->
+            saving "report" path (fun () ->
+                Numa_obs.Json.save (Report.to_json report) path;
+                Printf.printf "report: wrote JSON to %s\n" path));
+        (match audit with
+        | None -> ()
+        | Some a -> print_string (Numa_obs.Page_audit.explain a));
+        if !save_errors > 0 then 1 else 0
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one application once and print the full report.")
+    (Cmd.info "run"
+       ~doc:
+         "Run one application once and print the full report. Optional exports: \
+          Chrome trace timeline, per-epoch metrics CSV, JSON report, per-page audit.")
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
-      $ scheduler_arg $ unix_master_arg)
+      $ scheduler_arg $ unix_master_arg $ trace_out_arg $ metrics_out_arg
+      $ report_json_arg $ explain_page_arg)
 
 let measure_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master =

@@ -17,14 +17,28 @@ type t = {
   mmu : Mmu.t;
   sink : Cost_sink.t;
   stats : Numa_stats.t;
+  obs : Numa_obs.Hub.t;
   pages : page array;
 }
 
-let create ~config ~frames ~mmu ~sink ~stats =
+let create ?obs ~config ~frames ~mmu ~sink ~stats () =
   let fresh _ =
     { state = Untouched; replicas = Hashtbl.create 4; needs_zero = false; moves = 0 }
   in
-  { config; frames; mmu; sink; stats; pages = Array.init config.Config.global_pages fresh }
+  let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
+  {
+    config;
+    frames;
+    mmu;
+    sink;
+    stats;
+    obs;
+    pages = Array.init config.Config.global_pages fresh;
+  }
+
+(* Emission sites construct events only when a sink is listening, keeping
+   the un-observed hot path at one branch. *)
+let observe t ev = if Numa_obs.Hub.enabled t.obs then Numa_obs.Hub.emit t.obs ev
 
 let page t lpage =
   if lpage < 0 || lpage >= Array.length t.pages then
@@ -65,7 +79,8 @@ let sync_node t ~lpage ~node ~by_cpu =
       Frame_table.copy_local_to_global t.frames frame ~lpage;
       let src = if node = by_cpu then Location.Local_here else Location.Remote_local in
       charge t ~cpu:by_cpu (Cost.page_copy_ns t.config ~src ~dst:Location.In_global);
-      t.stats.syncs_to_global <- t.stats.syncs_to_global + 1
+      t.stats.syncs_to_global <- t.stats.syncs_to_global + 1;
+      observe t (Numa_obs.Event.Sync_to_global { lpage; node })
 
 (* Drop a node's cached copy (mappings first, then the frame). *)
 let flush_node t ~lpage ~node ~by_cpu =
@@ -76,7 +91,8 @@ let flush_node t ~lpage ~node ~by_cpu =
       drop_mappings_on_node t ~lpage ~node ~by_cpu;
       Frame_table.free_local t.frames frame;
       Hashtbl.remove p.replicas node;
-      t.stats.replicas_flushed <- t.stats.replicas_flushed + 1
+      t.stats.replicas_flushed <- t.stats.replicas_flushed + 1;
+      observe t (Numa_obs.Event.Replica_flush { lpage; node })
 
 let unmap_all t ~lpage ~by_cpu =
   List.iter
@@ -97,7 +113,8 @@ let copy_to_local t ~lpage ~cpu =
         charge t ~cpu
           (Cost.page_copy_ns t.config ~src:Location.In_global ~dst:Location.Local_here);
         t.stats.copies_to_local <- t.stats.copies_to_local + 1;
-        Hashtbl.replace p.replicas cpu frame
+        Hashtbl.replace p.replicas cpu frame;
+        observe t (Numa_obs.Event.Replica_create { lpage; node = cpu })
   end
 
 (* --- first touch ------------------------------------------------------ *)
@@ -109,7 +126,8 @@ let first_touch t ~lpage ~cpu ~access ~decision =
       Frame_table.zero_global t.frames ~lpage;
       charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.In_global);
       t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
-      p.needs_zero <- false
+      p.needs_zero <- false;
+      observe t (Numa_obs.Event.Zero_fill { lpage; node = None })
     end;
     p.state <- Global_writable;
     Global_writable
@@ -121,6 +139,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
       match Frame_table.alloc_local t.frames ~node:cpu with
       | None ->
           t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+          observe t (Numa_obs.Event.Local_fallback { lpage; cpu });
           { final_state = place_global (); moved = false; fell_back_global = true }
       | Some frame ->
           (* Lazy zero-fill lands directly in the right memory, avoiding the
@@ -130,6 +149,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
             charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.Local_here);
             t.stats.zero_fills_local <- t.stats.zero_fills_local + 1;
             p.needs_zero <- false;
+            observe t (Numa_obs.Event.Zero_fill { lpage; node = Some cpu });
             (* A read leaves the page Read_only, whose invariant is that
                the global frame is the clean master; later replicas copy
                from it. Zero the master cell too — on the real machine the
@@ -144,6 +164,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
             t.stats.copies_to_local <- t.stats.copies_to_local + 1
           end;
           Hashtbl.replace p.replicas cpu frame;
+          observe t (Numa_obs.Event.Replica_create { lpage; node = cpu });
           let final_state =
             match access with
             | Access.Load -> Read_only
@@ -242,6 +263,7 @@ let request t ~lpage ~cpu ~access ~decision =
           && node_is_full t ~node:cpu
         then begin
           t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+          observe t (Numa_obs.Event.Local_fallback { lpage; cpu });
           (Protocol.Place_global, true)
         end
         else (decision, false)
@@ -251,7 +273,8 @@ let request t ~lpage ~cpu ~access ~decision =
       let moved = decision = Protocol.Place_local && flushed_other > 0 in
       if moved then begin
         p.moves <- p.moves + 1;
-        t.stats.moves <- t.stats.moves + 1
+        t.stats.moves <- t.stats.moves + 1;
+        observe t (Numa_obs.Event.Page_move { lpage; to_node = cpu; moves = p.moves })
       end;
       { final_state = p.state; moved; fell_back_global }
 
@@ -269,7 +292,8 @@ let request_homed t ~lpage ~cpu ~home =
             Frame_table.zero_global t.frames ~lpage;
             charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.In_global);
             t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
-            p.needs_zero <- false
+            p.needs_zero <- false;
+            observe t (Numa_obs.Event.Zero_fill { lpage; node = None })
           end
       | Homed h -> demote_homed t ~lpage ~cpu ~home:h
       | Local_writable o ->
@@ -283,6 +307,7 @@ let request_homed t ~lpage ~cpu ~home =
       match Frame_table.alloc_local t.frames ~node:home with
       | None ->
           t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+          observe t (Numa_obs.Event.Local_fallback { lpage; cpu });
           { final_state = Global_writable; moved = false; fell_back_global = true }
       | Some frame ->
           Frame_table.copy_global_to_local t.frames ~lpage frame;
@@ -290,6 +315,7 @@ let request_homed t ~lpage ~cpu ~home =
           charge t ~cpu (Cost.page_copy_ns t.config ~src:Location.In_global ~dst);
           t.stats.copies_to_local <- t.stats.copies_to_local + 1;
           Hashtbl.replace p.replicas home frame;
+          observe t (Numa_obs.Event.Replica_create { lpage; node = home });
           p.state <- Homed home;
           { final_state = p.state; moved = false; fell_back_global = false })
 
@@ -312,10 +338,15 @@ let migrate_owned_pages t ~src ~dst =
                      ~dst:Location.Local_here);
                 t.stats.copies_to_local <- t.stats.copies_to_local + 1;
                 Hashtbl.replace p.replicas dst frame;
+                observe t (Numa_obs.Event.Replica_create { lpage; node = dst });
                 p.state <- Local_writable dst;
+                p.moves <- p.moves + 1;
+                observe t
+                  (Numa_obs.Event.Page_move { lpage; to_node = dst; moves = p.moves });
                 incr moved
             | None ->
                 t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
+                observe t (Numa_obs.Event.Local_fallback { lpage; cpu = dst });
                 p.state <- Global_writable)
         | Untouched | Read_only | Local_writable _ | Global_writable | Homed _ -> ())
       t.pages;
@@ -354,6 +385,7 @@ let sync_if_dirty t ~lpage =
 let reset_page t ~lpage =
   let p = page t lpage in
   Numa_stats.record_final_moves t.stats p.moves;
+  observe t (Numa_obs.Event.Page_freed { lpage; moves = p.moves });
   List.iter
     (fun (e : Mmu.entry) ->
       Mmu.remove_entry t.mmu e;

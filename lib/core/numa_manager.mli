@@ -40,12 +40,18 @@ type request_result = {
 type t
 
 val create :
+  ?obs:Numa_obs.Hub.t ->
   config:Config.t ->
   frames:Frame_table.t ->
   mmu:Mmu.t ->
   sink:Cost_sink.t ->
   stats:Numa_stats.t ->
+  unit ->
   t
+(** [obs] (default: a fresh hub with no sinks) receives the protocol's
+    lifecycle events — replica create/flush, sync-to-global, zero fill,
+    page move, local-memory fallback, page free. Events are constructed
+    only when a sink is attached. *)
 
 val request :
   t -> lpage:int -> cpu:int -> access:Access.t -> decision:Protocol.decision ->

@@ -39,6 +39,20 @@ let to_assoc t =
     ("page moves", string_of_int t.moves);
     ("local-memory fallbacks", string_of_int t.local_fallbacks);
   ]
+  @
+  (* Distribution of final per-page move counts (recorded at page free):
+     how close pages came to the pin threshold. *)
+  let h = t.move_histogram in
+  if Numa_util.Histogram.total h = 0 then []
+  else
+    [
+      ("final-move samples", string_of_int (Numa_util.Histogram.total h));
+      ("final moves (max)", string_of_int (Numa_util.Histogram.max_key h));
+      ( "final moves (mean)",
+        Printf.sprintf "%.2f" (Numa_util.Histogram.mean h) );
+      ( "final moves (p99)",
+        string_of_int (Numa_util.Histogram.percentile h 99.) );
+    ]
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

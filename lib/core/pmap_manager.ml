@@ -6,6 +6,7 @@ type t = {
   mmu : Mmu.t;
   sink : Cost_sink.t;
   stats : Numa_stats.t;
+  obs : Numa_obs.Hub.t;
   manager : Numa_manager.t;
   mutable policy : Policy.t;
   pragmas : (int * int, Numa_vm.Region_attr.pragma) Hashtbl.t;  (** (pmap, vpage) *)
@@ -15,18 +16,20 @@ type t = {
   mutable next_tag : int;
 }
 
-let create ~config ~policy =
+let create ?obs ~config ~policy () =
   let frames = Frame_table.create config in
   let mmu = Mmu.create config in
   let sink = Cost_sink.create ~n_cpus:config.Config.n_cpus in
   let stats = Numa_stats.create () in
-  let manager = Numa_manager.create ~config ~frames ~mmu ~sink ~stats in
+  let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
+  let manager = Numa_manager.create ~obs ~config ~frames ~mmu ~sink ~stats () in
   {
     config;
     frames;
     mmu;
     sink;
     stats;
+    obs;
     manager;
     policy;
     pragmas = Hashtbl.create 64;
@@ -44,6 +47,7 @@ let mmu t = t.mmu
 let frames t = t.frames
 let sink t = t.sink
 let config t = t.config
+let obs t = t.obs
 
 let set_pragma t ~pmap ~vpage ~n pragma =
   for v = vpage to vpage + n - 1 do
@@ -85,6 +89,7 @@ let enter t ~pmap ~cpu ~vpage ~lpage ~min_prot ~max_prot =
     | Prot.Read_only -> Access.Load
     | Prot.No_access -> assert false
   in
+  let obs_on = Numa_obs.Hub.enabled t.obs in
   let result =
     match pragma_at t ~pmap ~vpage with
     | Some (Numa_vm.Region_attr.Homed home) ->
@@ -96,7 +101,19 @@ let enter t ~pmap ~cpu ~vpage ~lpage ~min_prot ~max_prot =
           | Some Numa_vm.Region_attr.Noncacheable -> Protocol.Place_global
           | Some Numa_vm.Region_attr.Cacheable -> Protocol.Place_local
           | Some (Numa_vm.Region_attr.Homed _) -> assert false
-          | None -> t.policy.Policy.decide ~lpage ~cpu ~access
+          | None ->
+              let pinned_before = if obs_on then t.policy.Policy.n_pinned () else 0 in
+              let decision = t.policy.Policy.decide ~lpage ~cpu ~access in
+              if obs_on then begin
+                let reason = t.policy.Policy.explain ~lpage in
+                Numa_obs.Hub.emit t.obs
+                  (Numa_obs.Event.Policy_decision
+                     { lpage; cpu; global = decision = Protocol.Place_global; reason });
+                if t.policy.Policy.n_pinned () > pinned_before then
+                  Numa_obs.Hub.emit t.obs
+                    (Numa_obs.Event.Page_pin { lpage; cpu; reason })
+              end;
+              decision
         in
         Numa_manager.request t.manager ~lpage ~cpu ~access ~decision
   in
@@ -120,7 +137,18 @@ let enter t ~pmap ~cpu ~vpage ~lpage ~min_prot ~max_prot =
     | Numa_manager.Untouched -> assert false
   in
   Mmu.enter t.mmu ~pmap ~cpu ~vpage ~lpage ~prot ~phys;
-  t.stats.Numa_stats.enters <- t.stats.Numa_stats.enters + 1
+  t.stats.Numa_stats.enters <- t.stats.Numa_stats.enters + 1;
+  if obs_on then
+    Numa_obs.Hub.emit t.obs
+      (Numa_obs.Event.Fault_resolved
+         {
+           cpu;
+           vpage;
+           lpage;
+           write = access = Access.Store;
+           state =
+             Format.asprintf "%a" Numa_manager.pp_state result.Numa_manager.final_state;
+         })
 
 let protect t ~pmap ~vpage ~n prot =
   let doomed = ref [] in
@@ -206,7 +234,12 @@ let migrate_node_pages t ~src ~dst = Numa_manager.migrate_owned_pages t.manager 
 
 let reconsider_scan t =
   let expired = t.policy.Policy.expired_pins () in
-  List.iter (fun lpage -> remove_all t ~lpage) expired;
+  List.iter
+    (fun lpage ->
+      if Numa_obs.Hub.enabled t.obs then
+        Numa_obs.Hub.emit t.obs (Numa_obs.Event.Page_unpin { lpage });
+      remove_all t ~lpage)
+    expired;
   List.length expired
 
 let placement_summary t =

@@ -16,9 +16,11 @@ open Numa_machine
 
 type t
 
-val create : config:Config.t -> policy:Policy.t -> t
+val create : ?obs:Numa_obs.Hub.t -> config:Config.t -> policy:Policy.t -> unit -> t
 (** Builds a complete pmap layer with fresh machine state (frame table and
-    MMU). *)
+    MMU). [obs] (default: a fresh hub with no sinks) receives fault,
+    policy-decision, pin/unpin and protocol lifecycle events; emission is
+    guarded by sink presence, so an unobserved layer pays one branch. *)
 
 val ops : t -> Numa_vm.Pmap_intf.ops
 (** The interface handed to the machine-independent VM system. *)
@@ -35,6 +37,9 @@ val mmu : t -> Mmu.t
 val frames : t -> Frame_table.t
 val sink : t -> Cost_sink.t
 val config : t -> Config.t
+
+val obs : t -> Numa_obs.Hub.t
+(** The event hub this layer (and its NUMA manager) emits into. *)
 
 val set_pragma :
   t -> pmap:int -> vpage:int -> n:int -> Numa_vm.Region_attr.pragma option -> unit

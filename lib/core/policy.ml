@@ -7,6 +7,7 @@ type t = {
   n_pinned : unit -> int;
   expired_pins : unit -> int list;
   info : unit -> (string * string) list;
+  explain : lpage:int -> string;
 }
 
 let no_expiry () = []
@@ -28,12 +29,21 @@ let move_limit ?(threshold = 4) ~n_pages () =
         moves.(lpage) <- 0;
         Hashtbl.remove pinned lpage
   in
+  let explain ~lpage =
+    if Hashtbl.mem pinned lpage then
+      Printf.sprintf "move-limit: page moved %d times > threshold %d; pinned GLOBAL"
+        moves.(lpage) threshold
+    else
+      Printf.sprintf "move-limit: moves %d <= threshold %d; cache LOCAL" moves.(lpage)
+        threshold
+  in
   {
     name = "move-limit";
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned);
     expired_pins = no_expiry;
+    explain;
     info =
       (fun () ->
         [
@@ -49,6 +59,7 @@ let all_global () =
     note = (fun _ -> ());
     n_pinned = (fun () -> 0);
     expired_pins = no_expiry;
+    explain = (fun ~lpage:_ -> "all-global: every page placed GLOBAL");
     info = (fun () -> []);
   }
 
@@ -59,6 +70,7 @@ let never_pin () =
     note = (fun _ -> ());
     n_pinned = (fun () -> 0);
     expired_pins = no_expiry;
+    explain = (fun ~lpage:_ -> "never-pin: every page cached LOCAL forever");
     info = (fun () -> []);
   }
 
@@ -89,6 +101,12 @@ let random ~prng ~p_global ~n_pages =
     note;
     n_pinned = (fun () -> !pinned);
     expired_pins = no_expiry;
+    explain =
+      (fun ~lpage ->
+        match assignment.(lpage) with
+        | 1 -> Printf.sprintf "random(p_global=%.2f): sticky coin flip chose LOCAL" p_global
+        | 2 -> Printf.sprintf "random(p_global=%.2f): sticky coin flip chose GLOBAL" p_global
+        | _ -> Printf.sprintf "random(p_global=%.2f): page not yet assigned" p_global);
     info = (fun () -> [ ("p_global", Printf.sprintf "%.2f" p_global) ]);
   }
 
@@ -119,11 +137,23 @@ let reconsider ?(threshold = 4) ~window_ns ~now ~n_pages () =
         moves.(lpage) <- 0;
         Hashtbl.remove pinned_at lpage
   in
+  let explain ~lpage =
+    match Hashtbl.find_opt pinned_at lpage with
+    | Some since ->
+        Printf.sprintf
+          "reconsider: page moved %d times > threshold %d; pinned GLOBAL at t=%.0f ns \
+           (expires after %.0f ns)"
+          moves.(lpage) threshold since window_ns
+    | None ->
+        Printf.sprintf "reconsider: moves %d <= threshold %d; cache LOCAL" moves.(lpage)
+          threshold
+  in
   {
     name = "reconsider";
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned_at);
+    explain;
     expired_pins =
       (fun () ->
         let t = now () in

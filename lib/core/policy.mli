@@ -37,6 +37,11 @@ type t = {
           policies, which never reconsider (footnote 4). *)
   info : unit -> (string * string) list;
       (** human-readable parameter/state summary for reports *)
+  explain : lpage:int -> string;
+      (** one-line reason for the policy's current answer on [lpage]
+          ("moves 5 > threshold 4; pinned GLOBAL"), attached to emitted
+          {!Numa_obs.Event.Policy_decision} / [Page_pin] events and to the
+          per-page audit *)
 }
 
 val move_limit : ?threshold:int -> n_pages:int -> unit -> t

@@ -1,13 +1,15 @@
 type t = {
   words_per_ns : float;
+  obs : Numa_obs.Hub.t;
   mutable backlog_clears_at : float;  (** virtual time when queued traffic drains *)
   mutable total_words : int;
   mutable total_delay_ns : float;
 }
 
-let create (config : Config.t) =
+let create ?obs (config : Config.t) =
   {
     words_per_ns = config.bus_words_per_ns;
+    obs = (match obs with Some h -> h | None -> Numa_obs.Hub.create ());
     backlog_clears_at = 0.;
     total_words = 0;
     total_delay_ns = 0.;
@@ -15,7 +17,7 @@ let create (config : Config.t) =
 
 let enabled t = t.words_per_ns > 0.
 
-let delay_ns t ~now ~words =
+let delay_ns ?(cpu = 0) t ~now ~words =
   if not (enabled t) || words <= 0 then 0.
   else begin
     t.total_words <- t.total_words + words;
@@ -24,6 +26,8 @@ let delay_ns t ~now ~words =
     let delay = start -. now in
     t.backlog_clears_at <- start +. service_ns;
     t.total_delay_ns <- t.total_delay_ns +. delay;
+    if delay > 0. && Numa_obs.Hub.enabled t.obs then
+      Numa_obs.Hub.emit t.obs (Numa_obs.Event.Bus_queued { cpu; words; delay_ns = delay });
     delay
   end
 

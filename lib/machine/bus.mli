@@ -14,15 +14,18 @@
 
 type t
 
-val create : Config.t -> t
+val create : ?obs:Numa_obs.Hub.t -> Config.t -> t
+(** [obs] receives a {!Numa_obs.Event.Bus_queued} event whenever traffic
+    finds a backlog (only when a sink is attached; free otherwise). *)
 
 val enabled : t -> bool
 
-val delay_ns : t -> now:float -> words:int -> float
+val delay_ns : ?cpu:int -> t -> now:float -> words:int -> float
 (** Register [words] of global-memory traffic starting at virtual time
     [now] and return the queueing delay those words suffer. [now] must be
     non-decreasing across calls up to the engine's event ordering; small
-    reorderings are tolerated (the backlog simply drains less). *)
+    reorderings are tolerated (the backlog simply drains less). [cpu]
+    (default 0) attributes the traffic in emitted events. *)
 
 val total_words : t -> int
 (** Total traffic ever offered. *)

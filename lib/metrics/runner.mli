@@ -19,6 +19,10 @@ type run_spec = {
 val default_spec : run_spec
 (** Move-limit(4), 7 CPUs, 7 threads, scale 1.0, affinity scheduling. *)
 
+val config_for : run_spec -> n_cpus:int -> Config.t
+(** The machine configuration a spec runs on: the ACE at [n_cpus]
+    processors with the spec's tweak applied. *)
+
 val run : Numa_apps.App_sig.t -> run_spec -> Numa_system.Report.t
 (** One run: build a fresh system, set the application up, run it. *)
 
@@ -39,6 +43,13 @@ val measure : Numa_apps.App_sig.t -> run_spec -> measurement
     under the all-global policy, and T_local with one thread on a one-CPU
     machine; then the derived model parameters. [spec.policy] is the policy
     measured as "numa". *)
+
+val times_to_json : Model.times -> Numa_obs.Json.t
+
+val measurement_to_json : measurement -> Numa_obs.Json.t
+(** The full three-run measurement — model parameters plus all three
+    {!Numa_system.Report.to_json} reports — as one JSON object, the record
+    format the benchmark harness writes. *)
 
 val app_gl : Numa_apps.App_sig.t -> Config.t -> float
 (** G/L for the program's reference mix: the fetch ratio (2.3) for

@@ -1,0 +1,90 @@
+type recorded = { ts : float; lane : int; ev : Event.t }
+
+type t = {
+  n_cpus : int;
+  mutable events : recorded list;  (** newest first *)
+  mutable n : int;
+  last_ts : float array;  (** per-lane high-water mark, for monotone lanes *)
+}
+
+let protocol_lane t = t.n_cpus
+
+let create ~n_cpus =
+  if n_cpus <= 0 then invalid_arg "Chrome_trace.create: n_cpus must be positive";
+  { n_cpus; events = []; n = 0; last_ts = Array.make (n_cpus + 1) 0. }
+
+let record t ~ts ev =
+  let lane =
+    match Event.lane ev with
+    | Event.Protocol_lane -> protocol_lane t
+    | Event.Cpu_lane c -> if c >= 0 && c < t.n_cpus then c else protocol_lane t
+  in
+  (* Events are stamped with the engine's global virtual clock, which can
+     step back slightly across inline turns; clamp per lane so each lane
+     reads as a monotone timeline in the viewer. *)
+  let ts = Float.max ts t.last_ts.(lane) in
+  t.last_ts.(lane) <- ts;
+  t.events <- { ts; lane; ev } :: t.events;
+  t.n <- t.n + 1
+
+let attach t hub = Hub.attach hub ~name:"chrome-trace" (fun ~ts ev -> record t ~ts ev)
+
+let length t = t.n
+
+let lane_name t lane = if lane = protocol_lane t then "protocol" else Printf.sprintf "CPU %d" lane
+
+let pid = 1
+
+let metadata_events t =
+  let thread_name lane =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("ts", Json.Float 0.);
+        ("pid", Json.Int pid);
+        ("tid", Json.Int lane);
+        ("args", Json.Obj [ ("name", Json.String (lane_name t lane)) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("ts", Json.Float 0.);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String "numa_sim") ]);
+    ]
+  :: List.init (t.n_cpus + 1) thread_name
+
+let event_to_json { ts; lane; ev } =
+  Json.Obj
+    [
+      ("name", Json.String (Event.name ev));
+      ("cat", Json.String "numa");
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("ts", Json.Float ts);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int lane);
+      ("args", Json.Obj (Event.args ev));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata_events t @ List.rev_map event_to_json t.events));
+      ("displayTimeUnit", Json.String "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.String "virtual-ns");
+            ("cpus", Json.Int t.n_cpus);
+            ("events", Json.Int t.n);
+          ] );
+    ]
+
+let save t path = Json.save (to_json t) path
+
+let iter t f = List.iter (fun r -> f ~ts:r.ts ~lane:r.lane r.ev) (List.rev t.events)

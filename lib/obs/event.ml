@@ -1,0 +1,165 @@
+type loc = Local | Global | Remote
+
+let loc_to_string = function Local -> "local" | Global -> "global" | Remote -> "remote"
+
+type t =
+  | Fault_resolved of { cpu : int; vpage : int; lpage : int; write : bool; state : string }
+  | Policy_decision of { lpage : int; cpu : int; global : bool; reason : string }
+  | Page_move of { lpage : int; to_node : int; moves : int }
+  | Page_pin of { lpage : int; cpu : int; reason : string }
+  | Page_unpin of { lpage : int }
+  | Replica_create of { lpage : int; node : int }
+  | Replica_flush of { lpage : int; node : int }
+  | Sync_to_global of { lpage : int; node : int }
+  | Zero_fill of { lpage : int; node : int option }
+  | Local_fallback of { lpage : int; cpu : int }
+  | Page_freed of { lpage : int; moves : int }
+  | Refs of { cpu : int; n : int; write : bool; loc : loc }
+  | Bus_queued of { cpu : int; words : int; delay_ns : float }
+  | Lock_acquired of { lock_id : int; cpu : int; tid : int }
+  | Lock_contended of { lock_id : int; cpu : int; tid : int }
+  | Dispatch of { tid : int; cpu : int; name : string }
+  | Syscall of { tid : int; cpu : int; service_ns : float }
+
+let name = function
+  | Fault_resolved _ -> "fault_resolved"
+  | Policy_decision _ -> "policy_decision"
+  | Page_move _ -> "page_move"
+  | Page_pin _ -> "page_pin"
+  | Page_unpin _ -> "page_unpin"
+  | Replica_create _ -> "replica_create"
+  | Replica_flush _ -> "replica_flush"
+  | Sync_to_global _ -> "sync_to_global"
+  | Zero_fill _ -> "zero_fill"
+  | Local_fallback _ -> "local_fallback"
+  | Page_freed _ -> "page_freed"
+  | Refs _ -> "refs"
+  | Bus_queued _ -> "bus_queued"
+  | Lock_acquired _ -> "lock_acquired"
+  | Lock_contended _ -> "lock_contended"
+  | Dispatch _ -> "dispatch"
+  | Syscall _ -> "syscall"
+
+type lane = Cpu_lane of int | Protocol_lane
+
+(* Placement-protocol bookkeeping renders on its own lane; everything that
+   happens "on" a processor renders on that processor's lane. *)
+let lane = function
+  | Page_move _ | Page_pin _ | Page_unpin _ | Replica_create _ | Replica_flush _
+  | Sync_to_global _ | Zero_fill _ | Page_freed _ ->
+      Protocol_lane
+  | Fault_resolved { cpu; _ }
+  | Policy_decision { cpu; _ }
+  | Local_fallback { cpu; _ }
+  | Refs { cpu; _ }
+  | Bus_queued { cpu; _ }
+  | Lock_acquired { cpu; _ }
+  | Lock_contended { cpu; _ }
+  | Dispatch { cpu; _ }
+  | Syscall { cpu; _ } ->
+      Cpu_lane cpu
+
+let lpage = function
+  | Fault_resolved { lpage; _ }
+  | Policy_decision { lpage; _ }
+  | Page_move { lpage; _ }
+  | Page_pin { lpage; _ }
+  | Page_unpin { lpage; _ }
+  | Replica_create { lpage; _ }
+  | Replica_flush { lpage; _ }
+  | Sync_to_global { lpage; _ }
+  | Zero_fill { lpage; _ }
+  | Local_fallback { lpage; _ }
+  | Page_freed { lpage; _ } ->
+      Some lpage
+  | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Dispatch _ | Syscall _ ->
+      None
+
+let args ev : (string * Json.t) list =
+  match ev with
+  | Fault_resolved { cpu; vpage; lpage; write; state } ->
+      [
+        ("cpu", Json.Int cpu);
+        ("vpage", Json.Int vpage);
+        ("lpage", Json.Int lpage);
+        ("write", Json.Bool write);
+        ("state", Json.String state);
+      ]
+  | Policy_decision { lpage; cpu; global; reason } ->
+      [
+        ("lpage", Json.Int lpage);
+        ("cpu", Json.Int cpu);
+        ("decision", Json.String (if global then "GLOBAL" else "LOCAL"));
+        ("reason", Json.String reason);
+      ]
+  | Page_move { lpage; to_node; moves } ->
+      [ ("lpage", Json.Int lpage); ("to_node", Json.Int to_node); ("moves", Json.Int moves) ]
+  | Page_pin { lpage; cpu; reason } ->
+      [ ("lpage", Json.Int lpage); ("cpu", Json.Int cpu); ("reason", Json.String reason) ]
+  | Page_unpin { lpage } -> [ ("lpage", Json.Int lpage) ]
+  | Replica_create { lpage; node } | Replica_flush { lpage; node }
+  | Sync_to_global { lpage; node } ->
+      [ ("lpage", Json.Int lpage); ("node", Json.Int node) ]
+  | Zero_fill { lpage; node } ->
+      [
+        ("lpage", Json.Int lpage);
+        ("node", match node with Some n -> Json.Int n | None -> Json.String "global");
+      ]
+  | Local_fallback { lpage; cpu } -> [ ("lpage", Json.Int lpage); ("cpu", Json.Int cpu) ]
+  | Page_freed { lpage; moves } -> [ ("lpage", Json.Int lpage); ("moves", Json.Int moves) ]
+  | Refs { cpu; n; write; loc } ->
+      [
+        ("cpu", Json.Int cpu);
+        ("n", Json.Int n);
+        ("write", Json.Bool write);
+        ("loc", Json.String (loc_to_string loc));
+      ]
+  | Bus_queued { cpu; words; delay_ns } ->
+      [ ("cpu", Json.Int cpu); ("words", Json.Int words); ("delay_ns", Json.Float delay_ns) ]
+  | Lock_acquired { lock_id; cpu; tid } | Lock_contended { lock_id; cpu; tid } ->
+      [ ("lock", Json.Int lock_id); ("cpu", Json.Int cpu); ("tid", Json.Int tid) ]
+  | Dispatch { tid; cpu; name } ->
+      [ ("tid", Json.Int tid); ("cpu", Json.Int cpu); ("thread", Json.String name) ]
+  | Syscall { tid; cpu; service_ns } ->
+      [ ("tid", Json.Int tid); ("cpu", Json.Int cpu); ("service_ns", Json.Float service_ns) ]
+
+let describe ev =
+  match ev with
+  | Fault_resolved { cpu; vpage; lpage; write; state } ->
+      Printf.sprintf "fault resolved on cpu %d: vpage %d -> lpage %d (%s), state %s" cpu
+        vpage lpage
+        (if write then "write" else "read")
+        state
+  | Policy_decision { cpu; global; reason; _ } ->
+      Printf.sprintf "policy for cpu %d: %s (%s)" cpu
+        (if global then "GLOBAL" else "LOCAL")
+        reason
+  | Page_move { to_node; moves; _ } ->
+      Printf.sprintf "moved to node %d's local memory (move #%d)" to_node moves
+  | Page_pin { reason; _ } -> Printf.sprintf "PINNED in global memory: %s" reason
+  | Page_unpin _ -> "pin expired: mappings dropped for reconsideration"
+  | Replica_create { node; _ } -> Printf.sprintf "replica created in node %d" node
+  | Replica_flush { node; _ } -> Printf.sprintf "replica flushed from node %d" node
+  | Sync_to_global { node; _ } ->
+      Printf.sprintf "dirty copy on node %d synced back to global" node
+  | Zero_fill { node = Some n; _ } ->
+      Printf.sprintf "zero-filled directly into node %d's local memory" n
+  | Zero_fill { node = None; _ } -> "zero-filled in global memory"
+  | Local_fallback { cpu; _ } ->
+      Printf.sprintf "LOCAL demoted to GLOBAL: node %d's local memory full" cpu
+  | Page_freed { moves; _ } ->
+      Printf.sprintf "freed (placement history reset after %d moves)" moves
+  | Refs { cpu; n; write; loc } ->
+      Printf.sprintf "%d %s refs from cpu %d (%s)" n
+        (if write then "store" else "fetch")
+        cpu (loc_to_string loc)
+  | Bus_queued { words; delay_ns; _ } ->
+      Printf.sprintf "bus backlog: %d words queued %.0f ns" words delay_ns
+  | Lock_acquired { lock_id; tid; _ } ->
+      Printf.sprintf "lock %d acquired by tid %d" lock_id tid
+  | Lock_contended { lock_id; tid; _ } ->
+      Printf.sprintf "lock %d contended (tid %d spinning)" lock_id tid
+  | Dispatch { tid; cpu; name } ->
+      Printf.sprintf "thread %d (%s) dispatched on cpu %d" tid name cpu
+  | Syscall { tid; service_ns; _ } ->
+      Printf.sprintf "syscall by tid %d (%.0f ns service)" tid service_ns

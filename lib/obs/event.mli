@@ -1,0 +1,61 @@
+(** Typed observability events.
+
+    One constructor per interesting thing the stack does: fault
+    resolution, policy decisions with their reason, page moves / pins /
+    frees, replica lifecycle, zero fills, local-memory fallbacks, batched
+    references, bus queueing, lock traffic, scheduler dispatches and
+    system calls.
+
+    The library sits {e below} the machine model in the dependency order
+    (so every layer can emit), which is why locations and access kinds are
+    re-expressed here as plain variants rather than
+    [Numa_machine.Location.relative] / [Access.t]. *)
+
+type loc = Local | Global | Remote
+
+val loc_to_string : loc -> string
+
+type t =
+  | Fault_resolved of { cpu : int; vpage : int; lpage : int; write : bool; state : string }
+      (** a pmap_enter completed; [state] is the page's final placement *)
+  | Policy_decision of { lpage : int; cpu : int; global : bool; reason : string }
+      (** the placement policy answered LOCAL or GLOBAL, with its reason *)
+  | Page_move of { lpage : int; to_node : int; moves : int }
+      (** ownership transfer between local memories; [moves] is the page's
+          cumulative move count after this move *)
+  | Page_pin of { lpage : int; cpu : int; reason : string }
+      (** the policy started answering GLOBAL permanently for this page *)
+  | Page_unpin of { lpage : int }
+      (** reconsideration dropped the pin; next fault decides afresh *)
+  | Replica_create of { lpage : int; node : int }
+  | Replica_flush of { lpage : int; node : int }
+  | Sync_to_global of { lpage : int; node : int }
+  | Zero_fill of { lpage : int; node : int option }  (** [None] = global memory *)
+  | Local_fallback of { lpage : int; cpu : int }
+  | Page_freed of { lpage : int; moves : int }
+  | Refs of { cpu : int; n : int; write : bool; loc : loc }
+      (** a batch of [n] resolved memory references *)
+  | Bus_queued of { cpu : int; words : int; delay_ns : float }
+      (** traffic found a backlog on the IPC bus *)
+  | Lock_acquired of { lock_id : int; cpu : int; tid : int }
+  | Lock_contended of { lock_id : int; cpu : int; tid : int }
+  | Dispatch of { tid : int; cpu : int; name : string }
+  | Syscall of { tid : int; cpu : int; service_ns : float }
+
+val name : t -> string
+(** Stable snake_case tag, used as the Chrome trace event name. *)
+
+type lane = Cpu_lane of int | Protocol_lane
+
+val lane : t -> lane
+(** Which Chrome-trace lane the event renders on: per-CPU for things that
+    happen on a processor, the protocol lane for placement bookkeeping. *)
+
+val lpage : t -> int option
+(** The logical page the event concerns, for per-page audits. *)
+
+val args : t -> (string * Json.t) list
+(** Payload fields, for the trace exporter's ["args"] object. *)
+
+val describe : t -> string
+(** One-line human-readable rendering, used by the page audit. *)

@@ -1,0 +1,138 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  (* JSON has no inf/nan literals; a cost that overflowed the model is a
+     bug upstream, but the export must stay loadable. *)
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer buf t;
+      Buffer.output_buffer oc buf;
+      output_char oc '\n')
+
+(* --- parser-less structural validation --------------------------------- *)
+
+let check_structure s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let n = String.length s in
+  if n = 0 then err "empty document"
+  else begin
+    let stack = ref [] in
+    let in_string = ref false in
+    let escaped = ref false in
+    let bad = ref None in
+    let fail i msg = if !bad = None then bad := Some (i, msg) in
+    String.iteri
+      (fun i c ->
+        if !bad <> None then ()
+        else if !in_string then begin
+          if !escaped then escaped := false
+          else if c = '\\' then escaped := true
+          else if c = '"' then in_string := false
+        end
+        else
+          match c with
+          | '"' -> in_string := true
+          | '{' | '[' -> stack := c :: !stack
+          | '}' -> (
+              match !stack with
+              | '{' :: rest -> stack := rest
+              | _ -> fail i "unmatched '}'")
+          | ']' -> (
+              match !stack with
+              | '[' :: rest -> stack := rest
+              | _ -> fail i "unmatched ']'")
+          | _ -> ())
+      s;
+    match (!bad, !stack, !in_string) with
+    | Some (i, msg), _, _ -> err "offset %d: %s" i msg
+    | None, _ :: _, _ -> err "unclosed bracket at end of document"
+    | None, [], true -> err "unterminated string at end of document"
+    | None, [], false -> Ok ()
+  end
+
+let has_key s ~key =
+  (* A quoted key followed (after whitespace) by a colon, anywhere in the
+     document. Sufficient for required-field checks without a parser. *)
+  let needle = "\"" ^ key ^ "\"" in
+  let nl = String.length needle and sl = String.length s in
+  let rec colon_after j =
+    if j >= sl then false
+    else
+      match s.[j] with ' ' | '\t' | '\n' | '\r' -> colon_after (j + 1) | ':' -> true | _ -> false
+  in
+  let rec scan i =
+    if i + nl > sl then false
+    else if String.sub s i nl = needle && colon_after (i + nl) then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let required_keys s ~keys =
+  match List.find_opt (fun k -> not (has_key s ~key:k)) keys with
+  | None -> Ok ()
+  | Some k -> Error (Printf.sprintf "required key %S missing" k)

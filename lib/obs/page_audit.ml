@@ -1,0 +1,53 @@
+type entry = { ts : float; ev : Event.t }
+
+type t = { lpage : int; mutable entries : entry list (* newest first *) }
+
+let create ~lpage =
+  if lpage < 0 then invalid_arg "Page_audit.create: negative page";
+  { lpage; entries = [] }
+
+let record t ~ts ev =
+  match Event.lpage ev with
+  | Some l when l = t.lpage -> t.entries <- { ts; ev } :: t.entries
+  | Some _ | None -> ()
+
+let attach t hub =
+  Hub.attach hub
+    ~name:(Printf.sprintf "page-audit-%d" t.lpage)
+    (fun ~ts ev -> record t ~ts ev)
+
+let entries t = List.rev t.entries
+let length t = List.length t.entries
+let lpage t = t.lpage
+
+let pin_reason t =
+  List.find_map
+    (fun e -> match e.ev with Event.Page_pin { reason; _ } -> Some reason | _ -> None)
+    (entries t)
+
+let is_interesting = function
+  (* Policy decisions repeat on every fault; keep only the transitions the
+     "why did this page pin?" question needs, plus the decisions, which
+     carry the reasons. *)
+  | Event.Refs _ -> false
+  | _ -> true
+
+let explain t =
+  let buf = Buffer.create 1024 in
+  let es = List.filter (fun e -> is_interesting e.ev) (entries t) in
+  Buffer.add_string buf
+    (Printf.sprintf "logical page %d: %d lifecycle events\n" t.lpage (List.length es));
+  if es = [] then
+    Buffer.add_string buf "  (page never touched while the audit was attached)\n"
+  else
+    List.iter
+      (fun { ts; ev } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  t=%12.0f ns  %s\n" ts (Event.describe ev)))
+      es;
+  (match pin_reason t with
+  | Some reason ->
+      Buffer.add_string buf (Printf.sprintf "verdict: page pinned — %s\n" reason)
+  | None ->
+      Buffer.add_string buf "verdict: page was never pinned during this run\n");
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Per-page lifecycle audit: reconstruct one logical page's history.
+
+    Subscribes to a hub and keeps every event that names the audited page
+    (zero fill, placements, replica create/flush, moves, policy decisions
+    with reasons, pin, free). {!explain} renders the history as a
+    human-readable timeline answering the question the paper's
+    processor-time method cannot: {e why did this page pin?} *)
+
+type t
+
+val create : lpage:int -> t
+val attach : t -> Hub.t -> unit
+val record : t -> ts:float -> Event.t -> unit
+
+val lpage : t -> int
+val length : t -> int
+
+val pin_reason : t -> string option
+(** The policy reason attached to the page's pin event, if it pinned. *)
+
+val explain : t -> string
+(** The rendered timeline plus a one-line verdict. *)

@@ -56,6 +56,7 @@ type t = {
   config : config;
   memory : Memory_iface.t;
   scheduler : scheduler_mode;
+  obs : Numa_obs.Hub.t;
   clock : float array;
   user : float array;
   system : float array;
@@ -76,13 +77,16 @@ let cmp_key (t1, s1) (t2, s2) =
   let c = Float.compare t1 t2 in
   if c <> 0 then c else Int.compare s1 s2
 
-let create config ~memory ~scheduler =
+let create ?obs config ~memory ~scheduler =
   if config.n_cpus <= 0 then invalid_arg "Engine.create: n_cpus must be positive";
   if config.chunk_refs <= 0 then invalid_arg "Engine.create: chunk_refs must be positive";
+  let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
+  let t =
   {
     config;
     memory;
     scheduler;
+    obs;
     clock = Array.make config.n_cpus 0.;
     user = Array.make config.n_cpus 0.;
     system = Array.make config.n_cpus 0.;
@@ -98,6 +102,13 @@ let create config ~memory ~scheduler =
     running = false;
     completed = false;
   }
+  in
+  (* Events carry the engine's virtual clock, so a sink attached anywhere in
+     the stack timestamps in simulated nanoseconds. *)
+  Numa_obs.Hub.set_clock obs (fun () -> t.vnow);
+  t
+
+let obs t = t.obs
 
 let make_lock t ~vpage =
   let id = t.next_sync_id in
@@ -216,8 +227,7 @@ let process_chunk t th ~cpu ~start pending =
           (* Successful test-and-set: a fetch and a store on the lock page. *)
           let rd = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Load ~count:1 ~value:0 in
           let wr = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Store ~count:1 ~value:1 in
-          l.Sync.holder <- Some th.tid;
-          l.Sync.acquisitions <- l.Sync.acquisitions + 1;
+          Sync.acquire ~obs:t.obs l ~tid:th.tid ~cpu;
           chunk
             ~d_user:(rd.Memory_iface.user_ns +. wr.Memory_iface.user_ns)
             ~d_system:(rd.Memory_iface.system_ns +. wr.Memory_iface.system_ns)
@@ -225,7 +235,7 @@ let process_chunk t th ~cpu ~start pending =
       | Some _ ->
           (* Busy: burn one poll interval in user state and try again. *)
           let rd = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Load ~count:1 ~value:0 in
-          l.Sync.contended_polls <- l.Sync.contended_polls + 1;
+          Sync.contend ~obs:t.obs l ~tid:th.tid ~cpu;
           let d_user = Float.max rd.Memory_iface.user_ns t.config.spin_poll_ns in
           chunk ~d_user ~d_system:rd.Memory_iface.system_ns ())
   | P_unlock l ->
@@ -235,7 +245,7 @@ let process_chunk t th ~cpu ~start pending =
           failwith
             (Printf.sprintf "thread %d (%s) released lock %d it does not hold" th.tid
                th.name l.Sync.lock_id));
-      l.Sync.holder <- None;
+      Sync.release l;
       let wr = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Store ~count:1 ~value:0 in
       chunk ~d_user:wr.Memory_iface.user_ns ~d_system:wr.Memory_iface.system_ns
         ~completed:true ()
@@ -301,6 +311,9 @@ let process_chunk t th ~cpu ~start pending =
       in
       let finish = start_service +. service_ns +. stack_ns in
       t.system.(master) <- t.system.(master) +. service_ns +. stack_ns;
+      if Numa_obs.Hub.enabled t.obs then
+        Numa_obs.Hub.emit t.obs
+          (Numa_obs.Event.Syscall { tid = th.tid; cpu = master; service_ns });
       t.clock.(master) <- Float.max t.clock.(master) finish;
       (* The calling thread was blocked, not computing: its own CPU accrues
          neither user nor system time; it resumes when the call returns. *)
@@ -331,6 +344,9 @@ let turn t th =
   let cpu = pick_cpu t th in
   let start = Float.max th.ready_at t.clock.(cpu) in
   t.vnow <- start;
+  if Numa_obs.Hub.enabled t.obs then
+    Numa_obs.Hub.emit t.obs
+      (Numa_obs.Event.Dispatch { tid = th.tid; cpu; name = th.name });
   let rec go start =
     match th.pending with
     | None -> ()

@@ -37,7 +37,13 @@ exception Deadlock of string
 (** Raised when no thread can make progress (e.g. a lock was never
     released). *)
 
-val create : config -> memory:Memory_iface.t -> scheduler:scheduler_mode -> t
+val create : ?obs:Numa_obs.Hub.t -> config -> memory:Memory_iface.t -> scheduler:scheduler_mode -> t
+(** [obs] (default: a fresh, sink-less hub) receives scheduler dispatch,
+    lock and system-call events. The engine points the hub's clock at its
+    own virtual-time counter, so all events — including those emitted by
+    lower layers sharing the hub — are stamped in simulated nanoseconds. *)
+
+val obs : t -> Numa_obs.Hub.t
 
 val make_lock : t -> vpage:int -> Sync.lock
 val make_barrier : t -> vpage:int -> parties:int -> Sync.barrier

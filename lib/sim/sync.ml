@@ -20,3 +20,25 @@ let make_lock ~id ~vpage =
 let make_barrier ~id ~vpage ~parties =
   if parties <= 0 then invalid_arg "Sync.make_barrier: parties must be positive";
   { barrier_id = id; barrier_vpage = vpage; parties; arrived = 0; generation = 0 }
+
+(* State transitions live here so the counters and the observability events
+   can never disagree about what happened to the lock. *)
+
+let acquire ?obs l ~tid ~cpu =
+  l.holder <- Some tid;
+  l.acquisitions <- l.acquisitions + 1;
+  match obs with
+  | Some hub when Numa_obs.Hub.enabled hub ->
+      Numa_obs.Hub.emit hub
+        (Numa_obs.Event.Lock_acquired { lock_id = l.lock_id; cpu; tid })
+  | Some _ | None -> ()
+
+let contend ?obs l ~tid ~cpu =
+  l.contended_polls <- l.contended_polls + 1;
+  match obs with
+  | Some hub when Numa_obs.Hub.enabled hub ->
+      Numa_obs.Hub.emit hub
+        (Numa_obs.Event.Lock_contended { lock_id = l.lock_id; cpu; tid })
+  | Some _ | None -> ()
+
+let release l = l.holder <- None

@@ -6,7 +6,9 @@
     lock word that gets pinned into global memory makes every subsequent
     acquisition more expensive, exactly as on the ACE.
 
-    The engine owns all state transitions; these records only carry it. *)
+    The engine drives all state transitions through {!acquire} /
+    {!contend} / {!release}, which also emit lock events when an
+    observability hub with an attached sink is supplied. *)
 
 type lock = {
   lock_id : int;
@@ -26,3 +28,13 @@ type barrier = {
 
 val make_lock : id:int -> vpage:int -> lock
 val make_barrier : id:int -> vpage:int -> parties:int -> barrier
+
+val acquire : ?obs:Numa_obs.Hub.t -> lock -> tid:int -> cpu:int -> unit
+(** Successful test-and-set: record the holder, bump the acquisition count
+    and (when a sink is listening) emit {!Numa_obs.Event.Lock_acquired}. *)
+
+val contend : ?obs:Numa_obs.Hub.t -> lock -> tid:int -> cpu:int -> unit
+(** Failed test-and-set poll: bump the contention count and emit
+    {!Numa_obs.Event.Lock_contended}. *)
+
+val release : lock -> unit

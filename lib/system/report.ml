@@ -104,3 +104,62 @@ let pp ppf t =
     (fun (name, c) -> Format.fprintf ppf "  %-24s %a@," name pp_counts c)
     t.per_region;
   Format.fprintf ppf "@]"
+
+(* --- machine-readable export ------------------------------------------- *)
+
+module Json = Numa_obs.Json
+
+let counts_to_json c =
+  Json.Obj
+    [
+      ("local_reads", Json.Int c.local_reads);
+      ("local_writes", Json.Int c.local_writes);
+      ("global_reads", Json.Int c.global_reads);
+      ("global_writes", Json.Int c.global_writes);
+      ("remote_reads", Json.Int c.remote_reads);
+      ("remote_writes", Json.Int c.remote_writes);
+      ("total", Json.Int (total_refs c));
+      ("local_fraction", Json.Float (local_fraction c));
+    ]
+
+let float_array a = Json.List (Array.to_list (Array.map (fun f -> Json.Float f) a))
+
+let to_json t =
+  Json.Obj
+    [
+      ("policy", Json.String t.policy_name);
+      ("n_cpus", Json.Int t.n_cpus);
+      ("n_threads", Json.Int t.n_threads);
+      ("user_ns_per_cpu", float_array t.user_ns_per_cpu);
+      ("system_ns_per_cpu", float_array t.system_ns_per_cpu);
+      ("total_user_ns", Json.Float t.total_user_ns);
+      ("total_system_ns", Json.Float t.total_system_ns);
+      ("elapsed_ns", Json.Float t.elapsed_ns);
+      ("refs_all", counts_to_json t.refs_all);
+      ("refs_writable_data", counts_to_json t.refs_writable_data);
+      ( "per_region",
+        Json.Obj (List.map (fun (name, c) -> (name, counts_to_json c)) t.per_region) );
+      ("alpha_counted", Json.Float t.alpha_counted);
+      ( "numa",
+        Json.Obj
+          [
+            ("enters", Json.Int t.numa_enters);
+            ("moves", Json.Int t.numa_moves);
+            ("copies_to_local", Json.Int t.numa_copies_to_local);
+            ("syncs_to_global", Json.Int t.numa_syncs_to_global);
+            ("replicas_flushed", Json.Int t.numa_replicas_flushed);
+            ("mappings_dropped", Json.Int t.numa_mappings_dropped);
+            ("zero_fills_local", Json.Int t.numa_zero_fills_local);
+            ("zero_fills_global", Json.Int t.numa_zero_fills_global);
+            ("local_fallbacks", Json.Int t.numa_local_fallbacks);
+          ] );
+      ("pins", Json.Int t.pins);
+      ("placement", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) t.placement));
+      ( "policy_info",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.policy_info) );
+      ("n_events", Json.Int t.n_events);
+      ("lock_acquisitions", Json.Int t.lock_acquisitions);
+      ("lock_contended_polls", Json.Int t.lock_contended_polls);
+      ("bus_words", Json.Int t.bus_words);
+      ("bus_delay_ns", Json.Float t.bus_delay_ns);
+    ]

@@ -62,3 +62,9 @@ val pp : Format.formatter -> t -> unit
 
 val summary_line : t -> string
 (** One line: user/system seconds, alpha, moves, pins. *)
+
+val counts_to_json : ref_counts -> Numa_obs.Json.t
+
+val to_json : t -> Numa_obs.Json.t
+(** The whole report as a JSON object: every counter {!pp} prints (and the
+    per-CPU time arrays it does not), keyed stably for downstream tools. *)

@@ -40,6 +40,7 @@ type access_event = {
 
 type t = {
   config : Config.t;
+  obs : Numa_obs.Hub.t;
   pmap_mgr : Numa_core.Pmap_manager.t;
   ops : Numa_vm.Pmap_intf.ops;
   pool : Numa_vm.Lpage_pool.t;
@@ -125,9 +126,19 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
     match where with
     | Location.In_global | Location.Remote_local ->
         (* Global and remote traffic crosses the IPC bus. *)
-        Bus.delay_ns t.bus ~now:(Engine.now t.engine) ~words:count
+        Bus.delay_ns ~cpu t.bus ~now:(Engine.now t.engine) ~words:count
     | Location.Local_here -> 0.
   in
+  if Numa_obs.Hub.enabled t.obs then begin
+    let loc =
+      match where with
+      | Location.Local_here -> Numa_obs.Event.Local
+      | Location.In_global -> Numa_obs.Event.Global
+      | Location.Remote_local -> Numa_obs.Event.Remote
+    in
+    Numa_obs.Hub.emit t.obs
+      (Numa_obs.Event.Refs { cpu; n = count; write = kind = Access.Store; loc })
+  end;
   let user_ns = Cost.references_ns t.config ~access:kind ~where ~count +. bus_delay in
   let system_ns =
     Cost_sink.drain (Numa_core.Pmap_manager.sink t.pmap_mgr) ~cpu
@@ -173,16 +184,19 @@ let policy_of_spec spec ~n_pages ~now =
 
 let build_policy = policy_of_spec
 
-let create ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinity)
+let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinity)
     ?(chunk_refs = 2048) ?(spin_poll_ns = 10_000.) ?(unix_master = false) ~config () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("System.create: bad machine config: " ^ msg));
+  (* One hub shared by every layer: the bus, the pmap/NUMA managers and the
+     engine all emit into it, and the engine drives its clock. *)
+  let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
   let now_cell = ref (fun () -> 0.) in
   let pol =
     build_policy policy ~n_pages:config.Config.global_pages ~now:(fun () -> !now_cell ())
   in
-  let pmap_mgr = Numa_core.Pmap_manager.create ~config ~policy:pol in
+  let pmap_mgr = Numa_core.Pmap_manager.create ~obs ~config ~policy:pol () in
   let ops = Numa_core.Pmap_manager.ops pmap_mgr in
   let pool = Numa_vm.Lpage_pool.create config ~ops in
   let task = Numa_vm.Task.create ~ops ~id:0 ~name:"workload" in
@@ -218,11 +232,12 @@ let create ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinit
       unix_master;
     }
   in
-  let engine = Engine.create engine_config ~memory ~scheduler in
-  let bus = Bus.create config in
+  let engine = Engine.create ~obs engine_config ~memory ~scheduler in
+  let bus = Bus.create ~obs config in
   let t =
     {
       config;
+      obs;
       pmap_mgr;
       ops;
       pool;
@@ -389,6 +404,7 @@ let run t =
 (* --- introspection ------------------------------------------------------ *)
 
 let config t = t.config
+let obs t = t.obs
 let engine t = t.engine
 let pmap_manager t = t.pmap_mgr
 let numa_manager t = Numa_core.Pmap_manager.manager t.pmap_mgr

@@ -58,6 +58,7 @@ type access_event = {
 type t
 
 val create :
+  ?obs:Numa_obs.Hub.t ->
   ?policy:policy_spec ->
   ?scheduler:Numa_sim.Engine.scheduler_mode ->
   ?chunk_refs:int ->
@@ -67,7 +68,14 @@ val create :
   unit ->
   t
 (** Defaults: the paper's [Move_limit {threshold = 4}] policy, affinity
-    scheduling, 2048-reference chunks, no Unix-master modelling. *)
+    scheduling, 2048-reference chunks, no Unix-master modelling. [obs]
+    (default: a fresh hub with no sinks) is shared by every layer — bus,
+    NUMA/pmap managers and engine — and stamped with the engine's virtual
+    clock; attach sinks ({!Numa_obs.Chrome_trace}, {!Numa_obs.Timeseries},
+    {!Numa_obs.Page_audit}) before running to observe the run. *)
+
+val obs : t -> Numa_obs.Hub.t
+(** The hub shared by all of this system's layers. *)
 
 val alloc_region :
   t ->

@@ -19,7 +19,7 @@ let replay ~config ~policy buffer =
     Sys_.policy_of_spec policy ~n_pages:config.Config.global_pages
       ~now:(fun () -> !now_cell)
   in
-  let mgr = Pmap_manager.create ~config ~policy:pol in
+  let mgr = Pmap_manager.create ~config ~policy:pol () in
   let ops = Pmap_manager.ops mgr in
   let sink = Pmap_manager.sink mgr in
   let pmap = ops.Numa_vm.Pmap_intf.pmap_create ~name:"replay" in

@@ -20,6 +20,38 @@ let to_sorted_list t = Int_map.bindings t.counts
 
 let keys t = List.map fst (to_sorted_list t)
 
+let mean t =
+  if t.total = 0 then 0.
+  else
+    let weighted =
+      Int_map.fold (fun k n acc -> acc +. (float_of_int k *. float_of_int n)) t.counts 0.
+    in
+    weighted /. float_of_int t.total
+
+let max_key t =
+  match Int_map.max_binding_opt t.counts with Some (k, _) -> k | None -> 0
+
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p must be in [0,100]";
+  if t.total = 0 then 0
+  else begin
+    (* Nearest-rank: the smallest key whose cumulative count reaches
+       ceil(p/100 * total); p = 0 gives the smallest recorded key. *)
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.total))) in
+    let result = ref 0 and cum = ref 0 and found = ref false in
+    Int_map.iter
+      (fun k n ->
+        if not !found then begin
+          cum := !cum + n;
+          if !cum >= rank then begin
+            result := k;
+            found := true
+          end
+        end)
+      t.counts;
+    !result
+  end
+
 let pp ppf t =
   List.iter
     (fun (k, n) -> Format.fprintf ppf "%d: %d@." k n)

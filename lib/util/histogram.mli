@@ -22,6 +22,18 @@ val total : t -> int
 val keys : t -> int list
 (** Keys with non-zero count, in increasing order. *)
 
+val mean : t -> float
+(** Count-weighted mean of the keys; [0.] for an empty histogram. *)
+
+val max_key : t -> int
+(** Largest recorded key; [0] for an empty histogram. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] is the nearest-rank [p]-th percentile of the
+    distribution ([p] in [\[0,100\]]): the smallest key whose cumulative
+    count reaches [ceil (p/100 * total)]. [0] for an empty histogram;
+    [Invalid_argument] for [p] outside the range. *)
+
 val to_sorted_list : t -> (int * int) list
 (** (key, count) pairs in increasing key order. *)
 

@@ -20,7 +20,7 @@ let make_env ?policy ?(config = small_config ()) () =
     | Some p -> p
     | None -> Policy.move_limit ~n_pages:config.Config.global_pages ()
   in
-  let mgr = Pmap_manager.create ~config ~policy in
+  let mgr = Pmap_manager.create ~config ~policy () in
   let ops = Pmap_manager.ops mgr in
   let pmap = ops.Numa_vm.Pmap_intf.pmap_create ~name:"t" in
   { mgr; ops; pmap; config }

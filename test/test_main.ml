@@ -17,6 +17,7 @@ let () =
       ("multitask", Test_multitask.suite);
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("lang", Test_lang.suite);
       ("properties", Test_properties.suite);
     ]

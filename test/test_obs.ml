@@ -1,0 +1,302 @@
+(* Tests for the observability library: the JSON emitter and parser-less
+   validator, the event hub, the Chrome trace exporter, the time-series
+   sampler, the per-page audit, and the zero-overhead guarantee (an
+   observed run reports exactly what an unobserved run reports). *)
+
+open Numa_machine
+module System = Numa_system.System
+module Report = Numa_system.Report
+module Api = Numa_sim.Api
+module Region_attr = Numa_vm.Region_attr
+module Json = Numa_obs.Json
+module Hub = Numa_obs.Hub
+module Event = Numa_obs.Event
+module Chrome_trace = Numa_obs.Chrome_trace
+module Timeseries = Numa_obs.Timeseries
+module Page_audit = Numa_obs.Page_audit
+
+let small_config () = Config.ace ~n_cpus:4 ~local_pages_per_cpu:64 ~global_pages:128 ()
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+(* A two-CPU ping-pong over one writably shared page: ownership moves every
+   round, so the default move-limit policy pins the page mid-run. *)
+let ping_pong_system ?obs () =
+  let sys = System.create ?obs ~config:(small_config ()) () in
+  let data =
+    System.alloc_region sys ~name:"shared" ~kind:Region_attr.Data
+      ~sharing:Region_attr.Declared_write_shared ~pages:1 ()
+  in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+  for cpu = 0 to 1 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "t%d" cpu) (fun ~stack_vpage:_ ->
+           for _round = 1 to 8 do
+             Api.write ~count:16 data.System.base_vpage;
+             Api.barrier barrier
+           done))
+  done;
+  (sys, data)
+
+(* --- Json emitter -------------------------------------------------------- *)
+
+let test_json_to_string () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool true; Json.Null ]);
+        ("s", Json.String "x\"y\nz");
+        ("f", Json.Float 1.5);
+      ]
+  in
+  Alcotest.(check string) "rendering"
+    "{\"a\":1,\"b\":[true,null],\"s\":\"x\\\"y\\nz\",\"f\":1.5}" (Json.to_string j)
+
+let test_json_floats () =
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "integral float keeps a decimal" "2.0"
+    (Json.to_string (Json.Float 2.))
+
+let test_json_validator_accepts_own_output () =
+  let j =
+    Json.Obj
+      [
+        ("nested", Json.Obj [ ("list", Json.List [ Json.Obj []; Json.List [] ]) ]);
+        ("tricky", Json.String "braces { } [ ] and a quote \" inside");
+      ]
+  in
+  let s = Json.to_string j in
+  match Json.check_structure s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "rejected own output: %s" msg
+
+let test_json_validator_rejects_broken () =
+  (match Json.check_structure "{\"a\":[1,2}" with
+  | Ok () -> Alcotest.fail "accepted mismatched brackets"
+  | Error _ -> ());
+  (match Json.check_structure "{\"a\":\"unterminated}" with
+  | Ok () -> Alcotest.fail "accepted unterminated string"
+  | Error _ -> ());
+  match Json.check_structure "{\"a\":1}]" with
+  | Ok () -> Alcotest.fail "accepted stray close"
+  | Error _ -> ()
+
+let test_json_keys () =
+  let s =
+    Json.to_string
+      (Json.Obj
+         [ ("alpha", Json.Int 1); ("two words", Json.String "not a key: \"fake\"") ])
+  in
+  Alcotest.(check bool) "present" true (Json.has_key s ~key:"alpha");
+  Alcotest.(check bool) "absent" false (Json.has_key s ~key:"gamma");
+  (match Json.required_keys s ~keys:[ "alpha"; "two words" ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "keys reported missing: %s" msg);
+  match Json.required_keys s ~keys:[ "alpha"; "gamma" ] with
+  | Ok () -> Alcotest.fail "missed a missing key"
+  | Error _ -> ()
+
+(* --- the hub -------------------------------------------------------------- *)
+
+let test_hub_attach_detach () =
+  let h = Hub.create () in
+  Alcotest.(check bool) "no sinks: disabled" false (Hub.enabled h);
+  let seen = ref [] in
+  Hub.attach h ~name:"probe" (fun ~ts ev -> seen := (ts, ev) :: !seen);
+  Alcotest.(check bool) "sink attached: enabled" true (Hub.enabled h);
+  Hub.set_clock h (fun () -> 42.);
+  Hub.emit h (Event.Page_unpin { lpage = 3 });
+  (match !seen with
+  | [ (ts, Event.Page_unpin { lpage = 3 }) ] ->
+      Alcotest.(check (float 0.)) "stamped with the clock" 42. ts
+  | _ -> Alcotest.fail "event not delivered exactly once");
+  Hub.detach h ~name:"probe";
+  Alcotest.(check bool) "detached: disabled" false (Hub.enabled h);
+  Hub.emit h (Event.Page_unpin { lpage = 4 });
+  Alcotest.(check int) "no delivery after detach" 1 (List.length !seen)
+
+(* --- Chrome trace export -------------------------------------------------- *)
+
+let parmult_traced () =
+  let obs = Hub.create () in
+  let tr = Chrome_trace.create ~n_cpus:4 in
+  Chrome_trace.attach tr obs;
+  let sys = System.create ~obs ~config:(Config.ace ~n_cpus:4 ()) () in
+  let app =
+    match Numa_apps.Registry.find "parmult" with
+    | Some app -> app
+    | None -> Alcotest.fail "parmult app missing from registry"
+  in
+  app.Numa_apps.App_sig.setup sys
+    { Numa_apps.App_sig.nthreads = 4; scale = 0.1; seed = 42L };
+  ignore (System.run sys);
+  tr
+
+let test_chrome_trace_is_valid_json () =
+  let tr = parmult_traced () in
+  Alcotest.(check bool) "recorded events" true (Chrome_trace.length tr > 0);
+  let s = Json.to_string (Chrome_trace.to_json tr) in
+  (match Json.check_structure s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "trace JSON structurally invalid: %s" msg);
+  match Json.required_keys s ~keys:[ "traceEvents"; "ph"; "ts"; "pid"; "tid" ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "trace JSON incomplete: %s" msg
+
+let test_chrome_trace_lane_timestamps_monotone () =
+  let tr = parmult_traced () in
+  let last = Hashtbl.create 8 in
+  let ok = ref true in
+  Chrome_trace.iter tr (fun ~ts ~lane _ev ->
+      let prev =
+        match Hashtbl.find_opt last lane with Some v -> v | None -> neg_infinity
+      in
+      if ts < prev then ok := false;
+      Hashtbl.replace last lane ts);
+  Alcotest.(check bool) "every lane is a monotone timeline" true !ok;
+  Alcotest.(check int) "protocol lane beyond the CPUs" 4 (Chrome_trace.protocol_lane tr);
+  Alcotest.(check bool) "protocol lane used" true (Hashtbl.mem last 4)
+
+(* --- time series ----------------------------------------------------------- *)
+
+let test_timeseries_rows_and_csv () =
+  let obs = Hub.create () in
+  let ts = Timeseries.create () in
+  Timeseries.attach ts obs;
+  let sys, _ = ping_pong_system ~obs () in
+  ignore (System.run sys);
+  let rows = Timeseries.rows ts in
+  Alcotest.(check bool) "at least one epoch" true (rows <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "alpha within [0,1]" true
+        (r.Timeseries.alpha >= 0. && r.Timeseries.alpha <= 1.);
+      Alcotest.(check int) "location counts partition refs" r.Timeseries.refs
+        (r.Timeseries.local_refs + r.Timeseries.global_refs + r.Timeseries.remote_refs))
+    rows;
+  Alcotest.(check bool) "the ping-pong moved pages" true
+    (List.fold_left (fun acc r -> acc + r.Timeseries.moves) 0 rows > 0);
+  Alcotest.(check bool) "and pinned one" true
+    (List.fold_left (fun acc r -> acc + r.Timeseries.pins) 0 rows > 0);
+  let lines = String.split_on_char '\n' (String.trim (Timeseries.to_csv ts)) in
+  Alcotest.(check int) "header plus one line per epoch"
+    (1 + List.length rows)
+    (List.length lines);
+  Alcotest.(check string) "header row" Timeseries.csv_header (List.hd lines)
+
+(* --- zero-overhead guarantee ----------------------------------------------- *)
+
+let test_observed_run_reports_identically () =
+  let run ~observe =
+    let obs = Hub.create () in
+    if observe then begin
+      Chrome_trace.attach (Chrome_trace.create ~n_cpus:4) obs;
+      Timeseries.attach (Timeseries.create ()) obs;
+      Page_audit.attach (Page_audit.create ~lpage:0) obs
+    end;
+    let sys, _ = ping_pong_system ~obs () in
+    System.run sys
+  in
+  let plain = run ~observe:false in
+  let observed = run ~observe:true in
+  Alcotest.(check string) "summary line identical" (Report.summary_line plain)
+    (Report.summary_line observed);
+  Alcotest.(check int) "event count identical" plain.Report.n_events
+    observed.Report.n_events;
+  Alcotest.(check (float 0.)) "user time identical" plain.Report.total_user_ns
+    observed.Report.total_user_ns;
+  Alcotest.(check (float 0.)) "system time identical" plain.Report.total_system_ns
+    observed.Report.total_system_ns;
+  Alcotest.(check int) "moves identical" plain.Report.numa_moves
+    observed.Report.numa_moves
+
+(* --- per-page audit --------------------------------------------------------- *)
+
+let test_page_audit_explains_pin () =
+  (* Discovery run: learn which logical page backs the ping-ponged vpage
+     (deterministic, but not knowable before any fault occurs). *)
+  let sys0, data0 = ping_pong_system () in
+  ignore (System.run sys0);
+  let lpage =
+    match System.lpage_of sys0 ~vpage:data0.System.base_vpage () with
+    | Some l -> l
+    | None -> Alcotest.fail "shared page never materialised"
+  in
+  (* Audited run of the identical workload. *)
+  let obs = Hub.create () in
+  let audit = Page_audit.create ~lpage in
+  Page_audit.attach audit obs;
+  let sys, _ = ping_pong_system ~obs () in
+  let report = System.run sys in
+  Alcotest.(check bool) "the policy pinned a page" true (report.Report.pins >= 1);
+  (match Page_audit.pin_reason audit with
+  | Some reason ->
+      Alcotest.(check bool) "pin reason names the move-limit rule" true
+        (contains reason "move-limit")
+  | None -> Alcotest.fail "audit saw no pin event");
+  let text = Page_audit.explain audit in
+  Alcotest.(check bool) "timeline mentions page moves" true (contains text "moved");
+  Alcotest.(check bool) "verdict says pinned" true (contains text "pinned");
+  Alcotest.(check bool) "timeline has many entries" true
+    (List.length (String.split_on_char '\n' text) > 5)
+
+(* --- report JSON -------------------------------------------------------------- *)
+
+let test_report_json_roundtrip () =
+  let sys, _ = ping_pong_system () in
+  let report = System.run sys in
+  let s = Json.to_string (Report.to_json report) in
+  (match Json.check_structure s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "report JSON structurally invalid: %s" msg);
+  (match
+     Json.required_keys s
+       ~keys:
+         [
+           "policy";
+           "n_cpus";
+           "total_user_ns";
+           "refs_all";
+           "refs_writable_data";
+           "numa";
+           "pins";
+           "placement";
+           "bus_words";
+         ]
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "report JSON incomplete: %s" msg);
+  (* Counters the text report prints must round-trip into the JSON. *)
+  Alcotest.(check bool) "moves round-trip" true
+    (contains s (Printf.sprintf "\"moves\":%d" report.Report.numa_moves));
+  Alcotest.(check bool) "pins round-trip" true
+    (contains s (Printf.sprintf "\"pins\":%d" report.Report.pins));
+  Alcotest.(check bool) "enters round-trip" true
+    (contains s (Printf.sprintf "\"enters\":%d" report.Report.numa_enters));
+  Alcotest.(check bool) "policy name round-trips" true
+    (contains s (Printf.sprintf "\"policy\":%S" report.Report.policy_name))
+
+let suite =
+  [
+    Alcotest.test_case "json rendering" `Quick test_json_to_string;
+    Alcotest.test_case "json floats" `Quick test_json_floats;
+    Alcotest.test_case "json validator accepts" `Quick
+      test_json_validator_accepts_own_output;
+    Alcotest.test_case "json validator rejects" `Quick test_json_validator_rejects_broken;
+    Alcotest.test_case "json key checks" `Quick test_json_keys;
+    Alcotest.test_case "hub attach/detach" `Quick test_hub_attach_detach;
+    Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_is_valid_json;
+    Alcotest.test_case "chrome trace monotone lanes" `Quick
+      test_chrome_trace_lane_timestamps_monotone;
+    Alcotest.test_case "timeseries rows and csv" `Quick test_timeseries_rows_and_csv;
+    Alcotest.test_case "observed run identical" `Quick
+      test_observed_run_reports_identically;
+    Alcotest.test_case "page audit explains pin" `Quick test_page_audit_explains_pin;
+    Alcotest.test_case "report json round-trip" `Quick test_report_json_roundtrip;
+  ]

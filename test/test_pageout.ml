@@ -10,7 +10,7 @@ module Region_attr = Numa_vm.Region_attr
 let make_env ~global_pages =
   let config = Config.ace ~n_cpus:2 ~local_pages_per_cpu:8 ~global_pages () in
   let policy = Numa_core.Policy.move_limit ~n_pages:global_pages () in
-  let pmap_mgr = Numa_core.Pmap_manager.create ~config ~policy in
+  let pmap_mgr = Numa_core.Pmap_manager.create ~config ~policy () in
   let ops = Numa_core.Pmap_manager.ops pmap_mgr in
   let pool = Lpage_pool.create config ~ops in
   (config, ops, pool)

@@ -43,7 +43,7 @@ let run_against_reference ~policy ops =
     Config.ace ~n_cpus ~local_pages_per_cpu:4 (* small: exercises fallback *)
       ~global_pages:n_pages ()
   in
-  let mgr = Pmap_manager.create ~config ~policy:(policy ~n_pages) in
+  let mgr = Pmap_manager.create ~config ~policy:(policy ~n_pages) () in
   let pmap_ops = Pmap_manager.ops mgr in
   let pmap = pmap_ops.Numa_vm.Pmap_intf.pmap_create ~name:"prop" in
   let reference = Array.make n_pages 0 in

@@ -44,6 +44,63 @@ let three_class_workload sys =
   done;
   (private_, read_shared, write_shared)
 
+(* --- degenerate inputs --------------------------------------------------- *)
+
+let mk_event ?(at = 0.) ~cpu ~vpage ~kind ~count ~region () =
+  {
+    System.at;
+    cpu;
+    tid = cpu;
+    vpage;
+    kind;
+    count;
+    where = Location.In_global;
+    region;
+  }
+
+let test_classify_empty_trace () =
+  let buffer = Trace_buffer.create () in
+  Alcotest.(check int) "no page summaries" 0 (List.length (Classify.classify buffer));
+  let findings = False_sharing.analyse ~declared_of:(fun ~vpage:_ -> None) [] in
+  Alcotest.(check int) "no findings" 0 (List.length findings);
+  Alcotest.(check int) "no problems" 0 (List.length (False_sharing.problems findings))
+
+let test_classify_single_reference_page () =
+  let buffer = Trace_buffer.create () in
+  Trace_buffer.add buffer
+    (mk_event ~cpu:2 ~vpage:7 ~kind:Access.Load ~count:1 ~region:"solo" ());
+  match Classify.classify buffer with
+  | [ s ] ->
+      Alcotest.(check int) "page" 7 s.Classify.vpage;
+      Alcotest.(check int) "one read" 1 s.Classify.reads;
+      Alcotest.(check int) "no writes" 0 s.Classify.writes;
+      Alcotest.(check (list int)) "single reader" [ 2 ] s.Classify.readers;
+      Alcotest.(check (list int)) "no writers" [] s.Classify.writers;
+      Alcotest.(check string) "classed private" "private"
+        (Classify.class_to_string s.Classify.cls)
+  | l -> Alcotest.failf "expected one summary, got %d" (List.length l)
+
+let test_classify_write_only_page () =
+  let buffer = Trace_buffer.create () in
+  Trace_buffer.add buffer
+    (mk_event ~cpu:0 ~vpage:3 ~kind:Access.Store ~count:5 ~region:"wo" ());
+  (match Classify.classify buffer with
+  | [ s ] ->
+      Alcotest.(check int) "writes counted" 5 s.Classify.writes;
+      Alcotest.(check int) "no reads" 0 s.Classify.reads;
+      Alcotest.(check bool) "one writer, no other users: private" true
+        (s.Classify.cls = Classify.Class_private)
+  | l -> Alcotest.failf "expected one summary, got %d" (List.length l));
+  (* A second writing CPU makes the write-only page writably shared. *)
+  Trace_buffer.add buffer
+    (mk_event ~at:1. ~cpu:1 ~vpage:3 ~kind:Access.Store ~count:2 ~region:"wo" ());
+  match Classify.classify buffer with
+  | [ s ] ->
+      Alcotest.(check (list int)) "both writers" [ 0; 1 ] s.Classify.writers;
+      Alcotest.(check bool) "two writers: writably shared" true
+        (s.Classify.cls = Classify.Class_write_shared)
+  | l -> Alcotest.failf "expected one summary, got %d" (List.length l)
+
 (* --- buffer ------------------------------------------------------------- *)
 
 let test_capture_counts () =
@@ -295,6 +352,9 @@ let suite =
     Alcotest.test_case "events in time order" `Quick test_events_in_time_order;
     Alcotest.test_case "save/load round trip" `Quick test_save_load_roundtrip;
     Alcotest.test_case "three-class classification" `Quick test_classification_three_classes;
+    Alcotest.test_case "empty trace" `Quick test_classify_empty_trace;
+    Alcotest.test_case "single-reference page" `Quick test_classify_single_reference_page;
+    Alcotest.test_case "write-only page" `Quick test_classify_write_only_page;
     Alcotest.test_case "by-region grouping" `Quick test_by_region_grouping;
     Alcotest.test_case "false sharing detection" `Quick test_false_sharing_detection;
     Alcotest.test_case "segregation candidate" `Quick test_segregation_candidate_detection;

@@ -216,6 +216,45 @@ let test_histogram () =
   Alcotest.(check (list (pair int int))) "sorted list" [ (3, 2); (7, 5) ]
     (Histogram.to_sorted_list h)
 
+let test_histogram_mean_percentile () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty percentile" 0 (Histogram.percentile h 50.);
+  Alcotest.(check int) "empty max key" 0 (Histogram.max_key h);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Histogram.mean h);
+  Histogram.add_many h 1 50;
+  Histogram.add_many h 2 30;
+  Histogram.add_many h 10 19;
+  Histogram.add h 100;
+  (* 100 samples: 50 ones, 30 twos, 19 tens, 1 hundred. *)
+  Alcotest.(check int) "p0 is smallest key" 1 (Histogram.percentile h 0.);
+  Alcotest.(check int) "p50" 1 (Histogram.percentile h 50.);
+  Alcotest.(check int) "p80" 2 (Histogram.percentile h 80.);
+  Alcotest.(check int) "p99" 10 (Histogram.percentile h 99.);
+  Alcotest.(check int) "p100 is largest key" 100 (Histogram.percentile h 100.);
+  Alcotest.(check int) "max key" 100 (Histogram.max_key h);
+  let expected_mean =
+    ((1. *. 50.) +. (2. *. 30.) +. (10. *. 19.) +. 100.) /. 100.
+  in
+  Alcotest.(check (float 1e-9)) "mean" expected_mean (Histogram.mean h)
+
+let test_histogram_percentile_invalid () =
+  let h = Histogram.create () in
+  Histogram.add h 1;
+  Alcotest.check_raises "p > 100"
+    (Invalid_argument "Histogram.percentile: p must be in [0,100]") (fun () ->
+      ignore (Histogram.percentile h 100.1));
+  Alcotest.check_raises "p < 0"
+    (Invalid_argument "Histogram.percentile: p must be in [0,100]") (fun () ->
+      ignore (Histogram.percentile h (-1.)))
+
+let test_histogram_percentile_single_key () =
+  let h = Histogram.create () in
+  Histogram.add_many h 4 1000;
+  List.iter
+    (fun p -> Alcotest.(check int) "all percentiles hit the one key" 4 (Histogram.percentile h p))
+    [ 0.; 1.; 50.; 99.; 100. ];
+  Alcotest.(check (float 1e-9)) "mean of constant" 4. (Histogram.mean h)
+
 (* --- text table ----------------------------------------------------------------- *)
 
 let test_text_table_render () =
@@ -273,6 +312,10 @@ let suite =
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "stats helpers" `Quick test_stats_helpers;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram mean/percentile" `Quick test_histogram_mean_percentile;
+    Alcotest.test_case "histogram percentile bounds" `Quick test_histogram_percentile_invalid;
+    Alcotest.test_case "histogram percentile single key" `Quick
+      test_histogram_percentile_single_key;
     Alcotest.test_case "text table render" `Quick test_text_table_render;
     Alcotest.test_case "text table arity" `Quick test_text_table_arity;
     Alcotest.test_case "text table cells" `Quick test_text_table_cells;

@@ -16,7 +16,7 @@ type env = {
 
 let make_env ?(config = small_config ()) () =
   let policy = Numa_core.Policy.move_limit ~n_pages:config.Config.global_pages () in
-  let pmap_mgr = Numa_core.Pmap_manager.create ~config ~policy in
+  let pmap_mgr = Numa_core.Pmap_manager.create ~config ~policy () in
   let ops = Numa_core.Pmap_manager.ops pmap_mgr in
   let pool = Lpage_pool.create config ~ops in
   let task = Task.create ~ops ~id:0 ~name:"test" in
