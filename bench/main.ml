@@ -6,7 +6,9 @@
       protocol action tables (Tables 1-2), the machine and pmap-layer
       diagrams (Figures 1-2), and the measured Tables 3-4 with the
       paper-vs-simulation comparison. Scale with BENCH_SCALE (default 1.0)
-      and BENCH_CPUS (default 7).
+      and BENCH_CPUS (default 7); BENCH_JOBS (default 1) spreads the
+      Table 3 measurements over that many domains without changing any
+      result.
 
    2. Micro-benchmarks: one Bechamel Test.make per reproduced artefact,
       timing the computational kernel behind it (protocol transitions for
@@ -38,6 +40,7 @@ let env_int name default =
 
 let scale = env_float "BENCH_SCALE" 1.0
 let cpus = env_int "BENCH_CPUS" 7
+let jobs = env_int "BENCH_JOBS" 1
 
 let spec = { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus }
 
@@ -49,7 +52,7 @@ let reproduce () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Store);
   print_endline (Numa_machine.Topology.render (Numa_machine.Config.ace ~n_cpus:cpus ()));
   print_endline (Numa_core.Pmap_manager.figure2 ());
-  let rows = Table3.run ~spec () in
+  let rows = Table3.run ~jobs ~spec () in
   print_endline (Table3.render rows);
   print_endline (Table3.render_comparison rows);
   let t4 = Table4.of_measurements rows in

@@ -17,6 +17,14 @@ let scale_arg =
 let cpus_arg =
   Arg.(value & opt int 7 & info [ "cpus" ] ~docv:"N" ~doc:"Number of processors.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Distribute the independent simulated runs of each experiment over $(docv) \
+           domains. Results are identical to --jobs 1; only wall-clock time changes.")
+
 let spec_of ~scale ~cpus =
   { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus }
 
@@ -31,8 +39,8 @@ let figure1 ~cpus =
 
 let figure2 () = print_endline (Numa_core.Pmap_manager.figure2 ())
 
-let table3 ~spec =
-  let rows = Table3.run ~spec () in
+let table3 ~spec ~jobs =
+  let rows = Table3.run ~jobs ~spec () in
   print_endline (Table3.render rows);
   print_endline (Table3.render_comparison rows);
   rows
@@ -109,20 +117,23 @@ let replay_study ~spec =
             ]
           buffer))
 
-let run_section section ~spec ~cpus =
+let run_section section ~spec ~cpus ~jobs =
   match section with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
   | "figure1" -> figure1 ~cpus
   | "figure2" -> figure2 ()
-  | "table3" -> ignore (table3 ~spec)
-  | "table4" -> table4_from (Table3.run ~apps:Numa_apps.Registry.table4 ~spec ())
+  | "table3" -> ignore (table3 ~spec ~jobs)
+  | "table4" -> table4_from (Table3.run ~apps:Numa_apps.Registry.table4 ~jobs ~spec ())
   | "threshold-sweep" ->
-      print_endline (Ablations.render_threshold_sweep (Ablations.threshold_sweep ~spec ()))
+      print_endline
+        (Ablations.render_threshold_sweep (Ablations.threshold_sweep ~jobs ~spec ()))
   | "false-sharing" -> false_sharing ~spec
   | "scheduler" ->
-      print_endline (Ablations.render_scheduler_study (Ablations.scheduler_study ~spec ()))
-  | "gl-sweep" -> print_endline (Ablations.render_gl_sweep (Ablations.gl_sweep ~spec ()))
+      print_endline
+        (Ablations.render_scheduler_study (Ablations.scheduler_study ~jobs ~spec ()))
+  | "gl-sweep" ->
+      print_endline (Ablations.render_gl_sweep (Ablations.gl_sweep ~jobs ~spec ()))
   | "pragmas" ->
       print_endline (Ablations.render_pragma_study (Ablations.pragma_study ~spec ()))
   | "unix-master" ->
@@ -132,13 +143,15 @@ let run_section section ~spec ~cpus =
   | "remote" ->
       print_endline (Ablations.render_remote_study (Ablations.remote_study ~spec ()))
   | "replay" -> replay_study ~spec
-  | "bus" -> print_endline (Ablations.render_bus_study (Ablations.bus_study ~spec ()))
+  | "bus" ->
+      print_endline (Ablations.render_bus_study (Ablations.bus_study ~jobs ~spec ()))
   | "migration" ->
       print_endline (Ablations.render_migration_study (Ablations.migration_study ~spec ()))
   | "cpu-sweep" ->
-      print_endline (Ablations.render_cpu_sweep (Ablations.cpu_sweep ~spec ()))
+      print_endline (Ablations.render_cpu_sweep (Ablations.cpu_sweep ~jobs ~spec ()))
   | "butterfly" ->
-      print_endline (Ablations.render_butterfly_study (Ablations.butterfly_study ~spec ()))
+      print_endline
+        (Ablations.render_butterfly_study (Ablations.butterfly_study ~jobs ~spec ()))
   | "reconsider" ->
       print_endline
         (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
@@ -151,26 +164,29 @@ let sections =
     "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "reconsider";
   ]
 
-let all ~spec ~cpus =
+let all ~spec ~cpus ~jobs =
   table1 ();
   table2 ();
   figure1 ~cpus;
   figure2 ();
-  let rows = table3 ~spec in
+  let rows = table3 ~spec ~jobs in
   table4_from rows;
-  print_endline (Ablations.render_threshold_sweep (Ablations.threshold_sweep ~spec ()));
+  print_endline
+    (Ablations.render_threshold_sweep (Ablations.threshold_sweep ~jobs ~spec ()));
   false_sharing ~spec;
-  print_endline (Ablations.render_scheduler_study (Ablations.scheduler_study ~spec ()));
-  print_endline (Ablations.render_gl_sweep (Ablations.gl_sweep ~spec ()));
+  print_endline
+    (Ablations.render_scheduler_study (Ablations.scheduler_study ~jobs ~spec ()));
+  print_endline (Ablations.render_gl_sweep (Ablations.gl_sweep ~jobs ~spec ()));
   print_endline (Ablations.render_pragma_study (Ablations.pragma_study ~spec ()));
   print_endline (Ablations.render_unix_master_study (Ablations.unix_master_study ~spec ()));
   optimal_study ~spec;
   print_endline (Ablations.render_remote_study (Ablations.remote_study ~spec ()));
   replay_study ~spec;
-  print_endline (Ablations.render_bus_study (Ablations.bus_study ~spec ()));
+  print_endline (Ablations.render_bus_study (Ablations.bus_study ~jobs ~spec ()));
   print_endline (Ablations.render_migration_study (Ablations.migration_study ~spec ()));
-  print_endline (Ablations.render_cpu_sweep (Ablations.cpu_sweep ~spec ()));
-  print_endline (Ablations.render_butterfly_study (Ablations.butterfly_study ~spec ()));
+  print_endline (Ablations.render_cpu_sweep (Ablations.cpu_sweep ~jobs ~spec ()));
+  print_endline
+    (Ablations.render_butterfly_study (Ablations.butterfly_study ~jobs ~spec ()));
   print_endline (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
 
 let () =
@@ -180,10 +196,10 @@ let () =
       & info [] ~docv:"SECTION"
           ~doc:(Printf.sprintf "One of: all, %s." (String.concat ", " sections)))
   in
-  let action section scale cpus =
+  let action section scale cpus jobs =
     let spec = spec_of ~scale ~cpus in
-    if section = "all" then all ~spec ~cpus
-    else if List.mem section sections then run_section section ~spec ~cpus
+    if section = "all" then all ~spec ~cpus ~jobs
+    else if List.mem section sections then run_section section ~spec ~cpus ~jobs
     else begin
       Printf.eprintf "unknown section %S; known: all, %s\n" section
         (String.concat ", " sections);
@@ -194,6 +210,6 @@ let () =
     Cmd.v
       (Cmd.info "experiments" ~version:"1.0.0"
          ~doc:"Regenerate the paper's tables/figures and the ablation studies.")
-      Term.(const action $ section_arg $ scale_arg $ cpus_arg)
+      Term.(const action $ section_arg $ scale_arg $ cpus_arg $ jobs_arg)
   in
   exit (Cmd.eval cmd)

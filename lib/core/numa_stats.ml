@@ -8,6 +8,9 @@ type t = {
   mutable mappings_dropped : int;
   mutable moves : int;
   mutable local_fallbacks : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable tlb_shootdowns : int;
   move_histogram : Numa_util.Histogram.t;
 }
 
@@ -22,8 +25,15 @@ let create () =
     mappings_dropped = 0;
     moves = 0;
     local_fallbacks = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    tlb_shootdowns = 0;
     move_histogram = Numa_util.Histogram.create ();
   }
+
+let tlb_hit_rate t =
+  let total = t.tlb_hits + t.tlb_misses in
+  if total = 0 then 0. else float_of_int t.tlb_hits /. float_of_int total
 
 let record_final_moves t n = Numa_util.Histogram.add t.move_histogram n
 
@@ -39,6 +49,14 @@ let to_assoc t =
     ("page moves", string_of_int t.moves);
     ("local-memory fallbacks", string_of_int t.local_fallbacks);
   ]
+  @ (if t.tlb_hits + t.tlb_misses = 0 then []
+     else
+       [
+         ("software-TLB hits", string_of_int t.tlb_hits);
+         ("software-TLB misses", string_of_int t.tlb_misses);
+         ("software-TLB shootdowns", string_of_int t.tlb_shootdowns);
+         ("software-TLB hit rate", Printf.sprintf "%.4f" (tlb_hit_rate t));
+       ])
   @
   (* Distribution of final per-page move counts (recorded at page free):
      how close pages came to the pin threshold. *)

@@ -15,6 +15,11 @@ type t = {
   mutable moves : int;  (** inter-local-memory page transfers *)
   mutable local_fallbacks : int;
       (** LOCAL decisions demoted to GLOBAL because the local memory was full *)
+  mutable tlb_hits : int;  (** software-TLB fast-path translations *)
+  mutable tlb_misses : int;  (** translations that walked the MMU hash table *)
+  mutable tlb_shootdowns : int;
+      (** live software-TLB entries precisely invalidated by protocol
+          actions (ownership moves, pins, pageout, unmaps) *)
   move_histogram : Numa_util.Histogram.t;
       (** distribution of per-page move counts, recorded when a page is
           freed and for all live pages via {!record_final_moves} *)
@@ -24,6 +29,9 @@ val create : unit -> t
 
 val record_final_moves : t -> int -> unit
 (** Add one page's final move count to the histogram. *)
+
+val tlb_hit_rate : t -> float
+(** hits / (hits + misses), 0 when no translations have been counted. *)
 
 val pp : Format.formatter -> t -> unit
 

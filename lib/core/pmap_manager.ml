@@ -17,11 +17,11 @@ type t = {
 }
 
 let create ?obs ~config ~policy () =
+  let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
   let frames = Frame_table.create config in
-  let mmu = Mmu.create config in
+  let mmu = Mmu.create ~obs config in
   let sink = Cost_sink.create ~n_cpus:config.Config.n_cpus in
   let stats = Numa_stats.create () in
-  let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
   let manager = Numa_manager.create ~obs ~config ~frames ~mmu ~sink ~stats () in
   {
     config;

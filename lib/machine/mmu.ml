@@ -15,10 +15,18 @@ type t = {
   n_cpus : int;
   forward : (key, entry) Hashtbl.t;
   reverse : (int, (key, entry) Hashtbl.t) Hashtbl.t;  (** lpage -> its mappings *)
+  tlbs : entry Tlb.t array;  (** per-CPU software translation caches *)
+  obs : Numa_obs.Hub.t;
 }
 
-let create (config : Config.t) =
-  { n_cpus = config.n_cpus; forward = Hashtbl.create 1024; reverse = Hashtbl.create 256 }
+let create ?obs (config : Config.t) =
+  {
+    n_cpus = config.n_cpus;
+    forward = Hashtbl.create 1024;
+    reverse = Hashtbl.create 256;
+    tlbs = Array.init config.n_cpus (fun _ -> Tlb.create ());
+    obs = (match obs with Some h -> h | None -> Numa_obs.Hub.create ());
+  }
 
 let key_of_entry e = { k_pmap = e.pmap; k_cpu = e.cpu; k_vpage = e.vpage }
 
@@ -37,9 +45,19 @@ let unlink_reverse t e =
       Hashtbl.remove b (key_of_entry e);
       if Hashtbl.length b = 0 then Hashtbl.remove t.reverse e.lpage
 
+(* Every mapping drop funnels through here, so this is the one precise
+   shootdown point for the software TLBs: the protocol actions (invalidate,
+   ownership move, pin, pageout) all reach mappings via the reverse maps
+   and remove them entry by entry. *)
 let remove_entry t e =
   Hashtbl.remove t.forward (key_of_entry e);
-  unlink_reverse t e
+  unlink_reverse t e;
+  if
+    Tlb.invalidate t.tlbs.(e.cpu) ~pmap:e.pmap ~vpage:e.vpage
+    && Numa_obs.Hub.enabled t.obs
+  then
+    Numa_obs.Hub.emit t.obs
+      (Numa_obs.Event.Tlb_shootdown { cpu = e.cpu; vpage = e.vpage; lpage = e.lpage })
 
 let enter t ~pmap ~cpu ~vpage ~lpage ~prot ~phys =
   if cpu < 0 || cpu >= t.n_cpus then invalid_arg "Mmu.enter: bad cpu";
@@ -53,6 +71,27 @@ let enter t ~pmap ~cpu ~vpage ~lpage ~prot ~phys =
 
 let lookup t ~pmap ~cpu ~vpage =
   Hashtbl.find_opt t.forward { k_pmap = pmap; k_cpu = cpu; k_vpage = vpage }
+
+(* The fast path: consult the CPU's software TLB first, fill it from the
+   forward table on a miss. Entries are shared records, so protection
+   clamps and physical retargets done in place are visible on later hits;
+   only [remove_entry] needs to shoot entries down. *)
+let translate t ~pmap ~cpu ~vpage =
+  let tlb = t.tlbs.(cpu) in
+  match Tlb.lookup tlb ~pmap ~vpage with
+  | Some _ as hit -> hit
+  | None -> (
+      match Hashtbl.find_opt t.forward { k_pmap = pmap; k_cpu = cpu; k_vpage = vpage } with
+      | Some e as found ->
+          Tlb.insert tlb ~pmap ~vpage e;
+          found
+      | None -> None)
+
+let sum_over_tlbs t f = Array.fold_left (fun acc tlb -> acc + f tlb) 0 t.tlbs
+
+let tlb_hits t = sum_over_tlbs t Tlb.hits
+let tlb_misses t = sum_over_tlbs t Tlb.misses
+let tlb_shootdowns t = sum_over_tlbs t Tlb.shootdowns
 
 let set_prot _t e prot = e.prot <- prot
 let set_phys _t e phys = e.phys <- phys

@@ -23,13 +23,29 @@ type entry = private {
 
 type t
 
-val create : Config.t -> t
+val create : ?obs:Numa_obs.Hub.t -> Config.t -> t
+(** [obs] (default: a fresh hub with no sinks) receives a [Tlb_shootdown]
+    event each time dropping a mapping invalidates a live software-TLB
+    entry. *)
 
 val enter :
   t -> pmap:int -> cpu:int -> vpage:int -> lpage:int -> prot:Prot.t -> phys:phys -> unit
-(** Install or replace a mapping. *)
+(** Install or replace a mapping. Replacement shoots down any cached
+    translation of the old mapping. *)
 
 val lookup : t -> pmap:int -> cpu:int -> vpage:int -> entry option
+
+val translate : t -> pmap:int -> cpu:int -> vpage:int -> entry option
+(** Like {!lookup} but through the referencing CPU's software TLB
+    ({!Tlb}): a hit resolves in O(1) without touching the forward hash
+    table, a miss fills the cache. Counts one TLB hit or miss; use
+    {!lookup} from paths (protocol actions, introspection) that should not
+    perturb the counters. *)
+
+val tlb_hits : t -> int
+val tlb_misses : t -> int
+val tlb_shootdowns : t -> int
+(** Software-TLB counters summed over all CPUs. *)
 
 val set_prot : t -> entry -> Prot.t -> unit
 val set_phys : t -> entry -> phys -> unit

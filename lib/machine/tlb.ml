@@ -1,0 +1,72 @@
+type 'a t = {
+  mask : int;
+  pmaps : int array;
+  vpages : int array;
+  slots : 'a option array;
+  mutable hits : int;
+  mutable misses : int;
+  mutable shootdowns : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(slots = 1024) () =
+  if slots <= 0 then invalid_arg "Tlb.create: slots must be positive";
+  let size = pow2_at_least slots 1 in
+  {
+    mask = size - 1;
+    pmaps = Array.make size (-1);
+    vpages = Array.make size (-1);
+    slots = Array.make size None;
+    hits = 0;
+    misses = 0;
+    shootdowns = 0;
+  }
+
+let size t = t.mask + 1
+
+(* Direct-mapped by virtual page; the pmap id perturbs the index so that
+   the same vpage in different address spaces does not always collide. *)
+let index t ~pmap ~vpage = (vpage lxor (pmap * 61)) land t.mask
+
+let lookup t ~pmap ~vpage =
+  let i = index t ~pmap ~vpage in
+  if t.pmaps.(i) = pmap && t.vpages.(i) = vpage then begin
+    match t.slots.(i) with
+    | Some _ as payload ->
+        t.hits <- t.hits + 1;
+        payload
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    None
+  end
+
+let insert t ~pmap ~vpage payload =
+  let i = index t ~pmap ~vpage in
+  t.pmaps.(i) <- pmap;
+  t.vpages.(i) <- vpage;
+  t.slots.(i) <- Some payload
+
+let invalidate t ~pmap ~vpage =
+  let i = index t ~pmap ~vpage in
+  if t.pmaps.(i) = pmap && t.vpages.(i) = vpage && t.slots.(i) <> None then begin
+    t.pmaps.(i) <- -1;
+    t.vpages.(i) <- -1;
+    t.slots.(i) <- None;
+    t.shootdowns <- t.shootdowns + 1;
+    true
+  end
+  else false
+
+let flush t =
+  Array.fill t.pmaps 0 (Array.length t.pmaps) (-1);
+  Array.fill t.vpages 0 (Array.length t.vpages) (-1);
+  Array.fill t.slots 0 (Array.length t.slots) None
+
+let hits t = t.hits
+let misses t = t.misses
+let shootdowns t = t.shootdowns

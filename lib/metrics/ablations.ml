@@ -17,39 +17,45 @@ type threshold_row = {
 
 let default_thresholds = [ Some 0; Some 1; Some 2; Some 4; Some 8; Some 16; None ]
 
-let threshold_sweep ?apps ?(thresholds = default_thresholds)
+let threshold_sweep ?apps ?jobs ?(thresholds = default_thresholds)
     ?(spec = Runner.default_spec) () =
   let apps =
     match apps with
     | Some l -> l
     | None -> [ Option.get (Numa_apps.Registry.find "primes3") ]
   in
-  List.concat_map
-    (fun (app : App_sig.t) ->
-      (* T_local once per app, to derive gamma per threshold. *)
-      let local_spec = { spec with Runner.n_cpus = 1; nthreads = 1 } in
-      let r_local = Runner.run app local_spec in
-      let t_local = Report.total_user_s r_local in
-      List.map
-        (fun threshold ->
-          let policy =
-            match threshold with
-            | Some t -> System.Move_limit { threshold = t }
-            | None -> System.Never_pin
-          in
-          let r = Runner.run app { spec with Runner.policy } in
-          let t_numa = Report.total_user_s r in
-          {
-            ts_app = app.App_sig.name;
-            ts_threshold = threshold;
-            ts_t_numa = t_numa;
-            ts_t_system = Report.total_system_s r;
-            ts_gamma = t_numa /. t_local;
-            ts_moves = r.Report.numa_moves;
-            ts_pins = r.Report.pins;
-          })
-        thresholds)
-    apps
+  (* T_local once per app, to derive gamma per threshold. *)
+  let local_spec = { spec with Runner.n_cpus = 1; nthreads = 1 } in
+  let t_locals =
+    Parallel.map ?jobs
+      (fun (app : App_sig.t) -> Report.total_user_s (Runner.run app local_spec))
+      apps
+  in
+  let work =
+    List.concat_map
+      (fun ((app : App_sig.t), t_local) ->
+        List.map (fun threshold -> (app, t_local, threshold)) thresholds)
+      (List.combine apps t_locals)
+  in
+  Parallel.map ?jobs
+    (fun ((app : App_sig.t), t_local, threshold) ->
+      let policy =
+        match threshold with
+        | Some t -> System.Move_limit { threshold = t }
+        | None -> System.Never_pin
+      in
+      let r = Runner.run app { spec with Runner.policy } in
+      let t_numa = Report.total_user_s r in
+      {
+        ts_app = app.App_sig.name;
+        ts_threshold = threshold;
+        ts_t_numa = t_numa;
+        ts_t_system = Report.total_system_s r;
+        ts_gamma = t_numa /. t_local;
+        ts_moves = r.Report.numa_moves;
+        ts_pins = r.Report.pins;
+      })
+    work
 
 let render_threshold_sweep rows =
   let table =
@@ -90,14 +96,14 @@ type scheduler_row = {
   sc_slowdown : float;
 }
 
-let scheduler_study ?apps ?(spec = Runner.default_spec) () =
+let scheduler_study ?apps ?jobs ?(spec = Runner.default_spec) () =
   let apps =
     match apps with
     | Some l -> l
     | None ->
         List.filter_map Numa_apps.Registry.find [ "imatmult"; "fft"; "plytrace" ]
   in
-  List.map
+  Parallel.map ?jobs
     (fun (app : App_sig.t) ->
       let affinity =
         Runner.run app { spec with Runner.scheduler = Numa_sim.Engine.Affinity }
@@ -149,12 +155,12 @@ let render_scheduler_study rows =
 
 type gl_row = { gl_factor : float; gl_ratio : float; gl_gamma : float; gl_alpha : float }
 
-let gl_sweep ?app ?(factors = [ 0.75; 1.0; 1.5; 2.0; 3.0 ]) ?(spec = Runner.default_spec)
-    () =
+let gl_sweep ?app ?jobs ?(factors = [ 0.75; 1.0; 1.5; 2.0; 3.0 ])
+    ?(spec = Runner.default_spec) () =
   let app =
     match app with Some a -> a | None -> Option.get (Numa_apps.Registry.find "fft")
   in
-  List.map
+  Parallel.map ?jobs
     (fun factor ->
       let tweak (c : Numa_machine.Config.t) =
         {
@@ -307,30 +313,36 @@ type cpu_row = {
   cs_alpha_counted : float;
 }
 
-let cpu_sweep ?apps ?(cpu_counts = [ 2; 4; 6; 8 ]) ?(spec = Runner.default_spec) () =
+let cpu_sweep ?apps ?jobs ?(cpu_counts = [ 2; 4; 6; 8 ]) ?(spec = Runner.default_spec) () =
   let apps =
     match apps with
     | Some l -> l
     | None -> List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3" ]
   in
-  List.concat_map
-    (fun (app : App_sig.t) ->
-      let t_local =
-        Report.total_user_s (Runner.run app { spec with Runner.n_cpus = 1; nthreads = 1 })
-      in
-      List.map
-        (fun cpus ->
-          let r = Runner.run app { spec with Runner.n_cpus = cpus; nthreads = cpus } in
-          let t_numa = Report.total_user_s r in
-          {
-            cs_app = app.App_sig.name;
-            cs_cpus = cpus;
-            cs_t_numa = t_numa;
-            cs_gamma = (if t_local > 0. then t_numa /. t_local else 0.);
-            cs_alpha_counted = r.Report.alpha_counted;
-          })
-        cpu_counts)
-    apps
+  let t_locals =
+    Parallel.map ?jobs
+      (fun (app : App_sig.t) ->
+        Report.total_user_s (Runner.run app { spec with Runner.n_cpus = 1; nthreads = 1 }))
+      apps
+  in
+  let work =
+    List.concat_map
+      (fun ((app : App_sig.t), t_local) ->
+        List.map (fun cpus -> (app, t_local, cpus)) cpu_counts)
+      (List.combine apps t_locals)
+  in
+  Parallel.map ?jobs
+    (fun ((app : App_sig.t), t_local, cpus) ->
+      let r = Runner.run app { spec with Runner.n_cpus = cpus; nthreads = cpus } in
+      let t_numa = Report.total_user_s r in
+      {
+        cs_app = app.App_sig.name;
+        cs_cpus = cpus;
+        cs_t_numa = t_numa;
+        cs_gamma = (if t_local > 0. then t_numa /. t_local else 0.);
+        cs_alpha_counted = r.Report.alpha_counted;
+      })
+    work
 
 let render_cpu_sweep rows =
   let table =
@@ -368,13 +380,13 @@ type butterfly_row = {
   bf_alpha_butterfly : float;
 }
 
-let butterfly_study ?apps ?(spec = Runner.default_spec) () =
+let butterfly_study ?apps ?jobs ?(spec = Runner.default_spec) () =
   let apps =
     match apps with
     | Some l -> l
     | None -> List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3"; "fft" ]
   in
-  List.map
+  Parallel.map ?jobs
     (fun (app : App_sig.t) ->
       let measure tweak =
         Runner.measure app { spec with Runner.config_tweak = tweak }
@@ -430,12 +442,12 @@ type bus_row = {
   bu_gamma : float;
 }
 
-let bus_study ?app ?(bandwidths = [ 0.; 80.; 40.; 20.; 10. ]) ?(spec = Runner.default_spec)
-    () =
+let bus_study ?app ?jobs ?(bandwidths = [ 0.; 80.; 40.; 20.; 10. ])
+    ?(spec = Runner.default_spec) () =
   let app =
     match app with Some a -> a | None -> Option.get (Numa_apps.Registry.find "gfetch")
   in
-  List.map
+  Parallel.map ?jobs
     (fun mb_s ->
       let words_per_ns = mb_s *. 1e6 /. 4. /. 1e9 in
       let tweak (c : Numa_machine.Config.t) =

@@ -17,10 +17,14 @@ type threshold_row = {
 
 val threshold_sweep :
   ?apps:Numa_apps.App_sig.t list ->
+  ?jobs:int ->
   ?thresholds:int option list ->
   ?spec:Runner.run_spec ->
   unit ->
   threshold_row list
+(** [?jobs] here and in the other sweeps distributes the independent runs
+    over that many domains ({!Parallel.map}); rows come back in the same
+    order, with the same values, as the sequential sweep. *)
 
 val render_threshold_sweep : threshold_row list -> string
 
@@ -34,7 +38,8 @@ type scheduler_row = {
 }
 
 val scheduler_study :
-  ?apps:Numa_apps.App_sig.t list -> ?spec:Runner.run_spec -> unit -> scheduler_row list
+  ?apps:Numa_apps.App_sig.t list -> ?jobs:int -> ?spec:Runner.run_spec -> unit ->
+  scheduler_row list
 
 val render_scheduler_study : scheduler_row list -> string
 
@@ -48,8 +53,8 @@ type gl_row = {
 }
 
 val gl_sweep :
-  ?app:Numa_apps.App_sig.t -> ?factors:float list -> ?spec:Runner.run_spec -> unit ->
-  gl_row list
+  ?app:Numa_apps.App_sig.t -> ?jobs:int -> ?factors:float list -> ?spec:Runner.run_spec ->
+  unit -> gl_row list
 
 val render_gl_sweep : gl_row list -> string
 
@@ -91,8 +96,8 @@ type cpu_row = {
 }
 
 val cpu_sweep :
-  ?apps:Numa_apps.App_sig.t list -> ?cpu_counts:int list -> ?spec:Runner.run_spec ->
-  unit -> cpu_row list
+  ?apps:Numa_apps.App_sig.t list -> ?jobs:int -> ?cpu_counts:int list ->
+  ?spec:Runner.run_spec -> unit -> cpu_row list
 (** The paper's method requires measurements "not vary too much with the
     number of processors"; this sweep checks that requirement for our
     programs (T_numa and alpha across 2-8 CPUs). *)
@@ -110,7 +115,8 @@ type butterfly_row = {
 }
 
 val butterfly_study :
-  ?apps:Numa_apps.App_sig.t list -> ?spec:Runner.run_spec -> unit -> butterfly_row list
+  ?apps:Numa_apps.App_sig.t list -> ?jobs:int -> ?spec:Runner.run_spec -> unit ->
+  butterfly_row list
 (** The same programs on a machine whose shared level is as slow as remote
     memory (no physically global memory): placement quality (alpha) is
     machine-independent, but the penalty for the residual shared
@@ -129,8 +135,8 @@ type bus_row = {
 }
 
 val bus_study :
-  ?app:Numa_apps.App_sig.t -> ?bandwidths:float list -> ?spec:Runner.run_spec -> unit ->
-  bus_row list
+  ?app:Numa_apps.App_sig.t -> ?jobs:int -> ?bandwidths:float list ->
+  ?spec:Runner.run_spec -> unit -> bus_row list
 (** Sweep the IPC-bus bandwidth (MB/s) for a global-memory-intensive
     program (default gfetch) and show where the paper's "relatively free
     of bus contention" assumption breaks: with the real 80 MB/s bus the

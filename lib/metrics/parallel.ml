@@ -1,0 +1,35 @@
+let sequential_map f items = List.map f items
+
+let domain_map ~jobs f (items : 'a list) =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results : ('b, exn * Printexc.raw_backtrace) result option array =
+    Array.make n None
+  in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      let r =
+        try Ok (f items.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r;
+      worker ()
+    end
+  in
+  let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+       results)
+
+let map ?(jobs = 1) f items =
+  let n = List.length items in
+  let jobs = min (max jobs 1) (max n 1) in
+  if jobs = 1 then sequential_map f items else domain_map ~jobs f items

@@ -1,0 +1,20 @@
+(** Order-preserving parallel map over OCaml domains.
+
+    The experiment matrix is embarrassingly parallel: every simulated run
+    builds a fresh {!Numa_system.System.t} and shares no mutable state
+    with any other run, so runs distribute across domains freely and each
+    produces the identical (deterministic) report it would produce
+    sequentially — only wall-clock changes. Results come back in input
+    order regardless of completion order, so downstream table renderers
+    see exactly the sequential output.
+
+    Work is handed out through a single atomic cursor (self-balancing:
+    long runs do not stall short ones behind a static partition). If any
+    [f] raises, the first failing item's exception is re-raised (with its
+    backtrace) after all domains join; remaining items still run. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] is [List.map f items] evaluated on [jobs] domains
+    ([jobs <= 1], the default, runs plain sequential [List.map] on the
+    calling domain — no domain is spawned). [jobs] is clamped to the item
+    count. *)

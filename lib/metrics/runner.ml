@@ -84,6 +84,8 @@ let measure (app : Numa_apps.App_sig.t) spec =
     r_local;
   }
 
+let measure_many ?jobs apps spec = Parallel.map ?jobs (fun app -> measure app spec) apps
+
 module Json = Numa_obs.Json
 
 let times_to_json (tm : Model.times) =

@@ -44,6 +44,12 @@ val measure : Numa_apps.App_sig.t -> run_spec -> measurement
     machine; then the derived model parameters. [spec.policy] is the policy
     measured as "numa". *)
 
+val measure_many :
+  ?jobs:int -> Numa_apps.App_sig.t list -> run_spec -> measurement list
+(** {!measure} for each application, distributed over [jobs] domains
+    ({!Parallel.map}); results are in application order and identical to
+    the sequential ones. *)
+
 val times_to_json : Model.times -> Numa_obs.Json.t
 
 val measurement_to_json : measurement -> Numa_obs.Json.t

@@ -2,13 +2,11 @@ open Numa_util
 
 type row = { m : Runner.measurement; alpha_counted : float }
 
-let run ?apps ?(spec = Runner.default_spec) () =
+let run ?apps ?jobs ?(spec = Runner.default_spec) () =
   let apps = match apps with Some l -> l | None -> Numa_apps.Registry.table3 in
   List.map
-    (fun app ->
-      let m = Runner.measure app spec in
-      { m; alpha_counted = m.Runner.r_numa.Numa_system.Report.alpha_counted })
-    apps
+    (fun m -> { m; alpha_counted = m.Runner.r_numa.Numa_system.Report.alpha_counted })
+    (Runner.measure_many ?jobs apps spec)
 
 (* ParMult's alpha is meaningless (beta = 0 means the denominator of
    equation 4 is measurement noise); the paper prints "na". We apply the

@@ -8,10 +8,17 @@ type row = {
           model-derived value *)
 }
 
-val run : ?apps:Numa_apps.App_sig.t list -> ?spec:Runner.run_spec -> unit -> row list
+val run :
+  ?apps:Numa_apps.App_sig.t list ->
+  ?jobs:int ->
+  ?spec:Runner.run_spec ->
+  unit ->
+  row list
 (** Runs the full three-measurement protocol for every application
-    (default: the paper's eight, at the default spec). This is the
-    heavyweight entry point behind [bench/main.exe table3]. *)
+    (default: the paper's eight, at the default spec), distributing
+    applications over [jobs] domains ({!Parallel.map}; default
+    sequential). This is the heavyweight entry point behind
+    [bench/main.exe table3]. *)
 
 val render : row list -> string
 (** The table in the paper's layout (T_global, T_numa, T_local, alpha,

@@ -18,8 +18,10 @@ type t =
   | Bus_queued of { cpu : int; words : int; delay_ns : float }
   | Lock_acquired of { lock_id : int; cpu : int; tid : int }
   | Lock_contended of { lock_id : int; cpu : int; tid : int }
+  | Lock_released of { lock_id : int; cpu : int; tid : int }
   | Dispatch of { tid : int; cpu : int; name : string }
   | Syscall of { tid : int; cpu : int; service_ns : float }
+  | Tlb_shootdown of { cpu : int; vpage : int; lpage : int }
 
 let name = function
   | Fault_resolved _ -> "fault_resolved"
@@ -37,8 +39,10 @@ let name = function
   | Bus_queued _ -> "bus_queued"
   | Lock_acquired _ -> "lock_acquired"
   | Lock_contended _ -> "lock_contended"
+  | Lock_released _ -> "lock_released"
   | Dispatch _ -> "dispatch"
   | Syscall _ -> "syscall"
+  | Tlb_shootdown _ -> "tlb_shootdown"
 
 type lane = Cpu_lane of int | Protocol_lane
 
@@ -55,8 +59,10 @@ let lane = function
   | Bus_queued { cpu; _ }
   | Lock_acquired { cpu; _ }
   | Lock_contended { cpu; _ }
+  | Lock_released { cpu; _ }
   | Dispatch { cpu; _ }
-  | Syscall { cpu; _ } ->
+  | Syscall { cpu; _ }
+  | Tlb_shootdown { cpu; _ } ->
       Cpu_lane cpu
 
 let lpage = function
@@ -70,9 +76,11 @@ let lpage = function
   | Sync_to_global { lpage; _ }
   | Zero_fill { lpage; _ }
   | Local_fallback { lpage; _ }
-  | Page_freed { lpage; _ } ->
+  | Page_freed { lpage; _ }
+  | Tlb_shootdown { lpage; _ } ->
       Some lpage
-  | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Dispatch _ | Syscall _ ->
+  | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Lock_released _
+  | Dispatch _ | Syscall _ ->
       None
 
 let args ev : (string * Json.t) list =
@@ -116,12 +124,16 @@ let args ev : (string * Json.t) list =
       ]
   | Bus_queued { cpu; words; delay_ns } ->
       [ ("cpu", Json.Int cpu); ("words", Json.Int words); ("delay_ns", Json.Float delay_ns) ]
-  | Lock_acquired { lock_id; cpu; tid } | Lock_contended { lock_id; cpu; tid } ->
+  | Lock_acquired { lock_id; cpu; tid }
+  | Lock_contended { lock_id; cpu; tid }
+  | Lock_released { lock_id; cpu; tid } ->
       [ ("lock", Json.Int lock_id); ("cpu", Json.Int cpu); ("tid", Json.Int tid) ]
   | Dispatch { tid; cpu; name } ->
       [ ("tid", Json.Int tid); ("cpu", Json.Int cpu); ("thread", Json.String name) ]
   | Syscall { tid; cpu; service_ns } ->
       [ ("tid", Json.Int tid); ("cpu", Json.Int cpu); ("service_ns", Json.Float service_ns) ]
+  | Tlb_shootdown { cpu; vpage; lpage } ->
+      [ ("cpu", Json.Int cpu); ("vpage", Json.Int vpage); ("lpage", Json.Int lpage) ]
 
 let describe ev =
   match ev with
@@ -159,7 +171,11 @@ let describe ev =
       Printf.sprintf "lock %d acquired by tid %d" lock_id tid
   | Lock_contended { lock_id; tid; _ } ->
       Printf.sprintf "lock %d contended (tid %d spinning)" lock_id tid
+  | Lock_released { lock_id; tid; _ } ->
+      Printf.sprintf "lock %d released by tid %d" lock_id tid
   | Dispatch { tid; cpu; name } ->
       Printf.sprintf "thread %d (%s) dispatched on cpu %d" tid name cpu
   | Syscall { tid; service_ns; _ } ->
       Printf.sprintf "syscall by tid %d (%.0f ns service)" tid service_ns
+  | Tlb_shootdown { cpu; vpage; _ } ->
+      Printf.sprintf "software-TLB entry for vpage %d shot down on cpu %d" vpage cpu

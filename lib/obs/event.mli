@@ -39,8 +39,14 @@ type t =
       (** traffic found a backlog on the IPC bus *)
   | Lock_acquired of { lock_id : int; cpu : int; tid : int }
   | Lock_contended of { lock_id : int; cpu : int; tid : int }
+  | Lock_released of { lock_id : int; cpu : int; tid : int }
+      (** the holder dropped the lock; closes the lane opened by
+          [Lock_acquired] in the Chrome trace *)
   | Dispatch of { tid : int; cpu : int; name : string }
   | Syscall of { tid : int; cpu : int; service_ns : float }
+  | Tlb_shootdown of { cpu : int; vpage : int; lpage : int }
+      (** a protocol action dropped a mapping that a CPU's software TLB was
+          caching; the stale translation was precisely invalidated *)
 
 val name : t -> string
 (** Stable snake_case tag, used as the Chrome trace event name. *)

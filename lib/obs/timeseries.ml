@@ -116,7 +116,8 @@ let record t ~ts (ev : Event.t) =
       a.a_fallbacks <- a.a_fallbacks + 1
   | Event.Fault_resolved _ | Event.Policy_decision _ | Event.Page_unpin _
   | Event.Zero_fill _ | Event.Page_freed _ | Event.Lock_acquired _
-  | Event.Lock_contended _ | Event.Dispatch _ | Event.Syscall _ ->
+  | Event.Lock_contended _ | Event.Lock_released _ | Event.Dispatch _
+  | Event.Syscall _ | Event.Tlb_shootdown _ ->
       ()
 
 let attach t hub = Hub.attach hub ~name:"timeseries" (fun ~ts ev -> record t ~ts ev)

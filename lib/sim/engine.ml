@@ -2,6 +2,10 @@ open Numa_machine
 
 type scheduler_mode = Affinity | Single_queue
 
+(* [Float.max] with the NaN handling stripped: virtual times are never
+   NaN, and this runs several times per event. Stays local so it inlines. *)
+let fmax (a : float) b = if a < b then b else a
+
 type config = {
   n_cpus : int;
   chunk_refs : int;
@@ -61,9 +65,12 @@ type t = {
   user : float array;
   system : float array;
   mutable vnow : float;
-  events : (float * int, int) Numa_util.Pairing_heap.t;  (* (time, seq) -> tid *)
+  events : Event_queue.t;  (* (time, seq) -> tid *)
   mutable seq : int;
   threads : (int, thread) Hashtbl.t;
+  mutable thread_by_tid : thread array;
+      (** flat tid index, rebuilt when [run] starts; threads cannot spawn
+          after that *)
   mutable next_tid : int;
   mutable live : int;
   mutable spawn_rr : int;  (* round-robin cursor for default CPU assignment *)
@@ -72,10 +79,6 @@ type t = {
   mutable running : bool;
   mutable completed : bool;
 }
-
-let cmp_key (t1, s1) (t2, s2) =
-  let c = Float.compare t1 t2 in
-  if c <> 0 then c else Int.compare s1 s2
 
 let create ?obs config ~memory ~scheduler =
   if config.n_cpus <= 0 then invalid_arg "Engine.create: n_cpus must be positive";
@@ -91,9 +94,10 @@ let create ?obs config ~memory ~scheduler =
     user = Array.make config.n_cpus 0.;
     system = Array.make config.n_cpus 0.;
     vnow = 0.;
-    events = Numa_util.Pairing_heap.create ~cmp:cmp_key;
+    events = Event_queue.create ();
     seq = 0;
     threads = Hashtbl.create 32;
+    thread_by_tid = [||];
     next_tid = 0;
     live = 0;
     spawn_rr = 0;
@@ -122,7 +126,7 @@ let make_barrier t ~vpage ~parties =
 
 let schedule t th time =
   th.ready_at <- time;
-  Numa_util.Pairing_heap.add t.events (time, t.seq) th.tid;
+  Event_queue.add t.events ~time ~seq:t.seq ~tid:th.tid;
   t.seq <- t.seq + 1
 
 let handler : (unit, step) Effect.Deep.handler =
@@ -236,7 +240,7 @@ let process_chunk t th ~cpu ~start pending =
           (* Busy: burn one poll interval in user state and try again. *)
           let rd = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Load ~count:1 ~value:0 in
           Sync.contend ~obs:t.obs l ~tid:th.tid ~cpu;
-          let d_user = Float.max rd.Memory_iface.user_ns t.config.spin_poll_ns in
+          let d_user = fmax rd.Memory_iface.user_ns t.config.spin_poll_ns in
           chunk ~d_user ~d_system:rd.Memory_iface.system_ns ())
   | P_unlock l ->
       (match l.Sync.holder with
@@ -245,8 +249,13 @@ let process_chunk t th ~cpu ~start pending =
           failwith
             (Printf.sprintf "thread %d (%s) released lock %d it does not hold" th.tid
                th.name l.Sync.lock_id));
-      Sync.release l;
+      (* The releasing store happens while the thread still holds the lock;
+         only then does the holder flip. Anything the store triggers (fault
+         handling, bus traffic, its Refs event) is thereby accounted inside
+         the hold interval, and no other thread can observe the lock free
+         before the memory traffic that freed it exists. *)
       let wr = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Store ~count:1 ~value:0 in
+      Sync.release ~obs:t.obs l ~tid:th.tid ~cpu;
       chunk ~d_user:wr.Memory_iface.user_ns ~d_system:wr.Memory_iface.system_ns
         ~completed:true ()
   | P_barrier pb ->
@@ -278,7 +287,7 @@ let process_chunk t th ~cpu ~start pending =
           ~completed:true ()
       else
         let rd = access t th ~cpu ~vpage:b.Sync.barrier_vpage ~access:Access.Load ~count:1 ~value:0 in
-        let d_user = Float.max rd.Memory_iface.user_ns t.config.spin_poll_ns in
+        let d_user = fmax rd.Memory_iface.user_ns t.config.spin_poll_ns in
         chunk ~d_user ~d_system:rd.Memory_iface.system_ns ()
   | P_migrate { target } ->
       if target < 0 || target >= t.config.n_cpus then
@@ -289,13 +298,13 @@ let process_chunk t th ~cpu ~start pending =
       (* A reschedule: the thread resumes on the target once it is past
          both its own time and the target's clock; the dispatch work is
          system time there. *)
-      let resume = Float.max start t.clock.(target) +. 50_000. in
+      let resume = fmax start t.clock.(target) +. 50_000. in
       t.system.(target) <- t.system.(target) +. 50_000.;
       t.clock.(target) <- resume;
       chunk ~d_user:0. ~d_system:0. ~completed:true ~ready_override:resume ()
   | P_syscall { service_ns; touch_stack } ->
       let master = if t.config.unix_master then 0 else cpu in
-      let start_service = Float.max start t.clock.(master) in
+      let start_service = fmax start t.clock.(master) in
       let stack_ns =
         if touch_stack then
           match th.stack_vpage with
@@ -314,7 +323,7 @@ let process_chunk t th ~cpu ~start pending =
       if Numa_obs.Hub.enabled t.obs then
         Numa_obs.Hub.emit t.obs
           (Numa_obs.Event.Syscall { tid = th.tid; cpu = master; service_ns });
-      t.clock.(master) <- Float.max t.clock.(master) finish;
+      t.clock.(master) <- fmax t.clock.(master) finish;
       (* The calling thread was blocked, not computing: its own CPU accrues
          neither user nor system time; it resumes when the call returns. *)
       chunk ~d_user:0. ~d_system:0. ~completed:true ~ready_override:finish ()
@@ -342,8 +351,11 @@ let finish_thread t th =
    event is due earlier. *)
 let turn t th =
   let cpu = pick_cpu t th in
-  let start = Float.max th.ready_at t.clock.(cpu) in
-  t.vnow <- start;
+  let start = fmax th.ready_at t.clock.(cpu) in
+  (* The virtual clock is monotone: a turn that starts on a CPU whose
+     local clock lags another CPU's must not drag [vnow] (and with it
+     every observability timestamp) backwards. *)
+  t.vnow <- fmax t.vnow start;
   if Numa_obs.Hub.enabled t.obs then
     Numa_obs.Hub.emit t.obs
       (Numa_obs.Event.Dispatch { tid = th.tid; cpu; name = th.name });
@@ -361,7 +373,7 @@ let turn t th =
               t.clock.(cpu) <- start +. o.d_user +. o.d_system;
               t.clock.(cpu)
         in
-        t.vnow <- Float.max t.vnow after;
+        t.vnow <- fmax t.vnow after;
         if not o.completed then schedule t th after
         else begin
           th.pending <- None;
@@ -377,11 +389,7 @@ let turn t th =
                   (* Keep running inline while no other event is due first;
                      avoids heap churn for single-threaded phases. *)
                   let can_inline =
-                    o.ready_override = None
-                    &&
-                    match Numa_util.Pairing_heap.min_elt t.events with
-                    | None -> true
-                    | Some ((time, _), _) -> time >= after
+                    o.ready_override = None && Event_queue.min_time t.events >= after
                   in
                   if can_inline then begin
                     t.n_events <- t.n_events + 1;
@@ -397,20 +405,24 @@ let turn t th =
 let run t =
   if t.running || t.completed then invalid_arg "Engine.run: already running";
   t.running <- true;
+  t.thread_by_tid <-
+    Array.init t.next_tid (fun tid -> Hashtbl.find t.threads tid);
   let rec loop () =
-    match Numa_util.Pairing_heap.pop_min t.events with
-    | None ->
-        if t.live > 0 then
-          raise
-            (Deadlock
-               (Printf.sprintf "%d thread(s) blocked with no runnable events" t.live))
-    | Some (_, tid) ->
-        t.n_events <- t.n_events + 1;
-        if t.n_events > t.config.max_events then
-          failwith "Engine.run: event budget exceeded";
-        let th = Hashtbl.find t.threads tid in
-        if not th.finished then turn t th;
-        loop ()
+    let tid = Event_queue.pop_min t.events in
+    if tid < 0 then begin
+      if t.live > 0 then
+        raise
+          (Deadlock
+             (Printf.sprintf "%d thread(s) blocked with no runnable events" t.live))
+    end
+    else begin
+      t.n_events <- t.n_events + 1;
+      if t.n_events > t.config.max_events then
+        failwith "Engine.run: event budget exceeded";
+      let th = t.thread_by_tid.(tid) in
+      if not th.finished then turn t th;
+      loop ()
+    end
   in
   loop ();
   t.running <- false;

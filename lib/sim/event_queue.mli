@@ -1,0 +1,25 @@
+(** The engine's ready queue: a pairing heap specialised to
+    (virtual time, sequence number) keys carrying a thread id.
+
+    A monomorphic twin of {!Numa_util.Pairing_heap} for the simulator's
+    hottest structure: the comparison is inlined (no closure call per
+    meld), keys are unboxed fields rather than tuples, and the empty
+    checks ({!min_time}, {!pop_min}) allocate nothing. Ties on time pop
+    in insertion (sequence) order, which the engine relies on for
+    deterministic scheduling. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val add : t -> time:float -> seq:int -> tid:int -> unit
+
+val min_time : t -> float
+(** Earliest queued time, or [infinity] when empty. *)
+
+val pop_min : t -> int
+(** Remove and return the earliest entry's tid, or [-1] when empty. *)
+
+val clear : t -> unit

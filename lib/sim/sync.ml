@@ -41,4 +41,10 @@ let contend ?obs l ~tid ~cpu =
         (Numa_obs.Event.Lock_contended { lock_id = l.lock_id; cpu; tid })
   | Some _ | None -> ()
 
-let release l = l.holder <- None
+let release ?obs l ~tid ~cpu =
+  l.holder <- None;
+  match obs with
+  | Some hub when Numa_obs.Hub.enabled hub ->
+      Numa_obs.Hub.emit hub
+        (Numa_obs.Event.Lock_released { lock_id = l.lock_id; cpu; tid })
+  | Some _ | None -> ()

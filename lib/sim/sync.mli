@@ -37,4 +37,6 @@ val contend : ?obs:Numa_obs.Hub.t -> lock -> tid:int -> cpu:int -> unit
 (** Failed test-and-set poll: bump the contention count and emit
     {!Numa_obs.Event.Lock_contended}. *)
 
-val release : lock -> unit
+val release : ?obs:Numa_obs.Hub.t -> lock -> tid:int -> cpu:int -> unit
+(** Clear the holder and emit {!Numa_obs.Event.Lock_released}, so the
+    event stream brackets every hold interval. *)

@@ -48,6 +48,9 @@ type t = {
   numa_zero_fills_local : int;
   numa_zero_fills_global : int;
   numa_local_fallbacks : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_shootdowns : int;
   pins : int;
   placement : (string * int) list;
   policy_info : (string * string) list;
@@ -88,6 +91,12 @@ let pp ppf t =
     t.numa_zero_fills_local t.numa_zero_fills_global t.numa_local_fallbacks t.pins;
   Format.fprintf ppf "locks: %d acquisitions, %d contended polls@," t.lock_acquisitions
     t.lock_contended_polls;
+  (if t.tlb_hits + t.tlb_misses > 0 then
+     let rate =
+       float_of_int t.tlb_hits /. float_of_int (t.tlb_hits + t.tlb_misses)
+     in
+     Format.fprintf ppf "tlb: %d hits, %d misses (%.2f%% hit), %d shootdowns@,"
+       t.tlb_hits t.tlb_misses (100. *. rate) t.tlb_shootdowns);
   if t.bus_delay_ns > 0. then
     Format.fprintf ppf "bus: %d words, %.3f s queueing delay@," t.bus_words
       (t.bus_delay_ns /. 1e9);
@@ -152,6 +161,19 @@ let to_json t =
             ("zero_fills_local", Json.Int t.numa_zero_fills_local);
             ("zero_fills_global", Json.Int t.numa_zero_fills_global);
             ("local_fallbacks", Json.Int t.numa_local_fallbacks);
+          ] );
+      ( "tlb",
+        Json.Obj
+          [
+            ("hits", Json.Int t.tlb_hits);
+            ("misses", Json.Int t.tlb_misses);
+            ("shootdowns", Json.Int t.tlb_shootdowns);
+            ( "hit_rate",
+              Json.Float
+                (if t.tlb_hits + t.tlb_misses = 0 then 0.
+                 else
+                   float_of_int t.tlb_hits
+                   /. float_of_int (t.tlb_hits + t.tlb_misses)) );
           ] );
       ("pins", Json.Int t.pins);
       ("placement", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) t.placement));

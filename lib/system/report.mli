@@ -44,6 +44,9 @@ type t = {
   numa_zero_fills_local : int;
   numa_zero_fills_global : int;
   numa_local_fallbacks : int;
+  tlb_hits : int;  (** software-TLB fast-path translations *)
+  tlb_misses : int;  (** translations that walked the MMU hash table *)
+  tlb_shootdowns : int;  (** live cached translations invalidated by protocol actions *)
   pins : int;  (** pages pinned in global by the policy *)
   placement : (string * int) list;  (** final logical-page states *)
   policy_info : (string * string) list;

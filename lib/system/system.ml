@@ -25,6 +25,8 @@ type region = {
   attr : Region_attr.t;
   obj : Numa_vm.Vm_object.t;
   task : Numa_vm.Task.t;
+  counts : Report.ref_counts;  (** shared by all regions with the same name *)
+  writable_data : bool;  (** cached [Region_attr.is_writable_data attr] *)
 }
 
 type access_event = {
@@ -42,6 +44,11 @@ type t = {
   config : Config.t;
   obs : Numa_obs.Hub.t;
   pmap_mgr : Numa_core.Pmap_manager.t;
+  mmu : Mmu.t;
+  frames : Frame_table.t;
+  ref_ns : float array;
+      (** per-reference user cost by [2 * where + access], precomputed
+          from the config so the access path does no cost-model calls *)
   ops : Numa_vm.Pmap_intf.ops;
   pool : Numa_vm.Lpage_pool.t;
   task : Numa_vm.Task.t;
@@ -61,6 +68,14 @@ type t = {
   refs_writable : Report.ref_counts;
   per_region : (string, Report.ref_counts) Hashtbl.t;
   mutable hook : (access_event -> unit) option;
+  mutable tasks_by_tid : Numa_vm.Task.t array;
+      (** tid -> owning task, rebuilt when stale; valid only while
+          [caches_valid] *)
+  mutable regions_by_task : region option array array;
+      (** task id -> vpage -> region, flat mirror of [regions_by_vpage] *)
+  mutable caches_valid : bool;
+      (** workload construction (spawn, alloc_region, map_shared) flips
+          this off; the first access after that rebuilds both arrays *)
   mutable accesses_since_scan : int;
   reconsider_interval : int;
       (** access-count period of the reconsideration daemon (only matters
@@ -88,6 +103,30 @@ let region_counts t name =
 
 (* --- the memory interface handed to the engine ------------------------ *)
 
+(* Threads and regions are fixed once the engine starts, so the per-access
+   path indexes flat arrays instead of hashing (tid, task, vpage) tuples
+   on every reference. Any construction call invalidates the caches. *)
+let rebuild_caches t =
+  let tasks = Array.make (max 1 t.n_threads) t.task in
+  Hashtbl.iter
+    (fun tid task -> if tid < Array.length tasks then tasks.(tid) <- task)
+    t.task_of_tid;
+  let by_task = Array.make t.next_task_id [||] in
+  Hashtbl.iter
+    (fun (task_id, vpage) region ->
+      if task_id < Array.length by_task then begin
+        if vpage >= Array.length by_task.(task_id) then begin
+          let grown = Array.make (vpage + 1) None in
+          Array.blit by_task.(task_id) 0 grown 0 (Array.length by_task.(task_id));
+          by_task.(task_id) <- grown
+        end;
+        by_task.(task_id).(vpage) <- Some region
+      end)
+    t.regions_by_vpage;
+  t.tasks_by_tid <- tasks;
+  t.regions_by_task <- by_task;
+  t.caches_valid <- true
+
 let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
   (* Reconsideration daemon: a cheap periodic tick piggybacked on the
      access stream (the real system would use a kernel timer). *)
@@ -96,23 +135,31 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
     t.accesses_since_scan <- 0;
     ignore (Numa_core.Pmap_manager.reconsider_scan t.pmap_mgr)
   end;
+  if not t.caches_valid then rebuild_caches t;
   (* Resolve the reference in the issuing thread's address space. *)
   let thread_task =
-    match Hashtbl.find_opt t.task_of_tid tid with Some task -> task | None -> t.task
+    if tid < Array.length t.tasks_by_tid then t.tasks_by_tid.(tid) else t.task
+  in
+  let task_id = thread_task.Numa_vm.Task.id in
+  let vpages =
+    if task_id < Array.length t.regions_by_task then t.regions_by_task.(task_id)
+    else [||]
   in
   let region =
-    match Hashtbl.find_opt t.regions_by_vpage (thread_task.Numa_vm.Task.id, vpage) with
+    match if vpage < Array.length vpages then vpages.(vpage) else None with
     | Some r -> r
     | None ->
         failwith
-          (Printf.sprintf "access to unmapped virtual page %d in task %d" vpage
-             thread_task.Numa_vm.Task.id)
+          (Printf.sprintf "access to unmapped virtual page %d in task %d" vpage task_id)
   in
   let pmap = thread_task.Numa_vm.Task.pmap in
+  (* Stable references resolve through the CPU's software TLB in O(1);
+     only faults (and the retry after resolving one) walk the MMU hash
+     table and the fault path below it. *)
   let rec ensure attempts =
     if attempts > 3 then failwith "fault loop did not converge";
-    match t.ops.Numa_vm.Pmap_intf.resident ~pmap ~cpu ~vpage with
-    | Some (prot, where) when Prot.allows prot kind -> where
+    match Mmu.translate t.mmu ~pmap ~cpu ~vpage with
+    | Some e when Prot.allows e.Mmu.prot kind -> e
     | Some _ | None -> (
         match Numa_vm.Fault.handle t.fault_ctx thread_task ~cpu ~vpage ~access:kind with
         | Ok () -> ensure (attempts + 1)
@@ -121,13 +168,17 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
               (Printf.sprintf "page fault failed at vpage %d: %s" vpage
                  (Numa_vm.Fault.error_to_string e)))
   in
-  let where = ensure 0 in
+  let entry = ensure 0 in
+  let where = Mmu.phys_location ~cpu entry.Mmu.phys in
+  let where_idx =
+    match where with Location.Local_here -> 0 | Location.In_global -> 1
+    | Location.Remote_local -> 2
+  in
   let bus_delay =
-    match where with
-    | Location.In_global | Location.Remote_local ->
-        (* Global and remote traffic crosses the IPC bus. *)
-        Bus.delay_ns ~cpu t.bus ~now:(Engine.now t.engine) ~words:count
-    | Location.Local_here -> 0.
+    if where_idx = 0 then 0.
+    else
+      (* Global and remote traffic crosses the IPC bus. *)
+      Bus.delay_ns ~cpu t.bus ~now:(Engine.now t.engine) ~words:count
   in
   if Numa_obs.Hub.enabled t.obs then begin
     let loc =
@@ -139,21 +190,31 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
     Numa_obs.Hub.emit t.obs
       (Numa_obs.Event.Refs { cpu; n = count; write = kind = Access.Store; loc })
   end;
-  let user_ns = Cost.references_ns t.config ~access:kind ~where ~count +. bus_delay in
+  let cost_idx =
+    (2 * where_idx) + match kind with Access.Load -> 0 | Access.Store -> 1
+  in
+  let user_ns = (float_of_int count *. t.ref_ns.(cost_idx)) +. bus_delay in
   let system_ns =
     Cost_sink.drain (Numa_core.Pmap_manager.sink t.pmap_mgr) ~cpu
   in
   let value =
     match kind with
-    | Access.Store ->
-        t.ops.Numa_vm.Pmap_intf.write_slot ~pmap ~cpu ~vpage value;
-        value
-    | Access.Load -> t.ops.Numa_vm.Pmap_intf.read_slot ~pmap ~cpu ~vpage
+    | Access.Store -> (
+        match entry.Mmu.phys with
+        | Mmu.Frame f ->
+            Frame_table.write_local f value;
+            value
+        | Mmu.Global_frame l ->
+            Frame_table.write_global t.frames ~lpage:l value;
+            value)
+    | Access.Load -> (
+        match entry.Mmu.phys with
+        | Mmu.Frame f -> Frame_table.read_local f
+        | Mmu.Global_frame l -> Frame_table.read_global t.frames ~lpage:l)
   in
   bump t.refs_all ~kind ~where ~count;
-  if Region_attr.is_writable_data region.attr then
-    bump t.refs_writable ~kind ~where ~count;
-  bump (region_counts t region.attr.Region_attr.name) ~kind ~where ~count;
+  if region.writable_data then bump t.refs_writable ~kind ~where ~count;
+  bump region.counts ~kind ~where ~count;
   (match t.hook with
   | None -> ()
   | Some f ->
@@ -239,6 +300,16 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       config;
       obs;
       pmap_mgr;
+      mmu = Numa_core.Pmap_manager.mmu pmap_mgr;
+      frames = Numa_core.Pmap_manager.frames pmap_mgr;
+      ref_ns =
+        (let wheres =
+           [| Location.Local_here; Location.In_global; Location.Remote_local |]
+         in
+         Array.init 6 (fun i ->
+             Cost.reference_ns config
+               ~access:(if i land 1 = 0 then Access.Load else Access.Store)
+               ~where:wheres.(i / 2)));
       ops;
       pool;
       task;
@@ -258,6 +329,9 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       refs_writable = Report.zero_counts ();
       per_region = Hashtbl.create 32;
       hook = None;
+      tasks_by_tid = [||];
+      regions_by_task = [||];
+      caches_valid = false;
       accesses_since_scan = 0;
       reconsider_interval = 512;
     }
@@ -274,11 +348,20 @@ let register_region t ?pragma ~(task : Numa_vm.Task.t) ~attr ~obj ~pages ~max_pr
       ~max_prot ~attr ()
   in
   let region =
-    { base_vpage = vm_region.Numa_vm.Vm_map.base_vpage; pages; attr; obj; task }
+    {
+      base_vpage = vm_region.Numa_vm.Vm_map.base_vpage;
+      pages;
+      attr;
+      obj;
+      task;
+      counts = region_counts t attr.Region_attr.name;
+      writable_data = Region_attr.is_writable_data attr;
+    }
   in
   for v = region.base_vpage to region.base_vpage + pages - 1 do
     Hashtbl.replace t.regions_by_vpage (task.Numa_vm.Task.id, v) region
   done;
+  t.caches_valid <- false;
   (match pragma with
   | None -> ()
   | Some _ ->
@@ -307,6 +390,7 @@ let create_task t ~name =
   let task = Numa_vm.Task.create ~ops:t.ops ~id:t.next_task_id ~name in
   t.next_task_id <- t.next_task_id + 1;
   t.tasks <- task :: t.tasks;
+  t.caches_valid <- false;
   task
 
 let map_shared t ?pragma ~into source_region =
@@ -351,6 +435,7 @@ let spawn t ?cpu ?task ?(stack_pages = 1) ~name body =
   | Some task -> Hashtbl.replace t.task_of_tid tid task
   | None -> ());
   t.n_threads <- t.n_threads + 1;
+  t.caches_valid <- false;
   assert (tid = tid_guess);
   tid
 
@@ -361,6 +446,9 @@ let set_access_hook t hook = t.hook <- hook
 let run t =
   Engine.run t.engine;
   let stats = Numa_core.Pmap_manager.stats t.pmap_mgr in
+  stats.Numa_core.Numa_stats.tlb_hits <- Mmu.tlb_hits t.mmu;
+  stats.Numa_core.Numa_stats.tlb_misses <- Mmu.tlb_misses t.mmu;
+  stats.Numa_core.Numa_stats.tlb_shootdowns <- Mmu.tlb_shootdowns t.mmu;
   let pol = Numa_core.Pmap_manager.policy t.pmap_mgr in
   let n_cpus = t.config.Config.n_cpus in
   {
@@ -390,6 +478,9 @@ let run t =
     numa_zero_fills_local = stats.Numa_core.Numa_stats.zero_fills_local;
     numa_zero_fills_global = stats.Numa_core.Numa_stats.zero_fills_global;
     numa_local_fallbacks = stats.Numa_core.Numa_stats.local_fallbacks;
+    tlb_hits = stats.Numa_core.Numa_stats.tlb_hits;
+    tlb_misses = stats.Numa_core.Numa_stats.tlb_misses;
+    tlb_shootdowns = stats.Numa_core.Numa_stats.tlb_shootdowns;
     pins = pol.Policy.n_pinned ();
     placement = Numa_core.Pmap_manager.placement_summary t.pmap_mgr;
     policy_info = pol.Policy.info ();

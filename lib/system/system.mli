@@ -41,6 +41,9 @@ type region = private {
   attr : Numa_vm.Region_attr.t;
   obj : Numa_vm.Vm_object.t;
   task : Numa_vm.Task.t;  (** the address space the region lives in *)
+  counts : Report.ref_counts;
+      (** live reference tally; shared by all regions with the same name *)
+  writable_data : bool;  (** cached [Region_attr.is_writable_data attr] *)
 }
 
 type access_event = {

@@ -422,6 +422,49 @@ let test_policy_swap_keeps_state () =
   check_state env ~lpage:0 Numa_manager.Global_writable;
   check_inv env
 
+(* --- software-TLB shootdown through the protocol ------------------------ *)
+
+let test_tlb_shootdown_on_ownership_move () =
+  let env = make_env () in
+  let mmu = Pmap_manager.mmu env.mgr in
+  enter env ~cpu:0 ~lpage:0 ~access:Access.Store;
+  (* Warm CPU 0's software TLB: the first translate fills, the second hits. *)
+  (match Mmu.translate mmu ~pmap:env.pmap ~cpu:0 ~vpage:0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "mapping missing after the fault");
+  ignore (Mmu.translate mmu ~pmap:env.pmap ~cpu:0 ~vpage:0);
+  Alcotest.(check bool) "warm translation hits" true (Mmu.tlb_hits mmu >= 1);
+  let before = Mmu.tlb_shootdowns mmu in
+  (* A store from CPU 1 moves ownership; dropping CPU 0's mapping must also
+     shoot down its cached translation. *)
+  enter env ~cpu:1 ~lpage:0 ~access:Access.Store;
+  Alcotest.(check bool) "shootdown counted" true (Mmu.tlb_shootdowns mmu > before);
+  (* No stale fast path: the TLB agrees with the hash table. *)
+  Alcotest.(check bool) "cpu 0 translation gone" true
+    (Mmu.translate mmu ~pmap:env.pmap ~cpu:0 ~vpage:0 = None);
+  Alcotest.(check bool) "cpu 1 translation live" true
+    (Mmu.translate mmu ~pmap:env.pmap ~cpu:1 ~vpage:0 <> None);
+  check_inv env
+
+let test_tlb_shootdown_on_all_caching_cpus () =
+  let env = make_env () in
+  let mmu = Pmap_manager.mmu env.mgr in
+  (* Three readers replicate the page; warm each reader's TLB. *)
+  for cpu = 0 to 2 do
+    enter env ~cpu ~lpage:0 ~access:Access.Load;
+    ignore (Mmu.translate mmu ~pmap:env.pmap ~cpu ~vpage:0)
+  done;
+  let before = Mmu.tlb_shootdowns mmu in
+  (* The writer invalidates every replica: all cached translations die. *)
+  enter env ~cpu:3 ~lpage:0 ~access:Access.Store;
+  Alcotest.(check bool) "at least the readers' entries shot down" true
+    (Mmu.tlb_shootdowns mmu - before >= 3);
+  for cpu = 0 to 2 do
+    Alcotest.(check bool) "reader translation gone" true
+      (Mmu.translate mmu ~pmap:env.pmap ~cpu ~vpage:0 = None)
+  done;
+  check_inv env
+
 let suite =
   [
     Alcotest.test_case "move-limit policy" `Quick test_policy_move_limit;
@@ -456,4 +499,8 @@ let suite =
       test_homed_falls_back_when_home_full;
     Alcotest.test_case "placement summary" `Quick test_placement_summary;
     Alcotest.test_case "policy swap keeps state" `Quick test_policy_swap_keeps_state;
+    Alcotest.test_case "tlb shootdown on ownership move" `Quick
+      test_tlb_shootdown_on_ownership_move;
+    Alcotest.test_case "tlb shootdown on all caching cpus" `Quick
+      test_tlb_shootdown_on_all_caching_cpus;
   ]

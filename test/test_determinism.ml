@@ -81,6 +81,56 @@ let test_scale_monotonicity () =
   let user scale = (run_app "primes1" ~scale).Report.total_user_ns in
   Alcotest.(check bool) "monotone in scale" true (user 0.02 < user 0.06)
 
+(* --- byte-identical reports and the parallel runner ---------------------- *)
+
+let report_bytes r = Numa_obs.Json.to_string (Report.to_json r)
+
+let test_rerun_reports_byte_identical () =
+  (* Stronger than the fingerprint check: the entire serialized report —
+     every counter, every float, the TLB block — must match byte for byte
+     across two runs of the same (app, policy, seed). *)
+  List.iter
+    (fun name ->
+      let a = report_bytes (run_app name ~scale:0.03) in
+      let b = report_bytes (run_app name ~scale:0.03) in
+      Alcotest.(check string) (name ^ " report bytes") a b)
+    [ "imatmult"; "primes3" ]
+
+let test_parallel_map_matches_sequential () =
+  let items = List.init 37 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "order and values preserved" (List.map f items)
+    (Numa_metrics.Parallel.map ~jobs:4 f items);
+  Alcotest.(check (list int)) "more jobs than items" (List.map f items)
+    (Numa_metrics.Parallel.map ~jobs:64 f items);
+  Alcotest.(check (list int)) "empty input" []
+    (Numa_metrics.Parallel.map ~jobs:4 f [])
+
+let test_parallel_map_propagates_exceptions () =
+  match
+    Numa_metrics.Parallel.map ~jobs:3
+      (fun x -> if x = 5 then failwith "boom" else x)
+      (List.init 8 Fun.id)
+  with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
+
+let test_parallel_runner_bit_identical () =
+  (* The tentpole contract: distributing the measurement matrix over
+     domains changes wall-clock only. Every byte of every report — numa,
+     global and local runs alike — matches the sequential runner. *)
+  let apps = List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3"; "gfetch" ] in
+  let spec = { Runner.default_spec with Runner.scale = 0.05 } in
+  let seq = Runner.measure_many apps spec in
+  let par = Runner.measure_many ~jobs:2 apps spec in
+  Alcotest.(check int) "same number of measurements" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Runner.measurement) (b : Runner.measurement) ->
+      Alcotest.(check string) (a.Runner.app_name ^ " full measurement bytes")
+        (Numa_obs.Json.to_string (Runner.measurement_to_json a))
+        (Numa_obs.Json.to_string (Runner.measurement_to_json b)))
+    seq par
+
 let suite =
   [
     Alcotest.test_case "reruns are bit-identical" `Quick test_reruns_identical;
@@ -90,4 +140,12 @@ let suite =
     Alcotest.test_case "multi-thread chunk robustness" `Quick
       test_multithread_chunk_robustness;
     Alcotest.test_case "scale monotonicity" `Quick test_scale_monotonicity;
+    Alcotest.test_case "rerun reports byte-identical" `Quick
+      test_rerun_reports_byte_identical;
+    Alcotest.test_case "parallel map = sequential map" `Quick
+      test_parallel_map_matches_sequential;
+    Alcotest.test_case "parallel map propagates exceptions" `Quick
+      test_parallel_map_propagates_exceptions;
+    Alcotest.test_case "parallel runner bit-identical" `Quick
+      test_parallel_runner_bit_identical;
   ]

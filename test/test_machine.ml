@@ -206,6 +206,58 @@ let test_mmu_phys_location () =
   Alcotest.(check bool) "global frame" true
     (Mmu.phys_location ~cpu:0 (Mmu.Global_frame 1) = Location.In_global)
 
+(* --- software TLB ------------------------------------------------------------------- *)
+
+let test_tlb_hit_miss_counters () =
+  let t : int Tlb.t = Tlb.create ~slots:16 () in
+  Alcotest.(check bool) "cold lookup misses" true (Tlb.lookup t ~pmap:0 ~vpage:3 = None);
+  Tlb.insert t ~pmap:0 ~vpage:3 42;
+  (match Tlb.lookup t ~pmap:0 ~vpage:3 with
+  | Some 42 -> ()
+  | Some _ -> Alcotest.fail "wrong payload"
+  | None -> Alcotest.fail "hit expected after insert");
+  Alcotest.(check int) "one hit" 1 (Tlb.hits t);
+  Alcotest.(check int) "one miss" 1 (Tlb.misses t);
+  (* A different pmap mapping the same vpage is a distinct translation. *)
+  Alcotest.(check bool) "other pmap misses" true (Tlb.lookup t ~pmap:1 ~vpage:3 = None)
+
+let test_tlb_invalidate () =
+  let t : int Tlb.t = Tlb.create ~slots:16 () in
+  Tlb.insert t ~pmap:0 ~vpage:5 7;
+  Alcotest.(check bool) "shootdown of another page is a no-op" false
+    (Tlb.invalidate t ~pmap:0 ~vpage:6);
+  Alcotest.(check bool) "precise shootdown drops the entry" true
+    (Tlb.invalidate t ~pmap:0 ~vpage:5);
+  Alcotest.(check bool) "entry gone" true (Tlb.lookup t ~pmap:0 ~vpage:5 = None);
+  Alcotest.(check int) "one shootdown counted" 1 (Tlb.shootdowns t);
+  Alcotest.(check bool) "double shootdown is a no-op" false
+    (Tlb.invalidate t ~pmap:0 ~vpage:5);
+  Alcotest.(check int) "still one shootdown" 1 (Tlb.shootdowns t)
+
+let test_tlb_conflict_eviction () =
+  let t : int Tlb.t = Tlb.create ~slots:16 () in
+  (* Same pmap, vpages congruent mod the slot count: direct-mapped conflict. *)
+  Tlb.insert t ~pmap:0 ~vpage:1 10;
+  Tlb.insert t ~pmap:0 ~vpage:(1 + Tlb.size t) 20;
+  Alcotest.(check bool) "conflicting fill evicted the old entry" true
+    (Tlb.lookup t ~pmap:0 ~vpage:1 = None);
+  (match Tlb.lookup t ~pmap:0 ~vpage:(1 + Tlb.size t) with
+  | Some 20 -> ()
+  | _ -> Alcotest.fail "new entry survives");
+  Alcotest.(check int) "eviction is not a shootdown" 0 (Tlb.shootdowns t)
+
+let test_tlb_flush_and_sizing () =
+  let t : int Tlb.t = Tlb.create ~slots:20 () in
+  Alcotest.(check int) "slots round up to a power of two" 32 (Tlb.size t);
+  for v = 0 to 9 do
+    Tlb.insert t ~pmap:0 ~vpage:v v
+  done;
+  Tlb.flush t;
+  for v = 0 to 9 do
+    Alcotest.(check bool) "flushed" true (Tlb.lookup t ~pmap:0 ~vpage:v = None)
+  done;
+  Alcotest.(check int) "flush is not a shootdown" 0 (Tlb.shootdowns t)
+
 (* --- bus ---------------------------------------------------------------------------- *)
 
 let test_bus_disabled_by_default () =
@@ -276,6 +328,10 @@ let suite =
     Alcotest.test_case "mmu replace updates reverse" `Quick test_mmu_replace_updates_reverse;
     Alcotest.test_case "mmu remove range" `Quick test_mmu_remove_range;
     Alcotest.test_case "mmu phys location" `Quick test_mmu_phys_location;
+    Alcotest.test_case "tlb hit/miss counters" `Quick test_tlb_hit_miss_counters;
+    Alcotest.test_case "tlb precise shootdown" `Quick test_tlb_invalidate;
+    Alcotest.test_case "tlb conflict eviction" `Quick test_tlb_conflict_eviction;
+    Alcotest.test_case "tlb flush and sizing" `Quick test_tlb_flush_and_sizing;
     Alcotest.test_case "bus disabled by default" `Quick test_bus_disabled_by_default;
     Alcotest.test_case "bus under capacity" `Quick test_bus_under_capacity_is_free;
     Alcotest.test_case "bus overload queues" `Quick test_bus_overload_queues;

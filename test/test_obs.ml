@@ -163,6 +163,76 @@ let test_chrome_trace_lane_timestamps_monotone () =
   Alcotest.(check int) "protocol lane beyond the CPUs" 4 (Chrome_trace.protocol_lane tr);
   Alcotest.(check bool) "protocol lane used" true (Hashtbl.mem last 4)
 
+let test_hub_clock_monotone_under_bus_contention () =
+  (* The engine's virtual clock must never run backwards, even when bus
+     queueing pushes a chunk's start time past an earlier thread's resume
+     point — the regression the vnow clamp in [Engine.turn] guards. Every
+     hub timestamp is stamped from that clock, so a single probe checks
+     the whole run. *)
+  let config =
+    { (small_config ()) with Config.bus_words_per_ns = 0.005 (* 20 MB/s: saturated *) }
+  in
+  let obs = Hub.create () in
+  let last = ref neg_infinity and regressions = ref 0 and n = ref 0 in
+  Hub.attach obs ~name:"mono" (fun ~ts _ev ->
+      if ts < !last then incr regressions;
+      last := ts;
+      incr n);
+  let sys = System.create ~obs ~config () in
+  let app = Option.get (Numa_apps.Registry.find "gfetch") in
+  app.Numa_apps.App_sig.setup sys
+    { Numa_apps.App_sig.nthreads = 4; scale = 0.05; seed = 42L };
+  let report = System.run sys in
+  Alcotest.(check bool) "bus actually queued" true (report.Report.bus_delay_ns > 0.);
+  Alcotest.(check bool) "events observed" true (!n > 0);
+  Alcotest.(check int) "virtual clock never regressed" 0 !regressions
+
+(* --- lock release and TLB shootdown events ---------------------------------- *)
+
+let test_lock_events_balanced () =
+  let obs = Hub.create () in
+  let acquired = ref 0 and released = ref 0 in
+  Hub.attach obs ~name:"locks" (fun ~ts:_ ev ->
+      match ev with
+      | Event.Lock_acquired _ -> incr acquired
+      | Event.Lock_released { lock_id = _; cpu; tid } ->
+          Alcotest.(check bool) "release names a real cpu" true (cpu >= 0 && cpu < 4);
+          Alcotest.(check bool) "release names a real tid" true (tid >= 0);
+          incr released
+      | _ -> ());
+  let e =
+    Numa_sim.Engine.create ~obs
+      (Numa_sim.Engine.default_config ~n_cpus:4)
+      ~memory:(Numa_sim.Memory_iface.flat (small_config ()))
+      ~scheduler:Numa_sim.Engine.Affinity
+  in
+  let lock = Numa_sim.Engine.make_lock e ~vpage:0 in
+  for cpu = 0 to 3 do
+    ignore
+      (Numa_sim.Engine.spawn e ~cpu ~name:(Printf.sprintf "t%d" cpu) (fun () ->
+           for _ = 1 to 5 do
+             Api.lock lock;
+             Api.compute 10_000.;
+             Api.unlock lock
+           done))
+  done;
+  Numa_sim.Engine.run e;
+  Alcotest.(check int) "20 acquisitions seen" 20 !acquired;
+  Alcotest.(check int) "every acquisition has a matching release" !acquired !released
+
+let test_tlb_shootdown_events_match_report () =
+  let obs = Hub.create () in
+  let events = ref 0 in
+  Hub.attach obs ~name:"tlb" (fun ~ts:_ ev ->
+      match ev with Event.Tlb_shootdown _ -> incr events | _ -> ());
+  let sys, _ = ping_pong_system ~obs () in
+  let report = System.run sys in
+  Alcotest.(check bool) "the ping-pong shot down translations" true
+    (report.Report.tlb_shootdowns > 0);
+  Alcotest.(check int) "one event per counted shootdown" report.Report.tlb_shootdowns
+    !events;
+  Alcotest.(check bool) "fast path used" true (report.Report.tlb_hits > 0)
+
 (* --- time series ----------------------------------------------------------- *)
 
 let test_timeseries_rows_and_csv () =
@@ -265,6 +335,7 @@ let test_report_json_roundtrip () =
            "refs_all";
            "refs_writable_data";
            "numa";
+           "tlb";
            "pins";
            "placement";
            "bus_words";
@@ -294,6 +365,11 @@ let suite =
     Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_is_valid_json;
     Alcotest.test_case "chrome trace monotone lanes" `Quick
       test_chrome_trace_lane_timestamps_monotone;
+    Alcotest.test_case "hub clock monotone under bus contention" `Quick
+      test_hub_clock_monotone_under_bus_contention;
+    Alcotest.test_case "lock acquire/release balanced" `Quick test_lock_events_balanced;
+    Alcotest.test_case "tlb shootdown events match report" `Quick
+      test_tlb_shootdown_events_match_report;
     Alcotest.test_case "timeseries rows and csv" `Quick test_timeseries_rows_and_csv;
     Alcotest.test_case "observed run identical" `Quick
       test_observed_run_reports_identically;
