@@ -152,6 +152,15 @@ let run_section section ~spec ~cpus ~jobs =
   | "butterfly" ->
       print_endline
         (Ablations.render_butterfly_study (Ablations.butterfly_study ~jobs ~spec ()))
+  | "topology-sweep" ->
+      List.iter
+        (fun name ->
+          match Numa_machine.Config.of_topology_name ~n_cpus:cpus name with
+          | Some config -> print_endline (Numa_machine.Topology.render config)
+          | None -> ())
+        Numa_machine.Config.builtin_topologies;
+      print_endline
+        (Ablations.render_topology_sweep (Ablations.topology_sweep ~jobs ~spec ()))
   | "reconsider" ->
       print_endline
         (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
@@ -161,7 +170,8 @@ let sections =
   [
     "table1"; "table2"; "figure1"; "figure2"; "table3"; "table4"; "threshold-sweep";
     "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
-    "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "reconsider";
+    "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "topology-sweep";
+    "reconsider";
   ]
 
 let all ~spec ~cpus ~jobs =
@@ -187,6 +197,8 @@ let all ~spec ~cpus ~jobs =
   print_endline (Ablations.render_cpu_sweep (Ablations.cpu_sweep ~jobs ~spec ()));
   print_endline
     (Ablations.render_butterfly_study (Ablations.butterfly_study ~jobs ~spec ()));
+  print_endline
+    (Ablations.render_topology_sweep (Ablations.topology_sweep ~jobs ~spec ()));
   print_endline (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
 
 let () =

@@ -76,6 +76,34 @@ let unix_master_arg =
     value & flag
     & info [ "unix-master" ] ~doc:"Serialise system calls on CPU 0 (section 4.6).")
 
+let topology_conv =
+  let parse s =
+    if List.mem s Numa_machine.Config.builtin_topologies then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown topology %S; known: %s" s
+             (String.concat ", " Numa_machine.Config.builtin_topologies)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let topology_arg =
+  Arg.(
+    value & opt topology_conv "ace"
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Machine topology: ace (two-level, the default), butterfly-like (shared \
+           level repriced at remote speed), butterfly (no shared board; global \
+           pages striped over the CPU nodes) or multi-socket (two-tier 4-socket \
+           distance matrix).")
+
+let config_of_topology ~topology (c : Numa_machine.Config.t) =
+  match
+    Numa_machine.Config.of_topology_name ~n_cpus:c.Numa_machine.Config.n_cpus topology
+  with
+  | Some c' -> c'
+  | None -> c
+
 let find_app name =
   match Numa_apps.Registry.find name with
   | Some app -> Ok app
@@ -84,7 +112,8 @@ let find_app name =
         (Printf.sprintf "unknown application %S; known: %s" name
            (String.concat ", " (Numa_apps.Registry.names ())))
 
-let spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master =
+let spec_of ?(topology = "ace") ~policy ~cpus ~threads ~scale ~seed ~scheduler
+    ~unix_master () =
   {
     Runner.policy;
     n_cpus = cpus;
@@ -93,7 +122,7 @@ let spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master =
     seed;
     scheduler;
     unix_master;
-    config_tweak = Fun.id;
+    config_tweak = config_of_topology ~topology;
   }
 
 let trace_out_arg =
@@ -134,14 +163,16 @@ let explain_page_arg =
            why it did or did not pin.")
 
 let run_cmd =
-  let action app_name policy cpus threads scale seed scheduler unix_master trace_out
-      metrics_out report_json explain_page =
+  let action app_name policy cpus threads scale seed scheduler unix_master topology
+      trace_out metrics_out report_json explain_page =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app ->
-        let spec = spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master in
+        let spec =
+          spec_of ~topology ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master ()
+        in
         let config = Runner.config_for spec ~n_cpus:spec.Runner.n_cpus in
         let obs = Numa_obs.Hub.create () in
         let chrome =
@@ -220,17 +251,19 @@ let run_cmd =
           Chrome trace timeline, per-epoch metrics CSV, JSON report, per-page audit.")
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
-      $ scheduler_arg $ unix_master_arg $ trace_out_arg $ metrics_out_arg
+      $ scheduler_arg $ unix_master_arg $ topology_arg $ trace_out_arg $ metrics_out_arg
       $ report_json_arg $ explain_page_arg)
 
 let measure_cmd =
-  let action app_name policy cpus threads scale seed scheduler unix_master =
+  let action app_name policy cpus threads scale seed scheduler unix_master topology =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app ->
-        let spec = spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master in
+        let spec =
+          spec_of ~topology ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master ()
+        in
         let m = Runner.measure app spec in
         let t = m.Runner.times in
         Format.printf
@@ -248,7 +281,7 @@ let measure_cmd =
        ~doc:"Run the three-measurement protocol (Tnuma/Tglobal/Tlocal) and the model.")
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
-      $ scheduler_arg $ unix_master_arg)
+      $ scheduler_arg $ unix_master_arg $ topology_arg)
 
 let trace_cmd =
   let path_arg =
@@ -263,7 +296,9 @@ let trace_cmd =
         prerr_endline msg;
         1
     | Ok app ->
-        let spec = spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master in
+        let spec =
+          spec_of ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master ()
+        in
         let config = Numa_machine.Config.ace ~n_cpus:spec.Runner.n_cpus () in
         let sys =
           System.create ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
@@ -339,13 +374,41 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available applications.") Term.(const action $ const ())
 
 let topology_cmd =
-  let action cpus =
-    print_string (Numa_machine.Topology.render (Numa_machine.Config.ace ~n_cpus:cpus ()));
-    0
+  let name_arg =
+    Arg.(
+      value & pos 0 string "ace"
+      & info [] ~docv:"TOPO"
+          ~doc:
+            (Printf.sprintf "Topology to draw: %s, or all."
+               (String.concat ", " Numa_machine.Config.builtin_topologies)))
+  in
+  let action cpus name =
+    let render n =
+      match Numa_machine.Config.of_topology_name ~n_cpus:cpus n with
+      | Some config ->
+          print_string (Numa_machine.Topology.render config);
+          true
+      | None -> false
+    in
+    if name = "all" then begin
+      List.iter
+        (fun n -> ignore (render n))
+        Numa_machine.Config.builtin_topologies;
+      0
+    end
+    else if render name then 0
+    else begin
+      Printf.eprintf "unknown topology %S; known: all, %s\n" name
+        (String.concat ", " Numa_machine.Config.builtin_topologies);
+      1
+    end
   in
   Cmd.v
-    (Cmd.info "topology" ~doc:"Print the machine architecture (Figure 1).")
-    Term.(const action $ cpus_arg)
+    (Cmd.info "topology"
+       ~doc:
+         "Print the machine architecture (Figure 1 for the ACE; a distance-matrix \
+          drawing for the other built-in topologies).")
+    Term.(const action $ cpus_arg $ name_arg)
 
 let tables_cmd =
   let action () =

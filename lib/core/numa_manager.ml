@@ -13,6 +13,7 @@ type page = {
 
 type t = {
   config : Config.t;
+  topo : Topo.t;  (** resolved once; prices protocol page copies per node pair *)
   frames : Frame_table.t;
   mmu : Mmu.t;
   sink : Cost_sink.t;
@@ -28,6 +29,7 @@ let create ?obs ~config ~frames ~mmu ~sink ~stats () =
   let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
   {
     config;
+    topo = Config.topology config;
     frames;
     mmu;
     sink;
@@ -77,8 +79,9 @@ let sync_node t ~lpage ~node ~by_cpu =
   | None -> invalid_arg "Numa_manager.sync_node: node holds no copy"
   | Some frame ->
       Frame_table.copy_local_to_global t.frames frame ~lpage;
-      let src = if node = by_cpu then Location.Local_here else Location.Remote_local in
-      charge t ~cpu:by_cpu (Cost.page_copy_ns t.config ~src ~dst:Location.In_global);
+      charge t ~cpu:by_cpu
+        (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu:by_cpu
+           ~src:(Topo.Node node) ~dst:(Topo.Shared lpage));
       t.stats.syncs_to_global <- t.stats.syncs_to_global + 1;
       observe t (Numa_obs.Event.Sync_to_global { lpage; node })
 
@@ -111,7 +114,8 @@ let copy_to_local t ~lpage ~cpu =
     | Some frame ->
         Frame_table.copy_global_to_local t.frames ~lpage frame;
         charge t ~cpu
-          (Cost.page_copy_ns t.config ~src:Location.In_global ~dst:Location.Local_here);
+          (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu ~src:(Topo.Shared lpage)
+             ~dst:(Topo.Node cpu));
         t.stats.copies_to_local <- t.stats.copies_to_local + 1;
         Hashtbl.replace p.replicas cpu frame;
         observe t (Numa_obs.Event.Replica_create { lpage; node = cpu })
@@ -124,7 +128,8 @@ let first_touch t ~lpage ~cpu ~access ~decision =
   let place_global () =
     if p.needs_zero then begin
       Frame_table.zero_global t.frames ~lpage;
-      charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.In_global);
+      charge t ~cpu
+        (Cost.place_page_zero_ns t.config ~topo:t.topo ~cpu ~dst:(Topo.Shared lpage));
       t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
       p.needs_zero <- false;
       observe t (Numa_obs.Event.Zero_fill { lpage; node = None })
@@ -146,7 +151,8 @@ let first_touch t ~lpage ~cpu ~access ~decision =
              write-zeros-to-global-then-copy round trip (section 2.3.1). *)
           if p.needs_zero then begin
             Frame_table.zero_local frame;
-            charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.Local_here);
+            charge t ~cpu
+              (Cost.place_page_zero_ns t.config ~topo:t.topo ~cpu ~dst:(Topo.Node cpu));
             t.stats.zero_fills_local <- t.stats.zero_fills_local + 1;
             p.needs_zero <- false;
             observe t (Numa_obs.Event.Zero_fill { lpage; node = Some cpu });
@@ -160,7 +166,8 @@ let first_touch t ~lpage ~cpu ~access ~decision =
           else begin
             Frame_table.copy_global_to_local t.frames ~lpage frame;
             charge t ~cpu
-              (Cost.page_copy_ns t.config ~src:Location.In_global ~dst:Location.Local_here);
+              (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu ~src:(Topo.Shared lpage)
+                 ~dst:(Topo.Node cpu));
             t.stats.copies_to_local <- t.stats.copies_to_local + 1
           end;
           Hashtbl.replace p.replicas cpu frame;
@@ -290,7 +297,8 @@ let request_homed t ~lpage ~cpu ~home =
       | Untouched ->
           if p.needs_zero then begin
             Frame_table.zero_global t.frames ~lpage;
-            charge t ~cpu (Cost.page_zero_ns t.config ~dst:Location.In_global);
+            charge t ~cpu
+              (Cost.place_page_zero_ns t.config ~topo:t.topo ~cpu ~dst:(Topo.Shared lpage));
             t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
             p.needs_zero <- false;
             observe t (Numa_obs.Event.Zero_fill { lpage; node = None })
@@ -311,8 +319,9 @@ let request_homed t ~lpage ~cpu ~home =
           { final_state = Global_writable; moved = false; fell_back_global = true }
       | Some frame ->
           Frame_table.copy_global_to_local t.frames ~lpage frame;
-          let dst = if home = cpu then Location.Local_here else Location.Remote_local in
-          charge t ~cpu (Cost.page_copy_ns t.config ~src:Location.In_global ~dst);
+          charge t ~cpu
+            (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu ~src:(Topo.Shared lpage)
+               ~dst:(Topo.Node home));
           t.stats.copies_to_local <- t.stats.copies_to_local + 1;
           Hashtbl.replace p.replicas home frame;
           observe t (Numa_obs.Event.Replica_create { lpage; node = home });
@@ -334,8 +343,8 @@ let migrate_owned_pages t ~src ~dst =
             | Some frame ->
                 Frame_table.copy_global_to_local t.frames ~lpage frame;
                 charge t ~cpu:dst
-                  (Cost.page_copy_ns t.config ~src:Location.In_global
-                     ~dst:Location.Local_here);
+                  (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu:dst
+                     ~src:(Topo.Shared lpage) ~dst:(Topo.Node dst));
                 t.stats.copies_to_local <- t.stats.copies_to_local + 1;
                 Hashtbl.replace p.replicas dst frame;
                 observe t (Numa_obs.Event.Replica_create { lpage; node = dst });

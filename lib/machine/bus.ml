@@ -1,5 +1,13 @@
+type link = {
+  bw : float;  (** words per ns on this directed link *)
+  mutable link_clears_at : float;
+}
+
 type t = {
   words_per_ns : float;
+  links : link array array option;
+      (** per-directed-link fluid queues when the topology prices links
+          individually; [None] = one shared bus *)
   obs : Numa_obs.Hub.t;
   mutable backlog_clears_at : float;  (** virtual time when queued traffic drains *)
   mutable total_words : int;
@@ -7,29 +15,49 @@ type t = {
 }
 
 let create ?obs (config : Config.t) =
+  let links =
+    match (Config.topology config).Topo.link_words_per_ns with
+    | None -> None
+    | Some m ->
+        Some (Array.map (Array.map (fun bw -> { bw; link_clears_at = 0. })) m)
+  in
   {
     words_per_ns = config.bus_words_per_ns;
+    links;
     obs = (match obs with Some h -> h | None -> Numa_obs.Hub.create ());
     backlog_clears_at = 0.;
     total_words = 0;
     total_delay_ns = 0.;
   }
 
-let enabled t = t.words_per_ns > 0.
+let enabled t = t.words_per_ns > 0. || t.links <> None
 
-let delay_ns ?(cpu = 0) t ~now ~words =
-  if not (enabled t) || words <= 0 then 0.
-  else begin
-    t.total_words <- t.total_words + words;
-    let service_ns = float_of_int words /. t.words_per_ns in
-    let start = Float.max now t.backlog_clears_at in
-    let delay = start -. now in
-    t.backlog_clears_at <- start +. service_ns;
-    t.total_delay_ns <- t.total_delay_ns +. delay;
-    if delay > 0. && Numa_obs.Hub.enabled t.obs then
-      Numa_obs.Hub.emit t.obs (Numa_obs.Event.Bus_queued { cpu; words; delay_ns = delay });
-    delay
-  end
+let charge t ~cpu ~now ~words ~bw ~clears_at ~set_clears_at =
+  t.total_words <- t.total_words + words;
+  let service_ns = float_of_int words /. bw in
+  let start = Float.max now clears_at in
+  let delay = start -. now in
+  set_clears_at (start +. service_ns);
+  t.total_delay_ns <- t.total_delay_ns +. delay;
+  if delay > 0. && Numa_obs.Hub.enabled t.obs then
+    Numa_obs.Hub.emit t.obs (Numa_obs.Event.Bus_queued { cpu; words; delay_ns = delay });
+  delay
+
+let delay_ns ?(cpu = 0) ?src ?dst t ~now ~words =
+  if words <= 0 then 0.
+  else
+    match (t.links, src, dst) with
+    | Some m, Some s, Some d ->
+        let link = m.(s).(d) in
+        if link.bw <= 0. then 0.
+        else
+          charge t ~cpu ~now ~words ~bw:link.bw ~clears_at:link.link_clears_at
+            ~set_clears_at:(fun at -> link.link_clears_at <- at)
+    | _ ->
+        if t.words_per_ns <= 0. then 0.
+        else
+          charge t ~cpu ~now ~words ~bw:t.words_per_ns ~clears_at:t.backlog_clears_at
+            ~set_clears_at:(fun at -> t.backlog_clears_at <- at)
 
 let total_words t = t.total_words
 let total_delay_ns t = t.total_delay_ns

@@ -10,7 +10,12 @@
     configured bandwidth; arrivals beyond the drain rate accumulate a
     backlog, and each batch of references is delayed by the backlog in
     front of it. With [bus_words_per_ns = 0] the bus is infinite and
-    {!delay_ns} always returns 0. *)
+    {!delay_ns} always returns 0.
+
+    A topology with a per-link bandwidth matrix
+    ({!Topo.link_words_per_ns}) gets one independent fluid queue per
+    directed (src, dst) node pair instead of the single shared queue;
+    links priced 0 are unmodelled (no contention). *)
 
 type t
 
@@ -20,12 +25,15 @@ val create : ?obs:Numa_obs.Hub.t -> Config.t -> t
 
 val enabled : t -> bool
 
-val delay_ns : ?cpu:int -> t -> now:float -> words:int -> float
-(** Register [words] of global-memory traffic starting at virtual time
+val delay_ns : ?cpu:int -> ?src:int -> ?dst:int -> t -> now:float -> words:int -> float
+(** Register [words] of interconnect traffic starting at virtual time
     [now] and return the queueing delay those words suffer. [now] must be
     non-decreasing across calls up to the engine's event ordering; small
     reorderings are tolerated (the backlog simply drains less). [cpu]
-    (default 0) attributes the traffic in emitted events. *)
+    (default 0) attributes the traffic in emitted events. [src]/[dst]
+    name the node pair the traffic crosses; with a per-link bandwidth
+    matrix they select the link's own queue, otherwise the shared bus is
+    charged. *)
 
 val total_words : t -> int
 (** Total traffic ever offered. *)

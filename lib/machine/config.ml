@@ -13,6 +13,7 @@ type t = {
   fault_trap_ns : float;
   pmap_action_ns : float;
   tlb_shootdown_ns : float;
+  topology : Topo.t option;
 }
 
 let ace ?(n_cpus = 7) ?(local_pages_per_cpu = 4096) ?(global_pages = 8192) () =
@@ -37,6 +38,7 @@ let ace ?(n_cpus = 7) ?(local_pages_per_cpu = 4096) ?(global_pages = 8192) () =
     fault_trap_ns = 150_000.;
     pmap_action_ns = 25_000.;
     tlb_shootdown_ns = 20_000.;
+    topology = None;
   }
 
 let butterfly_like ?(n_cpus = 7) () =
@@ -46,6 +48,123 @@ let butterfly_like ?(n_cpus = 7) () =
     global_fetch_ns = base.remote_fetch_ns;
     global_store_ns = base.remote_store_ns;
   }
+
+(* With no explicit topology the machine is the classic ACE shape, derived
+   on demand from the scalar fields so that record-update tweaks
+   ([{ c with global_fetch_ns = ... }], used by the G/L ablation and the
+   tests) keep working untouched. The derived matrix copies the six
+   scalars verbatim; costs computed from it are bit-identical to the
+   scalar cost model. *)
+let topology t =
+  match t.topology with
+  | Some topo -> topo
+  | None ->
+      Topo.two_level ~name:"ace" ~n_cpus:t.n_cpus ~pool_pages:t.local_pages_per_cpu
+        ~local_fetch_ns:t.local_fetch_ns ~local_store_ns:t.local_store_ns
+        ~global_fetch_ns:t.global_fetch_ns ~global_store_ns:t.global_store_ns
+        ~remote_fetch_ns:t.remote_fetch_ns ~remote_store_ns:t.remote_store_ns ()
+
+(* Overriding the topology also rewrites the scalar timing fields to
+   class representatives (node 0's view: its own memory, the shared
+   level's home for page 0, and the first other node), so class-based
+   consumers — the trace analyzers, the flat memory model, G/L ratios in
+   headers — stay meaningful. The matrix is authoritative for the
+   simulator itself. *)
+let with_topology t topo =
+  let rep access ~at =
+    match access with
+    | `Fetch -> topo.Topo.fetch_ns.(0).(at)
+    | `Store -> topo.Topo.store_ns.(0).(at)
+  in
+  (* Shared-level representative: the board's row if there is one; on a
+     striped machine the round-robin average over stripe homes as seen by
+     node 0 (taking any single stripe would price the shared level at
+     local or remote speed and wreck the G/L ratio the analysis layer
+     feeds into equations 1-5). *)
+  let shared access =
+    match Topo.mem_node topo with
+    | Some board -> rep access ~at:board
+    | None ->
+        let n = Topo.cpu_nodes topo in
+        let sum = ref 0. in
+        for at = 0 to n - 1 do
+          sum := !sum +. rep access ~at
+        done;
+        !sum /. float_of_int n
+  in
+  let other = if Topo.cpu_nodes topo > 1 then 1 else 0 in
+  {
+    t with
+    n_cpus = Topo.cpu_nodes topo;
+    local_fetch_ns = rep `Fetch ~at:0;
+    local_store_ns = rep `Store ~at:0;
+    global_fetch_ns = shared `Fetch;
+    global_store_ns = shared `Store;
+    remote_fetch_ns = rep `Fetch ~at:other;
+    remote_store_ns = rep `Store ~at:other;
+    topology = Some topo;
+  }
+
+let butterfly ?(n_cpus = 7) ?(local_pages_per_cpu = 4096) ?(global_pages = 8192) () =
+  let base = ace ~n_cpus ~local_pages_per_cpu ~global_pages () in
+  let matrix ~local ~remote =
+    Array.init n_cpus (fun from ->
+        Array.init n_cpus (fun at -> if from = at then local else remote))
+  in
+  let topo =
+    {
+      Topo.name = "butterfly";
+      cpu_nodes = n_cpus;
+      mem_node = None;
+      pool_pages = Array.make n_cpus local_pages_per_cpu;
+      fetch_ns = matrix ~local:base.local_fetch_ns ~remote:base.remote_fetch_ns;
+      store_ns = matrix ~local:base.local_store_ns ~remote:base.remote_store_ns;
+      link_words_per_ns = None;
+    }
+  in
+  with_topology base topo
+
+let multi_socket ?(n_cpus = 4) ?(local_pages_per_cpu = 4096) ?(global_pages = 8192) () =
+  let base = ace ~n_cpus ~local_pages_per_cpu ~global_pages () in
+  let board = n_cpus in
+  let n = n_cpus + 1 in
+  (* Sockets are adjacent pairs: a remote reference within a socket is
+     cheaper than one across sockets; the shared board sits between. *)
+  let same_socket i j = i / 2 = j / 2 in
+  let matrix ~local ~near ~far ~board_ns =
+    Array.init n (fun from ->
+        Array.init n (fun at ->
+            if from = board || at = board then board_ns
+            else if from = at then local
+            else if same_socket from at then near
+            else far))
+  in
+  let topo =
+    {
+      Topo.name = "multi-socket";
+      cpu_nodes = n_cpus;
+      mem_node = Some board;
+      pool_pages = Array.make n_cpus local_pages_per_cpu;
+      fetch_ns =
+        matrix ~local:base.local_fetch_ns ~near:1100. ~far:base.remote_fetch_ns
+          ~board_ns:base.global_fetch_ns;
+      store_ns =
+        matrix ~local:base.local_store_ns ~near:1050. ~far:base.remote_store_ns
+          ~board_ns:base.global_store_ns;
+      link_words_per_ns = None;
+    }
+  in
+  with_topology base topo
+
+let builtin_topologies = [ "ace"; "butterfly-like"; "butterfly"; "multi-socket" ]
+
+let of_topology_name ?n_cpus name =
+  match name with
+  | "ace" -> Some (ace ?n_cpus ())
+  | "butterfly-like" -> Some (butterfly_like ?n_cpus ())
+  | "butterfly" -> Some (butterfly ?n_cpus ())
+  | "multi-socket" -> Some (multi_socket ?n_cpus ())
+  | _ -> None
 
 let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
@@ -62,7 +181,17 @@ let validate t =
   else if t.bus_words_per_ns < 0. then err "bus bandwidth must be non-negative"
   else if t.global_fetch_ns < t.local_fetch_ns then
     err "global fetch faster than local fetch: not a NUMA machine"
-  else Ok t
+  else
+    match t.topology with
+    | None -> Ok t
+    | Some topo -> (
+        match Topo.validate topo with
+        | Error msg -> err "topology: %s" msg
+        | Ok _ ->
+            if Topo.cpu_nodes topo <> t.n_cpus then
+              err "topology has %d CPU nodes but n_cpus is %d" (Topo.cpu_nodes topo)
+                t.n_cpus
+            else Ok t)
 
 let global_to_local_fetch_ratio t = t.global_fetch_ns /. t.local_fetch_ns
 
@@ -76,6 +205,9 @@ let global_to_local_ratio t ~store_fraction =
 let page_size_bytes t = t.page_size_words * 4
 
 let pp ppf t =
+  (match t.topology with
+  | None -> ()
+  | Some topo -> Format.fprintf ppf "topology %a@\n" Topo.pp topo);
   Format.fprintf ppf
     "@[<v>ACE-class machine: %d CPUs, %d-word pages@,\
      local: %d pages/CPU (%d KB), global: %d pages (%d KB)@,\

@@ -24,6 +24,12 @@ type t = {
   fault_trap_ns : float;  (** fixed cost of taking and dispatching a page fault *)
   pmap_action_ns : float;  (** bookkeeping per NUMA-manager protocol action *)
   tlb_shootdown_ns : float;  (** dropping one mapping on one processor *)
+  topology : Topo.t option;
+      (** explicit N-node distance-matrix topology; [None] means the
+          classic two-level ACE derived from the scalar fields (see
+          {!topology}). When present, the matrix is authoritative for the
+          simulator; the scalar timing fields hold class representatives
+          for analysis code that still thinks in the three classes. *)
 }
 
 val ace : ?n_cpus:int -> ?local_pages_per_cpu:int -> ?global_pages:int -> unit -> t
@@ -41,8 +47,45 @@ val butterfly_like : ?n_cpus:int -> unit -> t
     than global memory on most machines". The placement machinery is
     unchanged; the paper argues such machines would lean on pragmas. *)
 
+val topology : t -> Topo.t
+(** The machine's topology. With an explicit [topology] field, that; for
+    a classic config, the two-level ACE shape derived on demand from the
+    scalar fields — so record-update tweaks of the scalars (the G/L
+    sweep) are always reflected. The derived matrix copies the scalars
+    verbatim: costs computed from it are bit-identical to the scalar
+    cost model. *)
+
+val with_topology : t -> Topo.t -> t
+(** Install an explicit topology, rewriting [n_cpus] and the scalar
+    timing fields to class representatives as seen by node 0 (so
+    class-based analysis code keeps making sense). The shared-level
+    representative is the memory board's row, or — on a striped machine —
+    the round-robin average over stripe homes. *)
+
+val butterfly : ?n_cpus:int -> ?local_pages_per_cpu:int -> ?global_pages:int -> unit -> t
+(** A true all-local Butterfly/RP3-class machine as an explicit topology:
+    every node is a CPU node, there is no memory board, and the shared
+    ("global") level is striped round-robin over the nodes' local
+    memories — so a shared reference is local-speed when the stripe home
+    is the referencing node and remote-speed otherwise. Contrast with
+    {!butterfly_like}, which merely reprices the two-level shared board. *)
+
+val multi_socket : ?n_cpus:int -> ?local_pages_per_cpu:int -> ?global_pages:int -> unit -> t
+(** A two-tier multi-socket machine: CPU nodes in adjacent pairs
+    (sockets), remote references within a socket cheaper than across
+    sockets, plus a shared memory board. [n_cpus] defaults to 4. *)
+
+val builtin_topologies : string list
+(** Names accepted by {!of_topology_name}. *)
+
+val of_topology_name : ?n_cpus:int -> string -> t option
+(** Build a named built-in machine: ["ace"], ["butterfly-like"],
+    ["butterfly"] or ["multi-socket"]. *)
+
 val validate : t -> (t, string) result
-(** Checks that geometry and timings are positive and mutually consistent. *)
+(** Checks that geometry and timings are positive and mutually
+    consistent, including the topology fields when present (square
+    matrices, positive latencies, pool sizes, node-count agreement). *)
 
 val global_to_local_fetch_ratio : t -> float
 (** G/L for pure fetch streams: 2.3 on the ACE. *)

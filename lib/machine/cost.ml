@@ -21,6 +21,30 @@ let page_copy_ns (c : Config.t) ~src ~dst =
 let page_zero_ns (c : Config.t) ~dst =
   float_of_int c.page_size_words *. reference_ns c ~access:Access.Store ~where:dst
 
+(* Node-precise variants: the same formulas, but priced from the topology
+   matrix instead of the three classes. On a classic (matrix-less) config
+   the derived matrix copies the scalars verbatim, so these agree with
+   the class-based functions bit for bit. *)
+
+let node_reference_ns ~(topo : Topo.t) ~access ~cpu ~node =
+  match access with
+  | Access.Load -> Topo.fetch_ns topo ~from:cpu ~at:node
+  | Access.Store -> Topo.store_ns topo ~from:cpu ~at:node
+
+let place_reference_ns ~topo ~access ~cpu ~place =
+  node_reference_ns ~topo ~access ~cpu ~node:(Topo.place_node topo place)
+
+let place_page_copy_ns (c : Config.t) ~topo ~cpu ~src ~dst =
+  let per_word =
+    place_reference_ns ~topo ~access:Access.Load ~cpu ~place:src
+    +. place_reference_ns ~topo ~access:Access.Store ~cpu ~place:dst
+  in
+  float_of_int c.page_size_words *. per_word
+
+let place_page_zero_ns (c : Config.t) ~topo ~cpu ~dst =
+  float_of_int c.page_size_words
+  *. place_reference_ns ~topo ~access:Access.Store ~cpu ~place:dst
+
 let fault_trap_ns (c : Config.t) = c.fault_trap_ns
 let pmap_action_ns (c : Config.t) = c.pmap_action_ns
 let tlb_shootdown_ns (c : Config.t) = c.tlb_shootdown_ns

@@ -21,6 +21,27 @@ val page_copy_ns : Config.t -> src:Location.relative -> dst:Location.relative ->
 val page_zero_ns : Config.t -> dst:Location.relative -> float
 (** Zero-filling one page: a store per word at the destination. *)
 
+(** {2 Node-precise costs}
+
+    The same formulas priced from the topology's distance matrix rather
+    than the three classes. On a classic config the derived matrix copies
+    the scalars verbatim, so these agree with the class-based functions
+    bit for bit; on an explicit topology they resolve the actual node
+    pair (e.g. a striped shared page on a Butterfly, or near vs. far
+    remote on a multi-socket machine). *)
+
+val node_reference_ns : topo:Topo.t -> access:Access.t -> cpu:int -> node:int -> float
+(** One reference issued by [cpu] (= its node) to memory on [node]. *)
+
+val place_reference_ns : topo:Topo.t -> access:Access.t -> cpu:int -> place:Topo.place -> float
+
+val place_page_copy_ns :
+  Config.t -> topo:Topo.t -> cpu:int -> src:Topo.place -> dst:Topo.place -> float
+(** Word-by-word page copy performed by [cpu]: a fetch from [src] plus a
+    store to [dst] per word. *)
+
+val place_page_zero_ns : Config.t -> topo:Topo.t -> cpu:int -> dst:Topo.place -> float
+
 val fault_trap_ns : Config.t -> float
 val pmap_action_ns : Config.t -> float
 val tlb_shootdown_ns : Config.t -> float

@@ -10,17 +10,17 @@ type node_pool = {
 type t = { globals : int array; pools : node_pool array }
 
 let create (config : Config.t) =
+  let topo = Config.topology config in
   let make_pool node =
-    let frames =
-      List.init config.local_pages_per_cpu (fun id -> { node; id; cell = 0 })
-    in
+    let capacity = Topo.pool_pages topo ~node in
+    let frames = List.init capacity (fun id -> { node; id; cell = 0 }) in
     let free_set = Hashtbl.create 64 in
     List.iter (fun f -> Hashtbl.replace free_set f.id ()) frames;
-    { capacity = config.local_pages_per_cpu; free = frames; in_use = 0; free_set }
+    { capacity; free = frames; in_use = 0; free_set }
   in
   {
     globals = Array.make config.global_pages 0;
-    pools = Array.init config.n_cpus make_pool;
+    pools = Array.init (Topo.cpu_nodes topo) make_pool;
   }
 
 let read_global t ~lpage = t.globals.(lpage)

@@ -128,3 +128,7 @@ let n_mappings t = Hashtbl.length t.forward
 let phys_location ~cpu = function
   | Global_frame _ -> Location.In_global
   | Frame f -> if f.Frame_table.node = cpu then Location.Local_here else Location.Remote_local
+
+let phys_node ~topo = function
+  | Frame f -> f.Frame_table.node
+  | Global_frame lpage -> Topo.global_home topo ~lpage

@@ -71,3 +71,8 @@ val iter_range : t -> pmap:int -> vpage:int -> n:int -> (entry -> unit) -> unit
 val n_mappings : t -> int
 val phys_location : cpu:int -> phys -> Location.relative
 (** Where the mapped physical page sits relative to a referencing CPU. *)
+
+val phys_node : topo:Topo.t -> phys -> int
+(** The node whose memory physically holds the page: a local frame's
+    node, or the shared level's home ({!Topo.global_home}) for a global
+    frame. *)

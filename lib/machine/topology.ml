@@ -1,4 +1,4 @@
-let render (c : Config.t) =
+let render_classic (c : Config.t) =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   let mb_local = c.local_pages_per_cpu * Config.page_size_bytes c / (1024 * 1024) in
@@ -30,6 +30,64 @@ let render (c : Config.t) =
     (Config.global_to_local_ratio c ~store_fraction:0.45);
   Buffer.contents buf
 
+(* General N-node machines: node boxes on the interconnect, then the
+   fetch latency matrix (stores follow the same shape). *)
+let render_topo (c : Config.t) (topo : Topo.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let n = Topo.n_nodes topo in
+  let cpus = Topo.cpu_nodes topo in
+  let mb_of pages = pages * Config.page_size_bytes c / (1024 * 1024) in
+  add "%s memory architecture (%d nodes, %d with CPUs)" (Topo.name topo) n cpus;
+  add "";
+  let node_box i =
+    Printf.sprintf "[cpu%-2d local:%dMB]" i (mb_of (Topo.pool_pages topo ~node:i))
+  in
+  let shown = min cpus 4 in
+  let boxes = List.init shown node_box in
+  let ellipsis = if cpus > shown then " ..." else "" in
+  add "  %s%s" (String.concat " " boxes) ellipsis;
+  let width =
+    max 24 (String.length (String.concat " " boxes) + String.length ellipsis + 2)
+  in
+  add "  %s" (String.make width '=');
+  (match topo.Topo.link_words_per_ns with
+  | None -> add "   shared interconnect"
+  | Some _ -> add "   point-to-point links (per-link bandwidth matrix)");
+  add "  %s" (String.make width '=');
+  (match Topo.mem_node topo with
+  | Some m ->
+      add "  [node %d: shared memory board, %d MB = %d pages]" m (mb_of c.global_pages)
+        c.global_pages
+  | None ->
+      add "  (no shared board: %d global pages striped round-robin over the %d nodes)"
+        c.global_pages cpus);
+  add "";
+  add "  fetch latency matrix (us, from row to column):";
+  let header =
+    String.concat ""
+      (List.init n (fun j -> Printf.sprintf "%8s" (Printf.sprintf "n%d" j)))
+  in
+  add "        %s" header;
+  for i = 0 to n - 1 do
+    let row =
+      String.concat ""
+        (List.init n (fun j ->
+             Printf.sprintf "%8.2f" (Topo.fetch_ns topo ~from:i ~at:j /. 1000.)))
+    in
+    add "    n%-2d %s" i row
+  done;
+  Buffer.contents buf
+
+let render (c : Config.t) =
+  match c.topology with None -> render_classic c | Some topo -> render_topo c topo
+
 let summary (c : Config.t) =
-  Printf.sprintf "ACE: %d CPUs, %d B pages, %d local pages/CPU, %d global pages"
-    c.n_cpus (Config.page_size_bytes c) c.local_pages_per_cpu c.global_pages
+  match c.topology with
+  | None ->
+      Printf.sprintf "ACE: %d CPUs, %d B pages, %d local pages/CPU, %d global pages"
+        c.n_cpus (Config.page_size_bytes c) c.local_pages_per_cpu c.global_pages
+  | Some topo ->
+      Printf.sprintf "%s: %d nodes (%d CPUs), %d B pages, %d global pages"
+        (Topo.name topo) (Topo.n_nodes topo) (Topo.cpu_nodes topo)
+        (Config.page_size_bytes c) c.global_pages

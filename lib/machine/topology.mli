@@ -5,8 +5,11 @@
     simulated machine is reflected in the reproduced figure. *)
 
 val render : Config.t -> string
-(** Multi-line drawing: processor modules with MMU and local memory on the
-    IPC bus, global memory boards, and the measured reference times. *)
+(** Multi-line drawing. Classic configs reproduce Figure 1: processor
+    modules with MMU and local memory on the IPC bus, global memory
+    boards, and the measured reference times. Configs with an explicit
+    {!Topo.t} get the general N-node rendering: node boxes (with or
+    without a shared memory board) and the fetch latency matrix. *)
 
 val summary : Config.t -> string
 (** One-line description, e.g. for log headers. *)

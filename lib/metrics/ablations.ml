@@ -432,6 +432,93 @@ let render_butterfly_study rows =
   "Ablation A14: a Butterfly-class machine (shared level at remote speed, section 4.4)\n"
   ^ Text_table.render table
 
+(* --- topology sweep ------------------------------------------------------------ *)
+
+type topology_row = {
+  tp_topology : string;
+  tp_app : string;
+  tp_t_numa : float;
+  tp_gamma : float;
+  tp_alpha : float;
+  tp_remote_refs : int;
+  tp_global_refs : int;
+  tp_moves : int;
+}
+
+(* The same workload on machines that differ only in their distance
+   matrix: the classic two-level ACE, the scalar "butterfly-like"
+   retiming, the true all-local butterfly (shared level striped over CPU
+   nodes), and a two-tier 4-socket matrix. The placement machinery is
+   identical in every run — exactly the machine-independence claim of
+   section 4.4. *)
+let topology_sweep ?apps ?jobs ?(topologies = Numa_machine.Config.builtin_topologies)
+    ?(spec = Runner.default_spec) () =
+  let apps =
+    match apps with
+    | Some l -> l
+    | None -> List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3" ]
+  in
+  let work =
+    List.concat_map
+      (fun (app : App_sig.t) -> List.map (fun topo -> (app, topo)) topologies)
+      apps
+  in
+  Parallel.map ?jobs
+    (fun ((app : App_sig.t), topo_name) ->
+      let tweak (c : Numa_machine.Config.t) =
+        match
+          Numa_machine.Config.of_topology_name ~n_cpus:c.Numa_machine.Config.n_cpus
+            topo_name
+        with
+        | Some c' -> c'
+        | None -> failwith ("topology_sweep: unknown topology " ^ topo_name)
+      in
+      let m = Runner.measure app { spec with Runner.config_tweak = tweak } in
+      let refs = m.Runner.r_numa.Report.refs_all in
+      {
+        tp_topology = topo_name;
+        tp_app = app.App_sig.name;
+        tp_t_numa = m.Runner.times.Model.t_numa;
+        tp_gamma = m.Runner.gamma;
+        tp_alpha = m.Runner.r_numa.Report.alpha_counted;
+        tp_remote_refs = refs.Report.remote_reads + refs.Report.remote_writes;
+        tp_global_refs = refs.Report.global_reads + refs.Report.global_writes;
+        tp_moves = m.Runner.r_numa.Report.numa_moves;
+      })
+    work
+
+let render_topology_sweep rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Application", Text_table.Left);
+          ("topology", Text_table.Left);
+          ("Tnuma", Text_table.Right);
+          ("gamma", Text_table.Right);
+          ("alpha", Text_table.Right);
+          ("global refs", Text_table.Right);
+          ("remote refs", Text_table.Right);
+          ("moves", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        [
+          r.tp_app;
+          r.tp_topology;
+          Text_table.cell_f1 r.tp_t_numa;
+          Text_table.cell_f2 r.tp_gamma;
+          Text_table.cell_f2 r.tp_alpha;
+          string_of_int r.tp_global_refs;
+          string_of_int r.tp_remote_refs;
+          string_of_int r.tp_moves;
+        ])
+    rows;
+  "Ablation A15: one policy across N-node topologies (ACE / butterfly / multi-socket)\n"
+  ^ Text_table.render table
+
 (* --- bus contention --------------------------------------------------------------- *)
 
 type bus_row = {

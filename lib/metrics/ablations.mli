@@ -124,6 +124,35 @@ val butterfly_study :
 
 val render_butterfly_study : butterfly_row list -> string
 
+(** {1 Topology sweep (N-node distance matrices)} *)
+
+type topology_row = {
+  tp_topology : string;
+  tp_app : string;
+  tp_t_numa : float;
+  tp_gamma : float;
+  tp_alpha : float;
+  tp_remote_refs : int;
+  tp_global_refs : int;
+  tp_moves : int;
+}
+
+val topology_sweep :
+  ?apps:Numa_apps.App_sig.t list ->
+  ?jobs:int ->
+  ?topologies:string list ->
+  ?spec:Runner.run_spec ->
+  unit ->
+  topology_row list
+(** The same workload and policy on machines that differ only in their
+    distance matrix ({!Numa_machine.Config.builtin_topologies} by
+    default: the classic ACE, the scalar butterfly retiming, the true
+    striped-shared-level butterfly, and a two-tier multi-socket matrix).
+    Placement quality (alpha) is machine-independent; the cost of the
+    residual shared and remote references is not. *)
+
+val render_topology_sweep : topology_row list -> string
+
 (** {1 IPC-bus contention} *)
 
 type bus_row = {

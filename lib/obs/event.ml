@@ -14,7 +14,7 @@ type t =
   | Zero_fill of { lpage : int; node : int option }
   | Local_fallback of { lpage : int; cpu : int }
   | Page_freed of { lpage : int; moves : int }
-  | Refs of { cpu : int; n : int; write : bool; loc : loc }
+  | Refs of { cpu : int; n : int; write : bool; loc : loc; node : int }
   | Bus_queued of { cpu : int; words : int; delay_ns : float }
   | Lock_acquired of { lock_id : int; cpu : int; tid : int }
   | Lock_contended of { lock_id : int; cpu : int; tid : int }
@@ -115,12 +115,13 @@ let args ev : (string * Json.t) list =
       ]
   | Local_fallback { lpage; cpu } -> [ ("lpage", Json.Int lpage); ("cpu", Json.Int cpu) ]
   | Page_freed { lpage; moves } -> [ ("lpage", Json.Int lpage); ("moves", Json.Int moves) ]
-  | Refs { cpu; n; write; loc } ->
+  | Refs { cpu; n; write; loc; node } ->
       [
         ("cpu", Json.Int cpu);
         ("n", Json.Int n);
         ("write", Json.Bool write);
         ("loc", Json.String (loc_to_string loc));
+        ("node", Json.Int node);
       ]
   | Bus_queued { cpu; words; delay_ns } ->
       [ ("cpu", Json.Int cpu); ("words", Json.Int words); ("delay_ns", Json.Float delay_ns) ]
@@ -161,10 +162,10 @@ let describe ev =
       Printf.sprintf "LOCAL demoted to GLOBAL: node %d's local memory full" cpu
   | Page_freed { moves; _ } ->
       Printf.sprintf "freed (placement history reset after %d moves)" moves
-  | Refs { cpu; n; write; loc } ->
-      Printf.sprintf "%d %s refs from cpu %d (%s)" n
+  | Refs { cpu; n; write; loc; node } ->
+      Printf.sprintf "%d %s refs from cpu %d (%s, node %d)" n
         (if write then "store" else "fetch")
-        cpu (loc_to_string loc)
+        cpu (loc_to_string loc) node
   | Bus_queued { words; delay_ns; _ } ->
       Printf.sprintf "bus backlog: %d words queued %.0f ns" words delay_ns
   | Lock_acquired { lock_id; tid; _ } ->

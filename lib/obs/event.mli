@@ -33,8 +33,10 @@ type t =
   | Zero_fill of { lpage : int; node : int option }  (** [None] = global memory *)
   | Local_fallback of { lpage : int; cpu : int }
   | Page_freed of { lpage : int; moves : int }
-  | Refs of { cpu : int; n : int; write : bool; loc : loc }
-      (** a batch of [n] resolved memory references *)
+  | Refs of { cpu : int; n : int; write : bool; loc : loc; node : int }
+      (** a batch of [n] resolved memory references; [node] is the
+          physical node whose memory served them (the shared board or
+          stripe home for [Global]) *)
   | Bus_queued of { cpu : int; words : int; delay_ns : float }
       (** traffic found a backlog on the IPC bus *)
   | Lock_acquired of { lock_id : int; cpu : int; tid : int }

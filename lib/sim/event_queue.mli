@@ -1,11 +1,11 @@
-(** The engine's ready queue: a pairing heap specialised to
+(** The engine's ready queue: an array-backed binary min-heap on
     (virtual time, sequence number) keys carrying a thread id.
 
-    A monomorphic twin of {!Numa_util.Pairing_heap} for the simulator's
-    hottest structure: the comparison is inlined (no closure call per
-    meld), keys are unboxed fields rather than tuples, and the empty
-    checks ({!min_time}, {!pop_min}) allocate nothing. Ties on time pop
-    in insertion (sequence) order, which the engine relies on for
+    Monomorphic on purpose — this is the simulator's hottest structure:
+    the comparison is inlined (no closure call per sift step), keys live
+    in unboxed float/int arrays rather than tuples, and the empty checks
+    ({!min_time}, {!pop_min}) allocate nothing. Ties on time pop in
+    insertion (sequence) order, which the engine relies on for
     deterministic scheduling. *)
 
 type t

@@ -42,13 +42,16 @@ type access_event = {
 
 type t = {
   config : Config.t;
+  topo : Topo.t;  (** resolved topology; the access path prices per node pair *)
+  n_nodes : int;
   obs : Numa_obs.Hub.t;
   pmap_mgr : Numa_core.Pmap_manager.t;
   mmu : Mmu.t;
   frames : Frame_table.t;
   ref_ns : float array;
-      (** per-reference user cost by [2 * where + access], precomputed
-          from the config so the access path does no cost-model calls *)
+      (** per-reference user cost by [(cpu * n_nodes + node) * 2 + access],
+          precomputed from the topology matrix so the access path does no
+          cost-model calls *)
   ops : Numa_vm.Pmap_intf.ops;
   pool : Numa_vm.Lpage_pool.t;
   task : Numa_vm.Task.t;
@@ -169,16 +172,20 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
                  (Numa_vm.Fault.error_to_string e)))
   in
   let entry = ensure 0 in
+  (* [where] keeps the paper's three reporting buckets; [node] is the
+     physical node that serves the reference and prices it. On the
+     classic ACE the two views coincide exactly. *)
   let where = Mmu.phys_location ~cpu entry.Mmu.phys in
-  let where_idx =
-    match where with Location.Local_here -> 0 | Location.In_global -> 1
-    | Location.Remote_local -> 2
+  let node =
+    match entry.Mmu.phys with
+    | Mmu.Frame f -> f.Frame_table.node
+    | Mmu.Global_frame lpage -> Topo.global_home t.topo ~lpage
   in
   let bus_delay =
-    if where_idx = 0 then 0.
+    if node = cpu then 0.
     else
-      (* Global and remote traffic crosses the IPC bus. *)
-      Bus.delay_ns ~cpu t.bus ~now:(Engine.now t.engine) ~words:count
+      (* Traffic to another node's memory crosses the interconnect. *)
+      Bus.delay_ns ~cpu ~src:cpu ~dst:node t.bus ~now:(Engine.now t.engine) ~words:count
   in
   if Numa_obs.Hub.enabled t.obs then begin
     let loc =
@@ -188,10 +195,11 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
       | Location.Remote_local -> Numa_obs.Event.Remote
     in
     Numa_obs.Hub.emit t.obs
-      (Numa_obs.Event.Refs { cpu; n = count; write = kind = Access.Store; loc })
+      (Numa_obs.Event.Refs { cpu; n = count; write = kind = Access.Store; loc; node })
   end;
   let cost_idx =
-    (2 * where_idx) + match kind with Access.Load -> 0 | Access.Store -> 1
+    (((cpu * t.n_nodes) + node) * 2)
+    + match kind with Access.Load -> 0 | Access.Store -> 1
   in
   let user_ns = (float_of_int count *. t.ref_ns.(cost_idx)) +. bus_delay in
   let system_ns =
@@ -295,21 +303,26 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
   in
   let engine = Engine.create ~obs engine_config ~memory ~scheduler in
   let bus = Bus.create ~obs config in
+  let topo = Config.topology config in
+  let n_nodes = Topo.n_nodes topo in
   let t =
     {
       config;
+      topo;
+      n_nodes;
       obs;
       pmap_mgr;
       mmu = Numa_core.Pmap_manager.mmu pmap_mgr;
       frames = Numa_core.Pmap_manager.frames pmap_mgr;
       ref_ns =
-        (let wheres =
-           [| Location.Local_here; Location.In_global; Location.Remote_local |]
-         in
-         Array.init 6 (fun i ->
-             Cost.reference_ns config
-               ~access:(if i land 1 = 0 then Access.Load else Access.Store)
-               ~where:wheres.(i / 2)));
+        Array.init
+          (config.Config.n_cpus * n_nodes * 2)
+          (fun i ->
+            let cpu = i / (n_nodes * 2) in
+            let node = i / 2 mod n_nodes in
+            Cost.node_reference_ns ~topo
+              ~access:(if i land 1 = 0 then Access.Load else Access.Store)
+              ~cpu ~node);
       ops;
       pool;
       task;

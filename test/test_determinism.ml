@@ -131,6 +131,54 @@ let test_parallel_runner_bit_identical () =
         (Numa_obs.Json.to_string (Runner.measurement_to_json b)))
     seq par
 
+(* --- golden files: the default ACE is frozen ----------------------------- *)
+
+(* The files under test/golden/ were generated (by test/gen_golden) from the
+   machine model BEFORE the N-node topology refactor. These checks pin the
+   default-ACE configuration to those bytes: generalising the model must not
+   change a single float of the classic two-level reports. Regenerate the
+   goldens only for an intentional behaviour change, and review the diff. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let golden name =
+  (* cwd is test/ under `dune runtest`, the project root under `dune exec`. *)
+  let candidates = [ Filename.concat "golden" name; Filename.concat "test/golden" name ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> read_file path
+  | None -> Alcotest.failf "golden file %s not found (cwd %s)" name (Sys.getcwd ())
+
+let golden_report =
+  (* Same run as test/gen_golden/gen_golden.ml. *)
+  lazy
+    (let app = Option.get (Numa_apps.Registry.find "imatmult") in
+     let config = Numa_machine.Config.ace ~n_cpus:4 () in
+     let sys = System.create ~config () in
+     app.App_sig.setup sys { App_sig.nthreads = 4; scale = 0.03; seed = 42L };
+     System.run sys)
+
+let test_golden_report_json () =
+  Alcotest.(check string) "imatmult ACE report JSON is byte-identical"
+    (golden "report_imatmult_ace.json")
+    (report_bytes (Lazy.force golden_report))
+
+let test_golden_report_text () =
+  Alcotest.(check string) "imatmult ACE report text is byte-identical"
+    (golden "report_imatmult_ace.txt")
+    (Format.asprintf "%a@." Report.pp (Lazy.force golden_report))
+
+let test_golden_table3 () =
+  let spec = { Runner.default_spec with Runner.scale = 0.05; n_cpus = 4; nthreads = 4 } in
+  let apps = List.filter_map Numa_apps.Registry.find [ "imatmult"; "primes3" ] in
+  let rows = Numa_metrics.Table3.run ~apps ~spec () in
+  Alcotest.(check string) "small Table 3 is byte-identical"
+    (golden "table3_small_ace.txt")
+    (Numa_metrics.Table3.render rows ^ "\n" ^ Numa_metrics.Table3.render_comparison rows)
+
 let suite =
   [
     Alcotest.test_case "reruns are bit-identical" `Quick test_reruns_identical;
@@ -148,4 +196,7 @@ let suite =
       test_parallel_map_propagates_exceptions;
     Alcotest.test_case "parallel runner bit-identical" `Quick
       test_parallel_runner_bit_identical;
+    Alcotest.test_case "golden: ACE report JSON frozen" `Quick test_golden_report_json;
+    Alcotest.test_case "golden: ACE report text frozen" `Quick test_golden_report_text;
+    Alcotest.test_case "golden: ACE Table 3 frozen" `Quick test_golden_table3;
   ]

@@ -269,6 +269,81 @@ let test_empty_run () =
   Engine.run e;
   Alcotest.(check (float 0.)) "no time passes" 0. (Engine.elapsed_ns e)
 
+(* --- event queue ---------------------------------------------------------- *)
+
+(* Direct tests of the engine's ready queue (the structure that replaced
+   the generic Numa_util pairing heap on the hot path). *)
+
+module Event_queue = Numa_sim.Event_queue
+
+let test_event_queue_basic () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check (float 0.)) "min_time of empty is infinity" infinity
+    (Event_queue.min_time q);
+  Alcotest.(check int) "pop of empty is -1" (-1) (Event_queue.pop_min q);
+  Event_queue.add q ~time:3. ~seq:0 ~tid:30;
+  Event_queue.add q ~time:1. ~seq:1 ~tid:10;
+  Event_queue.add q ~time:2. ~seq:2 ~tid:20;
+  Alcotest.(check int) "length" 3 (Event_queue.length q);
+  Alcotest.(check (float 0.)) "min time" 1. (Event_queue.min_time q);
+  Alcotest.(check int) "pop 1" 10 (Event_queue.pop_min q);
+  Alcotest.(check int) "pop 2" 20 (Event_queue.pop_min q);
+  Alcotest.(check int) "pop 3" 30 (Event_queue.pop_min q);
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  (* Equal times must pop in insertion (sequence) order — the property the
+     engine's deterministic scheduling relies on. *)
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:5. ~seq:0 ~tid:1;
+  Event_queue.add q ~time:5. ~seq:1 ~tid:2;
+  Event_queue.add q ~time:5. ~seq:2 ~tid:3;
+  Alcotest.(check (list int)) "fifo on ties" [ 1; 2; 3 ]
+    (List.init 3 (fun _ -> Event_queue.pop_min q))
+
+let test_event_queue_clear () =
+  let q = Event_queue.create () in
+  for i = 1 to 10 do
+    Event_queue.add q ~time:(float_of_int i) ~seq:i ~tid:i
+  done;
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q);
+  Alcotest.(check int) "length 0" 0 (Event_queue.length q)
+
+let test_event_queue_grows () =
+  (* Push past the initial capacity (64) and check nothing is lost. *)
+  let q = Event_queue.create () in
+  for i = 0 to 199 do
+    Event_queue.add q ~time:(float_of_int (199 - i)) ~seq:i ~tid:(199 - i)
+  done;
+  Alcotest.(check int) "all queued" 200 (Event_queue.length q);
+  for expect = 0 to 199 do
+    Alcotest.(check int) "sorted drain" expect (Event_queue.pop_min q)
+  done
+
+let prop_event_queue_sorts =
+  QCheck.Test.make ~name:"event queue drains in (time, seq) order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.) small_int))
+    (fun entries ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun seq (time, tid) -> Event_queue.add q ~time ~seq ~tid)
+        entries;
+      let rec drain acc =
+        if Event_queue.is_empty q then List.rev acc
+        else
+          let time = Event_queue.min_time q in
+          drain ((time, Event_queue.pop_min q) :: acc)
+      in
+      let expect =
+        List.mapi (fun seq (time, tid) -> (time, seq, tid)) entries
+        |> List.stable_sort (fun (t1, s1, _) (t2, s2, _) ->
+               match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c)
+        |> List.map (fun (time, _, tid) -> (time, tid))
+      in
+      drain [] = expect)
+
 let suite =
   [
     Alcotest.test_case "compute accounting" `Quick test_compute_accounting;
@@ -290,4 +365,9 @@ let suite =
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "spawn after run rejected" `Quick test_spawn_after_run_rejected;
     Alcotest.test_case "empty run" `Quick test_empty_run;
+    Alcotest.test_case "event queue basic" `Quick test_event_queue_basic;
+    Alcotest.test_case "event queue FIFO ties" `Quick test_event_queue_fifo_ties;
+    Alcotest.test_case "event queue clear" `Quick test_event_queue_clear;
+    Alcotest.test_case "event queue grows" `Quick test_event_queue_grows;
+    QCheck_alcotest.to_alcotest prop_event_queue_sorts;
   ]

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("machine", Test_machine.suite);
+      ("topo", Test_topo.suite);
       ("vm", Test_vm.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);

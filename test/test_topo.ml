@@ -1,0 +1,314 @@
+(* Tests for the N-node distance-matrix topology layer: the Topo module
+   itself, its validation, the built-in machines, the matrix-indexed cost
+   functions (including the remote timings the two-level model never
+   exercised), and whole-system runs on non-ACE machines. *)
+
+open Numa_machine
+module System = Numa_system.System
+module Report = Numa_system.Report
+module App_sig = Numa_apps.App_sig
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* --- the derived two-level topology --------------------------------------- *)
+
+let test_derived_ace_matches_scalars () =
+  let c = Config.ace ~n_cpus:4 () in
+  let topo = Config.topology c in
+  Alcotest.(check int) "5 nodes" 5 (Topo.n_nodes topo);
+  Alcotest.(check int) "4 cpu nodes" 4 (Topo.cpu_nodes topo);
+  Alcotest.(check (option int)) "board is node 4" (Some 4) (Topo.mem_node topo);
+  (* Every matrix entry is exactly one of the six scalars. *)
+  Alcotest.(check (float 0.)) "local fetch" c.Config.local_fetch_ns
+    (Topo.fetch_ns topo ~from:2 ~at:2);
+  Alcotest.(check (float 0.)) "local store" c.Config.local_store_ns
+    (Topo.store_ns topo ~from:2 ~at:2);
+  Alcotest.(check (float 0.)) "global fetch" c.Config.global_fetch_ns
+    (Topo.fetch_ns topo ~from:2 ~at:4);
+  Alcotest.(check (float 0.)) "global store" c.Config.global_store_ns
+    (Topo.store_ns topo ~from:2 ~at:4);
+  Alcotest.(check (float 0.)) "remote fetch" c.Config.remote_fetch_ns
+    (Topo.fetch_ns topo ~from:2 ~at:3);
+  Alcotest.(check (float 0.)) "remote store" c.Config.remote_store_ns
+    (Topo.store_ns topo ~from:2 ~at:3);
+  Alcotest.(check int) "pool size" c.Config.local_pages_per_cpu
+    (Topo.pool_pages topo ~node:1)
+
+let test_remote_reference_costs () =
+  (* The measured ACE remote timings (section 2.2): 1.8 us fetch, 1.7 us
+     store — dearer than the global board on this machine. *)
+  let c = Config.ace () in
+  Alcotest.(check (float 1e-9)) "remote fetch scalar" 1800. c.Config.remote_fetch_ns;
+  Alcotest.(check (float 1e-9)) "remote store scalar" 1700. c.Config.remote_store_ns;
+  Alcotest.(check (float 1e-9)) "class cost, load" 1800.
+    (Cost.reference_ns c ~access:Access.Load ~where:Location.Remote_local);
+  Alcotest.(check (float 1e-9)) "class cost, store" 1700.
+    (Cost.reference_ns c ~access:Access.Store ~where:Location.Remote_local);
+  Alcotest.(check (float 1e-9)) "remote dearer than global (fetch)" 300.
+    (c.Config.remote_fetch_ns -. c.Config.global_fetch_ns);
+  (* And through the matrix: node 0 referencing node 1's memory. *)
+  let topo = Config.topology c in
+  Alcotest.(check (float 1e-9)) "matrix remote load" 1800.
+    (Cost.node_reference_ns ~topo ~access:Access.Load ~cpu:0 ~node:1);
+  Alcotest.(check (float 1e-9)) "matrix remote store" 1700.
+    (Cost.node_reference_ns ~topo ~access:Access.Store ~cpu:0 ~node:1)
+
+let test_butterfly_like_derived_topology () =
+  (* The scalar retiming of section 4.4 seen through the matrix: the
+     shared board's row costs exactly the remote timings. *)
+  let c = Config.butterfly_like ~n_cpus:4 () in
+  let topo = Config.topology c in
+  let board = Option.get (Topo.mem_node topo) in
+  Alcotest.(check (float 1e-9)) "board priced as remote (fetch)"
+    c.Config.remote_fetch_ns
+    (Topo.fetch_ns topo ~from:0 ~at:board);
+  Alcotest.(check (float 1e-9)) "board priced as remote (store)"
+    c.Config.remote_store_ns
+    (Topo.store_ns topo ~from:0 ~at:board)
+
+(* --- shared-level homes and classification -------------------------------- *)
+
+let test_global_home () =
+  let ace = Config.topology (Config.ace ~n_cpus:4 ()) in
+  Alcotest.(check int) "ace: board holds every shared page" 4
+    (Topo.global_home ace ~lpage:17);
+  let bf = Config.topology (Config.butterfly ~n_cpus:4 ()) in
+  Alcotest.(check (option int)) "butterfly has no board" None (Topo.mem_node bf);
+  Alcotest.(check int) "stripe 0" 0 (Topo.global_home bf ~lpage:0);
+  Alcotest.(check int) "stripe 9 -> node 1" 1 (Topo.global_home bf ~lpage:9);
+  Alcotest.(check int) "stripe wraps" 3 (Topo.global_home bf ~lpage:7)
+
+let test_classify_places () =
+  let topo = Config.topology (Config.butterfly ~n_cpus:4 ()) in
+  Alcotest.(check bool) "shared is In_global regardless of stripe" true
+    (Topo.classify topo ~cpu:1 (Topo.Shared 1) = Location.In_global);
+  Alcotest.(check bool) "own node" true
+    (Topo.classify topo ~cpu:2 (Topo.Node 2) = Location.Local_here);
+  Alcotest.(check bool) "other node" true
+    (Topo.classify topo ~cpu:2 (Topo.Node 0) = Location.Remote_local)
+
+let test_butterfly_stripe_pricing () =
+  (* The point of the true butterfly: a shared page is local-speed when
+     its stripe home is the referencing node. *)
+  let c = Config.butterfly ~n_cpus:4 () in
+  let topo = Config.topology c in
+  Alcotest.(check (float 1e-9)) "stripe home hit = local speed"
+    c.Config.local_fetch_ns
+    (Cost.place_reference_ns ~topo ~access:Access.Load ~cpu:1 ~place:(Topo.Shared 5));
+  Alcotest.(check (float 1e-9)) "stripe miss = remote speed"
+    c.Config.remote_fetch_ns
+    (Cost.place_reference_ns ~topo ~access:Access.Load ~cpu:0 ~place:(Topo.Shared 5))
+
+let test_multi_socket_near_far () =
+  let c = Config.multi_socket () in
+  let topo = Config.topology c in
+  let near = Topo.fetch_ns topo ~from:0 ~at:1 in
+  let far = Topo.fetch_ns topo ~from:0 ~at:2 in
+  Alcotest.(check bool) "within-socket beats cross-socket" true (near < far);
+  Alcotest.(check (float 1e-9)) "cross-socket = ACE remote" 1800. far;
+  (* Page copy from the board into a node prices each word at
+     (fetch from board) + (store at home). *)
+  let words = float_of_int c.Config.page_size_words in
+  let board = Option.get (Topo.mem_node topo) in
+  Alcotest.(check (float 1e-6)) "page pull-in cost"
+    (words
+    *. (Topo.fetch_ns topo ~from:0 ~at:board +. Topo.store_ns topo ~from:0 ~at:0))
+    (Cost.place_page_copy_ns c ~topo ~cpu:0 ~src:(Topo.Shared 3) ~dst:(Topo.Node 0))
+
+(* --- builtin registry ------------------------------------------------------ *)
+
+let test_builtin_registry () =
+  List.iter
+    (fun name ->
+      match Config.of_topology_name ~n_cpus:4 name with
+      | None -> Alcotest.failf "builtin %s missing" name
+      | Some c -> (
+          Alcotest.(check int) (name ^ " n_cpus honoured") 4 c.Config.n_cpus;
+          match Config.validate c with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "builtin %s invalid: %s" name msg))
+    Config.builtin_topologies;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Config.of_topology_name "hypercube" = None)
+
+(* --- validation ------------------------------------------------------------ *)
+
+let valid_topo () = Config.topology (Config.multi_socket ())
+
+let rejects what mutate =
+  let t = mutate (valid_topo ()) in
+  match Topo.validate t with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "validation accepted %s" what
+
+let test_validate_rejections () =
+  rejects "zero cpu nodes" (fun t -> { t with Topo.cpu_nodes = 0 });
+  rejects "ragged fetch matrix" (fun t ->
+      let m = Array.map Array.copy t.Topo.fetch_ns in
+      m.(1) <- Array.sub m.(1) 0 2;
+      { t with Topo.fetch_ns = m });
+  rejects "short store matrix" (fun t ->
+      { t with Topo.store_ns = Array.sub t.Topo.store_ns 0 2 });
+  rejects "zero latency" (fun t ->
+      let m = Array.map Array.copy t.Topo.fetch_ns in
+      m.(0).(0) <- 0.;
+      { t with Topo.fetch_ns = m });
+  rejects "negative store latency" (fun t ->
+      let m = Array.map Array.copy t.Topo.store_ns in
+      m.(2).(1) <- -5.;
+      { t with Topo.store_ns = m });
+  rejects "negative pool" (fun t ->
+      let p = Array.copy t.Topo.pool_pages in
+      p.(0) <- -1;
+      { t with Topo.pool_pages = p });
+  rejects "pool array wrong length" (fun t ->
+      { t with Topo.pool_pages = Array.sub t.Topo.pool_pages 0 1 });
+  rejects "mem_node out of range" (fun t -> { t with Topo.mem_node = Some 99 });
+  rejects "mem_node is a cpu node" (fun t -> { t with Topo.mem_node = Some 0 });
+  rejects "mem_node missing but extra node present" (fun t ->
+      { t with Topo.mem_node = None });
+  rejects "ragged link matrix" (fun t ->
+      let n = Array.length t.Topo.fetch_ns in
+      let m = Array.make_matrix n n 0.02 in
+      m.(0) <- Array.sub m.(0) 0 1;
+      { t with Topo.link_words_per_ns = Some m });
+  rejects "negative link bandwidth" (fun t ->
+      let n = Array.length t.Topo.fetch_ns in
+      let m = Array.make_matrix n n 0.02 in
+      m.(1).(2) <- -0.5;
+      { t with Topo.link_words_per_ns = Some m })
+
+let test_config_topology_agreement () =
+  (* The config-level check: n_cpus must agree with the topology. *)
+  let c = Config.butterfly ~n_cpus:4 () in
+  Alcotest.(check bool) "consistent config valid" true
+    (Result.is_ok (Config.validate c));
+  let bad = { c with Config.n_cpus = 5 } in
+  Alcotest.(check bool) "cpu-count mismatch rejected" true
+    (Result.is_error (Config.validate bad))
+
+(* One random single-field corruption per run: whichever field is hit,
+   validation must reject the result. *)
+let prop_validate_rejects_corruption =
+  QCheck.Test.make ~name:"topology validation rejects every corrupted field"
+    ~count:200
+    QCheck.(pair (int_bound 6) (int_bound 1000))
+    (fun (which, salt) ->
+      let t = valid_topo () in
+      let n = Array.length t.Topo.fetch_ns in
+      let i = salt mod n and j = salt * 7 mod n in
+      let corrupted =
+        match which with
+        | 0 -> { t with Topo.cpu_nodes = -(1 + (salt mod 3)) }
+        | 1 ->
+            let m = Array.map Array.copy t.Topo.fetch_ns in
+            m.(i).(j) <- -.float_of_int (1 + salt);
+            { t with Topo.fetch_ns = m }
+        | 2 ->
+            let m = Array.map Array.copy t.Topo.store_ns in
+            m.(i).(j) <- 0.;
+            { t with Topo.store_ns = m }
+        | 3 ->
+            let p = Array.copy t.Topo.pool_pages in
+            p.(salt mod Array.length p) <- -(1 + salt);
+            { t with Topo.pool_pages = p }
+        | 4 -> { t with Topo.mem_node = Some (n + (salt mod 5)) }
+        | 5 ->
+            let m = Array.map Array.copy t.Topo.fetch_ns in
+            m.(i) <- Array.append m.(i) [| 1. |];
+            { t with Topo.fetch_ns = m }
+        | _ ->
+            let m = Array.make_matrix n n 0.01 in
+            m.(i).(j) <- -1.;
+            { t with Topo.link_words_per_ns = Some m }
+      in
+      Result.is_error (Topo.validate corrupted))
+
+(* --- whole-system runs on non-ACE machines --------------------------------- *)
+
+let run_on config =
+  let app = Option.get (Numa_apps.Registry.find "imatmult") in
+  let sys = System.create ~config () in
+  app.App_sig.setup sys { App_sig.nthreads = 4; scale = 0.02; seed = 42L };
+  System.run sys
+
+let test_system_runs_on_builtins () =
+  List.iter
+    (fun name ->
+      let config = Option.get (Config.of_topology_name ~n_cpus:4 name) in
+      let r = run_on config in
+      Alcotest.(check bool)
+        (name ^ " does work") true
+        (Report.total_refs r.Report.refs_all > 0 && r.Report.total_user_ns > 0.);
+      Alcotest.(check bool)
+        (name ^ " places pages") true
+        (r.Report.alpha_counted > 0.5))
+    Config.builtin_topologies
+
+let test_system_deterministic_on_butterfly () =
+  let fingerprint (r : Report.t) =
+    (r.Report.total_user_ns, Report.total_refs r.Report.refs_all, r.Report.numa_moves)
+  in
+  let a = fingerprint (run_on (Config.butterfly ~n_cpus:4 ())) in
+  let b = fingerprint (run_on (Config.butterfly ~n_cpus:4 ())) in
+  Alcotest.(check bool) "reruns identical" true (a = b)
+
+let test_frame_pools_per_node () =
+  let config = Config.multi_socket ~local_pages_per_cpu:8 () in
+  let ft = Frame_table.create config in
+  for node = 0 to config.Config.n_cpus - 1 do
+    for _ = 1 to 8 do
+      match Frame_table.alloc_local ft ~node with
+      | Some _ -> ()
+      | None -> Alcotest.failf "node %d pool exhausted early" node
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d capacity is per-node" node)
+      true
+      (Frame_table.alloc_local ft ~node = None)
+  done
+
+(* --- rendering ------------------------------------------------------------- *)
+
+let test_render_n_node () =
+  let bf = Topology.render (Config.butterfly ~n_cpus:4 ()) in
+  Alcotest.(check bool) "butterfly: striped note" true (contains bf "striped");
+  Alcotest.(check bool) "butterfly: latency matrix" true
+    (contains bf "fetch latency matrix");
+  let ms = Topology.render (Config.multi_socket ()) in
+  Alcotest.(check bool) "multi-socket: board node" true
+    (contains ms "shared memory board");
+  Alcotest.(check bool) "multi-socket: near latency in matrix" true
+    (contains ms "1.10");
+  (* The classic drawing must still be the classic drawing. *)
+  let ace = Topology.render (Config.ace ()) in
+  Alcotest.(check bool) "ace unchanged: IPC bus" true (contains ace "IPC");
+  Alcotest.(check bool) "ace has no matrix" false
+    (contains ace "fetch latency matrix")
+
+let suite =
+  [
+    Alcotest.test_case "derived ACE topology = scalars" `Quick
+      test_derived_ace_matches_scalars;
+    Alcotest.test_case "remote reference costs" `Quick test_remote_reference_costs;
+    Alcotest.test_case "butterfly-like derived topology" `Quick
+      test_butterfly_like_derived_topology;
+    Alcotest.test_case "global home / striping" `Quick test_global_home;
+    Alcotest.test_case "place classification" `Quick test_classify_places;
+    Alcotest.test_case "butterfly stripe pricing" `Quick test_butterfly_stripe_pricing;
+    Alcotest.test_case "multi-socket near/far" `Quick test_multi_socket_near_far;
+    Alcotest.test_case "builtin registry" `Quick test_builtin_registry;
+    Alcotest.test_case "validation rejections" `Quick test_validate_rejections;
+    Alcotest.test_case "config/topology agreement" `Quick test_config_topology_agreement;
+    qcheck prop_validate_rejects_corruption;
+    Alcotest.test_case "system runs on every builtin" `Quick test_system_runs_on_builtins;
+    Alcotest.test_case "butterfly runs deterministic" `Quick
+      test_system_deterministic_on_butterfly;
+    Alcotest.test_case "frame pools per node" `Quick test_frame_pools_per_node;
+    Alcotest.test_case "N-node rendering" `Quick test_render_n_node;
+  ]

@@ -1,7 +1,6 @@
 (* Unit and property tests for the util library. *)
 
 module Prng = Numa_util.Prng
-module Pairing_heap = Numa_util.Pairing_heap
 module Bitvec = Numa_util.Bitvec
 module Stats = Numa_util.Stats
 module Histogram = Numa_util.Histogram
@@ -69,63 +68,6 @@ let test_prng_invalid () =
     (fun () -> ignore (Prng.int t 0));
   Alcotest.check_raises "empty choose" (Invalid_argument "Prng.choose: empty array")
     (fun () -> ignore (Prng.choose t [||]))
-
-(* --- pairing heap -------------------------------------------------------- *)
-
-let test_heap_basic () =
-  let h = Pairing_heap.create ~cmp:Int.compare in
-  Alcotest.(check bool) "empty" true (Pairing_heap.is_empty h);
-  Pairing_heap.add h 3 "c";
-  Pairing_heap.add h 1 "a";
-  Pairing_heap.add h 2 "b";
-  Alcotest.(check int) "length" 3 (Pairing_heap.length h);
-  Alcotest.(check (option (pair int string))) "min" (Some (1, "a")) (Pairing_heap.min_elt h);
-  Alcotest.(check (option (pair int string))) "pop 1" (Some (1, "a")) (Pairing_heap.pop_min h);
-  Alcotest.(check (option (pair int string))) "pop 2" (Some (2, "b")) (Pairing_heap.pop_min h);
-  Alcotest.(check (option (pair int string))) "pop 3" (Some (3, "c")) (Pairing_heap.pop_min h);
-  Alcotest.(check (option (pair int string))) "pop empty" None (Pairing_heap.pop_min h)
-
-let test_heap_fifo_ties () =
-  (* The engine's event queue relies on (time, seq) keys; equal times must
-     not lose elements. *)
-  let h = Pairing_heap.create ~cmp:(fun (a, s1) (b, s2) ->
-      match Int.compare a b with 0 -> Int.compare s1 s2 | c -> c)
-  in
-  Pairing_heap.add h (1, 0) "first";
-  Pairing_heap.add h (1, 1) "second";
-  Alcotest.(check (option string)) "fifo on tie" (Some "first")
-    (Option.map snd (Pairing_heap.pop_min h));
-  Alcotest.(check (option string)) "then second" (Some "second")
-    (Option.map snd (Pairing_heap.pop_min h))
-
-let test_heap_clear () =
-  let h = Pairing_heap.create ~cmp:Int.compare in
-  for i = 1 to 10 do Pairing_heap.add h i i done;
-  Pairing_heap.clear h;
-  Alcotest.(check bool) "cleared" true (Pairing_heap.is_empty h);
-  Alcotest.(check int) "length 0" 0 (Pairing_heap.length h)
-
-let test_heap_to_sorted_preserves () =
-  let h = Pairing_heap.create ~cmp:Int.compare in
-  List.iter (fun k -> Pairing_heap.add h k k) [ 5; 3; 9; 1 ];
-  let sorted = Pairing_heap.to_sorted_list h in
-  Alcotest.(check (list int)) "sorted keys" [ 1; 3; 5; 9 ] (List.map fst sorted);
-  Alcotest.(check int) "heap unchanged" 4 (Pairing_heap.length h);
-  Alcotest.(check (option (pair int int))) "min unchanged" (Some (1, 1))
-    (Pairing_heap.min_elt h)
-
-let prop_heap_sorts =
-  QCheck.Test.make ~name:"pairing heap drains in sorted order" ~count:200
-    QCheck.(list small_int)
-    (fun keys ->
-      let h = Pairing_heap.create ~cmp:Int.compare in
-      List.iter (fun k -> Pairing_heap.add h k k) keys;
-      let rec drain acc =
-        match Pairing_heap.pop_min h with
-        | None -> List.rev acc
-        | Some (k, _) -> drain (k :: acc)
-      in
-      drain [] = List.sort Int.compare keys)
 
 (* --- bitvec --------------------------------------------------------------- *)
 
@@ -298,11 +240,6 @@ let suite =
     Alcotest.test_case "prng copy" `Quick test_prng_copy;
     Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutation;
     Alcotest.test_case "prng invalid args" `Quick test_prng_invalid;
-    Alcotest.test_case "heap basic" `Quick test_heap_basic;
-    Alcotest.test_case "heap FIFO ties" `Quick test_heap_fifo_ties;
-    Alcotest.test_case "heap clear" `Quick test_heap_clear;
-    Alcotest.test_case "heap to_sorted preserves" `Quick test_heap_to_sorted_preserves;
-    qcheck prop_heap_sorts;
     Alcotest.test_case "bitvec basic" `Quick test_bitvec_basic;
     Alcotest.test_case "bitvec fill/popcount" `Quick test_bitvec_fill_popcount;
     Alcotest.test_case "bitvec union/equal" `Quick test_bitvec_union_equal;
