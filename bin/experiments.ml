@@ -7,6 +7,7 @@ module Runner = Numa_metrics.Runner
 module Table3 = Numa_metrics.Table3
 module Table4 = Numa_metrics.Table4
 module Ablations = Numa_metrics.Ablations
+module Tournament = Numa_metrics.Tournament
 module System = Numa_system.System
 
 let scale_arg =
@@ -25,8 +26,85 @@ let jobs_arg =
           "Distribute the independent simulated runs of each experiment over $(docv) \
            domains. Results are identical to --jobs 1; only wall-clock time changes.")
 
+let topology_arg =
+  Arg.(
+    value
+    & opt string "ace"
+    & info [ "topology" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Machine for the policy tournament: one of %s. Other sections always run \
+              the paper's ACE."
+             (String.concat ", " Numa_machine.Config.builtin_topologies)))
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt string "policy-tournament.json"
+    & info [ "json-out" ] ~docv:"FILE"
+        ~doc:"Where the policy tournament writes its JSON artifact.")
+
+let apps_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "apps" ] ~docv:"A,B,..."
+        ~doc:
+          "Comma-separated application subset for the policy tournament (default: the \
+           Table 4 set).")
+
+let policies_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policies" ] ~docv:"P,Q,..."
+        ~doc:
+          "Comma-separated policy subset for the policy tournament, in the run/measure \
+           --policy syntax (default: every shipped policy).")
+
 let spec_of ~scale ~cpus =
   { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus }
+
+let parse_apps s =
+  List.map
+    (fun name ->
+      match Numa_apps.Registry.find name with
+      | Some app -> app
+      | None ->
+          failwith
+            (Printf.sprintf "unknown app %S; known: %s" name
+               (String.concat ", " (Numa_apps.Registry.names ()))))
+    (String.split_on_char ',' s)
+
+let parse_policies s =
+  List.map
+    (fun p ->
+      match System.policy_spec_of_string p with
+      | Ok spec -> spec
+      | Error msg -> failwith (Printf.sprintf "bad policy %S: %s" p msg))
+    (String.split_on_char ',' s)
+
+let policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies =
+  let tweak (c : Numa_machine.Config.t) =
+    match
+      Numa_machine.Config.of_topology_name ~n_cpus:c.Numa_machine.Config.n_cpus topology
+    with
+    | Some c' -> c'
+    | None ->
+        failwith
+          (Printf.sprintf "unknown topology %S; known: %s" topology
+             (String.concat ", " Numa_machine.Config.builtin_topologies))
+  in
+  let apps = Option.map parse_apps apps in
+  let policies = Option.map parse_policies policies in
+  let rows =
+    Tournament.run ~jobs ?policies ?apps
+      ~spec:{ spec with Runner.config_tweak = tweak }
+      ()
+  in
+  print_endline (Tournament.render ~topology rows);
+  Numa_obs.Json.save (Tournament.to_json ~topology rows) json_out;
+  Printf.printf "tournament JSON written to %s\n" json_out
 
 let table1 () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load)
@@ -117,7 +195,7 @@ let replay_study ~spec =
             ]
           buffer))
 
-let run_section section ~spec ~cpus ~jobs =
+let run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
   match section with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
@@ -164,6 +242,7 @@ let run_section section ~spec ~cpus ~jobs =
   | "reconsider" ->
       print_endline
         (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
+  | "policy-tournament" -> policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies
   | other -> failwith ("unknown section: " ^ other)
 
 let sections =
@@ -171,10 +250,10 @@ let sections =
     "table1"; "table2"; "figure1"; "figure2"; "table3"; "table4"; "threshold-sweep";
     "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
     "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "topology-sweep";
-    "reconsider";
+    "reconsider"; "policy-tournament";
   ]
 
-let all ~spec ~cpus ~jobs =
+let all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
   table1 ();
   table2 ();
   figure1 ~cpus;
@@ -199,7 +278,8 @@ let all ~spec ~cpus ~jobs =
     (Ablations.render_butterfly_study (Ablations.butterfly_study ~jobs ~spec ()));
   print_endline
     (Ablations.render_topology_sweep (Ablations.topology_sweep ~jobs ~spec ()));
-  print_endline (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
+  print_endline (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()));
+  policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies
 
 let () =
   let section_arg =
@@ -208,20 +288,28 @@ let () =
       & info [] ~docv:"SECTION"
           ~doc:(Printf.sprintf "One of: all, %s." (String.concat ", " sections)))
   in
-  let action section scale cpus jobs =
+  let action section scale cpus jobs topology json_out apps policies =
     let spec = spec_of ~scale ~cpus in
-    if section = "all" then all ~spec ~cpus ~jobs
-    else if List.mem section sections then run_section section ~spec ~cpus ~jobs
-    else begin
-      Printf.eprintf "unknown section %S; known: all, %s\n" section
-        (String.concat ", " sections);
+    try
+      if section = "all" then all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies
+      else if List.mem section sections then
+        run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies
+      else begin
+        Printf.eprintf "unknown section %S; known: all, %s\n" section
+          (String.concat ", " sections);
+        exit 1
+      end
+    with Failure msg ->
+      (* bad --apps / --policies / --topology values surface here *)
+      Printf.eprintf "experiments: %s\n" msg;
       exit 1
-    end
   in
   let cmd =
     Cmd.v
       (Cmd.info "experiments" ~version:"1.0.0"
          ~doc:"Regenerate the paper's tables/figures and the ablation studies.")
-      Term.(const action $ section_arg $ scale_arg $ cpus_arg $ jobs_arg)
+      Term.(
+        const action $ section_arg $ scale_arg $ cpus_arg $ jobs_arg $ topology_arg
+        $ json_out_arg $ apps_arg $ policies_arg)
   in
   exit (Cmd.eval cmd)

@@ -9,29 +9,9 @@ module Model = Numa_metrics.Model
 
 let policy_conv =
   let parse s =
-    match String.split_on_char ':' s with
-    | [ "move-limit" ] -> Ok (System.Move_limit { threshold = 4 })
-    | [ "move-limit"; n ] -> (
-        match int_of_string_opt n with
-        | Some threshold when threshold >= 0 -> Ok (System.Move_limit { threshold })
-        | Some _ | None -> Error (`Msg "move-limit threshold must be a non-negative int"))
-    | [ "all-global" ] -> Ok System.All_global
-    | [ "never-pin" ] -> Ok System.Never_pin
-    | [ "random"; p ] -> (
-        match float_of_string_opt p with
-        | Some p_global when p_global >= 0. && p_global <= 1. ->
-            Ok (System.Random_assign { p_global; seed = 7L })
-        | Some _ | None -> Error (`Msg "random probability must be in [0,1]"))
-    | [ "reconsider"; n; w ] -> (
-        match (int_of_string_opt n, float_of_string_opt w) with
-        | Some threshold, Some window_ms when threshold >= 0 && window_ms > 0. ->
-            Ok (System.Reconsider { threshold; window_ns = window_ms *. 1e6 })
-        | _ -> Error (`Msg "expected reconsider:<threshold>:<window-ms>"))
-    | _ ->
-        Error
-          (`Msg
-            "unknown policy; use move-limit[:N], all-global, never-pin, random:P, \
-             reconsider:N:MS")
+    match System.policy_spec_of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf p = Format.pp_print_string ppf (System.policy_spec_name p) in
   Arg.conv (parse, print)

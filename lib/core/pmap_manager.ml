@@ -240,7 +240,10 @@ let reconsider_scan t =
         Numa_obs.Hub.emit t.obs (Numa_obs.Event.Page_unpin { lpage });
       remove_all t ~lpage)
     expired;
-  List.length expired
+  let n = List.length expired in
+  if n > 0 && Numa_obs.Hub.enabled t.obs then
+    Numa_obs.Hub.emit t.obs (Numa_obs.Event.Reconsider_scan { expired = n });
+  n
 
 let placement_summary t =
   let untouched = ref 0 and ro = ref 0 and lw = ref 0 and gw = ref 0 and homed = ref 0 in

@@ -1,3 +1,5 @@
+module Topo = Numa_machine.Topo
+
 type event = Page_moved of { lpage : int } | Page_freed of { lpage : int }
 
 type t = {
@@ -6,11 +8,13 @@ type t = {
   note : event -> unit;
   n_pinned : unit -> int;
   expired_pins : unit -> int list;
+  migrate_hints : unit -> (int * int) list;
   info : unit -> (string * string) list;
   explain : lpage:int -> string;
 }
 
 let no_expiry () = []
+let no_hints () = []
 
 let move_limit ?(threshold = 4) ~n_pages () =
   if threshold < 0 then invalid_arg "Policy.move_limit: negative threshold";
@@ -43,6 +47,7 @@ let move_limit ?(threshold = 4) ~n_pages () =
     note;
     n_pinned = (fun () -> Hashtbl.length pinned);
     expired_pins = no_expiry;
+    migrate_hints = no_hints;
     explain;
     info =
       (fun () ->
@@ -59,6 +64,7 @@ let all_global () =
     note = (fun _ -> ());
     n_pinned = (fun () -> 0);
     expired_pins = no_expiry;
+    migrate_hints = no_hints;
     explain = (fun ~lpage:_ -> "all-global: every page placed GLOBAL");
     info = (fun () -> []);
   }
@@ -70,6 +76,7 @@ let never_pin () =
     note = (fun _ -> ());
     n_pinned = (fun () -> 0);
     expired_pins = no_expiry;
+    migrate_hints = no_hints;
     explain = (fun ~lpage:_ -> "never-pin: every page cached LOCAL forever");
     info = (fun () -> []);
   }
@@ -101,6 +108,7 @@ let random ~prng ~p_global ~n_pages =
     note;
     n_pinned = (fun () -> !pinned);
     expired_pins = no_expiry;
+    migrate_hints = no_hints;
     explain =
       (fun ~lpage ->
         match assignment.(lpage) with
@@ -153,6 +161,7 @@ let reconsider ?(threshold = 4) ~window_ns ~now ~n_pages () =
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned_at);
+    migrate_hints = no_hints;
     explain;
     expired_pins =
       (fun () ->
@@ -166,5 +175,226 @@ let reconsider ?(threshold = 4) ~window_ns ~now ~n_pages () =
           ("threshold", string_of_int threshold);
           ("window_ns", Printf.sprintf "%.0f" window_ns);
           ("pinned pages", string_of_int (Hashtbl.length pinned_at));
+        ]);
+  }
+
+let decay ?(threshold = 4.) ?(half_life_ns = 50e6) ~now ~n_pages () =
+  if threshold < 0. then invalid_arg "Policy.decay: negative threshold";
+  if half_life_ns <= 0. then invalid_arg "Policy.decay: half-life must be positive";
+  (* The move count is a leaky counter: it halves every [half_life_ns] of
+     simulated time, so a bursty ping-pong phase stops counting against the
+     page once the phase is over. The decayed value is materialised lazily
+     (on decide/note/scan) from (score, last-update) pairs, which keeps the
+     policy O(1) per event like move_limit. *)
+  let score = Array.make n_pages 0. in
+  let last = Array.make n_pages 0. in
+  let pinned = Hashtbl.create 64 in
+  let current lpage =
+    let dt = now () -. last.(lpage) in
+    if dt <= 0. then score.(lpage) else score.(lpage) *. (0.5 ** (dt /. half_life_ns))
+  in
+  let refresh lpage =
+    let s = current lpage in
+    score.(lpage) <- s;
+    last.(lpage) <- now ();
+    s
+  in
+  let decide ~lpage ~cpu:_ ~access:_ =
+    let s = refresh lpage in
+    if s > threshold then begin
+      Hashtbl.replace pinned lpage ();
+      Protocol.Place_global
+    end
+    else begin
+      Hashtbl.remove pinned lpage;
+      Protocol.Place_local
+    end
+  in
+  let note = function
+    | Page_moved { lpage } ->
+        let s = refresh lpage in
+        score.(lpage) <- s +. 1.
+    | Page_freed { lpage } ->
+        score.(lpage) <- 0.;
+        last.(lpage) <- now ();
+        Hashtbl.remove pinned lpage
+  in
+  let explain ~lpage =
+    if Hashtbl.mem pinned lpage then
+      Printf.sprintf
+        "decay: decayed move score %.2f > threshold %.1f (half-life %.0f ns); pinned \
+         GLOBAL until the score decays"
+        (current lpage) threshold half_life_ns
+    else
+      Printf.sprintf "decay: decayed move score %.2f <= threshold %.1f; cache LOCAL"
+        (current lpage) threshold
+  in
+  {
+    name = "decay";
+    decide;
+    note;
+    n_pinned = (fun () -> Hashtbl.length pinned);
+    explain;
+    expired_pins =
+      (fun () ->
+        (* A pin whose score has leaked back under the threshold no longer
+           has a reason to exist; hand it to the rescan so the page faults
+           again and [decide] can answer LOCAL. *)
+        Hashtbl.fold
+          (fun lpage () acc -> if current lpage <= threshold then lpage :: acc else acc)
+          pinned []);
+    migrate_hints = no_hints;
+    info =
+      (fun () ->
+        [
+          ("threshold", Printf.sprintf "%.1f" threshold);
+          ("half_life_ns", Printf.sprintf "%.0f" half_life_ns);
+          ("pinned pages", string_of_int (Hashtbl.length pinned));
+        ]);
+  }
+
+let bandwidth_aware ?(threshold = 4) ~topo ~pressure ~n_pages () =
+  if threshold < 0 then invalid_arg "Policy.bandwidth_aware: negative threshold";
+  (* Move-limit backbone (moves > threshold still pins), but instead of
+     answering LOCAL unconditionally below the threshold, compare the
+     modelled per-reference cost of the two placements from this CPU:
+
+     - LOCAL costs the node's own fetch latency, scaled up steeply as the
+       node's frame pool fills (a LOCAL answer against a full pool only
+       buys a fallback-to-global plus eviction churn);
+     - GLOBAL costs the matrix latency to the page's shared-level home
+       (the memory board, or the stripe home [lpage mod cpu_nodes] on a
+       Butterfly-class machine), surcharged when the directed link to that
+       home is slow — one extra word-time per word on a congestible link.
+
+     On a striped machine this is what chooses WHICH node serves a shared
+     page: stripes homed on the faulting node are near-free GLOBAL answers,
+     far stripes over slow links lose to LOCAL caching. A GLOBAL answer
+     below the threshold is opportunistic, not a pin (like all_global,
+     n_pinned does not count it), so the page can still be cached locally
+     by a later faulting CPU with better geometry. *)
+  let moves = Array.make n_pages 0 in
+  let pinned = Hashtbl.create 64 in
+  let cheap_global = ref 0 in
+  let local_cost ~cpu =
+    let base = Topo.fetch_ns topo ~from:cpu ~at:cpu in
+    let p = pressure ~node:cpu in
+    if p >= 1. then base *. 64.
+    else if p >= 0.9 then base *. (1. +. ((p -. 0.9) *. 100.))
+    else base
+  in
+  let shared_cost ~lpage ~cpu =
+    let home = Topo.global_home topo ~lpage in
+    let base = Topo.fetch_ns topo ~from:cpu ~at:home in
+    match Topo.link_words_per_ns topo ~from:cpu ~at:home with
+    | None -> base
+    | Some bw -> base +. (1. /. bw)
+  in
+  let decide ~lpage ~cpu ~access:_ =
+    if moves.(lpage) > threshold then begin
+      if not (Hashtbl.mem pinned lpage) then Hashtbl.replace pinned lpage ();
+      Protocol.Place_global
+    end
+    else if shared_cost ~lpage ~cpu <= local_cost ~cpu then begin
+      incr cheap_global;
+      Protocol.Place_global
+    end
+    else Protocol.Place_local
+  in
+  let note = function
+    | Page_moved { lpage } -> moves.(lpage) <- moves.(lpage) + 1
+    | Page_freed { lpage } ->
+        moves.(lpage) <- 0;
+        Hashtbl.remove pinned lpage
+  in
+  let explain ~lpage =
+    if Hashtbl.mem pinned lpage then
+      Printf.sprintf "bandwidth-aware: page moved %d times > threshold %d; pinned GLOBAL"
+        moves.(lpage) threshold
+    else
+      Printf.sprintf
+        "bandwidth-aware: moves %d <= threshold %d; next fault compares shared-home \
+         latency+link bandwidth against local latency+frame pressure"
+        moves.(lpage) threshold
+  in
+  {
+    name = "bandwidth-aware";
+    decide;
+    note;
+    n_pinned = (fun () -> Hashtbl.length pinned);
+    expired_pins = no_expiry;
+    migrate_hints = no_hints;
+    explain;
+    info =
+      (fun () ->
+        [
+          ("threshold", string_of_int threshold);
+          ("pinned pages", string_of_int (Hashtbl.length pinned));
+          ("cheap-global decisions", string_of_int !cheap_global);
+        ]);
+  }
+
+let migrate_threads ?(threshold = 4) ~topo ~n_pages () =
+  if threshold < 0 then invalid_arg "Policy.migrate_threads: negative threshold";
+  (* Phoenix-style coordination: placement is exactly move_limit, but when
+     a page pins, the policy also asks "should the COMPUTATION move?". If
+     the page's shared-level home is another CPU node's memory (always the
+     case on striped machines, never on a board machine), the faulting
+     CPU's work would run closer to its data over there, so the policy
+     queues a (faulting_cpu, home_node) re-homing hint. The system layer
+     consumes hints from its daemon tick and may move one thread per tick;
+     the hint list is drained on read so a hint fires at most once. *)
+  let moves = Array.make n_pages 0 in
+  let pinned = Hashtbl.create 64 in
+  let hints = ref [] in
+  let hinted = ref 0 in
+  let decide ~lpage ~cpu ~access:_ =
+    if moves.(lpage) > threshold then begin
+      if not (Hashtbl.mem pinned lpage) then begin
+        Hashtbl.replace pinned lpage ();
+        let home = Topo.global_home topo ~lpage in
+        if home <> cpu && home < Topo.cpu_nodes topo then begin
+          hints := (cpu, home) :: !hints;
+          incr hinted
+        end
+      end;
+      Protocol.Place_global
+    end
+    else Protocol.Place_local
+  in
+  let note = function
+    | Page_moved { lpage } -> moves.(lpage) <- moves.(lpage) + 1
+    | Page_freed { lpage } ->
+        moves.(lpage) <- 0;
+        Hashtbl.remove pinned lpage
+  in
+  let explain ~lpage =
+    if Hashtbl.mem pinned lpage then
+      Printf.sprintf
+        "migrate-threads: page moved %d times > threshold %d; pinned GLOBAL (with a \
+         thread re-homing hint toward its shared-level home)"
+        moves.(lpage) threshold
+    else
+      Printf.sprintf "migrate-threads: moves %d <= threshold %d; cache LOCAL"
+        moves.(lpage) threshold
+  in
+  {
+    name = "migrate-threads";
+    decide;
+    note;
+    n_pinned = (fun () -> Hashtbl.length pinned);
+    expired_pins = no_expiry;
+    migrate_hints =
+      (fun () ->
+        let out = List.rev !hints in
+        hints := [];
+        out);
+    explain;
+    info =
+      (fun () ->
+        [
+          ("threshold", string_of_int threshold);
+          ("pinned pages", string_of_int (Hashtbl.length pinned));
+          ("migration hints issued", string_of_int !hinted);
         ]);
   }

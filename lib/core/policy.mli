@@ -35,6 +35,14 @@ type t = {
           runs a periodic scan that drops the mappings of expired pins,
           forcing a fresh fault and a fresh decision. Empty for the paper's
           policies, which never reconsider (footnote 4). *)
+  migrate_hints : unit -> (int * int) list;
+      (** pending [(from_cpu, to_cpu)] thread re-homing recommendations,
+          drained on read. A coordinated policy ({!migrate_threads}) may
+          suggest that a thread running on [from_cpu] would be better
+          homed on [to_cpu], next to the memory serving its pinned pages.
+          The system layer polls this from its daemon tick and decides
+          whether (and which thread) to move; placement-only policies
+          always return []. *)
   info : unit -> (string * string) list;
       (** human-readable parameter/state summary for reports *)
   explain : lpage:int -> string;
@@ -58,11 +66,50 @@ val never_pin : unit -> t
     thrash. *)
 
 val random : prng:Numa_util.Prng.t -> p_global:float -> n_pages:int -> t
-(** Straw-man: each page is permanently assigned LOCAL or GLOBAL by a coin
-    flip on first decision. Used in ablations to show that the simple
-    counting policy carries real information. *)
+(** Straw-man: each page is assigned LOCAL or GLOBAL by a coin flip on
+    first decision, and the assignment then sticks for the page's lifetime
+    — except across a free: like every policy here, [random] honours
+    footnote 4 and forgets the assignment on [Page_freed], so a recycled
+    logical page gets a fresh flip. Used in ablations to show that the
+    simple counting policy carries real information. *)
 
 val reconsider : ?threshold:int -> window_ns:float -> now:(unit -> float) -> n_pages:int -> unit -> t
 (** Future-work extension (section 5): like {!move_limit}, but a pinning
     decision expires after [window_ns] of simulated time, after which the
     page's move count is reset and it may be cached locally again. *)
+
+val decay :
+  ?threshold:float -> ?half_life_ns:float -> now:(unit -> float) -> n_pages:int -> unit -> t
+(** Adaptive variant of {!move_limit}: the per-page move count decays
+    exponentially with simulated time (halving every [half_life_ns],
+    default 50 ms), so a bursty ping-pong phase does not pin a page
+    forever. A page pins while its decayed score exceeds [threshold]
+    (default 4.0) and is reported by [expired_pins] — and hence unpinned
+    by the periodic rescan — once the score has leaked back under it. *)
+
+val bandwidth_aware :
+  ?threshold:int ->
+  topo:Numa_machine.Topo.t ->
+  pressure:(node:int -> float) ->
+  n_pages:int ->
+  unit ->
+  t
+(** Topology-driven placement in the spirit of Bandwidth-Aware Page
+    Placement in NUMA (2020): keeps {!move_limit}'s pin-after-[threshold]
+    backbone, but below the threshold it compares the modelled
+    per-reference cost of the two placements — the shared-level home's
+    matrix latency surcharged when the directed link to it is slow
+    ({!Numa_machine.Topo.link_words_per_ns}), against the node's local
+    latency scaled up as its frame pool fills ([pressure ~node] is the
+    in-use fraction, 0.0–1.0). On striped machines this chooses which
+    node serves a shared page: near stripes become cheap GLOBAL answers,
+    far stripes over slow links are cached locally instead. *)
+
+val migrate_threads : ?threshold:int -> topo:Numa_machine.Topo.t -> n_pages:int -> unit -> t
+(** Coordinated thread-and-page placement in the spirit of Phoenix
+    (2025): placement is exactly {!move_limit}, but each time a page
+    pins, the policy queues a [(faulting_cpu, home_node)] re-homing hint
+    via [migrate_hints] when the page's shared-level home is another CPU
+    node's memory — moving the computation to its data instead of only
+    the data to the computation. The hints are advisory; the hook is off
+    unless the system layer polls and applies them. *)

@@ -22,6 +22,13 @@ let pool_pages t ~node =
 let fetch_ns t ~from ~at = t.fetch_ns.(from).(at)
 let store_ns t ~from ~at = t.store_ns.(from).(at)
 
+let link_words_per_ns t ~from ~at =
+  match t.link_words_per_ns with
+  | None -> None
+  | Some m ->
+      let bw = m.(from).(at) in
+      if bw > 0. then Some bw else None
+
 let global_home t ~lpage =
   match t.mem_node with Some m -> m | None -> lpage mod t.cpu_nodes
 

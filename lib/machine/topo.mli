@@ -53,6 +53,13 @@ val pool_pages : t -> node:int -> int
 val fetch_ns : t -> from:int -> at:int -> float
 val store_ns : t -> from:int -> at:int -> float
 
+val link_words_per_ns : t -> from:int -> at:int -> float option
+(** Modelled bandwidth of the directed link [from -> at], in 32-bit words
+    per nanosecond. [None] when the machine has a single shared bus (no
+    per-link matrix) or when the matrix leaves this link unmodelled
+    (entry 0). Bandwidth-aware policies treat [None] as "no link-pressure
+    information". *)
+
 val global_home : t -> lpage:int -> int
 (** The node whose memory holds logical page [lpage] when it lives in
     the shared level: the memory board if there is one, otherwise

@@ -1,0 +1,44 @@
+(** The policy tournament: every placement policy against every
+    application on one machine, under the three-run measurement protocol.
+
+    Each (policy, app) cell is a full {!Runner.measure} — T_numa under
+    the candidate policy, T_global and T_local as the usual baselines —
+    so policies are compared on the paper's own model parameters
+    (gamma/alpha/beta) rather than raw times. The whole matrix fans out
+    through {!Parallel.map}. *)
+
+type cell = { app_name : string; m : Runner.measurement }
+
+type row = {
+  policy : Numa_system.System.policy_spec;
+  cells : cell list;  (** one per app, in app order *)
+  mean_gamma : float;  (** arithmetic mean of per-app gamma (equation 1) *)
+  mean_alpha : float;
+      (** mean over the apps where alpha is meaningful; [nan] when it is
+          meaningful nowhere *)
+  mean_beta : float;
+  total_moves : int;  (** sum of NUMA page moves across the T_numa runs *)
+  total_pins : int;  (** sum of pages left pinned across the T_numa runs *)
+}
+
+val run :
+  ?jobs:int ->
+  ?policies:Numa_system.System.policy_spec list ->
+  ?apps:Numa_apps.App_sig.t list ->
+  ?spec:Runner.run_spec ->
+  unit ->
+  row list
+(** Measure the full [policies] x [apps] matrix ([spec.policy] is
+    ignored; each row replaces it with its own policy). Defaults: every
+    shipped policy ({!Numa_system.System.builtin_policy_specs}) against
+    the Table 4 application set, on [spec]'s machine. Rows come back
+    sorted best-first by mean gamma (stable, so ties keep registration
+    order). *)
+
+val render : topology:string -> row list -> string
+(** Text comparison table: per-app gamma columns plus the
+    mean-gamma/alpha/beta and move/pin totals, best policy first. *)
+
+val to_json : topology:string -> row list -> Numa_obs.Json.t
+(** The JSON artifact: per-policy summaries with per-app
+    gamma/alpha/beta, the three times, and move/pin counts. *)

@@ -22,6 +22,8 @@ type t =
   | Dispatch of { tid : int; cpu : int; name : string }
   | Syscall of { tid : int; cpu : int; service_ns : float }
   | Tlb_shootdown of { cpu : int; vpage : int; lpage : int }
+  | Thread_migrated of { tid : int; from_cpu : int; to_cpu : int }
+  | Reconsider_scan of { expired : int }
 
 let name = function
   | Fault_resolved _ -> "fault_resolved"
@@ -43,6 +45,8 @@ let name = function
   | Dispatch _ -> "dispatch"
   | Syscall _ -> "syscall"
   | Tlb_shootdown _ -> "tlb_shootdown"
+  | Thread_migrated _ -> "thread_migrated"
+  | Reconsider_scan _ -> "reconsider_scan"
 
 type lane = Cpu_lane of int | Protocol_lane
 
@@ -50,7 +54,7 @@ type lane = Cpu_lane of int | Protocol_lane
    happens "on" a processor renders on that processor's lane. *)
 let lane = function
   | Page_move _ | Page_pin _ | Page_unpin _ | Replica_create _ | Replica_flush _
-  | Sync_to_global _ | Zero_fill _ | Page_freed _ ->
+  | Sync_to_global _ | Zero_fill _ | Page_freed _ | Reconsider_scan _ ->
       Protocol_lane
   | Fault_resolved { cpu; _ }
   | Policy_decision { cpu; _ }
@@ -64,6 +68,7 @@ let lane = function
   | Syscall { cpu; _ }
   | Tlb_shootdown { cpu; _ } ->
       Cpu_lane cpu
+  | Thread_migrated { to_cpu; _ } -> Cpu_lane to_cpu
 
 let lpage = function
   | Fault_resolved { lpage; _ }
@@ -80,7 +85,7 @@ let lpage = function
   | Tlb_shootdown { lpage; _ } ->
       Some lpage
   | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Lock_released _
-  | Dispatch _ | Syscall _ ->
+  | Dispatch _ | Syscall _ | Thread_migrated _ | Reconsider_scan _ ->
       None
 
 let args ev : (string * Json.t) list =
@@ -135,6 +140,9 @@ let args ev : (string * Json.t) list =
       [ ("tid", Json.Int tid); ("cpu", Json.Int cpu); ("service_ns", Json.Float service_ns) ]
   | Tlb_shootdown { cpu; vpage; lpage } ->
       [ ("cpu", Json.Int cpu); ("vpage", Json.Int vpage); ("lpage", Json.Int lpage) ]
+  | Thread_migrated { tid; from_cpu; to_cpu } ->
+      [ ("tid", Json.Int tid); ("from_cpu", Json.Int from_cpu); ("to_cpu", Json.Int to_cpu) ]
+  | Reconsider_scan { expired } -> [ ("expired", Json.Int expired) ]
 
 let describe ev =
   match ev with
@@ -180,3 +188,9 @@ let describe ev =
       Printf.sprintf "syscall by tid %d (%.0f ns service)" tid service_ns
   | Tlb_shootdown { cpu; vpage; _ } ->
       Printf.sprintf "software-TLB entry for vpage %d shot down on cpu %d" vpage cpu
+  | Thread_migrated { tid; from_cpu; to_cpu } ->
+      Printf.sprintf "thread %d re-homed from cpu %d to cpu %d (toward its pinned pages)"
+        tid from_cpu to_cpu
+  | Reconsider_scan { expired } ->
+      Printf.sprintf "reconsideration scan: %d pin%s expired" expired
+        (if expired = 1 then "" else "s")

@@ -49,6 +49,12 @@ type t =
   | Tlb_shootdown of { cpu : int; vpage : int; lpage : int }
       (** a protocol action dropped a mapping that a CPU's software TLB was
           caching; the stale translation was precisely invalidated *)
+  | Thread_migrated of { tid : int; from_cpu : int; to_cpu : int }
+      (** the coordinated thread+page policy re-homed a thread toward the
+          node serving its pinned pages (Phoenix-style; off by default) *)
+  | Reconsider_scan of { expired : int }
+      (** a periodic reconsideration scan ran and found [expired] pins
+          whose hold had lapsed (each also gets its own [Page_unpin]) *)
 
 val name : t -> string
 (** Stable snake_case tag, used as the Chrome trace event name. *)

@@ -117,7 +117,8 @@ let record t ~ts (ev : Event.t) =
   | Event.Fault_resolved _ | Event.Policy_decision _ | Event.Page_unpin _
   | Event.Zero_fill _ | Event.Page_freed _ | Event.Lock_acquired _
   | Event.Lock_contended _ | Event.Lock_released _ | Event.Dispatch _
-  | Event.Syscall _ | Event.Tlb_shootdown _ ->
+  | Event.Syscall _ | Event.Tlb_shootdown _ | Event.Thread_migrated _
+  | Event.Reconsider_scan _ ->
       ()
 
 let attach t hub = Hub.attach hub ~name:"timeseries" (fun ~ts ev -> record t ~ts ev)

@@ -437,3 +437,21 @@ let elapsed_ns t = Array.fold_left Float.max 0. t.clock
 let n_events t = t.n_events
 let n_threads t = Hashtbl.length t.threads
 let thread_cpu t ~tid = (Hashtbl.find t.threads tid).cpu
+
+let rehome t ~tid ~cpu =
+  if cpu < 0 || cpu >= t.config.n_cpus then invalid_arg "Engine.rehome: bad cpu";
+  match Hashtbl.find_opt t.threads tid with
+  | None -> false
+  | Some th ->
+      if th.finished || th.cpu = cpu then false
+      else begin
+        (* th.cpu is only read at the start of a scheduling turn
+           (pick_cpu), so flipping it between chunks is a clean
+           reschedule: the thread's next chunk runs on the target. The
+           dispatch costs the same 50 us of system time as a
+           self-migration (P_migrate), charged to the target CPU. *)
+        th.cpu <- cpu;
+        t.system.(cpu) <- t.system.(cpu) +. 50_000.;
+        t.clock.(cpu) <- t.clock.(cpu) +. 50_000.;
+        true
+      end

@@ -72,3 +72,12 @@ val n_events : t -> int
 val n_threads : t -> int
 val thread_cpu : t -> tid:int -> int
 (** CPU the thread last ran on. *)
+
+val rehome : t -> tid:int -> cpu:int -> bool
+(** Externally re-home a live thread onto [cpu]: its next scheduling
+    turn runs there (the home CPU is only read at turn start, so this is
+    deterministic), at the same 50 us dispatch cost as a self-migration
+    ({!Api.migrate}), charged to the target CPU. Returns [false] — and
+    does nothing — if the thread is unknown, already finished, or
+    already homed on [cpu]. Under the [Single_queue] scheduler the home
+    CPU is advisory and the next idle processor still wins. *)

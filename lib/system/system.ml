@@ -11,6 +11,9 @@ type policy_spec =
   | Never_pin
   | Random_assign of { p_global : float; seed : int64 }
   | Reconsider of { threshold : int; window_ns : float }
+  | Decay of { threshold : float; half_life_ns : float }
+  | Bandwidth_aware of { threshold : int }
+  | Migrate_threads of { threshold : int }
 
 let policy_spec_name = function
   | Move_limit { threshold } -> Printf.sprintf "move-limit(%d)" threshold
@@ -18,6 +21,61 @@ let policy_spec_name = function
   | Never_pin -> "never-pin"
   | Random_assign { p_global; _ } -> Printf.sprintf "random(%.2f)" p_global
   | Reconsider { threshold; _ } -> Printf.sprintf "reconsider(%d)" threshold
+  | Decay { threshold; _ } -> Printf.sprintf "decay(%.1f)" threshold
+  | Bandwidth_aware { threshold } -> Printf.sprintf "bandwidth-aware(%d)" threshold
+  | Migrate_threads { threshold } -> Printf.sprintf "migrate-threads(%d)" threshold
+
+let policy_spec_of_string s =
+  match String.split_on_char ':' s with
+  | [ "move-limit" ] -> Ok (Move_limit { threshold = 4 })
+  | [ "move-limit"; n ] -> (
+      match int_of_string_opt n with
+      | Some threshold when threshold >= 0 -> Ok (Move_limit { threshold })
+      | Some _ | None -> Error "move-limit threshold must be a non-negative int")
+  | [ "all-global" ] -> Ok All_global
+  | [ "never-pin" ] -> Ok Never_pin
+  | [ "random"; p ] -> (
+      match float_of_string_opt p with
+      | Some p_global when p_global >= 0. && p_global <= 1. ->
+          Ok (Random_assign { p_global; seed = 7L })
+      | Some _ | None -> Error "random probability must be in [0,1]")
+  | [ "reconsider"; n; w ] -> (
+      match (int_of_string_opt n, float_of_string_opt w) with
+      | Some threshold, Some window_ms when threshold >= 0 && window_ms > 0. ->
+          Ok (Reconsider { threshold; window_ns = window_ms *. 1e6 })
+      | _ -> Error "expected reconsider:<threshold>:<window-ms>")
+  | [ "decay" ] -> Ok (Decay { threshold = 4.; half_life_ns = 50e6 })
+  | [ "decay"; n; h ] -> (
+      match (float_of_string_opt n, float_of_string_opt h) with
+      | Some threshold, Some half_life_ms when threshold >= 0. && half_life_ms > 0. ->
+          Ok (Decay { threshold; half_life_ns = half_life_ms *. 1e6 })
+      | _ -> Error "expected decay:<threshold>:<half-life-ms>")
+  | [ "bandwidth-aware" ] -> Ok (Bandwidth_aware { threshold = 4 })
+  | [ "bandwidth-aware"; n ] -> (
+      match int_of_string_opt n with
+      | Some threshold when threshold >= 0 -> Ok (Bandwidth_aware { threshold })
+      | Some _ | None -> Error "bandwidth-aware threshold must be a non-negative int")
+  | [ "migrate-threads" ] -> Ok (Migrate_threads { threshold = 4 })
+  | [ "migrate-threads"; n ] -> (
+      match int_of_string_opt n with
+      | Some threshold when threshold >= 0 -> Ok (Migrate_threads { threshold })
+      | Some _ | None -> Error "migrate-threads threshold must be a non-negative int")
+  | _ ->
+      Error
+        "unknown policy; use move-limit[:N], all-global, never-pin, random:P, \
+         reconsider:N:MS, decay[:T:HL-MS], bandwidth-aware[:N], migrate-threads[:N]"
+
+let builtin_policy_specs =
+  [
+    Move_limit { threshold = 4 };
+    All_global;
+    Never_pin;
+    Random_assign { p_global = 0.5; seed = 7L };
+    Reconsider { threshold = 4; window_ns = 50e6 };
+    Decay { threshold = 4.; half_life_ns = 50e6 };
+    Bandwidth_aware { threshold = 4 };
+    Migrate_threads { threshold = 4 };
+  ]
 
 type region = {
   base_vpage : int;
@@ -83,6 +141,10 @@ type t = {
   reconsider_interval : int;
       (** access-count period of the reconsideration daemon (only matters
           for policies with expiring pins) *)
+  apply_migrate_hints : bool;
+      (** whether the daemon tick consumes the policy's thread re-homing
+          hints; on only for [Migrate_threads] (the hook is opt-in) *)
+  mutable thread_migrations : int;  (** re-homings actually applied *)
 }
 
 (* --- reference accounting --------------------------------------------- *)
@@ -130,13 +192,39 @@ let rebuild_caches t =
   t.regions_by_task <- by_task;
   t.caches_valid <- true
 
+(* Consume the policy's pending (from_cpu, to_cpu) re-homing hints: for
+   each, move the lowest-tid live thread still homed on from_cpu. Hints
+   are advisory — a hint whose source CPU no longer runs anything is
+   dropped silently. *)
+let apply_migrate_hints t =
+  let pol = Numa_core.Pmap_manager.policy t.pmap_mgr in
+  List.iter
+    (fun (from_cpu, to_cpu) ->
+      let n = Engine.n_threads t.engine in
+      let rec try_tid tid =
+        if tid < n then
+          if
+            Engine.thread_cpu t.engine ~tid = from_cpu
+            && Engine.rehome t.engine ~tid ~cpu:to_cpu
+          then begin
+            t.thread_migrations <- t.thread_migrations + 1;
+            if Numa_obs.Hub.enabled t.obs then
+              Numa_obs.Hub.emit t.obs
+                (Numa_obs.Event.Thread_migrated { tid; from_cpu; to_cpu })
+          end
+          else try_tid (tid + 1)
+      in
+      try_tid 0)
+    (pol.Policy.migrate_hints ())
+
 let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
   (* Reconsideration daemon: a cheap periodic tick piggybacked on the
      access stream (the real system would use a kernel timer). *)
   t.accesses_since_scan <- t.accesses_since_scan + 1;
   if t.accesses_since_scan >= t.reconsider_interval then begin
     t.accesses_since_scan <- 0;
-    ignore (Numa_core.Pmap_manager.reconsider_scan t.pmap_mgr)
+    ignore (Numa_core.Pmap_manager.reconsider_scan t.pmap_mgr);
+    if t.apply_migrate_hints then apply_migrate_hints t
   end;
   if not t.caches_valid then rebuild_caches t;
   (* Resolve the reference in the issuing thread's address space. *)
@@ -241,7 +329,9 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
 
 (* --- construction ------------------------------------------------------ *)
 
-let policy_of_spec spec ~n_pages ~now =
+let no_pressure ~node:_ = 0.
+
+let policy_of_spec ?(pressure = no_pressure) spec ~n_pages ~now ~topo =
   match spec with
   | Move_limit { threshold } -> Policy.move_limit ~threshold ~n_pages ()
   | All_global -> Policy.all_global ()
@@ -250,6 +340,9 @@ let policy_of_spec spec ~n_pages ~now =
       Policy.random ~prng:(Numa_util.Prng.create ~seed) ~p_global ~n_pages
   | Reconsider { threshold; window_ns } ->
       Policy.reconsider ~threshold ~window_ns ~now ~n_pages ()
+  | Decay { threshold; half_life_ns } -> Policy.decay ~threshold ~half_life_ns ~now ~n_pages ()
+  | Bandwidth_aware { threshold } -> Policy.bandwidth_aware ~threshold ~topo ~pressure ~n_pages ()
+  | Migrate_threads { threshold } -> Policy.migrate_threads ~threshold ~topo ~n_pages ()
 
 let build_policy = policy_of_spec
 
@@ -261,11 +354,27 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
   (* One hub shared by every layer: the bus, the pmap/NUMA managers and the
      engine all emit into it, and the engine drives its clock. *)
   let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
+  let topo = Config.topology config in
   let now_cell = ref (fun () -> 0.) in
+  (* The bandwidth-aware policy consults per-node frame pressure, but the
+     frame table only exists once the pmap manager does — and the manager
+     needs the policy. Tie the knot with a cell, like [now_cell]. *)
+  let frames_cell = ref None in
+  let pressure ~node =
+    match !frames_cell with
+    | None -> 0.
+    | Some frames ->
+        let cap = Frame_table.local_capacity frames ~node in
+        if cap <= 0 then 1.
+        else float_of_int (Frame_table.local_in_use frames ~node) /. float_of_int cap
+  in
   let pol =
-    build_policy policy ~n_pages:config.Config.global_pages ~now:(fun () -> !now_cell ())
+    build_policy policy ~pressure ~n_pages:config.Config.global_pages
+      ~now:(fun () -> !now_cell ())
+      ~topo
   in
   let pmap_mgr = Numa_core.Pmap_manager.create ~obs ~config ~policy:pol () in
+  frames_cell := Some (Numa_core.Pmap_manager.frames pmap_mgr);
   let ops = Numa_core.Pmap_manager.ops pmap_mgr in
   let pool = Numa_vm.Lpage_pool.create config ~ops in
   let task = Numa_vm.Task.create ~ops ~id:0 ~name:"workload" in
@@ -303,7 +412,6 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
   in
   let engine = Engine.create ~obs engine_config ~memory ~scheduler in
   let bus = Bus.create ~obs config in
-  let topo = Config.topology config in
   let n_nodes = Topo.n_nodes topo in
   let t =
     {
@@ -347,6 +455,8 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       caches_valid = false;
       accesses_since_scan = 0;
       reconsider_interval = 512;
+      apply_migrate_hints = (match policy with Migrate_threads _ -> true | _ -> false);
+      thread_migrations = 0;
     }
   in
   tref := Some t;
@@ -536,4 +646,5 @@ let page_out t region ~page_index =
     invalid_arg "System.page_out: page index out of range";
   Numa_vm.Vm_object.page_out region.obj ~pool:t.pool ~ops:t.ops ~offset:page_index
 
+let thread_migrations t = t.thread_migrations
 let check_invariants t = Numa_core.Numa_manager.check_invariants (numa_manager t)

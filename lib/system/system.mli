@@ -27,13 +27,42 @@ type policy_spec =
   | Never_pin  (** replicate/migrate forever *)
   | Random_assign of { p_global : float; seed : int64 }
   | Reconsider of { threshold : int; window_ns : float }
+  | Decay of { threshold : float; half_life_ns : float }
+      (** {!Numa_core.Policy.decay}: the move count halves every
+          [half_life_ns] of simulated time *)
+  | Bandwidth_aware of { threshold : int }
+      (** {!Numa_core.Policy.bandwidth_aware}: topology latencies, link
+          bandwidths and frame pressure pick the cheaper placement *)
+  | Migrate_threads of { threshold : int }
+      (** {!Numa_core.Policy.migrate_threads}: additionally re-homes
+          threads toward their pinned pages from the daemon tick (the
+          only spec for which the system applies migration hints) *)
 
 val policy_spec_name : policy_spec -> string
 
+val policy_spec_of_string : string -> (policy_spec, string) result
+(** Parse the CLI policy syntax shared by [numa_sim] and [experiments]:
+    [move-limit[:N]], [all-global], [never-pin], [random:P],
+    [reconsider:N:MS], [decay[:T:HL-MS]], [bandwidth-aware[:N]],
+    [migrate-threads[:N]] (durations in milliseconds of simulated
+    time). *)
+
+val builtin_policy_specs : policy_spec list
+(** One representative spec per shipped policy, at its default
+    parameters — the default slate for the policy tournament. *)
+
 val policy_of_spec :
-  policy_spec -> n_pages:int -> now:(unit -> float) -> Numa_core.Policy.t
+  ?pressure:(node:int -> float) ->
+  policy_spec ->
+  n_pages:int ->
+  now:(unit -> float) ->
+  topo:Numa_machine.Topo.t ->
+  Numa_core.Policy.t
 (** Instantiate a policy outside a full system (used by the trace-replay
-    evaluator, which supplies trace timestamps as "now"). *)
+    evaluator, which supplies trace timestamps as "now"). [pressure]
+    (default: constantly 0) is the per-node local-pool in-use fraction
+    consulted by [Bandwidth_aware]; {!create} wires it to the live frame
+    table. *)
 
 type region = private {
   base_vpage : int;
@@ -154,5 +183,9 @@ val migrate_pages : t -> src:int -> dst:int -> int
 val page_out : t -> region -> page_index:int -> unit
 (** Evict one page of a region through the pager (exercises the
     footnote-4 pin reset). *)
+
+val thread_migrations : t -> int
+(** Thread re-homings applied by the daemon on behalf of a
+    [Migrate_threads] policy; 0 under every other spec. *)
 
 val check_invariants : t -> (unit, string) result

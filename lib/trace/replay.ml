@@ -18,6 +18,7 @@ let replay ~config ~policy buffer =
   let pol =
     Sys_.policy_of_spec policy ~n_pages:config.Config.global_pages
       ~now:(fun () -> !now_cell)
+      ~topo:(Config.topology config)
   in
   let mgr = Pmap_manager.create ~config ~policy:pol () in
   let ops = Pmap_manager.ops mgr in

@@ -107,6 +107,190 @@ let test_policy_reconsider_expires () =
     (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store = Protocol.Place_local);
   Alcotest.(check int) "no longer pinned" 0 (p.Policy.n_pinned ())
 
+(* Regression (footnote 4): random's sticky assignment must be forgotten
+   when the page is freed, like move_limit forgets its move count. *)
+let test_policy_random_forgets_on_free () =
+  let prng = Numa_util.Prng.create ~seed:5L in
+  let p = Policy.random ~prng ~p_global:1.0 ~n_pages:4 in
+  Alcotest.(check bool) "assigned global" true
+    (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Load = Protocol.Place_global);
+  Alcotest.(check int) "counted as pinned" 1 (p.Policy.n_pinned ());
+  p.Policy.note (Policy.Page_freed { lpage = 0 });
+  Alcotest.(check int) "assignment forgotten on free" 0 (p.Policy.n_pinned ());
+  Alcotest.(check bool) "recycled page gets a fresh flip" true
+    (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Load = Protocol.Place_global);
+  Alcotest.(check int) "re-counted by the fresh flip" 1 (p.Policy.n_pinned ())
+
+let test_policy_decay_unpins () =
+  let now = ref 0. in
+  let p =
+    Policy.decay ~threshold:1. ~half_life_ns:1000. ~now:(fun () -> !now) ~n_pages:4 ()
+  in
+  p.Policy.note (Policy.Page_moved { lpage = 0 });
+  p.Policy.note (Policy.Page_moved { lpage = 0 });
+  Alcotest.(check bool) "pinned while the score is hot" true
+    (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store = Protocol.Place_global);
+  Alcotest.(check int) "one pin" 1 (p.Policy.n_pinned ());
+  Alcotest.(check (list int)) "nothing expired while hot" [] (p.Policy.expired_pins ());
+  (* Three half-lives: the score leaks from 2 to 0.25, under the threshold. *)
+  now := 3000.;
+  Alcotest.(check (list int)) "scan reports the cooled pin" [ 0 ] (p.Policy.expired_pins ());
+  Alcotest.(check bool) "fresh fault decides LOCAL again" true
+    (p.Policy.decide ~lpage:0 ~cpu:0 ~access:Access.Store = Protocol.Place_local);
+  Alcotest.(check int) "unpinned" 0 (p.Policy.n_pinned ());
+  (* A free zeroes the score outright, hot or not. *)
+  p.Policy.note (Policy.Page_moved { lpage = 1 });
+  p.Policy.note (Policy.Page_moved { lpage = 1 });
+  p.Policy.note (Policy.Page_freed { lpage = 1 });
+  Alcotest.(check bool) "freed page starts cold" true
+    (p.Policy.decide ~lpage:1 ~cpu:0 ~access:Access.Store = Protocol.Place_local)
+
+let test_policy_bandwidth_aware_stripe () =
+  (* On a striped machine the shared level of lpage lives on node
+     [lpage mod cpu_nodes]: the policy should serve near stripes globally
+     and cache far ones locally. *)
+  let topo = Config.topology (Config.butterfly ~n_cpus:4 ()) in
+  let pressure = ref (fun ~node:_ -> 0.) in
+  let p =
+    Policy.bandwidth_aware ~topo ~pressure:(fun ~node -> !pressure ~node) ~n_pages:16 ()
+  in
+  Alcotest.(check bool) "own stripe served globally" true
+    (p.Policy.decide ~lpage:5 ~cpu:1 ~access:Access.Load = Protocol.Place_global);
+  Alcotest.(check bool) "far stripe cached locally" true
+    (p.Policy.decide ~lpage:6 ~cpu:1 ~access:Access.Load = Protocol.Place_local);
+  Alcotest.(check int) "cheap global answers are not pins" 0 (p.Policy.n_pinned ());
+  (* A full local pool flips the comparison: LOCAL would only fall back. *)
+  pressure := (fun ~node:_ -> 1.0);
+  Alcotest.(check bool) "full pool pushes far stripes global too" true
+    (p.Policy.decide ~lpage:6 ~cpu:1 ~access:Access.Load = Protocol.Place_global);
+  pressure := (fun ~node:_ -> 0.);
+  (* The move-limit backbone still pins ping-ponged pages. *)
+  for _ = 1 to 5 do
+    p.Policy.note (Policy.Page_moved { lpage = 9 })
+  done;
+  Alcotest.(check bool) "past threshold pins" true
+    (p.Policy.decide ~lpage:9 ~cpu:1 ~access:Access.Store = Protocol.Place_global);
+  Alcotest.(check int) "pinned" 1 (p.Policy.n_pinned ())
+
+let test_policy_bandwidth_aware_slow_link () =
+  (* Two nodes where each remote fetch is marginally CHEAPER than a local
+     one (synthetic, so GLOBAL starts ahead by the same margin in both
+     directions) and only the directed link bandwidths differ. Whatever
+     separates the two placements is then the link surcharge alone. *)
+  let m v = Array.make_matrix 2 2 v in
+  let fetch = m 100. in
+  fetch.(0).(1) <- 99.;
+  fetch.(1).(0) <- 99.;
+  let links = m 0. in
+  links.(0).(1) <- 0.001 (* 1000 ns of queueing per word toward node 1 *);
+  links.(1).(0) <- 10. (* a tenth of a nanosecond toward node 0 *);
+  let topo =
+    {
+      Topo.name = "two-node";
+      cpu_nodes = 2;
+      mem_node = None;
+      pool_pages = [| 8; 8 |];
+      fetch_ns = fetch;
+      store_ns = m 100.;
+      link_words_per_ns = Some links;
+    }
+  in
+  (match Topo.validate topo with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "test topology invalid: %s" e);
+  let p = Policy.bandwidth_aware ~topo ~pressure:(fun ~node:_ -> 0.) ~n_pages:4 () in
+  Alcotest.(check bool) "slow link to the stripe home forces LOCAL" true
+    (p.Policy.decide ~lpage:1 ~cpu:0 ~access:Access.Load = Protocol.Place_local);
+  Alcotest.(check bool) "fast link leaves GLOBAL competitive" true
+    (p.Policy.decide ~lpage:0 ~cpu:1 ~access:Access.Load = Protocol.Place_global)
+
+let test_policy_migrate_threads_hints () =
+  let topo = Config.topology (Config.butterfly ~n_cpus:4 ()) in
+  let p = Policy.migrate_threads ~threshold:1 ~topo ~n_pages:16 () in
+  Alcotest.(check (list (pair int int))) "no hints initially" [] (p.Policy.migrate_hints ());
+  p.Policy.note (Policy.Page_moved { lpage = 2 });
+  p.Policy.note (Policy.Page_moved { lpage = 2 });
+  Alcotest.(check bool) "pins past threshold" true
+    (p.Policy.decide ~lpage:2 ~cpu:0 ~access:Access.Store = Protocol.Place_global);
+  Alcotest.(check (list (pair int int)))
+    "hint points from the faulting cpu to the stripe home" [ (0, 2) ]
+    (p.Policy.migrate_hints ());
+  Alcotest.(check (list (pair int int))) "hints drain on read" [] (p.Policy.migrate_hints ());
+  (* A page whose stripe home IS the faulting cpu yields no hint. *)
+  p.Policy.note (Policy.Page_moved { lpage = 4 });
+  p.Policy.note (Policy.Page_moved { lpage = 4 });
+  Alcotest.(check bool) "still pins" true
+    (p.Policy.decide ~lpage:4 ~cpu:0 ~access:Access.Store = Protocol.Place_global);
+  Alcotest.(check (list (pair int int))) "no hint when already home" []
+    (p.Policy.migrate_hints ());
+  (* On a board machine the shared home is no CPU's memory: never hint. *)
+  let ace_topo = Config.topology (small_config ()) in
+  let q = Policy.migrate_threads ~threshold:1 ~topo:ace_topo ~n_pages:16 () in
+  q.Policy.note (Policy.Page_moved { lpage = 0 });
+  q.Policy.note (Policy.Page_moved { lpage = 0 });
+  Alcotest.(check bool) "pins on the ACE too" true
+    (q.Policy.decide ~lpage:0 ~cpu:1 ~access:Access.Store = Protocol.Place_global);
+  Alcotest.(check (list (pair int int))) "board home yields no hint" []
+    (q.Policy.migrate_hints ())
+
+(* Satellite: the reconsider expiry path end-to-end through the pmap
+   layer — pin, let the window elapse, let the periodic scan drop the
+   mappings (emitting Page_unpin + Reconsider_scan), and watch the fresh
+   fault re-decide LOCAL. *)
+let test_reconsider_expiry_end_to_end () =
+  let config = small_config () in
+  let now = ref 0. in
+  let policy =
+    Policy.reconsider ~threshold:0 ~window_ns:1000.
+      ~now:(fun () -> !now)
+      ~n_pages:config.Config.global_pages ()
+  in
+  let obs = Numa_obs.Hub.create () in
+  let unpins = ref 0 and scans = ref [] in
+  Numa_obs.Hub.attach obs ~name:"watch" (fun ~ts:_ ev ->
+      match ev with
+      | Numa_obs.Event.Page_unpin _ -> incr unpins
+      | Numa_obs.Event.Reconsider_scan { expired } -> scans := expired :: !scans
+      | _ -> ());
+  let mgr = Pmap_manager.create ~obs ~config ~policy () in
+  let ops = Pmap_manager.ops mgr in
+  let pmap = ops.Numa_vm.Pmap_intf.pmap_create ~name:"t" in
+  let enter ~cpu =
+    ops.Numa_vm.Pmap_intf.enter ~pmap ~cpu ~vpage:0 ~lpage:0
+      ~min_prot:(Prot.of_access Access.Store) ~max_prot:Prot.Read_write
+  in
+  ops.Numa_vm.Pmap_intf.zero_page ~lpage:0;
+  enter ~cpu:0;
+  enter ~cpu:1 (* the migration counts move #1, putting it over threshold 0 *);
+  enter ~cpu:0 (* ... so this fault pins the page in global memory *);
+  Alcotest.(check int) "pinned" 1 (policy.Policy.n_pinned ());
+  (match Numa_manager.state_of (Pmap_manager.manager mgr) ~lpage:0 with
+  | Numa_manager.Global_writable -> ()
+  | st -> Alcotest.failf "expected global-writable, got %a" Numa_manager.pp_state st);
+  now := 500.;
+  Alcotest.(check int) "scan inside the window drops nothing" 0
+    (Pmap_manager.reconsider_scan mgr);
+  Alcotest.(check bool) "still mapped" true
+    (ops.Numa_vm.Pmap_intf.resident ~pmap ~cpu:0 ~vpage:0 <> None);
+  now := 2000.;
+  Alcotest.(check int) "scan after the window drops the pin" 1
+    (Pmap_manager.reconsider_scan mgr);
+  Alcotest.(check int) "one Page_unpin" 1 !unpins;
+  Alcotest.(check (list int)) "one Reconsider_scan totalling it" [ 1 ] !scans;
+  Alcotest.(check bool) "mapping dropped on cpu 0" true
+    (ops.Numa_vm.Pmap_intf.resident ~pmap ~cpu:0 ~vpage:0 = None);
+  Alcotest.(check bool) "mapping dropped on cpu 1" true
+    (ops.Numa_vm.Pmap_intf.resident ~pmap ~cpu:1 ~vpage:0 = None);
+  (* The forced fresh fault re-decides LOCAL and the page leaves global. *)
+  enter ~cpu:0;
+  Alcotest.(check int) "no pin after re-decision" 0 (policy.Policy.n_pinned ());
+  (match Numa_manager.state_of (Pmap_manager.manager mgr) ~lpage:0 with
+  | Numa_manager.Local_writable 0 -> ()
+  | st -> Alcotest.failf "expected local-writable(0), got %a" Numa_manager.pp_state st);
+  (match Numa_manager.check_invariants (Pmap_manager.manager mgr) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant: %s" msg)
+
 (* --- manager transitions ------------------------------------------------- *)
 
 let test_first_touch_read_replicates () =
@@ -471,6 +655,17 @@ let suite =
     Alcotest.test_case "all-global / never-pin" `Quick test_policy_all_global_never_pin;
     Alcotest.test_case "random policy is sticky" `Quick test_policy_random_sticky;
     Alcotest.test_case "reconsider policy expires pins" `Quick test_policy_reconsider_expires;
+    Alcotest.test_case "random policy forgets on free" `Quick
+      test_policy_random_forgets_on_free;
+    Alcotest.test_case "decay policy unpins as scores cool" `Quick test_policy_decay_unpins;
+    Alcotest.test_case "bandwidth-aware policy on stripes" `Quick
+      test_policy_bandwidth_aware_stripe;
+    Alcotest.test_case "bandwidth-aware policy on a slow link" `Quick
+      test_policy_bandwidth_aware_slow_link;
+    Alcotest.test_case "migrate-threads policy hints" `Quick
+      test_policy_migrate_threads_hints;
+    Alcotest.test_case "reconsider expiry end-to-end" `Quick
+      test_reconsider_expiry_end_to_end;
     Alcotest.test_case "first touch read replicates" `Quick test_first_touch_read_replicates;
     Alcotest.test_case "first touch write owns" `Quick test_first_touch_write_owns;
     Alcotest.test_case "replication across readers" `Quick test_replication_across_readers;

@@ -168,6 +168,54 @@ let test_reconsider_study () =
         (reconsider.Ablations.rc_user < fixed.Ablations.rc_user)
   | _ -> Alcotest.fail "expected two rows"
 
+(* --- policy tournament ------------------------------------------------------ *)
+
+let test_tournament_small_matrix () =
+  let module Tournament = Numa_metrics.Tournament in
+  let module System = Numa_system.System in
+  let policies = [ System.Move_limit { threshold = 4 }; System.All_global ] in
+  let apps =
+    List.filter_map Numa_apps.Registry.find [ "primes1"; "parmult" ]
+  in
+  Alcotest.(check int) "both apps registered" 2 (List.length apps);
+  let spec = small_spec () in
+  let rows = Tournament.run ~jobs:1 ~policies ~apps ~spec () in
+  Alcotest.(check int) "one row per policy" 2 (List.length rows);
+  List.iter
+    (fun (r : Tournament.row) ->
+      Alcotest.(check int) "one cell per app" 2 (List.length r.Tournament.cells);
+      Alcotest.(check (list string))
+        "cells keep app order" [ "primes1"; "parmult" ]
+        (List.map (fun (c : Tournament.cell) -> c.Tournament.app_name) r.Tournament.cells);
+      Alcotest.(check bool) "mean gamma is a number" false
+        (Float.is_nan r.Tournament.mean_gamma))
+    rows;
+  (match rows with
+  | [ best; worst ] ->
+      Alcotest.(check bool) "rows sorted best (smallest gamma) first" true
+        (best.Tournament.mean_gamma <= worst.Tournament.mean_gamma)
+  | _ -> Alcotest.fail "expected two rows");
+  (* The matrix is deterministic regardless of how it is fanned out. *)
+  let rows4 = Tournament.run ~jobs:4 ~policies ~apps ~spec () in
+  Alcotest.(check string) "parallel fan-out changes nothing"
+    (Numa_obs.Json.to_string (Tournament.to_json ~topology:"ace" rows))
+    (Numa_obs.Json.to_string (Tournament.to_json ~topology:"ace" rows4))
+
+let test_tournament_json_artifact () =
+  let module Tournament = Numa_metrics.Tournament in
+  let module System = Numa_system.System in
+  let policies = [ System.Never_pin ] in
+  let apps = List.filter_map Numa_apps.Registry.find [ "primes1" ] in
+  let rows = Tournament.run ~jobs:1 ~policies ~apps ~spec:(small_spec ()) () in
+  let s = Numa_obs.Json.to_string (Tournament.to_json ~topology:"ace" rows) in
+  (match Numa_obs.Json.check_structure s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "malformed tournament JSON: %s" msg);
+  match Numa_obs.Json.required_keys s ~keys:[ "topology"; "policies"; "mean_gamma"; "apps" ]
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "tournament JSON misses a key: %s" msg
+
 let test_paper_values_lookup () =
   Alcotest.(check bool) "table3 lookup" true (Paper_values.find_table3 "fft" <> None);
   Alcotest.(check bool) "table4 lookup" true (Paper_values.find_table4 "primes3" <> None);
@@ -193,4 +241,8 @@ let suite =
     Alcotest.test_case "unix-master study" `Quick test_unix_master_study;
     Alcotest.test_case "reconsider study" `Quick test_reconsider_study;
     Alcotest.test_case "paper values lookup" `Quick test_paper_values_lookup;
+    Alcotest.test_case "policy tournament small matrix" `Quick
+      test_tournament_small_matrix;
+    Alcotest.test_case "policy tournament JSON artifact" `Quick
+      test_tournament_json_artifact;
   ]

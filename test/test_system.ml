@@ -196,6 +196,60 @@ let test_pageout_resets_pin () =
     (System.lpage_of sys ~vpage:data.System.base_vpage () = None);
   check_ok sys
 
+(* Migrate-threads on a striped machine: ping-ponged pages pin on their
+   stripe home, and the coordinated mode re-homes a thread toward them.
+   The rehomes must surface in both the counter and the event stream. *)
+let test_migrate_threads_rehomes () =
+  let config = Config.butterfly ~n_cpus:4 ~local_pages_per_cpu:64 ~global_pages:256 () in
+  let obs = Numa_obs.Hub.create () in
+  let migrated_events = ref 0 in
+  Numa_obs.Hub.attach obs ~name:"watch" (fun ~ts:_ ev ->
+      match ev with
+      | Numa_obs.Event.Thread_migrated _ -> incr migrated_events
+      | _ -> ());
+  let sys =
+    System.create ~obs ~policy:(System.Migrate_threads { threshold = 1 }) ~config ()
+  in
+  (* Several ping-pong pages, so some pin on a stripe home that is
+     neither writer's CPU and a re-homing hint fires. *)
+  let data = alloc_data sys ~name:"pingpong" ~pages:4 in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+  for cpu = 0 to 1 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "w%d" cpu)
+         (fun ~stack_vpage:_ ->
+           for _round = 1 to 10 do
+             for page = 0 to 3 do
+               Api.write ~count:50 (data.System.base_vpage + page)
+             done;
+             Api.barrier barrier
+           done))
+  done;
+  let report = System.run sys in
+  check_ok sys;
+  Alcotest.(check bool) "pages were pinned" true (report.Report.pins >= 1);
+  let n = System.thread_migrations sys in
+  Alcotest.(check bool) "threads were re-homed" true (n >= 1);
+  Alcotest.(check int) "each re-homing was announced" n !migrated_events
+
+(* The default policy never re-homes anything. *)
+let test_default_policy_never_rehomes () =
+  let sys = mk () in
+  let data = alloc_data sys ~name:"pingpong" ~pages:1 in
+  let barrier = System.make_barrier sys ~name:"b" ~parties:2 in
+  for cpu = 0 to 1 do
+    ignore
+      (System.spawn sys ~cpu ~name:(Printf.sprintf "w%d" cpu)
+         (fun ~stack_vpage:_ ->
+           for _round = 1 to 10 do
+             Api.write ~count:100 data.System.base_vpage;
+             Api.barrier barrier
+           done))
+  done;
+  ignore (System.run sys);
+  Alcotest.(check int) "no re-homing outside migrate-threads" 0
+    (System.thread_migrations sys)
+
 let suite =
   [
     Alcotest.test_case "private page stays local" `Quick test_private_page_stays_local;
@@ -206,4 +260,8 @@ let suite =
     Alcotest.test_case "lock-protected counter" `Quick test_lock_counter;
     Alcotest.test_case "single CPU is all-local" `Quick test_single_cpu_all_local;
     Alcotest.test_case "pageout resets pinning" `Quick test_pageout_resets_pin;
+    Alcotest.test_case "migrate-threads re-homes threads" `Quick
+      test_migrate_threads_rehomes;
+    Alcotest.test_case "default policy never re-homes" `Quick
+      test_default_policy_never_rehomes;
   ]
