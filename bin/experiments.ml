@@ -8,6 +8,7 @@ module Table3 = Numa_metrics.Table3
 module Table4 = Numa_metrics.Table4
 module Ablations = Numa_metrics.Ablations
 module Tournament = Numa_metrics.Tournament
+module Chaos = Numa_metrics.Chaos
 module System = Numa_system.System
 
 let scale_arg =
@@ -40,9 +41,11 @@ let topology_arg =
 let json_out_arg =
   Arg.(
     value
-    & opt string "policy-tournament.json"
+    & opt (some string) None
     & info [ "json-out" ] ~docv:"FILE"
-        ~doc:"Where the policy tournament writes its JSON artifact.")
+        ~doc:
+          "Where the policy tournament / chaos sweep writes its JSON artifact \
+           (defaults: policy-tournament.json, chaos-sweep.json).")
 
 let apps_arg =
   Arg.(
@@ -50,8 +53,8 @@ let apps_arg =
     & opt (some string) None
     & info [ "apps" ] ~docv:"A,B,..."
         ~doc:
-          "Comma-separated application subset for the policy tournament (default: the \
-           Table 4 set).")
+          "Comma-separated application subset for the policy tournament and the chaos \
+           sweep (default: the Table 4 set).")
 
 let policies_arg =
   Arg.(
@@ -84,27 +87,42 @@ let parse_policies s =
       | Error msg -> failwith (Printf.sprintf "bad policy %S: %s" p msg))
     (String.split_on_char ',' s)
 
+let topology_tweak ~topology (c : Numa_machine.Config.t) =
+  match
+    Numa_machine.Config.of_topology_name ~n_cpus:c.Numa_machine.Config.n_cpus topology
+  with
+  | Some c' -> c'
+  | None ->
+      failwith
+        (Printf.sprintf "unknown topology %S; known: %s" topology
+           (String.concat ", " Numa_machine.Config.builtin_topologies))
+
 let policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies =
-  let tweak (c : Numa_machine.Config.t) =
-    match
-      Numa_machine.Config.of_topology_name ~n_cpus:c.Numa_machine.Config.n_cpus topology
-    with
-    | Some c' -> c'
-    | None ->
-        failwith
-          (Printf.sprintf "unknown topology %S; known: %s" topology
-             (String.concat ", " Numa_machine.Config.builtin_topologies))
-  in
   let apps = Option.map parse_apps apps in
   let policies = Option.map parse_policies policies in
   let rows =
     Tournament.run ~jobs ?policies ?apps
-      ~spec:{ spec with Runner.config_tweak = tweak }
+      ~spec:{ spec with Runner.config_tweak = topology_tweak ~topology }
       ()
   in
   print_endline (Tournament.render ~topology rows);
+  let json_out = Option.value json_out ~default:"policy-tournament.json" in
   Numa_obs.Json.save (Tournament.to_json ~topology rows) json_out;
   Printf.printf "tournament JSON written to %s\n" json_out
+
+let chaos_sweep ~spec ~jobs ~topology ~json_out ~apps =
+  let apps = Option.map parse_apps apps in
+  let rows =
+    Chaos.run ~jobs ?apps ~spec:{ spec with Runner.config_tweak = topology_tweak ~topology } ()
+  in
+  print_endline (Chaos.render ~topology rows);
+  let json_out = Option.value json_out ~default:"chaos-sweep.json" in
+  Numa_obs.Json.save (Chaos.to_json ~topology rows) json_out;
+  Printf.printf "chaos JSON written to %s\n" json_out;
+  let violations = Chaos.total_violations rows in
+  if violations > 0 then
+    failwith
+      (Printf.sprintf "chaos sweep found %d protocol invariant violations" violations)
 
 let table1 () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load)
@@ -243,6 +261,7 @@ let run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
       print_endline
         (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
   | "policy-tournament" -> policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies
+  | "chaos-sweep" -> chaos_sweep ~spec ~jobs ~topology ~json_out ~apps
   | other -> failwith ("unknown section: " ^ other)
 
 let sections =
@@ -250,7 +269,7 @@ let sections =
     "table1"; "table2"; "figure1"; "figure2"; "table3"; "table4"; "threshold-sweep";
     "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
     "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "topology-sweep";
-    "reconsider"; "policy-tournament";
+    "reconsider"; "policy-tournament"; "chaos-sweep";
   ]
 
 let all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =

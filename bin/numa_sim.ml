@@ -92,8 +92,8 @@ let find_app name =
         (Printf.sprintf "unknown application %S; known: %s" name
            (String.concat ", " (Numa_apps.Registry.names ())))
 
-let spec_of ?(topology = "ace") ~policy ~cpus ~threads ~scale ~seed ~scheduler
-    ~unix_master () =
+let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = false)
+    ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master () =
   {
     Runner.policy;
     n_cpus = cpus;
@@ -103,7 +103,40 @@ let spec_of ?(topology = "ace") ~policy ~cpus ~threads ~scale ~seed ~scheduler
     scheduler;
     unix_master;
     config_tweak = config_of_topology ~topology;
+    faults;
+    paranoid;
   }
+
+let faults_conv =
+  let parse s =
+    match Numa_faults.Plan.of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p = Format.pp_print_string ppf (Numa_faults.Plan.to_string p) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt faults_conv Numa_faults.Plan.empty
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault schedule, comma-separated: \
+           node-offline:NODE\\@MS, node-online:NODE\\@MS, \
+           link-degrade:SRC:DST:FACTOR\\@MS..MS, frame-squeeze:NODE:FRAC\\@MS, \
+           spurious-shootdown:RATE (times in milliseconds of simulated time). \
+           The same plan and workload seed reproduce the run byte for byte.")
+
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Audit the coherence protocol's invariants from the periodic daemon \
+           tick (single owner, replicas only when read-only, no mapping into a \
+           freed or offline frame, cached cells coherent, pinned pages hold no \
+           local copies). The run exits nonzero if any audit finds a violation.")
 
 let trace_out_arg =
   Arg.(
@@ -144,14 +177,15 @@ let explain_page_arg =
 
 let run_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      trace_out metrics_out report_json explain_page =
+      faults paranoid trace_out metrics_out report_json explain_page =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app ->
         let spec =
-          spec_of ~topology ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master ()
+          spec_of ~topology ~faults ~paranoid ~policy ~cpus ~threads ~scale ~seed
+            ~scheduler ~unix_master ()
         in
         let config = Runner.config_for spec ~n_cpus:spec.Runner.n_cpus in
         let obs = Numa_obs.Hub.create () in
@@ -179,10 +213,17 @@ let run_cmd =
               Numa_obs.Page_audit.attach a obs;
               Some a
         in
-        let sys =
+        match
           System.create ~obs ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
-            ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master ~config ()
-        in
+            ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master
+            ~faults:spec.Runner.faults ~paranoid:spec.Runner.paranoid ~config ()
+        with
+        | exception Invalid_argument msg ->
+            (* A fault plan can be well-formed yet name a node the chosen
+               machine does not have; that is a usage error, not a crash. *)
+            Printf.eprintf "numa_sim: %s\n" msg;
+            1
+        | sys ->
         app.Numa_apps.App_sig.setup sys
           {
             Numa_apps.App_sig.nthreads = spec.Runner.nthreads;
@@ -222,17 +263,28 @@ let run_cmd =
         (match audit with
         | None -> ()
         | Some a -> print_string (Numa_obs.Page_audit.explain a));
-        if !save_errors > 0 then 1 else 0
+        let violations =
+          match report.Report.robustness with
+          | Some r -> r.Report.invariant_violations
+          | None -> 0
+        in
+        if violations > 0 then begin
+          Printf.eprintf "numa_sim: %d protocol invariant violations\n" violations;
+          1
+        end
+        else if !save_errors > 0 then 1
+        else 0
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Run one application once and print the full report. Optional exports: \
-          Chrome trace timeline, per-epoch metrics CSV, JSON report, per-page audit.")
+         "Run one application once and print the full report. Optional fault \
+          injection and invariant auditing; optional exports: Chrome trace \
+          timeline, per-epoch metrics CSV, JSON report, per-page audit.")
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
-      $ scheduler_arg $ unix_master_arg $ topology_arg $ trace_out_arg $ metrics_out_arg
-      $ report_json_arg $ explain_page_arg)
+      $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ paranoid_arg
+      $ trace_out_arg $ metrics_out_arg $ report_json_arg $ explain_page_arg)
 
 let measure_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology =

@@ -1,0 +1,140 @@
+open Numa_machine
+
+type report = {
+  pages_checked : int;
+  mappings_checked : int;
+  replicas_checked : int;
+  violations : string list;
+}
+
+let check ?pinned ~manager ~mmu ~frames ~(config : Config.t) () =
+  let violations = ref [] in
+  let mappings_checked = ref 0 in
+  let replicas_checked = ref 0 in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  for lpage = 0 to config.Config.global_pages - 1 do
+    let state = Numa_manager.state_of manager ~lpage in
+    let replica node = Numa_manager.replica_frame manager ~lpage ~node in
+    let replicas =
+      List.filter_map
+        (fun node -> Option.map (fun f -> (node, f)) (replica node))
+        (Numa_manager.replica_nodes manager ~lpage)
+    in
+    let mappings = Mmu.entries_of_lpage mmu ~lpage in
+    mappings_checked := !mappings_checked + List.length mappings;
+    replicas_checked := !replicas_checked + List.length replicas;
+    (* Copies live where the directory says, in frames the pool still
+       considers allocated, on memories that still exist. *)
+    List.iter
+      (fun (node, (frame : Frame_table.local_frame)) ->
+        if frame.node <> node then
+          bad "page %d: replica indexed under node %d lives in node %d's frame" lpage
+            node frame.node;
+        if Frame_table.frame_is_free frames frame then
+          bad "page %d: replica on node %d points at freed frame %d" lpage node frame.id;
+        if not (Frame_table.node_online frames ~node) then
+          bad "page %d: replica survives on offline node %d" lpage node)
+      replicas;
+    (* Every mapping resolves to the copy the directory prescribes. *)
+    let mapped_via_replica (e : Mmu.entry) ~node =
+      match e.phys with
+      | Mmu.Frame f -> replica node = Some f
+      | Mmu.Global_frame _ -> false
+    in
+    (match state with
+    | Numa_manager.Untouched ->
+        if replicas <> [] then bad "untouched page %d holds local copies" lpage;
+        if mappings <> [] then bad "untouched page %d is mapped" lpage
+    | Numa_manager.Global_writable ->
+        if replicas <> [] then bad "global page %d holds local copies" lpage;
+        List.iter
+          (fun (e : Mmu.entry) ->
+            match e.phys with
+            | Mmu.Global_frame l when l = lpage -> ()
+            | Mmu.Global_frame _ | Mmu.Frame _ ->
+                bad "global page %d: mapping on cpu %d bypasses the global frame" lpage
+                  e.cpu)
+          mappings
+    | Numa_manager.Read_only ->
+        if replicas = [] then bad "read-only page %d has no replicas" lpage;
+        List.iter
+          (fun (e : Mmu.entry) ->
+            if Prot.compare e.prot Prot.Read_only > 0 then
+              bad "read-only page %d mapped writable on cpu %d" lpage e.cpu;
+            if not (mapped_via_replica e ~node:e.cpu) then
+              bad "read-only page %d: mapping on cpu %d not via its node's replica" lpage
+                e.cpu)
+          mappings;
+        (* Replicas of a clean page are caches of the global master: every
+           cell must read back the coherent value. *)
+        let master = Frame_table.read_global frames ~lpage in
+        List.iter
+          (fun (node, frame) ->
+            let cached = Frame_table.read_local frame in
+            if cached <> master then
+              bad "read-only page %d: node %d caches %d but the global master holds %d"
+                lpage node cached master)
+          replicas
+    | Numa_manager.Local_writable owner -> (
+        (match replicas with
+        | [ (node, _) ] when node = owner -> ()
+        | _ ->
+            bad "local-writable page %d: copies not exactly the owner %d's" lpage owner);
+        List.iter
+          (fun (e : Mmu.entry) ->
+            if e.cpu <> owner then
+              bad "local-writable page %d mapped on non-owner cpu %d" lpage e.cpu
+            else if not (mapped_via_replica e ~node:owner) then
+              bad "local-writable page %d: mapping not via the owner's frame" lpage)
+          mappings;
+        match replica owner with
+        | Some frame when not (Frame_table.node_online frames ~node:owner) ->
+            (* Redundant with the generic offline check, but names the real
+               hazard: a dirty owner on a dead node is lost data. *)
+            bad "local-writable page %d: dirty owner frame %d on offline node %d" lpage
+              frame.id owner
+        | Some _ | None -> ())
+    | Numa_manager.Homed home ->
+        (match replicas with
+        | [ (node, _) ] when node = home -> ()
+        | _ -> bad "homed page %d: copies not exactly the home %d's" lpage home);
+        List.iter
+          (fun (e : Mmu.entry) ->
+            if not (mapped_via_replica e ~node:home) then
+              bad "homed page %d: mapping on cpu %d not via the home frame" lpage e.cpu)
+          mappings);
+    (* A pinned page lives in global memory by decree; local copies mean
+       the policy and the protocol disagree. Homed pages are exempt — the
+       pragma overrides the policy. *)
+    match (pinned, state) with
+    | Some _, Numa_manager.Homed _ | None, _ -> ()
+    | Some is_pinned, _ ->
+        if is_pinned ~lpage && replicas <> [] then
+          bad "pinned page %d holds %d local cop%s" lpage (List.length replicas)
+            (if List.length replicas = 1 then "y" else "ies")
+  done;
+  {
+    pages_checked = config.Config.global_pages;
+    mappings_checked = !mappings_checked;
+    replicas_checked = !replicas_checked;
+    violations = List.rev !violations;
+  }
+
+let result r =
+  match r.violations with
+  | [] -> Ok ()
+  | v :: _ ->
+      Error
+        (Printf.sprintf "%d invariant violation%s, first: %s" (List.length r.violations)
+           (if List.length r.violations = 1 then "" else "s")
+           v)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>checked %d pages, %d mappings, %d replicas: " r.pages_checked
+    r.mappings_checked r.replicas_checked;
+  (match r.violations with
+  | [] -> Format.pp_print_string ppf "coherent"
+  | vs ->
+      Format.fprintf ppf "%d VIOLATIONS" (List.length vs);
+      List.iter (fun v -> Format.fprintf ppf "@,  %s" v) vs);
+  Format.fprintf ppf "@]"

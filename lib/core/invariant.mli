@@ -1,0 +1,46 @@
+(** The protocol invariant checker.
+
+    A full sweep of the coherence directory against the MMU, the frame
+    pools and (optionally) the policy's pin set, stating what the
+    Li & Hudak-style protocol promises between requests:
+
+    - a local-writable page is owned by exactly one node, whose frame
+      holds the only copy, and is mapped only on that node;
+    - replicas exist only while the page is read-only (or at its homed
+      node), and each read-only replica's cell equals the global
+      master's — a read anywhere observes the coherent value;
+    - no mapping or replica reaches a freed frame or an offline node;
+    - a page the policy has pinned global holds no local copies.
+
+    Unlike {!Numa_manager.check_invariants} (the first-failure variant the
+    property tests use on every step), this checker is built for fault
+    drills: it never raises, it collects {e every} violation, and it is
+    cheap enough to run from the daemon tick under [--paranoid], after
+    each injected fault, and at the end of every run. *)
+
+open Numa_machine
+
+type report = {
+  pages_checked : int;
+  mappings_checked : int;
+  replicas_checked : int;
+  violations : string list;  (** empty = coherent; in page order *)
+}
+
+val check :
+  ?pinned:(lpage:int -> bool) ->
+  manager:Numa_manager.t ->
+  mmu:Mmu.t ->
+  frames:Frame_table.t ->
+  config:Config.t ->
+  unit ->
+  report
+(** [pinned] is usually the policy's [is_pinned]; omitting it skips the
+    pinned-pages-hold-no-copies check. Read-only: the sweep never mutates
+    protocol state. *)
+
+val result : report -> (unit, string) result
+(** [Ok ()] when coherent, otherwise a one-line summary naming the first
+    violation and the total count. *)
+
+val pp : Format.formatter -> report -> unit

@@ -20,6 +20,9 @@ type t = {
   stats : Numa_stats.t;
   obs : Numa_obs.Hub.t;
   pages : page array;
+  mutable reclaim : (avoid:int -> bool) option;
+      (** page-out hook: try to free frames, sparing logical page [avoid];
+          returns whether anything was evicted *)
 }
 
 let create ?obs ~config ~frames ~mmu ~sink ~stats () =
@@ -36,7 +39,10 @@ let create ?obs ~config ~frames ~mmu ~sink ~stats () =
     stats;
     obs;
     pages = Array.init config.Config.global_pages fresh;
+    reclaim = None;
   }
+
+let set_reclaim t f = t.reclaim <- Some f
 
 (* Emission sites construct events only when a sink is listening, keeping
    the un-observed hot path at one branch. *)
@@ -57,6 +63,30 @@ let replica_nodes t ~lpage =
 let moves_of t ~lpage = (page t lpage).moves
 
 let charge t ~cpu ns = Cost_sink.charge t.sink ~cpu ns
+
+(* A failed local-frame allocation retries once through the pager: page-out
+   may flush replicas off the full node. Pointless when the node is
+   offline or squeezed to zero — allocation is refused outright there, so
+   LOCAL degrades straight to GLOBAL. [avoid] spares the page being
+   placed from its own reclaim pass. *)
+let reclaim_once t ~lpage ~node =
+  match t.reclaim with
+  | Some reclaim when Frame_table.local_capacity t.frames ~node > 0 ->
+      t.stats.reclaim_retries <- t.stats.reclaim_retries + 1;
+      reclaim ~avoid:lpage
+  | Some _ | None -> false
+
+let alloc_local_reclaiming t ~lpage ~node =
+  match Frame_table.alloc_local t.frames ~node with
+  | Some frame -> Some frame
+  | None ->
+      if not (reclaim_once t ~lpage ~node) then None
+      else (
+        match Frame_table.alloc_local t.frames ~node with
+        | Some frame ->
+            t.stats.reclaim_rescues <- t.stats.reclaim_rescues + 1;
+            Some frame
+        | None -> None)
 
 (* --- primitive protocol actions ------------------------------------- *)
 
@@ -141,7 +171,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
   | Protocol.Place_global ->
       { final_state = place_global (); moved = false; fell_back_global = false }
   | Protocol.Place_local -> (
-      match Frame_table.alloc_local t.frames ~node:cpu with
+      match alloc_local_reclaiming t ~lpage ~node:cpu with
       | None ->
           t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
           observe t (Numa_obs.Event.Local_fallback { lpage; cpu });
@@ -198,6 +228,17 @@ let needs_new_frame t ~lpage ~cpu outcome =
 
 let node_is_full t ~node =
   Frame_table.local_in_use t.frames ~node >= Frame_table.local_capacity t.frames ~node
+
+(* Pre-demotion check: a full node gets one reclaim attempt before the
+   LOCAL decision is demoted to GLOBAL. *)
+let node_still_full t ~lpage ~node =
+  node_is_full t ~node
+  &&
+  if reclaim_once t ~lpage ~node && not (node_is_full t ~node) then begin
+    t.stats.reclaim_rescues <- t.stats.reclaim_rescues + 1;
+    false
+  end
+  else true
 
 let execute t ~lpage ~cpu ~(outcome : Protocol.outcome) =
   let p = page t lpage in
@@ -267,7 +308,7 @@ let request t ~lpage ~cpu ~access ~decision =
         if
           decision = Protocol.Place_local
           && needs_new_frame t ~lpage ~cpu (Protocol.transition ~access ~state ~decision)
-          && node_is_full t ~node:cpu
+          && node_still_full t ~lpage ~node:cpu
         then begin
           t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
           observe t (Numa_obs.Event.Local_fallback { lpage; cpu });
@@ -312,7 +353,7 @@ let request_homed t ~lpage ~cpu ~home =
             (replica_nodes t ~lpage)
       | Global_writable -> unmap_all t ~lpage ~by_cpu:cpu);
       p.state <- Global_writable;
-      match Frame_table.alloc_local t.frames ~node:home with
+      match alloc_local_reclaiming t ~lpage ~node:home with
       | None ->
           t.stats.local_fallbacks <- t.stats.local_fallbacks + 1;
           observe t (Numa_obs.Event.Local_fallback { lpage; cpu });
@@ -361,6 +402,50 @@ let migrate_owned_pages t ~src ~dst =
       t.pages;
     !moved
   end
+
+(* --- graceful degradation ---------------------------------------------- *)
+
+(* Evacuate every cached copy from [node]'s local memory so the node can go
+   offline: dirty owners sync back to global first (no data loss), homed
+   pages are demoted, read-only replicas just flush. LOCAL placement on
+   the node degrades to GLOBAL afterwards — a worse gamma, never a wrong
+   answer. Returns the number of page copies evacuated. *)
+let drain_node t ~node ~by_cpu =
+  let drained = ref 0 in
+  Array.iteri
+    (fun lpage p ->
+      match p.state with
+      | Local_writable o when o = node ->
+          sync_node t ~lpage ~node ~by_cpu;
+          flush_node t ~lpage ~node ~by_cpu;
+          p.state <- Global_writable;
+          incr drained
+      | Homed h when h = node ->
+          demote_homed t ~lpage ~cpu:by_cpu ~home:h;
+          incr drained
+      | Read_only when Hashtbl.mem p.replicas node ->
+          flush_node t ~lpage ~node ~by_cpu;
+          incr drained;
+          if Hashtbl.length p.replicas = 0 then p.state <- Global_writable
+      | Untouched | Read_only | Local_writable _ | Global_writable | Homed _ -> ())
+    t.pages;
+  t.stats.node_drains <- t.stats.node_drains + 1;
+  t.stats.drained_pages <- t.stats.drained_pages + !drained;
+  !drained
+
+(* An injected spurious shootdown drops every live mapping of the page.
+   Mappings are pure acceleration over the directory, so correctness is
+   unaffected — the next reference faults and re-maps. *)
+let spurious_shootdown t ~lpage =
+  let entries = Mmu.entries_of_lpage t.mmu ~lpage in
+  List.iter
+    (fun (e : Mmu.entry) ->
+      Mmu.remove_entry t.mmu e;
+      t.stats.mappings_dropped <- t.stats.mappings_dropped + 1;
+      charge t ~cpu:e.cpu (Cost.tlb_shootdown_ns t.config))
+    entries;
+  t.stats.spurious_shootdowns <- t.stats.spurious_shootdowns + 1;
+  List.length entries
 
 (* --- pager / pool integration ----------------------------------------- *)
 

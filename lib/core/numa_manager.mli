@@ -53,6 +53,14 @@ val create :
     page move, local-memory fallback, page free. Events are constructed
     only when a sink is attached. *)
 
+val set_reclaim : t -> (avoid:int -> bool) -> unit
+(** Install the pager hook used when a local-frame allocation fails: the
+    callback should try to evict pages (never logical page [avoid], which
+    is the one being placed) and return whether anything was freed, in
+    which case the allocation is retried once before the LOCAL decision
+    falls back to GLOBAL. Counted in [reclaim_retries] /
+    [reclaim_rescues]. *)
+
 val request :
   t -> lpage:int -> cpu:int -> access:Access.t -> decision:Protocol.decision ->
   request_result
@@ -85,6 +93,22 @@ val migrate_owned_pages : t -> src:int -> dst:int -> int
     count against the policy's move threshold. Pages that do not fit in
     [dst]'s local memory are left in global memory. Returns the number of
     pages moved. *)
+
+val drain_node : t -> node:int -> by_cpu:int -> int
+(** Graceful degradation when a node's local memory goes offline: sync
+    every dirty copy the node owns back to global, demote its homed pages,
+    flush its read-only replicas, and return the page copies evacuated.
+    Contents are never lost — pages the node served turn [Global_writable]
+    (LOCAL degrades to GLOBAL). The caller takes the frame pool offline
+    ({!Numa_machine.Frame_table.set_node_online}) afterwards; draining
+    first keeps every free in order. Counted in [node_drains] /
+    [drained_pages]. *)
+
+val spurious_shootdown : t -> lpage:int -> int
+(** Fault injection: drop every live mapping of the page (charging each
+    mapping's CPU a TLB shootdown), as hardware glitches or overly eager
+    kernels do. Mappings are re-established by the next fault, so this
+    perturbs timing, never contents. Returns mappings dropped. *)
 
 val mark_zero_fill : t -> lpage:int -> unit
 (** The page will be zero-filled lazily at first placement. Only valid on

@@ -11,6 +11,11 @@ type t = {
   mutable tlb_hits : int;
   mutable tlb_misses : int;
   mutable tlb_shootdowns : int;
+  mutable node_drains : int;
+  mutable drained_pages : int;
+  mutable reclaim_retries : int;
+  mutable reclaim_rescues : int;
+  mutable spurious_shootdowns : int;
   move_histogram : Numa_util.Histogram.t;
 }
 
@@ -28,6 +33,11 @@ let create () =
     tlb_hits = 0;
     tlb_misses = 0;
     tlb_shootdowns = 0;
+    node_drains = 0;
+    drained_pages = 0;
+    reclaim_retries = 0;
+    reclaim_rescues = 0;
+    spurious_shootdowns = 0;
     move_histogram = Numa_util.Histogram.create ();
   }
 
@@ -57,6 +67,20 @@ let to_assoc t =
          ("software-TLB shootdowns", string_of_int t.tlb_shootdowns);
          ("software-TLB hit rate", Printf.sprintf "%.4f" (tlb_hit_rate t));
        ])
+  @ (* Degradation counters render only on faulted / memory-pressured runs
+       so clean reports stay byte-identical to the pre-fault-injection era. *)
+  (if
+     t.node_drains + t.drained_pages + t.reclaim_retries + t.reclaim_rescues
+     + t.spurious_shootdowns = 0
+   then []
+   else
+     [
+       ("node drains", string_of_int t.node_drains);
+       ("pages drained", string_of_int t.drained_pages);
+       ("reclaim retries", string_of_int t.reclaim_retries);
+       ("reclaim rescues", string_of_int t.reclaim_rescues);
+       ("spurious shootdowns", string_of_int t.spurious_shootdowns);
+     ])
   @
   (* Distribution of final per-page move counts (recorded at page free):
      how close pages came to the pin threshold. *)

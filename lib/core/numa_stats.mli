@@ -20,6 +20,15 @@ type t = {
   mutable tlb_shootdowns : int;
       (** live software-TLB entries precisely invalidated by protocol
           actions (ownership moves, pins, pageout, unmaps) *)
+  mutable node_drains : int;
+      (** times a node's local memory was taken offline and drained *)
+  mutable drained_pages : int;
+      (** local copies synced/flushed off dying nodes by those drains *)
+  mutable reclaim_retries : int;
+      (** local-frame allocation failures retried through page-out *)
+  mutable reclaim_rescues : int;  (** retries that then got a frame *)
+  mutable spurious_shootdowns : int;
+      (** injected mapping invalidations (fault plan noise) *)
   move_histogram : Numa_util.Histogram.t;
       (** distribution of per-page move counts, recorded when a page is
           freed and for all live pages via {!record_final_moves} *)

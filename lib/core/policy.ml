@@ -7,6 +7,7 @@ type t = {
   decide : lpage:int -> cpu:int -> access:Numa_machine.Access.t -> Protocol.decision;
   note : event -> unit;
   n_pinned : unit -> int;
+  is_pinned : lpage:int -> bool;
   expired_pins : unit -> int list;
   migrate_hints : unit -> (int * int) list;
   info : unit -> (string * string) list;
@@ -46,6 +47,7 @@ let move_limit ?(threshold = 4) ~n_pages () =
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned);
+    is_pinned = (fun ~lpage -> Hashtbl.mem pinned lpage);
     expired_pins = no_expiry;
     migrate_hints = no_hints;
     explain;
@@ -63,6 +65,7 @@ let all_global () =
     decide = (fun ~lpage:_ ~cpu:_ ~access:_ -> Protocol.Place_global);
     note = (fun _ -> ());
     n_pinned = (fun () -> 0);
+    is_pinned = (fun ~lpage:_ -> false);
     expired_pins = no_expiry;
     migrate_hints = no_hints;
     explain = (fun ~lpage:_ -> "all-global: every page placed GLOBAL");
@@ -75,6 +78,7 @@ let never_pin () =
     decide = (fun ~lpage:_ ~cpu:_ ~access:_ -> Protocol.Place_local);
     note = (fun _ -> ());
     n_pinned = (fun () -> 0);
+    is_pinned = (fun ~lpage:_ -> false);
     expired_pins = no_expiry;
     migrate_hints = no_hints;
     explain = (fun ~lpage:_ -> "never-pin: every page cached LOCAL forever");
@@ -107,6 +111,7 @@ let random ~prng ~p_global ~n_pages =
     decide;
     note;
     n_pinned = (fun () -> !pinned);
+    is_pinned = (fun ~lpage -> assignment.(lpage) = 2);
     expired_pins = no_expiry;
     migrate_hints = no_hints;
     explain =
@@ -161,6 +166,7 @@ let reconsider ?(threshold = 4) ~window_ns ~now ~n_pages () =
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned_at);
+    is_pinned = (fun ~lpage -> Hashtbl.mem pinned_at lpage);
     migrate_hints = no_hints;
     explain;
     expired_pins =
@@ -234,6 +240,7 @@ let decay ?(threshold = 4.) ?(half_life_ns = 50e6) ~now ~n_pages () =
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned);
+    is_pinned = (fun ~lpage -> Hashtbl.mem pinned lpage);
     explain;
     expired_pins =
       (fun () ->
@@ -322,6 +329,7 @@ let bandwidth_aware ?(threshold = 4) ~topo ~pressure ~n_pages () =
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned);
+    is_pinned = (fun ~lpage -> Hashtbl.mem pinned lpage);
     expired_pins = no_expiry;
     migrate_hints = no_hints;
     explain;
@@ -383,6 +391,7 @@ let migrate_threads ?(threshold = 4) ~topo ~n_pages () =
     decide;
     note;
     n_pinned = (fun () -> Hashtbl.length pinned);
+    is_pinned = (fun ~lpage -> Hashtbl.mem pinned lpage);
     expired_pins = no_expiry;
     migrate_hints =
       (fun () ->

@@ -28,6 +28,11 @@ type t = {
   n_pinned : unit -> int;
       (** distinct pages currently pinned in global memory by this policy
           (always 0 for policies without a pinning notion) *)
+  is_pinned : lpage:int -> bool;
+      (** whether this specific page is currently pinned (or, for
+          {!random}, sticky-assigned) to global memory. Pure query — must
+          not flip any state. The invariant checker uses it: a pinned page
+          must hold no local copies. *)
   expired_pins : unit -> int list;
       (** pages whose pinning decision should be reconsidered now. Pinned
           pages are mapped with loose protection and never fault again, so

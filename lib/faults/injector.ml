@@ -1,0 +1,77 @@
+type action =
+  | Set_node_offline of int
+  | Set_node_online of int
+  | Begin_link_degrade of { src : int; dst : int; factor : float }
+  | End_link_degrade of { src : int; dst : int }
+  | Squeeze_frames of { node : int; frac : float }
+  | Spurious_shootdown of { lpage : int }
+
+type fired = { at_ns : float; action : action }
+
+type t = {
+  mutable pending : fired list;  (** sorted by at_ns; popped as time passes *)
+  shootdown_period_ns : float;  (** infinity when the plan has no rate *)
+  mutable next_shootdown_at : float;
+  prng : Numa_util.Prng.t;
+  n_pages : int;
+  mutable fired : int;
+}
+
+(* A windowed link degrade expands into a begin and an end action so the
+   injector's output is a flat, time-sorted schedule. *)
+let expand (tv : Plan.timed) =
+  match tv.Plan.event with
+  | Plan.Node_offline { node } ->
+      [ { at_ns = tv.Plan.at_ns; action = Set_node_offline node } ]
+  | Plan.Node_online { node } ->
+      [ { at_ns = tv.Plan.at_ns; action = Set_node_online node } ]
+  | Plan.Frame_squeeze { node; frac } ->
+      [ { at_ns = tv.Plan.at_ns; action = Squeeze_frames { node; frac } } ]
+  | Plan.Link_degrade { src; dst; factor; until_ns } ->
+      [
+        { at_ns = tv.Plan.at_ns; action = Begin_link_degrade { src; dst; factor } };
+        { at_ns = until_ns; action = End_link_degrade { src; dst } };
+      ]
+
+let create ?(seed = 0xFA17L) plan ~n_pages =
+  let rate = Plan.shootdown_rate plan in
+  let period = if rate > 0. then 1e6 /. rate else Float.infinity in
+  {
+    pending =
+      List.concat_map expand (Plan.events plan)
+      |> List.stable_sort (fun a b -> Float.compare a.at_ns b.at_ns);
+    shootdown_period_ns = period;
+    next_shootdown_at = period;
+    prng = Numa_util.Prng.create ~seed;
+    n_pages = max 1 n_pages;
+    fired = 0;
+  }
+
+let due t ~now =
+  let rec planned acc = function
+    | ev :: rest when ev.at_ns <= now -> planned (ev :: acc) rest
+    | rest ->
+        t.pending <- rest;
+        List.rev acc
+  in
+  let from_plan = planned [] t.pending in
+  (* Spurious shootdowns fire on a fixed seeded cadence: the k-th fires at
+     k / rate milliseconds, targeting a pseudo-random page. Determinism
+     comes free — virtual time and the PRNG are both run-invariant. *)
+  let rec spurious acc =
+    if t.next_shootdown_at > now then List.rev acc
+    else begin
+      let at_ns = t.next_shootdown_at in
+      t.next_shootdown_at <- t.next_shootdown_at +. t.shootdown_period_ns;
+      let lpage = Numa_util.Prng.int t.prng t.n_pages in
+      spurious ({ at_ns; action = Spurious_shootdown { lpage } } :: acc)
+    end
+  in
+  let fired =
+    List.merge (fun a b -> Float.compare a.at_ns b.at_ns) from_plan (spurious [])
+  in
+  t.fired <- t.fired + List.length fired;
+  fired
+
+let remaining t = List.length t.pending
+let fired t = t.fired

@@ -1,0 +1,35 @@
+(** Deterministic fault injection driven by the engine's virtual clock.
+
+    The injector turns a {!Plan} into a flat, time-sorted schedule of
+    primitive actions and replays it as simulated time advances: the
+    system layer polls {!due} at every scheduling turn and applies what
+    has come due. Spurious shootdowns are generated on a fixed cadence
+    (one per [1/rate] milliseconds) targeting pages drawn from a seeded
+    PRNG, so the whole schedule — plan plus noise — is a pure function of
+    (plan, seed) and a faulted run is exactly reproducible. *)
+
+type action =
+  | Set_node_offline of int
+  | Set_node_online of int
+  | Begin_link_degrade of { src : int; dst : int; factor : float }
+  | End_link_degrade of { src : int; dst : int }
+  | Squeeze_frames of { node : int; frac : float }
+  | Spurious_shootdown of { lpage : int }
+
+type fired = { at_ns : float; action : action }
+
+type t
+
+val create : ?seed:int64 -> Plan.t -> n_pages:int -> t
+(** [seed] (default a fixed constant) drives only the spurious-shootdown
+    page draws; [n_pages] bounds them. *)
+
+val due : t -> now:float -> fired list
+(** Pop every action scheduled at or before [now], in schedule order.
+    [now] must be non-decreasing across calls. *)
+
+val remaining : t -> int
+(** Plan actions not yet fired (excludes future spurious shootdowns). *)
+
+val fired : t -> int
+(** Total actions handed out so far. *)

@@ -1,0 +1,197 @@
+type event =
+  | Node_offline of { node : int }
+  | Node_online of { node : int }
+  | Link_degrade of { src : int; dst : int; factor : float; until_ns : float }
+  | Frame_squeeze of { node : int; frac : float }
+
+type timed = { at_ns : float; event : event }
+
+type t = { events : timed list; shootdown_rate : float }
+
+let empty = { events = []; shootdown_rate = 0. }
+let is_empty t = t.events = [] && t.shootdown_rate <= 0.
+let events t = t.events
+let shootdown_rate t = t.shootdown_rate
+
+let ms_to_ns ms = ms *. 1e6
+
+(* --- parsing ----------------------------------------------------------- *)
+
+(* One entry is KIND:ARGS@MS (or KIND:RATE for spurious-shootdown); a plan
+   is a comma-separated list of entries. All times are milliseconds of
+   simulated time. *)
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let parse_int ~what s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Ok n
+  | Some _ | None -> err "%s must be a non-negative int (got %S)" what s
+
+let parse_float ~what s =
+  match float_of_string_opt s with
+  | Some f when f >= 0. -> Ok f
+  | Some _ | None -> err "%s must be a non-negative number (got %S)" what s
+
+(* Split "body@MS" into the body and the parsed time. *)
+let parse_at entry =
+  match String.index_opt entry '@' with
+  | None -> err "entry %S needs an @MS time" entry
+  | Some i ->
+      let body = String.sub entry 0 i in
+      let time = String.sub entry (i + 1) (String.length entry - i - 1) in
+      let* ms = parse_float ~what:"time (ms)" time in
+      Ok (body, ms_to_ns ms)
+
+(* Split "MS1..MS2" on the first "..". *)
+let split_window times =
+  let n = String.length times in
+  let rec find i =
+    if i + 1 >= n then None
+    else if times.[i] = '.' && times.[i + 1] = '.' then
+      Some (String.sub times 0 i, String.sub times (i + 2) (n - i - 2))
+    else find (i + 1)
+  in
+  find 0
+
+(* "body@MS1..MS2" for windowed entries. *)
+let parse_window entry =
+  match String.index_opt entry '@' with
+  | None -> err "entry %S needs an @MS..MS window" entry
+  | Some i -> (
+      let body = String.sub entry 0 i in
+      let times = String.sub entry (i + 1) (String.length entry - i - 1) in
+      match split_window times with
+      | None -> err "entry %S: window must be MS..MS" entry
+      | Some (a, b) ->
+          let* from_ms = parse_float ~what:"window start (ms)" a in
+          let* until_ms = parse_float ~what:"window end (ms)" b in
+          if until_ms <= from_ms then
+            err "entry %S: window end must be after its start" entry
+          else Ok (body, ms_to_ns from_ms, ms_to_ns until_ms))
+
+let parse_entry entry =
+  match String.split_on_char ':' entry with
+  | "node-offline" :: _ ->
+      let* body, at_ns = parse_at entry in
+      let* node =
+        match String.split_on_char ':' body with
+        | [ _; n ] -> parse_int ~what:"node" n
+        | _ -> err "expected node-offline:NODE@MS (got %S)" entry
+      in
+      Ok (`Timed { at_ns; event = Node_offline { node } })
+  | "node-online" :: _ ->
+      let* body, at_ns = parse_at entry in
+      let* node =
+        match String.split_on_char ':' body with
+        | [ _; n ] -> parse_int ~what:"node" n
+        | _ -> err "expected node-online:NODE@MS (got %S)" entry
+      in
+      Ok (`Timed { at_ns; event = Node_online { node } })
+  | "link-degrade" :: _ ->
+      let* body, from_ns, until_ns = parse_window entry in
+      let* src, dst, factor =
+        match String.split_on_char ':' body with
+        | [ _; s; d; f ] ->
+            let* src = parse_int ~what:"src node" s in
+            let* dst = parse_int ~what:"dst node" d in
+            let* factor = parse_float ~what:"factor" f in
+            if factor < 1. then err "link-degrade factor must be >= 1 (got %g)" factor
+            else Ok (src, dst, factor)
+        | _ -> err "expected link-degrade:SRC:DST:FACTOR@MS..MS (got %S)" entry
+      in
+      Ok (`Timed { at_ns = from_ns; event = Link_degrade { src; dst; factor; until_ns } })
+  | "frame-squeeze" :: _ ->
+      let* body, at_ns = parse_at entry in
+      let* node, frac =
+        match String.split_on_char ':' body with
+        | [ _; n; f ] ->
+            let* node = parse_int ~what:"node" n in
+            let* frac = parse_float ~what:"fraction" f in
+            if frac > 1. then err "frame-squeeze fraction must be in [0,1] (got %g)" frac
+            else Ok (node, frac)
+        | _ -> err "expected frame-squeeze:NODE:FRAC@MS (got %S)" entry
+      in
+      Ok (`Timed { at_ns; event = Frame_squeeze { node; frac } })
+  | [ "spurious-shootdown"; r ] ->
+      let* rate = parse_float ~what:"rate (events/ms)" r in
+      Ok (`Rate rate)
+  | _ ->
+      err
+        "unknown fault %S; use node-offline:NODE@MS, node-online:NODE@MS, \
+         link-degrade:SRC:DST:FACTOR@MS..MS, frame-squeeze:NODE:FRAC@MS or \
+         spurious-shootdown:RATE"
+        entry
+
+let of_string s =
+  let entries =
+    String.split_on_char ',' (String.trim s)
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  let rec fold acc rate = function
+    | [] ->
+        (* Stable by arrival time: simultaneous faults apply in the order
+           written, so a plan is a deterministic schedule, not a set. *)
+        Ok
+          {
+            events = List.stable_sort (fun a b -> Float.compare a.at_ns b.at_ns)
+                       (List.rev acc);
+            shootdown_rate = rate;
+          }
+    | entry :: rest -> (
+        match parse_entry entry with
+        | Error _ as e -> e
+        | Ok (`Timed ev) -> fold (ev :: acc) rate rest
+        | Ok (`Rate r) -> fold acc r rest)
+  in
+  fold [] 0. entries
+
+let event_to_string = function
+  | Node_offline { node } -> Printf.sprintf "node-offline:%d" node
+  | Node_online { node } -> Printf.sprintf "node-online:%d" node
+  | Link_degrade { src; dst; factor; _ } ->
+      Printf.sprintf "link-degrade:%d:%d:%g" src dst factor
+  | Frame_squeeze { node; frac } -> Printf.sprintf "frame-squeeze:%d:%g" node frac
+
+let timed_to_string { at_ns; event } =
+  match event with
+  | Link_degrade { until_ns; _ } ->
+      Printf.sprintf "%s@%g..%g" (event_to_string event) (at_ns /. 1e6)
+        (until_ns /. 1e6)
+  | Node_offline _ | Node_online _ | Frame_squeeze _ ->
+      Printf.sprintf "%s@%g" (event_to_string event) (at_ns /. 1e6)
+
+let to_string t =
+  let entries = List.map timed_to_string t.events in
+  let entries =
+    if t.shootdown_rate > 0. then
+      entries @ [ Printf.sprintf "spurious-shootdown:%g" t.shootdown_rate ]
+    else entries
+  in
+  String.concat "," entries
+
+let validate t ~cpu_nodes ~n_nodes =
+  let check ~what ~bound node =
+    if node < 0 || node >= bound then
+      err "%s %d out of range (machine has %d)" what node bound
+    else Ok ()
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | { event; _ } :: rest ->
+        let* () =
+          match event with
+          (* Only CPU nodes carry a frame pool to kill or squeeze; links
+             may also reach the memory-only board. *)
+          | Node_offline { node } | Node_online { node } | Frame_squeeze { node; _ } ->
+              check ~what:"CPU node" ~bound:cpu_nodes node
+          | Link_degrade { src; dst; _ } ->
+              let* () = check ~what:"link src node" ~bound:n_nodes src in
+              check ~what:"link dst node" ~bound:n_nodes dst
+        in
+        go rest
+  in
+  go t.events

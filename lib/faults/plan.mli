@@ -1,0 +1,54 @@
+(** Typed, parseable fault schedules.
+
+    A plan is a deterministic list of machine faults to inject at given
+    points of {e simulated} time, plus an optional rate of spurious TLB
+    shootdowns. The concrete syntax (comma-separated entries, times in
+    milliseconds of simulated time) is shared by [numa_sim run --faults]
+    and [experiments chaos-sweep]:
+
+    - [node-offline:NODE@MS] — node [NODE]'s local memory goes away at
+      [MS]: its frames are drained and freed, threads re-home, future
+      LOCAL placements degrade to GLOBAL.
+    - [node-online:NODE@MS] — the node comes back; its (empty) pool
+      accepts allocations again.
+    - [link-degrade:SRC:DST:FACTOR@MS..MS] — the directed interconnect
+      link loses bandwidth by [FACTOR] (>= 1) over the window.
+    - [frame-squeeze:NODE:FRAC@MS] — the node's frame pool shrinks to
+      [FRAC] (in [0,1]) of its capacity.
+    - [spurious-shootdown:RATE] — [RATE] spurious mapping invalidations
+      per millisecond of simulated time, on seeded pseudo-random pages.
+
+    The same plan and the same workload seed always produce the same run,
+    byte for byte: plans are data, and injection is driven from the
+    engine's virtual clock ({!Injector}). *)
+
+type event =
+  | Node_offline of { node : int }
+  | Node_online of { node : int }
+  | Link_degrade of { src : int; dst : int; factor : float; until_ns : float }
+      (** bandwidth divided by [factor] until [until_ns] *)
+  | Frame_squeeze of { node : int; frac : float }
+
+type timed = { at_ns : float; event : event }
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val events : t -> timed list
+(** Sorted by [at_ns]; simultaneous entries keep their written order. *)
+
+val shootdown_rate : t -> float
+(** Spurious shootdowns per millisecond of simulated time (0 = none). *)
+
+val of_string : string -> (t, string) result
+(** Parse the CLI syntax above. The empty string is the empty plan. *)
+
+val to_string : t -> string
+(** Canonical rendering, parseable by {!of_string}. *)
+
+val validate : t -> cpu_nodes:int -> n_nodes:int -> (unit, string) result
+(** Check every node index against the machine: offline / online / squeeze
+    targets must be CPU nodes (they act on frame pools), link endpoints
+    may be any node including a memory-only board. *)

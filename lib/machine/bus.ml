@@ -9,6 +9,8 @@ type t = {
       (** per-directed-link fluid queues when the topology prices links
           individually; [None] = one shared bus *)
   obs : Numa_obs.Hub.t;
+  degrades : (int * int, float) Hashtbl.t;
+      (** fault injection: (src, dst) -> bandwidth divisor currently active *)
   mutable backlog_clears_at : float;  (** virtual time when queued traffic drains *)
   mutable total_words : int;
   mutable total_delay_ns : float;
@@ -25,12 +27,28 @@ let create ?obs (config : Config.t) =
     words_per_ns = config.bus_words_per_ns;
     links;
     obs = (match obs with Some h -> h | None -> Numa_obs.Hub.create ());
+    degrades = Hashtbl.create 8;
     backlog_clears_at = 0.;
     total_words = 0;
     total_delay_ns = 0.;
   }
 
 let enabled t = t.words_per_ns > 0. || t.links <> None
+
+let set_degrade t ~src ~dst ~factor =
+  if factor < 1. then invalid_arg "Bus.set_degrade: factor must be >= 1";
+  Hashtbl.replace t.degrades (src, dst) factor
+
+let clear_degrade t ~src ~dst = Hashtbl.remove t.degrades (src, dst)
+
+let degrade_factor t ~src ~dst =
+  match Hashtbl.find_opt t.degrades (src, dst) with Some f -> f | None -> 1.
+
+(* A single shared bus has no per-pair queues, so a degraded "link" slows
+   the whole bus by the worst active factor — pessimistic, but it keeps
+   link-degrade faults meaningful on bus machines like the ACE. *)
+let shared_factor t =
+  Hashtbl.fold (fun _ f acc -> Float.max f acc) t.degrades 1.
 
 let charge t ~cpu ~now ~words ~bw ~clears_at ~set_clears_at =
   t.total_words <- t.total_words + words;
@@ -51,12 +69,14 @@ let delay_ns ?(cpu = 0) ?src ?dst t ~now ~words =
         let link = m.(s).(d) in
         if link.bw <= 0. then 0.
         else
-          charge t ~cpu ~now ~words ~bw:link.bw ~clears_at:link.link_clears_at
+          let bw = link.bw /. degrade_factor t ~src:s ~dst:d in
+          charge t ~cpu ~now ~words ~bw ~clears_at:link.link_clears_at
             ~set_clears_at:(fun at -> link.link_clears_at <- at)
     | _ ->
         if t.words_per_ns <= 0. then 0.
         else
-          charge t ~cpu ~now ~words ~bw:t.words_per_ns ~clears_at:t.backlog_clears_at
+          let bw = t.words_per_ns /. shared_factor t in
+          charge t ~cpu ~now ~words ~bw ~clears_at:t.backlog_clears_at
             ~set_clears_at:(fun at -> t.backlog_clears_at <- at)
 
 let total_words t = t.total_words

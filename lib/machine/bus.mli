@@ -35,6 +35,16 @@ val delay_ns : ?cpu:int -> ?src:int -> ?dst:int -> t -> now:float -> words:int -
     matrix they select the link's own queue, otherwise the shared bus is
     charged. *)
 
+val set_degrade : t -> src:int -> dst:int -> factor:float -> unit
+(** Fault injection: divide the bandwidth of the directed link
+    [src -> dst] by [factor] (>= 1, else [Invalid_argument]) until
+    {!clear_degrade}. On a machine with a single shared bus the whole bus
+    slows by the worst active factor, since there is no per-pair queue. *)
+
+val clear_degrade : t -> src:int -> dst:int -> unit
+(** Restore the link's full bandwidth. Clearing an undegraded link is a
+    no-op. *)
+
 val total_words : t -> int
 (** Total traffic ever offered. *)
 

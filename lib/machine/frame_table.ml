@@ -5,6 +5,8 @@ type node_pool = {
   mutable free : local_frame list;
   mutable in_use : int;
   free_set : (int, unit) Hashtbl.t;  (** ids currently free, to detect double frees *)
+  mutable online : bool;  (** offline pools refuse allocation *)
+  mutable limit : int;  (** effective capacity; squeezed below [capacity] by faults *)
 }
 
 type t = { globals : int array; pools : node_pool array }
@@ -16,7 +18,7 @@ let create (config : Config.t) =
     let frames = List.init capacity (fun id -> { node; id; cell = 0 }) in
     let free_set = Hashtbl.create 64 in
     List.iter (fun f -> Hashtbl.replace free_set f.id ()) frames;
-    { capacity; free = frames; in_use = 0; free_set }
+    { capacity; free = frames; in_use = 0; free_set; online = true; limit = capacity }
   in
   {
     globals = Array.make config.global_pages 0;
@@ -28,25 +30,46 @@ let write_global t ~lpage v = t.globals.(lpage) <- v
 
 let alloc_local t ~node =
   let pool = t.pools.(node) in
-  match pool.free with
-  | [] -> None
-  | frame :: rest ->
-      pool.free <- rest;
-      pool.in_use <- pool.in_use + 1;
-      Hashtbl.remove pool.free_set frame.id;
-      frame.cell <- 0;
-      Some frame
+  if (not pool.online) || pool.in_use >= pool.limit then None
+  else
+    match pool.free with
+    | [] -> None
+    | frame :: rest ->
+        pool.free <- rest;
+        pool.in_use <- pool.in_use + 1;
+        Hashtbl.remove pool.free_set frame.id;
+        frame.cell <- 0;
+        Some frame
 
 let free_local t frame =
   let pool = t.pools.(frame.node) in
   if Hashtbl.mem pool.free_set frame.id then
-    invalid_arg "Frame_table.free_local: double free";
+    invalid_arg
+      (Printf.sprintf "Frame_table.free_local: double free of frame %d on node %d"
+         frame.id frame.node);
   Hashtbl.replace pool.free_set frame.id ();
   pool.free <- frame :: pool.free;
   pool.in_use <- pool.in_use - 1
 
 let local_in_use t ~node = t.pools.(node).in_use
-let local_capacity t ~node = t.pools.(node).capacity
+
+let local_capacity t ~node =
+  let pool = t.pools.(node) in
+  if pool.online then pool.limit else 0
+
+let node_online t ~node = t.pools.(node).online
+let set_node_online t ~node online = t.pools.(node).online <- online
+
+let squeeze t ~node ~frac =
+  if frac < 0. || frac > 1. then invalid_arg "Frame_table.squeeze: frac not in [0,1]";
+  let pool = t.pools.(node) in
+  (* In-use frames above the new limit stay allocated; the squeeze only
+     gates future allocations, like a real balloon driver. *)
+  pool.limit <- int_of_float (frac *. float_of_int pool.capacity);
+  pool.limit
+
+let frame_is_free t (frame : local_frame) =
+  Hashtbl.mem t.pools.(frame.node).free_set frame.id
 
 let read_local (f : local_frame) = f.cell
 let write_local (f : local_frame) v = f.cell <- v

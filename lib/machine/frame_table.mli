@@ -9,7 +9,13 @@
     Each frame carries a single integer cell standing in for the page's
     contents. The protocol's copy/sync operations move the cell, which lets
     the test suite check coherence (a read must observe the value of the
-    most recent write) without simulating full page data. *)
+    most recent write) without simulating full page data.
+
+    Fault injection can take a node's pool {e offline} (allocation refused,
+    capacity reported as 0 so callers fall back to global memory) or
+    {e squeeze} it to a fraction of its capacity; frames already handed out
+    stay valid either way, so the NUMA manager can still sync and free them
+    while draining a dying node. *)
 
 type local_frame = private {
   node : int;  (** owning local memory *)
@@ -29,14 +35,33 @@ val write_global : t -> lpage:int -> int -> unit
 (** {1 Local frames} *)
 
 val alloc_local : t -> node:int -> local_frame option
-(** Take a frame from a node's pool; [None] when the local memory is full
-    (the caller then falls back to a GLOBAL placement). *)
+(** Take a frame from a node's pool; [None] when the local memory is full,
+    squeezed to its limit, or offline (the caller then falls back to a
+    GLOBAL placement, possibly after reclaiming). *)
 
 val free_local : t -> local_frame -> unit
-(** Return a frame to its pool. Raises [Invalid_argument] on double free. *)
+(** Return a frame to its pool (works on an offline pool: draining a dead
+    node frees its frames). Raises [Invalid_argument] — naming the frame
+    and node — on double free. *)
 
 val local_in_use : t -> node:int -> int
+
 val local_capacity : t -> node:int -> int
+(** Effective capacity: the squeeze limit while online, 0 while offline.
+    The NUMA manager's "node full" pre-demotion reads this, so LOCAL
+    answers degrade to GLOBAL on a dead or squeezed node. *)
+
+val node_online : t -> node:int -> bool
+val set_node_online : t -> node:int -> bool -> unit
+
+val squeeze : t -> node:int -> frac:float -> int
+(** Shrink (or restore, [frac = 1.]) the node's allocation limit to
+    [frac] of its capacity; returns the new limit. Frames in use above the
+    limit stay valid — only future allocations are gated. *)
+
+val frame_is_free : t -> local_frame -> bool
+(** Whether the frame currently sits in its pool's free list (a mapping or
+    replica pointing at such a frame is a protocol invariant violation). *)
 
 val read_local : local_frame -> int
 val write_local : local_frame -> int -> unit

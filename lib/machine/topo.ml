@@ -45,6 +45,18 @@ let classify _t ~cpu = function
   | Shared _ -> Location.In_global
   | Node n -> if n = cpu then Location.Local_here else Location.Remote_local
 
+let nearest_cpu t ~from ~ok =
+  let best = ref None in
+  for node = 0 to t.cpu_nodes - 1 do
+    if ok node then begin
+      let d = t.fetch_ns.(from).(node) in
+      match !best with
+      | Some (_, d') when d >= d' -> ()
+      | _ -> best := Some (node, d)
+    end
+  done;
+  Option.map fst !best
+
 let place_to_string = function
   | Node n -> Printf.sprintf "node(%d)" n
   | Shared lpage -> Printf.sprintf "shared(%d)" lpage

@@ -67,6 +67,11 @@ val global_home : t -> lpage:int -> int
 
 val place_node : t -> place -> int
 
+val nearest_cpu : t -> from:int -> ok:(int -> bool) -> int option
+(** The CPU node closest to [from] by fetch latency among those passing
+    [ok] (lowest index on ties); [None] when none passes. Used to pick a
+    re-home target for threads stranded on a node that went offline. *)
+
 val classify : t -> cpu:int -> place -> Location.relative
 (** Reporting bucket of a place as seen from [cpu]: the shared level is
     always [In_global]; a node place is [Local_here] or [Remote_local]. *)

@@ -10,6 +10,8 @@ type run_spec = {
   scheduler : Numa_sim.Engine.scheduler_mode;
   unix_master : bool;
   config_tweak : Config.t -> Config.t;
+  faults : Numa_faults.Plan.t;
+  paranoid : bool;
 }
 
 let default_spec =
@@ -22,6 +24,8 @@ let default_spec =
     scheduler = Numa_sim.Engine.Affinity;
     unix_master = false;
     config_tweak = Fun.id;
+    faults = Numa_faults.Plan.empty;
+    paranoid = false;
   }
 
 let config_for spec ~n_cpus = spec.config_tweak (Config.ace ~n_cpus ())
@@ -29,8 +33,8 @@ let config_for spec ~n_cpus = spec.config_tweak (Config.ace ~n_cpus ())
 let run_with (app : Numa_apps.App_sig.t) spec ~policy ~n_cpus ~nthreads =
   let config = config_for spec ~n_cpus in
   let sys =
-    System.create ~policy ~scheduler:spec.scheduler ~unix_master:spec.unix_master ~config
-      ()
+    System.create ~policy ~scheduler:spec.scheduler ~unix_master:spec.unix_master
+      ~faults:spec.faults ~paranoid:spec.paranoid ~config ()
   in
   app.Numa_apps.App_sig.setup sys
     { Numa_apps.App_sig.nthreads; scale = spec.scale; seed = spec.seed };
@@ -57,13 +61,17 @@ type measurement = {
 
 let measure (app : Numa_apps.App_sig.t) spec =
   let r_numa = run app spec in
+  (* The two baselines define the model's reference scale, so they run on
+     the healthy machine even when the measured run is faulted — gamma of
+     a chaos run is "how much slower than the intact all-local machine". *)
+  let clean = { spec with faults = Numa_faults.Plan.empty } in
   let r_global =
-    run_with app spec ~policy:System.All_global ~n_cpus:spec.n_cpus
+    run_with app clean ~policy:System.All_global ~n_cpus:spec.n_cpus
       ~nthreads:spec.nthreads
   in
   (* T_local: one thread on a one-processor system, so that every page is
      private and local (section 3.1). *)
-  let r_local = run_with app spec ~policy:spec.policy ~n_cpus:1 ~nthreads:1 in
+  let r_local = run_with app clean ~policy:spec.policy ~n_cpus:1 ~nthreads:1 in
   let times =
     {
       Model.t_numa = Numa_system.Report.total_user_s r_numa;

@@ -14,10 +14,15 @@ type run_spec = {
   config_tweak : Config.t -> Config.t;
       (** applied to the ACE base configuration; identity for the paper's
           machine, used by the G/L and page-size ablations *)
+  faults : Numa_faults.Plan.t;
+      (** deterministic fault schedule for the measured run; the T_global
+          and T_local baselines of {!measure} always run fault-free *)
+  paranoid : bool;  (** audit protocol invariants from the daemon tick *)
 }
 
 val default_spec : run_spec
-(** Move-limit(4), 7 CPUs, 7 threads, scale 1.0, affinity scheduling. *)
+(** Move-limit(4), 7 CPUs, 7 threads, scale 1.0, affinity scheduling, no
+    faults. *)
 
 val config_for : run_spec -> n_cpus:int -> Config.t
 (** The machine configuration a spec runs on: the ACE at [n_cpus]

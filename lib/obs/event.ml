@@ -24,6 +24,13 @@ type t =
   | Tlb_shootdown of { cpu : int; vpage : int; lpage : int }
   | Thread_migrated of { tid : int; from_cpu : int; to_cpu : int }
   | Reconsider_scan of { expired : int }
+  | Fault_injected of { kind : string; detail : string }
+  | Node_offline of { node : int }
+  | Node_online of { node : int }
+  | Node_drained of { node : int; pages : int; threads : int }
+  | Link_degraded of { src : int; dst : int; factor : float }
+  | Invariant_checked of { violations : int }
+  | Out_of_memory of { cpu : int; vpage : int }
 
 let name = function
   | Fault_resolved _ -> "fault_resolved"
@@ -47,6 +54,13 @@ let name = function
   | Tlb_shootdown _ -> "tlb_shootdown"
   | Thread_migrated _ -> "thread_migrated"
   | Reconsider_scan _ -> "reconsider_scan"
+  | Fault_injected _ -> "fault_injected"
+  | Node_offline _ -> "node_offline"
+  | Node_online _ -> "node_online"
+  | Node_drained _ -> "node_drained"
+  | Link_degraded _ -> "link_degraded"
+  | Invariant_checked _ -> "invariant_checked"
+  | Out_of_memory _ -> "out_of_memory"
 
 type lane = Cpu_lane of int | Protocol_lane
 
@@ -54,7 +68,9 @@ type lane = Cpu_lane of int | Protocol_lane
    happens "on" a processor renders on that processor's lane. *)
 let lane = function
   | Page_move _ | Page_pin _ | Page_unpin _ | Replica_create _ | Replica_flush _
-  | Sync_to_global _ | Zero_fill _ | Page_freed _ | Reconsider_scan _ ->
+  | Sync_to_global _ | Zero_fill _ | Page_freed _ | Reconsider_scan _
+  | Fault_injected _ | Node_offline _ | Node_online _ | Node_drained _
+  | Link_degraded _ | Invariant_checked _ ->
       Protocol_lane
   | Fault_resolved { cpu; _ }
   | Policy_decision { cpu; _ }
@@ -66,7 +82,8 @@ let lane = function
   | Lock_released { cpu; _ }
   | Dispatch { cpu; _ }
   | Syscall { cpu; _ }
-  | Tlb_shootdown { cpu; _ } ->
+  | Tlb_shootdown { cpu; _ }
+  | Out_of_memory { cpu; _ } ->
       Cpu_lane cpu
   | Thread_migrated { to_cpu; _ } -> Cpu_lane to_cpu
 
@@ -85,7 +102,9 @@ let lpage = function
   | Tlb_shootdown { lpage; _ } ->
       Some lpage
   | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Lock_released _
-  | Dispatch _ | Syscall _ | Thread_migrated _ | Reconsider_scan _ ->
+  | Dispatch _ | Syscall _ | Thread_migrated _ | Reconsider_scan _ | Fault_injected _
+  | Node_offline _ | Node_online _ | Node_drained _ | Link_degraded _
+  | Invariant_checked _ | Out_of_memory _ ->
       None
 
 let args ev : (string * Json.t) list =
@@ -143,6 +162,15 @@ let args ev : (string * Json.t) list =
   | Thread_migrated { tid; from_cpu; to_cpu } ->
       [ ("tid", Json.Int tid); ("from_cpu", Json.Int from_cpu); ("to_cpu", Json.Int to_cpu) ]
   | Reconsider_scan { expired } -> [ ("expired", Json.Int expired) ]
+  | Fault_injected { kind; detail } ->
+      [ ("kind", Json.String kind); ("detail", Json.String detail) ]
+  | Node_offline { node } | Node_online { node } -> [ ("node", Json.Int node) ]
+  | Node_drained { node; pages; threads } ->
+      [ ("node", Json.Int node); ("pages", Json.Int pages); ("threads", Json.Int threads) ]
+  | Link_degraded { src; dst; factor } ->
+      [ ("src", Json.Int src); ("dst", Json.Int dst); ("factor", Json.Float factor) ]
+  | Invariant_checked { violations } -> [ ("violations", Json.Int violations) ]
+  | Out_of_memory { cpu; vpage } -> [ ("cpu", Json.Int cpu); ("vpage", Json.Int vpage) ]
 
 let describe ev =
   match ev with
@@ -194,3 +222,21 @@ let describe ev =
   | Reconsider_scan { expired } ->
       Printf.sprintf "reconsideration scan: %d pin%s expired" expired
         (if expired = 1 then "" else "s")
+  | Fault_injected { kind; detail } -> Printf.sprintf "fault injected: %s (%s)" kind detail
+  | Node_offline { node } -> Printf.sprintf "node %d local memory OFFLINE" node
+  | Node_online { node } -> Printf.sprintf "node %d local memory back online" node
+  | Node_drained { node; pages; threads } ->
+      Printf.sprintf "node %d drained: %d page cop%s flushed, %d thread%s re-homed" node
+        pages
+        (if pages = 1 then "y" else "ies")
+        threads
+        (if threads = 1 then "" else "s")
+  | Link_degraded { src; dst; factor } ->
+      Printf.sprintf "link %d->%d bandwidth divided by %g" src dst factor
+  | Invariant_checked { violations } ->
+      if violations = 0 then "invariant check: coherent"
+      else Printf.sprintf "invariant check: %d VIOLATION%s" violations
+          (if violations = 1 then "" else "S")
+  | Out_of_memory { cpu; vpage } ->
+      Printf.sprintf "out of memory: cpu %d faulting on vpage %d found no frame even after \
+                      page-out" cpu vpage

@@ -55,6 +55,23 @@ type t =
   | Reconsider_scan of { expired : int }
       (** a periodic reconsideration scan ran and found [expired] pins
           whose hold had lapsed (each also gets its own [Page_unpin]) *)
+  | Fault_injected of { kind : string; detail : string }
+      (** the fault injector applied a scheduled action; [kind] is the
+          plan-entry tag (e.g. ["node-offline"]) *)
+  | Node_offline of { node : int }
+      (** the node's local memory is gone: pool refuses allocation *)
+  | Node_online of { node : int }  (** the node's (empty) pool is back *)
+  | Node_drained of { node : int; pages : int; threads : int }
+      (** degradation path: [pages] local copies were synced/flushed off
+          the dying node and [threads] runnable threads re-homed *)
+  | Link_degraded of { src : int; dst : int; factor : float }
+      (** the directed link lost bandwidth by [factor] ([factor = 1]
+          marks restoration at the end of a degrade window) *)
+  | Invariant_checked of { violations : int }
+      (** the protocol invariant checker ran over the whole directory *)
+  | Out_of_memory of { cpu : int; vpage : int }
+      (** a fault could not materialise its page: the logical-page pool
+          was exhausted and page-out freed nothing *)
 
 val name : t -> string
 (** Stable snake_case tag, used as the Chrome trace event name. *)

@@ -118,7 +118,9 @@ let record t ~ts (ev : Event.t) =
   | Event.Zero_fill _ | Event.Page_freed _ | Event.Lock_acquired _
   | Event.Lock_contended _ | Event.Lock_released _ | Event.Dispatch _
   | Event.Syscall _ | Event.Tlb_shootdown _ | Event.Thread_migrated _
-  | Event.Reconsider_scan _ ->
+  | Event.Reconsider_scan _ | Event.Fault_injected _ | Event.Node_offline _
+  | Event.Node_online _ | Event.Node_drained _ | Event.Link_degraded _
+  | Event.Invariant_checked _ | Event.Out_of_memory _ ->
       ()
 
 let attach t hub = Hub.attach hub ~name:"timeseries" (fun ~ts ev -> record t ~ts ev)

@@ -78,6 +78,9 @@ type t = {
   mutable next_sync_id : int;
   mutable running : bool;
   mutable completed : bool;
+  mutable turn_hook : (now:float -> unit) option;
+      (** fault injection taps every scheduling turn; [now] is the
+          monotone virtual clock *)
 }
 
 let create ?obs config ~memory ~scheduler =
@@ -105,6 +108,7 @@ let create ?obs config ~memory ~scheduler =
     next_sync_id = 0;
     running = false;
     completed = false;
+    turn_hook = None;
   }
   in
   (* Events carry the engine's virtual clock, so a sink attached anywhere in
@@ -113,6 +117,7 @@ let create ?obs config ~memory ~scheduler =
   t
 
 let obs t = t.obs
+let set_turn_hook t hook = t.turn_hook <- Some hook
 
 let make_lock t ~vpage =
   let id = t.next_sync_id in
@@ -356,6 +361,7 @@ let turn t th =
      local clock lags another CPU's must not drag [vnow] (and with it
      every observability timestamp) backwards. *)
   t.vnow <- fmax t.vnow start;
+  (match t.turn_hook with None -> () | Some hook -> hook ~now:t.vnow);
   if Numa_obs.Hub.enabled t.obs then
     Numa_obs.Hub.emit t.obs
       (Numa_obs.Event.Dispatch { tid = th.tid; cpu; name = th.name });

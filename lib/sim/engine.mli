@@ -45,6 +45,13 @@ val create : ?obs:Numa_obs.Hub.t -> config -> memory:Memory_iface.t -> scheduler
 
 val obs : t -> Numa_obs.Hub.t
 
+val set_turn_hook : t -> (now:float -> unit) -> unit
+(** Install a callback invoked at the start of every scheduling turn with
+    the (monotone) virtual clock — the fault injector's drive shaft. The
+    hook runs before the turn's chunk, so actions it takes (rehoming
+    threads, gating frame pools, degrading links) are visible to the very
+    next simulated work. Keep it cheap: it runs per event. *)
+
 val make_lock : t -> vpage:int -> Sync.lock
 val make_barrier : t -> vpage:int -> parties:int -> Sync.barrier
 

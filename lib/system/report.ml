@@ -26,6 +26,21 @@ let local_fraction c =
   if total = 0 then 0.
   else float_of_int (c.local_reads + c.local_writes) /. float_of_int total
 
+type robustness = {
+  fault_plan : string;
+  faults_injected : int;
+  node_drains : int;
+  drained_pages : int;
+  threads_rehomed : int;
+  reclaim_retries : int;
+  reclaim_rescues : int;
+  spurious_shootdowns : int;
+  oom_faults : int;
+  invariant_checks : int;
+  invariant_violations : int;
+  first_violations : string list;
+}
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -59,6 +74,9 @@ type t = {
   lock_contended_polls : int;
   bus_words : int;
   bus_delay_ns : float;
+  robustness : robustness option;
+      (** present only on faulted / paranoid runs, keeping clean reports
+          byte-identical to earlier releases *)
 }
 
 let total_user_s t = t.total_user_ns /. 1e9
@@ -108,6 +126,19 @@ let pp ppf t =
     List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) t.policy_info;
     Format.fprintf ppf "@,"
   end;
+  (match t.robustness with
+  | None -> ()
+  | Some r ->
+      Format.fprintf ppf "faults: plan=%s injected=%d drains=%d drained-pages=%d@,"
+        (if r.fault_plan = "" then "(none)" else r.fault_plan)
+        r.faults_injected r.node_drains r.drained_pages;
+      Format.fprintf ppf
+        "degradation: rehomed %d, reclaim %d/%d (rescued/retried), spurious %d, oom %d@,"
+        r.threads_rehomed r.reclaim_rescues r.reclaim_retries r.spurious_shootdowns
+        r.oom_faults;
+      Format.fprintf ppf "invariants: %d checks, %d violations@," r.invariant_checks
+        r.invariant_violations;
+      List.iter (fun v -> Format.fprintf ppf "  VIOLATION: %s@," v) r.first_violations);
   Format.fprintf ppf "per-region:@,";
   List.iter
     (fun (name, c) -> Format.fprintf ppf "  %-24s %a@," name pp_counts c)
@@ -135,7 +166,7 @@ let float_array a = Json.List (Array.to_list (Array.map (fun f -> Json.Float f) 
 
 let to_json t =
   Json.Obj
-    [
+    ([
       ("policy", Json.String t.policy_name);
       ("n_cpus", Json.Int t.n_cpus);
       ("n_threads", Json.Int t.n_threads);
@@ -185,3 +216,28 @@ let to_json t =
       ("bus_words", Json.Int t.bus_words);
       ("bus_delay_ns", Json.Float t.bus_delay_ns);
     ]
+    @
+    (* Appended, and only on faulted/paranoid runs: clean reports keep the
+       exact key set (and bytes) of earlier releases. *)
+    match t.robustness with
+    | None -> []
+    | Some r ->
+        [
+          ( "robustness",
+            Json.Obj
+              [
+                ("fault_plan", Json.String r.fault_plan);
+                ("faults_injected", Json.Int r.faults_injected);
+                ("node_drains", Json.Int r.node_drains);
+                ("drained_pages", Json.Int r.drained_pages);
+                ("threads_rehomed", Json.Int r.threads_rehomed);
+                ("reclaim_retries", Json.Int r.reclaim_retries);
+                ("reclaim_rescues", Json.Int r.reclaim_rescues);
+                ("spurious_shootdowns", Json.Int r.spurious_shootdowns);
+                ("oom_faults", Json.Int r.oom_faults);
+                ("invariant_checks", Json.Int r.invariant_checks);
+                ("invariant_violations", Json.Int r.invariant_violations);
+                ( "first_violations",
+                  Json.List (List.map (fun v -> Json.String v) r.first_violations) );
+              ] );
+        ])

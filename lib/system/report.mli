@@ -20,6 +20,21 @@ val total_refs : ref_counts -> int
 val local_fraction : ref_counts -> float
 (** Directly counted alpha: local references over all references. *)
 
+type robustness = {
+  fault_plan : string;  (** canonical {!Numa_faults.Plan.to_string} *)
+  faults_injected : int;  (** injector actions applied, plan + spurious *)
+  node_drains : int;
+  drained_pages : int;  (** local copies evacuated off dying nodes *)
+  threads_rehomed : int;  (** threads moved off offline nodes *)
+  reclaim_retries : int;  (** frame-allocation failures retried via page-out *)
+  reclaim_rescues : int;  (** retries that then succeeded *)
+  spurious_shootdowns : int;
+  oom_faults : int;  (** faults that failed even after reclamation *)
+  invariant_checks : int;
+  invariant_violations : int;  (** total across all checks; 0 = healthy run *)
+  first_violations : string list;  (** the first check's violations, verbatim *)
+}
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -55,6 +70,9 @@ type t = {
   lock_contended_polls : int;
   bus_words : int;  (** global-memory traffic offered to the IPC bus *)
   bus_delay_ns : float;  (** queueing delay charged by the contention model *)
+  robustness : robustness option;
+      (** fault-drill summary; [None] on clean runs, which therefore render
+          (text and JSON) byte-identically to earlier releases *)
 }
 
 val total_user_s : t -> float

@@ -145,6 +145,18 @@ type t = {
       (** whether the daemon tick consumes the policy's thread re-homing
           hints; on only for [Migrate_threads] (the hook is opt-in) *)
   mutable thread_migrations : int;  (** re-homings actually applied *)
+  injector : Numa_faults.Injector.t option;
+      (** fault schedule, polled from the engine's turn hook; [None] on
+          clean runs, which then take none of the paths below *)
+  fault_plan : string;  (** canonical plan string, echoed in the report *)
+  paranoid : bool;  (** audit protocol invariants from the daemon tick *)
+  mutable faults_injected : int;
+  mutable threads_rehomed : int;  (** threads moved off offline nodes *)
+  mutable oom_faults : int;  (** faults that failed even after reclaim *)
+  mutable invariant_checks : int;
+  mutable invariant_violations : int;
+  mutable first_violations : string list;
+      (** verbatim findings of the first failing check, for the report *)
 }
 
 (* --- reference accounting --------------------------------------------- *)
@@ -217,6 +229,107 @@ let apply_migrate_hints t =
       try_tid 0)
     (pol.Policy.migrate_hints ())
 
+(* --- fault injection and the invariant audit --------------------------- *)
+
+let run_invariant_check t =
+  let pol = Numa_core.Pmap_manager.policy t.pmap_mgr in
+  let report =
+    Numa_core.Invariant.check ~pinned:pol.Policy.is_pinned
+      ~manager:(Numa_core.Pmap_manager.manager t.pmap_mgr)
+      ~mmu:t.mmu ~frames:t.frames ~config:t.config ()
+  in
+  t.invariant_checks <- t.invariant_checks + 1;
+  let n = List.length report.Numa_core.Invariant.violations in
+  if n > 0 then begin
+    t.invariant_violations <- t.invariant_violations + n;
+    if t.first_violations = [] then
+      t.first_violations <- report.Numa_core.Invariant.violations
+  end;
+  if Numa_obs.Hub.enabled t.obs then
+    Numa_obs.Hub.emit t.obs (Numa_obs.Event.Invariant_checked { violations = n });
+  report
+
+(* Move every thread homed on a dead node to the nearest CPU node whose
+   memory is still online. The CPUs themselves keep running — only the
+   node's local memory went away — but re-homing restores the meaning of
+   LOCAL placements for those threads. *)
+let rehome_threads_off t ~node =
+  let n_cpus = t.config.Config.n_cpus in
+  match
+    Topo.nearest_cpu t.topo ~from:node ~ok:(fun c ->
+        c <> node && c < n_cpus && Frame_table.node_online t.frames ~node:c)
+  with
+  | None -> 0
+  | Some target ->
+      let moved = ref 0 in
+      for tid = 0 to Engine.n_threads t.engine - 1 do
+        if
+          Engine.thread_cpu t.engine ~tid = node
+          && Engine.rehome t.engine ~tid ~cpu:target
+        then begin
+          incr moved;
+          if Numa_obs.Hub.enabled t.obs then
+            Numa_obs.Hub.emit t.obs
+              (Numa_obs.Event.Thread_migrated { tid; from_cpu = node; to_cpu = target })
+        end
+      done;
+      !moved
+
+let apply_fault t (fired : Numa_faults.Injector.fired) =
+  t.faults_injected <- t.faults_injected + 1;
+  let emit ev = if Numa_obs.Hub.enabled t.obs then Numa_obs.Hub.emit t.obs ev in
+  let mgr = Numa_core.Pmap_manager.manager t.pmap_mgr in
+  match fired.Numa_faults.Injector.action with
+  | Numa_faults.Injector.Set_node_offline node ->
+      emit
+        (Numa_obs.Event.Fault_injected
+           { kind = "node-offline"; detail = Printf.sprintf "node %d" node });
+      if Frame_table.node_online t.frames ~node then begin
+        (* Drain first, while the pool is still addressable: dirty owners
+           sync to global, replicas flush, frames free. Then close the
+           pool and move the node's threads somewhere with live memory. *)
+        let pages = Numa_core.Numa_manager.drain_node mgr ~node ~by_cpu:node in
+        Frame_table.set_node_online t.frames ~node false;
+        let threads = rehome_threads_off t ~node in
+        t.threads_rehomed <- t.threads_rehomed + threads;
+        emit (Numa_obs.Event.Node_drained { node; pages; threads });
+        emit (Numa_obs.Event.Node_offline { node })
+      end
+  | Numa_faults.Injector.Set_node_online node ->
+      emit
+        (Numa_obs.Event.Fault_injected
+           { kind = "node-online"; detail = Printf.sprintf "node %d" node });
+      Frame_table.set_node_online t.frames ~node true;
+      emit (Numa_obs.Event.Node_online { node })
+  | Numa_faults.Injector.Begin_link_degrade { src; dst; factor } ->
+      emit
+        (Numa_obs.Event.Fault_injected
+           {
+             kind = "link-degrade";
+             detail = Printf.sprintf "%d->%d by %g" src dst factor;
+           });
+      Bus.set_degrade t.bus ~src ~dst ~factor;
+      emit (Numa_obs.Event.Link_degraded { src; dst; factor })
+  | Numa_faults.Injector.End_link_degrade { src; dst } ->
+      Bus.clear_degrade t.bus ~src ~dst;
+      emit (Numa_obs.Event.Link_degraded { src; dst; factor = 1. })
+  | Numa_faults.Injector.Squeeze_frames { node; frac } ->
+      let limit = Frame_table.squeeze t.frames ~node ~frac in
+      emit
+        (Numa_obs.Event.Fault_injected
+           {
+             kind = "frame-squeeze";
+             detail = Printf.sprintf "node %d to %d frames" node limit;
+           })
+  | Numa_faults.Injector.Spurious_shootdown { lpage } ->
+      let dropped = Numa_core.Numa_manager.spurious_shootdown mgr ~lpage in
+      emit
+        (Numa_obs.Event.Fault_injected
+           {
+             kind = "spurious-shootdown";
+             detail = Printf.sprintf "lpage %d, %d mappings" lpage dropped;
+           })
+
 let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
   (* Reconsideration daemon: a cheap periodic tick piggybacked on the
      access stream (the real system would use a kernel timer). *)
@@ -224,7 +337,8 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
   if t.accesses_since_scan >= t.reconsider_interval then begin
     t.accesses_since_scan <- 0;
     ignore (Numa_core.Pmap_manager.reconsider_scan t.pmap_mgr);
-    if t.apply_migrate_hints then apply_migrate_hints t
+    if t.apply_migrate_hints then apply_migrate_hints t;
+    if t.paranoid then ignore (run_invariant_check t)
   end;
   if not t.caches_valid then rebuild_caches t;
   (* Resolve the reference in the issuing thread's address space. *)
@@ -255,6 +369,9 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
         match Numa_vm.Fault.handle t.fault_ctx thread_task ~cpu ~vpage ~access:kind with
         | Ok () -> ensure (attempts + 1)
         | Error e ->
+            (match e with
+            | Numa_vm.Fault.Out_of_memory -> t.oom_faults <- t.oom_faults + 1
+            | Numa_vm.Fault.No_region | Numa_vm.Fault.Protection_violation -> ());
             failwith
               (Printf.sprintf "page fault failed at vpage %d: %s" vpage
                  (Numa_vm.Fault.error_to_string e)))
@@ -347,7 +464,8 @@ let policy_of_spec ?(pressure = no_pressure) spec ~n_pages ~now ~topo =
 let build_policy = policy_of_spec
 
 let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinity)
-    ?(chunk_refs = 2048) ?(spin_poll_ns = 10_000.) ?(unix_master = false) ~config () =
+    ?(chunk_refs = 2048) ?(spin_poll_ns = 10_000.) ?(unix_master = false)
+    ?(faults = Numa_faults.Plan.empty) ?(paranoid = false) ~config () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("System.create: bad machine config: " ^ msg));
@@ -355,6 +473,16 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
      engine all emit into it, and the engine drives its clock. *)
   let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
   let topo = Config.topology config in
+  (match
+     Numa_faults.Plan.validate faults ~cpu_nodes:(Topo.cpu_nodes topo)
+       ~n_nodes:(Topo.n_nodes topo)
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("System.create: bad fault plan: " ^ msg));
+  let injector =
+    if Numa_faults.Plan.is_empty faults then None
+    else Some (Numa_faults.Injector.create faults ~n_pages:config.Config.global_pages)
+  in
   let now_cell = ref (fun () -> 0.) in
   (* The bandwidth-aware policy consults per-node frame pressure, but the
      frame table only exists once the pmap manager does — and the manager
@@ -390,6 +518,7 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       sink = Numa_core.Pmap_manager.sink pmap_mgr;
       pool;
       pageout = Some pageout;
+      obs = Some obs;
     }
   in
   let tref = ref None in
@@ -457,10 +586,40 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       reconsider_interval = 512;
       apply_migrate_hints = (match policy with Migrate_threads _ -> true | _ -> false);
       thread_migrations = 0;
+      injector;
+      fault_plan = Numa_faults.Plan.to_string faults;
+      paranoid;
+      faults_injected = 0;
+      threads_rehomed = 0;
+      oom_faults = 0;
+      invariant_checks = 0;
+      invariant_violations = 0;
+      first_violations = [];
     }
   in
   tref := Some t;
   (now_cell := fun () -> Engine.now engine);
+  (* A failed local-frame allocation retries once after page-out-driven
+     reclamation before degrading to global. [ensure_free]'s own watermark
+     is on the logical-page pool, which a full node does not necessarily
+     deplete, so ask for one more free lpage than we have: that forces at
+     least one eviction per retry. *)
+  Numa_core.Numa_manager.set_reclaim
+    (Numa_core.Pmap_manager.manager pmap_mgr)
+    (fun ~avoid ->
+      Numa_vm.Pageout.ensure_free ~avoid pageout
+        ~needed:(Numa_vm.Lpage_pool.n_free pool + 1));
+  (match t.injector with
+  | None -> ()
+  | Some inj ->
+      Engine.set_turn_hook engine (fun ~now ->
+          match Numa_faults.Injector.due inj ~now with
+          | [] -> ()
+          | fired ->
+              List.iter (fun f -> apply_fault t f) fired;
+              (* Every injected batch is followed by a full protocol audit:
+                 degradation must never mean a wrong answer. *)
+              ignore (run_invariant_check t)));
   t
 
 (* --- workload construction --------------------------------------------- *)
@@ -568,6 +727,9 @@ let set_access_hook t hook = t.hook <- hook
 
 let run t =
   Engine.run t.engine;
+  (* Faulted and paranoid runs end with one last audit, so "completed with
+     zero violations" is a statement about the final state too. *)
+  if Option.is_some t.injector || t.paranoid then ignore (run_invariant_check t);
   let stats = Numa_core.Pmap_manager.stats t.pmap_mgr in
   stats.Numa_core.Numa_stats.tlb_hits <- Mmu.tlb_hits t.mmu;
   stats.Numa_core.Numa_stats.tlb_misses <- Mmu.tlb_misses t.mmu;
@@ -613,6 +775,24 @@ let run t =
       List.fold_left (fun acc l -> acc + l.Sync.contended_polls) 0 t.locks;
     bus_words = Bus.total_words t.bus;
     bus_delay_ns = Bus.total_delay_ns t.bus;
+    robustness =
+      (if Option.is_some t.injector || t.paranoid then
+         Some
+           {
+             Report.fault_plan = t.fault_plan;
+             faults_injected = t.faults_injected;
+             node_drains = stats.Numa_core.Numa_stats.node_drains;
+             drained_pages = stats.Numa_core.Numa_stats.drained_pages;
+             threads_rehomed = t.threads_rehomed;
+             reclaim_retries = stats.Numa_core.Numa_stats.reclaim_retries;
+             reclaim_rescues = stats.Numa_core.Numa_stats.reclaim_rescues;
+             spurious_shootdowns = stats.Numa_core.Numa_stats.spurious_shootdowns;
+             oom_faults = t.oom_faults;
+             invariant_checks = t.invariant_checks;
+             invariant_violations = t.invariant_violations;
+             first_violations = t.first_violations;
+           }
+       else None);
   }
 
 (* --- introspection ------------------------------------------------------ *)
@@ -648,3 +828,6 @@ let page_out t region ~page_index =
 
 let thread_migrations t = t.thread_migrations
 let check_invariants t = Numa_core.Numa_manager.check_invariants (numa_manager t)
+let audit t = run_invariant_check t
+let faults_injected t = t.faults_injected
+let invariant_violations t = t.invariant_violations

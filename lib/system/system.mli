@@ -96,6 +96,8 @@ val create :
   ?chunk_refs:int ->
   ?spin_poll_ns:float ->
   ?unix_master:bool ->
+  ?faults:Numa_faults.Plan.t ->
+  ?paranoid:bool ->
   config:Config.t ->
   unit ->
   t
@@ -104,7 +106,15 @@ val create :
     (default: a fresh hub with no sinks) is shared by every layer — bus,
     NUMA/pmap managers and engine — and stamped with the engine's virtual
     clock; attach sinks ({!Numa_obs.Chrome_trace}, {!Numa_obs.Timeseries},
-    {!Numa_obs.Page_audit}) before running to observe the run. *)
+    {!Numa_obs.Page_audit}) before running to observe the run.
+
+    [faults] (default: none) is a deterministic fault schedule, validated
+    against the machine ([Invalid_argument] on out-of-range nodes) and
+    replayed from the engine's virtual clock; each injected batch is
+    followed by a protocol-invariant audit. [paranoid] additionally runs
+    the audit from the reconsideration daemon's tick. Either one makes
+    {!run}'s report carry a [robustness] section; with both unset the
+    report is byte-identical to earlier releases. *)
 
 val obs : t -> Numa_obs.Hub.t
 (** The hub shared by all of this system's layers. *)
@@ -189,3 +199,16 @@ val thread_migrations : t -> int
     [Migrate_threads] policy; 0 under every other spec. *)
 
 val check_invariants : t -> (unit, string) result
+(** The NUMA manager's original fail-fast self-check (single-owner rule
+    and friends); raises on the first inconsistency. *)
+
+val audit : t -> Numa_core.Invariant.report
+(** Run the full protocol-invariant sweep now, counting it exactly like a
+    scheduled paranoid check (the report's [invariant_checks] includes
+    it). Never mutates protocol state. *)
+
+val faults_injected : t -> int
+(** Injector actions applied so far (plan entries + spurious shootdowns). *)
+
+val invariant_violations : t -> int
+(** Total violations across every audit so far; 0 = healthy. *)

@@ -6,6 +6,7 @@ type ctx = {
   sink : Cost_sink.t;
   pool : Lpage_pool.t;
   pageout : Pageout.t option;
+  obs : Numa_obs.Hub.t option;
 }
 
 type error = No_region | Protection_violation | Out_of_memory
@@ -41,7 +42,14 @@ let handle ctx (task : Task.t) ~cpu ~vpage ~access =
               | Some _ | None -> Error `Pool_exhausted)
         in
         (match materialise_with_reclaim () with
-        | Error `Pool_exhausted -> Error Out_of_memory
+        | Error `Pool_exhausted ->
+            (* A fault the pager could not rescue is a loud, typed failure:
+               the workload sees Out_of_memory, observers see the event. *)
+            (match ctx.obs with
+            | Some hub when Numa_obs.Hub.enabled hub ->
+                Numa_obs.Hub.emit hub (Numa_obs.Event.Out_of_memory { cpu; vpage })
+            | Some _ | None -> ());
+            Error Out_of_memory
         | Ok lpage ->
             ctx.ops.enter ~pmap:task.pmap ~cpu ~vpage ~lpage
               ~min_prot:(Prot.of_access access) ~max_prot:region.max_prot;

@@ -16,6 +16,9 @@ type ctx = {
   pageout : Pageout.t option;
       (** when present, pool exhaustion triggers reclamation and one retry
           before the fault fails with [Out_of_memory] *)
+  obs : Numa_obs.Hub.t option;
+      (** when present, an unrescuable exhaustion emits
+          {!Numa_obs.Event.Out_of_memory} before the typed error returns *)
 }
 
 type error =

@@ -26,8 +26,10 @@ let create ~pool ~ops ?(low_water = 2) ?(high_water = 8) () =
 let register t obj = t.objects <- Array.append t.objects [| obj |]
 
 (* Advance the clock hand to the next resident page and evict it. Returns
-   false when a full sweep finds nothing resident. *)
-let evict_one t =
+   false when a full sweep finds nothing resident (or only [avoid], the
+   page an in-flight fault is materialising — evicting it mid-request
+   would free the frame under the requester's feet). *)
+let evict_one ?avoid t =
   let n_objs = Array.length t.objects in
   if n_objs = 0 then false
   else begin
@@ -47,6 +49,7 @@ let evict_one t =
           let offset = t.cursor_page in
           t.cursor_page <- t.cursor_page + 1;
           match Vm_object.slot obj ~offset with
+          | Vm_object.Resident lpage when avoid = Some lpage -> hunt (steps + 1)
           | Vm_object.Resident _ ->
               Vm_object.page_out obj ~pool:t.pool ~ops:t.ops ~offset;
               t.evictions <- t.evictions + 1;
@@ -58,15 +61,15 @@ let evict_one t =
     hunt 0
   end
 
-let rec evict_until t ~target =
+let rec evict_until ?avoid t ~target =
   if Lpage_pool.n_free t.pool >= target then true
-  else if evict_one t then evict_until t ~target
+  else if evict_one ?avoid t then evict_until ?avoid t ~target
   else false
 
-let ensure_free t ~needed =
+let ensure_free ?avoid t ~needed =
   if Lpage_pool.n_free t.pool >= needed then true
   else begin
-    let reached = evict_until t ~target:(max needed t.high_water) in
+    let reached = evict_until ?avoid t ~target:(max needed t.high_water) in
     reached || Lpage_pool.n_free t.pool >= needed
   end
 

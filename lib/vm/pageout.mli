@@ -27,10 +27,12 @@ val create :
 val register : t -> Vm_object.t -> unit
 (** Make an object's pages eligible for eviction. *)
 
-val ensure_free : t -> needed:int -> bool
+val ensure_free : ?avoid:int -> t -> needed:int -> bool
 (** Evict until at least [needed] logical pages are free (and, if any
     eviction happened, up to the high-water mark). Returns false if not
-    enough evictable pages exist. *)
+    enough evictable pages exist. [avoid] names a logical page the sweep
+    must never evict — the page an in-flight fault or frame-reclaim pass
+    is working on. *)
 
 val tick : t -> int
 (** Daemon heartbeat: evict down to the high-water mark if below the

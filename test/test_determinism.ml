@@ -14,12 +14,20 @@ let fingerprint (r : Report.t) =
     r.Report.pins,
     r.Report.n_events )
 
+let audited sys r =
+  (* Every run in this suite ends with a full protocol-invariant sweep; the
+     audit runs after the report is built, so the goldens stay frozen. *)
+  (match Numa_core.Invariant.result (System.audit sys) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "post-run invariant violation: %s" msg);
+  r
+
 let run_app ?(chunk_refs = 2048) name ~scale =
   let app = Option.get (Numa_apps.Registry.find name) in
   let config = Numa_machine.Config.ace ~n_cpus:4 () in
   let sys = System.create ~chunk_refs ~config () in
   app.App_sig.setup sys { App_sig.nthreads = 4; scale; seed = 42L };
-  System.run sys
+  audited sys (System.run sys)
 
 let test_reruns_identical () =
   List.iter
@@ -159,7 +167,7 @@ let golden_report =
      let config = Numa_machine.Config.ace ~n_cpus:4 () in
      let sys = System.create ~config () in
      app.App_sig.setup sys { App_sig.nthreads = 4; scale = 0.03; seed = 42L };
-     System.run sys)
+     audited sys (System.run sys))
 
 let test_golden_report_json () =
   Alcotest.(check string) "imatmult ACE report JSON is byte-identical"

@@ -118,7 +118,24 @@ let test_frame_double_free () =
   let t = Frame_table.create (small_config ()) in
   let f = Option.get (Frame_table.alloc_local t ~node:0) in
   Frame_table.free_local t f;
-  Alcotest.check_raises "double free" (Invalid_argument "Frame_table.free_local: double free")
+  (* The message names the frame and its node: a double free is a protocol
+     bug, and the ids are what you need to find it in a trace. *)
+  Alcotest.check_raises "double free"
+    (Invalid_argument
+       (Printf.sprintf "Frame_table.free_local: double free of frame %d on node %d"
+          f.Frame_table.id 0))
+    (fun () -> Frame_table.free_local t f)
+
+let test_frame_double_free_offline () =
+  let t = Frame_table.create (small_config ()) in
+  let f = Option.get (Frame_table.alloc_local t ~node:1) in
+  Frame_table.free_local t f;
+  (* Taking the node offline must not silence the error path. *)
+  Frame_table.set_node_online t ~node:1 false;
+  Alcotest.check_raises "double free while offline"
+    (Invalid_argument
+       (Printf.sprintf "Frame_table.free_local: double free of frame %d on node %d"
+          f.Frame_table.id 1))
     (fun () -> Frame_table.free_local t f)
 
 let test_frame_content_transfer () =
@@ -321,6 +338,7 @@ let suite =
     Alcotest.test_case "cost sink" `Quick test_cost_sink;
     Alcotest.test_case "frame alloc/exhaustion" `Quick test_frame_alloc_exhaustion;
     Alcotest.test_case "frame double free" `Quick test_frame_double_free;
+    Alcotest.test_case "frame double free offline" `Quick test_frame_double_free_offline;
     Alcotest.test_case "frame content transfer" `Quick test_frame_content_transfer;
     Alcotest.test_case "frame cell reset on alloc" `Quick test_frame_alloc_resets_cell;
     Alcotest.test_case "mmu enter/lookup/remove" `Quick test_mmu_enter_lookup_remove;

@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("lang", Test_lang.suite);
       ("properties", Test_properties.suite);
+      ("faults", Test_faults.suite);
     ]

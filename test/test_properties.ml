@@ -66,7 +66,18 @@ let run_against_reference ~policy ops =
     (match Numa_manager.check_invariants (Pmap_manager.manager mgr) with
     | Ok () -> ()
     | Error msg -> QCheck.Test.fail_reportf "invariant violated: %s" msg);
-    ()
+    (* The full cross-layer sweep: directory vs MMU vs frame pools. *)
+    let pol = Pmap_manager.policy mgr in
+    let rep =
+      Invariant.check ~pinned:pol.Policy.is_pinned
+        ~manager:(Pmap_manager.manager mgr)
+        ~mmu:(Pmap_manager.mmu mgr)
+        ~frames:(Pmap_manager.frames mgr)
+        ~config ()
+    in
+    match Invariant.result rep with
+    | Ok () -> ()
+    | Error msg -> QCheck.Test.fail_reportf "invariant sweep: %s" msg
   in
   List.iter
     (fun op ->
@@ -164,7 +175,39 @@ let prop_system_coherence =
       (match System.check_invariants sys with
       | Ok () -> ()
       | Error msg -> QCheck.Test.fail_reportf "invariants: %s" msg);
+      (match Numa_core.Invariant.result (System.audit sys) with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_reportf "invariant sweep: %s" msg);
       !failures = 0)
+
+let prop_app_policy_topology_coherent =
+  (* Any Table 4 application, under any builtin policy, on any builtin
+     topology, run paranoid (the invariant sweep fires from the daemon tick
+     and once more at the end): zero violations, always. *)
+  QCheck.Test.make ~name:"app x policy x topology stays coherent" ~count:12
+    QCheck.(triple (int_bound 3) (int_bound 20) (int_bound 3))
+    (fun (ai, pi, ti) ->
+      let module System = Numa_system.System in
+      let module Report = Numa_system.Report in
+      let app_name = List.nth [ "imatmult"; "primes3"; "gfetch"; "plytrace" ] ai in
+      let app = Option.get (Numa_apps.Registry.find app_name) in
+      let specs = System.builtin_policy_specs in
+      let policy = List.nth specs (pi mod List.length specs) in
+      let topo_name = List.nth Config.builtin_topologies ti in
+      let config = Option.get (Config.of_topology_name ~n_cpus:4 topo_name) in
+      let sys = System.create ~policy ~paranoid:true ~config () in
+      app.Numa_apps.App_sig.setup sys
+        { Numa_apps.App_sig.nthreads = 4; scale = 0.02; seed = 42L };
+      let r = System.run sys in
+      match r.Report.robustness with
+      | Some rb ->
+          if rb.Report.invariant_violations > 0 then
+            QCheck.Test.fail_reportf "%s under %s on %s: %d violations (%s)" app_name
+              (System.policy_spec_name policy)
+              topo_name rb.Report.invariant_violations
+              (match rb.Report.first_violations with v :: _ -> v | [] -> "?")
+          else rb.Report.invariant_checks > 0
+      | None -> QCheck.Test.fail_reportf "paranoid run lost its robustness section")
 
 (* --- model sanity --------------------------------------------------------------- *)
 
@@ -343,6 +386,7 @@ let suite =
     qcheck prop_coherence_never_pin;
     qcheck prop_coherence_random_policy;
     qcheck prop_system_coherence;
+    qcheck prop_app_policy_topology_coherent;
     qcheck prop_model_roundtrip;
     qcheck prop_optimal_bounded;
     qcheck prop_segregated_never_mixes_classes;
