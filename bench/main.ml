@@ -42,7 +42,11 @@ let scale = env_float "BENCH_SCALE" 1.0
 let cpus = env_int "BENCH_CPUS" 7
 let jobs = env_int "BENCH_JOBS" 1
 
-let spec = { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus }
+(* Profiled runs: the profiler's data is pure virtual time, so attaching
+   it changes no result — but it puts a profile section in every report
+   of the JSON record, giving each bench artifact a full cost breakdown. *)
+let spec =
+  { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus; profiling = true }
 
 (* --- part 1: reproduce the paper's artefacts -------------------------- *)
 
@@ -52,12 +56,25 @@ let reproduce () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Store);
   print_endline (Numa_machine.Topology.render (Numa_machine.Config.ace ~n_cpus:cpus ()));
   print_endline (Numa_core.Pmap_manager.figure2 ());
+  let wall_start = Unix.gettimeofday () in
   let rows = Table3.run ~jobs ~spec () in
+  let wall_s = Unix.gettimeofday () -. wall_start in
+  let total_events =
+    List.fold_left
+      (fun acc (r : Table3.row) ->
+        let n (rep : Numa_system.Report.t) = rep.Numa_system.Report.n_events in
+        acc + n r.Table3.m.Runner.r_numa + n r.Table3.m.Runner.r_global
+        + n r.Table3.m.Runner.r_local)
+      0 rows
+  in
+  let events_per_sec = if wall_s > 0. then float_of_int total_events /. wall_s else 0. in
   print_endline (Table3.render rows);
   print_endline (Table3.render_comparison rows);
   let t4 = Table4.of_measurements rows in
   print_endline (Table4.render t4);
   print_endline (Table4.render_comparison t4);
+  Printf.printf "throughput: %d events in %.2f s wall = %.0f events/sec\n\n" total_events
+    wall_s events_per_sec;
   match Sys.getenv_opt "BENCH_JSON_OUT" with
   | None -> ()
   | Some path ->
@@ -66,6 +83,9 @@ let reproduce () =
           [
             ("scale", Numa_obs.Json.Float scale);
             ("cpus", Numa_obs.Json.Int cpus);
+            ("wall_s", Numa_obs.Json.Float wall_s);
+            ("total_events", Numa_obs.Json.Int total_events);
+            ("events_per_sec", Numa_obs.Json.Float events_per_sec);
             ( "measurements",
               Numa_obs.Json.List
                 (List.map (fun (r : Table3.row) -> Runner.measurement_to_json r.Table3.m) rows)

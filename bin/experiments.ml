@@ -65,8 +65,17 @@ let policies_arg =
           "Comma-separated policy subset for the policy tournament, in the run/measure \
            --policy syntax (default: every shipped policy).")
 
-let spec_of ~scale ~cpus =
-  { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus }
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach the simulated-time profiler to every measured run. Sections \
+           whose JSON artifacts embed full reports (the chaos sweep) then carry \
+           a per-run profile section; text reports print a one-line summary.")
+
+let spec_of ~scale ~cpus ~profiling =
+  { Runner.default_spec with Runner.scale; n_cpus = cpus; nthreads = cpus; profiling }
 
 let parse_apps s =
   List.map
@@ -300,35 +309,122 @@ let all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
   print_endline (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()));
   policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies
 
-let () =
-  let section_arg =
+let bench_compare_cmd =
+  let module BC = Numa_metrics.Bench_compare in
+  let old_arg =
     Arg.(
-      value & pos 0 string "all"
-      & info [] ~docv:"SECTION"
-          ~doc:(Printf.sprintf "One of: all, %s." (String.concat ", " sections)))
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD"
+          ~doc:
+            "Baseline bench record: either a full BENCH_JSON_OUT file or the \
+             compact baseline written by --write-baseline.")
   in
-  let action section scale cpus jobs topology json_out apps policies =
-    let spec = spec_of ~scale ~cpus in
+  let new_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Current bench record to compare against $(b,OLD).")
+  in
+  let max_regress_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Regression threshold in percent: fail when events/sec drops, or any \
+             application's gamma or NUMA-policy run time rises, by more than \
+             $(docv). Wall-clock throughput is noisy; leave headroom.")
+  in
+  let write_baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Summarize $(b,OLD) (or $(b,NEW) when given) into a compact baseline \
+             record at $(docv), suitable for committing to the repository.")
+  in
+  let action old_path new_path max_regress write_baseline =
+    let load path =
+      match BC.load path with
+      | Ok s -> s
+      | Error msg ->
+          Printf.eprintf "bench-compare: %s\n" msg;
+          exit 2
+    in
+    let baseline = load old_path in
+    let status =
+      match new_path with
+      | None ->
+          if write_baseline = None then
+            print_string (Numa_obs.Json.to_string (BC.to_json baseline) ^ "\n");
+          0
+      | Some path -> (
+          let current = load path in
+          match BC.diff ~baseline ~current ~max_regress with
+          | Error msg ->
+              Printf.eprintf "bench-compare: %s\n" msg;
+              2
+          | Ok lines ->
+              print_string (BC.render lines);
+              if BC.regressed lines then begin
+                Printf.eprintf
+                  "bench-compare: performance regression beyond %.1f%%\n" max_regress;
+                1
+              end
+              else 0)
+    in
+    (match write_baseline with
+    | None -> ()
+    | Some out ->
+        let summary =
+          match new_path with None -> baseline | Some p -> load p
+        in
+        Numa_obs.Json.save (BC.to_json summary) out;
+        Printf.printf "baseline written to %s\n" out);
+    status
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Diff two bench records (BENCH_JSON_OUT files or compact baselines): \
+          events/sec plus each application's gamma and NUMA run time. Exits 1 \
+          when any metric regressed beyond --max-regress percent, 2 when the \
+          records are unreadable or not comparable.")
+    Term.(const action $ old_arg $ new_arg $ max_regress_arg $ write_baseline_arg)
+
+let () =
+  let action section scale cpus jobs topology json_out apps policies profiling =
+    let spec = spec_of ~scale ~cpus ~profiling in
     try
       if section = "all" then all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies
-      else if List.mem section sections then
-        run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies
-      else begin
-        Printf.eprintf "unknown section %S; known: all, %s\n" section
-          (String.concat ", " sections);
-        exit 1
-      end
+      else run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies;
+      0
     with Failure msg ->
       (* bad --apps / --policies / --topology values surface here *)
       Printf.eprintf "experiments: %s\n" msg;
-      exit 1
+      1
+  in
+  (* One subcommand per section keeps the historical `experiments SECTION
+     [options]` syntax working alongside bench-compare; a bare
+     `experiments` still runs everything. *)
+  let section_term section =
+    Term.(
+      const action $ const section $ scale_arg $ cpus_arg $ jobs_arg $ topology_arg
+      $ json_out_arg $ apps_arg $ policies_arg $ profile_arg)
+  in
+  let section_cmd section =
+    Cmd.v
+      (Cmd.info section ~doc:(Printf.sprintf "Regenerate the %s section." section))
+      (section_term section)
   in
   let cmd =
-    Cmd.v
+    Cmd.group
+      ~default:(section_term "all")
       (Cmd.info "experiments" ~version:"1.0.0"
-         ~doc:"Regenerate the paper's tables/figures and the ablation studies.")
-      Term.(
-        const action $ section_arg $ scale_arg $ cpus_arg $ jobs_arg $ topology_arg
-        $ json_out_arg $ apps_arg $ policies_arg)
+         ~doc:
+           "Regenerate the paper's tables/figures and the ablation studies; \
+            bench-compare diffs two benchmark records for the regression gate.")
+      (bench_compare_cmd :: List.map section_cmd ("all" :: sections))
   in
-  exit (Cmd.eval cmd)
+  exit (Cmd.eval' cmd)

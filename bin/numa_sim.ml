@@ -93,7 +93,7 @@ let find_app name =
            (String.concat ", " (Numa_apps.Registry.names ())))
 
 let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = false)
-    ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master () =
+    ?(profiling = false) ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master () =
   {
     Runner.policy;
     n_cpus = cpus;
@@ -105,6 +105,7 @@ let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = 
     config_tweak = config_of_topology ~topology;
     faults;
     paranoid;
+    profiling;
   }
 
 let faults_conv =
@@ -175,9 +176,19 @@ let explain_page_arg =
            timeline (faults, moves, replicas, policy decisions with reasons) and \
            why it did or did not pin.")
 
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Attach the simulated-time profiler and write its snapshot as JSON \
+           (category tree in virtual nanoseconds plus hot pages, locks, links \
+           and threads). The text and JSON reports also gain a profile section.")
+
 let run_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      faults paranoid trace_out metrics_out report_json explain_page =
+      faults paranoid trace_out metrics_out report_json explain_page profile_out =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
@@ -216,7 +227,8 @@ let run_cmd =
         match
           System.create ~obs ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
             ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master
-            ~faults:spec.Runner.faults ~paranoid:spec.Runner.paranoid ~config ()
+            ~faults:spec.Runner.faults ~paranoid:spec.Runner.paranoid
+            ~profiling:(profile_out <> None) ~config ()
         with
         | exception Invalid_argument msg ->
             (* A fault plan can be well-formed yet name a node the chosen
@@ -260,6 +272,12 @@ let run_cmd =
             saving "report" path (fun () ->
                 Numa_obs.Json.save (Report.to_json report) path;
                 Printf.printf "report: wrote JSON to %s\n" path));
+        (match (profile_out, report.Report.profile) with
+        | None, _ | _, None -> ()
+        | Some path, Some snap ->
+            saving "profile" path (fun () ->
+                Numa_obs.Json.save (Numa_obs.Profile.snapshot_to_json snap) path;
+                Printf.printf "profile: wrote JSON to %s\n" path));
         (match audit with
         | None -> ()
         | Some a -> print_string (Numa_obs.Page_audit.explain a));
@@ -284,7 +302,99 @@ let run_cmd =
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
       $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ paranoid_arg
-      $ trace_out_arg $ metrics_out_arg $ report_json_arg $ explain_page_arg)
+      $ trace_out_arg $ metrics_out_arg $ report_json_arg $ explain_page_arg
+      $ profile_out_arg)
+
+let profile_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"How many hot pages/locks/links/threads to show.")
+  in
+  let folded_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the profile in folded-stack format (one \
+             'cat;subcat ns' line per leaf; feed to a flame-graph tool).")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the profile snapshot as JSON.")
+  in
+  let action app_name policy cpus threads scale seed scheduler unix_master topology
+      faults top folded_out json_out =
+    match find_app app_name with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok app -> (
+        let spec =
+          spec_of ~topology ~faults ~profiling:true ~policy ~cpus ~threads ~scale ~seed
+            ~scheduler ~unix_master ()
+        in
+        let config = Runner.config_for spec ~n_cpus:spec.Runner.n_cpus in
+        match
+          System.create ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
+            ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master
+            ~faults:spec.Runner.faults ~profiling:true ~config ()
+        with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "numa_sim: %s\n" msg;
+            1
+        | sys -> (
+            app.Numa_apps.App_sig.setup sys
+              {
+                Numa_apps.App_sig.nthreads = spec.Runner.nthreads;
+                scale = spec.Runner.scale;
+                seed = spec.Runner.seed;
+              };
+            let report = System.run sys in
+            match (System.profile sys, report.Report.profile) with
+            | None, _ | _, None ->
+                prerr_endline "numa_sim: profiler was not attached (internal error)";
+                1
+            | Some p, Some _ ->
+                let snap = Numa_obs.Profile.snapshot ~top p in
+                print_string (Numa_obs.Profile.render snap);
+                let save_errors = ref 0 in
+                let saving what path f =
+                  try f ()
+                  with Sys_error msg ->
+                    incr save_errors;
+                    Printf.eprintf "numa_sim: cannot write %s %s: %s\n" what path msg
+                in
+                (match folded_out with
+                | None -> ()
+                | Some path ->
+                    saving "folded profile" path (fun () ->
+                        Out_channel.with_open_text path (fun oc ->
+                            Out_channel.output_string oc (Numa_obs.Profile.folded snap));
+                        Printf.printf "profile: wrote folded stacks to %s\n" path));
+                (match json_out with
+                | None -> ()
+                | Some path ->
+                    saving "profile JSON" path (fun () ->
+                        Numa_obs.Json.save (Numa_obs.Profile.snapshot_to_json snap) path;
+                        Printf.printf "profile: wrote JSON to %s\n" path));
+                if !save_errors > 0 then 1 else 0))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one application with the simulated-time profiler attached and print \
+          a perf-report-style breakdown of every virtual nanosecond: references by \
+          destination and class, bus queueing per link, kernel work by cause, lock \
+          spin/hold, idle — plus the hottest pages, locks, links and threads. The \
+          category totals are guaranteed to sum to the CPUs' elapsed time.")
+    Term.(
+      const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
+      $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ top_arg
+      $ folded_out_arg $ json_out_arg)
 
 let measure_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology =
@@ -459,4 +569,13 @@ let () =
       ~doc:"Simulated ACE multiprocessor with Mach NUMA page placement (SOSP '89)."
   in
   exit (Cmd.eval' (Cmd.group info
-       [ run_cmd; measure_cmd; trace_cmd; replay_cmd; list_cmd; topology_cmd; tables_cmd ]))
+       [
+         run_cmd;
+         profile_cmd;
+         measure_cmd;
+         trace_cmd;
+         replay_cmd;
+         list_cmd;
+         topology_cmd;
+         tables_cmd;
+       ]))

@@ -62,7 +62,7 @@ let replica_nodes t ~lpage =
 
 let moves_of t ~lpage = (page t lpage).moves
 
-let charge t ~cpu ns = Cost_sink.charge t.sink ~cpu ns
+let charge t ~cpu ?cat ~lpage ns = Cost_sink.charge t.sink ~cpu ?cat ~lpage ns
 
 (* A failed local-frame allocation retries once through the pager: page-out
    may flush replicas off the full node. Pointless when the node is
@@ -98,7 +98,8 @@ let drop_mappings_on_node t ~lpage ~node ~by_cpu =
       if e.cpu = node then begin
         Mmu.remove_entry t.mmu e;
         t.stats.mappings_dropped <- t.stats.mappings_dropped + 1;
-        charge t ~cpu:by_cpu (Cost.tlb_shootdown_ns t.config)
+        charge t ~cpu:by_cpu ~cat:Numa_obs.Profile.Tlb_shootdown ~lpage
+          (Cost.tlb_shootdown_ns t.config)
       end)
     (Mmu.entries_of_lpage t.mmu ~lpage)
 
@@ -109,7 +110,7 @@ let sync_node t ~lpage ~node ~by_cpu =
   | None -> invalid_arg "Numa_manager.sync_node: node holds no copy"
   | Some frame ->
       Frame_table.copy_local_to_global t.frames frame ~lpage;
-      charge t ~cpu:by_cpu
+      charge t ~cpu:by_cpu ~cat:Numa_obs.Profile.Page_copy ~lpage
         (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu:by_cpu
            ~src:(Topo.Node node) ~dst:(Topo.Shared lpage));
       t.stats.syncs_to_global <- t.stats.syncs_to_global + 1;
@@ -132,7 +133,8 @@ let unmap_all t ~lpage ~by_cpu =
     (fun (e : Mmu.entry) ->
       Mmu.remove_entry t.mmu e;
       t.stats.mappings_dropped <- t.stats.mappings_dropped + 1;
-      charge t ~cpu:by_cpu (Cost.tlb_shootdown_ns t.config))
+      charge t ~cpu:by_cpu ~cat:Numa_obs.Profile.Tlb_shootdown ~lpage
+        (Cost.tlb_shootdown_ns t.config))
     (Mmu.entries_of_lpage t.mmu ~lpage)
 
 (* Ensure [cpu] holds a local copy; the caller has checked capacity. *)
@@ -143,7 +145,7 @@ let copy_to_local t ~lpage ~cpu =
     | None -> invalid_arg "Numa_manager.copy_to_local: pool exhausted (unchecked)"
     | Some frame ->
         Frame_table.copy_global_to_local t.frames ~lpage frame;
-        charge t ~cpu
+        charge t ~cpu ~cat:Numa_obs.Profile.Page_copy ~lpage
           (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu ~src:(Topo.Shared lpage)
              ~dst:(Topo.Node cpu));
         t.stats.copies_to_local <- t.stats.copies_to_local + 1;
@@ -158,7 +160,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
   let place_global () =
     if p.needs_zero then begin
       Frame_table.zero_global t.frames ~lpage;
-      charge t ~cpu
+      charge t ~cpu ~cat:Numa_obs.Profile.Zero_fill ~lpage
         (Cost.place_page_zero_ns t.config ~topo:t.topo ~cpu ~dst:(Topo.Shared lpage));
       t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
       p.needs_zero <- false;
@@ -181,7 +183,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
              write-zeros-to-global-then-copy round trip (section 2.3.1). *)
           if p.needs_zero then begin
             Frame_table.zero_local frame;
-            charge t ~cpu
+            charge t ~cpu ~cat:Numa_obs.Profile.Zero_fill ~lpage
               (Cost.place_page_zero_ns t.config ~topo:t.topo ~cpu ~dst:(Topo.Node cpu));
             t.stats.zero_fills_local <- t.stats.zero_fills_local + 1;
             p.needs_zero <- false;
@@ -195,7 +197,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
           end
           else begin
             Frame_table.copy_global_to_local t.frames ~lpage frame;
-            charge t ~cpu
+            charge t ~cpu ~cat:Numa_obs.Profile.Page_copy ~lpage
               (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu ~src:(Topo.Shared lpage)
                  ~dst:(Topo.Node cpu));
             t.stats.copies_to_local <- t.stats.copies_to_local + 1
@@ -294,7 +296,7 @@ let demote_homed t ~lpage ~cpu ~home =
   (page t lpage).state <- Global_writable
 
 let request t ~lpage ~cpu ~access ~decision =
-  charge t ~cpu (Cost.pmap_action_ns t.config);
+  charge t ~cpu ~lpage (Cost.pmap_action_ns t.config);
   let p = page t lpage in
   (match p.state with
   | Homed h -> demote_homed t ~lpage ~cpu ~home:h
@@ -327,7 +329,7 @@ let request t ~lpage ~cpu ~access ~decision =
       { final_state = p.state; moved; fell_back_global }
 
 let request_homed t ~lpage ~cpu ~home =
-  charge t ~cpu (Cost.pmap_action_ns t.config);
+  charge t ~cpu ~lpage (Cost.pmap_action_ns t.config);
   let p = page t lpage in
   match p.state with
   | Homed h when h = home -> { final_state = p.state; moved = false; fell_back_global = false }
@@ -338,7 +340,7 @@ let request_homed t ~lpage ~cpu ~home =
       | Untouched ->
           if p.needs_zero then begin
             Frame_table.zero_global t.frames ~lpage;
-            charge t ~cpu
+            charge t ~cpu ~cat:Numa_obs.Profile.Zero_fill ~lpage
               (Cost.place_page_zero_ns t.config ~topo:t.topo ~cpu ~dst:(Topo.Shared lpage));
             t.stats.zero_fills_global <- t.stats.zero_fills_global + 1;
             p.needs_zero <- false;
@@ -360,7 +362,7 @@ let request_homed t ~lpage ~cpu ~home =
           { final_state = Global_writable; moved = false; fell_back_global = true }
       | Some frame ->
           Frame_table.copy_global_to_local t.frames ~lpage frame;
-          charge t ~cpu
+          charge t ~cpu ~cat:Numa_obs.Profile.Page_copy ~lpage
             (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu ~src:(Topo.Shared lpage)
                ~dst:(Topo.Node home));
           t.stats.copies_to_local <- t.stats.copies_to_local + 1;
@@ -383,7 +385,7 @@ let migrate_owned_pages t ~src ~dst =
             (match Frame_table.alloc_local t.frames ~node:dst with
             | Some frame ->
                 Frame_table.copy_global_to_local t.frames ~lpage frame;
-                charge t ~cpu:dst
+                charge t ~cpu:dst ~cat:Numa_obs.Profile.Page_copy ~lpage
                   (Cost.place_page_copy_ns t.config ~topo:t.topo ~cpu:dst
                      ~src:(Topo.Shared lpage) ~dst:(Topo.Node dst));
                 t.stats.copies_to_local <- t.stats.copies_to_local + 1;
@@ -442,7 +444,8 @@ let spurious_shootdown t ~lpage =
     (fun (e : Mmu.entry) ->
       Mmu.remove_entry t.mmu e;
       t.stats.mappings_dropped <- t.stats.mappings_dropped + 1;
-      charge t ~cpu:e.cpu (Cost.tlb_shootdown_ns t.config))
+      charge t ~cpu:e.cpu ~cat:Numa_obs.Profile.Tlb_shootdown ~lpage
+        (Cost.tlb_shootdown_ns t.config))
     entries;
   t.stats.spurious_shootdowns <- t.stats.spurious_shootdowns + 1;
   List.length entries

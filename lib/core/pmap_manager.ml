@@ -69,7 +69,8 @@ let pmap_create t ~name =
 let drop_entry t (e : Mmu.entry) =
   Mmu.remove_entry t.mmu e;
   t.stats.Numa_stats.mappings_dropped <- t.stats.Numa_stats.mappings_dropped + 1;
-  Cost_sink.charge t.sink ~cpu:e.cpu (Cost.tlb_shootdown_ns t.config)
+  Cost_sink.charge t.sink ~cpu:e.cpu ~cat:Numa_obs.Profile.Tlb_shootdown
+    ~lpage:e.lpage (Cost.tlb_shootdown_ns t.config)
 
 let pmap_destroy t id =
   if not (Hashtbl.mem t.live_pmaps id) then invalid_arg "pmap_destroy: unknown pmap";
@@ -157,7 +158,8 @@ let protect t ~pmap ~vpage ~n prot =
       if clamped = Prot.No_access then doomed := e :: !doomed
       else if clamped <> e.prot then begin
         Mmu.set_prot t.mmu e clamped;
-        Cost_sink.charge t.sink ~cpu:e.cpu (Cost.tlb_shootdown_ns t.config)
+        Cost_sink.charge t.sink ~cpu:e.cpu ~cat:Numa_obs.Profile.Tlb_shootdown
+          ~lpage:e.lpage (Cost.tlb_shootdown_ns t.config)
       end);
   List.iter (drop_entry t) !doomed
 

@@ -4,17 +4,33 @@
     the simulation engine drains the accumulator after each operation and
     advances the faulting CPU's clock by the drained amount. Keeping the
     sink separate from the engine lets the lower layers stay ignorant of
-    scheduling. *)
+    scheduling.
+
+    When a {!Numa_obs.Profile} is attached, every charge is additionally
+    queued with its cause category, the profiler context current at
+    charge time and (when known) the logical page — and profiled at
+    {e drain} time, the moment the nanoseconds actually land on a CPU
+    clock. Never-drained residue therefore never reaches the profiler,
+    which is what makes its conservation invariant exact. *)
 
 type t
 
 val create : n_cpus:int -> t
 
-val charge : t -> cpu:int -> float -> unit
-(** Add [ns] of system time against a CPU. Negative charges are rejected. *)
+val set_profile : t -> Numa_obs.Profile.t option -> unit
+(** Attach (or detach) the profiler receiving categorised charges. *)
+
+val profile : t -> Numa_obs.Profile.t option
+
+val charge :
+  t -> cpu:int -> ?cat:Numa_obs.Profile.kernel_cat -> ?lpage:int -> float -> unit
+(** Add [ns] of system time against a CPU, categorised for the profiler
+    ([cat] defaults to [Pmap_action], [lpage] to none). Negative charges
+    are rejected. *)
 
 val drain : t -> cpu:int -> float
-(** Return and reset the pending system time of a CPU. *)
+(** Return and reset the pending system time of a CPU, flushing its
+    queued charges to the attached profiler. *)
 
 val pending : t -> cpu:int -> float
 (** Peek without resetting. *)

@@ -12,6 +12,7 @@ type run_spec = {
   config_tweak : Config.t -> Config.t;
   faults : Numa_faults.Plan.t;
   paranoid : bool;
+  profiling : bool;
 }
 
 let default_spec =
@@ -26,6 +27,7 @@ let default_spec =
     config_tweak = Fun.id;
     faults = Numa_faults.Plan.empty;
     paranoid = false;
+    profiling = false;
   }
 
 let config_for spec ~n_cpus = spec.config_tweak (Config.ace ~n_cpus ())
@@ -34,7 +36,7 @@ let run_with (app : Numa_apps.App_sig.t) spec ~policy ~n_cpus ~nthreads =
   let config = config_for spec ~n_cpus in
   let sys =
     System.create ~policy ~scheduler:spec.scheduler ~unix_master:spec.unix_master
-      ~faults:spec.faults ~paranoid:spec.paranoid ~config ()
+      ~faults:spec.faults ~paranoid:spec.paranoid ~profiling:spec.profiling ~config ()
   in
   app.Numa_apps.App_sig.setup sys
     { Numa_apps.App_sig.nthreads; scale = spec.scale; seed = spec.seed };

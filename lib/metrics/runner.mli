@@ -18,6 +18,9 @@ type run_spec = {
       (** deterministic fault schedule for the measured run; the T_global
           and T_local baselines of {!measure} always run fault-free *)
   paranoid : bool;  (** audit protocol invariants from the daemon tick *)
+  profiling : bool;
+      (** attach the simulated-time profiler; measured reports then carry
+          a [profile] section (deterministic, so safe in golden JSON) *)
 }
 
 val default_spec : run_spec

@@ -74,6 +74,184 @@ let save t path =
       Buffer.output_buffer oc buf;
       output_char oc '\n')
 
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Parse_failure of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m -> raise (Parse_failure (Printf.sprintf "offset %d: %s" !pos m)))
+      fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail "expected '%c'" c
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+            incr pos;
+            Buffer.contents buf
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "truncated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' -> (
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                | None -> fail "bad \\u escape"
+                | Some code ->
+                    (* Decode the BMP code point as UTF-8 (the emitter only
+                       produces escaped control characters, all < 0x80). *)
+                    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                    else if code < 0x800 then begin
+                      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                    end
+                    else begin
+                      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                    end;
+                    pos := !pos + 4)
+            | c -> fail "bad escape '\\%c'" c);
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                member ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          member ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec element () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                element ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          element ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character '%c'" c
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "offset %d: trailing garbage" !pos)
+    else Ok v
+  with Parse_failure m -> Error m
+
+let load path =
+  match
+    In_channel.with_open_text path (fun ic -> In_channel.input_all ic)
+  with
+  | exception Sys_error m -> Error m
+  | contents -> parse contents
+
+let member t key =
+  match t with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Int i -> Some (float_of_int i) | Float f -> Some f | _ -> None
+
 (* --- parser-less structural validation --------------------------------- *)
 
 let check_structure s =

@@ -28,6 +28,22 @@ val to_string : t -> string
 val save : t -> string -> unit
 (** Write the document to a file, with a trailing newline. *)
 
+val parse : string -> (t, string) result
+(** Full recursive-descent parser for the documents this module emits
+    (and standard JSON generally): objects, arrays, strings with escapes,
+    numbers ([Int] when the literal is integral, [Float] otherwise),
+    [true]/[false]/[null]. Errors carry a byte offset. Powers
+    [bench-compare], which must read records written by earlier runs. *)
+
+val load : string -> (t, string) result
+(** Read and {!parse} a file; I/O failures become [Error]. *)
+
+val member : t -> string -> t option
+(** Field lookup on an [Obj]; [None] on missing key or non-object. *)
+
+val to_float : t -> float option
+(** Numeric value of an [Int] or [Float] node. *)
+
 val check_structure : string -> (unit, string) result
 (** Quote-aware bracket balancing over a serialized document: every
     [{]/[[] closes with the matching [}]/[]], strings terminate, document

@@ -6,9 +6,19 @@ let create ~lpage =
   if lpage < 0 then invalid_arg "Page_audit.create: negative page";
   { lpage; entries = [] }
 
+(* Machine-wide degradation events carry no lpage but change what any
+   page's later lifecycle means (a sync-to-global right after a node
+   drain is evacuation, not policy): keep them in every page's story. *)
+let is_fault_narrative = function
+  | Event.Fault_injected _ | Event.Node_offline _ | Event.Node_online _
+  | Event.Node_drained _ | Event.Link_degraded _ | Event.Out_of_memory _ ->
+      true
+  | _ -> false
+
 let record t ~ts ev =
   match Event.lpage ev with
   | Some l when l = t.lpage -> t.entries <- { ts; ev } :: t.entries
+  | None when is_fault_narrative ev -> t.entries <- { ts; ev } :: t.entries
   | Some _ | None -> ()
 
 let attach t hub =

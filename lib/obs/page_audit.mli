@@ -2,7 +2,10 @@
 
     Subscribes to a hub and keeps every event that names the audited page
     (zero fill, placements, replica create/flush, moves, policy decisions
-    with reasons, pin, free). {!explain} renders the history as a
+    with reasons, pin, free), plus the machine-wide fault narrative
+    (injections, node offline/online/drained, link degradations, OOM) so
+    a faulted run's timeline explains {e why} the page's protocol
+    history suddenly changed course. {!explain} renders the history as a
     human-readable timeline answering the question the paper's
     processor-time method cannot: {e why did this page pin?} *)
 

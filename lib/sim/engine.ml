@@ -81,6 +81,12 @@ type t = {
   mutable turn_hook : (now:float -> unit) option;
       (** fault injection taps every scheduling turn; [now] is the
           monotone virtual clock *)
+  mutable profile : Numa_obs.Profile.t option;
+      (** when set, every nanosecond a clock advances is attributed *)
+  mutable run_wall_s : float;
+      (** real seconds spent inside {!run} — the observatory's
+          events/sec denominator; the only non-deterministic number the
+          engine keeps, and it stays out of all reports *)
 }
 
 let create ?obs config ~memory ~scheduler =
@@ -109,6 +115,8 @@ let create ?obs config ~memory ~scheduler =
     running = false;
     completed = false;
     turn_hook = None;
+    profile = None;
+    run_wall_s = 0.;
   }
   in
   (* Events carry the engine's virtual clock, so a sink attached anywhere in
@@ -118,6 +126,12 @@ let create ?obs config ~memory ~scheduler =
 
 let obs t = t.obs
 let set_turn_hook t hook = t.turn_hook <- Some hook
+
+let set_profile t p =
+  t.profile <- Some p;
+  Numa_obs.Profile.set_clock p (fun () -> t.vnow)
+
+let profile t = t.profile
 
 let make_lock t ~vpage =
   let id = t.next_sync_id in
@@ -229,6 +243,9 @@ let process_chunk t th ~cpu ~start pending =
   | P_compute c ->
       let slice = Float.min c.remaining_ns t.config.compute_slice_ns in
       c.remaining_ns <- c.remaining_ns -. slice;
+      (match t.profile with
+      | Some p -> Numa_obs.Profile.charge_compute p ~cpu ~tid:th.tid slice
+      | None -> ());
       chunk ~d_user:slice ~d_system:0. ~completed:(c.remaining_ns <= 0.) ()
   | P_lock l -> (
       match l.Sync.holder with
@@ -236,7 +253,7 @@ let process_chunk t th ~cpu ~start pending =
           (* Successful test-and-set: a fetch and a store on the lock page. *)
           let rd = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Load ~count:1 ~value:0 in
           let wr = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Store ~count:1 ~value:1 in
-          Sync.acquire ~obs:t.obs l ~tid:th.tid ~cpu;
+          Sync.acquire ~obs:t.obs ?profile:t.profile l ~tid:th.tid ~cpu;
           chunk
             ~d_user:(rd.Memory_iface.user_ns +. wr.Memory_iface.user_ns)
             ~d_system:(rd.Memory_iface.system_ns +. wr.Memory_iface.system_ns)
@@ -246,6 +263,14 @@ let process_chunk t th ~cpu ~start pending =
           let rd = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Load ~count:1 ~value:0 in
           Sync.contend ~obs:t.obs l ~tid:th.tid ~cpu;
           let d_user = fmax rd.Memory_iface.user_ns t.config.spin_poll_ns in
+          (match t.profile with
+          | Some p ->
+              (* The poll reference itself was charged as a ref by the
+                 memory layer; only the poll padding is spin. *)
+              Numa_obs.Profile.charge_lock_spin p ~cpu ~tid:th.tid
+                ~lock_id:l.Sync.lock_id
+                (d_user -. rd.Memory_iface.user_ns)
+          | None -> ());
           chunk ~d_user ~d_system:rd.Memory_iface.system_ns ())
   | P_unlock l ->
       (match l.Sync.holder with
@@ -260,7 +285,7 @@ let process_chunk t th ~cpu ~start pending =
          the hold interval, and no other thread can observe the lock free
          before the memory traffic that freed it exists. *)
       let wr = access t th ~cpu ~vpage:l.Sync.lock_vpage ~access:Access.Store ~count:1 ~value:0 in
-      Sync.release ~obs:t.obs l ~tid:th.tid ~cpu;
+      Sync.release ~obs:t.obs ?profile:t.profile l ~tid:th.tid ~cpu;
       chunk ~d_user:wr.Memory_iface.user_ns ~d_system:wr.Memory_iface.system_ns
         ~completed:true ()
   | P_barrier pb ->
@@ -290,10 +315,16 @@ let process_chunk t th ~cpu ~start pending =
         let rd = access t th ~cpu ~vpage:b.Sync.barrier_vpage ~access:Access.Load ~count:1 ~value:0 in
         chunk ~d_user:rd.Memory_iface.user_ns ~d_system:rd.Memory_iface.system_ns
           ~completed:true ()
-      else
+      else begin
         let rd = access t th ~cpu ~vpage:b.Sync.barrier_vpage ~access:Access.Load ~count:1 ~value:0 in
         let d_user = fmax rd.Memory_iface.user_ns t.config.spin_poll_ns in
+        (match t.profile with
+        | Some p ->
+            Numa_obs.Profile.charge_barrier_spin p ~cpu ~tid:th.tid
+              (d_user -. rd.Memory_iface.user_ns)
+        | None -> ());
         chunk ~d_user ~d_system:rd.Memory_iface.system_ns ()
+      end
   | P_migrate { target } ->
       if target < 0 || target >= t.config.n_cpus then
         failwith
@@ -304,6 +335,14 @@ let process_chunk t th ~cpu ~start pending =
          both its own time and the target's clock; the dispatch work is
          system time there. *)
       let resume = fmax start t.clock.(target) +. 50_000. in
+      (match t.profile with
+      | Some p ->
+          (* The target clock jumps to [fmax start clock] (an idle gap if
+             the event time is ahead) and then serves the dispatch. *)
+          Numa_obs.Profile.charge_idle p ~cpu:target
+            (fmax start t.clock.(target) -. t.clock.(target));
+          Numa_obs.Profile.charge_dispatch p ~cpu:target 50_000.
+      | None -> ());
       t.system.(target) <- t.system.(target) +. 50_000.;
       t.clock.(target) <- resume;
       chunk ~d_user:0. ~d_system:0. ~completed:true ~ready_override:resume ()
@@ -328,6 +367,15 @@ let process_chunk t th ~cpu ~start pending =
       if Numa_obs.Hub.enabled t.obs then
         Numa_obs.Hub.emit t.obs
           (Numa_obs.Event.Syscall { tid = th.tid; cpu = master; service_ns });
+      (match t.profile with
+      | Some p ->
+          (* Stack references charged themselves through the memory layer;
+             the master's remaining clock advance is the wait for the
+             master to come free plus the service itself. *)
+          Numa_obs.Profile.charge_idle p ~cpu:master
+            (start_service -. t.clock.(master));
+          Numa_obs.Profile.charge_syscall p ~cpu:master service_ns
+      | None -> ());
       t.clock.(master) <- fmax t.clock.(master) finish;
       (* The calling thread was blocked, not computing: its own CPU accrues
          neither user nor system time; it resumes when the call returns. *)
@@ -376,6 +424,12 @@ let turn t th =
           match o.ready_override with
           | Some v -> v
           | None ->
+              (match t.profile with
+              | Some p when start > t.clock.(cpu) ->
+                  (* The thread's event time was ahead of its CPU's clock:
+                     the CPU sat idle for the difference. *)
+                  Numa_obs.Profile.charge_idle p ~cpu (start -. t.clock.(cpu))
+              | Some _ | None -> ());
               t.clock.(cpu) <- start +. o.d_user +. o.d_system;
               t.clock.(cpu)
         in
@@ -430,11 +484,21 @@ let run t =
       loop ()
     end
   in
-  loop ();
+  let wall_start = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.run_wall_s <- t.run_wall_s +. (Unix.gettimeofday () -. wall_start))
+    loop;
   t.running <- false;
   t.completed <- true
 
 let now t = t.vnow
+let clock_ns t ~cpu = t.clock.(cpu)
+let run_wall_s t = t.run_wall_s
+
+let events_per_sec t =
+  if t.run_wall_s > 0. then float_of_int t.n_events /. t.run_wall_s else 0.
+
 let user_ns t ~cpu = t.user.(cpu)
 let system_ns t ~cpu = t.system.(cpu)
 let total_user_ns t = Array.fold_left ( +. ) 0. t.user
@@ -457,6 +521,9 @@ let rehome t ~tid ~cpu =
            dispatch costs the same 50 us of system time as a
            self-migration (P_migrate), charged to the target CPU. *)
         th.cpu <- cpu;
+        (match t.profile with
+        | Some p -> Numa_obs.Profile.charge_dispatch p ~cpu 50_000.
+        | None -> ());
         t.system.(cpu) <- t.system.(cpu) +. 50_000.;
         t.clock.(cpu) <- t.clock.(cpu) +. 50_000.;
         true

@@ -45,6 +45,17 @@ val create : ?obs:Numa_obs.Hub.t -> config -> memory:Memory_iface.t -> scheduler
 
 val obs : t -> Numa_obs.Hub.t
 
+val set_profile : t -> Numa_obs.Profile.t -> unit
+(** Attach a simulated-time profiler and point its clock at the engine's
+    virtual counter. From then on every nanosecond the engine puts on a
+    CPU clock is attributed: references and kernel charges through the
+    memory layer, compute slices, spin padding, syscall service, dispatch
+    and idle gaps directly here. Callers must also attach the profiler to
+    the memory layer's {!Numa_machine.Cost_sink} (the {!Numa_system}
+    layer does both). *)
+
+val profile : t -> Numa_obs.Profile.t option
+
 val set_turn_hook : t -> (now:float -> unit) -> unit
 (** Install a callback invoked at the start of every scheduling turn with
     the (monotone) virtual clock — the fault injector's drive shaft. The
@@ -67,6 +78,17 @@ val run : t -> unit
 
 val now : t -> float
 (** Current virtual time; callable during [run] (e.g. from policies). *)
+
+val clock_ns : t -> cpu:int -> float
+(** A CPU's local clock — the conservation target for the profiler. *)
+
+val run_wall_s : t -> float
+(** Real seconds spent inside {!run} ([Unix.gettimeofday] around the
+    event loop). Non-deterministic by nature: kept out of every report,
+    consumed only by the bench observatory. *)
+
+val events_per_sec : t -> float
+(** Engine throughput, [n_events / run_wall_s]; [0.] before {!run}. *)
 
 val user_ns : t -> cpu:int -> float
 val system_ns : t -> cpu:int -> float

@@ -24,9 +24,12 @@ let make_barrier ~id ~vpage ~parties =
 (* State transitions live here so the counters and the observability events
    can never disagree about what happened to the lock. *)
 
-let acquire ?obs l ~tid ~cpu =
+let acquire ?obs ?profile l ~tid ~cpu =
   l.holder <- Some tid;
   l.acquisitions <- l.acquisitions + 1;
+  (match profile with
+  | Some p -> Numa_obs.Profile.lock_acquired p ~lock_id:l.lock_id
+  | None -> ());
   match obs with
   | Some hub when Numa_obs.Hub.enabled hub ->
       Numa_obs.Hub.emit hub
@@ -41,8 +44,11 @@ let contend ?obs l ~tid ~cpu =
         (Numa_obs.Event.Lock_contended { lock_id = l.lock_id; cpu; tid })
   | Some _ | None -> ()
 
-let release ?obs l ~tid ~cpu =
+let release ?obs ?profile l ~tid ~cpu =
   l.holder <- None;
+  (match profile with
+  | Some p -> Numa_obs.Profile.lock_released p ~lock_id:l.lock_id
+  | None -> ());
   match obs with
   | Some hub when Numa_obs.Hub.enabled hub ->
       Numa_obs.Hub.emit hub

@@ -77,6 +77,9 @@ type t = {
   robustness : robustness option;
       (** present only on faulted / paranoid runs, keeping clean reports
           byte-identical to earlier releases *)
+  profile : Numa_obs.Profile.snapshot option;
+      (** present only when the run was profiled; like [robustness], its
+          absence keeps unprofiled reports byte-identical *)
 }
 
 let total_user_s t = t.total_user_ns /. 1e9
@@ -139,6 +142,20 @@ let pp ppf t =
       Format.fprintf ppf "invariants: %d checks, %d violations@," r.invariant_checks
         r.invariant_violations;
       List.iter (fun v -> Format.fprintf ppf "  VIOLATION: %s@," v) r.first_violations);
+  (match t.profile with
+  | None -> ()
+  | Some s ->
+      Format.fprintf ppf "profile: attributed %.3f cpu-s (busy %.3f, idle %.3f);"
+        (s.Numa_obs.Profile.attributed_ns_total /. 1e9)
+        (s.Numa_obs.Profile.busy_ns_total /. 1e9)
+        (s.Numa_obs.Profile.idle_ns_total /. 1e9);
+      List.iter
+        (fun n ->
+          if n.Numa_obs.Profile.ns > 0. then
+            Format.fprintf ppf " %s=%.3fs" n.Numa_obs.Profile.label
+              (n.Numa_obs.Profile.ns /. 1e9))
+        s.Numa_obs.Profile.categories;
+      Format.fprintf ppf "@,");
   Format.fprintf ppf "per-region:@,";
   List.iter
     (fun (name, c) -> Format.fprintf ppf "  %-24s %a@," name pp_counts c)
@@ -217,8 +234,12 @@ let to_json t =
       ("bus_delay_ns", Json.Float t.bus_delay_ns);
     ]
     @
-    (* Appended, and only on faulted/paranoid runs: clean reports keep the
-       exact key set (and bytes) of earlier releases. *)
+    (* Appended, and only on faulted/paranoid/profiled runs: clean reports
+       keep the exact key set (and bytes) of earlier releases. *)
+    (match t.profile with
+    | None -> []
+    | Some s -> [ ("profile", Numa_obs.Profile.snapshot_to_json s) ])
+    @
     match t.robustness with
     | None -> []
     | Some r ->

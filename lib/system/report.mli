@@ -73,6 +73,9 @@ type t = {
   robustness : robustness option;
       (** fault-drill summary; [None] on clean runs, which therefore render
           (text and JSON) byte-identically to earlier releases *)
+  profile : Numa_obs.Profile.snapshot option;
+      (** simulated-time cost attribution; [None] unless the run was
+          profiled, preserving the same byte-identity guarantee *)
 }
 
 val total_user_s : t -> float

@@ -157,6 +157,9 @@ type t = {
   mutable invariant_violations : int;
   mutable first_violations : string list;
       (** verbatim findings of the first failing check, for the report *)
+  profile : Numa_obs.Profile.t option;
+      (** simulated-time profiler; [None] keeps every hot path and the
+          report byte-identical to unprofiled releases *)
 }
 
 (* --- reference accounting --------------------------------------------- *)
@@ -336,9 +339,17 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
   t.accesses_since_scan <- t.accesses_since_scan + 1;
   if t.accesses_since_scan >= t.reconsider_interval then begin
     t.accesses_since_scan <- 0;
+    (* Kernel work charged during the tick is the daemon's, not the
+       application's; the profiler separates the two by context. *)
+    (match t.profile with
+    | Some p -> Numa_obs.Profile.set_context p Numa_obs.Profile.Daemon
+    | None -> ());
     ignore (Numa_core.Pmap_manager.reconsider_scan t.pmap_mgr);
     if t.apply_migrate_hints then apply_migrate_hints t;
-    if t.paranoid then ignore (run_invariant_check t)
+    if t.paranoid then ignore (run_invariant_check t);
+    (match t.profile with
+    | Some p -> Numa_obs.Profile.set_context p Numa_obs.Profile.App
+    | None -> ())
   end;
   if not t.caches_valid then rebuild_caches t;
   (* Resolve the reference in the issuing thread's address space. *)
@@ -407,6 +418,19 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
     + match kind with Access.Load -> 0 | Access.Store -> 1
   in
   let user_ns = (float_of_int count *. t.ref_ns.(cost_idx)) +. bus_delay in
+  (match t.profile with
+  | Some p ->
+      let loc =
+        match where with
+        | Location.Local_here -> Numa_obs.Event.Local
+        | Location.In_global -> Numa_obs.Event.Global
+        | Location.Remote_local -> Numa_obs.Event.Remote
+      in
+      let lpage = entry.Mmu.lpage in
+      Numa_obs.Profile.charge_ref p ~cpu ~dst:node ~loc ~lpage ~tid
+        (float_of_int count *. t.ref_ns.(cost_idx));
+      if bus_delay > 0. then Numa_obs.Profile.charge_bus p ~cpu ~dst:node ~lpage bus_delay
+  | None -> ());
   let system_ns =
     Cost_sink.drain (Numa_core.Pmap_manager.sink t.pmap_mgr) ~cpu
   in
@@ -465,7 +489,7 @@ let build_policy = policy_of_spec
 
 let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinity)
     ?(chunk_refs = 2048) ?(spin_poll_ns = 10_000.) ?(unix_master = false)
-    ?(faults = Numa_faults.Plan.empty) ?(paranoid = false) ~config () =
+    ?(faults = Numa_faults.Plan.empty) ?(paranoid = false) ?(profiling = false) ~config () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("System.create: bad machine config: " ^ msg));
@@ -542,6 +566,21 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
   let engine = Engine.create ~obs engine_config ~memory ~scheduler in
   let bus = Bus.create ~obs config in
   let n_nodes = Topo.n_nodes topo in
+  let profile =
+    if not profiling then None
+    else begin
+      (* One profiler shared by the two charging paths: the engine (refs,
+         compute, spin, syscalls, dispatch, idle) and the cost sink
+         (kernel charges, flushed at drain time). *)
+      let p =
+        Numa_obs.Profile.create ~n_cpus:config.Config.n_cpus ~n_nodes
+          ~n_pages:config.Config.global_pages
+      in
+      Engine.set_profile engine p;
+      Cost_sink.set_profile (Numa_core.Pmap_manager.sink pmap_mgr) (Some p);
+      Some p
+    end
+  in
   let t =
     {
       config;
@@ -595,6 +634,7 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       invariant_checks = 0;
       invariant_violations = 0;
       first_violations = [];
+      profile;
     }
   in
   tref := Some t;
@@ -616,10 +656,16 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
           match Numa_faults.Injector.due inj ~now with
           | [] -> ()
           | fired ->
+              (match t.profile with
+              | Some p -> Numa_obs.Profile.set_context p Numa_obs.Profile.Degradation
+              | None -> ());
               List.iter (fun f -> apply_fault t f) fired;
               (* Every injected batch is followed by a full protocol audit:
                  degradation must never mean a wrong answer. *)
-              ignore (run_invariant_check t)));
+              ignore (run_invariant_check t);
+              (match t.profile with
+              | Some p -> Numa_obs.Profile.set_context p Numa_obs.Profile.App
+              | None -> ())));
   t
 
 (* --- workload construction --------------------------------------------- *)
@@ -736,6 +782,13 @@ let run t =
   stats.Numa_core.Numa_stats.tlb_shootdowns <- Mmu.tlb_shootdowns t.mmu;
   let pol = Numa_core.Pmap_manager.policy t.pmap_mgr in
   let n_cpus = t.config.Config.n_cpus in
+  let profile_snapshot =
+    match t.profile with
+    | None -> None
+    | Some p ->
+        Numa_obs.Profile.finalize p ~elapsed_ns:(Engine.elapsed_ns t.engine);
+        Some (Numa_obs.Profile.snapshot p)
+  in
   {
     Report.policy_name = pol.Policy.name;
     n_cpus;
@@ -793,6 +846,7 @@ let run t =
              first_violations = t.first_violations;
            }
        else None);
+    profile = profile_snapshot;
   }
 
 (* --- introspection ------------------------------------------------------ *)
@@ -826,6 +880,7 @@ let page_out t region ~page_index =
     invalid_arg "System.page_out: page index out of range";
   Numa_vm.Vm_object.page_out region.obj ~pool:t.pool ~ops:t.ops ~offset:page_index
 
+let profile t = t.profile
 let thread_migrations t = t.thread_migrations
 let check_invariants t = Numa_core.Numa_manager.check_invariants (numa_manager t)
 let audit t = run_invariant_check t

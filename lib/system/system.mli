@@ -98,6 +98,7 @@ val create :
   ?unix_master:bool ->
   ?faults:Numa_faults.Plan.t ->
   ?paranoid:bool ->
+  ?profiling:bool ->
   config:Config.t ->
   unit ->
   t
@@ -114,7 +115,13 @@ val create :
     followed by a protocol-invariant audit. [paranoid] additionally runs
     the audit from the reconsideration daemon's tick. Either one makes
     {!run}'s report carry a [robustness] section; with both unset the
-    report is byte-identical to earlier releases. *)
+    report is byte-identical to earlier releases.
+
+    [profiling] (default off) attaches a {!Numa_obs.Profile} to the
+    engine and the cost sink: {!run}'s report then carries a [profile]
+    section, and {!profile} exposes the live profiler. Profile data is
+    purely virtual-time, hence deterministic; leaving it off keeps the
+    report byte-identical to unprofiled releases. *)
 
 val obs : t -> Numa_obs.Hub.t
 (** The hub shared by all of this system's layers. *)
@@ -193,6 +200,9 @@ val migrate_pages : t -> src:int -> dst:int -> int
 val page_out : t -> region -> page_index:int -> unit
 (** Evict one page of a region through the pager (exercises the
     footnote-4 pin reset). *)
+
+val profile : t -> Numa_obs.Profile.t option
+(** The attached simulated-time profiler, when [profiling] was set. *)
 
 val thread_migrations : t -> int
 (** Thread re-homings applied by the daemon on behalf of a

@@ -17,7 +17,8 @@ let error_to_string = function
   | Out_of_memory -> "logical page pool exhausted"
 
 let handle ctx (task : Task.t) ~cpu ~vpage ~access =
-  Cost_sink.charge ctx.sink ~cpu (Cost.fault_trap_ns ctx.config);
+  Cost_sink.charge ctx.sink ~cpu ~cat:Numa_obs.Profile.Fault_trap
+    (Cost.fault_trap_ns ctx.config);
   match Vm_map.region_at task.map ~vpage with
   | None -> Error No_region
   | Some region ->
@@ -37,7 +38,8 @@ let handle ctx (task : Task.t) ~cpu ~vpage ~access =
                  daemon's own latency with one pmap action. *)
               match ctx.pageout with
               | Some daemon when Pageout.ensure_free daemon ~needed:1 ->
-                  Cost_sink.charge ctx.sink ~cpu (Cost.pmap_action_ns ctx.config);
+                  Cost_sink.charge ctx.sink ~cpu ~cat:Numa_obs.Profile.Pmap_action
+                    (Cost.pmap_action_ns ctx.config);
                   materialise ()
               | Some _ | None -> Error `Pool_exhausted)
         in

@@ -22,4 +22,5 @@ let () =
       ("lang", Test_lang.suite);
       ("properties", Test_properties.suite);
       ("faults", Test_faults.suite);
+      ("profile", Test_profile.suite);
     ]

@@ -286,6 +286,66 @@ let test_observed_run_reports_identically () =
   Alcotest.(check int) "moves identical" plain.Report.numa_moves
     observed.Report.numa_moves
 
+(* --- Json parser ---------------------------------------------------------- *)
+
+let test_json_parse_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.25);
+        ("big", Json.Float 3.14159265358979);
+        ("nan_becomes_null", Json.Float Float.nan);
+        ("s", Json.String "quote \" slash \\ newline \n tab \t ctrl \x01 end");
+        ("unicode", Json.String "caf\xc3\xa9");
+        ("nested", Json.Obj [ ("l", Json.List [ Json.Bool true; Json.Null; Json.Obj [] ]) ]);
+        ("empty_list", Json.List []);
+      ]
+  in
+  let s = Json.to_string doc in
+  match Json.parse s with
+  | Error msg -> Alcotest.failf "own output does not parse: %s" msg
+  | Ok parsed ->
+      (* Non-finite floats were emitted as null, so the round trip is the
+         document with that one substitution; bytes then fixpoint. *)
+      Alcotest.(check string) "serialisation fixpoint" s (Json.to_string parsed);
+      (match Json.member parsed "nan_becomes_null" with
+      | Some Json.Null -> ()
+      | _ -> Alcotest.fail "nan did not land as null");
+      (match Json.member parsed "int" with
+      | Some (Json.Int -42) -> ()
+      | _ -> Alcotest.fail "integral literal did not parse as Int");
+      (match Option.bind (Json.member parsed "float") Json.to_float with
+      | Some f -> Alcotest.(check (float 1e-12)) "float value" 1.25 f
+      | None -> Alcotest.fail "float member lost");
+      (* Standard JSON the emitter never produces: \u escapes. *)
+      match Json.parse "{\"u\": \"caf\\u00e9 \\u0041\"}" with
+      | Error msg -> Alcotest.failf "unicode escape rejected: %s" msg
+      | Ok j -> (
+          match Json.member j "u" with
+          | Some (Json.String u) -> Alcotest.(check string) "decoded" "caf\xc3\xa9 A" u
+          | _ -> Alcotest.fail "unicode member lost")
+
+let test_json_parse_rejects () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "parser accepted %S" bad
+      | Error msg ->
+          Alcotest.(check bool) "error mentions an offset" true
+            (contains msg "offset" || contains msg "end of input"))
+    [
+      ""; "{"; "[1,2"; "{\"a\":}"; "{\"a\":1}]"; "tru"; "\"unterminated";
+      "{\"a\" 1}"; "[1,,2]"; "nul"; "1.2.3";
+    ];
+  (match Json.load "/nonexistent/path/x.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file succeeded");
+  (* member/to_float on the wrong shapes answer None, not an exception. *)
+  Alcotest.(check bool) "member on non-object" true
+    (Json.member (Json.List []) "k" = None);
+  Alcotest.(check bool) "to_float on string" true (Json.to_float (Json.String "1") = None)
+
 (* --- per-page audit --------------------------------------------------------- *)
 
 let test_page_audit_explains_pin () =
@@ -317,6 +377,27 @@ let test_page_audit_explains_pin () =
     (List.length (String.split_on_char '\n' text) > 5)
 
 (* --- report JSON -------------------------------------------------------------- *)
+
+let test_page_audit_fault_narrative () =
+  (* A faulted run: the audited page's story must include the machine-wide
+     fault events even though they carry no lpage, so the timeline explains
+     why the protocol history changed course. *)
+  let obs = Hub.create () in
+  let audit = Page_audit.create ~lpage:0 in
+  Page_audit.attach audit obs;
+  let faults =
+    match Numa_faults.Plan.of_string "node-offline:1@1" with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "bad plan: %s" msg
+  in
+  let config = Numa_machine.Config.ace ~n_cpus:4 () in
+  let sys = System.create ~obs ~faults ~config () in
+  let app = Option.get (Numa_apps.Registry.find "imatmult") in
+  app.Numa_apps.App_sig.setup sys { Numa_apps.App_sig.nthreads = 4; scale = 0.03; seed = 42L };
+  ignore (System.run sys);
+  let text = Page_audit.explain audit in
+  Alcotest.(check bool) "timeline narrates the node loss" true
+    (contains text "offline")
 
 let test_report_json_roundtrip () =
   let sys, _ = ping_pong_system () in
@@ -374,5 +455,9 @@ let suite =
     Alcotest.test_case "observed run identical" `Quick
       test_observed_run_reports_identically;
     Alcotest.test_case "page audit explains pin" `Quick test_page_audit_explains_pin;
+    Alcotest.test_case "page audit narrates faults" `Quick
+      test_page_audit_fault_narrative;
+    Alcotest.test_case "json parse round-trip" `Quick test_json_parse_roundtrip;
+    Alcotest.test_case "json parse rejects garbage" `Quick test_json_parse_rejects;
     Alcotest.test_case "report json round-trip" `Quick test_report_json_roundtrip;
   ]

@@ -160,9 +160,14 @@ let test_histogram () =
 
 let test_histogram_mean_percentile () =
   let h = Histogram.create () in
-  Alcotest.(check int) "empty percentile" 0 (Histogram.percentile h 50.);
+  (* Totality on the empty histogram: every percentile (including the
+     boundary ranks) and the mean are defined values, never exceptions. *)
+  List.iter
+    (fun p -> Alcotest.(check int) "empty percentile" 0 (Histogram.percentile h p))
+    [ 0.; 50.; 100. ];
   Alcotest.(check int) "empty max key" 0 (Histogram.max_key h);
   Alcotest.(check (float 1e-9)) "empty mean" 0. (Histogram.mean h);
+  Alcotest.(check int) "empty total" 0 (Histogram.total h);
   Histogram.add_many h 1 50;
   Histogram.add_many h 2 30;
   Histogram.add_many h 10 19;
