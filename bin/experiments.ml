@@ -9,6 +9,7 @@ module Table4 = Numa_metrics.Table4
 module Ablations = Numa_metrics.Ablations
 module Tournament = Numa_metrics.Tournament
 module Chaos = Numa_metrics.Chaos
+module Pressure = Numa_metrics.Pressure
 module System = Numa_system.System
 
 let scale_arg =
@@ -44,8 +45,9 @@ let json_out_arg =
     & opt (some string) None
     & info [ "json-out" ] ~docv:"FILE"
         ~doc:
-          "Where the policy tournament / chaos sweep writes its JSON artifact \
-           (defaults: policy-tournament.json, chaos-sweep.json).")
+          "Where the policy tournament / chaos sweep / pressure sweep writes its \
+           JSON artifact (defaults: policy-tournament.json, chaos-sweep.json, \
+           pressure-sweep.json).")
 
 let apps_arg =
   Arg.(
@@ -53,8 +55,8 @@ let apps_arg =
     & opt (some string) None
     & info [ "apps" ] ~docv:"A,B,..."
         ~doc:
-          "Comma-separated application subset for the policy tournament and the chaos \
-           sweep (default: the Table 4 set).")
+          "Comma-separated application subset for the policy tournament and the \
+           chaos / pressure sweeps (default: the Table 4 set).")
 
 let policies_arg =
   Arg.(
@@ -132,6 +134,22 @@ let chaos_sweep ~spec ~jobs ~topology ~json_out ~apps =
   if violations > 0 then
     failwith
       (Printf.sprintf "chaos sweep found %d protocol invariant violations" violations)
+
+let pressure_sweep ~spec ~jobs ~topology ~json_out ~apps =
+  let apps = Option.map parse_apps apps in
+  let rows =
+    Pressure.run ~jobs ?apps
+      ~spec:{ spec with Runner.config_tweak = topology_tweak ~topology }
+      ()
+  in
+  print_endline (Pressure.render ~topology rows);
+  let json_out = Option.value json_out ~default:"pressure-sweep.json" in
+  Numa_obs.Json.save (Pressure.to_json ~topology rows) json_out;
+  Printf.printf "pressure JSON written to %s\n" json_out;
+  let violations = Pressure.total_violations rows in
+  if violations > 0 then
+    failwith
+      (Printf.sprintf "pressure sweep found %d protocol invariant violations" violations)
 
 let table1 () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load)
@@ -271,6 +289,7 @@ let run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
         (Ablations.render_reconsider_study (Ablations.reconsider_study ~spec ()))
   | "policy-tournament" -> policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies
   | "chaos-sweep" -> chaos_sweep ~spec ~jobs ~topology ~json_out ~apps
+  | "pressure-sweep" -> pressure_sweep ~spec ~jobs ~topology ~json_out ~apps
   | other -> failwith ("unknown section: " ^ other)
 
 let sections =
@@ -278,7 +297,7 @@ let sections =
     "table1"; "table2"; "figure1"; "figure2"; "table3"; "table4"; "threshold-sweep";
     "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
     "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "topology-sweep";
-    "reconsider"; "policy-tournament"; "chaos-sweep";
+    "reconsider"; "policy-tournament"; "chaos-sweep"; "pressure-sweep";
   ]
 
 let all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =

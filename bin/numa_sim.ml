@@ -93,7 +93,8 @@ let find_app name =
            (String.concat ", " (Numa_apps.Registry.names ())))
 
 let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = false)
-    ?(profiling = false) ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master () =
+    ?(profiling = false) ?(victim = Numa_vm.Pageout.Clock) ~policy ~cpus ~threads ~scale
+    ~seed ~scheduler ~unix_master () =
   {
     Runner.policy;
     n_cpus = cpus;
@@ -106,6 +107,7 @@ let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = 
     faults;
     paranoid;
     profiling;
+    victim;
   }
 
 let faults_conv =
@@ -128,6 +130,36 @@ let faults_arg =
            link-degrade:SRC:DST:FACTOR\\@MS..MS, frame-squeeze:NODE:FRAC\\@MS, \
            spurious-shootdown:RATE (times in milliseconds of simulated time). \
            The same plan and workload seed reproduce the run byte for byte.")
+
+let victim_conv =
+  let parse s =
+    match Numa_vm.Pageout.victim_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown victim policy %S; known: clock, lru" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Numa_vm.Pageout.victim_name v) in
+  Arg.conv (parse, print)
+
+let victim_arg =
+  Arg.(
+    value
+    & opt victim_conv Numa_vm.Pageout.Clock
+    & info [ "victim" ] ~docv:"POLICY"
+        ~doc:
+          "Pageout victim selection: clock (second-chance hand over the object \
+           list, the default) or lru (approximate least-recently-used over \
+           fault-time use stamps). Only matters under memory pressure.")
+
+let pages_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pages" ] ~docv:"N"
+        ~doc:
+          "Cap the logical-page pool at $(docv) pages (default: the machine's \
+           full global memory). A pool smaller than the working set makes the \
+           pageout daemon carry the run — one pressure-sweep cell as a single \
+           run, useful with --paranoid and --victim.")
 
 let paranoid_arg =
   Arg.(
@@ -188,15 +220,27 @@ let profile_out_arg =
 
 let run_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      faults paranoid trace_out metrics_out report_json explain_page profile_out =
+      faults paranoid victim pages trace_out metrics_out report_json explain_page
+      profile_out =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app ->
         let spec =
-          spec_of ~topology ~faults ~paranoid ~policy ~cpus ~threads ~scale ~seed
+          spec_of ~topology ~faults ~paranoid ~victim ~policy ~cpus ~threads ~scale ~seed
             ~scheduler ~unix_master ()
+        in
+        let spec =
+          match pages with
+          | None -> spec
+          | Some n ->
+              let base = spec.Runner.config_tweak in
+              {
+                spec with
+                Runner.config_tweak =
+                  (fun c -> { (base c) with Numa_machine.Config.global_pages = n });
+              }
         in
         let config = Runner.config_for spec ~n_cpus:spec.Runner.n_cpus in
         let obs = Numa_obs.Hub.create () in
@@ -228,7 +272,7 @@ let run_cmd =
           System.create ~obs ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
             ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master
             ~faults:spec.Runner.faults ~paranoid:spec.Runner.paranoid
-            ~profiling:(profile_out <> None) ~config ()
+            ~profiling:(profile_out <> None) ~victim:spec.Runner.victim ~config ()
         with
         | exception Invalid_argument msg ->
             (* A fault plan can be well-formed yet name a node the chosen
@@ -302,8 +346,8 @@ let run_cmd =
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
       $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ paranoid_arg
-      $ trace_out_arg $ metrics_out_arg $ report_json_arg $ explain_page_arg
-      $ profile_out_arg)
+      $ victim_arg $ pages_arg $ trace_out_arg $ metrics_out_arg $ report_json_arg
+      $ explain_page_arg $ profile_out_arg)
 
 let profile_cmd =
   let top_arg =

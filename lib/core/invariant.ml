@@ -4,13 +4,16 @@ type report = {
   pages_checked : int;
   mappings_checked : int;
   replicas_checked : int;
+  paging_checked : int;
   violations : string list;
 }
 
-let check ?pinned ~manager ~mmu ~frames ~(config : Config.t) () =
+let check ?pinned ?pool ~manager ~mmu ~frames ~(config : Config.t) () =
   let violations = ref [] in
   let mappings_checked = ref 0 in
   let replicas_checked = ref 0 in
+  let paging_checked = ref 0 in
+  let paging = Frame_table.paging frames in
   let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   for lpage = 0 to config.Config.global_pages - 1 do
     let state = Numa_manager.state_of manager ~lpage in
@@ -106,17 +109,62 @@ let check ?pinned ~manager ~mmu ~frames ~(config : Config.t) () =
     (* A pinned page lives in global memory by decree; local copies mean
        the policy and the protocol disagree. Homed pages are exempt — the
        pragma overrides the policy. *)
-    match (pinned, state) with
+    (match (pinned, state) with
     | Some _, Numa_manager.Homed _ | None, _ -> ()
     | Some is_pinned, _ ->
         if is_pinned ~lpage && replicas <> [] then
           bad "pinned page %d holds %d local cop%s" lpage (List.length replicas)
-            (if List.length replicas = 1 then "y" else "ies")
+            (if List.length replicas = 1 then "y" else "ies"));
+    (* The per-frame paging relation (checkable only under the full VM
+       stack, whose zero_page/install_page discipline the states assume —
+       hence the [pool] gate): nothing maps into an entry whose content
+       is absent or still in flight, a free logical page's entry is
+       Empty, and no page-in bracket is left open across a quiescent
+       point. *)
+    match (paging, pool) with
+    | Some pg, Some pool ->
+        incr paging_checked;
+        let pst = Paging.state pg ~lpage in
+        (match pst with
+        | Paging.Empty | Paging.Reading ->
+            if mappings <> [] then
+              bad "page %d: mapped while its paging entry is %s" lpage
+                (Paging.state_name pst);
+            if replicas <> [] then
+              bad "page %d: local copies while its paging entry is %s" lpage
+                (Paging.state_name pst)
+        | Paging.Clean | Paging.Dirty | Paging.Writeback -> ());
+        if pst = Paging.Reading then
+          bad "page %d: paging entry stuck in Reading between requests" lpage;
+        if (not (Numa_vm.Lpage_pool.is_allocated pool lpage)) && pst <> Paging.Empty
+        then
+          bad "page %d: on the free list but its paging entry is %s" lpage
+            (Paging.state_name pst)
+    | _ -> ()
   done;
+  (* RWLock-style pending-state bookkeeping: the in-flight writeback list
+     and the per-entry Writeback states must be the same set (and the
+     Dirty-only entry arrow makes "Writeback implies previously Dirty"
+     structural — violating it raises at the transition itself). *)
+  (match paging with
+  | Some pg ->
+      let inflight = Paging.in_flight_lpages pg in
+      List.iter
+        (fun lpage ->
+          if Paging.state pg ~lpage <> Paging.Writeback then
+            bad "page %d: on the in-flight writeback list but its entry is %s" lpage
+              (Paging.state_name (Paging.state pg ~lpage)))
+        inflight;
+      let n_wb = Paging.count pg Paging.Writeback in
+      if n_wb <> List.length inflight then
+        bad "%d entries in Writeback but %d on the in-flight list" n_wb
+          (List.length inflight)
+  | None -> ());
   {
     pages_checked = config.Config.global_pages;
     mappings_checked = !mappings_checked;
     replicas_checked = !replicas_checked;
+    paging_checked = !paging_checked;
     violations = List.rev !violations;
   }
 

@@ -24,11 +24,15 @@ type report = {
   pages_checked : int;
   mappings_checked : int;
   replicas_checked : int;
+  paging_checked : int;
+      (** logical pages whose paging entry was checked against the
+          per-frame relation; 0 without a [pool] or paging machine *)
   violations : string list;  (** empty = coherent; in page order *)
 }
 
 val check :
   ?pinned:(lpage:int -> bool) ->
+  ?pool:Numa_vm.Lpage_pool.t ->
   manager:Numa_manager.t ->
   mmu:Mmu.t ->
   frames:Frame_table.t ->
@@ -36,8 +40,16 @@ val check :
   unit ->
   report
 (** [pinned] is usually the policy's [is_pinned]; omitting it skips the
-    pinned-pages-hold-no-copies check. Read-only: the sweep never mutates
-    protocol state. *)
+    pinned-pages-hold-no-copies check. [pool] enables the per-frame
+    paging relation — no mapping or local copy into an Empty/Reading
+    entry, free pool pages have Empty entries, no Reading bracket open
+    at a quiescent point — which assumes the full VM stack's
+    zero-fill/install discipline, hence the separate gate. Whenever the
+    frame table carries a paging machine, the in-flight writeback list is
+    also cross-checked against the per-entry Writeback states ("Writeback
+    implies previously Dirty" is structural in
+    {!Numa_machine.Paging.start_writeback} and cannot be violated at
+    rest). Read-only: the sweep never mutates protocol state. *)
 
 val result : report -> (unit, string) result
 (** [Ok ()] when coherent, otherwise a one-line summary naming the first

@@ -20,9 +20,10 @@ type t = {
   stats : Numa_stats.t;
   obs : Numa_obs.Hub.t;
   pages : page array;
-  mutable reclaim : (avoid:int -> bool) option;
-      (** page-out hook: try to free frames, sparing logical page [avoid];
-          returns whether anything was evicted *)
+  mutable reclaim : (avoid:int -> by_cpu:int -> bool) option;
+      (** page-out hook: try to free frames, sparing logical page [avoid]
+          and charging eviction writebacks to [by_cpu]; returns whether
+          anything was evicted *)
 }
 
 let create ?obs ~config ~frames ~mmu ~sink ~stats () =
@@ -73,7 +74,7 @@ let reclaim_once t ~lpage ~node =
   match t.reclaim with
   | Some reclaim when Frame_table.local_capacity t.frames ~node > 0 ->
       t.stats.reclaim_retries <- t.stats.reclaim_retries + 1;
-      reclaim ~avoid:lpage
+      reclaim ~avoid:lpage ~by_cpu:node
   | Some _ | None -> false
 
 let alloc_local_reclaiming t ~lpage ~node =
@@ -182,7 +183,7 @@ let first_touch t ~lpage ~cpu ~access ~decision =
           (* Lazy zero-fill lands directly in the right memory, avoiding the
              write-zeros-to-global-then-copy round trip (section 2.3.1). *)
           if p.needs_zero then begin
-            Frame_table.zero_local frame;
+            Frame_table.zero_local t.frames ~lpage frame;
             charge t ~cpu ~cat:Numa_obs.Profile.Zero_fill ~lpage
               (Cost.place_page_zero_ns t.config ~topo:t.topo ~cpu ~dst:(Topo.Node cpu));
             t.stats.zero_fills_local <- t.stats.zero_fills_local + 1;

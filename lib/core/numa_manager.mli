@@ -53,12 +53,13 @@ val create :
     page move, local-memory fallback, page free. Events are constructed
     only when a sink is attached. *)
 
-val set_reclaim : t -> (avoid:int -> bool) -> unit
+val set_reclaim : t -> (avoid:int -> by_cpu:int -> bool) -> unit
 (** Install the pager hook used when a local-frame allocation fails: the
     callback should try to evict pages (never logical page [avoid], which
-    is the one being placed) and return whether anything was freed, in
-    which case the allocation is retried once before the LOCAL decision
-    falls back to GLOBAL. Counted in [reclaim_retries] /
+    is the one being placed), charging any eviction writebacks to
+    [by_cpu] (the allocating node), and return whether anything was
+    freed, in which case the allocation is retried once before the LOCAL
+    decision falls back to GLOBAL. Counted in [reclaim_retries] /
     [reclaim_rescues]. *)
 
 val request :

@@ -8,6 +8,7 @@ type t = {
   stats : Numa_stats.t;
   obs : Numa_obs.Hub.t;
   manager : Numa_manager.t;
+  paging : Paging.t;
   mutable policy : Policy.t;
   pragmas : (int * int, Numa_vm.Region_attr.pragma) Hashtbl.t;  (** (pmap, vpage) *)
   live_pmaps : (int, string) Hashtbl.t;
@@ -23,6 +24,8 @@ let create ?obs ~config ~policy () =
   let sink = Cost_sink.create ~n_cpus:config.Config.n_cpus in
   let stats = Numa_stats.create () in
   let manager = Numa_manager.create ~obs ~config ~frames ~mmu ~sink ~stats () in
+  let paging = Paging.create ~sink ~obs ~config () in
+  Frame_table.attach_paging frames paging;
   {
     config;
     frames;
@@ -31,6 +34,7 @@ let create ?obs ~config ~policy () =
     stats;
     obs;
     manager;
+    paging;
     policy;
     pragmas = Hashtbl.create 64;
     live_pmaps = Hashtbl.create 8;
@@ -42,6 +46,7 @@ let create ?obs ~config ~policy () =
 let set_policy t p = t.policy <- p
 let policy t = t.policy
 let manager t = t.manager
+let paging t = t.paging
 let stats t = t.stats
 let mmu t = t.mmu
 let frames t = t.frames
@@ -91,6 +96,9 @@ let enter t ~pmap ~cpu ~vpage ~lpage ~min_prot ~max_prot =
     | Prot.No_access -> assert false
   in
   let obs_on = Numa_obs.Hub.enabled t.obs in
+  (* Fault-time entry is the paging tier's reference signal: the LRU-approx
+     victim policy compares these ticks. *)
+  Paging.touch t.paging ~lpage;
   let result =
     match pragma_at t ~pmap ~vpage with
     | Some (Numa_vm.Region_attr.Homed home) ->
@@ -172,6 +180,7 @@ let remove_all t ~lpage = List.iter (drop_entry t) (Mmu.entries_of_lpage t.mmu ~
 
 let free_page t ~lpage =
   Numa_manager.reset_page t.manager ~lpage;
+  Paging.note_free t.paging ~lpage;
   t.policy.Policy.note (Policy.Page_freed { lpage });
   let tag = t.next_tag in
   t.next_tag <- tag + 1;
@@ -205,7 +214,7 @@ let write_slot t ~pmap ~cpu ~vpage v =
       if not (Prot.allows e.prot Access.Store) then
         invalid_arg "write_slot: mapping not writable";
       match e.phys with
-      | Mmu.Frame f -> Frame_table.write_local f v
+      | Mmu.Frame f -> Frame_table.write_local t.frames f v
       | Mmu.Global_frame l -> Frame_table.write_global t.frames ~lpage:l v)
 
 let ops t : Numa_vm.Pmap_intf.ops =
@@ -218,9 +227,19 @@ let ops t : Numa_vm.Pmap_intf.ops =
     protect = (fun ~pmap ~vpage ~n prot -> protect t ~pmap ~vpage ~n prot);
     remove = (fun ~pmap ~vpage ~n -> remove t ~pmap ~vpage ~n);
     remove_all = (fun ~lpage -> remove_all t ~lpage);
-    zero_page = (fun ~lpage -> Numa_manager.mark_zero_fill t.manager ~lpage);
+    zero_page =
+      (fun ~lpage ->
+        Numa_manager.mark_zero_fill t.manager ~lpage;
+        (* Born dirty: a zero-filled page has no backing-store copy. *)
+        Paging.note_zero_fill t.paging ~lpage);
     install_page =
-      (fun ~lpage ~content -> Numa_manager.install_content t.manager ~lpage ~content);
+      (fun ~lpage ~content ->
+        (* The Reading bracket makes the install's own global write a
+           non-mutation for dirty tracking and marks the entry as
+           in-flight, un-evictable disk I/O. *)
+        Paging.begin_read t.paging ~lpage;
+        Numa_manager.install_content t.manager ~lpage ~content;
+        Paging.end_read t.paging ~lpage);
     extract_content =
       (fun ~lpage ->
         Numa_manager.sync_if_dirty t.manager ~lpage;

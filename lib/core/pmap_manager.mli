@@ -32,6 +32,13 @@ val set_policy : t -> Policy.t -> unit
 
 val policy : t -> Policy.t
 val manager : t -> Numa_manager.t
+
+(** The per-frame paging state machine, created here and attached to the
+    frame table so stores reach its dirty tracking. The pmap interface
+    drives its transitions: [zero_page] -> born Dirty, [install_page] ->
+    Reading -> Clean, [free_page] -> Empty; every fault-time {!ops}.enter
+    bumps its LRU clock. *)
+val paging : t -> Paging.t
 val stats : t -> Numa_stats.t
 val mmu : t -> Mmu.t
 val frames : t -> Frame_table.t

@@ -13,6 +13,8 @@ type t = {
   fault_trap_ns : float;
   pmap_action_ns : float;
   tlb_shootdown_ns : float;
+  disk_read_ns : float;
+  disk_write_ns : float;
   topology : Topo.t option;
 }
 
@@ -38,6 +40,12 @@ let ace ?(n_cpus = 7) ?(local_pages_per_cpu = 4096) ?(global_pages = 8192) () =
     fault_trap_ns = 150_000.;
     pmap_action_ns = 25_000.;
     tlb_shootdown_ns = 20_000.;
+    (* Paging device of the era: a SCSI disk behind the IPC bus. Seek +
+       rotational delay dominates; the per-word transfer is priced
+       separately by Cost from the page size and the home node's store
+       rate. Writes pay a slightly longer settle time. *)
+    disk_read_ns = 10_000_000.;
+    disk_write_ns = 12_000_000.;
     topology = None;
   }
 
@@ -178,6 +186,8 @@ let validate t =
   then err "reference times must be positive"
   else if t.fault_trap_ns < 0. || t.pmap_action_ns < 0. || t.tlb_shootdown_ns < 0. then
     err "overhead times must be non-negative"
+  else if t.disk_read_ns < 0. || t.disk_write_ns < 0. then
+    err "disk times must be non-negative"
   else if t.bus_words_per_ns < 0. then err "bus bandwidth must be non-negative"
   else if t.global_fetch_ns < t.local_fetch_ns then
     err "global fetch faster than local fetch: not a NUMA machine"
@@ -212,11 +222,12 @@ let pp ppf t =
     "@[<v>ACE-class machine: %d CPUs, %d-word pages@,\
      local: %d pages/CPU (%d KB), global: %d pages (%d KB)@,\
      ref ns (fetch/store): local %.0f/%.0f  global %.0f/%.0f  remote %.0f/%.0f@,\
-     overheads ns: fault %.0f  pmap action %.0f  tlb %.0f@]"
+     overheads ns: fault %.0f  pmap action %.0f  tlb %.0f@,\
+     disk ns: read %.0f  write %.0f@]"
     t.n_cpus t.page_size_words t.local_pages_per_cpu
     (t.local_pages_per_cpu * page_size_bytes t / 1024)
     t.global_pages
     (t.global_pages * page_size_bytes t / 1024)
     t.local_fetch_ns t.local_store_ns t.global_fetch_ns t.global_store_ns
     t.remote_fetch_ns t.remote_store_ns t.fault_trap_ns t.pmap_action_ns
-    t.tlb_shootdown_ns
+    t.tlb_shootdown_ns t.disk_read_ns t.disk_write_ns

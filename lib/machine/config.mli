@@ -24,6 +24,10 @@ type t = {
   fault_trap_ns : float;  (** fixed cost of taking and dispatching a page fault *)
   pmap_action_ns : float;  (** bookkeeping per NUMA-manager protocol action *)
   tlb_shootdown_ns : float;  (** dropping one mapping on one processor *)
+  disk_read_ns : float;
+      (** fixed latency (seek + rotation) of one page-in from the modeled
+          backing store; the per-word transfer is added by {!Cost} *)
+  disk_write_ns : float;  (** fixed latency of one page writeback *)
   topology : Topo.t option;
       (** explicit N-node distance-matrix topology; [None] means the
           classic two-level ACE derived from the scalar fields (see

@@ -45,6 +45,21 @@ let place_page_zero_ns (c : Config.t) ~topo ~cpu ~dst =
   float_of_int c.page_size_words
   *. place_reference_ns ~topo ~access:Access.Store ~cpu ~place:dst
 
+(* Backing-store (paging-device) costs: a fixed seek + rotation latency
+   from the config plus the word-by-word DMA transfer, priced at the
+   page's home memory's own matrix row. A page-in stores words into the
+   home memory; a writeback fetches them out. *)
+
+let disk_transfer_ns (c : Config.t) ~(topo : Topo.t) ~access ~lpage =
+  let home = Topo.global_home topo ~lpage in
+  float_of_int c.page_size_words *. node_reference_ns ~topo ~access ~cpu:home ~node:home
+
+let disk_read_ns (c : Config.t) ~topo ~lpage =
+  c.disk_read_ns +. disk_transfer_ns c ~topo ~access:Access.Store ~lpage
+
+let disk_write_ns (c : Config.t) ~topo ~lpage =
+  c.disk_write_ns +. disk_transfer_ns c ~topo ~access:Access.Load ~lpage
+
 let fault_trap_ns (c : Config.t) = c.fault_trap_ns
 let pmap_action_ns (c : Config.t) = c.pmap_action_ns
 let tlb_shootdown_ns (c : Config.t) = c.tlb_shootdown_ns

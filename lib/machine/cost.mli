@@ -42,6 +42,16 @@ val place_page_copy_ns :
 
 val place_page_zero_ns : Config.t -> topo:Topo.t -> cpu:int -> dst:Topo.place -> float
 
+val disk_read_ns : Config.t -> topo:Topo.t -> lpage:int -> float
+(** One page-in from the modeled backing store: the fixed
+    [Config.disk_read_ns] seek + rotation latency plus the word-by-word
+    DMA transfer into the page's home memory (a store per word priced at
+    the home node's own matrix row). *)
+
+val disk_write_ns : Config.t -> topo:Topo.t -> lpage:int -> float
+(** One page writeback to the backing store: [Config.disk_write_ns] plus
+    a fetch per word out of the page's home memory. *)
+
 val fault_trap_ns : Config.t -> float
 val pmap_action_ns : Config.t -> float
 val tlb_shootdown_ns : Config.t -> float

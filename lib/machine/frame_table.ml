@@ -1,4 +1,4 @@
-type local_frame = { node : int; id : int; mutable cell : int }
+type local_frame = { node : int; id : int; mutable cell : int; mutable lpage : int }
 
 type node_pool = {
   capacity : int;
@@ -9,13 +9,17 @@ type node_pool = {
   mutable limit : int;  (** effective capacity; squeezed below [capacity] by faults *)
 }
 
-type t = { globals : int array; pools : node_pool array }
+type t = {
+  globals : int array;
+  pools : node_pool array;
+  mutable paging : Paging.t option;
+}
 
 let create (config : Config.t) =
   let topo = Config.topology config in
   let make_pool node =
     let capacity = Topo.pool_pages topo ~node in
-    let frames = List.init capacity (fun id -> { node; id; cell = 0 }) in
+    let frames = List.init capacity (fun id -> { node; id; cell = 0; lpage = -1 }) in
     let free_set = Hashtbl.create 64 in
     List.iter (fun f -> Hashtbl.replace free_set f.id ()) frames;
     { capacity; free = frames; in_use = 0; free_set; online = true; limit = capacity }
@@ -23,10 +27,22 @@ let create (config : Config.t) =
   {
     globals = Array.make config.global_pages 0;
     pools = Array.init (Topo.cpu_nodes topo) make_pool;
+    paging = None;
   }
 
+let attach_paging t paging = t.paging <- Some paging
+let paging t = t.paging
+
+let mark_dirty t ~lpage =
+  match t.paging with
+  | Some p when lpage >= 0 -> Paging.mark_dirty p ~lpage
+  | _ -> ()
+
 let read_global t ~lpage = t.globals.(lpage)
-let write_global t ~lpage v = t.globals.(lpage) <- v
+
+let write_global t ~lpage v =
+  t.globals.(lpage) <- v;
+  mark_dirty t ~lpage
 
 let alloc_local t ~node =
   let pool = t.pools.(node) in
@@ -39,6 +55,7 @@ let alloc_local t ~node =
         pool.in_use <- pool.in_use + 1;
         Hashtbl.remove pool.free_set frame.id;
         frame.cell <- 0;
+        frame.lpage <- -1;
         Some frame
 
 let free_local t frame =
@@ -49,7 +66,8 @@ let free_local t frame =
          frame.id frame.node);
   Hashtbl.replace pool.free_set frame.id ();
   pool.free <- frame :: pool.free;
-  pool.in_use <- pool.in_use - 1
+  pool.in_use <- pool.in_use - 1;
+  frame.lpage <- -1
 
 let local_in_use t ~node = t.pools.(node).in_use
 
@@ -64,17 +82,36 @@ let squeeze t ~node ~frac =
   if frac < 0. || frac > 1. then invalid_arg "Frame_table.squeeze: frac not in [0,1]";
   let pool = t.pools.(node) in
   (* In-use frames above the new limit stay allocated; the squeeze only
-     gates future allocations, like a real balloon driver. *)
-  pool.limit <- int_of_float (frac *. float_of_int pool.capacity);
+     gates future allocations, like a real balloon driver. Round half-up:
+     plain truncation undershoots on binary-float artifacts (0.3 * 10 =
+     2.9999... would squeeze a 10-frame pool to 2, and frac = 1.0 could
+     fail to restore full capacity). *)
+  pool.limit <- int_of_float ((frac *. float_of_int pool.capacity) +. 0.5);
   pool.limit
 
 let frame_is_free t (frame : local_frame) =
   Hashtbl.mem t.pools.(frame.node).free_set frame.id
 
 let read_local (f : local_frame) = f.cell
-let write_local (f : local_frame) v = f.cell <- v
 
-let copy_global_to_local t ~lpage frame = frame.cell <- t.globals.(lpage)
+let write_local t (f : local_frame) v =
+  f.cell <- v;
+  mark_dirty t ~lpage:f.lpage
+
+let copy_global_to_local t ~lpage frame =
+  frame.cell <- t.globals.(lpage);
+  frame.lpage <- lpage
+
+(* Syncing a local copy back to the global master is not a new mutation:
+   the store that dirtied the local frame already marked the page, so the
+   direct assignment here deliberately bypasses [write_global]'s hook. *)
 let copy_local_to_global t frame ~lpage = t.globals.(lpage) <- frame.cell
-let zero_local frame = frame.cell <- 0
-let zero_global t ~lpage = t.globals.(lpage) <- 0
+
+let zero_local t ~lpage frame =
+  frame.cell <- 0;
+  frame.lpage <- lpage;
+  mark_dirty t ~lpage
+
+let zero_global t ~lpage =
+  t.globals.(lpage) <- 0;
+  mark_dirty t ~lpage

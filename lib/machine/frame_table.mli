@@ -21,11 +21,23 @@ type local_frame = private {
   node : int;  (** owning local memory *)
   id : int;  (** unique among this node's frames *)
   mutable cell : int;
+  mutable lpage : int;
+      (** the logical page this frame currently caches, [-1] when free or
+          not yet bound; lets stores through the frame reach the paging
+          state machine's dirty tracking *)
 }
 
 type t
 
 val create : Config.t -> t
+
+val attach_paging : t -> Paging.t -> unit
+(** Install the paging state machine: from then on {!write_global},
+    {!write_local} and the zero-fills mark the written page Dirty. Without
+    it (the default, and every direct Frame_table test) all hooks are
+    no-ops. *)
+
+val paging : t -> Paging.t option
 
 (** {1 Global frames} *)
 
@@ -56,7 +68,8 @@ val set_node_online : t -> node:int -> bool -> unit
 
 val squeeze : t -> node:int -> frac:float -> int
 (** Shrink (or restore, [frac = 1.]) the node's allocation limit to
-    [frac] of its capacity; returns the new limit. Frames in use above the
+    [frac] of its capacity, rounding half-up (so [frac = 1.0] restores
+    full capacity exactly); returns the new limit. Frames in use above the
     limit stay valid — only future allocations are gated. *)
 
 val frame_is_free : t -> local_frame -> bool
@@ -64,14 +77,24 @@ val frame_is_free : t -> local_frame -> bool
     replica pointing at such a frame is a protocol invariant violation). *)
 
 val read_local : local_frame -> int
-val write_local : local_frame -> int -> unit
+
+val write_local : t -> local_frame -> int -> unit
+(** Store through a local mapping; marks the frame's bound page Dirty
+    when paging is attached. *)
 
 (** {1 Page transfers}
 
     These move cell contents the way the kernel's copy loops move words;
-    they do no cost accounting (the caller charges {!Cost}). *)
+    they do no cost accounting (the caller charges {!Cost}).
+    [copy_global_to_local] binds the frame to [lpage];
+    [copy_local_to_global] deliberately does {e not} re-mark the page
+    Dirty — the store that dirtied the local copy already did. *)
 
 val copy_global_to_local : t -> lpage:int -> local_frame -> unit
 val copy_local_to_global : t -> local_frame -> lpage:int -> unit
-val zero_local : local_frame -> unit
+
+val zero_local : t -> lpage:int -> local_frame -> unit
+(** Zero-fill a local frame as the first materialisation of [lpage];
+    binds the frame and marks the page Dirty. *)
+
 val zero_global : t -> lpage:int -> unit

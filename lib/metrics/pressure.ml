@@ -1,0 +1,287 @@
+open Numa_util
+module Report = Numa_system.Report
+module Plan = Numa_faults.Plan
+
+type variant = {
+  ratio : int;
+  victim : Numa_vm.Pageout.victim;
+  squeeze : bool;
+}
+
+let variant_name v =
+  Printf.sprintf "%dx/%s%s" v.ratio
+    (Numa_vm.Pageout.victim_name v.victim)
+    (if v.squeeze then "+squeeze" else "")
+
+(* The default matrix: every ratio under both victim policies, plus the
+   chaos interaction — a frame squeeze on top of an already-pressured
+   machine — at one representative ratio. The squeeze plan touches only
+   node 0, so it fits any machine the sweep runs on. *)
+let default_variants () =
+  let pure =
+    List.concat_map
+      (fun ratio ->
+        List.map
+          (fun victim -> { ratio; victim; squeeze = false })
+          [ Numa_vm.Pageout.Clock; Numa_vm.Pageout.Lru_approx ])
+      [ 1; 2; 4; 8 ]
+  in
+  pure
+  @ List.map
+      (fun victim -> { ratio = 4; victim; squeeze = true })
+      [ Numa_vm.Pageout.Clock; Numa_vm.Pageout.Lru_approx ]
+
+let squeeze_plan =
+  match Plan.of_string "frame-squeeze:0:0.5@5" with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Pressure.squeeze_plan: " ^ msg)
+
+type cell = {
+  app_name : string;
+  ram_pages : int;
+  footprint_pages : int;
+  time_s : float;
+  slowdown : float;
+  page_ins : int;
+  evictions : int;
+  writebacks_started : int;
+  sync_writebacks : int;
+  oom_faults : int;
+  invariant_violations : int;
+  r : Report.t;
+}
+
+type row = {
+  variant : variant;
+  cells : cell list;
+  mean_slowdown : float;
+  page_ins : int;
+  evictions : int;
+  writebacks_started : int;
+  sync_writebacks : int;
+  oom_faults : int;
+  invariant_checks : int;
+  invariant_violations : int;
+}
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* Pages the run ever gave content: everything the final placement sweep
+   does not report as untouched. The ample baseline run never pages, so
+   this is the program's working set in logical pages. *)
+let footprint_of_report (r : Report.t) =
+  let untouched =
+    match List.assoc_opt "untouched" r.Report.placement with
+    | Some n -> n
+    | None -> 0
+  in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 r.Report.placement in
+  total - untouched
+
+let paging_of_report (r : Report.t) =
+  match r.Report.paging with
+  | Some p -> (p.Report.page_ins, p.Report.evictions, p.Report.writebacks_started,
+               p.Report.sync_writebacks)
+  | None -> (0, 0, 0, 0)
+
+let robustness_of_report (r : Report.t) =
+  match r.Report.robustness with
+  | Some rb -> (rb.Report.oom_faults, rb.Report.invariant_checks,
+                rb.Report.invariant_violations)
+  | None -> (0, 0, 0)
+
+(* Slowdown over user + system time: the point of pressure is the kernel
+   work it induces (page-ins, writebacks, evictions), all of which is
+   charged as system time — a user-time-only gamma would hide the disk. *)
+let run_time_s (r : Report.t) = Report.total_user_s r +. Report.total_system_s r
+
+let cell_of_run app ~baseline ~footprint ~ram (r : Report.t) =
+  let time_s = run_time_s r in
+  let base_s = run_time_s baseline in
+  let page_ins, evictions, writebacks_started, sync_writebacks = paging_of_report r in
+  let oom_faults, _, invariant_violations = robustness_of_report r in
+  {
+    app_name = app.Numa_apps.App_sig.name;
+    ram_pages = ram;
+    footprint_pages = footprint;
+    time_s;
+    slowdown = (if base_s > 0. then time_s /. base_s else nan);
+    page_ins;
+    evictions;
+    writebacks_started;
+    sync_writebacks;
+    oom_faults;
+    invariant_violations;
+    r;
+  }
+
+let run ?jobs ?apps ?variants ?(spec = Runner.default_spec) () =
+  let apps = match apps with Some l -> l | None -> Numa_apps.Registry.table4 in
+  let variants = match variants with Some l -> l | None -> default_variants () in
+  if apps = [] then invalid_arg "Pressure.run: no apps";
+  if variants = [] then invalid_arg "Pressure.run: no variants";
+  List.iter
+    (fun v -> if v.ratio < 1 then invalid_arg "Pressure.run: ratio must be >= 1")
+    variants;
+  (* One ample run per app prices the pressure-free machine and measures
+     the working set; then the variant x app product fans out, each run
+     on a machine whose logical-page pool is the working set divided by
+     the variant's ratio. Every pressured run is paranoid: the per-frame
+     paging relation is checked from the daemon tick while the pager is
+     busiest. *)
+  let baselines =
+    Parallel.map ?jobs
+      (fun app -> Runner.run app { spec with Runner.faults = Plan.empty })
+      apps
+  in
+  let footprints = List.map footprint_of_report baselines in
+  let jobs_list =
+    List.concat_map
+      (fun v ->
+        List.map2
+          (fun app (baseline, footprint) -> (v, app, baseline, footprint))
+          apps
+          (List.combine baselines footprints))
+      variants
+  in
+  let measured =
+    Parallel.map ?jobs
+      (fun (v, app, baseline, footprint) ->
+        let ram = max 8 ((footprint + v.ratio - 1) / v.ratio) in
+        let tweak c =
+          let c = spec.Runner.config_tweak c in
+          { c with Numa_machine.Config.global_pages = ram }
+        in
+        let r =
+          Runner.run app
+            {
+              spec with
+              Runner.config_tweak = tweak;
+              faults = (if v.squeeze then squeeze_plan else Plan.empty);
+              paranoid = true;
+              victim = v.victim;
+            }
+        in
+        cell_of_run app ~baseline ~footprint ~ram r)
+      jobs_list
+  in
+  let rec group variants measured =
+    match variants with
+    | [] -> []
+    | v :: rest ->
+        let n = List.length apps in
+        let cells = List.filteri (fun i _ -> i < n) measured in
+        let remaining = List.filteri (fun i _ -> i >= n) measured in
+        let sum f = List.fold_left (fun acc c -> acc + f c) 0 cells in
+        {
+          variant = v;
+          cells;
+          mean_slowdown = mean (List.map (fun c -> c.slowdown) cells);
+          page_ins = sum (fun c -> c.page_ins);
+          evictions = sum (fun c -> c.evictions);
+          writebacks_started = sum (fun c -> c.writebacks_started);
+          sync_writebacks = sum (fun c -> c.sync_writebacks);
+          oom_faults = sum (fun c -> c.oom_faults);
+          invariant_checks =
+            List.fold_left
+              (fun acc c ->
+                let _, checks, _ = robustness_of_report c.r in
+                acc + checks)
+              0 cells;
+          invariant_violations = sum (fun c -> c.invariant_violations);
+        }
+        :: group rest remaining
+  in
+  group variants measured
+
+let total_violations rows =
+  List.fold_left (fun acc r -> acc + r.invariant_violations) 0 rows
+
+let total_oom rows = List.fold_left (fun acc r -> acc + r.oom_faults) 0 rows
+
+let render ~topology rows =
+  let apps =
+    match rows with [] -> [] | r :: _ -> List.map (fun c -> c.app_name) r.cells
+  in
+  let table =
+    Text_table.create
+      ~columns:
+        (("Pressure", Text_table.Left)
+        :: List.map (fun a -> (a, Text_table.Right)) apps
+        @ [
+            ("mean slowdown", Text_table.Right);
+            ("page-ins", Text_table.Right);
+            ("evictions", Text_table.Right);
+            ("writebacks", Text_table.Right);
+            ("oom", Text_table.Right);
+            ("violations", Text_table.Right);
+          ])
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        ((variant_name r.variant
+         :: List.map (fun c -> Text_table.cell_f2 c.slowdown) r.cells)
+        @ [
+            Text_table.cell_f2 r.mean_slowdown;
+            Text_table.cell_int r.page_ins;
+            Text_table.cell_int r.evictions;
+            Text_table.cell_int (r.writebacks_started + r.sync_writebacks);
+            Text_table.cell_int r.oom_faults;
+            Text_table.cell_int r.invariant_violations;
+          ]))
+    rows;
+  Printf.sprintf
+    "Pressure sweep on %s: per-app slowdown against the ample-memory run, \
+     at working-set/RAM ratios under both victim policies (ratio/victim \
+     rows; +squeeze adds a frame squeeze on top of the pressure). %d \
+     invariant violations across the matrix.\n%s"
+    topology (total_violations rows) (Text_table.render table)
+
+let to_json ~topology rows : Numa_obs.Json.t =
+  let open Numa_obs.Json in
+  Obj
+    [
+      ("topology", String topology);
+      ("total_violations", Int (total_violations rows));
+      ("total_oom_faults", Int (total_oom rows));
+      ( "variants",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("variant", String (variant_name r.variant));
+                   ("ratio", Int r.variant.ratio);
+                   ("victim", String (Numa_vm.Pageout.victim_name r.variant.victim));
+                   ("squeeze", Bool r.variant.squeeze);
+                   ("mean_slowdown", Float r.mean_slowdown);
+                   ("page_ins", Int r.page_ins);
+                   ("evictions", Int r.evictions);
+                   ("writebacks_started", Int r.writebacks_started);
+                   ("sync_writebacks", Int r.sync_writebacks);
+                   ("oom_faults", Int r.oom_faults);
+                   ("invariant_checks", Int r.invariant_checks);
+                   ("invariant_violations", Int r.invariant_violations);
+                   ( "apps",
+                     List
+                       (List.map
+                          (fun c ->
+                            Obj
+                              [
+                                ("app", String c.app_name);
+                                ("ram_pages", Int c.ram_pages);
+                                ("footprint_pages", Int c.footprint_pages);
+                                ("time_s", Float c.time_s);
+                                ("slowdown", Float c.slowdown);
+                                ("page_ins", Int c.page_ins);
+                                ("evictions", Int c.evictions);
+                                ("report", Report.to_json c.r);
+                              ])
+                          r.cells) );
+                 ])
+             rows) );
+    ]

@@ -13,6 +13,7 @@ type run_spec = {
   faults : Numa_faults.Plan.t;
   paranoid : bool;
   profiling : bool;
+  victim : Numa_vm.Pageout.victim;
 }
 
 let default_spec =
@@ -28,6 +29,7 @@ let default_spec =
     faults = Numa_faults.Plan.empty;
     paranoid = false;
     profiling = false;
+    victim = Numa_vm.Pageout.Clock;
   }
 
 let config_for spec ~n_cpus = spec.config_tweak (Config.ace ~n_cpus ())
@@ -36,7 +38,8 @@ let run_with (app : Numa_apps.App_sig.t) spec ~policy ~n_cpus ~nthreads =
   let config = config_for spec ~n_cpus in
   let sys =
     System.create ~policy ~scheduler:spec.scheduler ~unix_master:spec.unix_master
-      ~faults:spec.faults ~paranoid:spec.paranoid ~profiling:spec.profiling ~config ()
+      ~faults:spec.faults ~paranoid:spec.paranoid ~profiling:spec.profiling
+      ~victim:spec.victim ~config ()
   in
   app.Numa_apps.App_sig.setup sys
     { Numa_apps.App_sig.nthreads; scale = spec.scale; seed = spec.seed };

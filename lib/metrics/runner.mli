@@ -21,6 +21,9 @@ type run_spec = {
   profiling : bool;
       (** attach the simulated-time profiler; measured reports then carry
           a [profile] section (deterministic, so safe in golden JSON) *)
+  victim : Numa_vm.Pageout.victim;
+      (** pageout victim-selection policy (default [Clock]); only matters
+          under memory pressure *)
 }
 
 val default_spec : run_spec

@@ -31,6 +31,10 @@ type t =
   | Link_degraded of { src : int; dst : int; factor : float }
   | Invariant_checked of { violations : int }
   | Out_of_memory of { cpu : int; vpage : int }
+  | Page_in of { lpage : int }
+  | Page_evicted of { lpage : int; dirty : bool }
+  | Writeback_started of { lpage : int }
+  | Writeback_done of { lpage : int; redirtied : bool }
 
 let name = function
   | Fault_resolved _ -> "fault_resolved"
@@ -61,6 +65,10 @@ let name = function
   | Link_degraded _ -> "link_degraded"
   | Invariant_checked _ -> "invariant_checked"
   | Out_of_memory _ -> "out_of_memory"
+  | Page_in _ -> "page_in"
+  | Page_evicted _ -> "page_evicted"
+  | Writeback_started _ -> "writeback_started"
+  | Writeback_done _ -> "writeback_done"
 
 type lane = Cpu_lane of int | Protocol_lane
 
@@ -70,7 +78,8 @@ let lane = function
   | Page_move _ | Page_pin _ | Page_unpin _ | Replica_create _ | Replica_flush _
   | Sync_to_global _ | Zero_fill _ | Page_freed _ | Reconsider_scan _
   | Fault_injected _ | Node_offline _ | Node_online _ | Node_drained _
-  | Link_degraded _ | Invariant_checked _ ->
+  | Link_degraded _ | Invariant_checked _ | Page_in _ | Page_evicted _
+  | Writeback_started _ | Writeback_done _ ->
       Protocol_lane
   | Fault_resolved { cpu; _ }
   | Policy_decision { cpu; _ }
@@ -99,7 +108,11 @@ let lpage = function
   | Zero_fill { lpage; _ }
   | Local_fallback { lpage; _ }
   | Page_freed { lpage; _ }
-  | Tlb_shootdown { lpage; _ } ->
+  | Tlb_shootdown { lpage; _ }
+  | Page_in { lpage }
+  | Page_evicted { lpage; _ }
+  | Writeback_started { lpage }
+  | Writeback_done { lpage; _ } ->
       Some lpage
   | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Lock_released _
   | Dispatch _ | Syscall _ | Thread_migrated _ | Reconsider_scan _ | Fault_injected _
@@ -171,6 +184,12 @@ let args ev : (string * Json.t) list =
       [ ("src", Json.Int src); ("dst", Json.Int dst); ("factor", Json.Float factor) ]
   | Invariant_checked { violations } -> [ ("violations", Json.Int violations) ]
   | Out_of_memory { cpu; vpage } -> [ ("cpu", Json.Int cpu); ("vpage", Json.Int vpage) ]
+  | Page_in { lpage } -> [ ("lpage", Json.Int lpage) ]
+  | Page_evicted { lpage; dirty } ->
+      [ ("lpage", Json.Int lpage); ("dirty", Json.Bool dirty) ]
+  | Writeback_started { lpage } -> [ ("lpage", Json.Int lpage) ]
+  | Writeback_done { lpage; redirtied } ->
+      [ ("lpage", Json.Int lpage); ("redirtied", Json.Bool redirtied) ]
 
 let describe ev =
   match ev with
@@ -240,3 +259,12 @@ let describe ev =
   | Out_of_memory { cpu; vpage } ->
       Printf.sprintf "out of memory: cpu %d faulting on vpage %d found no frame even after \
                       page-out" cpu vpage
+  | Page_in { lpage } -> Printf.sprintf "lpage %d read in from backing store" lpage
+  | Page_evicted { lpage; dirty } ->
+      Printf.sprintf "lpage %d evicted to backing store (%s)" lpage
+        (if dirty then "dirty: synchronous writeback" else "clean: dropped")
+  | Writeback_started { lpage } ->
+      Printf.sprintf "async writeback of lpage %d started" lpage
+  | Writeback_done { lpage; redirtied } ->
+      Printf.sprintf "async writeback of lpage %d done%s" lpage
+        (if redirtied then " (redirtied during writeback: still dirty)" else "")

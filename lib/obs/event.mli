@@ -72,6 +72,17 @@ type t =
   | Out_of_memory of { cpu : int; vpage : int }
       (** a fault could not materialise its page: the logical-page pool
           was exhausted and page-out freed nothing *)
+  | Page_in of { lpage : int }
+      (** the page's content was read in from the modeled backing store
+          (its paging entry went Reading -> Clean) *)
+  | Page_evicted of { lpage : int; dirty : bool }
+      (** the pageout daemon evicted the page; [dirty] means it paid a
+          synchronous writeback first *)
+  | Writeback_started of { lpage : int }
+      (** the async writeback daemon started cleaning a Dirty entry *)
+  | Writeback_done of { lpage : int; redirtied : bool }
+      (** an async writeback completed; [redirtied] means a store landed
+          while the disk write was in flight, so the entry stays Dirty *)
 
 val name : t -> string
 (** Stable snake_case tag, used as the Chrome trace event name. *)

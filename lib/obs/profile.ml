@@ -1,4 +1,11 @@
-type kernel_cat = Fault_trap | Pmap_action | Page_copy | Zero_fill | Tlb_shootdown
+type kernel_cat =
+  | Fault_trap
+  | Pmap_action
+  | Page_copy
+  | Zero_fill
+  | Tlb_shootdown
+  | Disk_read
+  | Disk_write
 
 let kernel_cat_name = function
   | Fault_trap -> "fault_trap"
@@ -6,8 +13,10 @@ let kernel_cat_name = function
   | Page_copy -> "page_copy"
   | Zero_fill -> "zero_fill"
   | Tlb_shootdown -> "tlb_shootdown"
+  | Disk_read -> "disk_read"
+  | Disk_write -> "disk_write"
 
-let n_kernel_cats = 5
+let n_kernel_cats = 7
 
 let kernel_idx = function
   | Fault_trap -> 0
@@ -15,13 +24,17 @@ let kernel_idx = function
   | Page_copy -> 2
   | Zero_fill -> 3
   | Tlb_shootdown -> 4
+  | Disk_read -> 5
+  | Disk_write -> 6
 
 let kernel_cat_of_idx = function
   | 0 -> Fault_trap
   | 1 -> Pmap_action
   | 2 -> Page_copy
   | 3 -> Zero_fill
-  | _ -> Tlb_shootdown
+  | 4 -> Tlb_shootdown
+  | 5 -> Disk_read
+  | _ -> Disk_write
 
 type context = App | Daemon | Degradation
 

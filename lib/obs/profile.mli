@@ -28,6 +28,8 @@ type kernel_cat =
   | Page_copy  (** page copies and syncs between memories *)
   | Zero_fill
   | Tlb_shootdown  (** software-TLB invalidations *)
+  | Disk_read  (** page-ins from the modeled backing store *)
+  | Disk_write  (** writebacks to the modeled backing store *)
 
 val kernel_cat_name : kernel_cat -> string
 

@@ -120,7 +120,8 @@ let record t ~ts (ev : Event.t) =
   | Event.Syscall _ | Event.Tlb_shootdown _ | Event.Thread_migrated _
   | Event.Reconsider_scan _ | Event.Fault_injected _ | Event.Node_offline _
   | Event.Node_online _ | Event.Node_drained _ | Event.Link_degraded _
-  | Event.Invariant_checked _ | Event.Out_of_memory _ ->
+  | Event.Invariant_checked _ | Event.Out_of_memory _ | Event.Page_in _
+  | Event.Page_evicted _ | Event.Writeback_started _ | Event.Writeback_done _ ->
       ()
 
 let attach t hub = Hub.attach hub ~name:"timeseries" (fun ~ts ev -> record t ~ts ev)

@@ -41,6 +41,23 @@ type robustness = {
   first_violations : string list;
 }
 
+type paging = {
+  page_ins : int;
+  evictions : int;
+  clean_evictions : int;
+  dirty_evictions : int;
+  writebacks_started : int;
+  writebacks_completed : int;
+  writebacks_canceled : int;
+  sync_writebacks : int;
+  redirtied : int;
+  disk_read_ns : float;
+  disk_write_ns : float;
+  resident_clean : int;
+  resident_dirty : int;
+  in_writeback : int;
+}
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -77,6 +94,10 @@ type t = {
   robustness : robustness option;
       (** present only on faulted / paranoid runs, keeping clean reports
           byte-identical to earlier releases *)
+  paging : paging option;
+      (** present only when the run actually paged (page-ins, evictions or
+          writebacks happened); like [robustness], its absence keeps
+          pressure-free reports byte-identical *)
   profile : Numa_obs.Profile.snapshot option;
       (** present only when the run was profiled; like [robustness], its
           absence keeps unprofiled reports byte-identical *)
@@ -142,6 +163,19 @@ let pp ppf t =
       Format.fprintf ppf "invariants: %d checks, %d violations@," r.invariant_checks
         r.invariant_violations;
       List.iter (fun v -> Format.fprintf ppf "  VIOLATION: %s@," v) r.first_violations);
+  (match t.paging with
+  | None -> ()
+  | Some p ->
+      Format.fprintf ppf "paging: %d page-ins, %d evictions (%d clean, %d dirty)@,"
+        p.page_ins p.evictions p.clean_evictions p.dirty_evictions;
+      Format.fprintf ppf
+        "writeback: %d started, %d completed, %d canceled, %d sync, %d redirtied@,"
+        p.writebacks_started p.writebacks_completed p.writebacks_canceled
+        p.sync_writebacks p.redirtied;
+      Format.fprintf ppf
+        "disk: read %.3f s, write %.3f s; resident %d clean, %d dirty, %d in flight@,"
+        (p.disk_read_ns /. 1e9) (p.disk_write_ns /. 1e9) p.resident_clean
+        p.resident_dirty p.in_writeback);
   (match t.profile with
   | None -> ()
   | Some s ->
@@ -239,6 +273,30 @@ let to_json t =
     (match t.profile with
     | None -> []
     | Some s -> [ ("profile", Numa_obs.Profile.snapshot_to_json s) ])
+    @
+    (match t.paging with
+    | None -> []
+    | Some p ->
+        [
+          ( "paging",
+            Json.Obj
+              [
+                ("page_ins", Json.Int p.page_ins);
+                ("evictions", Json.Int p.evictions);
+                ("clean_evictions", Json.Int p.clean_evictions);
+                ("dirty_evictions", Json.Int p.dirty_evictions);
+                ("writebacks_started", Json.Int p.writebacks_started);
+                ("writebacks_completed", Json.Int p.writebacks_completed);
+                ("writebacks_canceled", Json.Int p.writebacks_canceled);
+                ("sync_writebacks", Json.Int p.sync_writebacks);
+                ("redirtied", Json.Int p.redirtied);
+                ("disk_read_ns", Json.Float p.disk_read_ns);
+                ("disk_write_ns", Json.Float p.disk_write_ns);
+                ("resident_clean", Json.Int p.resident_clean);
+                ("resident_dirty", Json.Int p.resident_dirty);
+                ("in_writeback", Json.Int p.in_writeback);
+              ] );
+        ])
     @
     match t.robustness with
     | None -> []

@@ -35,6 +35,25 @@ type robustness = {
   first_violations : string list;  (** the first check's violations, verbatim *)
 }
 
+type paging = {
+  page_ins : int;  (** faults served by a modeled disk read *)
+  evictions : int;  (** pages the pageout daemon pushed out *)
+  clean_evictions : int;  (** evictions that skipped the disk write *)
+  dirty_evictions : int;  (** evictions that paid a synchronous writeback *)
+  writebacks_started : int;  (** async writebacks launched by the daemon *)
+  writebacks_completed : int;
+  writebacks_canceled : int;  (** in-flight writebacks whose page was freed *)
+  sync_writebacks : int;  (** eviction-path writebacks (the foreground cost) *)
+  redirtied : int;  (** stores that hit a page mid-writeback *)
+  disk_read_ns : float;  (** total modeled page-in latency *)
+  disk_write_ns : float;  (** total modeled writeback latency *)
+  resident_clean : int;  (** end-of-run paging-state census *)
+  resident_dirty : int;
+  in_writeback : int;
+}
+(** The paging tier's activity summary (per-frame state machine +
+    writeback daemon). *)
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -73,6 +92,9 @@ type t = {
   robustness : robustness option;
       (** fault-drill summary; [None] on clean runs, which therefore render
           (text and JSON) byte-identically to earlier releases *)
+  paging : paging option;
+      (** [None] unless the run actually paged (page-ins, evictions or
+          writebacks), with the same byte-identity guarantee *)
   profile : Numa_obs.Profile.snapshot option;
       (** simulated-time cost attribution; [None] unless the run was
           profiled, preserving the same byte-identity guarantee *)

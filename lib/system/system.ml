@@ -237,7 +237,7 @@ let apply_migrate_hints t =
 let run_invariant_check t =
   let pol = Numa_core.Pmap_manager.policy t.pmap_mgr in
   let report =
-    Numa_core.Invariant.check ~pinned:pol.Policy.is_pinned
+    Numa_core.Invariant.check ~pinned:pol.Policy.is_pinned ~pool:t.pool
       ~manager:(Numa_core.Pmap_manager.manager t.pmap_mgr)
       ~mmu:t.mmu ~frames:t.frames ~config:t.config ()
   in
@@ -345,6 +345,10 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
     | Some p -> Numa_obs.Profile.set_context p Numa_obs.Profile.Daemon
     | None -> ());
     ignore (Numa_core.Pmap_manager.reconsider_scan t.pmap_mgr);
+    (* Writeback daemon: retire page-ins/writebacks whose modeled disk
+       latency has elapsed, launder dirty pages when the pool is low, and
+       top the free list back up to the high-water mark. *)
+    ignore (Numa_vm.Pageout.daemon_tick t.pageout ~now:(Engine.now t.engine) ~by_cpu:cpu);
     if t.apply_migrate_hints then apply_migrate_hints t;
     if t.paranoid then ignore (run_invariant_check t);
     (match t.profile with
@@ -439,7 +443,7 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
     | Access.Store -> (
         match entry.Mmu.phys with
         | Mmu.Frame f ->
-            Frame_table.write_local f value;
+            Frame_table.write_local t.frames f value;
             value
         | Mmu.Global_frame l ->
             Frame_table.write_global t.frames ~lpage:l value;
@@ -489,7 +493,8 @@ let build_policy = policy_of_spec
 
 let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinity)
     ?(chunk_refs = 2048) ?(spin_poll_ns = 10_000.) ?(unix_master = false)
-    ?(faults = Numa_faults.Plan.empty) ?(paranoid = false) ?(profiling = false) ~config () =
+    ?(faults = Numa_faults.Plan.empty) ?(paranoid = false) ?(profiling = false)
+    ?(victim = Numa_vm.Pageout.Clock) ~config () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("System.create: bad machine config: " ^ msg));
@@ -533,6 +538,8 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
   let pageout =
     Numa_vm.Pageout.create ~pool ~ops ~low_water:2
       ~high_water:(max 8 (config.Config.global_pages / 64))
+      ~victim
+      ~paging:(Numa_core.Pmap_manager.paging pmap_mgr)
       ()
   in
   let fault_ctx =
@@ -646,8 +653,8 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
      least one eviction per retry. *)
   Numa_core.Numa_manager.set_reclaim
     (Numa_core.Pmap_manager.manager pmap_mgr)
-    (fun ~avoid ->
-      Numa_vm.Pageout.ensure_free ~avoid pageout
+    (fun ~avoid ~by_cpu ->
+      Numa_vm.Pageout.ensure_free ~avoid ~by_cpu pageout
         ~needed:(Numa_vm.Lpage_pool.n_free pool + 1));
   (match t.injector with
   | None -> ()
@@ -846,6 +853,28 @@ let run t =
              first_violations = t.first_violations;
            }
        else None);
+    paging =
+      (let pg = Numa_core.Pmap_manager.paging t.pmap_mgr in
+       if not (Paging.active pg) then None
+       else
+         let s = Paging.stats pg in
+         Some
+           {
+             Report.page_ins = s.Paging.page_ins;
+             evictions = Numa_vm.Pageout.evictions t.pageout;
+             clean_evictions = s.Paging.clean_evictions;
+             dirty_evictions = s.Paging.dirty_evictions;
+             writebacks_started = s.Paging.writebacks_started;
+             writebacks_completed = s.Paging.writebacks_completed;
+             writebacks_canceled = s.Paging.writebacks_canceled;
+             sync_writebacks = s.Paging.sync_writebacks;
+             redirtied = s.Paging.redirtied;
+             disk_read_ns = s.Paging.disk_read_ns;
+             disk_write_ns = s.Paging.disk_write_ns;
+             resident_clean = s.Paging.n_clean;
+             resident_dirty = s.Paging.n_dirty;
+             in_writeback = s.Paging.n_writeback;
+           });
     profile = profile_snapshot;
   }
 

@@ -99,6 +99,7 @@ val create :
   ?faults:Numa_faults.Plan.t ->
   ?paranoid:bool ->
   ?profiling:bool ->
+  ?victim:Numa_vm.Pageout.victim ->
   config:Config.t ->
   unit ->
   t
@@ -121,7 +122,12 @@ val create :
     engine and the cost sink: {!run}'s report then carries a [profile]
     section, and {!profile} exposes the live profiler. Profile data is
     purely virtual-time, hence deterministic; leaving it off keeps the
-    report byte-identical to unprofiled releases. *)
+    report byte-identical to unprofiled releases.
+
+    [victim] (default [Clock]) selects the pageout daemon's eviction
+    policy ({!Numa_vm.Pageout.victim}). The daemon's async writeback pass
+    runs from the reconsideration tick; a run that never pages renders
+    the same report bytes regardless of [victim]. *)
 
 val obs : t -> Numa_obs.Hub.t
 (** The hub shared by all of this system's layers. *)

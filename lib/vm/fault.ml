@@ -26,7 +26,22 @@ let handle ctx (task : Task.t) ~cpu ~vpage ~access =
       else
         let offset = Vm_map.obj_offset_of_vpage region ~vpage in
         let materialise () =
-          Vm_object.lpage_for region.obj ~pool:ctx.pool ~ops:ctx.ops ~offset
+          (* A Paged_out slot costs a real page-in: the faulting CPU waits
+             out the modeled disk read (seek + DMA into the page's home
+             memory). Checked before lpage_for because materialising
+             flips the slot to Resident. *)
+          let paged_out =
+            match Vm_object.slot region.obj ~offset with
+            | Vm_object.Paged_out _ -> true
+            | Vm_object.Empty | Vm_object.Resident _ -> false
+          in
+          match Vm_object.lpage_for region.obj ~pool:ctx.pool ~ops:ctx.ops ~offset with
+          | Ok lpage as ok ->
+              if paged_out then
+                Cost_sink.charge ctx.sink ~cpu ~cat:Numa_obs.Profile.Disk_read ~lpage
+                  (Cost.disk_read_ns ctx.config ~topo:(Config.topology ctx.config) ~lpage);
+              ok
+          | Error _ as e -> e
         in
         let materialise_with_reclaim () =
           match materialise () with
@@ -37,7 +52,7 @@ let handle ctx (task : Task.t) ~cpu ~vpage ~access =
                  through the pmap layer as it happens; approximate the
                  daemon's own latency with one pmap action. *)
               match ctx.pageout with
-              | Some daemon when Pageout.ensure_free daemon ~needed:1 ->
+              | Some daemon when Pageout.ensure_free ~by_cpu:cpu daemon ~needed:1 ->
                   Cost_sink.charge ctx.sink ~cpu ~cat:Numa_obs.Profile.Pmap_action
                     (Cost.pmap_action_ns ctx.config);
                   materialise ()

@@ -155,7 +155,16 @@ let test_squeeze_pool () =
     (Frame_table.alloc_local t ~node:0 <> None);
   Alcotest.check_raises "frac out of range"
     (Invalid_argument "Frame_table.squeeze: frac not in [0,1]") (fun () ->
-      ignore (Frame_table.squeeze t ~node:0 ~frac:1.5))
+      ignore (Frame_table.squeeze t ~node:0 ~frac:1.5));
+  (* Rounding is half-up, not truncation: 0.9 of 4 frames is 4, not 3 —
+     and frac 1.0 must restore the exact capacity, where int_of_float of
+     a product like 4.0 *. 0.9999999 used to lose a frame. *)
+  Alcotest.(check int) "0.9 rounds up to 4" 4 (Frame_table.squeeze t ~node:0 ~frac:0.9);
+  Alcotest.(check int) "0.6 rounds to 2" 2 (Frame_table.squeeze t ~node:0 ~frac:0.6);
+  Alcotest.(check int) "0.85 rounds to 3" 3 (Frame_table.squeeze t ~node:0 ~frac:0.85);
+  Alcotest.(check int) "frac 1.0 restores full capacity" 4
+    (Frame_table.squeeze t ~node:0 ~frac:1.0);
+  Alcotest.(check int) "capacity back to 4" 4 (Frame_table.local_capacity t ~node:0)
 
 let test_bus_degrade () =
   (* Queueing delay: the second burst at the same instant waits for the

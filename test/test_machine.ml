@@ -144,7 +144,7 @@ let test_frame_content_transfer () =
   let f = Option.get (Frame_table.alloc_local t ~node:0) in
   Frame_table.copy_global_to_local t ~lpage:3 f;
   Alcotest.(check int) "copied in" 77 (Frame_table.read_local f);
-  Frame_table.write_local f 88;
+  Frame_table.write_local t f 88;
   Frame_table.copy_local_to_global t f ~lpage:3;
   Alcotest.(check int) "synced out" 88 (Frame_table.read_global t ~lpage:3);
   Frame_table.zero_global t ~lpage:3;
@@ -153,7 +153,7 @@ let test_frame_content_transfer () =
 let test_frame_alloc_resets_cell () =
   let t = Frame_table.create (small_config ()) in
   let f = Option.get (Frame_table.alloc_local t ~node:0) in
-  Frame_table.write_local f 42;
+  Frame_table.write_local t f 42;
   Frame_table.free_local t f;
   let f2 = Option.get (Frame_table.alloc_local t ~node:0) in
   Alcotest.(check int) "fresh frame zeroed" 0 (Frame_table.read_local f2)
