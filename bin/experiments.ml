@@ -10,6 +10,7 @@ module Ablations = Numa_metrics.Ablations
 module Tournament = Numa_metrics.Tournament
 module Chaos = Numa_metrics.Chaos
 module Pressure = Numa_metrics.Pressure
+module Pt_sweep = Numa_metrics.Pt_sweep
 module System = Numa_system.System
 
 let scale_arg =
@@ -45,9 +46,9 @@ let json_out_arg =
     & opt (some string) None
     & info [ "json-out" ] ~docv:"FILE"
         ~doc:
-          "Where the policy tournament / chaos sweep / pressure sweep writes its \
-           JSON artifact (defaults: policy-tournament.json, chaos-sweep.json, \
-           pressure-sweep.json).")
+          "Where the policy tournament / chaos sweep / pressure sweep / pt sweep \
+           writes its JSON artifact (defaults: policy-tournament.json, \
+           chaos-sweep.json, pressure-sweep.json, pt-sweep.json).")
 
 let apps_arg =
   Arg.(
@@ -56,7 +57,7 @@ let apps_arg =
     & info [ "apps" ] ~docv:"A,B,..."
         ~doc:
           "Comma-separated application subset for the policy tournament and the \
-           chaos / pressure sweeps (default: the Table 4 set).")
+           chaos / pressure / pt sweeps (default: the Table 4 set).")
 
 let policies_arg =
   Arg.(
@@ -150,6 +151,20 @@ let pressure_sweep ~spec ~jobs ~topology ~json_out ~apps =
   if violations > 0 then
     failwith
       (Printf.sprintf "pressure sweep found %d protocol invariant violations" violations)
+
+let pt_sweep ~spec ~jobs ~json_out ~apps =
+  (* The sweep owns its topology axis (each variant names one), so the
+     --topology flag does not apply here. *)
+  let apps = Option.map parse_apps apps in
+  let rows = Pt_sweep.run ~jobs ?apps ~spec () in
+  print_endline (Pt_sweep.render rows);
+  let json_out = Option.value json_out ~default:"pt-sweep.json" in
+  Numa_obs.Json.save (Pt_sweep.to_json rows) json_out;
+  Printf.printf "pt-sweep JSON written to %s\n" json_out;
+  let violations = Pt_sweep.total_violations rows in
+  if violations > 0 then
+    failwith
+      (Printf.sprintf "pt sweep found %d protocol invariant violations" violations)
 
 let table1 () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load)
@@ -290,6 +305,7 @@ let run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
   | "policy-tournament" -> policy_tournament ~spec ~jobs ~topology ~json_out ~apps ~policies
   | "chaos-sweep" -> chaos_sweep ~spec ~jobs ~topology ~json_out ~apps
   | "pressure-sweep" -> pressure_sweep ~spec ~jobs ~topology ~json_out ~apps
+  | "pt-sweep" -> pt_sweep ~spec ~jobs ~json_out ~apps
   | other -> failwith ("unknown section: " ^ other)
 
 let sections =
@@ -297,7 +313,7 @@ let sections =
     "table1"; "table2"; "figure1"; "figure2"; "table3"; "table4"; "threshold-sweep";
     "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
     "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "topology-sweep";
-    "reconsider"; "policy-tournament"; "chaos-sweep"; "pressure-sweep";
+    "reconsider"; "policy-tournament"; "chaos-sweep"; "pressure-sweep"; "pt-sweep";
   ]
 
 let all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =

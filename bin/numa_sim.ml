@@ -84,6 +84,28 @@ let config_of_topology ~topology (c : Numa_machine.Config.t) =
   | Some c' -> c'
   | None -> c
 
+let pt_mode_conv =
+  let parse s =
+    match Numa_machine.Pt.mode_of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Format.pp_print_string ppf (Numa_machine.Pt.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let pt_mode_arg =
+  Arg.(
+    value
+    & opt pt_mode_conv Numa_machine.Pt.Off
+    & info [ "pt-mode" ] ~docv:"MODE"
+        ~doc:
+          "Page-table materialisation: none (translation is free, the default), \
+           shared (one master table per address space, backed by real frames; \
+           every software-TLB miss pays a charged multi-level walk), replicated \
+           (a per-node copy of each table, eagerly on every online node, kept \
+           coherent by PTE shootdowns) or replicated:N (replicas built on demand \
+           by the first local walk, at most N per address space).")
+
 let find_app name =
   match Numa_apps.Registry.find name with
   | Some app -> Ok app
@@ -93,8 +115,9 @@ let find_app name =
            (String.concat ", " (Numa_apps.Registry.names ())))
 
 let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = false)
-    ?(profiling = false) ?(victim = Numa_vm.Pageout.Clock) ~policy ~cpus ~threads ~scale
-    ~seed ~scheduler ~unix_master () =
+    ?(profiling = false) ?(victim = Numa_vm.Pageout.Clock)
+    ?(pt_mode = Numa_machine.Pt.Off) ~policy ~cpus ~threads ~scale ~seed ~scheduler
+    ~unix_master () =
   {
     Runner.policy;
     n_cpus = cpus;
@@ -108,6 +131,7 @@ let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = 
     paranoid;
     profiling;
     victim;
+    pt_mode;
   }
 
 let faults_conv =
@@ -128,6 +152,7 @@ let faults_arg =
           "Deterministic fault schedule, comma-separated: \
            node-offline:NODE\\@MS, node-online:NODE\\@MS, \
            link-degrade:SRC:DST:FACTOR\\@MS..MS, frame-squeeze:NODE:FRAC\\@MS, \
+           stale-pte:LPAGE\\@MS (needs --pt-mode replicated), \
            spurious-shootdown:RATE (times in milliseconds of simulated time). \
            The same plan and workload seed reproduce the run byte for byte.")
 
@@ -220,16 +245,16 @@ let profile_out_arg =
 
 let run_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      faults paranoid victim pages trace_out metrics_out report_json explain_page
-      profile_out =
+      faults paranoid victim pt_mode pages trace_out metrics_out report_json
+      explain_page profile_out =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app ->
         let spec =
-          spec_of ~topology ~faults ~paranoid ~victim ~policy ~cpus ~threads ~scale ~seed
-            ~scheduler ~unix_master ()
+          spec_of ~topology ~faults ~paranoid ~victim ~pt_mode ~policy ~cpus ~threads
+            ~scale ~seed ~scheduler ~unix_master ()
         in
         let spec =
           match pages with
@@ -272,7 +297,8 @@ let run_cmd =
           System.create ~obs ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
             ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master
             ~faults:spec.Runner.faults ~paranoid:spec.Runner.paranoid
-            ~profiling:(profile_out <> None) ~victim:spec.Runner.victim ~config ()
+            ~profiling:(profile_out <> None) ~victim:spec.Runner.victim
+            ~pt_mode:spec.Runner.pt_mode ~config ()
         with
         | exception Invalid_argument msg ->
             (* A fault plan can be well-formed yet name a node the chosen
@@ -346,8 +372,8 @@ let run_cmd =
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
       $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ paranoid_arg
-      $ victim_arg $ pages_arg $ trace_out_arg $ metrics_out_arg $ report_json_arg
-      $ explain_page_arg $ profile_out_arg)
+      $ victim_arg $ pt_mode_arg $ pages_arg $ trace_out_arg $ metrics_out_arg
+      $ report_json_arg $ explain_page_arg $ profile_out_arg)
 
 let profile_cmd =
   let top_arg =
@@ -371,21 +397,22 @@ let profile_cmd =
       & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the profile snapshot as JSON.")
   in
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      faults top folded_out json_out =
+      faults pt_mode top folded_out json_out =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app -> (
         let spec =
-          spec_of ~topology ~faults ~profiling:true ~policy ~cpus ~threads ~scale ~seed
-            ~scheduler ~unix_master ()
+          spec_of ~topology ~faults ~profiling:true ~pt_mode ~policy ~cpus ~threads
+            ~scale ~seed ~scheduler ~unix_master ()
         in
         let config = Runner.config_for spec ~n_cpus:spec.Runner.n_cpus in
         match
           System.create ~policy:spec.Runner.policy ~scheduler:spec.Runner.scheduler
             ~chunk_refs:2048 ~unix_master:spec.Runner.unix_master
-            ~faults:spec.Runner.faults ~profiling:true ~config ()
+            ~faults:spec.Runner.faults ~profiling:true ~pt_mode:spec.Runner.pt_mode
+            ~config ()
         with
         | exception Invalid_argument msg ->
             Printf.eprintf "numa_sim: %s\n" msg;
@@ -437,18 +464,20 @@ let profile_cmd =
           category totals are guaranteed to sum to the CPUs' elapsed time.")
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
-      $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ top_arg
-      $ folded_out_arg $ json_out_arg)
+      $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ pt_mode_arg
+      $ top_arg $ folded_out_arg $ json_out_arg)
 
 let measure_cmd =
-  let action app_name policy cpus threads scale seed scheduler unix_master topology =
+  let action app_name policy cpus threads scale seed scheduler unix_master topology
+      pt_mode =
     match find_app app_name with
     | Error msg ->
         prerr_endline msg;
         1
     | Ok app ->
         let spec =
-          spec_of ~topology ~policy ~cpus ~threads ~scale ~seed ~scheduler ~unix_master ()
+          spec_of ~topology ~pt_mode ~policy ~cpus ~threads ~scale ~seed ~scheduler
+            ~unix_master ()
         in
         let m = Runner.measure app spec in
         let t = m.Runner.times in
@@ -467,7 +496,7 @@ let measure_cmd =
        ~doc:"Run the three-measurement protocol (Tnuma/Tglobal/Tlocal) and the model.")
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
-      $ scheduler_arg $ unix_master_arg $ topology_arg)
+      $ scheduler_arg $ unix_master_arg $ topology_arg $ pt_mode_arg)
 
 let trace_cmd =
   let path_arg =

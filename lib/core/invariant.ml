@@ -5,6 +5,7 @@ type report = {
   mappings_checked : int;
   replicas_checked : int;
   paging_checked : int;
+  pt_checked : int;
   violations : string list;
 }
 
@@ -13,6 +14,7 @@ let check ?pinned ?pool ~manager ~mmu ~frames ~(config : Config.t) () =
   let mappings_checked = ref 0 in
   let replicas_checked = ref 0 in
   let paging_checked = ref 0 in
+  let pt_checked = ref 0 in
   let paging = Frame_table.paging frames in
   let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   for lpage = 0 to config.Config.global_pages - 1 do
@@ -160,11 +162,126 @@ let check ?pinned ?pool ~manager ~mmu ~frames ~(config : Config.t) () =
         bad "%d entries in Writeback but %d on the in-flight list" n_wb
           (List.length inflight)
   | None -> ());
+  (* The page-table relation, when tables are materialised: the master
+     table is an exact image of the MMU's forward map, every replica
+     table agrees with the master (no shootdown is in flight between
+     requests, so a disagreement is a stale replica PTE — the numaPTE
+     failure mode), and no table page or replica PTE reaches a freed
+     frame or a node that no longer exists. *)
+  (match Mmu.pt mmu with
+  | None -> ()
+  | Some pt ->
+      let pte_descr (p : Pt.pte) =
+        match p.Pt.pte_frame with
+        | Some f -> Printf.sprintf "lpage %d via frame %d@%d" p.Pt.pte_lpage f.Frame_table.id f.Frame_table.node
+        | None -> Printf.sprintf "lpage %d via the global frame" p.Pt.pte_lpage
+      in
+      let same_pte (a : Pt.pte) (b : Pt.pte) =
+        a.Pt.pte_lpage = b.Pt.pte_lpage
+        && a.Pt.pte_prot = b.Pt.pte_prot
+        && (match (a.Pt.pte_frame, b.Pt.pte_frame) with
+           | None, None -> true
+           | Some fa, Some fb ->
+               fa.Frame_table.node = fb.Frame_table.node
+               && fa.Frame_table.id = fb.Frame_table.id
+           | None, Some _ | Some _, None -> false)
+      in
+      let check_target ~what ~pmap ~cpu ~vpage (p : Pt.pte) =
+        match p.Pt.pte_frame with
+        | None -> ()
+        | Some f ->
+            if Frame_table.frame_is_free frames f then
+              bad "pmap %d %s PTE (cpu %d, vpage %d) maps freed frame %d on node %d"
+                pmap what cpu vpage f.Frame_table.id f.Frame_table.node;
+            if not (Frame_table.node_online frames ~node:f.Frame_table.node) then
+              bad "pmap %d %s PTE (cpu %d, vpage %d) maps frame %d on offline node %d"
+                pmap what cpu vpage f.Frame_table.id f.Frame_table.node
+      in
+      List.iter
+        (fun pmap ->
+          (* Master table vs the MMU: same mapping set, same targets. *)
+          let entries = Mmu.entries_of_pmap mmu ~pmap in
+          List.iter
+            (fun (e : Mmu.entry) ->
+              incr pt_checked;
+              match Pt.master_pte pt ~pmap ~cpu:e.cpu ~vpage:e.vpage with
+              | None ->
+                  bad "pmap %d: mapping (cpu %d, vpage %d) has no master PTE" pmap
+                    e.cpu e.vpage
+              | Some p ->
+                  let expect =
+                    {
+                      Pt.pte_lpage = e.lpage;
+                      pte_frame =
+                        (match e.phys with
+                        | Mmu.Frame f -> Some f
+                        | Mmu.Global_frame _ -> None);
+                      pte_prot = e.prot;
+                    }
+                  in
+                  if not (same_pte p expect) then
+                    bad "pmap %d: master PTE (cpu %d, vpage %d) holds %s but the MMU \
+                         maps %s"
+                      pmap e.cpu e.vpage (pte_descr p) (pte_descr expect))
+            entries;
+          let n_master = List.length (Pt.master_ptes pt ~pmap) in
+          if n_master <> List.length entries then
+            bad "pmap %d: master table holds %d PTEs but the MMU holds %d mappings" pmap
+              n_master (List.length entries);
+          (* Replica tables vs the master. *)
+          List.iter
+            (fun node ->
+              if not (Frame_table.node_online frames ~node) then
+                bad "pmap %d: page-table replica survives on offline node %d" pmap node;
+              List.iter
+                (fun ((cpu, vpage), (p : Pt.pte)) ->
+                  incr pt_checked;
+                  check_target ~what:(Printf.sprintf "replica(node %d)" node) ~pmap ~cpu
+                    ~vpage p;
+                  match Pt.master_pte pt ~pmap ~cpu ~vpage with
+                  | None ->
+                      bad "pmap %d: STALE replica PTE on node %d (cpu %d, vpage %d) %s \
+                           — master holds no entry"
+                        pmap node cpu vpage (pte_descr p)
+                  | Some m ->
+                      if not (same_pte p m) then
+                        bad "pmap %d: STALE replica PTE on node %d (cpu %d, vpage %d) \
+                             holds %s but the master holds %s"
+                          pmap node cpu vpage (pte_descr p) (pte_descr m))
+                (Pt.replica_ptes pt ~pmap ~node);
+              let n_replica = List.length (Pt.replica_ptes pt ~pmap ~node) in
+              if n_replica <> n_master then
+                bad "pmap %d: replica table on node %d holds %d PTEs but the master \
+                     holds %d"
+                  pmap node n_replica n_master)
+            (Pt.replica_nodes pt ~pmap))
+        (Pt.pmaps pt);
+      (* Table pages themselves: allocated frames on live nodes, and the
+         per-pool page-table census agrees with the tables' own count. *)
+      let topo = Config.topology config in
+      let counted = Array.make (Topo.cpu_nodes topo) 0 in
+      List.iter
+        (fun (node, (f : Frame_table.local_frame)) ->
+          counted.(node) <- counted.(node) + 1;
+          if Frame_table.frame_is_free frames f then
+            bad "page-table page in freed frame %d on node %d" f.Frame_table.id node;
+          if not (Frame_table.node_online frames ~node) then
+            bad "page-table page survives in frame %d on offline node %d"
+              f.Frame_table.id node)
+        (Pt.table_frames pt);
+      Array.iteri
+        (fun node n ->
+          let census = Frame_table.pt_in_use frames ~node in
+          if census <> n then
+            bad "node %d pool counts %d page-table frames but the tables hold %d" node
+              census n)
+        counted);
   {
     pages_checked = config.Config.global_pages;
     mappings_checked = !mappings_checked;
     replicas_checked = !replicas_checked;
     paging_checked = !paging_checked;
+    pt_checked = !pt_checked;
     violations = List.rev !violations;
   }
 

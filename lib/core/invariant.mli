@@ -27,6 +27,11 @@ type report = {
   paging_checked : int;
       (** logical pages whose paging entry was checked against the
           per-frame relation; 0 without a [pool] or paging machine *)
+  pt_checked : int;
+      (** PTEs checked against the page-table relation (master table =
+          exact image of the MMU, replicas = exact image of the master,
+          nothing reaching freed frames or offline nodes); 0 when no
+          {!Numa_machine.Pt.t} is attached to the MMU *)
   violations : string list;  (** empty = coherent; in page order *)
 }
 

@@ -17,7 +17,7 @@ type t = {
   mutable next_tag : int;
 }
 
-let create ?obs ~config ~policy () =
+let create ?obs ?(pt_mode = Pt.Off) ~config ~policy () =
   let obs = match obs with Some h -> h | None -> Numa_obs.Hub.create () in
   let frames = Frame_table.create config in
   let mmu = Mmu.create ~obs config in
@@ -26,6 +26,12 @@ let create ?obs ~config ~policy () =
   let manager = Numa_manager.create ~obs ~config ~frames ~mmu ~sink ~stats () in
   let paging = Paging.create ~sink ~obs ~config () in
   Frame_table.attach_paging frames paging;
+  (* Materialised page tables: only attached when asked for, so the
+     default pmap layer keeps today's free-walk translation exactly. *)
+  (match pt_mode with
+  | Pt.Off -> ()
+  | Pt.Shared | Pt.Replicated _ ->
+      Mmu.attach_pt mmu (Pt.create ~obs ~config ~frames ~sink ~mode:pt_mode ()));
   {
     config;
     frames;

@@ -16,11 +16,21 @@ open Numa_machine
 
 type t
 
-val create : ?obs:Numa_obs.Hub.t -> config:Config.t -> policy:Policy.t -> unit -> t
+val create :
+  ?obs:Numa_obs.Hub.t ->
+  ?pt_mode:Pt.mode ->
+  config:Config.t ->
+  policy:Policy.t ->
+  unit ->
+  t
 (** Builds a complete pmap layer with fresh machine state (frame table and
     MMU). [obs] (default: a fresh hub with no sinks) receives fault,
     policy-decision, pin/unpin and protocol lifecycle events; emission is
-    guarded by sink presence, so an unobserved layer pays one branch. *)
+    guarded by sink presence, so an unobserved layer pays one branch.
+    [pt_mode] (default {!Numa_machine.Pt.Off}) materialises the page
+    tables: table pages take frames from the per-node pools, TLB misses
+    pay charged walks, and PTE changes shoot down every replica table —
+    [Off] keeps translation free exactly as before. *)
 
 val ops : t -> Numa_vm.Pmap_intf.ops
 (** The interface handed to the machine-independent VM system. *)

@@ -5,6 +5,7 @@ type action =
   | End_link_degrade of { src : int; dst : int }
   | Squeeze_frames of { node : int; frac : float }
   | Spurious_shootdown of { lpage : int }
+  | Corrupt_replica_pte of { lpage : int }
 
 type fired = { at_ns : float; action : action }
 
@@ -27,6 +28,8 @@ let expand (tv : Plan.timed) =
       [ { at_ns = tv.Plan.at_ns; action = Set_node_online node } ]
   | Plan.Frame_squeeze { node; frac } ->
       [ { at_ns = tv.Plan.at_ns; action = Squeeze_frames { node; frac } } ]
+  | Plan.Stale_pte { lpage } ->
+      [ { at_ns = tv.Plan.at_ns; action = Corrupt_replica_pte { lpage } } ]
   | Plan.Link_degrade { src; dst; factor; until_ns } ->
       [
         { at_ns = tv.Plan.at_ns; action = Begin_link_degrade { src; dst; factor } };

@@ -15,6 +15,8 @@ type action =
   | End_link_degrade of { src : int; dst : int }
   | Squeeze_frames of { node : int; frac : float }
   | Spurious_shootdown of { lpage : int }
+  | Corrupt_replica_pte of { lpage : int }
+      (** plant a stale replica page-table PTE for [lpage] *)
 
 type fired = { at_ns : float; action : action }
 

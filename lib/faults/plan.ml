@@ -3,6 +3,7 @@ type event =
   | Node_online of { node : int }
   | Link_degrade of { src : int; dst : int; factor : float; until_ns : float }
   | Frame_squeeze of { node : int; frac : float }
+  | Stale_pte of { lpage : int }
 
 type timed = { at_ns : float; event : event }
 
@@ -115,14 +116,22 @@ let parse_entry entry =
         | _ -> err "expected frame-squeeze:NODE:FRAC@MS (got %S)" entry
       in
       Ok (`Timed { at_ns; event = Frame_squeeze { node; frac } })
+  | "stale-pte" :: _ ->
+      let* body, at_ns = parse_at entry in
+      let* lpage =
+        match String.split_on_char ':' body with
+        | [ _; l ] -> parse_int ~what:"lpage" l
+        | _ -> err "expected stale-pte:LPAGE@MS (got %S)" entry
+      in
+      Ok (`Timed { at_ns; event = Stale_pte { lpage } })
   | [ "spurious-shootdown"; r ] ->
       let* rate = parse_float ~what:"rate (events/ms)" r in
       Ok (`Rate rate)
   | _ ->
       err
         "unknown fault %S; use node-offline:NODE@MS, node-online:NODE@MS, \
-         link-degrade:SRC:DST:FACTOR@MS..MS, frame-squeeze:NODE:FRAC@MS or \
-         spurious-shootdown:RATE"
+         link-degrade:SRC:DST:FACTOR@MS..MS, frame-squeeze:NODE:FRAC@MS, \
+         stale-pte:LPAGE@MS or spurious-shootdown:RATE"
         entry
 
 let of_string s =
@@ -155,13 +164,14 @@ let event_to_string = function
   | Link_degrade { src; dst; factor; _ } ->
       Printf.sprintf "link-degrade:%d:%d:%g" src dst factor
   | Frame_squeeze { node; frac } -> Printf.sprintf "frame-squeeze:%d:%g" node frac
+  | Stale_pte { lpage } -> Printf.sprintf "stale-pte:%d" lpage
 
 let timed_to_string { at_ns; event } =
   match event with
   | Link_degrade { until_ns; _ } ->
       Printf.sprintf "%s@%g..%g" (event_to_string event) (at_ns /. 1e6)
         (until_ns /. 1e6)
-  | Node_offline _ | Node_online _ | Frame_squeeze _ ->
+  | Node_offline _ | Node_online _ | Frame_squeeze _ | Stale_pte _ ->
       Printf.sprintf "%s@%g" (event_to_string event) (at_ns /. 1e6)
 
 let to_string t =
@@ -191,6 +201,9 @@ let validate t ~cpu_nodes ~n_nodes =
           | Link_degrade { src; dst; _ } ->
               let* () = check ~what:"link src node" ~bound:n_nodes src in
               check ~what:"link dst node" ~bound:n_nodes dst
+          (* Page range depends on the workload, not the machine; an
+             out-of-range lpage just finds no replica PTE to corrupt. *)
+          | Stale_pte _ -> Ok ()
         in
         go rest
   in

@@ -15,6 +15,9 @@
       link loses bandwidth by [FACTOR] (>= 1) over the window.
     - [frame-squeeze:NODE:FRAC@MS] — the node's frame pool shrinks to
       [FRAC] (in [0,1]) of its capacity.
+    - [stale-pte:LPAGE@MS] — one replica page-table PTE for logical page
+      [LPAGE] is silently corrupted (requires [--pt-mode replicated]; a
+      no-op otherwise). The next invariant audit must report it.
     - [spurious-shootdown:RATE] — [RATE] spurious mapping invalidations
       per millisecond of simulated time, on seeded pseudo-random pages.
 
@@ -28,6 +31,8 @@ type event =
   | Link_degrade of { src : int; dst : int; factor : float; until_ns : float }
       (** bandwidth divided by [factor] until [until_ns] *)
   | Frame_squeeze of { node : int; frac : float }
+  | Stale_pte of { lpage : int }
+      (** corrupt one replica page-table PTE mapping [lpage] *)
 
 type timed = { at_ns : float; event : event }
 

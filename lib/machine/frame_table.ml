@@ -7,6 +7,7 @@ type node_pool = {
   free_set : (int, unit) Hashtbl.t;  (** ids currently free, to detect double frees *)
   mutable online : bool;  (** offline pools refuse allocation *)
   mutable limit : int;  (** effective capacity; squeezed below [capacity] by faults *)
+  mutable pt_in_use : int;  (** frames of [in_use] backing page-table pages *)
 }
 
 type t = {
@@ -22,7 +23,15 @@ let create (config : Config.t) =
     let frames = List.init capacity (fun id -> { node; id; cell = 0; lpage = -1 }) in
     let free_set = Hashtbl.create 64 in
     List.iter (fun f -> Hashtbl.replace free_set f.id ()) frames;
-    { capacity; free = frames; in_use = 0; free_set; online = true; limit = capacity }
+    {
+      capacity;
+      free = frames;
+      in_use = 0;
+      free_set;
+      online = true;
+      limit = capacity;
+      pt_in_use = 0;
+    }
   in
   {
     globals = Array.make config.global_pages 0;
@@ -68,6 +77,30 @@ let free_local t frame =
   pool.free <- frame :: pool.free;
   pool.in_use <- pool.in_use - 1;
   frame.lpage <- -1
+
+(* Page-table pages draw from the same pools as data pages — that is the
+   point: table pages compete for local memory and are visible to
+   pressure. The pt counter only tracks the split for the census. *)
+let alloc_pt t ~node =
+  match alloc_local t ~node with
+  | None -> None
+  | Some frame ->
+      let pool = t.pools.(node) in
+      pool.pt_in_use <- pool.pt_in_use + 1;
+      Some frame
+
+let free_pt t frame =
+  let pool = t.pools.(frame.node) in
+  if pool.pt_in_use <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Frame_table.free_pt: frame %d on node %d was not allocated as a page-table \
+          page"
+         frame.id frame.node);
+  pool.pt_in_use <- pool.pt_in_use - 1;
+  free_local t frame
+
+let pt_in_use t ~node = t.pools.(node).pt_in_use
 
 let local_in_use t ~node = t.pools.(node).in_use
 

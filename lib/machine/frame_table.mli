@@ -56,6 +56,22 @@ val free_local : t -> local_frame -> unit
     node frees its frames). Raises [Invalid_argument] — naming the frame
     and node — on double free. *)
 
+val alloc_pt : t -> node:int -> local_frame option
+(** {!alloc_local}, but the frame will back a page-table page: it draws
+    from the same pool (table pages compete with data pages for local
+    memory, and a squeezed or offline pool refuses them identically) and
+    is additionally counted in {!pt_in_use} so the invariant sweep can
+    audit the split. *)
+
+val free_pt : t -> local_frame -> unit
+(** Return a page-table frame taken with {!alloc_pt}. Raises
+    [Invalid_argument] when the pool's page-table census is already zero
+    (the frame cannot have been a table page). *)
+
+val pt_in_use : t -> node:int -> int
+(** How many of the node's in-use frames currently back page-table
+    pages. *)
+
 val local_in_use : t -> node:int -> int
 
 val local_capacity : t -> node:int -> int

@@ -17,6 +17,7 @@ type t = {
   reverse : (int, (key, entry) Hashtbl.t) Hashtbl.t;  (** lpage -> its mappings *)
   tlbs : entry Tlb.t array;  (** per-CPU software translation caches *)
   obs : Numa_obs.Hub.t;
+  mutable pt : Pt.t option;  (** materialised page tables, when attached *)
 }
 
 let create ?obs (config : Config.t) =
@@ -26,7 +27,13 @@ let create ?obs (config : Config.t) =
     reverse = Hashtbl.create 256;
     tlbs = Array.init config.n_cpus (fun _ -> Tlb.create ());
     obs = (match obs with Some h -> h | None -> Numa_obs.Hub.create ());
+    pt = None;
   }
+
+let attach_pt t pt = t.pt <- Some pt
+let pt t = t.pt
+
+let pte_frame = function Frame f -> Some f | Global_frame _ -> None
 
 let key_of_entry e = { k_pmap = e.pmap; k_cpu = e.cpu; k_vpage = e.vpage }
 
@@ -52,6 +59,9 @@ let unlink_reverse t e =
 let remove_entry t e =
   Hashtbl.remove t.forward (key_of_entry e);
   unlink_reverse t e;
+  (match t.pt with
+  | Some pt -> Pt.remove pt ~pmap:e.pmap ~cpu:e.cpu ~vpage:e.vpage ~lpage:e.lpage
+  | None -> ());
   if
     Tlb.invalidate t.tlbs.(e.cpu) ~pmap:e.pmap ~vpage:e.vpage
     && Numa_obs.Hub.enabled t.obs
@@ -67,7 +77,10 @@ let enter t ~pmap ~cpu ~vpage ~lpage ~prot ~phys =
   | None -> ());
   let e = { pmap; cpu; vpage; lpage; prot; phys } in
   Hashtbl.replace t.forward key e;
-  Hashtbl.replace (reverse_bucket t lpage) key e
+  Hashtbl.replace (reverse_bucket t lpage) key e;
+  match t.pt with
+  | Some pt -> Pt.enter pt ~pmap ~cpu ~vpage ~lpage ~frame:(pte_frame phys) ~prot
+  | None -> ()
 
 let lookup t ~pmap ~cpu ~vpage =
   Hashtbl.find_opt t.forward { k_pmap = pmap; k_cpu = cpu; k_vpage = vpage }
@@ -80,12 +93,20 @@ let translate t ~pmap ~cpu ~vpage =
   let tlb = t.tlbs.(cpu) in
   match Tlb.lookup tlb ~pmap ~vpage with
   | Some _ as hit -> hit
-  | None -> (
-      match Hashtbl.find_opt t.forward { k_pmap = pmap; k_cpu = cpu; k_vpage = vpage } with
-      | Some e as found ->
-          Tlb.insert tlb ~pmap ~vpage e;
-          found
-      | None -> None)
+  | None ->
+      let found =
+        Hashtbl.find_opt t.forward { k_pmap = pmap; k_cpu = cpu; k_vpage = vpage }
+      in
+      (* A miss is where the hardware would walk: charge the multi-level
+         table walk when tables are materialised. A walk that finds no
+         PTE (the fault path) still reads the levels that exist. *)
+      (match t.pt with
+      | Some pt ->
+          let lpage = match found with Some e -> e.lpage | None -> -1 in
+          Pt.walk pt ~pmap ~cpu ~vpage ~lpage
+      | None -> ());
+      (match found with Some e -> Tlb.insert tlb ~pmap ~vpage e | None -> ());
+      found
 
 let sum_over_tlbs t f = Array.fold_left (fun acc tlb -> acc + f tlb) 0 t.tlbs
 
@@ -93,8 +114,24 @@ let tlb_hits t = sum_over_tlbs t Tlb.hits
 let tlb_misses t = sum_over_tlbs t Tlb.misses
 let tlb_shootdowns t = sum_over_tlbs t Tlb.shootdowns
 
-let set_prot _t e prot = e.prot <- prot
-let set_phys _t e phys = e.phys <- phys
+let tlb_stats t ~cpu =
+  let tlb = t.tlbs.(cpu) in
+  (Tlb.hits tlb, Tlb.misses tlb, Tlb.shootdowns tlb)
+
+let set_prot t e prot =
+  e.prot <- prot;
+  match t.pt with
+  | Some pt ->
+      Pt.update_prot pt ~pmap:e.pmap ~cpu:e.cpu ~vpage:e.vpage ~lpage:e.lpage ~prot
+  | None -> ()
+
+let set_phys t e phys =
+  e.phys <- phys;
+  match t.pt with
+  | Some pt ->
+      Pt.update_phys pt ~pmap:e.pmap ~cpu:e.cpu ~vpage:e.vpage ~lpage:e.lpage
+        ~frame:(pte_frame phys)
+  | None -> ()
 
 let remove t ~pmap ~cpu ~vpage =
   match lookup t ~pmap ~cpu ~vpage with

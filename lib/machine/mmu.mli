@@ -28,6 +28,15 @@ val create : ?obs:Numa_obs.Hub.t -> Config.t -> t
     event each time dropping a mapping invalidates a live software-TLB
     entry. *)
 
+val attach_pt : t -> Pt.t -> unit
+(** Materialise the page tables: from then on every mapping install /
+    retarget / protection change / removal is mirrored into the {!Pt}
+    layer (master table plus replica shootdowns) and every software-TLB
+    miss in {!translate} pays a charged multi-level walk. Without it (the
+    default) translation stays free, exactly as before. *)
+
+val pt : t -> Pt.t option
+
 val enter :
   t -> pmap:int -> cpu:int -> vpage:int -> lpage:int -> prot:Prot.t -> phys:phys -> unit
 (** Install or replace a mapping. Replacement shoots down any cached
@@ -46,6 +55,10 @@ val tlb_hits : t -> int
 val tlb_misses : t -> int
 val tlb_shootdowns : t -> int
 (** Software-TLB counters summed over all CPUs. *)
+
+val tlb_stats : t -> cpu:int -> int * int * int
+(** One CPU's [(hits, misses, shootdowns)], for per-CPU hit-rate
+    reporting. *)
 
 val set_prot : t -> entry -> Prot.t -> unit
 val set_phys : t -> entry -> phys -> unit

@@ -1,0 +1,269 @@
+open Numa_util
+module Report = Numa_system.Report
+module Pt = Numa_machine.Pt
+module Config = Numa_machine.Config
+
+type variant = { mode : Pt.mode; topology : string }
+
+let variant_name v = Printf.sprintf "%s/%s" (Pt.mode_to_string v.mode) v.topology
+
+let default_modes () = [ Pt.Off; Pt.Shared; Pt.Replicated None; Pt.Replicated (Some 2) ]
+let default_topologies () = [ "ace"; "multi-socket" ]
+
+let default_variants () =
+  List.concat_map
+    (fun topology -> List.map (fun mode -> { mode; topology }) (default_modes ()))
+    (default_topologies ())
+
+type cell = {
+  app_name : string;
+  time_s : float;
+  slowdown : float;  (** vs the [Off] run of the same app and topology *)
+  walks : int;
+  walk_levels : int;
+  walk_ns : float;
+  walk_share : float;
+  pte_updates : int;
+  pte_shootdowns : int;
+  replicas_built : int;
+  global_pt_pages : int;
+  tlb_miss_rate : float;
+  invariant_violations : int;
+  r : Report.t;
+}
+
+type row = {
+  variant : variant;
+  cells : cell list;
+  mean_slowdown : float;
+  mean_walk_share : float;
+  walks : int;
+  pte_updates : int;
+  pte_shootdowns : int;
+  replicas_built : int;
+  global_pt_pages : int;
+  invariant_checks : int;
+  invariant_violations : int;
+}
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* User + system time: the walk and shootdown charges are kernel work, so
+   a user-time-only slowdown would hide exactly the cost being measured. *)
+let run_time_s (r : Report.t) = Report.total_user_s r +. Report.total_system_s r
+
+let robustness_of_report (r : Report.t) =
+  match r.Report.robustness with
+  | Some rb -> (rb.Report.invariant_checks, rb.Report.invariant_violations)
+  | None -> (0, 0)
+
+let cell_of_run app ~baseline (r : Report.t) =
+  let time_s = run_time_s r in
+  let base_s = run_time_s baseline in
+  let walks, walk_levels, walk_ns, pte_updates, pte_shootdowns, built, global_pt =
+    match r.Report.pt with
+    | Some p ->
+        ( p.Report.walks,
+          p.Report.walk_levels,
+          p.Report.walk_ns,
+          p.Report.pte_updates,
+          p.Report.pte_shootdowns,
+          p.Report.replicas_built,
+          p.Report.global_pt_pages )
+    | None -> (0, 0, 0., 0, 0, 0, 0)
+  in
+  let _, invariant_violations = robustness_of_report r in
+  let total_ns = r.Report.total_user_ns +. r.Report.total_system_ns in
+  {
+    app_name = app.Numa_apps.App_sig.name;
+    time_s;
+    slowdown = (if base_s > 0. then time_s /. base_s else nan);
+    walks;
+    walk_levels;
+    walk_ns;
+    walk_share = (if total_ns > 0. then walk_ns /. total_ns else 0.);
+    pte_updates;
+    pte_shootdowns;
+    replicas_built = built;
+    global_pt_pages = global_pt;
+    tlb_miss_rate =
+      (let total = r.Report.tlb_hits + r.Report.tlb_misses in
+       if total = 0 then 0. else float_of_int r.Report.tlb_misses /. float_of_int total);
+    invariant_violations;
+    r;
+  }
+
+let topology_tweak ~spec ~topology c =
+  match
+    Config.of_topology_name ~n_cpus:c.Config.n_cpus topology
+  with
+  | Some c -> spec.Runner.config_tweak c
+  | None -> invalid_arg (Printf.sprintf "Pt_sweep: unknown topology %S" topology)
+
+let run ?jobs ?apps ?variants ?(spec = Runner.default_spec) () =
+  let apps = match apps with Some l -> l | None -> Numa_apps.Registry.table4 in
+  let variants = match variants with Some l -> l | None -> default_variants () in
+  if apps = [] then invalid_arg "Pt_sweep.run: no apps";
+  if variants = [] then invalid_arg "Pt_sweep.run: no variants";
+  let topologies =
+    List.sort_uniq String.compare (List.map (fun v -> v.topology) variants)
+  in
+  (* One free-translation run per (app, topology) prices the machine the
+     walks are laid on top of; the mode x app x topology product then fans
+     out. Every materialised run is paranoid, so the page-table relation
+     (master = MMU image, replicas = master image) is audited from the
+     daemon tick while tables churn. *)
+  let baselines =
+    Parallel.map ?jobs
+      (fun (topology, app) ->
+        ( (topology, app.Numa_apps.App_sig.name),
+          Runner.run app
+            {
+              spec with
+              Runner.config_tweak = topology_tweak ~spec ~topology;
+              pt_mode = Pt.Off;
+            } ))
+      (List.concat_map (fun t -> List.map (fun a -> (t, a)) apps) topologies)
+  in
+  let baseline_for ~topology app =
+    List.assoc (topology, app.Numa_apps.App_sig.name) baselines
+  in
+  let measured =
+    Parallel.map ?jobs
+      (fun (v, app) ->
+        let r =
+          match v.mode with
+          | Pt.Off -> baseline_for ~topology:v.topology app
+          | Pt.Shared | Pt.Replicated _ ->
+              Runner.run app
+                {
+                  spec with
+                  Runner.config_tweak = topology_tweak ~spec ~topology:v.topology;
+                  pt_mode = v.mode;
+                  paranoid = true;
+                }
+        in
+        cell_of_run app ~baseline:(baseline_for ~topology:v.topology app) r)
+      (List.concat_map (fun v -> List.map (fun a -> (v, a)) apps) variants)
+  in
+  let rec group variants measured =
+    match variants with
+    | [] -> []
+    | v :: rest ->
+        let n = List.length apps in
+        let cells = List.filteri (fun i _ -> i < n) measured in
+        let remaining = List.filteri (fun i _ -> i >= n) measured in
+        let sum f = List.fold_left (fun acc c -> acc + f c) 0 cells in
+        {
+          variant = v;
+          cells;
+          mean_slowdown = mean (List.map (fun c -> c.slowdown) cells);
+          mean_walk_share = mean (List.map (fun c -> c.walk_share) cells);
+          walks = sum (fun c -> c.walks);
+          pte_updates = sum (fun c -> c.pte_updates);
+          pte_shootdowns = sum (fun c -> c.pte_shootdowns);
+          replicas_built = sum (fun c -> c.replicas_built);
+          global_pt_pages = sum (fun c -> c.global_pt_pages);
+          invariant_checks =
+            List.fold_left
+              (fun acc c -> acc + fst (robustness_of_report c.r))
+              0 cells;
+          invariant_violations = sum (fun c -> c.invariant_violations);
+        }
+        :: group rest remaining
+  in
+  group variants measured
+
+let total_violations rows =
+  List.fold_left (fun acc r -> acc + r.invariant_violations) 0 rows
+
+let render rows =
+  let apps =
+    match rows with [] -> [] | r :: _ -> List.map (fun c -> c.app_name) r.cells
+  in
+  let table =
+    Text_table.create
+      ~columns:
+        (("PT mode", Text_table.Left)
+        :: List.map (fun a -> (a, Text_table.Right)) apps
+        @ [
+            ("mean slowdown", Text_table.Right);
+            ("walk share", Text_table.Right);
+            ("walks", Text_table.Right);
+            ("shootdowns", Text_table.Right);
+            ("replicas", Text_table.Right);
+            ("violations", Text_table.Right);
+          ])
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row table
+        ((variant_name r.variant
+         :: List.map (fun c -> Text_table.cell_f2 c.slowdown) r.cells)
+        @ [
+            Text_table.cell_f2 r.mean_slowdown;
+            Printf.sprintf "%.1f%%" (100. *. r.mean_walk_share);
+            Text_table.cell_int r.walks;
+            Text_table.cell_int r.pte_shootdowns;
+            Text_table.cell_int r.replicas_built;
+            Text_table.cell_int r.invariant_violations;
+          ]))
+    rows;
+  Printf.sprintf
+    "Page-table sweep: per-app slowdown against the free-translation run \
+     of the same topology (mode/topology rows). Walk share is the fraction \
+     of total time spent in multi-level walks — it separates walk-heavy \
+     applications (TLB-hostile reference streams) from walk-light ones, \
+     and replication earns its shootdown traffic exactly when that share \
+     is large and remote. %d invariant violations across the matrix.\n%s"
+    (total_violations rows) (Text_table.render table)
+
+let to_json rows : Numa_obs.Json.t =
+  let open Numa_obs.Json in
+  Obj
+    [
+      ("total_violations", Int (total_violations rows));
+      ( "variants",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("variant", String (variant_name r.variant));
+                   ("mode", String (Pt.mode_to_string r.variant.mode));
+                   ("topology", String r.variant.topology);
+                   ("mean_slowdown", Float r.mean_slowdown);
+                   ("mean_walk_share", Float r.mean_walk_share);
+                   ("walks", Int r.walks);
+                   ("pte_updates", Int r.pte_updates);
+                   ("pte_shootdowns", Int r.pte_shootdowns);
+                   ("replicas_built", Int r.replicas_built);
+                   ("global_pt_pages", Int r.global_pt_pages);
+                   ("invariant_checks", Int r.invariant_checks);
+                   ("invariant_violations", Int r.invariant_violations);
+                   ( "apps",
+                     List
+                       (List.map
+                          (fun c ->
+                            Obj
+                              [
+                                ("app", String c.app_name);
+                                ("time_s", Float c.time_s);
+                                ("slowdown", Float c.slowdown);
+                                ("walks", Int c.walks);
+                                ("walk_levels", Int c.walk_levels);
+                                ("walk_ns", Float c.walk_ns);
+                                ("walk_share", Float c.walk_share);
+                                ("tlb_miss_rate", Float c.tlb_miss_rate);
+                                ("pte_updates", Int c.pte_updates);
+                                ("pte_shootdowns", Int c.pte_shootdowns);
+                                ("replicas_built", Int c.replicas_built);
+                                ("report", Report.to_json c.r);
+                              ])
+                          r.cells) );
+                 ])
+             rows) );
+    ]

@@ -14,6 +14,7 @@ type run_spec = {
   paranoid : bool;
   profiling : bool;
   victim : Numa_vm.Pageout.victim;
+  pt_mode : Pt.mode;
 }
 
 let default_spec =
@@ -30,6 +31,7 @@ let default_spec =
     paranoid = false;
     profiling = false;
     victim = Numa_vm.Pageout.Clock;
+    pt_mode = Pt.Off;
   }
 
 let config_for spec ~n_cpus = spec.config_tweak (Config.ace ~n_cpus ())
@@ -39,7 +41,7 @@ let run_with (app : Numa_apps.App_sig.t) spec ~policy ~n_cpus ~nthreads =
   let sys =
     System.create ~policy ~scheduler:spec.scheduler ~unix_master:spec.unix_master
       ~faults:spec.faults ~paranoid:spec.paranoid ~profiling:spec.profiling
-      ~victim:spec.victim ~config ()
+      ~victim:spec.victim ~pt_mode:spec.pt_mode ~config ()
   in
   app.Numa_apps.App_sig.setup sys
     { Numa_apps.App_sig.nthreads; scale = spec.scale; seed = spec.seed };

@@ -24,6 +24,10 @@ type run_spec = {
   victim : Numa_vm.Pageout.victim;
       (** pageout victim-selection policy (default [Clock]); only matters
           under memory pressure *)
+  pt_mode : Pt.mode;
+      (** page-table materialisation (default [Off] = free translation);
+          applied to the measured run {e and} both baselines, so gamma
+          under [Shared]/[Replicated _] compares like with like *)
 }
 
 val default_spec : run_spec

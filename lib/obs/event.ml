@@ -35,6 +35,10 @@ type t =
   | Page_evicted of { lpage : int; dirty : bool }
   | Writeback_started of { lpage : int }
   | Writeback_done of { lpage : int; redirtied : bool }
+  | Pt_walk of { cpu : int; vpage : int; lpage : int; levels : int; ns : float }
+  | Pt_shootdown of { cpu : int; vpage : int; lpage : int; node : int }
+  | Pt_replica_create of { pmap : int; node : int; frames : int }
+  | Pt_replica_drop of { pmap : int; node : int }
 
 let name = function
   | Fault_resolved _ -> "fault_resolved"
@@ -69,6 +73,10 @@ let name = function
   | Page_evicted _ -> "page_evicted"
   | Writeback_started _ -> "writeback_started"
   | Writeback_done _ -> "writeback_done"
+  | Pt_walk _ -> "pt_walk"
+  | Pt_shootdown _ -> "pt_shootdown"
+  | Pt_replica_create _ -> "pt_replica_create"
+  | Pt_replica_drop _ -> "pt_replica_drop"
 
 type lane = Cpu_lane of int | Protocol_lane
 
@@ -79,7 +87,7 @@ let lane = function
   | Sync_to_global _ | Zero_fill _ | Page_freed _ | Reconsider_scan _
   | Fault_injected _ | Node_offline _ | Node_online _ | Node_drained _
   | Link_degraded _ | Invariant_checked _ | Page_in _ | Page_evicted _
-  | Writeback_started _ | Writeback_done _ ->
+  | Writeback_started _ | Writeback_done _ | Pt_replica_create _ | Pt_replica_drop _ ->
       Protocol_lane
   | Fault_resolved { cpu; _ }
   | Policy_decision { cpu; _ }
@@ -92,7 +100,9 @@ let lane = function
   | Dispatch { cpu; _ }
   | Syscall { cpu; _ }
   | Tlb_shootdown { cpu; _ }
-  | Out_of_memory { cpu; _ } ->
+  | Out_of_memory { cpu; _ }
+  | Pt_walk { cpu; _ }
+  | Pt_shootdown { cpu; _ } ->
       Cpu_lane cpu
   | Thread_migrated { to_cpu; _ } -> Cpu_lane to_cpu
 
@@ -112,12 +122,14 @@ let lpage = function
   | Page_in { lpage }
   | Page_evicted { lpage; _ }
   | Writeback_started { lpage }
-  | Writeback_done { lpage; _ } ->
+  | Writeback_done { lpage; _ }
+  | Pt_walk { lpage; _ }
+  | Pt_shootdown { lpage; _ } ->
       Some lpage
   | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Lock_released _
   | Dispatch _ | Syscall _ | Thread_migrated _ | Reconsider_scan _ | Fault_injected _
   | Node_offline _ | Node_online _ | Node_drained _ | Link_degraded _
-  | Invariant_checked _ | Out_of_memory _ ->
+  | Invariant_checked _ | Out_of_memory _ | Pt_replica_create _ | Pt_replica_drop _ ->
       None
 
 let args ev : (string * Json.t) list =
@@ -190,6 +202,25 @@ let args ev : (string * Json.t) list =
   | Writeback_started { lpage } -> [ ("lpage", Json.Int lpage) ]
   | Writeback_done { lpage; redirtied } ->
       [ ("lpage", Json.Int lpage); ("redirtied", Json.Bool redirtied) ]
+  | Pt_walk { cpu; vpage; lpage; levels; ns } ->
+      [
+        ("cpu", Json.Int cpu);
+        ("vpage", Json.Int vpage);
+        ("lpage", Json.Int lpage);
+        ("levels", Json.Int levels);
+        ("ns", Json.Float ns);
+      ]
+  | Pt_shootdown { cpu; vpage; lpage; node } ->
+      [
+        ("cpu", Json.Int cpu);
+        ("vpage", Json.Int vpage);
+        ("lpage", Json.Int lpage);
+        ("node", Json.Int node);
+      ]
+  | Pt_replica_create { pmap; node; frames } ->
+      [ ("pmap", Json.Int pmap); ("node", Json.Int node); ("frames", Json.Int frames) ]
+  | Pt_replica_drop { pmap; node } ->
+      [ ("pmap", Json.Int pmap); ("node", Json.Int node) ]
 
 let describe ev =
   match ev with
@@ -268,3 +299,16 @@ let describe ev =
   | Writeback_done { lpage; redirtied } ->
       Printf.sprintf "async writeback of lpage %d done%s" lpage
         (if redirtied then " (redirtied during writeback: still dirty)" else "")
+  | Pt_walk { cpu; vpage; levels; ns; _ } ->
+      Printf.sprintf "page-table walk on cpu %d for vpage %d: %d level%s, %.0f ns" cpu
+        vpage levels
+        (if levels = 1 then "" else "s")
+        ns
+  | Pt_shootdown { cpu; vpage; node; _ } ->
+      Printf.sprintf "replica PTE for vpage %d shot down in node %d's table (by cpu %d)"
+        vpage node cpu
+  | Pt_replica_create { node; frames; _ } ->
+      Printf.sprintf "page-table replica built in node %d (%d frame%s)" node frames
+        (if frames = 1 then "" else "s")
+  | Pt_replica_drop { node; _ } ->
+      Printf.sprintf "page-table replica dropped from node %d" node

@@ -83,6 +83,16 @@ type t =
   | Writeback_done of { lpage : int; redirtied : bool }
       (** an async writeback completed; [redirtied] means a store landed
           while the disk write was in flight, so the entry stays Dirty *)
+  | Pt_walk of { cpu : int; vpage : int; lpage : int; levels : int; ns : float }
+      (** a software-TLB miss paid a multi-level page-table walk; [ns] is
+          the summed per-level latency by node distance *)
+  | Pt_shootdown of { cpu : int; vpage : int; lpage : int; node : int }
+      (** a PTE update was propagated into node [node]'s replica page
+          table (numaPTE-style shootdown on move / unmap / protect) *)
+  | Pt_replica_create of { pmap : int; node : int; frames : int }
+      (** a full per-node page-table replica was materialised (Mitosis) *)
+  | Pt_replica_drop of { pmap : int; node : int }
+      (** a per-node replica was torn down (node offline / evacuation) *)
 
 val name : t -> string
 (** Stable snake_case tag, used as the Chrome trace event name. *)

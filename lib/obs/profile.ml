@@ -6,6 +6,8 @@ type kernel_cat =
   | Tlb_shootdown
   | Disk_read
   | Disk_write
+  | Pt_walk
+  | Pt_shootdown
 
 let kernel_cat_name = function
   | Fault_trap -> "fault_trap"
@@ -15,8 +17,10 @@ let kernel_cat_name = function
   | Tlb_shootdown -> "tlb_shootdown"
   | Disk_read -> "disk_read"
   | Disk_write -> "disk_write"
+  | Pt_walk -> "pt_walk"
+  | Pt_shootdown -> "pt_shootdown"
 
-let n_kernel_cats = 7
+let n_kernel_cats = 9
 
 let kernel_idx = function
   | Fault_trap -> 0
@@ -26,6 +30,8 @@ let kernel_idx = function
   | Tlb_shootdown -> 4
   | Disk_read -> 5
   | Disk_write -> 6
+  | Pt_walk -> 7
+  | Pt_shootdown -> 8
 
 let kernel_cat_of_idx = function
   | 0 -> Fault_trap
@@ -34,7 +40,9 @@ let kernel_cat_of_idx = function
   | 3 -> Zero_fill
   | 4 -> Tlb_shootdown
   | 5 -> Disk_read
-  | _ -> Disk_write
+  | 6 -> Disk_write
+  | 7 -> Pt_walk
+  | _ -> Pt_shootdown
 
 type context = App | Daemon | Degradation
 

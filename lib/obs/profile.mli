@@ -30,6 +30,8 @@ type kernel_cat =
   | Tlb_shootdown  (** software-TLB invalidations *)
   | Disk_read  (** page-ins from the modeled backing store *)
   | Disk_write  (** writebacks to the modeled backing store *)
+  | Pt_walk  (** multi-level page-table walks on software-TLB misses *)
+  | Pt_shootdown  (** replica page-table PTE updates / shootdowns *)
 
 val kernel_cat_name : kernel_cat -> string
 

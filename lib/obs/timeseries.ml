@@ -121,7 +121,9 @@ let record t ~ts (ev : Event.t) =
   | Event.Reconsider_scan _ | Event.Fault_injected _ | Event.Node_offline _
   | Event.Node_online _ | Event.Node_drained _ | Event.Link_degraded _
   | Event.Invariant_checked _ | Event.Out_of_memory _ | Event.Page_in _
-  | Event.Page_evicted _ | Event.Writeback_started _ | Event.Writeback_done _ ->
+  | Event.Page_evicted _ | Event.Writeback_started _ | Event.Writeback_done _
+  | Event.Pt_walk _ | Event.Pt_shootdown _ | Event.Pt_replica_create _
+  | Event.Pt_replica_drop _ ->
       ()
 
 let attach t hub = Hub.attach hub ~name:"timeseries" (fun ~ts ev -> record t ~ts ev)

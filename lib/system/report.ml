@@ -58,6 +58,23 @@ type paging = {
   in_writeback : int;
 }
 
+type pt = {
+  pt_mode : string;
+  walks : int;
+  walk_levels : int;
+  walk_ns : float;
+  pte_updates : int;
+  pte_shootdowns : int;
+  shootdown_ns : float;
+  replicas_built : int;
+  replicas_dropped : int;
+  pt_frames : int array;
+  global_pt_pages : int;
+  tlb_per_cpu : (int * int * int) array;
+      (** per-CPU (hits, misses, shootdowns) — the hit rate each walk
+          counter is competing against *)
+}
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -101,6 +118,9 @@ type t = {
   profile : Numa_obs.Profile.snapshot option;
       (** present only when the run was profiled; like [robustness], its
           absence keeps unprofiled reports byte-identical *)
+  pt : pt option;
+      (** present only when page tables were materialised ([--pt-mode]
+          other than [none]); same byte-identity guarantee *)
 }
 
 let total_user_s t = t.total_user_ns /. 1e9
@@ -176,6 +196,28 @@ let pp ppf t =
         "disk: read %.3f s, write %.3f s; resident %d clean, %d dirty, %d in flight@,"
         (p.disk_read_ns /. 1e9) (p.disk_write_ns /. 1e9) p.resident_clean
         p.resident_dirty p.in_writeback);
+  (match t.pt with
+  | None -> ()
+  | Some p ->
+      Format.fprintf ppf
+        "pt: mode=%s, %d walks (%d levels, %.3f s), %d pte updates, %d shootdowns \
+         (%.3f s)@,"
+        p.pt_mode p.walks p.walk_levels (p.walk_ns /. 1e9) p.pte_updates
+        p.pte_shootdowns (p.shootdown_ns /. 1e9);
+      Format.fprintf ppf "pt frames:";
+      Array.iteri (fun node n -> Format.fprintf ppf " node%d=%d" node n) p.pt_frames;
+      Format.fprintf ppf " global=%d; replicas built %d, dropped %d@,"
+        p.global_pt_pages p.replicas_built p.replicas_dropped;
+      Format.fprintf ppf "tlb per-cpu:";
+      Array.iteri
+        (fun cpu (h, m, _) ->
+          let total = h + m in
+          let rate =
+            if total = 0 then 0. else 100. *. float_of_int h /. float_of_int total
+          in
+          Format.fprintf ppf " cpu%d=%.1f%%(%d/%d)" cpu rate h m)
+        p.tlb_per_cpu;
+      Format.fprintf ppf "@,");
   (match t.profile with
   | None -> ()
   | Some s ->
@@ -273,6 +315,45 @@ let to_json t =
     (match t.profile with
     | None -> []
     | Some s -> [ ("profile", Numa_obs.Profile.snapshot_to_json s) ])
+    @
+    (match t.pt with
+    | None -> []
+    | Some p ->
+        [
+          ( "pt",
+            Json.Obj
+              [
+                ("mode", Json.String p.pt_mode);
+                ("walks", Json.Int p.walks);
+                ("walk_levels", Json.Int p.walk_levels);
+                ("walk_ns", Json.Float p.walk_ns);
+                ("pte_updates", Json.Int p.pte_updates);
+                ("pte_shootdowns", Json.Int p.pte_shootdowns);
+                ("shootdown_ns", Json.Float p.shootdown_ns);
+                ("replicas_built", Json.Int p.replicas_built);
+                ("replicas_dropped", Json.Int p.replicas_dropped);
+                ( "pt_frames",
+                  Json.List
+                    (Array.to_list (Array.map (fun n -> Json.Int n) p.pt_frames)) );
+                ("global_pt_pages", Json.Int p.global_pt_pages);
+                ( "tlb_per_cpu",
+                  Json.List
+                    (Array.to_list
+                       (Array.map
+                          (fun (h, m, s) ->
+                            Json.Obj
+                              [
+                                ("hits", Json.Int h);
+                                ("misses", Json.Int m);
+                                ("shootdowns", Json.Int s);
+                                ( "hit_rate",
+                                  Json.Float
+                                    (if h + m = 0 then 0.
+                                     else float_of_int h /. float_of_int (h + m)) );
+                              ])
+                          p.tlb_per_cpu)) );
+              ] );
+        ])
     @
     (match t.paging with
     | None -> []

@@ -54,6 +54,25 @@ type paging = {
 (** The paging tier's activity summary (per-frame state machine +
     writeback daemon). *)
 
+type pt = {
+  pt_mode : string;  (** canonical {!Numa_machine.Pt.mode_to_string} *)
+  walks : int;  (** charged multi-level walks (= TLB misses while attached) *)
+  walk_levels : int;  (** total table levels read over all walks *)
+  walk_ns : float;  (** total walk latency by the topology matrix *)
+  pte_updates : int;  (** replica PTE installs (silent propagation) *)
+  pte_shootdowns : int;  (** replica PTE invalidations / retargets *)
+  shootdown_ns : float;
+  replicas_built : int;
+  replicas_dropped : int;
+  pt_frames : int array;  (** per-node frames backing table pages at end of run *)
+  global_pt_pages : int;  (** table pages that fell back to the shared level *)
+  tlb_per_cpu : (int * int * int) array;
+      (** per-CPU (hits, misses, shootdowns): the hit rate that decides how
+          often the walk cost is actually paid *)
+}
+(** Materialised-page-table activity; present only under [--pt-mode]
+    [shared] or [replicated]. *)
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -98,6 +117,9 @@ type t = {
   profile : Numa_obs.Profile.snapshot option;
       (** simulated-time cost attribution; [None] unless the run was
           profiled, preserving the same byte-identity guarantee *)
+  pt : pt option;
+      (** page-table walk/replication counters; [None] unless tables were
+          materialised, preserving the same byte-identity guarantee *)
 }
 
 val total_user_s : t -> float

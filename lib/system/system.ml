@@ -293,6 +293,11 @@ let apply_fault t (fired : Numa_faults.Injector.fired) =
            pool and move the node's threads somewhere with live memory. *)
         let pages = Numa_core.Numa_manager.drain_node mgr ~node ~by_cpu:node in
         Frame_table.set_node_online t.frames ~node false;
+        (* Page-table evacuation comes after the pool closes, so the
+           re-homed table pages cannot land back on the dying node. *)
+        (match Mmu.pt t.mmu with
+        | Some pt -> Pt.node_offline pt ~node
+        | None -> ());
         let threads = rehome_threads_off t ~node in
         t.threads_rehomed <- t.threads_rehomed + threads;
         emit (Numa_obs.Event.Node_drained { node; pages; threads });
@@ -324,6 +329,20 @@ let apply_fault t (fired : Numa_faults.Injector.fired) =
              kind = "frame-squeeze";
              detail = Printf.sprintf "node %d to %d frames" node limit;
            })
+  | Numa_faults.Injector.Corrupt_replica_pte { lpage } ->
+      (* The bug shootdown-aware PTE management exists to prevent, planted
+         on purpose: the next invariant audit must call it out. *)
+      let detail =
+        match Mmu.pt t.mmu with
+        | None -> Printf.sprintf "lpage %d: no page tables attached" lpage
+        | Some pt -> (
+            match Pt.corrupt_replica pt ~lpage with
+            | Some (pmap, node) ->
+                Printf.sprintf "lpage %d: replica PTE in pmap %d, node %d" lpage pmap
+                  node
+            | None -> Printf.sprintf "lpage %d: no replica PTE to corrupt" lpage)
+      in
+      emit (Numa_obs.Event.Fault_injected { kind = "stale-pte"; detail })
   | Numa_faults.Injector.Spurious_shootdown { lpage } ->
       let dropped = Numa_core.Numa_manager.spurious_shootdown mgr ~lpage in
       emit
@@ -349,6 +368,11 @@ let do_access t ~cpu ~tid ~vpage ~access:kind ~count ~value =
        latency has elapsed, launder dirty pages when the pool is low, and
        top the free list back up to the high-water mark. *)
     ignore (Numa_vm.Pageout.daemon_tick t.pageout ~now:(Engine.now t.engine) ~by_cpu:cpu);
+    (* Replication daemon: under eager page-table replication, rebuild any
+       replica a returned node is missing (a no-op in every other mode). *)
+    (match Mmu.pt t.mmu with
+    | Some pt -> ignore (Pt.daemon_sweep pt ~by_cpu:cpu)
+    | None -> ());
     if t.apply_migrate_hints then apply_migrate_hints t;
     if t.paranoid then ignore (run_invariant_check t);
     (match t.profile with
@@ -494,7 +518,7 @@ let build_policy = policy_of_spec
 let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Affinity)
     ?(chunk_refs = 2048) ?(spin_poll_ns = 10_000.) ?(unix_master = false)
     ?(faults = Numa_faults.Plan.empty) ?(paranoid = false) ?(profiling = false)
-    ?(victim = Numa_vm.Pageout.Clock) ~config () =
+    ?(victim = Numa_vm.Pageout.Clock) ?(pt_mode = Pt.Off) ~config () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("System.create: bad machine config: " ^ msg));
@@ -530,7 +554,7 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       ~now:(fun () -> !now_cell ())
       ~topo
   in
-  let pmap_mgr = Numa_core.Pmap_manager.create ~obs ~config ~policy:pol () in
+  let pmap_mgr = Numa_core.Pmap_manager.create ~obs ~pt_mode ~config ~policy:pol () in
   frames_cell := Some (Numa_core.Pmap_manager.frames pmap_mgr);
   let ops = Numa_core.Pmap_manager.ops pmap_mgr in
   let pool = Numa_vm.Lpage_pool.create config ~ops in
@@ -876,6 +900,27 @@ let run t =
              in_writeback = s.Paging.n_writeback;
            });
     profile = profile_snapshot;
+    pt =
+      (match Mmu.pt t.mmu with
+      | None -> None
+      | Some pt ->
+          let s = Pt.stats pt in
+          Some
+            {
+              Report.pt_mode = Pt.mode_to_string (Pt.mode pt);
+              walks = s.Pt.walks;
+              walk_levels = s.Pt.walk_levels;
+              walk_ns = s.Pt.walk_ns;
+              pte_updates = s.Pt.pte_updates;
+              pte_shootdowns = s.Pt.pte_shootdowns;
+              shootdown_ns = s.Pt.shootdown_ns;
+              replicas_built = s.Pt.replicas_built;
+              replicas_dropped = s.Pt.replicas_dropped;
+              pt_frames = s.Pt.pt_frames;
+              global_pt_pages = s.Pt.global_pt_pages;
+              tlb_per_cpu =
+                Array.init n_cpus (fun cpu -> Mmu.tlb_stats t.mmu ~cpu);
+            });
   }
 
 (* --- introspection ------------------------------------------------------ *)

@@ -100,6 +100,7 @@ val create :
   ?paranoid:bool ->
   ?profiling:bool ->
   ?victim:Numa_vm.Pageout.victim ->
+  ?pt_mode:Numa_machine.Pt.mode ->
   config:Config.t ->
   unit ->
   t
@@ -117,6 +118,14 @@ val create :
     the audit from the reconsideration daemon's tick. Either one makes
     {!run}'s report carry a [robustness] section; with both unset the
     report is byte-identical to earlier releases.
+
+    [pt_mode] (default {!Numa_machine.Pt.Off}) materialises the page
+    tables: table pages are allocated from the per-node frame pools,
+    every software-TLB miss pays a charged multi-level walk, and (under
+    [Replicated _]) per-node replica tables are kept PTE-coherent by
+    shootdown. [Off] attaches nothing and reproduces the free-translation
+    simulator byte for byte; the report carries a [pt] section exactly
+    when a mode other than [Off] is given.
 
     [profiling] (default off) attaches a {!Numa_obs.Profile} to the
     engine and the cost sink: {!run}'s report then carries a [profile]

@@ -30,6 +30,8 @@ let test_plan_roundtrip () =
       "link-degrade:0:1:8@2..10";
       "frame-squeeze:0:0.25@3";
       "spurious-shootdown:0.5";
+      "stale-pte:3@5";
+      "node-offline:1@5,stale-pte:0@20,node-online:1@40,spurious-shootdown:2";
       "node-offline:1@5,node-online:1@40,spurious-shootdown:2";
     ]
 
@@ -67,6 +69,10 @@ let test_plan_malformed () =
       "spurious-shootdown:-1";
       "spurious-shootdown:";
       "wibble:3@4";
+      "stale-pte";
+      "stale-pte:1";
+      "stale-pte:x@5";
+      "stale-pte:1:2@5";
       "node-offline:1@5ms";
     ]
 

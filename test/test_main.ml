@@ -23,4 +23,5 @@ let () =
       ("properties", Test_properties.suite);
       ("faults", Test_faults.suite);
       ("profile", Test_profile.suite);
+      ("pt", Test_pt.suite);
     ]

@@ -182,11 +182,13 @@ let prop_system_coherence =
 
 let prop_app_policy_topology_coherent =
   (* Any Table 4 application, under any builtin policy, on any builtin
-     topology, run paranoid (the invariant sweep fires from the daemon tick
-     and once more at the end): zero violations, always. *)
-  QCheck.Test.make ~name:"app x policy x topology stays coherent" ~count:12
-    QCheck.(triple (int_bound 3) (int_bound 20) (int_bound 3))
-    (fun (ai, pi, ti) ->
+     topology, with any page-table mode, run paranoid (the invariant sweep
+     fires from the daemon tick and once more at the end): zero violations,
+     always. The page-table axis adds the master-vs-MMU and
+     replica-vs-master relations to everything the sweep already checks. *)
+  QCheck.Test.make ~name:"app x policy x topology x pt-mode stays coherent" ~count:12
+    QCheck.(quad (int_bound 3) (int_bound 20) (int_bound 3) (int_bound 3))
+    (fun (ai, pi, ti, mi) ->
       let module System = Numa_system.System in
       let module Report = Numa_system.Report in
       let app_name = List.nth [ "imatmult"; "primes3"; "gfetch"; "plytrace" ] ai in
@@ -194,17 +196,21 @@ let prop_app_policy_topology_coherent =
       let specs = System.builtin_policy_specs in
       let policy = List.nth specs (pi mod List.length specs) in
       let topo_name = List.nth Config.builtin_topologies ti in
+      let pt_mode =
+        List.nth [ Pt.Off; Pt.Shared; Pt.Replicated None; Pt.Replicated (Some 2) ] mi
+      in
       let config = Option.get (Config.of_topology_name ~n_cpus:4 topo_name) in
-      let sys = System.create ~policy ~paranoid:true ~config () in
+      let sys = System.create ~policy ~paranoid:true ~pt_mode ~config () in
       app.Numa_apps.App_sig.setup sys
         { Numa_apps.App_sig.nthreads = 4; scale = 0.02; seed = 42L };
       let r = System.run sys in
       match r.Report.robustness with
       | Some rb ->
           if rb.Report.invariant_violations > 0 then
-            QCheck.Test.fail_reportf "%s under %s on %s: %d violations (%s)" app_name
+            QCheck.Test.fail_reportf "%s under %s on %s with pt-mode %s: %d violations (%s)"
+              app_name
               (System.policy_spec_name policy)
-              topo_name rb.Report.invariant_violations
+              topo_name (Pt.mode_to_string pt_mode) rb.Report.invariant_violations
               (match rb.Report.first_violations with v :: _ -> v | [] -> "?")
           else rb.Report.invariant_checks > 0
       | None -> QCheck.Test.fail_reportf "paranoid run lost its robustness section")
