@@ -11,6 +11,7 @@ module Tournament = Numa_metrics.Tournament
 module Chaos = Numa_metrics.Chaos
 module Pressure = Numa_metrics.Pressure
 module Pt_sweep = Numa_metrics.Pt_sweep
+module Serve_sweep = Numa_metrics.Serve_sweep
 module System = Numa_system.System
 
 let scale_arg =
@@ -46,9 +47,9 @@ let json_out_arg =
     & opt (some string) None
     & info [ "json-out" ] ~docv:"FILE"
         ~doc:
-          "Where the policy tournament / chaos sweep / pressure sweep / pt sweep \
-           writes its JSON artifact (defaults: policy-tournament.json, \
-           chaos-sweep.json, pressure-sweep.json, pt-sweep.json).")
+          "Where the policy tournament / chaos sweep / pressure sweep / pt sweep / \
+           serve sweep writes its JSON artifact (defaults: policy-tournament.json, \
+           chaos-sweep.json, pressure-sweep.json, pt-sweep.json, serve-sweep.json).")
 
 let apps_arg =
   Arg.(
@@ -165,6 +166,20 @@ let pt_sweep ~spec ~jobs ~json_out ~apps =
   if violations > 0 then
     failwith
       (Printf.sprintf "pt sweep found %d protocol invariant violations" violations)
+
+let serve_sweep ~spec ~jobs ~json_out ~policies =
+  (* Like the pt sweep, the grid owns its topology axis (every row names
+     one), so --topology does not apply; --policies narrows the slate. *)
+  let policies = Option.map parse_policies policies in
+  let rows = Serve_sweep.run ~jobs ?policies ~spec () in
+  print_endline (Serve_sweep.render ~scale:spec.Runner.scale rows);
+  let json_out = Option.value json_out ~default:"serve-sweep.json" in
+  Numa_obs.Json.save (Serve_sweep.to_json rows) json_out;
+  Printf.printf "serve-sweep JSON written to %s\n" json_out;
+  let violations = Serve_sweep.total_violations rows in
+  if violations > 0 then
+    failwith
+      (Printf.sprintf "serve sweep found %d protocol invariant violations" violations)
 
 let table1 () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load)
@@ -306,6 +321,7 @@ let run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
   | "chaos-sweep" -> chaos_sweep ~spec ~jobs ~topology ~json_out ~apps
   | "pressure-sweep" -> pressure_sweep ~spec ~jobs ~topology ~json_out ~apps
   | "pt-sweep" -> pt_sweep ~spec ~jobs ~json_out ~apps
+  | "serve-sweep" -> serve_sweep ~spec ~jobs ~json_out ~policies
   | other -> failwith ("unknown section: " ^ other)
 
 let sections =
@@ -314,6 +330,7 @@ let sections =
     "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
     "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "topology-sweep";
     "reconsider"; "policy-tournament"; "chaos-sweep"; "pressure-sweep"; "pt-sweep";
+    "serve-sweep";
   ]
 
 let all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =

@@ -114,6 +114,74 @@ let find_app name =
         (Printf.sprintf "unknown application %S; known: %s" name
            (String.concat ", " (Numa_apps.Registry.names ())))
 
+(* --- served-traffic knobs (only meaningful for the serve app) ----------- *)
+
+let arrival_conv =
+  let parse s =
+    match Numa_util.Dist.arrival_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf a = Format.pp_print_string ppf (Numa_util.Dist.arrival_to_string a) in
+  Arg.conv (parse, print)
+
+let arrival_arg =
+  Arg.(
+    value
+    & opt (some arrival_conv) None
+    & info [ "arrival" ] ~docv:"RATE[:BURST]"
+        ~doc:
+          "Open-loop arrival process for the serve app: mean $(docv) requests per \
+           second of simulated time, optionally multiplied by BURST during the \
+           periodic burst episodes (default 100000:4).")
+
+let zipf_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "zipf" ] ~docv:"THETA"
+        ~doc:
+          "Zipf skew of the serve app's key popularity: 0 is uniform, ~1 is classic \
+           web traffic (default 0.9).")
+
+let clients_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clients" ] ~docv:"N"
+        ~doc:
+          "Logical client population the serve app multiplexes onto the request \
+           stream (default 1000000).")
+
+let rw_mix_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rw-mix" ] ~docv:"F"
+        ~doc:
+          "Fraction of serve requests that write their object, in [0,1] (default \
+           0.1). 0 makes the store read-shared (replication-friendly); higher \
+           values churn the placement protocol.")
+
+let resolve_app name ~arrival ~zipf ~clients ~rw_mix =
+  match find_app name with
+  | Error _ as e -> e
+  | Ok app ->
+      if arrival = None && zipf = None && clients = None && rw_mix = None then Ok app
+      else if app.Numa_apps.App_sig.name <> "serve" then
+        Error
+          (Printf.sprintf
+             "--arrival/--zipf/--clients/--rw-mix shape served traffic and only \
+              apply to the serve app, not %S"
+             name)
+      else if (match zipf with Some t -> t < 0. | None -> false) then
+        Error "--zipf must be >= 0"
+      else if (match clients with Some c -> c <= 0 | None -> false) then
+        Error "--clients must be positive"
+      else if (match rw_mix with Some f -> f < 0. || f > 1. | None -> false) then
+        Error "--rw-mix must be in [0,1]"
+      else Ok (Numa_apps.Serve.make ?arrival ?theta:zipf ?clients ?rw_mix ())
+
 let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = false)
     ?(profiling = false) ?(victim = Numa_vm.Pageout.Clock)
     ?(pt_mode = Numa_machine.Pt.Off) ~policy ~cpus ~threads ~scale ~seed ~scheduler
@@ -246,8 +314,8 @@ let profile_out_arg =
 let run_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
       faults paranoid victim pt_mode pages trace_out metrics_out report_json
-      explain_page profile_out =
-    match find_app app_name with
+      explain_page profile_out arrival zipf clients rw_mix =
+    match resolve_app app_name ~arrival ~zipf ~clients ~rw_mix with
     | Error msg ->
         prerr_endline msg;
         1
@@ -373,7 +441,8 @@ let run_cmd =
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
       $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ paranoid_arg
       $ victim_arg $ pt_mode_arg $ pages_arg $ trace_out_arg $ metrics_out_arg
-      $ report_json_arg $ explain_page_arg $ profile_out_arg)
+      $ report_json_arg $ explain_page_arg $ profile_out_arg $ arrival_arg $ zipf_arg
+      $ clients_arg $ rw_mix_arg)
 
 let profile_cmd =
   let top_arg =
@@ -397,8 +466,8 @@ let profile_cmd =
       & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the profile snapshot as JSON.")
   in
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      faults pt_mode top folded_out json_out =
-    match find_app app_name with
+      faults pt_mode top folded_out json_out arrival zipf clients rw_mix =
+    match resolve_app app_name ~arrival ~zipf ~clients ~rw_mix with
     | Error msg ->
         prerr_endline msg;
         1
@@ -465,12 +534,13 @@ let profile_cmd =
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
       $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ pt_mode_arg
-      $ top_arg $ folded_out_arg $ json_out_arg)
+      $ top_arg $ folded_out_arg $ json_out_arg $ arrival_arg $ zipf_arg $ clients_arg
+      $ rw_mix_arg)
 
 let measure_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      pt_mode =
-    match find_app app_name with
+      pt_mode arrival zipf clients rw_mix =
+    match resolve_app app_name ~arrival ~zipf ~clients ~rw_mix with
     | Error msg ->
         prerr_endline msg;
         1
@@ -496,7 +566,8 @@ let measure_cmd =
        ~doc:"Run the three-measurement protocol (Tnuma/Tglobal/Tlocal) and the model.")
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
-      $ scheduler_arg $ unix_master_arg $ topology_arg $ pt_mode_arg)
+      $ scheduler_arg $ unix_master_arg $ topology_arg $ pt_mode_arg $ arrival_arg
+      $ zipf_arg $ clients_arg $ rw_mix_arg)
 
 let trace_cmd =
   let path_arg =

@@ -17,6 +17,7 @@ let all =
   @ [
       Primes2.app_unsegregated; Primes3.app_pragma; Syscall_mix.app; Phased.app;
       Lopsided.app; Lopsided.app_homed; Rebalance.app; Rebalance.app_migrate;
+      Serve.app;
     ]
 
 let find name = List.find_opt (fun (a : App_sig.t) -> a.App_sig.name = name) all

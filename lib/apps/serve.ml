@@ -1,0 +1,194 @@
+(** The served-traffic workload family (open-loop NUMA serving).
+
+    A sharded key-value server: [nthreads] shard workers each own the keys
+    congruent to their index, requests arrive by a Poisson process with
+    burst episodes ({!Numa_util.Dist}), key popularity is zipfian, and a
+    large logical client population is multiplexed onto the request
+    stream. The trace (arrival instants, keys, clients, write flags) is
+    precomputed from the run seed at setup, so a run is exactly
+    reproducible; each worker then replays its share open-loop —
+    {!Numa_sim.Api.sleep_until} to the next arrival instant, dequeue,
+    serve — so a slow policy cannot slow the offered load down, it can
+    only grow the queues. Per-request latency lands in a histogram and
+    surfaces as the report's [serving] section with queue-delay
+    attribution (the tail-latency lens the batch apps cannot provide).
+
+    NUMA-wise the store is deliberately awkward: adjacent keys live on the
+    same page but belong to different shards, so pages are read by every
+    node and occasionally written (the [rw_mix] fraction), and a shared
+    session table adds cross-node write churn. Placement policy therefore
+    moves per-request service time, and under open-loop arrivals service
+    inflation compounds into queueing — the p99.9 spread the serve-sweep
+    experiment measures. *)
+
+open Numa_system
+module Api = Numa_sim.Api
+module Engine = Numa_sim.Engine
+module W = Workload
+module Dist = Numa_util.Dist
+module Prng = Numa_util.Prng
+module Histogram = Numa_util.Histogram
+module Region_attr = Numa_vm.Region_attr
+
+let n_keys = 2048
+let key_span = 8 (* words read (and possibly written) per request *)
+let session_words = 512
+let service_compute_ns = 15_000. (* request parsing / marshalling compute *)
+
+let warmup_ns = 100e6
+(* Arrivals start 100 ms in: each shard first walks its keys once, so the
+   cold-start fault storm (zero fills, first placement decisions) is off
+   the clock and no request measures its backlog position behind setup.
+   The warmup does not promise a converged placement, though — each shard
+   only touches every [nthreads]-th span, so a lazy policy (move-limit
+   replicates a page per faulting node, on fault) finishes converging
+   under live traffic, and that residual copy storm is part of the tail
+   the serving section measures. Lengthening the window does not change
+   the numbers; only serving accesses trigger the remaining work. *)
+
+let default_arrival = Dist.arrival ~rate_per_s:100_000. ~burst:4. ()
+let default_theta = 0.9
+let default_clients = 1_000_000
+let default_rw_mix = 0.1
+
+let requests_for scale = max 400 (int_of_float (20_000. *. scale))
+
+let us_of_ns ns = int_of_float ((ns +. 500.) /. 1_000.)
+
+let make ?(arrival = default_arrival) ?(theta = default_theta)
+    ?(clients = default_clients) ?(rw_mix = default_rw_mix) () : App_sig.t =
+  let setup sys (p : App_sig.params) =
+    let eng = System.engine sys in
+    let obs = System.obs sys in
+    let profile = System.profile sys in
+    let nthreads = p.App_sig.nthreads in
+    let n = requests_for p.App_sig.scale in
+    (* The synthetic trace, from the run seed: arrival instants, zipfian
+       keys, client ids, write flags. Independent streams per dimension so
+       changing e.g. the write mix does not reshuffle the keys. *)
+    let prng = Prng.create ~seed:p.App_sig.seed in
+    let arrivals = Dist.arrival_times arrival (Prng.split prng) ~n in
+    Array.iteri (fun i t -> arrivals.(i) <- t +. warmup_ns) arrivals;
+    let z = Dist.zipf ~n:n_keys ~theta in
+    let zp = Prng.split prng in
+    let keys = Array.init n (fun _ -> Dist.zipf_draw z zp) in
+    let cp = Prng.split prng in
+    let client_of = Array.init n (fun _ -> Prng.int cp clients) in
+    let wp = Prng.split prng in
+    let writes = Array.init n (fun _ -> Prng.float wp 1.0 < rw_mix) in
+    (* Modulo sharding: worker w owns keys congruent to w, so the zipf head
+       spreads over all shards while store pages stay node-shared. *)
+    let assigned = Array.make nthreads [] in
+    for r = n - 1 downto 0 do
+      let w = keys.(r) mod nthreads in
+      assigned.(w) <- r :: assigned.(w)
+    done;
+    let store =
+      W.alloc_arr sys ~name:"serve.store"
+        ~sharing:Region_attr.Declared_write_shared ~words:(n_keys * key_span) ()
+    in
+    let sessions =
+      W.alloc_arr sys ~name:"serve.sessions"
+        ~sharing:Region_attr.Declared_write_shared ~words:session_words ()
+    in
+    let queues =
+      W.alloc_arr sys ~name:"serve.queues"
+        ~sharing:Region_attr.Declared_write_shared ~words:(max 1 nthreads) ()
+    in
+    (* Measurement state, filled in by the workers and read once by the
+       collector after the last thread finishes. *)
+    let lat_hist = Histogram.create () in
+    let queue_hist = Histogram.create () in
+    let lat_sum = ref 0. in
+    let queue_sum = ref 0. in
+    let served = Array.make nthreads 0 in
+    let last_done = ref 0. in
+    let tids = Array.make nthreads (-1) in
+    for w = 0 to nthreads - 1 do
+      tids.(w) <-
+        System.spawn sys ~name:(Printf.sprintf "serve.%d" w)
+          (fun ~stack_vpage:_ ->
+            (* Warmup: fault the shard's working set in before any request
+               is on the clock. *)
+            let key = ref w in
+            while !key < n_keys do
+              W.read_range store ~lo:(!key * key_span) ~n:key_span;
+              key := !key + nthreads
+            done;
+            W.read_word queues w;
+            List.iter
+              (fun r ->
+                (* Open-loop: park to the arrival instant (a no-op when the
+                   shard is already running behind — the backlog case). The
+                   first sleep is also what parks the body at spawn time,
+                   before [tids] is filled in. *)
+                Api.sleep_until ~ns:arrivals.(r);
+                if Numa_obs.Hub.enabled obs then
+                  Numa_obs.Hub.emit obs
+                    (Numa_obs.Event.Request_arrived
+                       { client = client_of.(r); key = keys.(r); worker = w });
+                (* Dequeue: touch the shard's queue slot. A real reference,
+                   so the CPU clock read after it is current virtual time
+                   (the clock is stale right after [sleep_until]). *)
+                W.read_word queues w;
+                let tid = tids.(w) in
+                let cpu = Engine.thread_cpu eng ~tid in
+                let t_start = Engine.clock_ns eng ~cpu in
+                let key = keys.(r) in
+                W.read_range store ~lo:(key * key_span) ~n:key_span;
+                if writes.(r) then
+                  W.write_range store ~lo:(key * key_span) ~n:key_span;
+                W.write_word sessions (client_of.(r) mod session_words);
+                Api.compute service_compute_ns;
+                let cpu = Engine.thread_cpu eng ~tid in
+                let t_done = Engine.clock_ns eng ~cpu in
+                let queue_ns = Float.max 0. (t_start -. arrivals.(r)) in
+                let latency_ns = t_done -. arrivals.(r) in
+                let service_ns = t_done -. t_start in
+                Histogram.add lat_hist (us_of_ns latency_ns);
+                Histogram.add queue_hist (us_of_ns queue_ns);
+                lat_sum := !lat_sum +. latency_ns;
+                queue_sum := !queue_sum +. queue_ns;
+                served.(w) <- served.(w) + 1;
+                if t_done > !last_done then last_done := t_done;
+                (match profile with
+                | Some pr -> Numa_obs.Profile.note_request pr ~service_ns ~queue_ns
+                | None -> ());
+                if Numa_obs.Hub.enabled obs then
+                  Numa_obs.Hub.emit obs
+                    (Numa_obs.Event.Request_served
+                       { client = client_of.(r); key; cpu; queue_ns; service_ns }))
+              assigned.(w))
+    done;
+    System.set_serving_collector sys (fun () ->
+        let requests = Histogram.total lat_hist in
+        let first = if n > 0 then arrivals.(0) else 0. in
+        let span_ns = Float.max 0. (!last_done -. first) in
+        let freq = float_of_int requests in
+        {
+          Report.requests;
+          arrival_spec = Dist.arrival_to_string arrival;
+          zipf_theta = theta;
+          clients;
+          write_fraction = rw_mix;
+          span_ns;
+          throughput_rps = (if span_ns > 0. then freq /. span_ns *. 1e9 else 0.);
+          mean_us = (if requests = 0 then 0. else !lat_sum /. freq /. 1e3);
+          p50_us = Histogram.percentile lat_hist 50.;
+          p95_us = Histogram.percentile lat_hist 95.;
+          p99_us = Histogram.percentile lat_hist 99.;
+          p999_us = Histogram.percentile lat_hist 99.9;
+          max_us = Histogram.max_key lat_hist;
+          queue_mean_us = (if requests = 0 then 0. else !queue_sum /. freq /. 1e3);
+          queue_p99_us = Histogram.percentile queue_hist 99.;
+          per_worker_served = Array.copy served;
+        })
+  in
+  {
+    App_sig.name = "serve";
+    description = "open-loop sharded KV serving: zipfian keys, bursty Poisson arrivals";
+    fetch_dominated = true;
+    setup;
+  }
+
+let app = make ()

@@ -1,0 +1,24 @@
+(** Open-loop served-traffic workload: sharded key-value serving under a
+    deterministic synthetic arrival process (Poisson with burst episodes,
+    zipfian key popularity, a large multiplexed client population). Fills
+    the report's [serving] section with latency percentiles and
+    queue-delay attribution; see docs/WORKLOADS.md for the family's
+    design contract. *)
+
+val requests_for : float -> int
+(** Number of requests a run at the given [--scale] replays. *)
+
+val make :
+  ?arrival:Numa_util.Dist.arrival ->
+  ?theta:float ->
+  ?clients:int ->
+  ?rw_mix:float ->
+  unit ->
+  App_sig.t
+(** A serve app instance. [arrival] is the open-loop process (default
+    100k req/s with 4x bursts), [theta] the zipf skew (default 0.9),
+    [clients] the logical client population (default 1e6), [rw_mix] the
+    fraction of requests that write their object (default 0.1). *)
+
+val app : App_sig.t
+(** The default instance, registered as ["serve"]. *)

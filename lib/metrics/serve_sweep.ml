@@ -1,0 +1,245 @@
+open Numa_util
+module Report = Numa_system.Report
+module Sys_ = Numa_system.System
+module Config = Numa_machine.Config
+module Plan = Numa_faults.Plan
+
+(* The slate: the paper's policy, both baselines it is judged against, and
+   the topology-aware variant — enough to show the tail-latency ordering
+   without pricing every shipped policy. *)
+let default_policies () =
+  [
+    Sys_.Move_limit { threshold = 4 };
+    Sys_.All_global;
+    Sys_.Never_pin;
+    Sys_.Bandwidth_aware { threshold = 4 };
+  ]
+
+let default_topologies () = [ "ace"; "multi-socket"; "butterfly" ]
+
+(* Node 1 drops out at 5 ms of simulated time — mid-warmup, so the drain
+   and re-placement storm lands before arrivals and the serving tail shows
+   steady-state life on the shrunken machine, not the drain transient. *)
+let offline_plan () =
+  match Plan.of_string "node-offline:1@5" with
+  | Ok plan -> plan
+  | Error msg -> invalid_arg ("Serve_sweep.offline_plan: " ^ msg)
+
+type cell = {
+  policy : Sys_.policy_spec;
+  faulted : bool;  (** ran under {!offline_plan}, not fault-free *)
+  serving : Report.serving;
+  user_s : float;
+  invariant_checks : int;
+  invariant_violations : int;
+  r : Report.t;
+}
+
+type row = {
+  topology : string;
+  cells : cell list;  (** one per policy, fault-free, in slate order *)
+  offline : cell;  (** the default policy with node 1 offlined mid-warmup *)
+  p99_spread : float;
+      (** worst over best fault-free p99 — the tail-latency gap placement
+          policy alone opens on this machine *)
+}
+
+let robustness_of_report (r : Report.t) =
+  match r.Report.robustness with
+  | Some rb -> (rb.Report.invariant_checks, rb.Report.invariant_violations)
+  | None -> (0, 0)
+
+let serving_of_report ~policy (r : Report.t) =
+  match r.Report.serving with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Serve_sweep: run under %s produced no serving section (not a serve app?)"
+           (Sys_.policy_spec_name policy))
+
+let topology_tweak ~spec ~topology c =
+  match Config.of_topology_name ~n_cpus:c.Config.n_cpus topology with
+  | Some c -> spec.Runner.config_tweak c
+  | None -> invalid_arg (Printf.sprintf "Serve_sweep: unknown topology %S" topology)
+
+let cell_of_run ~policy ~faulted (r : Report.t) =
+  let invariant_checks, invariant_violations = robustness_of_report r in
+  {
+    policy;
+    faulted;
+    serving = serving_of_report ~policy r;
+    user_s = Report.total_user_s r;
+    invariant_checks;
+    invariant_violations;
+    r;
+  }
+
+let run ?jobs ?app ?policies ?topologies ?(spec = Runner.default_spec) () =
+  let app = match app with Some a -> a | None -> Numa_apps.Serve.app in
+  let policies = match policies with Some l -> l | None -> default_policies () in
+  let topologies =
+    match topologies with Some l -> l | None -> default_topologies ()
+  in
+  if policies = [] then invalid_arg "Serve_sweep.run: no policies";
+  if topologies = [] then invalid_arg "Serve_sweep.run: no topologies";
+  (* The whole grid fans out at once: per topology, every policy fault-free
+     plus the default policy with a node offlined. Every run is paranoid —
+     a tail measured on an incoherent protocol would be worthless — and
+     open-loop arrivals make the cells comparable: the offered load is
+     identical everywhere, only the queues differ. *)
+  let offline = offline_plan () in
+  let jobs_list =
+    List.concat_map
+      (fun topology ->
+        List.map (fun p -> (topology, p, false)) policies
+        @ [ (topology, List.hd policies, true) ])
+      topologies
+  in
+  let measured =
+    Parallel.map ?jobs
+      (fun (topology, policy, faulted) ->
+        let r =
+          Runner.run app
+            {
+              spec with
+              Runner.policy;
+              config_tweak = topology_tweak ~spec ~topology;
+              faults = (if faulted then offline else Plan.empty);
+              paranoid = true;
+            }
+        in
+        cell_of_run ~policy ~faulted r)
+      jobs_list
+  in
+  let rec group topologies measured =
+    match topologies with
+    | [] -> []
+    | topology :: rest ->
+        let n = List.length policies + 1 in
+        let mine = List.filteri (fun i _ -> i < n) measured in
+        let remaining = List.filteri (fun i _ -> i >= n) measured in
+        let cells = List.filter (fun c -> not c.faulted) mine in
+        let offline = List.find (fun c -> c.faulted) mine in
+        let p99s =
+          List.map (fun c -> float_of_int c.serving.Report.p99_us) cells
+        in
+        let best = List.fold_left Float.min infinity p99s in
+        let worst = List.fold_left Float.max 0. p99s in
+        {
+          topology;
+          cells;
+          offline;
+          p99_spread = (if best > 0. then worst /. best else nan);
+        }
+        :: group rest remaining
+  in
+  group topologies measured
+
+let all_cells rows =
+  List.concat_map (fun row -> row.cells @ [ row.offline ]) rows
+
+let total_violations rows =
+  List.fold_left (fun acc c -> acc + c.invariant_violations) 0 (all_cells rows)
+
+let cell_label c =
+  Sys_.policy_spec_name c.policy ^ if c.faulted then " +node-offline" else ""
+
+let render ~scale rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Topology", Text_table.Left);
+          ("Policy", Text_table.Left);
+          ("mean us", Text_table.Right);
+          ("p50", Text_table.Right);
+          ("p95", Text_table.Right);
+          ("p99", Text_table.Right);
+          ("p99.9", Text_table.Right);
+          ("max", Text_table.Right);
+          ("queue p99", Text_table.Right);
+          ("req/s", Text_table.Right);
+          ("violations", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun c ->
+          let s = c.serving in
+          Text_table.add_row table
+            [
+              row.topology;
+              cell_label c;
+              Printf.sprintf "%.1f" s.Report.mean_us;
+              Text_table.cell_int s.Report.p50_us;
+              Text_table.cell_int s.Report.p95_us;
+              Text_table.cell_int s.Report.p99_us;
+              Text_table.cell_int s.Report.p999_us;
+              Text_table.cell_int s.Report.max_us;
+              Text_table.cell_int s.Report.queue_p99_us;
+              Printf.sprintf "%.0f" s.Report.throughput_rps;
+              Text_table.cell_int c.invariant_violations;
+            ])
+        (row.cells @ [ row.offline ]))
+    rows;
+  let spreads =
+    String.concat ", "
+      (List.map
+         (fun row -> Printf.sprintf "%s %.1fx" row.topology row.p99_spread)
+         rows)
+  in
+  Printf.sprintf
+    "Serve sweep at scale %g: open-loop request latency (microseconds) per \
+     placement policy and machine; identical offered load in every cell, so \
+     the spread is pure policy. p99 spread (worst/best fault-free policy): \
+     %s. %d invariant violations across the grid.\n%s"
+    scale spreads (total_violations rows) (Text_table.render table)
+
+let serving_to_json (s : Report.serving) : Numa_obs.Json.t =
+  let open Numa_obs.Json in
+  Obj
+    [
+      ("requests", Int s.Report.requests);
+      ("throughput_rps", Float s.Report.throughput_rps);
+      ("mean_us", Float s.Report.mean_us);
+      ("p50_us", Int s.Report.p50_us);
+      ("p95_us", Int s.Report.p95_us);
+      ("p99_us", Int s.Report.p99_us);
+      ("p999_us", Int s.Report.p999_us);
+      ("max_us", Int s.Report.max_us);
+      ("queue_mean_us", Float s.Report.queue_mean_us);
+      ("queue_p99_us", Int s.Report.queue_p99_us);
+    ]
+
+let to_json rows : Numa_obs.Json.t =
+  let open Numa_obs.Json in
+  let cell_json c =
+    Obj
+      [
+        ("policy", String (Sys_.policy_spec_name c.policy));
+        ("faulted", Bool c.faulted);
+        ("user_s", Float c.user_s);
+        ("latency", serving_to_json c.serving);
+        ("invariant_checks", Int c.invariant_checks);
+        ("invariant_violations", Int c.invariant_violations);
+        ("report", Report.to_json c.r);
+      ]
+  in
+  Obj
+    [
+      ("total_violations", Int (total_violations rows));
+      ( "topologies",
+        List
+          (List.map
+             (fun row ->
+               Obj
+                 [
+                   ("topology", String row.topology);
+                   ("p99_spread", Float row.p99_spread);
+                   ("policies", List (List.map cell_json row.cells));
+                   ("node_offline", cell_json row.offline);
+                 ])
+             rows) );
+    ]

@@ -39,6 +39,14 @@ type t =
   | Pt_shootdown of { cpu : int; vpage : int; lpage : int; node : int }
   | Pt_replica_create of { pmap : int; node : int; frames : int }
   | Pt_replica_drop of { pmap : int; node : int }
+  | Request_arrived of { client : int; key : int; worker : int }
+  | Request_served of {
+      client : int;
+      key : int;
+      cpu : int;
+      queue_ns : float;
+      service_ns : float;
+    }
 
 let name = function
   | Fault_resolved _ -> "fault_resolved"
@@ -77,6 +85,8 @@ let name = function
   | Pt_shootdown _ -> "pt_shootdown"
   | Pt_replica_create _ -> "pt_replica_create"
   | Pt_replica_drop _ -> "pt_replica_drop"
+  | Request_arrived _ -> "request_arrived"
+  | Request_served _ -> "request_served"
 
 type lane = Cpu_lane of int | Protocol_lane
 
@@ -87,7 +97,8 @@ let lane = function
   | Sync_to_global _ | Zero_fill _ | Page_freed _ | Reconsider_scan _
   | Fault_injected _ | Node_offline _ | Node_online _ | Node_drained _
   | Link_degraded _ | Invariant_checked _ | Page_in _ | Page_evicted _
-  | Writeback_started _ | Writeback_done _ | Pt_replica_create _ | Pt_replica_drop _ ->
+  | Writeback_started _ | Writeback_done _ | Pt_replica_create _ | Pt_replica_drop _
+  | Request_arrived _ ->
       Protocol_lane
   | Fault_resolved { cpu; _ }
   | Policy_decision { cpu; _ }
@@ -102,7 +113,8 @@ let lane = function
   | Tlb_shootdown { cpu; _ }
   | Out_of_memory { cpu; _ }
   | Pt_walk { cpu; _ }
-  | Pt_shootdown { cpu; _ } ->
+  | Pt_shootdown { cpu; _ }
+  | Request_served { cpu; _ } ->
       Cpu_lane cpu
   | Thread_migrated { to_cpu; _ } -> Cpu_lane to_cpu
 
@@ -129,7 +141,8 @@ let lpage = function
   | Refs _ | Bus_queued _ | Lock_acquired _ | Lock_contended _ | Lock_released _
   | Dispatch _ | Syscall _ | Thread_migrated _ | Reconsider_scan _ | Fault_injected _
   | Node_offline _ | Node_online _ | Node_drained _ | Link_degraded _
-  | Invariant_checked _ | Out_of_memory _ | Pt_replica_create _ | Pt_replica_drop _ ->
+  | Invariant_checked _ | Out_of_memory _ | Pt_replica_create _ | Pt_replica_drop _
+  | Request_arrived _ | Request_served _ ->
       None
 
 let args ev : (string * Json.t) list =
@@ -221,6 +234,16 @@ let args ev : (string * Json.t) list =
       [ ("pmap", Json.Int pmap); ("node", Json.Int node); ("frames", Json.Int frames) ]
   | Pt_replica_drop { pmap; node } ->
       [ ("pmap", Json.Int pmap); ("node", Json.Int node) ]
+  | Request_arrived { client; key; worker } ->
+      [ ("client", Json.Int client); ("key", Json.Int key); ("worker", Json.Int worker) ]
+  | Request_served { client; key; cpu; queue_ns; service_ns } ->
+      [
+        ("client", Json.Int client);
+        ("key", Json.Int key);
+        ("cpu", Json.Int cpu);
+        ("queue_ns", Json.Float queue_ns);
+        ("service_ns", Json.Float service_ns);
+      ]
 
 let describe ev =
   match ev with
@@ -312,3 +335,9 @@ let describe ev =
         (if frames = 1 then "" else "s")
   | Pt_replica_drop { node; _ } ->
       Printf.sprintf "page-table replica dropped from node %d" node
+  | Request_arrived { client; key; worker } ->
+      Printf.sprintf "request from client %d for key %d enqueued to worker %d" client key
+        worker
+  | Request_served { client; key; queue_ns; service_ns; _ } ->
+      Printf.sprintf "request from client %d for key %d served (%.0f ns queued, %.0f ns \
+                      service)" client key queue_ns service_ns

@@ -93,6 +93,16 @@ type t =
       (** a full per-node page-table replica was materialised (Mitosis) *)
   | Pt_replica_drop of { pmap : int; node : int }
       (** a per-node replica was torn down (node offline / evacuation) *)
+  | Request_arrived of { client : int; key : int; worker : int }
+      (** an open-loop serving request entered its shard worker's queue *)
+  | Request_served of {
+      client : int;
+      key : int;
+      cpu : int;
+      queue_ns : float;
+      service_ns : float;
+    }
+      (** the request completed on [cpu]; latency = queue + service *)
 
 val name : t -> string
 (** Stable snake_case tag, used as the Chrome trace event name. *)

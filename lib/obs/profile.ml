@@ -89,6 +89,9 @@ type t = {
   locks : (int, lock_stats) Hashtbl.t;
   mutable elapsed_ns : float;
   mutable finalized : bool;
+  mutable serve_requests : int;
+  mutable serve_service_ns : float;
+  mutable serve_queue_ns : float;
 }
 
 let create ~n_cpus ~n_nodes ~n_pages =
@@ -114,6 +117,9 @@ let create ~n_cpus ~n_nodes ~n_pages =
     locks = Hashtbl.create 16;
     elapsed_ns = 0.;
     finalized = false;
+    serve_requests = 0;
+    serve_service_ns = 0.;
+    serve_queue_ns = 0.;
   }
 
 let set_clock t f = t.clock <- f
@@ -187,6 +193,14 @@ let charge_dispatch t ~cpu ns =
 
 let charge_idle t ~cpu ns = t.idle.(cpu) <- t.idle.(cpu) +. ns
 
+(* Side attribution like [touch_page]: the request's service time is
+   already charged to the cpu by the ops that made it up, so this must not
+   touch [busy] — it only splits the serving latency into its two halves. *)
+let note_request t ~service_ns ~queue_ns =
+  t.serve_requests <- t.serve_requests + 1;
+  t.serve_service_ns <- t.serve_service_ns +. service_ns;
+  t.serve_queue_ns <- t.serve_queue_ns +. queue_ns
+
 let lock_acquired t ~lock_id =
   let ls = lock_stats t lock_id in
   ls.acquisitions <- ls.acquisitions + 1;
@@ -238,6 +252,8 @@ let check_conservation t ~clocks ~elapsed_ns =
 
 type tree_node = { label : string; ns : float; children : (string * float) list }
 
+type serve_split = { requests : int; service_ns : float; queue_ns : float }
+
 type snapshot = {
   elapsed_ns : float;
   n_cpus : int;
@@ -249,6 +265,7 @@ type snapshot = {
   hot_locks : (int * float * float * int) list;
   hot_links : (int * int * float) list;
   hot_threads : (int * float) list;
+  serve : serve_split option;
 }
 
 let sum = Array.fold_left ( +. ) 0.
@@ -374,6 +391,15 @@ let snapshot ?(top = 10) (t : t) =
     hot_locks;
     hot_threads;
     hot_links;
+    serve =
+      (if t.serve_requests = 0 then None
+       else
+         Some
+           {
+             requests = t.serve_requests;
+             service_ns = t.serve_service_ns;
+             queue_ns = t.serve_queue_ns;
+           });
   }
 
 let render s =
@@ -415,6 +441,17 @@ let render s =
       Printf.sprintf "  %d->%-6d %14.6f\n" src dst (ns /. 1e9));
   section "hot threads" s.hot_threads (fun (tid, ns) ->
       Printf.sprintf "  tid %-7d %14.6f\n" tid (ns /. 1e9));
+  (match s.serve with
+  | None -> ()
+  | Some sv ->
+      (* Wall-latency split, not cpu time: the service half is already in
+         the categories above; the queueing half is time spent waiting. *)
+      Buffer.add_string buf
+        (Printf.sprintf "# serving (request latency split, %d requests)\n" sv.requests);
+      Buffer.add_string buf
+        (Printf.sprintf "  service      %14.6f\n" (sv.service_ns /. 1e9));
+      Buffer.add_string buf
+        (Printf.sprintf "  queueing     %14.6f\n" (sv.queue_ns /. 1e9)));
   Buffer.contents buf
 
 let folded s =
@@ -434,11 +471,18 @@ let folded s =
                 Buffer.add_string buf (Printf.sprintf "%s;%s %.0f\n" n.label child ns))
             children)
     s.categories;
+  (match s.serve with
+  | None -> ()
+  | Some sv ->
+      if sv.service_ns > 0. then
+        Buffer.add_string buf (Printf.sprintf "serve;service %.0f\n" sv.service_ns);
+      if sv.queue_ns > 0. then
+        Buffer.add_string buf (Printf.sprintf "serve;queue %.0f\n" sv.queue_ns));
   Buffer.contents buf
 
 let snapshot_to_json s =
   Json.Obj
-    [
+    ([
       ("elapsed_ns", Json.Float s.elapsed_ns);
       ("n_cpus", Json.Int s.n_cpus);
       ("attributed_ns", Json.Float s.attributed_ns_total);
@@ -483,3 +527,18 @@ let snapshot_to_json s =
              (fun (tid, ns) -> Json.Obj [ ("tid", Json.Int tid); ("ns", Json.Float ns) ])
              s.hot_threads) );
     ]
+    @
+    (* Appended only for served-traffic runs: batch-app profiles keep the
+       exact key set (and bytes) of earlier releases. *)
+    match s.serve with
+    | None -> []
+    | Some sv ->
+        [
+          ( "serve",
+            Json.Obj
+              [
+                ("requests", Json.Int sv.requests);
+                ("service_ns", Json.Float sv.service_ns);
+                ("queue_ns", Json.Float sv.queue_ns);
+              ] );
+        ])

@@ -87,6 +87,12 @@ val charge_idle : t -> cpu:int -> float -> unit
 (** A gap where the CPU's clock jumped forward without doing work
     (thread parked on a lagging CPU, syscall return, migration). *)
 
+val note_request : t -> service_ns:float -> queue_ns:float -> unit
+(** Side attribution (like the hot-page totals): record one served
+    request's latency split into queueing and service. Does not charge any
+    CPU — the service time is already on the clocks via the ops that made
+    it up — so conservation is untouched. *)
+
 val lock_acquired : t -> lock_id:int -> unit
 (** Start of a hold interval, stamped from the profiler clock. *)
 
@@ -116,6 +122,9 @@ type tree_node = {
   children : (string * float) list;  (** sorted by descending time *)
 }
 
+type serve_split = { requests : int; service_ns : float; queue_ns : float }
+(** Aggregate request-latency split recorded by {!note_request}. *)
+
 type snapshot = {
   elapsed_ns : float;
   n_cpus : int;
@@ -128,6 +137,9 @@ type snapshot = {
       (** (lock id, spin ns, hold ns, acquisitions), by spin *)
   hot_links : (int * int * float) list;  (** (src, dst, ns) off-node traffic *)
   hot_threads : (int * float) list;
+  serve : serve_split option;
+      (** [None] unless requests were served, so batch-app profiles render
+          (text, folded and JSON) byte-identically to earlier releases *)
 }
 
 val snapshot : ?top:int -> t -> snapshot

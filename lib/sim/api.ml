@@ -32,3 +32,5 @@ let syscall ?(touch_stack = false) ~service_ns () =
   ignore (perform (Op.Syscall { service_ns; touch_stack }))
 
 let migrate ~cpu = ignore (perform (Op.Migrate { cpu }))
+
+let sleep_until ~ns = ignore (perform (Op.Sleep_until { until_ns = ns }))

@@ -37,6 +37,13 @@ val syscall : ?touch_stack:bool -> service_ns:float -> unit -> unit
     (default false) makes the kernel reference the caller's user stack, the
     behaviour that shares stack pages with the Unix master (section 4.6). *)
 
+val sleep_until : ns:float -> unit
+(** Park the calling thread until the given instant of virtual time; a
+    deadline already past returns immediately. The thread consumes no CPU
+    while parked (the gap is idle, like a blocked system call), which is
+    what makes open-loop arrival processes possible: a serving thread
+    sleeps to the next request's arrival instant instead of spinning. *)
+
 val migrate : cpu:int -> unit
 (** Move the calling thread to another processor (costs a reschedule).
     Under the affinity scheduler this is the thread's new permanent home.

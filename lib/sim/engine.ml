@@ -44,6 +44,7 @@ type pending =
   | P_barrier of { b : Sync.barrier; mutable arrived : bool; mutable gen : int }
   | P_syscall of { service_ns : float; touch_stack : bool }
   | P_migrate of { target : int }
+  | P_sleep of { until_ns : float }
 
 type thread = {
   tid : int;
@@ -171,6 +172,7 @@ let begin_pending = function
   | Op.Barrier_wait b -> P_barrier { b; arrived = false; gen = b.Sync.generation }
   | Op.Syscall { service_ns; touch_stack } -> P_syscall { service_ns; touch_stack }
   | Op.Migrate { cpu } -> P_migrate { target = cpu }
+  | Op.Sleep_until { until_ns } -> P_sleep { until_ns }
 
 let spawn t ?cpu ?stack_vpage ~name body =
   if t.running || t.completed then invalid_arg "Engine.spawn: engine already running";
@@ -380,6 +382,14 @@ let process_chunk t th ~cpu ~start pending =
       (* The calling thread was blocked, not computing: its own CPU accrues
          neither user nor system time; it resumes when the call returns. *)
       chunk ~d_user:0. ~d_system:0. ~completed:true ~ready_override:finish ()
+  | P_sleep { until_ns } ->
+      (* An open-loop timer: park until the virtual deadline without
+         touching any CPU clock. A deadline already past resumes at [start]
+         (the sleeper was behind, e.g. a serving thread draining a queue
+         backlog). The gap, if any, is charged as idle when the thread's
+         next chunk finds its event time ahead of the CPU clock. *)
+      chunk ~d_user:0. ~d_system:0. ~completed:true
+        ~ready_override:(fmax start until_ns) ()
 
 let pick_cpu t th =
   match t.scheduler with

@@ -7,6 +7,7 @@ type t =
   | Barrier_wait of Sync.barrier
   | Syscall of { service_ns : float; touch_stack : bool }
   | Migrate of { cpu : int }
+  | Sleep_until of { until_ns : float }
 
 let pp ppf = function
   | Read { vpage; count } -> Format.fprintf ppf "read[%d x%d]" vpage count
@@ -18,3 +19,4 @@ let pp ppf = function
   | Syscall { service_ns; touch_stack } ->
       Format.fprintf ppf "syscall[%.0fns%s]" service_ns (if touch_stack then ",stack" else "")
   | Migrate { cpu } -> Format.fprintf ppf "migrate[cpu%d]" cpu
+  | Sleep_until { until_ns } -> Format.fprintf ppf "sleep[until %.0fns]" until_ns

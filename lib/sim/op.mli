@@ -26,5 +26,9 @@ type t =
       (** rebind the thread to another processor (the section 4.7 load
           balancing hook); its pages stay behind unless the kernel moves
           them too *)
+  | Sleep_until of { until_ns : float }
+      (** park until the given instant of virtual time (immediately if it
+          is already past); consumes no CPU while parked — the open-loop
+          waiting primitive of the serving workloads *)
 
 val pp : Format.formatter -> t -> unit

@@ -75,6 +75,25 @@ type pt = {
           counter is competing against *)
 }
 
+type serving = {
+  requests : int;
+  arrival_spec : string;
+  zipf_theta : float;
+  clients : int;
+  write_fraction : float;
+  span_ns : float;
+  throughput_rps : float;
+  mean_us : float;
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+  p999_us : int;
+  max_us : int;
+  queue_mean_us : float;
+  queue_p99_us : int;
+  per_worker_served : int array;
+}
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -121,6 +140,10 @@ type t = {
   pt : pt option;
       (** present only when page tables were materialised ([--pt-mode]
           other than [none]); same byte-identity guarantee *)
+  serving : serving option;
+      (** present only for served-traffic workloads (the app registered a
+          serving collector); batch-app reports keep the same byte-identity
+          guarantee *)
 }
 
 let total_user_s t = t.total_user_ns /. 1e9
@@ -218,6 +241,21 @@ let pp ppf t =
           Format.fprintf ppf " cpu%d=%.1f%%(%d/%d)" cpu rate h m)
         p.tlb_per_cpu;
       Format.fprintf ppf "@,");
+  (match t.serving with
+  | None -> ()
+  | Some s ->
+      Format.fprintf ppf
+        "serving: %d requests, arrival=%s, zipf theta=%.2f, %d clients, %.0f%% writes@,"
+        s.requests s.arrival_spec s.zipf_theta s.clients (100. *. s.write_fraction);
+      Format.fprintf ppf
+        "latency (us): mean %.1f, p50 %d, p95 %d, p99 %d, p99.9 %d, max %d@," s.mean_us
+        s.p50_us s.p95_us s.p99_us s.p999_us s.max_us;
+      Format.fprintf ppf
+        "queueing (us): mean %.1f, p99 %d; span %.3f s, %.0f req/s@," s.queue_mean_us
+        s.queue_p99_us (s.span_ns /. 1e9) s.throughput_rps;
+      Format.fprintf ppf "served per worker:";
+      Array.iteri (fun w n -> Format.fprintf ppf " w%d=%d" w n) s.per_worker_served;
+      Format.fprintf ppf "@,");
   (match t.profile with
   | None -> ()
   | Some s ->
@@ -310,8 +348,38 @@ let to_json t =
       ("bus_delay_ns", Json.Float t.bus_delay_ns);
     ]
     @
-    (* Appended, and only on faulted/paranoid/profiled runs: clean reports
-       keep the exact key set (and bytes) of earlier releases. *)
+    (* Appended, and only on faulted/paranoid/profiled/served runs: clean
+       batch reports keep the exact key set (and bytes) of earlier
+       releases. *)
+    (match t.serving with
+    | None -> []
+    | Some s ->
+        [
+          ( "serving",
+            Json.Obj
+              [
+                ("requests", Json.Int s.requests);
+                ("arrival", Json.String s.arrival_spec);
+                ("zipf_theta", Json.Float s.zipf_theta);
+                ("clients", Json.Int s.clients);
+                ("write_fraction", Json.Float s.write_fraction);
+                ("span_ns", Json.Float s.span_ns);
+                ("throughput_rps", Json.Float s.throughput_rps);
+                ("mean_us", Json.Float s.mean_us);
+                ("p50_us", Json.Int s.p50_us);
+                ("p95_us", Json.Int s.p95_us);
+                ("p99_us", Json.Int s.p99_us);
+                ("p999_us", Json.Int s.p999_us);
+                ("max_us", Json.Int s.max_us);
+                ("queue_mean_us", Json.Float s.queue_mean_us);
+                ("queue_p99_us", Json.Int s.queue_p99_us);
+                ( "per_worker_served",
+                  Json.List
+                    (Array.to_list
+                       (Array.map (fun n -> Json.Int n) s.per_worker_served)) );
+              ] );
+        ])
+    @
     (match t.profile with
     | None -> []
     | Some s -> [ ("profile", Numa_obs.Profile.snapshot_to_json s) ])

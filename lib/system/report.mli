@@ -73,6 +73,27 @@ type pt = {
 (** Materialised-page-table activity; present only under [--pt-mode]
     [shared] or [replicated]. *)
 
+type serving = {
+  requests : int;  (** completed requests (all arrivals are served) *)
+  arrival_spec : string;  (** canonical {!Numa_util.Dist.arrival_to_string} *)
+  zipf_theta : float;  (** key-popularity skew of the request stream *)
+  clients : int;  (** logical client population multiplexed on the trace *)
+  write_fraction : float;  (** fraction of requests that mutate their object *)
+  span_ns : float;  (** first arrival to last completion *)
+  throughput_rps : float;  (** requests / span *)
+  mean_us : float;  (** arrival-to-completion latency, microseconds *)
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+  p999_us : int;  (** the SLO tail the serve experiments compare policies on *)
+  max_us : int;
+  queue_mean_us : float;  (** arrival-to-service-start share of the latency *)
+  queue_p99_us : int;
+  per_worker_served : int array;  (** requests completed by each shard worker *)
+}
+(** Open-loop served-traffic summary (the {!Numa_apps.Serve} family):
+    per-request latency percentiles with queue-delay attribution. *)
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -120,6 +141,9 @@ type t = {
   pt : pt option;
       (** page-table walk/replication counters; [None] unless tables were
           materialised, preserving the same byte-identity guarantee *)
+  serving : serving option;
+      (** served-traffic latency summary; [None] for batch apps, preserving
+          the same byte-identity guarantee *)
 }
 
 val total_user_s : t -> float

@@ -160,6 +160,9 @@ type t = {
   profile : Numa_obs.Profile.t option;
       (** simulated-time profiler; [None] keeps every hot path and the
           report byte-identical to unprofiled releases *)
+  mutable serving_cb : (unit -> Report.serving) option;
+      (** registered by served-traffic apps at setup; invoked once when the
+          report is assembled, so batch apps keep [serving = None] *)
 }
 
 (* --- reference accounting --------------------------------------------- *)
@@ -666,6 +669,7 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       invariant_violations = 0;
       first_violations = [];
       profile;
+      serving_cb = None;
     }
   in
   tref := Some t;
@@ -799,6 +803,7 @@ let spawn t ?cpu ?task ?(stack_pages = 1) ~name body =
   tid
 
 let set_access_hook t hook = t.hook <- hook
+let set_serving_collector t collect = t.serving_cb <- Some collect
 
 (* --- running and reporting --------------------------------------------- *)
 
@@ -921,6 +926,7 @@ let run t =
               tlb_per_cpu =
                 Array.init n_cpus (fun cpu -> Mmu.tlb_stats t.mmu ~cpu);
             });
+    serving = Option.map (fun collect -> collect ()) t.serving_cb;
   }
 
 (* --- introspection ------------------------------------------------------ *)

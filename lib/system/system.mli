@@ -188,6 +188,12 @@ val spawn :
 val set_access_hook : t -> (access_event -> unit) option -> unit
 (** Observe every batched reference (for tracing). *)
 
+val set_serving_collector : t -> (unit -> Report.serving) -> unit
+(** Register the served-traffic summary collector. Called by serving apps
+    during setup; {!run} invokes it once after the last thread finishes to
+    fill {!Report.t.serving}. Batch apps never call this, so their reports
+    keep the exact key set (and bytes) of earlier releases. *)
+
 val run : t -> Report.t
 (** Run all spawned threads to completion and assemble the report. *)
 

@@ -24,4 +24,5 @@ let () =
       ("faults", Test_faults.suite);
       ("profile", Test_profile.suite);
       ("pt", Test_pt.suite);
+      ("serve", Test_serve.suite);
     ]
