@@ -12,6 +12,7 @@ module Chaos = Numa_metrics.Chaos
 module Pressure = Numa_metrics.Pressure
 module Pt_sweep = Numa_metrics.Pt_sweep
 module Serve_sweep = Numa_metrics.Serve_sweep
+module Resilience = Numa_metrics.Resilience
 module System = Numa_system.System
 
 let scale_arg =
@@ -181,6 +182,23 @@ let serve_sweep ~spec ~jobs ~json_out ~policies =
     failwith
       (Printf.sprintf "serve sweep found %d protocol invariant violations" violations)
 
+let resilience_sweep ~spec ~jobs ~json_out =
+  (* The grid pins its own machine, traffic and fault plans (the 2x
+     node-offline recovery it reports is an acceptance gate, so the
+     scenario must not drift with --cpus/--scale); only the seed carries
+     over. Fails on any protocol-invariant or request-conservation
+     violation. *)
+  let rows = Resilience.run ~jobs ~spec () in
+  print_endline (Resilience.render rows);
+  let json_out = Option.value json_out ~default:"resilience-sweep.json" in
+  Numa_obs.Json.save (Resilience.to_json rows) json_out;
+  Printf.printf "resilience-sweep JSON written to %s\n" json_out;
+  let violations = Resilience.total_violations rows in
+  if violations > 0 then
+    failwith
+      (Printf.sprintf
+         "resilience sweep found %d invariant/conservation violations" violations)
+
 let table1 () =
   print_endline (Numa_core.Protocol.render_table Numa_machine.Access.Load)
 
@@ -322,6 +340,7 @@ let run_section section ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =
   | "pressure-sweep" -> pressure_sweep ~spec ~jobs ~topology ~json_out ~apps
   | "pt-sweep" -> pt_sweep ~spec ~jobs ~json_out ~apps
   | "serve-sweep" -> serve_sweep ~spec ~jobs ~json_out ~policies
+  | "resilience-sweep" -> resilience_sweep ~spec ~jobs ~json_out
   | other -> failwith ("unknown section: " ^ other)
 
 let sections =
@@ -330,7 +349,7 @@ let sections =
     "false-sharing"; "scheduler"; "gl-sweep"; "pragmas"; "unix-master"; "optimal";
     "remote"; "replay"; "bus"; "migration"; "cpu-sweep"; "butterfly"; "topology-sweep";
     "reconsider"; "policy-tournament"; "chaos-sweep"; "pressure-sweep"; "pt-sweep";
-    "serve-sweep";
+    "serve-sweep"; "resilience-sweep";
   ]
 
 let all ~spec ~cpus ~jobs ~topology ~json_out ~apps ~policies =

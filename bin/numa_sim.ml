@@ -163,16 +163,103 @@ let rw_mix_arg =
            0.1). 0 makes the store read-shared (replication-friendly); higher \
            values churn the placement protocol.")
 
-let resolve_app name ~arrival ~zipf ~clients ~rw_mix =
+(* --- resilience knobs (serve app only) ---------------------------------- *)
+
+let retry_conv =
+  let parse s =
+    match Numa_apps.Resilience.retry_of_string s with
+    | Ok r -> Ok r
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf r =
+    Format.pp_print_string ppf (Numa_apps.Resilience.retry_to_string r)
+  in
+  Arg.conv (parse, print)
+
+let hedge_conv =
+  let parse s =
+    match Numa_apps.Resilience.hedge_of_string s with
+    | Ok h -> Ok h
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf h =
+    Format.pp_print_string ppf (Numa_apps.Resilience.hedge_to_string h)
+  in
+  Arg.conv (parse, print)
+
+let breaker_conv =
+  let parse s =
+    match Numa_apps.Resilience.breaker_of_string s with
+    | Ok b -> Ok b
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf b =
+    Format.pp_print_string ppf (Numa_apps.Resilience.breaker_to_string b)
+  in
+  Arg.conv (parse, print)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline" ] ~docv:"US"
+        ~doc:
+          "Per-request deadline for the serve app, in microseconds of simulated \
+           time. Alone it is observe-only (the report's resilience section \
+           classifies outcomes against the SLO); combined with --retry, --hedge \
+           or --breaker the deadline is armed as a cancellable virtual-time \
+           timer per attempt (default 5000 when a mechanism needs one).")
+
+let retry_arg =
+  Arg.(
+    value
+    & opt (some retry_conv) None
+    & info [ "retry" ] ~docv:"ATTEMPTS:BASE_MS:MAX_MS:JITTER"
+        ~doc:
+          "Retry budget for the serve app: up to ATTEMPTS tries per request, \
+           with exponential backoff from BASE_MS capped at MAX_MS and \
+           multiplied by (1 + JITTER*u) for a seeded uniform u (e.g. \
+           3:0.2:2:0.5).")
+
+let hedge_arg =
+  Arg.(
+    value
+    & opt (some hedge_conv) None
+    & info [ "hedge" ] ~docv:"FACTOR"
+        ~doc:
+          "Hedged requests for the serve app: when the first attempt outlives \
+           FACTOR times the live p99 latency, launch a second attempt with the \
+           remaining deadline budget and take whichever finishes.")
+
+let breaker_arg =
+  Arg.(
+    value
+    & opt (some breaker_conv) None
+    & info [ "breaker" ] ~docv:"FAILURES:COOLDOWN_MS"
+        ~doc:
+          "Per-shard circuit breakers for the serve app: open after FAILURES \
+           consecutive deadline misses (shedding requests at near-zero cost), \
+           half-open after COOLDOWN_MS of simulated time, close on a successful \
+           probe. Breakers also force open on node-offline faults and half-open \
+           when the node returns, after failing the shard over to the nearest \
+           online node.")
+
+let resolve_app name ~arrival ~zipf ~clients ~rw_mix ~deadline ~retry ~hedge ~breaker =
   match find_app name with
   | Error _ as e -> e
   | Ok app ->
-      if arrival = None && zipf = None && clients = None && rw_mix = None then Ok app
+      let resilient =
+        deadline <> None || retry <> None || hedge <> None || breaker <> None
+      in
+      if
+        arrival = None && zipf = None && clients = None && rw_mix = None
+        && not resilient
+      then Ok app
       else if app.Numa_apps.App_sig.name <> "serve" then
         Error
           (Printf.sprintf
-             "--arrival/--zipf/--clients/--rw-mix shape served traffic and only \
-              apply to the serve app, not %S"
+             "--arrival/--zipf/--clients/--rw-mix/--deadline/--retry/--hedge/--breaker \
+              shape served traffic and only apply to the serve app, not %S"
              name)
       else if (match zipf with Some t -> t < 0. | None -> false) then
         Error "--zipf must be >= 0"
@@ -180,7 +267,17 @@ let resolve_app name ~arrival ~zipf ~clients ~rw_mix =
         Error "--clients must be positive"
       else if (match rw_mix with Some f -> f < 0. || f > 1. | None -> false) then
         Error "--rw-mix must be in [0,1]"
-      else Ok (Numa_apps.Serve.make ?arrival ?theta:zipf ?clients ?rw_mix ())
+      else if (match deadline with Some d -> d <= 0 | None -> false) then
+        Error "--deadline must be a positive number of microseconds"
+      else
+        let resilience =
+          if resilient then
+            Some
+              (Numa_apps.Resilience.make ?deadline_us:deadline ?retry ?hedge ?breaker
+                 ())
+          else None
+        in
+        Ok (Numa_apps.Serve.make ?arrival ?theta:zipf ?clients ?rw_mix ?resilience ())
 
 let spec_of ?(topology = "ace") ?(faults = Numa_faults.Plan.empty) ?(paranoid = false)
     ?(profiling = false) ?(victim = Numa_vm.Pageout.Clock)
@@ -219,7 +316,9 @@ let faults_arg =
         ~doc:
           "Deterministic fault schedule, comma-separated: \
            node-offline:NODE\\@MS, node-online:NODE\\@MS, \
-           link-degrade:SRC:DST:FACTOR\\@MS..MS, frame-squeeze:NODE:FRAC\\@MS, \
+           node-flap:NODE:PERIOD_MS\\@MS..MS (sugar for alternating \
+           offline/online), link-degrade:SRC:DST:FACTOR\\@MS..MS, \
+           frame-squeeze:NODE:FRAC\\@MS, \
            stale-pte:LPAGE\\@MS (needs --pt-mode replicated), \
            spurious-shootdown:RATE (times in milliseconds of simulated time). \
            The same plan and workload seed reproduce the run byte for byte.")
@@ -314,8 +413,12 @@ let profile_out_arg =
 let run_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
       faults paranoid victim pt_mode pages trace_out metrics_out report_json
-      explain_page profile_out arrival zipf clients rw_mix =
-    match resolve_app app_name ~arrival ~zipf ~clients ~rw_mix with
+      explain_page profile_out arrival zipf clients rw_mix deadline retry hedge
+      breaker =
+    match
+      resolve_app app_name ~arrival ~zipf ~clients ~rw_mix ~deadline ~retry ~hedge
+        ~breaker
+    with
     | Error msg ->
         prerr_endline msg;
         1
@@ -442,7 +545,7 @@ let run_cmd =
       $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ paranoid_arg
       $ victim_arg $ pt_mode_arg $ pages_arg $ trace_out_arg $ metrics_out_arg
       $ report_json_arg $ explain_page_arg $ profile_out_arg $ arrival_arg $ zipf_arg
-      $ clients_arg $ rw_mix_arg)
+      $ clients_arg $ rw_mix_arg $ deadline_arg $ retry_arg $ hedge_arg $ breaker_arg)
 
 let profile_cmd =
   let top_arg =
@@ -466,8 +569,12 @@ let profile_cmd =
       & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the profile snapshot as JSON.")
   in
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      faults pt_mode top folded_out json_out arrival zipf clients rw_mix =
-    match resolve_app app_name ~arrival ~zipf ~clients ~rw_mix with
+      faults pt_mode top folded_out json_out arrival zipf clients rw_mix deadline
+      retry hedge breaker =
+    match
+      resolve_app app_name ~arrival ~zipf ~clients ~rw_mix ~deadline ~retry ~hedge
+        ~breaker
+    with
     | Error msg ->
         prerr_endline msg;
         1
@@ -535,12 +642,15 @@ let profile_cmd =
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
       $ scheduler_arg $ unix_master_arg $ topology_arg $ faults_arg $ pt_mode_arg
       $ top_arg $ folded_out_arg $ json_out_arg $ arrival_arg $ zipf_arg $ clients_arg
-      $ rw_mix_arg)
+      $ rw_mix_arg $ deadline_arg $ retry_arg $ hedge_arg $ breaker_arg)
 
 let measure_cmd =
   let action app_name policy cpus threads scale seed scheduler unix_master topology
-      pt_mode arrival zipf clients rw_mix =
-    match resolve_app app_name ~arrival ~zipf ~clients ~rw_mix with
+      pt_mode arrival zipf clients rw_mix deadline retry hedge breaker =
+    match
+      resolve_app app_name ~arrival ~zipf ~clients ~rw_mix ~deadline ~retry ~hedge
+        ~breaker
+    with
     | Error msg ->
         prerr_endline msg;
         1
@@ -567,7 +677,8 @@ let measure_cmd =
     Term.(
       const action $ app_arg $ policy_arg $ cpus_arg $ threads_arg $ scale_arg $ seed_arg
       $ scheduler_arg $ unix_master_arg $ topology_arg $ pt_mode_arg $ arrival_arg
-      $ zipf_arg $ clients_arg $ rw_mix_arg)
+      $ zipf_arg $ clients_arg $ rw_mix_arg $ deadline_arg $ retry_arg $ hedge_arg
+      $ breaker_arg)
 
 let trace_cmd =
   let path_arg =

@@ -1,0 +1,104 @@
+(* Resilience policy configuration for the serve app: per-request
+   deadlines, retry backoff, hedging and circuit breakers. Pure data +
+   spec parsing — the mechanisms live in Serve, the knobs here. *)
+
+type retry = {
+  max_attempts : int;
+  base_backoff_ns : float;
+  max_backoff_ns : float;
+  jitter : float;
+}
+
+type hedge = { factor : float }
+type breaker = { failures : int; cooldown_ns : float }
+
+type config = {
+  deadline_ns : float;
+  retry : retry option;
+  hedge : hedge option;
+  breaker : breaker option;
+}
+
+let default_deadline_us = 5_000
+let default_retry = { max_attempts = 3; base_backoff_ns = 0.2e6; max_backoff_ns = 2e6; jitter = 0.5 }
+let default_hedge = { factor = 2. }
+let default_breaker = { failures = 8; cooldown_ns = 10e6 }
+
+let make ?(deadline_us = default_deadline_us) ?retry ?hedge ?breaker () =
+  if deadline_us <= 0 then
+    invalid_arg "Resilience.make: deadline must be a positive microsecond count";
+  { deadline_ns = float_of_int deadline_us *. 1_000.; retry; hedge; breaker }
+
+(* --- spec parsing ------------------------------------------------------- *)
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let parse_pos_float ~what s =
+  match float_of_string_opt s with
+  | Some f when f > 0. && Float.is_finite f -> Ok f
+  | Some _ | None -> err "%s must be a positive number, got %S" what s
+
+let retry_of_string s =
+  match String.split_on_char ':' s with
+  | [ n; base; max; jitter ] -> (
+      match int_of_string_opt n with
+      | Some attempts when attempts >= 1 -> (
+          match parse_pos_float ~what:"retry base backoff (ms)" base with
+          | Error _ as e -> e
+          | Ok base_ms -> (
+              match parse_pos_float ~what:"retry max backoff (ms)" max with
+              | Error _ as e -> e
+              | Ok max_ms ->
+                  if max_ms < base_ms then
+                    err "retry max backoff (%g ms) must be >= the base backoff (%g ms)"
+                      max_ms base_ms
+                  else
+                    (match float_of_string_opt jitter with
+                    | Some j when j >= 0. && j <= 1. ->
+                        Ok
+                          {
+                            max_attempts = attempts;
+                            base_backoff_ns = base_ms *. 1e6;
+                            max_backoff_ns = max_ms *. 1e6;
+                            jitter = j;
+                          }
+                    | Some _ | None ->
+                        err "retry jitter must be a float in [0,1], got %S" jitter)))
+      | Some _ | None -> err "retry attempts must be an int >= 1, got %S" n)
+  | _ -> Error "retry spec must be ATTEMPTS:BASE_MS:MAX_MS:JITTER, e.g. 3:0.2:2:0.5"
+
+let hedge_of_string s =
+  match parse_pos_float ~what:"hedge factor" s with
+  | Ok factor -> Ok { factor }
+  | Error _ as e -> e
+
+let breaker_of_string s =
+  match String.split_on_char ':' s with
+  | [ n; cooldown ] -> (
+      match int_of_string_opt n with
+      | Some failures when failures >= 1 -> (
+          match parse_pos_float ~what:"breaker cooldown (ms)" cooldown with
+          | Ok cooldown_ms -> Ok { failures; cooldown_ns = cooldown_ms *. 1e6 }
+          | Error _ as e -> e)
+      | Some _ | None -> err "breaker failure threshold must be an int >= 1, got %S" n)
+  | _ -> Error "breaker spec must be FAILURES:COOLDOWN_MS, e.g. 8:10"
+
+(* --- canonical rendering ------------------------------------------------ *)
+
+let retry_to_string r =
+  Printf.sprintf "%d:%g:%g:%g" r.max_attempts (r.base_backoff_ns /. 1e6)
+    (r.max_backoff_ns /. 1e6) r.jitter
+
+let hedge_to_string h = Printf.sprintf "%g" h.factor
+let breaker_to_string b = Printf.sprintf "%d:%g" b.failures (b.cooldown_ns /. 1e6)
+
+let to_string c =
+  String.concat ","
+    (Printf.sprintf "deadline=%dus" (int_of_float (c.deadline_ns /. 1_000.))
+    :: List.filter_map
+         (fun x -> x)
+         [
+           Option.map (fun r -> "retry=" ^ retry_to_string r) c.retry;
+           Option.map (fun h -> "hedge=" ^ hedge_to_string h) c.hedge;
+           Option.map (fun b -> "breaker=" ^ breaker_to_string b) c.breaker;
+         ])

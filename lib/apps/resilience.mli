@@ -1,0 +1,68 @@
+(** Resilience policy knobs for the serve app.
+
+    Pure configuration: per-request deadline, retry backoff, hedged
+    second attempts and per-shard circuit breakers. The mechanisms —
+    cancellable virtual-time timers, the attempt loop, breaker state
+    machines and shard failover — live in {!Serve}; this module only
+    carries the numbers and parses/prints the CLI spec syntax.
+
+    Everything is deterministic: the only randomness a config induces is
+    backoff jitter, drawn from a {!Numa_util.Prng} stream split off the
+    workload seed, so the same seed reproduces the same run byte for
+    byte. *)
+
+type retry = {
+  max_attempts : int;  (** total attempts including the first; >= 1 *)
+  base_backoff_ns : float;  (** backoff before attempt 2 *)
+  max_backoff_ns : float;  (** exponential backoff cap *)
+  jitter : float;
+      (** multiplicative jitter in [0,1]: the backoff is scaled by
+          [1 + jitter * u] with [u] uniform in [0,1) per retry *)
+}
+
+type hedge = {
+  factor : float;
+      (** the hedged second attempt launches after [factor] times the
+          live p99 service-latency estimate (falling back to half the
+          deadline while the histogram is still empty) *)
+}
+
+type breaker = {
+  failures : int;  (** consecutive failures that trip the breaker open *)
+  cooldown_ns : float;  (** open duration before the half-open probe *)
+}
+
+type config = {
+  deadline_ns : float;  (** per-request SLO deadline, from arrival *)
+  retry : retry option;
+  hedge : hedge option;
+  breaker : breaker option;
+}
+
+val default_deadline_us : int
+val default_retry : retry
+val default_hedge : hedge
+val default_breaker : breaker
+
+val make :
+  ?deadline_us:int -> ?retry:retry -> ?hedge:hedge -> ?breaker:breaker -> unit -> config
+(** Raises [Invalid_argument] on a non-positive deadline. *)
+
+val retry_of_string : string -> (retry, string) result
+(** Parse ["ATTEMPTS:BASE_MS:MAX_MS:JITTER"] (e.g. ["3:0.2:2:0.5"]);
+    errors name the offending field. *)
+
+val hedge_of_string : string -> (hedge, string) result
+(** Parse ["FACTOR"], a positive float. *)
+
+val breaker_of_string : string -> (breaker, string) result
+(** Parse ["FAILURES:COOLDOWN_MS"] (e.g. ["8:10"]). *)
+
+val retry_to_string : retry -> string
+val hedge_to_string : hedge -> string
+val breaker_to_string : breaker -> string
+
+val to_string : config -> string
+(** Canonical one-line spec, echoed verbatim in
+    {!Numa_system.Report.resilience} ([res_spec]); parseable back with
+    the [*_of_string] functions field by field. *)

@@ -55,8 +55,446 @@ let requests_for scale = max 400 (int_of_float (20_000. *. scale))
 
 let us_of_ns ns = int_of_float ((ns +. 500.) /. 1_000.)
 
+(* --- the resilient serving tier ----------------------------------------- *)
+
+(* Request outcomes of the conservation ledger: every arrived request must
+   end as exactly one of in-deadline / timed-out / shed. *)
+let o_unresolved = 0
+let o_in_deadline = 1
+let o_timed_out = 2
+let o_shed = 3
+
+(* Circuit-breaker states, per shard worker. *)
+let breaker_state_name = function 0 -> "closed" | 1 -> "open" | _ -> "half-open"
+
+let setup_resilient sys ~eng ~obs ~profile ~(cfg : Resilience.config) ~nthreads ~n ~prng
+    ~arrivals ~keys ~client_of ~writes ~assigned ~store ~sessions ~queues ~lat_hist
+    ~queue_hist ~lat_sum ~queue_sum ~served ~last_done ~tids =
+  let emit ev = if Numa_obs.Hub.enabled obs then Numa_obs.Hub.emit obs ev in
+  (* A bare deadline spec is observe-only (SLO accounting on the unchanged
+     serving path); any mechanism — retry, hedge, breaker — switches the
+     deadline to an armed, cancellable timer per attempt. *)
+  let enforced =
+    cfg.Resilience.retry <> None || cfg.Resilience.hedge <> None
+    || cfg.Resilience.breaker <> None
+  in
+  let deadline_ns = cfg.Resilience.deadline_ns in
+  let max_attempts =
+    match cfg.Resilience.retry with
+    | None -> 1
+    | Some rc -> rc.Resilience.max_attempts
+  in
+  let n_slots =
+    max_attempts + (match cfg.Resilience.hedge with None -> 0 | Some _ -> 1)
+  in
+  (* Backoff jitter, precomputed per request at setup so that runtime
+     interleaving cannot reshuffle the draws. The stream splits off the
+     workload seed after the trace streams, only on resilient runs: plain
+     serve draws exactly the streams it always did. *)
+  let rp = Prng.split prng in
+  let jitters =
+    Array.init n (fun _ ->
+        Array.init (max 0 (max_attempts - 1)) (fun _ -> Prng.float rp 1.0))
+  in
+  (* The conservation ledger. Violations are recorded the instant they
+     happen (double resolve, resolve-before-arrival); the sweep adds the
+     structural checks and is handed to the invariant auditor. *)
+  let arrived = Array.make n false in
+  let outcome = Array.make n o_unresolved in
+  let cons_violations = ref [] in
+  let workers_done = ref 0 in
+  let resolve r o =
+    if not arrived.(r) then
+      cons_violations :=
+        Printf.sprintf "request %d resolved before arriving" r :: !cons_violations;
+    if outcome.(r) = o_unresolved then outcome.(r) <- o
+    else
+      cons_violations :=
+        Printf.sprintf "request %d resolved twice (outcome %d, then %d)" r outcome.(r) o
+        :: !cons_violations
+  in
+  let sweep () =
+    let viols = ref [] in
+    let add s = viols := s :: !viols in
+    let inflight = Array.make nthreads 0 in
+    let finished = !workers_done = nthreads in
+    for r = 0 to n - 1 do
+      (if arrived.(r) && outcome.(r) = o_unresolved then begin
+         let w = keys.(r) mod nthreads in
+         inflight.(w) <- inflight.(w) + 1;
+         if inflight.(w) > 1 then
+           add
+             (Printf.sprintf "worker %d has %d requests in flight (request %d)" w
+                inflight.(w) r)
+       end);
+      if finished then
+        if not arrived.(r) then add (Printf.sprintf "request %d lost: never arrived" r)
+        else if outcome.(r) = o_unresolved then
+          add (Printf.sprintf "request %d lost: arrived but never resolved" r)
+    done;
+    (n, List.rev_append !cons_violations (List.rev !viols))
+  in
+  (* resilience counters *)
+  let timeouts_ct = ref 0 and hedges_ct = ref 0 and hedge_wins_ct = ref 0 in
+  let opens_ct = ref 0 and transitions_ct = ref 0 and failovers_ct = ref 0 in
+  let attempts_started = Array.make n_slots 0 in
+  let bump_attempt k =
+    if k >= 1 && k <= n_slots then attempts_started.(k - 1) <- attempts_started.(k - 1) + 1
+  in
+  (* Per-shard circuit breakers: 0 = closed, 1 = open, 2 = half-open.
+     [br_forced] remembers a node-offline forced open, so the node coming
+     back half-opens the breaker immediately. *)
+  let br_state = Array.make nthreads 0 in
+  let br_fails = Array.make nthreads 0 in
+  let br_until = Array.make nthreads 0. in
+  let br_forced = Array.make nthreads (-1) in
+  let br_goto w s ~until =
+    if br_state.(w) <> s then begin
+      incr transitions_ct;
+      if s = 1 then incr opens_ct;
+      emit
+        (Numa_obs.Event.Breaker_transition
+           {
+             worker = w;
+             from_state = breaker_state_name br_state.(w);
+             to_state = breaker_state_name s;
+           })
+    end;
+    br_state.(w) <- s;
+    br_until.(w) <- until
+  in
+  let breaker_failure w ~now =
+    match cfg.Resilience.breaker with
+    | None -> ()
+    | Some bc -> (
+        match br_state.(w) with
+        | 2 ->
+            (* failed half-open probe: straight back to open *)
+            br_fails.(w) <- 0;
+            br_goto w 1 ~until:(now +. bc.Resilience.cooldown_ns)
+        | 0 ->
+            br_fails.(w) <- br_fails.(w) + 1;
+            if br_fails.(w) >= bc.Resilience.failures then begin
+              br_fails.(w) <- 0;
+              br_goto w 1 ~until:(now +. bc.Resilience.cooldown_ns)
+            end
+        | _ -> ())
+  in
+  let breaker_success w =
+    br_fails.(w) <- 0;
+    if br_state.(w) = 2 then br_goto w 0 ~until:0.
+  in
+  (* Hedge delay: a multiple of the live p99 *service* time (total
+     latency is queue-dominated under load and would never fit inside an
+     attempt window), falling back to half the attempt budget while the
+     histogram is still thin. *)
+  let svc_hist = Histogram.create () in
+  let hedge_delay (h : Resilience.hedge) ~tau =
+    let p99 = Histogram.percentile svc_hist 99. in
+    if Histogram.total svc_hist >= 32 && p99 > 0 then
+      h.Resilience.factor *. (float_of_int p99 *. 1_000.)
+    else tau /. 2.
+  in
+  for w = 0 to nthreads - 1 do
+    tids.(w) <-
+      System.spawn sys ~name:(Printf.sprintf "serve.%d" w) (fun ~stack_vpage:_ ->
+          (* Warmup, exactly like the plain tier. *)
+          let key = ref w in
+          while !key < n_keys do
+            W.read_range store ~lo:(!key * key_span) ~n:key_span;
+            key := !key + nthreads
+          done;
+          W.read_word queues w;
+          let cpu () = Engine.thread_cpu eng ~tid:tids.(w) in
+          let now () = Engine.clock_ns eng ~cpu:(cpu ()) in
+          (* One service attempt under a cancellable timer; [None] means
+             the deadline fired mid-attempt and unwound it. *)
+          let serve_request r ~until =
+            Api.with_deadline ~until_ns:until (fun () ->
+                let t_start = now () in
+                let key = keys.(r) in
+                W.read_range store ~lo:(key * key_span) ~n:key_span;
+                if writes.(r) then W.write_range store ~lo:(key * key_span) ~n:key_span;
+                W.write_word sessions (client_of.(r) mod session_words);
+                Api.compute service_compute_ns;
+                (t_start, now ()))
+          in
+          let complete r ~abs_deadline ~t_start ~t_done =
+            let queue_ns = Float.max 0. (t_start -. arrivals.(r)) in
+            let latency_ns = t_done -. arrivals.(r) in
+            let service_ns = t_done -. t_start in
+            Histogram.add lat_hist (us_of_ns latency_ns);
+            Histogram.add queue_hist (us_of_ns queue_ns);
+            lat_sum := !lat_sum +. latency_ns;
+            queue_sum := !queue_sum +. queue_ns;
+            served.(w) <- served.(w) + 1;
+            if t_done > !last_done then last_done := t_done;
+            Histogram.add svc_hist (us_of_ns service_ns);
+            (match profile with
+            | Some pr -> Numa_obs.Profile.note_request pr ~service_ns ~queue_ns
+            | None -> ());
+            emit
+              (Numa_obs.Event.Request_served
+                 {
+                   client = client_of.(r);
+                   key = keys.(r);
+                   cpu = cpu ();
+                   queue_ns;
+                   service_ns;
+                 });
+            if t_done <= abs_deadline then begin
+              resolve r o_in_deadline;
+              breaker_success w
+            end
+            else begin
+              (* served, but late: an SLO miss for the ledger and the
+                 breaker, still a completion for the serving section *)
+              resolve r o_timed_out;
+              breaker_failure w ~now:t_done
+            end
+          in
+          List.iter
+            (fun r ->
+              Api.sleep_until ~ns:arrivals.(r);
+              emit
+                (Numa_obs.Event.Request_arrived
+                   { client = client_of.(r); key = keys.(r); worker = w });
+              (* Dequeue; also refreshes the CPU clock, stale after the park. *)
+              W.read_word queues w;
+              arrived.(r) <- true;
+              let abs_deadline = arrivals.(r) +. deadline_ns in
+              if not enforced then begin
+                bump_attempt 1;
+                match serve_request r ~until:infinity with
+                | Some (t_start, t_done) -> complete r ~abs_deadline ~t_start ~t_done
+                | None -> assert false
+              end
+              else
+                let proceed =
+                  match cfg.Resilience.breaker with
+                  | Some _ when br_state.(w) = 1 ->
+                      if now () < br_until.(w) then begin
+                        (* open breaker: reject at the door, near-zero cost *)
+                        resolve r o_shed;
+                        (match profile with
+                        | Some pr -> Numa_obs.Profile.note_shed pr
+                        | None -> ());
+                        emit
+                          (Numa_obs.Event.Request_shed
+                             { client = client_of.(r); key = keys.(r); worker = w });
+                        false
+                      end
+                      else begin
+                        br_goto w 2 ~until:0.;
+                        true
+                      end
+                  | _ -> true
+                in
+                if proceed then begin
+                  let normal_attempts = ref 0 in
+                  let tau = deadline_ns /. float_of_int max_attempts in
+                  let fail_final () =
+                    resolve r o_timed_out;
+                    breaker_failure w ~now:(now ())
+                  in
+                  let rec attempt k =
+                    if now () >= abs_deadline then fail_final ()
+                    else begin
+                      incr normal_attempts;
+                      bump_attempt k;
+                      let t0 = now () in
+                      let base_until = Float.min abs_deadline (t0 +. tau) in
+                      let hedge_until =
+                        match cfg.Resilience.hedge with
+                        | Some h when k = 1 ->
+                            let d = t0 +. hedge_delay h ~tau in
+                            if d < base_until then Some d else None
+                        | _ -> None
+                      in
+                      let until =
+                        match hedge_until with Some d -> d | None -> base_until
+                      in
+                      match serve_request r ~until with
+                      | Some (t_start, t_done) -> complete r ~abs_deadline ~t_start ~t_done
+                      | None -> (
+                          incr timeouts_ct;
+                          (match profile with
+                          | Some pr -> Numa_obs.Profile.note_timeout pr
+                          | None -> ());
+                          emit
+                            (Numa_obs.Event.Request_timeout
+                               {
+                                 client = client_of.(r);
+                                 key = keys.(r);
+                                 cpu = cpu ();
+                                 attempt = k;
+                               });
+                          match hedge_until with
+                          | Some _ -> (
+                              (* the first attempt outlived the hedge point:
+                                 launch the hedged attempt with the whole
+                                 remaining deadline budget *)
+                              incr hedges_ct;
+                              bump_attempt (k + 1);
+                              emit
+                                (Numa_obs.Event.Request_hedged
+                                   { client = client_of.(r); key = keys.(r); cpu = cpu () });
+                              let h0 = now () in
+                              match serve_request r ~until:abs_deadline with
+                              | Some (t_start, t_done) ->
+                                  (match profile with
+                                  | Some pr ->
+                                      Numa_obs.Profile.note_hedge pr (t_done -. h0)
+                                  | None -> ());
+                                  if t_done <= abs_deadline then incr hedge_wins_ct;
+                                  complete r ~abs_deadline ~t_start ~t_done
+                              | None ->
+                                  (match profile with
+                                  | Some pr ->
+                                      Numa_obs.Profile.note_hedge pr (now () -. h0)
+                                  | None -> ());
+                                  incr timeouts_ct;
+                                  (match profile with
+                                  | Some pr -> Numa_obs.Profile.note_timeout pr
+                                  | None -> ());
+                                  emit
+                                    (Numa_obs.Event.Request_timeout
+                                       {
+                                         client = client_of.(r);
+                                         key = keys.(r);
+                                         cpu = cpu ();
+                                         attempt = k + 1;
+                                       });
+                                  maybe_retry (k + 2))
+                          | None -> maybe_retry (k + 1))
+                    end
+                  and maybe_retry k =
+                    match cfg.Resilience.retry with
+                    | Some rc when !normal_attempts < rc.Resilience.max_attempts ->
+                        let tnow = now () in
+                        let expo =
+                          Float.min rc.Resilience.max_backoff_ns
+                            (rc.Resilience.base_backoff_ns
+                            *. (2. ** float_of_int (!normal_attempts - 1)))
+                        in
+                        let u = jitters.(r).(!normal_attempts - 1) in
+                        let backoff = expo *. (1. +. (rc.Resilience.jitter *. u)) in
+                        let wake = tnow +. backoff in
+                        if wake >= abs_deadline then fail_final ()
+                        else begin
+                          (match profile with
+                          | Some pr -> Numa_obs.Profile.note_backoff pr backoff
+                          | None -> ());
+                          emit
+                            (Numa_obs.Event.Request_retry
+                               {
+                                 client = client_of.(r);
+                                 key = keys.(r);
+                                 cpu = cpu ();
+                                 attempt = k;
+                                 backoff_ns = backoff;
+                               });
+                          Api.sleep_until ~ns:wake;
+                          W.read_word queues w;
+                          attempt k
+                        end
+                    | _ -> fail_final ()
+                  in
+                  attempt 1
+                end)
+            assigned.(w);
+          incr workers_done)
+  done;
+  (* Shard failover + breaker coupling to node faults. [home] tracks each
+     worker's current home CPU; the system's own rehoming may move the
+     engine thread first, but re-spreading by topology distance is the
+     app's job. *)
+  let home = Array.init nthreads (fun w -> Engine.thread_cpu eng ~tid:tids.(w)) in
+  if enforced then
+    System.set_fault_notify sys (function
+      | System.Fault_node_offline node ->
+          let n_cpus = (System.config sys).Numa_machine.Config.n_cpus in
+          let topo = System.topo sys in
+          let candidates =
+            List.sort
+              (fun (da, ca) (db, cb) ->
+                if da = db then compare (ca : int) cb else compare (da : float) db)
+              (List.filter_map
+                 (fun c ->
+                   if c <> node && c < n_cpus && System.node_online sys ~node:c then
+                     Some (Numa_machine.Topo.fetch_ns topo ~from:node ~at:c, c)
+                   else None)
+                 (List.init n_cpus (fun c -> c)))
+          in
+          let n_cand = List.length candidates in
+          let next = ref 0 in
+          for w = 0 to nthreads - 1 do
+            if home.(w) = node then begin
+              (if n_cand > 0 then begin
+                 (* spread the dead node's shards over online CPUs, nearest
+                    first, round-robin *)
+                 let _, target = List.nth candidates (!next mod n_cand) in
+                 incr next;
+                 (* [rehome] returns false when the system's own drain
+                    already parked the thread on [target]; the shard's
+                    home still moved off the dead node, so the failover
+                    counts either way. *)
+                 ignore (Engine.rehome eng ~tid:tids.(w) ~cpu:target);
+                 incr failovers_ct;
+                 emit
+                   (Numa_obs.Event.Shard_failover
+                      { worker = w; from_cpu = node; to_cpu = target });
+                 home.(w) <- target
+               end);
+              match cfg.Resilience.breaker with
+              | Some bc ->
+                  (* force the shard's breaker open: shed instead of paying
+                     remote misses into a drained node *)
+                  br_forced.(w) <- node;
+                  br_fails.(w) <- 0;
+                  br_goto w 1 ~until:(Engine.now eng +. bc.Resilience.cooldown_ns)
+              | None -> ()
+            end
+          done
+      | System.Fault_node_online node ->
+          for w = 0 to nthreads - 1 do
+            if br_forced.(w) = node then begin
+              br_forced.(w) <- -1;
+              if br_state.(w) = 1 then br_goto w 2 ~until:0.
+            end
+          done);
+  System.set_request_conservation sys sweep;
+  System.set_resilience_collector sys (fun () ->
+      let arrived_ct = Array.fold_left (fun a b -> if b then a + 1 else a) 0 arrived in
+      let count v = Array.fold_left (fun a o -> if o = v then a + 1 else a) 0 outcome in
+      let in_dl = count o_in_deadline in
+      let timed = count o_timed_out in
+      let shed = count o_shed in
+      let first = if n > 0 then arrivals.(0) else 0. in
+      let span_ns = Float.max 0. (!last_done -. first) in
+      let _, viols = sweep () in
+      {
+        Report.res_spec = Resilience.to_string cfg;
+        deadline_us = int_of_float (deadline_ns /. 1_000.);
+        arrived = arrived_ct;
+        served_in_deadline = in_dl;
+        timed_out = timed;
+        shed;
+        timeouts = !timeouts_ct;
+        attempts_started = Array.copy attempts_started;
+        hedges = !hedges_ct;
+        hedge_wins = !hedge_wins_ct;
+        breaker_opens = !opens_ct;
+        breaker_transitions = !transitions_ct;
+        shard_failovers = !failovers_ct;
+        goodput_rps = (if span_ns > 0. then float_of_int in_dl /. span_ns *. 1e9 else 0.);
+        slo_pct =
+          (if arrived_ct = 0 then 0. else 100. *. float_of_int in_dl /. float_of_int arrived_ct);
+        conservation_violations = List.length viols;
+      })
+
 let make ?(arrival = default_arrival) ?(theta = default_theta)
-    ?(clients = default_clients) ?(rw_mix = default_rw_mix) () : App_sig.t =
+    ?(clients = default_clients) ?(rw_mix = default_rw_mix) ?resilience () : App_sig.t =
   let setup sys (p : App_sig.params) =
     let eng = System.engine sys in
     let obs = System.obs sys in
@@ -104,62 +542,68 @@ let make ?(arrival = default_arrival) ?(theta = default_theta)
     let served = Array.make nthreads 0 in
     let last_done = ref 0. in
     let tids = Array.make nthreads (-1) in
-    for w = 0 to nthreads - 1 do
-      tids.(w) <-
-        System.spawn sys ~name:(Printf.sprintf "serve.%d" w)
-          (fun ~stack_vpage:_ ->
-            (* Warmup: fault the shard's working set in before any request
-               is on the clock. *)
-            let key = ref w in
-            while !key < n_keys do
-              W.read_range store ~lo:(!key * key_span) ~n:key_span;
-              key := !key + nthreads
-            done;
-            W.read_word queues w;
-            List.iter
-              (fun r ->
-                (* Open-loop: park to the arrival instant (a no-op when the
-                   shard is already running behind — the backlog case). The
-                   first sleep is also what parks the body at spawn time,
-                   before [tids] is filled in. *)
-                Api.sleep_until ~ns:arrivals.(r);
-                if Numa_obs.Hub.enabled obs then
-                  Numa_obs.Hub.emit obs
-                    (Numa_obs.Event.Request_arrived
-                       { client = client_of.(r); key = keys.(r); worker = w });
-                (* Dequeue: touch the shard's queue slot. A real reference,
-                   so the CPU clock read after it is current virtual time
-                   (the clock is stale right after [sleep_until]). *)
+    (match resilience with
+    | None ->
+        for w = 0 to nthreads - 1 do
+          tids.(w) <-
+            System.spawn sys ~name:(Printf.sprintf "serve.%d" w)
+              (fun ~stack_vpage:_ ->
+                (* Warmup: fault the shard's working set in before any request
+                   is on the clock. *)
+                let key = ref w in
+                while !key < n_keys do
+                  W.read_range store ~lo:(!key * key_span) ~n:key_span;
+                  key := !key + nthreads
+                done;
                 W.read_word queues w;
-                let tid = tids.(w) in
-                let cpu = Engine.thread_cpu eng ~tid in
-                let t_start = Engine.clock_ns eng ~cpu in
-                let key = keys.(r) in
-                W.read_range store ~lo:(key * key_span) ~n:key_span;
-                if writes.(r) then
-                  W.write_range store ~lo:(key * key_span) ~n:key_span;
-                W.write_word sessions (client_of.(r) mod session_words);
-                Api.compute service_compute_ns;
-                let cpu = Engine.thread_cpu eng ~tid in
-                let t_done = Engine.clock_ns eng ~cpu in
-                let queue_ns = Float.max 0. (t_start -. arrivals.(r)) in
-                let latency_ns = t_done -. arrivals.(r) in
-                let service_ns = t_done -. t_start in
-                Histogram.add lat_hist (us_of_ns latency_ns);
-                Histogram.add queue_hist (us_of_ns queue_ns);
-                lat_sum := !lat_sum +. latency_ns;
-                queue_sum := !queue_sum +. queue_ns;
-                served.(w) <- served.(w) + 1;
-                if t_done > !last_done then last_done := t_done;
-                (match profile with
-                | Some pr -> Numa_obs.Profile.note_request pr ~service_ns ~queue_ns
-                | None -> ());
-                if Numa_obs.Hub.enabled obs then
-                  Numa_obs.Hub.emit obs
-                    (Numa_obs.Event.Request_served
-                       { client = client_of.(r); key; cpu; queue_ns; service_ns }))
-              assigned.(w))
-    done;
+                List.iter
+                  (fun r ->
+                    (* Open-loop: park to the arrival instant (a no-op when the
+                       shard is already running behind — the backlog case). The
+                       first sleep is also what parks the body at spawn time,
+                       before [tids] is filled in. *)
+                    Api.sleep_until ~ns:arrivals.(r);
+                    if Numa_obs.Hub.enabled obs then
+                      Numa_obs.Hub.emit obs
+                        (Numa_obs.Event.Request_arrived
+                           { client = client_of.(r); key = keys.(r); worker = w });
+                    (* Dequeue: touch the shard's queue slot. A real reference,
+                       so the CPU clock read after it is current virtual time
+                       (the clock is stale right after [sleep_until]). *)
+                    W.read_word queues w;
+                    let tid = tids.(w) in
+                    let cpu = Engine.thread_cpu eng ~tid in
+                    let t_start = Engine.clock_ns eng ~cpu in
+                    let key = keys.(r) in
+                    W.read_range store ~lo:(key * key_span) ~n:key_span;
+                    if writes.(r) then
+                      W.write_range store ~lo:(key * key_span) ~n:key_span;
+                    W.write_word sessions (client_of.(r) mod session_words);
+                    Api.compute service_compute_ns;
+                    let cpu = Engine.thread_cpu eng ~tid in
+                    let t_done = Engine.clock_ns eng ~cpu in
+                    let queue_ns = Float.max 0. (t_start -. arrivals.(r)) in
+                    let latency_ns = t_done -. arrivals.(r) in
+                    let service_ns = t_done -. t_start in
+                    Histogram.add lat_hist (us_of_ns latency_ns);
+                    Histogram.add queue_hist (us_of_ns queue_ns);
+                    lat_sum := !lat_sum +. latency_ns;
+                    queue_sum := !queue_sum +. queue_ns;
+                    served.(w) <- served.(w) + 1;
+                    if t_done > !last_done then last_done := t_done;
+                    (match profile with
+                    | Some pr -> Numa_obs.Profile.note_request pr ~service_ns ~queue_ns
+                    | None -> ());
+                    if Numa_obs.Hub.enabled obs then
+                      Numa_obs.Hub.emit obs
+                        (Numa_obs.Event.Request_served
+                           { client = client_of.(r); key; cpu; queue_ns; service_ns }))
+                  assigned.(w))
+        done
+    | Some cfg ->
+        setup_resilient sys ~eng ~obs ~profile ~cfg ~nthreads ~n ~prng ~arrivals ~keys
+          ~client_of ~writes ~assigned ~store ~sessions ~queues ~lat_hist ~queue_hist
+          ~lat_sum ~queue_sum ~served ~last_done ~tids);
     System.set_serving_collector sys (fun () ->
         let requests = Histogram.total lat_hist in
         let first = if n > 0 then arrivals.(0) else 0. in

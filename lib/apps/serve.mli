@@ -13,12 +13,23 @@ val make :
   ?theta:float ->
   ?clients:int ->
   ?rw_mix:float ->
+  ?resilience:Resilience.config ->
   unit ->
   App_sig.t
 (** A serve app instance. [arrival] is the open-loop process (default
     100k req/s with 4x bursts), [theta] the zipf skew (default 0.9),
     [clients] the logical client population (default 1e6), [rw_mix] the
-    fraction of requests that write their object (default 0.1). *)
+    fraction of requests that write their object (default 0.1).
+
+    [resilience] arms the resilient serving tier: per-request deadlines
+    (cancellable virtual-time timers), optional retries with jittered
+    exponential backoff, an optional hedged second attempt after a
+    p99-derived delay, optional per-shard circuit breakers with
+    node-fault coupling and shard failover, plus the request-conservation
+    sweep and the report's [resilience] section. A config with no
+    mechanisms (only a deadline) is observe-only: the serving path is the
+    plain tier's, with outcomes classified against the deadline. When
+    omitted, runs are byte-identical to earlier releases. *)
 
 val app : App_sig.t
 (** The default instance, registered as ["serve"]. *)

@@ -32,12 +32,17 @@ type report = {
           exact image of the MMU, replicas = exact image of the master,
           nothing reaching freed frames or offline nodes); 0 when no
           {!Numa_machine.Pt.t} is attached to the MMU *)
+  requests_checked : int;
+      (** requests swept by the [requests] conservation closure (the
+          served-traffic ledger: arrived = served-in-deadline + timed-out
+          + shed + in-flight, each exactly once); 0 without one *)
   violations : string list;  (** empty = coherent; in page order *)
 }
 
 val check :
   ?pinned:(lpage:int -> bool) ->
   ?pool:Numa_vm.Lpage_pool.t ->
+  ?requests:(unit -> int * string list) ->
   manager:Numa_manager.t ->
   mmu:Mmu.t ->
   frames:Frame_table.t ->
@@ -45,7 +50,12 @@ val check :
   unit ->
   report
 (** [pinned] is usually the policy's [is_pinned]; omitting it skips the
-    pinned-pages-hold-no-copies check. [pool] enables the per-frame
+    pinned-pages-hold-no-copies check. [requests] is the served-traffic
+    request-conservation sweep a resilience-enabled serving app registers
+    with the system layer: it returns (requests checked, violations) and
+    must hold at {e any} instant of the run — double-resolved, lost or
+    unaccounted requests become violations exactly like protocol
+    breaches. [pool] enables the per-frame
     paging relation — no mapping or local copy into an Empty/Reading
     entry, free pool pages have Empty entries, no Reading bracket open
     at a quiescent point — which assumes the full VM stack's

@@ -82,7 +82,7 @@ let parse_entry entry =
         | [ _; n ] -> parse_int ~what:"node" n
         | _ -> err "expected node-offline:NODE@MS (got %S)" entry
       in
-      Ok (`Timed { at_ns; event = Node_offline { node } })
+      Ok (`Timed [ { at_ns; event = Node_offline { node } } ])
   | "node-online" :: _ ->
       let* body, at_ns = parse_at entry in
       let* node =
@@ -90,7 +90,7 @@ let parse_entry entry =
         | [ _; n ] -> parse_int ~what:"node" n
         | _ -> err "expected node-online:NODE@MS (got %S)" entry
       in
-      Ok (`Timed { at_ns; event = Node_online { node } })
+      Ok (`Timed [ { at_ns; event = Node_online { node } } ])
   | "link-degrade" :: _ ->
       let* body, from_ns, until_ns = parse_window entry in
       let* src, dst, factor =
@@ -103,7 +103,7 @@ let parse_entry entry =
             else Ok (src, dst, factor)
         | _ -> err "expected link-degrade:SRC:DST:FACTOR@MS..MS (got %S)" entry
       in
-      Ok (`Timed { at_ns = from_ns; event = Link_degrade { src; dst; factor; until_ns } })
+      Ok (`Timed [ { at_ns = from_ns; event = Link_degrade { src; dst; factor; until_ns } } ])
   | "frame-squeeze" :: _ ->
       let* body, at_ns = parse_at entry in
       let* node, frac =
@@ -115,7 +115,7 @@ let parse_entry entry =
             else Ok (node, frac)
         | _ -> err "expected frame-squeeze:NODE:FRAC@MS (got %S)" entry
       in
-      Ok (`Timed { at_ns; event = Frame_squeeze { node; frac } })
+      Ok (`Timed [ { at_ns; event = Frame_squeeze { node; frac } } ])
   | "stale-pte" :: _ ->
       let* body, at_ns = parse_at entry in
       let* lpage =
@@ -123,15 +123,42 @@ let parse_entry entry =
         | [ _; l ] -> parse_int ~what:"lpage" l
         | _ -> err "expected stale-pte:LPAGE@MS (got %S)" entry
       in
-      Ok (`Timed { at_ns; event = Stale_pte { lpage } })
+      Ok (`Timed [ { at_ns; event = Stale_pte { lpage } } ])
+  | "node-flap" :: _ ->
+      (* Convenience sugar: node-flap:N:PERIOD_MS@MS1..MS2 canonicalises
+         into alternating offline/online events — offline at the start of
+         each period, online half a period later (clamped to the window
+         end, so the node always finishes the window online). *)
+      let* body, from_ns, until_ns = parse_window entry in
+      let* node, period_ns =
+        match String.split_on_char ':' body with
+        | [ _; n; p ] ->
+            let* node = parse_int ~what:"node" n in
+            let* period_ms = parse_float ~what:"period (ms)" p in
+            if period_ms <= 0. then
+              err "node-flap period must be a positive number of ms (got %g)" period_ms
+            else Ok (node, ms_to_ns period_ms)
+        | _ -> err "expected node-flap:NODE:PERIOD_MS@MS..MS (got %S)" entry
+      in
+      let rec cycles t acc =
+        if t >= until_ns then List.rev acc
+        else
+          let back = Float.min (t +. (period_ns /. 2.)) until_ns in
+          cycles (t +. period_ns)
+            ({ at_ns = back; event = Node_online { node } }
+            :: { at_ns = t; event = Node_offline { node } }
+            :: acc)
+      in
+      Ok (`Timed (cycles from_ns []))
   | [ "spurious-shootdown"; r ] ->
       let* rate = parse_float ~what:"rate (events/ms)" r in
       Ok (`Rate rate)
   | _ ->
       err
         "unknown fault %S; use node-offline:NODE@MS, node-online:NODE@MS, \
-         link-degrade:SRC:DST:FACTOR@MS..MS, frame-squeeze:NODE:FRAC@MS, \
-         stale-pte:LPAGE@MS or spurious-shootdown:RATE"
+         node-flap:NODE:PERIOD_MS@MS..MS, link-degrade:SRC:DST:FACTOR@MS..MS, \
+         frame-squeeze:NODE:FRAC@MS, stale-pte:LPAGE@MS or \
+         spurious-shootdown:RATE"
         entry
 
 let of_string s =
@@ -153,7 +180,7 @@ let of_string s =
     | entry :: rest -> (
         match parse_entry entry with
         | Error _ as e -> e
-        | Ok (`Timed ev) -> fold (ev :: acc) rate rest
+        | Ok (`Timed evs) -> fold (List.rev_append evs acc) rate rest
         | Ok (`Rate r) -> fold acc r rest)
   in
   fold [] 0. entries

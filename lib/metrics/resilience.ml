@@ -1,0 +1,329 @@
+open Numa_util
+module Report = Numa_system.Report
+module Plan = Numa_faults.Plan
+module R = Numa_apps.Resilience
+
+(* The sweep's machine and traffic are pinned, not inherited: the gate it
+   feeds (retry+breaker recovers >= 2x the no-resilience goodput under a
+   mid-serving node outage) is an acceptance criterion, so the scenario
+   that demonstrates it must not drift with the caller's --cpus/--scale.
+   4 shard workers at 11k req/s is ~80% utilisation — enough headroom to
+   serve cleanly when intact, no slack to hide an outage backlog. *)
+let sweep_cpus = 4
+let sweep_scale = 0.05
+let deadline_us = 1_500
+let arrival () = Dist.arrival ~rate_per_s:11_000. ~burst:1. ()
+
+(* Mid-serving outage with recovery: arrivals span ~100..191 ms, node 1
+   dies at 110 ms and returns at 160 ms. The no-resilience tier keeps
+   serving its backlog in arrival order and misses deadlines for the rest
+   of the run; breakers shed the stale backlog and catch back up. *)
+let node_offline_plan = "node-offline:1@110,node-online:1@160"
+
+(* The bus degrade covers the same window. Serve pushes little bus
+   traffic, so this scenario measures (honestly) how little a degraded
+   interconnect moves an almost-local workload. *)
+let link_degrade_plan = "link-degrade:0:1:8@110..160"
+
+(* Squeeze node 1's frame pool to zero before warmup faults anything in:
+   shard 1 can never place its pages locally and serves out of global
+   memory for the whole run — a permanently slow shard, the classic
+   breaker motivation. *)
+let frame_squeeze_plan = "frame-squeeze:1:0@0"
+
+type mechanisms = {
+  label : string;
+  retry : R.retry option;
+  hedge : R.hedge option;
+  breaker : R.breaker option;
+}
+
+let default_retry = { R.max_attempts = 3; base_backoff_ns = 0.2e6; max_backoff_ns = 2e6; jitter = 0.5 }
+let default_hedge = { R.factor = 1. }
+let default_breaker = { R.failures = 5; cooldown_ns = 5e6 }
+
+let configs () =
+  [
+    { label = "no-resilience"; retry = None; hedge = None; breaker = None };
+    { label = "retry"; retry = Some default_retry; hedge = None; breaker = None };
+    {
+      label = "retry+hedge";
+      retry = Some default_retry;
+      hedge = Some default_hedge;
+      breaker = None;
+    };
+    {
+      label = "retry+breaker";
+      retry = Some default_retry;
+      hedge = None;
+      breaker = Some default_breaker;
+    };
+  ]
+
+type scenario = { scenario : string; plan : string }
+
+let scenarios () =
+  [
+    { scenario = "intact"; plan = "" };
+    { scenario = "node-offline"; plan = node_offline_plan };
+    { scenario = "link-degrade"; plan = link_degrade_plan };
+    { scenario = "frame-squeeze"; plan = frame_squeeze_plan };
+  ]
+
+type cell = {
+  config : string;
+  scenario_name : string;
+  res : Report.resilience;
+  serving : Report.serving;
+  invariant_checks : int;
+  invariant_violations : int;
+  user_s : float;
+  r : Report.t;
+}
+
+type row = { name : string; cells : cell list (* one per config, slate order *) }
+
+let plan_of_string s =
+  if s = "" then Plan.empty
+  else
+    match Plan.of_string s with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Resilience sweep: bad plan: " ^ msg)
+
+let resilience_of (r : Report.t) ~config ~scenario =
+  match r.Report.resilience with
+  | Some res -> res
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Resilience sweep: run %s/%s produced no resilience section" scenario
+           config)
+
+let serving_of (r : Report.t) ~config ~scenario =
+  match r.Report.serving with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Resilience sweep: run %s/%s produced no serving section"
+           scenario config)
+
+let run ?jobs ?(spec = Runner.default_spec) () =
+  let spec =
+    {
+      spec with
+      Runner.n_cpus = sweep_cpus;
+      nthreads = sweep_cpus;
+      scale = sweep_scale;
+      paranoid = true;
+      config_tweak = Fun.id;
+      faults = Plan.empty;
+    }
+  in
+  let configs = configs () in
+  let scenarios = scenarios () in
+  let grid =
+    List.concat_map (fun sc -> List.map (fun c -> (sc, c)) configs) scenarios
+  in
+  let measured =
+    Parallel.map ?jobs
+      (fun (sc, c) ->
+        let resilience = R.make ~deadline_us ?retry:c.retry ?hedge:c.hedge ?breaker:c.breaker () in
+        let app = Numa_apps.Serve.make ~arrival:(arrival ()) ~resilience () in
+        let r =
+          Runner.run app { spec with Runner.faults = plan_of_string sc.plan }
+        in
+        let invariant_checks, invariant_violations =
+          match r.Report.robustness with
+          | Some rb -> (rb.Report.invariant_checks, rb.Report.invariant_violations)
+          | None -> (0, 0)
+        in
+        {
+          config = c.label;
+          scenario_name = sc.scenario;
+          res = resilience_of r ~config:c.label ~scenario:sc.scenario;
+          serving = serving_of r ~config:c.label ~scenario:sc.scenario;
+          invariant_checks;
+          invariant_violations;
+          user_s = Report.total_user_s r;
+          r;
+        })
+      grid
+  in
+  let rec group scenarios measured =
+    match scenarios with
+    | [] -> []
+    | sc :: rest ->
+        let n = List.length configs in
+        let mine = List.filteri (fun i _ -> i < n) measured in
+        let remaining = List.filteri (fun i _ -> i >= n) measured in
+        { name = sc.scenario; cells = mine } :: group rest remaining
+  in
+  group scenarios measured
+
+let all_cells rows = List.concat_map (fun row -> row.cells) rows
+
+let total_violations rows =
+  List.fold_left
+    (fun acc c -> acc + c.invariant_violations + c.res.Report.conservation_violations)
+    0 (all_cells rows)
+
+let find_cell rows ~scenario ~config =
+  match List.find_opt (fun row -> row.name = scenario) rows with
+  | None -> None
+  | Some row -> List.find_opt (fun c -> c.config = config) row.cells
+
+(* Goodput of the same config on the intact machine — the denominator of
+   the "recovered" column. *)
+let intact_goodput rows ~config =
+  match find_cell rows ~scenario:"intact" ~config with
+  | Some c -> c.res.Report.goodput_rps
+  | None -> nan
+
+type gate = {
+  no_resilience_goodput : float;
+  retry_breaker_goodput : float;
+  ratio : float;  (** retry+breaker over no-resilience, node-offline scenario *)
+}
+
+(* The CI acceptance gate: under the node-offline scenario, retry+breaker
+   must keep at least twice the goodput of the no-resilience tier on the
+   same seed. *)
+let node_offline_gate rows =
+  let goodput config =
+    match find_cell rows ~scenario:"node-offline" ~config with
+    | Some c -> c.res.Report.goodput_rps
+    | None -> nan
+  in
+  let base = goodput "no-resilience" in
+  let rb = goodput "retry+breaker" in
+  {
+    no_resilience_goodput = base;
+    retry_breaker_goodput = rb;
+    ratio = (if base > 0. then rb /. base else nan);
+  }
+
+let retries_started (res : Report.resilience) =
+  let total = Array.fold_left ( + ) 0 res.Report.attempts_started in
+  let firsts = if Array.length res.Report.attempts_started > 0 then res.Report.attempts_started.(0) else 0 in
+  max 0 (total - firsts - res.Report.hedges)
+
+let render rows =
+  let table =
+    Text_table.create
+      ~columns:
+        [
+          ("Scenario", Text_table.Left);
+          ("Config", Text_table.Left);
+          ("SLO %", Text_table.Right);
+          ("goodput/s", Text_table.Right);
+          ("vs intact", Text_table.Right);
+          ("timeouts", Text_table.Right);
+          ("retries", Text_table.Right);
+          ("hedges (wins)", Text_table.Right);
+          ("shed", Text_table.Right);
+          ("opens", Text_table.Right);
+          ("failovers", Text_table.Right);
+          ("violations", Text_table.Right);
+        ]
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun c ->
+          let res = c.res in
+          let intact = intact_goodput rows ~config:c.config in
+          Text_table.add_row table
+            [
+              row.name;
+              c.config;
+              Printf.sprintf "%.1f" res.Report.slo_pct;
+              Printf.sprintf "%.0f" res.Report.goodput_rps;
+              (if Float.is_nan intact || intact <= 0. then "-"
+               else Printf.sprintf "%.2fx" (res.Report.goodput_rps /. intact));
+              Text_table.cell_int res.Report.timeouts;
+              Text_table.cell_int (retries_started res);
+              Printf.sprintf "%d (%d)" res.Report.hedges res.Report.hedge_wins;
+              Text_table.cell_int res.Report.shed;
+              Text_table.cell_int res.Report.breaker_opens;
+              Text_table.cell_int res.Report.shard_failovers;
+              Text_table.cell_int
+                (c.invariant_violations + res.Report.conservation_violations);
+            ])
+        row.cells)
+    rows;
+  let gate = node_offline_gate rows in
+  Printf.sprintf
+    "Resilience sweep: %d shard workers at 11k req/s open-loop, %d us deadline, \
+     identical offered load and seed in every cell. \"vs intact\" compares each \
+     config's goodput (in-deadline completions per second of serving span) to \
+     its own intact run. Node-offline recovery: retry+breaker holds %.0f \
+     goodput/s against %.0f without resilience (%.2fx, gate >= 2x). %d \
+     invariant/conservation violations across the grid.\n%s"
+    sweep_cpus deadline_us gate.retry_breaker_goodput gate.no_resilience_goodput
+    gate.ratio (total_violations rows)
+    (Text_table.render table)
+
+let resilience_to_json (res : Report.resilience) : Numa_obs.Json.t =
+  let open Numa_obs.Json in
+  Obj
+    [
+      ("spec", String res.Report.res_spec);
+      ("deadline_us", Int res.Report.deadline_us);
+      ("arrived", Int res.Report.arrived);
+      ("served_in_deadline", Int res.Report.served_in_deadline);
+      ("timed_out", Int res.Report.timed_out);
+      ("shed", Int res.Report.shed);
+      ("timeouts", Int res.Report.timeouts);
+      ( "attempts_started",
+        List (Array.to_list (Array.map (fun n -> Int n) res.Report.attempts_started))
+      );
+      ("hedges", Int res.Report.hedges);
+      ("hedge_wins", Int res.Report.hedge_wins);
+      ("breaker_opens", Int res.Report.breaker_opens);
+      ("breaker_transitions", Int res.Report.breaker_transitions);
+      ("shard_failovers", Int res.Report.shard_failovers);
+      ("goodput_rps", Float res.Report.goodput_rps);
+      ("slo_pct", Float res.Report.slo_pct);
+      ("conservation_violations", Int res.Report.conservation_violations);
+    ]
+
+let to_json rows : Numa_obs.Json.t =
+  let open Numa_obs.Json in
+  let gate = node_offline_gate rows in
+  let cell_json c =
+    let intact = intact_goodput rows ~config:c.config in
+    Obj
+      [
+        ("config", String c.config);
+        ("scenario", String c.scenario_name);
+        ("resilience", resilience_to_json c.res);
+        ( "goodput_vs_intact",
+          if Float.is_nan intact || intact <= 0. then Null
+          else Float (c.res.Report.goodput_rps /. intact) );
+        ("user_s", Float c.user_s);
+        ("invariant_checks", Int c.invariant_checks);
+        ("invariant_violations", Int c.invariant_violations);
+        ("report", Report.to_json c.r);
+      ]
+  in
+  Obj
+    [
+      ("total_violations", Int (total_violations rows));
+      ( "node_offline_gate",
+        Obj
+          [
+            ("no_resilience_goodput", Float gate.no_resilience_goodput);
+            ("retry_breaker_goodput", Float gate.retry_breaker_goodput);
+            ("ratio", Float gate.ratio);
+          ] );
+      ( "scenarios",
+        List
+          (List.map
+             (fun row ->
+               Obj
+                 [
+                   ("scenario", String row.name);
+                   ("configs", List (List.map cell_json row.cells));
+                 ])
+             rows) );
+    ]

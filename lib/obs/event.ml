@@ -47,6 +47,12 @@ type t =
       queue_ns : float;
       service_ns : float;
     }
+  | Request_timeout of { client : int; key : int; cpu : int; attempt : int }
+  | Request_retry of { client : int; key : int; cpu : int; attempt : int; backoff_ns : float }
+  | Request_hedged of { client : int; key : int; cpu : int }
+  | Request_shed of { client : int; key : int; worker : int }
+  | Breaker_transition of { worker : int; from_state : string; to_state : string }
+  | Shard_failover of { worker : int; from_cpu : int; to_cpu : int }
 
 let name = function
   | Fault_resolved _ -> "fault_resolved"
@@ -87,6 +93,12 @@ let name = function
   | Pt_replica_drop _ -> "pt_replica_drop"
   | Request_arrived _ -> "request_arrived"
   | Request_served _ -> "request_served"
+  | Request_timeout _ -> "request_timeout"
+  | Request_retry _ -> "request_retry"
+  | Request_hedged _ -> "request_hedged"
+  | Request_shed _ -> "request_shed"
+  | Breaker_transition _ -> "breaker_transition"
+  | Shard_failover _ -> "shard_failover"
 
 type lane = Cpu_lane of int | Protocol_lane
 
@@ -98,7 +110,7 @@ let lane = function
   | Fault_injected _ | Node_offline _ | Node_online _ | Node_drained _
   | Link_degraded _ | Invariant_checked _ | Page_in _ | Page_evicted _
   | Writeback_started _ | Writeback_done _ | Pt_replica_create _ | Pt_replica_drop _
-  | Request_arrived _ ->
+  | Request_arrived _ | Request_shed _ | Breaker_transition _ ->
       Protocol_lane
   | Fault_resolved { cpu; _ }
   | Policy_decision { cpu; _ }
@@ -114,9 +126,12 @@ let lane = function
   | Out_of_memory { cpu; _ }
   | Pt_walk { cpu; _ }
   | Pt_shootdown { cpu; _ }
-  | Request_served { cpu; _ } ->
+  | Request_served { cpu; _ }
+  | Request_timeout { cpu; _ }
+  | Request_retry { cpu; _ }
+  | Request_hedged { cpu; _ } ->
       Cpu_lane cpu
-  | Thread_migrated { to_cpu; _ } -> Cpu_lane to_cpu
+  | Thread_migrated { to_cpu; _ } | Shard_failover { to_cpu; _ } -> Cpu_lane to_cpu
 
 let lpage = function
   | Fault_resolved { lpage; _ }
@@ -142,7 +157,8 @@ let lpage = function
   | Dispatch _ | Syscall _ | Thread_migrated _ | Reconsider_scan _ | Fault_injected _
   | Node_offline _ | Node_online _ | Node_drained _ | Link_degraded _
   | Invariant_checked _ | Out_of_memory _ | Pt_replica_create _ | Pt_replica_drop _
-  | Request_arrived _ | Request_served _ ->
+  | Request_arrived _ | Request_served _ | Request_timeout _ | Request_retry _
+  | Request_hedged _ | Request_shed _ | Breaker_transition _ | Shard_failover _ ->
       None
 
 let args ev : (string * Json.t) list =
@@ -244,6 +260,37 @@ let args ev : (string * Json.t) list =
         ("queue_ns", Json.Float queue_ns);
         ("service_ns", Json.Float service_ns);
       ]
+  | Request_timeout { client; key; cpu; attempt } ->
+      [
+        ("client", Json.Int client);
+        ("key", Json.Int key);
+        ("cpu", Json.Int cpu);
+        ("attempt", Json.Int attempt);
+      ]
+  | Request_retry { client; key; cpu; attempt; backoff_ns } ->
+      [
+        ("client", Json.Int client);
+        ("key", Json.Int key);
+        ("cpu", Json.Int cpu);
+        ("attempt", Json.Int attempt);
+        ("backoff_ns", Json.Float backoff_ns);
+      ]
+  | Request_hedged { client; key; cpu } ->
+      [ ("client", Json.Int client); ("key", Json.Int key); ("cpu", Json.Int cpu) ]
+  | Request_shed { client; key; worker } ->
+      [ ("client", Json.Int client); ("key", Json.Int key); ("worker", Json.Int worker) ]
+  | Breaker_transition { worker; from_state; to_state } ->
+      [
+        ("worker", Json.Int worker);
+        ("from", Json.String from_state);
+        ("to", Json.String to_state);
+      ]
+  | Shard_failover { worker; from_cpu; to_cpu } ->
+      [
+        ("worker", Json.Int worker);
+        ("from_cpu", Json.Int from_cpu);
+        ("to_cpu", Json.Int to_cpu);
+      ]
 
 let describe ev =
   match ev with
@@ -341,3 +388,20 @@ let describe ev =
   | Request_served { client; key; queue_ns; service_ns; _ } ->
       Printf.sprintf "request from client %d for key %d served (%.0f ns queued, %.0f ns \
                       service)" client key queue_ns service_ns
+  | Request_timeout { client; key; attempt; _ } ->
+      Printf.sprintf "request from client %d for key %d timed out (attempt %d cancelled)"
+        client key attempt
+  | Request_retry { client; key; attempt; backoff_ns; _ } ->
+      Printf.sprintf "request from client %d for key %d retrying: attempt %d after %.0f \
+                      ns backoff" client key attempt backoff_ns
+  | Request_hedged { client; key; _ } ->
+      Printf.sprintf "request from client %d for key %d hedged with a second attempt"
+        client key
+  | Request_shed { client; key; worker } ->
+      Printf.sprintf "request from client %d for key %d SHED by worker %d's open breaker"
+        client key worker
+  | Breaker_transition { worker; from_state; to_state } ->
+      Printf.sprintf "worker %d circuit breaker: %s -> %s" worker from_state to_state
+  | Shard_failover { worker; from_cpu; to_cpu } ->
+      Printf.sprintf "shard worker %d failed over from cpu %d to cpu %d" worker from_cpu
+        to_cpu

@@ -103,6 +103,24 @@ type t =
       service_ns : float;
     }
       (** the request completed on [cpu]; latency = queue + service *)
+  | Request_timeout of { client : int; key : int; cpu : int; attempt : int }
+      (** the request's deadline fired and cancelled attempt [attempt]
+          (1-based) at a chunk boundary *)
+  | Request_retry of { client : int; key : int; cpu : int; attempt : int; backoff_ns : float }
+      (** attempt [attempt] (>= 2) is starting after a jittered
+          exponential backoff of [backoff_ns] *)
+  | Request_hedged of { client : int; key : int; cpu : int }
+      (** the first attempt outlived the hedge delay; a hedged second
+          attempt is starting with the remaining deadline budget *)
+  | Request_shed of { client : int; key : int; worker : int }
+      (** worker [worker]'s open circuit breaker rejected the request
+          without serving it *)
+  | Breaker_transition of { worker : int; from_state : string; to_state : string }
+      (** a per-shard circuit breaker changed state
+          (closed/open/half-open) *)
+  | Shard_failover of { worker : int; from_cpu : int; to_cpu : int }
+      (** the serving app re-homed a shard worker off a dead node to the
+          nearest online one *)
 
 val name : t -> string
 (** Stable snake_case tag, used as the Chrome trace event name. *)

@@ -92,6 +92,10 @@ type t = {
   mutable serve_requests : int;
   mutable serve_service_ns : float;
   mutable serve_queue_ns : float;
+  mutable res_timeouts : int;
+  mutable res_sheds : int;
+  mutable res_backoff_ns : float;
+  mutable res_hedge_ns : float;
 }
 
 let create ~n_cpus ~n_nodes ~n_pages =
@@ -120,6 +124,10 @@ let create ~n_cpus ~n_nodes ~n_pages =
     serve_requests = 0;
     serve_service_ns = 0.;
     serve_queue_ns = 0.;
+    res_timeouts = 0;
+    res_sheds = 0;
+    res_backoff_ns = 0.;
+    res_hedge_ns = 0.;
   }
 
 let set_clock t f = t.clock <- f
@@ -201,6 +209,14 @@ let note_request t ~service_ns ~queue_ns =
   t.serve_service_ns <- t.serve_service_ns +. service_ns;
   t.serve_queue_ns <- t.serve_queue_ns +. queue_ns
 
+(* Same side-attribution discipline: the resilience machinery's time (the
+   backoff sleeps, the hedged attempt's work) is already on the clocks;
+   these only label how much of it was retry/hedge/shed overhead. *)
+let note_timeout t = t.res_timeouts <- t.res_timeouts + 1
+let note_shed t = t.res_sheds <- t.res_sheds + 1
+let note_backoff t ns = t.res_backoff_ns <- t.res_backoff_ns +. ns
+let note_hedge t ns = t.res_hedge_ns <- t.res_hedge_ns +. ns
+
 let lock_acquired t ~lock_id =
   let ls = lock_stats t lock_id in
   ls.acquisitions <- ls.acquisitions + 1;
@@ -254,6 +270,13 @@ type tree_node = { label : string; ns : float; children : (string * float) list 
 
 type serve_split = { requests : int; service_ns : float; queue_ns : float }
 
+type resilience_split = {
+  timeouts : int;
+  sheds : int;
+  backoff_ns : float;
+  hedge_ns : float;
+}
+
 type snapshot = {
   elapsed_ns : float;
   n_cpus : int;
@@ -266,6 +289,7 @@ type snapshot = {
   hot_links : (int * int * float) list;
   hot_threads : (int * float) list;
   serve : serve_split option;
+  resilience : resilience_split option;
 }
 
 let sum = Array.fold_left ( +. ) 0.
@@ -400,6 +424,19 @@ let snapshot ?(top = 10) (t : t) =
              service_ns = t.serve_service_ns;
              queue_ns = t.serve_queue_ns;
            });
+    resilience =
+      (if
+         t.res_timeouts = 0 && t.res_sheds = 0 && t.res_backoff_ns = 0.
+         && t.res_hedge_ns = 0.
+       then None
+       else
+         Some
+           {
+             timeouts = t.res_timeouts;
+             sheds = t.res_sheds;
+             backoff_ns = t.res_backoff_ns;
+             hedge_ns = t.res_hedge_ns;
+           });
   }
 
 let render s =
@@ -452,6 +489,15 @@ let render s =
         (Printf.sprintf "  service      %14.6f\n" (sv.service_ns /. 1e9));
       Buffer.add_string buf
         (Printf.sprintf "  queueing     %14.6f\n" (sv.queue_ns /. 1e9)));
+  (match s.resilience with
+  | None -> ()
+  | Some r ->
+      Buffer.add_string buf
+        (Printf.sprintf "# resilience (%d timeouts, %d shed)\n" r.timeouts r.sheds);
+      Buffer.add_string buf
+        (Printf.sprintf "  retry backoff %13.6f\n" (r.backoff_ns /. 1e9));
+      Buffer.add_string buf
+        (Printf.sprintf "  hedged work  %14.6f\n" (r.hedge_ns /. 1e9)));
   Buffer.contents buf
 
 let folded s =
@@ -478,6 +524,13 @@ let folded s =
         Buffer.add_string buf (Printf.sprintf "serve;service %.0f\n" sv.service_ns);
       if sv.queue_ns > 0. then
         Buffer.add_string buf (Printf.sprintf "serve;queue %.0f\n" sv.queue_ns));
+  (match s.resilience with
+  | None -> ()
+  | Some r ->
+      if r.backoff_ns > 0. then
+        Buffer.add_string buf (Printf.sprintf "resilience;backoff %.0f\n" r.backoff_ns);
+      if r.hedge_ns > 0. then
+        Buffer.add_string buf (Printf.sprintf "resilience;hedge %.0f\n" r.hedge_ns));
   Buffer.contents buf
 
 let snapshot_to_json s =
@@ -530,7 +583,7 @@ let snapshot_to_json s =
     @
     (* Appended only for served-traffic runs: batch-app profiles keep the
        exact key set (and bytes) of earlier releases. *)
-    match s.serve with
+    (match s.serve with
     | None -> []
     | Some sv ->
         [
@@ -540,5 +593,19 @@ let snapshot_to_json s =
                 ("requests", Json.Int sv.requests);
                 ("service_ns", Json.Float sv.service_ns);
                 ("queue_ns", Json.Float sv.queue_ns);
+              ] );
+        ])
+    @
+    match s.resilience with
+    | None -> []
+    | Some r ->
+        [
+          ( "resilience",
+            Json.Obj
+              [
+                ("timeouts", Json.Int r.timeouts);
+                ("sheds", Json.Int r.sheds);
+                ("backoff_ns", Json.Float r.backoff_ns);
+                ("hedge_ns", Json.Float r.hedge_ns);
               ] );
         ])

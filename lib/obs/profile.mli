@@ -93,6 +93,19 @@ val note_request : t -> service_ns:float -> queue_ns:float -> unit
     CPU — the service time is already on the clocks via the ops that made
     it up — so conservation is untouched. *)
 
+val note_timeout : t -> unit
+(** One attempt-level deadline fire (same side-attribution rules as
+    {!note_request}). *)
+
+val note_shed : t -> unit
+(** One request rejected by an open circuit breaker. *)
+
+val note_backoff : t -> float -> unit
+(** Virtual time a request spent parked in retry backoff. *)
+
+val note_hedge : t -> float -> unit
+(** Service time spent inside hedged second attempts. *)
+
 val lock_acquired : t -> lock_id:int -> unit
 (** Start of a hold interval, stamped from the profiler clock. *)
 
@@ -125,6 +138,15 @@ type tree_node = {
 type serve_split = { requests : int; service_ns : float; queue_ns : float }
 (** Aggregate request-latency split recorded by {!note_request}. *)
 
+type resilience_split = {
+  timeouts : int;
+  sheds : int;
+  backoff_ns : float;
+  hedge_ns : float;
+}
+(** Aggregate resilience overhead recorded by {!note_timeout},
+    {!note_shed}, {!note_backoff} and {!note_hedge}. *)
+
 type snapshot = {
   elapsed_ns : float;
   n_cpus : int;
@@ -140,6 +162,9 @@ type snapshot = {
   serve : serve_split option;
       (** [None] unless requests were served, so batch-app profiles render
           (text, folded and JSON) byte-identically to earlier releases *)
+  resilience : resilience_split option;
+      (** [None] unless some resilience overhead was recorded, with the
+          same byte-identity guarantee for runs without it *)
 }
 
 val snapshot : ?top:int -> t -> snapshot

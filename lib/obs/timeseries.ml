@@ -123,7 +123,9 @@ let record t ~ts (ev : Event.t) =
   | Event.Invariant_checked _ | Event.Out_of_memory _ | Event.Page_in _
   | Event.Page_evicted _ | Event.Writeback_started _ | Event.Writeback_done _
   | Event.Pt_walk _ | Event.Pt_shootdown _ | Event.Pt_replica_create _
-  | Event.Pt_replica_drop _ | Event.Request_arrived _ | Event.Request_served _ ->
+  | Event.Pt_replica_drop _ | Event.Request_arrived _ | Event.Request_served _
+  | Event.Request_timeout _ | Event.Request_retry _ | Event.Request_hedged _
+  | Event.Request_shed _ | Event.Breaker_transition _ | Event.Shard_failover _ ->
       ()
 
 let attach t hub = Hub.attach hub ~name:"timeseries" (fun ~ts ev -> record t ~ts ev)

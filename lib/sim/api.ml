@@ -34,3 +34,19 @@ let syscall ?(touch_stack = false) ~service_ns () =
 let migrate ~cpu = ignore (perform (Op.Migrate { cpu }))
 
 let sleep_until ~ns = ignore (perform (Op.Sleep_until { until_ns = ns }))
+
+exception Deadline_exceeded of int
+
+let with_deadline ~until_ns f =
+  let id = perform (Op.Deadline_push { until_ns }) in
+  (* The pop lives inside the matched expression: a deadline that fires
+     during [f] (or in the race window just before the pop is processed)
+     lands in the exception branch either way, so the timer can never
+     leak into the caller's scope. *)
+  match
+    let v = f () in
+    ignore (perform Op.Deadline_pop);
+    v
+  with
+  | v -> Some v
+  | exception Deadline_exceeded id' when id' = id -> None

@@ -44,6 +44,26 @@ val sleep_until : ns:float -> unit
     what makes open-loop arrival processes possible: a serving thread
     sleeps to the next request's arrival instant instead of spinning. *)
 
+exception Deadline_exceeded of int
+(** Raised inside a thread body when an armed {!with_deadline} timer
+    fires; the payload is the timer id the engine handed out when the
+    timer was pushed. [with_deadline] catches its own timer's exception,
+    so user code only sees this while unwinding through cleanup handlers
+    (e.g. the release half of {!with_lock}). *)
+
+val with_deadline : until_ns:float -> (unit -> 'a) -> 'a option
+(** [with_deadline ~until_ns f] runs [f] under a cancellable virtual-time
+    timer: [Some (f ())] if it finishes before the instant [until_ns],
+    [None] if the timer fires first — in which case the thread's current
+    operation is abandoned at a chunk boundary no later than the deadline
+    and the thread resumes (after the timer scope) at the deadline
+    instant. Timers nest; an inner [with_deadline] can only tighten the
+    effective deadline, and each scope observes only its own timer.
+    Cancellation unwinds [f] with {!Deadline_exceeded}, so [with_lock]
+    and [Fun.protect] cleanups run — but beware that a lock held at
+    cancellation is released only as the unwind reaches its [with_lock].
+    A deadline already past fires on the very next operation. *)
+
 val migrate : cpu:int -> unit
 (** Move the calling thread to another processor (costs a reschedule).
     Under the affinity scheduler this is the thread's new permanent home.

@@ -45,6 +45,8 @@ type pending =
   | P_syscall of { service_ns : float; touch_stack : bool }
   | P_migrate of { target : int }
   | P_sleep of { until_ns : float }
+  | P_deadline_push of { until_ns : float }
+  | P_deadline_pop
 
 type thread = {
   tid : int;
@@ -55,6 +57,12 @@ type thread = {
   mutable pending : pending option;
   mutable finished : bool;
   mutable ready_at : float;
+  mutable deadlines : (int * float) list;
+      (** armed cancellable timers, newest first: (timer id, absolute
+          virtual-time deadline) *)
+  mutable deadline : float;
+      (** cached tightest armed deadline ([infinity] when none) — read at
+          every chunk boundary, so it must be O(1) *)
 }
 
 type t = {
@@ -75,6 +83,7 @@ type t = {
   mutable next_tid : int;
   mutable live : int;
   mutable spawn_rr : int;  (* round-robin cursor for default CPU assignment *)
+  mutable next_timer_id : int;  (* deadline timer ids, allocated in event order *)
   mutable n_events : int;
   mutable next_sync_id : int;
   mutable running : bool;
@@ -111,6 +120,7 @@ let create ?obs config ~memory ~scheduler =
     next_tid = 0;
     live = 0;
     spawn_rr = 0;
+    next_timer_id = 0;
     n_events = 0;
     next_sync_id = 0;
     running = false;
@@ -173,6 +183,8 @@ let begin_pending = function
   | Op.Syscall { service_ns; touch_stack } -> P_syscall { service_ns; touch_stack }
   | Op.Migrate { cpu } -> P_migrate { target = cpu }
   | Op.Sleep_until { until_ns } -> P_sleep { until_ns }
+  | Op.Deadline_push { until_ns } -> P_deadline_push { until_ns }
+  | Op.Deadline_pop -> P_deadline_pop
 
 let spawn t ?cpu ?stack_vpage ~name body =
   if t.running || t.completed then invalid_arg "Engine.spawn: engine already running";
@@ -198,6 +210,8 @@ let spawn t ?cpu ?stack_vpage ~name body =
       pending = None;
       finished = false;
       ready_at = 0.;
+      deadlines = [];
+      deadline = infinity;
     }
   in
   Hashtbl.replace t.threads tid th;
@@ -390,6 +404,26 @@ let process_chunk t th ~cpu ~start pending =
          next chunk finds its event time ahead of the CPU clock. *)
       chunk ~d_user:0. ~d_system:0. ~completed:true
         ~ready_override:(fmax start until_ns) ()
+  | P_deadline_push { until_ns } ->
+      (* Arm a cancellable timer. Free of simulated time: the deadline
+         machinery models a kernel timer wheel whose cost is negligible
+         next to a single remote reference. Ids are allocated in event
+         order, so they are deterministic. *)
+      let id = t.next_timer_id in
+      t.next_timer_id <- id + 1;
+      th.deadlines <- (id, until_ns) :: th.deadlines;
+      if until_ns < th.deadline then th.deadline <- until_ns;
+      chunk ~d_user:0. ~d_system:0. ~completed:true ~result:id ()
+  | P_deadline_pop ->
+      (match th.deadlines with
+      | [] ->
+          failwith
+            (Printf.sprintf "thread %d (%s) popped a deadline it never pushed" th.tid
+               th.name)
+      | _ :: rest ->
+          th.deadlines <- rest;
+          th.deadline <- List.fold_left (fun a (_, u) -> Float.min a u) infinity rest);
+      chunk ~d_user:0. ~d_system:0. ~completed:true ()
 
 let pick_cpu t th =
   match t.scheduler with
@@ -426,6 +460,7 @@ let turn t th =
   let rec go start =
     match th.pending with
     | None -> ()
+    | Some _ when start >= th.deadline -> fire start
     | Some pending ->
         let o = process_chunk t th ~cpu ~start pending in
         t.user.(cpu) <- t.user.(cpu) +. o.d_user;
@@ -467,8 +502,49 @@ let turn t th =
                       failwith "Engine.run: event budget exceeded";
                     go after
                   end
-                  else schedule t th after)
+                  else
+                    (* A parked thread (sleep, syscall return) must still
+                       observe its tightest deadline: wake at the deadline
+                       instant instead of sleeping through it, so the
+                       timer fires exactly on time. *)
+                    schedule t th
+                      (if after > th.deadline then fmax start th.deadline else after))
         end
+  and fire start =
+    (* The tightest armed timer has expired: abandon the current operation
+       at this chunk boundary and unwind the thread with
+       {!Api.Deadline_exceeded}. Scopes armed after the firing timer can
+       no longer pop themselves (the unwind bypasses their pop), so they
+       are disarmed here as well; outer scopes stay armed. *)
+    let fired = th.deadline in
+    let rec split = function
+      | [] -> assert false
+      | (id, u) :: rest -> if u <= fired then (id, rest) else split rest
+    in
+    let id, rest = split th.deadlines in
+    th.deadlines <- rest;
+    th.deadline <- List.fold_left (fun a (_, u) -> Float.min a u) infinity rest;
+    th.pending <- None;
+    match th.kont with
+    | None -> assert false
+    | Some k -> (
+        th.kont <- None;
+        (* Unwinding may itself perform operations (with_lock releases its
+           lock on the way out); they surface here as a fresh blocked op
+           and run at [start] — at or after the deadline instant, never
+           before. *)
+        match Effect.Deep.discontinue k (Api.Deadline_exceeded id) with
+        | Finished -> finish_thread t th
+        | Blocked (op, k') ->
+            th.kont <- Some k';
+            th.pending <- Some (begin_pending op);
+            if Event_queue.min_time t.events >= start then begin
+              t.n_events <- t.n_events + 1;
+              if t.n_events > t.config.max_events then
+                failwith "Engine.run: event budget exceeded";
+              go start
+            end
+            else schedule t th start)
   in
   go start
 

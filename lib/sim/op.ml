@@ -8,6 +8,8 @@ type t =
   | Syscall of { service_ns : float; touch_stack : bool }
   | Migrate of { cpu : int }
   | Sleep_until of { until_ns : float }
+  | Deadline_push of { until_ns : float }
+  | Deadline_pop
 
 let pp ppf = function
   | Read { vpage; count } -> Format.fprintf ppf "read[%d x%d]" vpage count
@@ -20,3 +22,5 @@ let pp ppf = function
       Format.fprintf ppf "syscall[%.0fns%s]" service_ns (if touch_stack then ",stack" else "")
   | Migrate { cpu } -> Format.fprintf ppf "migrate[cpu%d]" cpu
   | Sleep_until { until_ns } -> Format.fprintf ppf "sleep[until %.0fns]" until_ns
+  | Deadline_push { until_ns } -> Format.fprintf ppf "deadline[until %.0fns]" until_ns
+  | Deadline_pop -> Format.fprintf ppf "deadline[pop]"

@@ -30,5 +30,15 @@ type t =
       (** park until the given instant of virtual time (immediately if it
           is already past); consumes no CPU while parked — the open-loop
           waiting primitive of the serving workloads *)
+  | Deadline_push of { until_ns : float }
+      (** arm a cancellable virtual-time timer on the calling thread; the
+          engine returns a fresh timer id, and if the thread is still
+          inside the timer's scope when virtual time reaches [until_ns]
+          its current operation is cancelled and
+          {!Api.Deadline_exceeded} is raised carrying that id. Timers
+          nest: the engine always fires on the tightest armed deadline. *)
+  | Deadline_pop
+      (** disarm the most recently pushed timer (normal in-time exit from
+          an {!Api.with_deadline} scope) *)
 
 val pp : Format.formatter -> t -> unit

@@ -94,6 +94,25 @@ type serving = {
   per_worker_served : int array;
 }
 
+type resilience = {
+  res_spec : string;
+  deadline_us : int;
+  arrived : int;
+  served_in_deadline : int;
+  timed_out : int;
+  shed : int;
+  timeouts : int;
+  attempts_started : int array;
+  hedges : int;
+  hedge_wins : int;
+  breaker_opens : int;
+  breaker_transitions : int;
+  shard_failovers : int;
+  goodput_rps : float;
+  slo_pct : float;
+  conservation_violations : int;
+}
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -144,6 +163,10 @@ type t = {
       (** present only for served-traffic workloads (the app registered a
           serving collector); batch-app reports keep the same byte-identity
           guarantee *)
+  resilience : resilience option;
+      (** present only when the serving app ran with a resilience policy
+          (deadlines/retries/hedging/breakers); plain serving runs and
+          batch apps keep the same byte-identity guarantee *)
 }
 
 let total_user_s t = t.total_user_ns /. 1e9
@@ -256,6 +279,21 @@ let pp ppf t =
       Format.fprintf ppf "served per worker:";
       Array.iteri (fun w n -> Format.fprintf ppf " w%d=%d" w n) s.per_worker_served;
       Format.fprintf ppf "@,");
+  (match t.resilience with
+  | None -> ()
+  | Some r ->
+      Format.fprintf ppf "resilience: %s, deadline %d us@," r.res_spec r.deadline_us;
+      Format.fprintf ppf
+        "outcomes: %d arrived = %d in-deadline + %d timed-out + %d shed; SLO %.1f%%, \
+         goodput %.0f req/s@,"
+        r.arrived r.served_in_deadline r.timed_out r.shed r.slo_pct r.goodput_rps;
+      Format.fprintf ppf "attempt timeouts %d; attempts started:" r.timeouts;
+      Array.iteri (fun i n -> Format.fprintf ppf " #%d=%d" (i + 1) n) r.attempts_started;
+      Format.fprintf ppf
+        "@,hedges %d (%d wins); breaker opens %d, transitions %d; shard failovers %d; \
+         conservation violations %d@,"
+        r.hedges r.hedge_wins r.breaker_opens r.breaker_transitions r.shard_failovers
+        r.conservation_violations);
   (match t.profile with
   | None -> ()
   | Some s ->
@@ -377,6 +415,35 @@ let to_json t =
                   Json.List
                     (Array.to_list
                        (Array.map (fun n -> Json.Int n) s.per_worker_served)) );
+              ] );
+        ])
+    @
+    (match t.resilience with
+    | None -> []
+    | Some r ->
+        [
+          ( "resilience",
+            Json.Obj
+              [
+                ("spec", Json.String r.res_spec);
+                ("deadline_us", Json.Int r.deadline_us);
+                ("arrived", Json.Int r.arrived);
+                ("served_in_deadline", Json.Int r.served_in_deadline);
+                ("timed_out", Json.Int r.timed_out);
+                ("shed", Json.Int r.shed);
+                ("timeouts", Json.Int r.timeouts);
+                ( "attempts_started",
+                  Json.List
+                    (Array.to_list
+                       (Array.map (fun n -> Json.Int n) r.attempts_started)) );
+                ("hedges", Json.Int r.hedges);
+                ("hedge_wins", Json.Int r.hedge_wins);
+                ("breaker_opens", Json.Int r.breaker_opens);
+                ("breaker_transitions", Json.Int r.breaker_transitions);
+                ("shard_failovers", Json.Int r.shard_failovers);
+                ("goodput_rps", Json.Float r.goodput_rps);
+                ("slo_pct", Json.Float r.slo_pct);
+                ("conservation_violations", Json.Int r.conservation_violations);
               ] );
         ])
     @

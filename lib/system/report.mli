@@ -94,6 +94,35 @@ type serving = {
 (** Open-loop served-traffic summary (the {!Numa_apps.Serve} family):
     per-request latency percentiles with queue-delay attribution. *)
 
+type resilience = {
+  res_spec : string;  (** canonical {!Numa_apps.Resilience.to_string} *)
+  deadline_us : int;  (** per-request SLO deadline *)
+  arrived : int;  (** requests the workers picked up *)
+  served_in_deadline : int;  (** completed within their deadline *)
+  timed_out : int;  (** deadline exceeded (attempts exhausted or late) *)
+  shed : int;  (** rejected immediately by an open circuit breaker *)
+  timeouts : int;  (** attempt-level deadline fires (every cancelled attempt) *)
+  attempts_started : int array;
+      (** index [k] = requests whose attempt number [k+1] started; hedged
+          seconds count as the next attempt number. Index 0 is at most
+          [arrived - shed]: a request picked up already past its deadline
+          (a stale backlog under overload) resolves timed-out without
+          starting any attempt. *)
+  hedges : int;  (** hedged second attempts launched *)
+  hedge_wins : int;  (** hedged attempts that then met the deadline *)
+  breaker_opens : int;  (** closed/half-open -> open transitions *)
+  breaker_transitions : int;  (** all breaker state changes *)
+  shard_failovers : int;  (** shard workers re-homed off a dead node *)
+  goodput_rps : float;  (** in-deadline completions / serving span *)
+  slo_pct : float;  (** 100 * served_in_deadline / arrived *)
+  conservation_violations : int;
+      (** request-conservation findings recorded at resolve time (a
+          request resolved twice or resolved before arriving); 0 = every
+          arrived request is exactly one of the three outcomes *)
+}
+(** Request-level resilience summary: outcome conservation, retry/hedge
+    volume, breaker and failover activity, goodput against the SLO. *)
+
 type t = {
   policy_name : string;
   n_cpus : int;
@@ -144,6 +173,10 @@ type t = {
   serving : serving option;
       (** served-traffic latency summary; [None] for batch apps, preserving
           the same byte-identity guarantee *)
+  resilience : resilience option;
+      (** request-level resilience summary; [None] unless the serving app
+          ran with a resilience policy, preserving the same byte-identity
+          guarantee *)
 }
 
 val total_user_s : t -> float

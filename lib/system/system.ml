@@ -98,6 +98,11 @@ type access_event = {
   region : string;
 }
 
+type fault_notice =
+  | Fault_node_offline of int
+      (** the node just went offline; drain/evacuation/rehoming already ran *)
+  | Fault_node_online of int  (** the node just came back *)
+
 type t = {
   config : Config.t;
   topo : Topo.t;  (** resolved topology; the access path prices per node pair *)
@@ -163,6 +168,17 @@ type t = {
   mutable serving_cb : (unit -> Report.serving) option;
       (** registered by served-traffic apps at setup; invoked once when the
           report is assembled, so batch apps keep [serving = None] *)
+  mutable resilience_cb : (unit -> Report.resilience) option;
+      (** registered by resilience-enabled serving apps; same lifecycle as
+          [serving_cb], so plain runs keep [resilience = None] *)
+  mutable conservation_cb : (unit -> int * string list) option;
+      (** the request-conservation sweep handed to {!Numa_core.Invariant}:
+          (requests checked, violations); registered alongside
+          [resilience_cb] and consulted by every invariant audit *)
+  mutable fault_notify : (fault_notice -> unit) option;
+      (** application-level fault subscription (the serve app's failover
+          and breaker hooks); called after the system's own handling of
+          the fault, so the subscriber observes post-drain state *)
 }
 
 (* --- reference accounting --------------------------------------------- *)
@@ -241,6 +257,7 @@ let run_invariant_check t =
   let pol = Numa_core.Pmap_manager.policy t.pmap_mgr in
   let report =
     Numa_core.Invariant.check ~pinned:pol.Policy.is_pinned ~pool:t.pool
+      ?requests:t.conservation_cb
       ~manager:(Numa_core.Pmap_manager.manager t.pmap_mgr)
       ~mmu:t.mmu ~frames:t.frames ~config:t.config ()
   in
@@ -304,14 +321,20 @@ let apply_fault t (fired : Numa_faults.Injector.fired) =
         let threads = rehome_threads_off t ~node in
         t.threads_rehomed <- t.threads_rehomed + threads;
         emit (Numa_obs.Event.Node_drained { node; pages; threads });
-        emit (Numa_obs.Event.Node_offline { node })
+        emit (Numa_obs.Event.Node_offline { node });
+        match t.fault_notify with
+        | Some f -> f (Fault_node_offline node)
+        | None -> ()
       end
   | Numa_faults.Injector.Set_node_online node ->
       emit
         (Numa_obs.Event.Fault_injected
            { kind = "node-online"; detail = Printf.sprintf "node %d" node });
       Frame_table.set_node_online t.frames ~node true;
-      emit (Numa_obs.Event.Node_online { node })
+      emit (Numa_obs.Event.Node_online { node });
+      (match t.fault_notify with
+      | Some f -> f (Fault_node_online node)
+      | None -> ())
   | Numa_faults.Injector.Begin_link_degrade { src; dst; factor } ->
       emit
         (Numa_obs.Event.Fault_injected
@@ -670,6 +693,9 @@ let create ?obs ?(policy = Move_limit { threshold = 4 }) ?(scheduler = Engine.Af
       first_violations = [];
       profile;
       serving_cb = None;
+      resilience_cb = None;
+      conservation_cb = None;
+      fault_notify = None;
     }
   in
   tref := Some t;
@@ -804,14 +830,21 @@ let spawn t ?cpu ?task ?(stack_pages = 1) ~name body =
 
 let set_access_hook t hook = t.hook <- hook
 let set_serving_collector t collect = t.serving_cb <- Some collect
+let set_resilience_collector t collect = t.resilience_cb <- Some collect
+let set_request_conservation t sweep = t.conservation_cb <- Some sweep
+let set_fault_notify t f = t.fault_notify <- Some f
 
 (* --- running and reporting --------------------------------------------- *)
 
 let run t =
   Engine.run t.engine;
-  (* Faulted and paranoid runs end with one last audit, so "completed with
-     zero violations" is a statement about the final state too. *)
-  if Option.is_some t.injector || t.paranoid then ignore (run_invariant_check t);
+  (* Faulted, paranoid and resilience-enabled runs end with one last audit,
+     so "completed with zero violations" is a statement about the final
+     state too — including the request-conservation ledger. *)
+  let audited =
+    Option.is_some t.injector || t.paranoid || Option.is_some t.conservation_cb
+  in
+  if audited then ignore (run_invariant_check t);
   let stats = Numa_core.Pmap_manager.stats t.pmap_mgr in
   stats.Numa_core.Numa_stats.tlb_hits <- Mmu.tlb_hits t.mmu;
   stats.Numa_core.Numa_stats.tlb_misses <- Mmu.tlb_misses t.mmu;
@@ -865,7 +898,7 @@ let run t =
     bus_words = Bus.total_words t.bus;
     bus_delay_ns = Bus.total_delay_ns t.bus;
     robustness =
-      (if Option.is_some t.injector || t.paranoid then
+      (if audited then
          Some
            {
              Report.fault_plan = t.fault_plan;
@@ -927,6 +960,7 @@ let run t =
                 Array.init n_cpus (fun cpu -> Mmu.tlb_stats t.mmu ~cpu);
             });
     serving = Option.map (fun collect -> collect ()) t.serving_cb;
+    resilience = Option.map (fun collect -> collect ()) t.resilience_cb;
   }
 
 (* --- introspection ------------------------------------------------------ *)
@@ -966,3 +1000,5 @@ let check_invariants t = Numa_core.Numa_manager.check_invariants (numa_manager t
 let audit t = run_invariant_check t
 let faults_injected t = t.faults_injected
 let invariant_violations t = t.invariant_violations
+let topo t = t.topo
+let node_online t ~node = Frame_table.node_online t.frames ~node

@@ -87,6 +87,15 @@ type access_event = {
 }
 (** One batched reference, as delivered to the trace hook. *)
 
+type fault_notice =
+  | Fault_node_offline of int
+      (** the node just went offline; the system's own handling (page
+          drain, pool close, table evacuation, thread rehoming) has
+          already run, so the subscriber observes post-drain state *)
+  | Fault_node_online of int  (** the node's memory just came back *)
+(** Application-visible fault notifications (see {!set_fault_notify}) —
+    the hook the serve app's shard failover and circuit breakers ride. *)
+
 type t
 
 val create :
@@ -194,6 +203,24 @@ val set_serving_collector : t -> (unit -> Report.serving) -> unit
     fill {!Report.t.serving}. Batch apps never call this, so their reports
     keep the exact key set (and bytes) of earlier releases. *)
 
+val set_resilience_collector : t -> (unit -> Report.resilience) -> unit
+(** Register the request-resilience summary collector, same lifecycle as
+    {!set_serving_collector}: {!run} invokes it once to fill
+    {!Report.t.resilience}. Only resilience-enabled serving apps call
+    this, so every other report keeps its exact key set. *)
+
+val set_request_conservation : t -> (unit -> int * string list) -> unit
+(** Register the request-conservation sweep passed to every
+    {!Numa_core.Invariant.check} audit (fault batches, [--paranoid]
+    daemon ticks, and one mandatory end-of-run audit): it returns
+    (requests checked, violations) and must hold at any instant.
+    Registering it guarantees the final audit runs — and the report
+    carries a [robustness] section — even on clean, non-paranoid runs. *)
+
+val set_fault_notify : t -> (fault_notice -> unit) -> unit
+(** Subscribe to node offline/online faults, called after the system's
+    own handling of each such fault. At most one subscriber. *)
+
 val run : t -> Report.t
 (** Run all spawned threads to completion and assemble the report. *)
 
@@ -243,3 +270,10 @@ val faults_injected : t -> int
 
 val invariant_violations : t -> int
 (** Total violations across every audit so far; 0 = healthy. *)
+
+val topo : t -> Topo.t
+(** The resolved topology (distances drive shard-failover targeting). *)
+
+val node_online : t -> node:int -> bool
+(** Whether a node's memory is currently online (it starts online and
+    changes only under injected node-offline/online faults). *)

@@ -74,7 +74,27 @@ let test_plan_malformed () =
       "stale-pte:x@5";
       "stale-pte:1:2@5";
       "node-offline:1@5ms";
+      "node-flap:1:0@110..190";
+      "node-flap:1:-5@110..190";
+      "node-flap:9@1";
+      "node-flap:1:40@190..110";
     ]
+
+let test_node_flap_canonicalises () =
+  (* The sugar expands to alternating offline/online pairs: offline at the
+     start of each period, back online half a period later. *)
+  Alcotest.(check string) "flap expands to offline/online pairs"
+    "node-offline:1@110,node-online:1@130,node-offline:1@150,node-online:1@170"
+    (Plan.to_string (parse_ok "node-flap:1:40@110..190"));
+  (* The canonical form reparses to the same schedule. *)
+  let canonical = Plan.to_string (parse_ok "node-flap:1:40@110..190") in
+  Alcotest.(check string) "canonical form reparses stable" canonical
+    (Plan.to_string (parse_ok canonical));
+  (* A recovery that would overshoot the window clamps to its end, so the
+     node always finishes the window online. *)
+  Alcotest.(check string) "last recovery clamps to the window end"
+    "node-offline:0@100,node-online:0@130,node-offline:0@160,node-online:0@175"
+    (Plan.to_string (parse_ok "node-flap:0:60@100..175"))
 
 let test_plan_validate () =
   let ok plan = Alcotest.(check bool) (plan ^ " valid") true
@@ -405,6 +425,7 @@ let suite =
     Alcotest.test_case "plan sorts by time" `Quick test_plan_sorts_by_time;
     Alcotest.test_case "empty plan" `Quick test_plan_empty;
     Alcotest.test_case "malformed plans rejected" `Quick test_plan_malformed;
+    Alcotest.test_case "node-flap canonicalises" `Quick test_node_flap_canonicalises;
     Alcotest.test_case "plan validation bounds" `Quick test_plan_validate;
     Alcotest.test_case "injector schedule" `Quick test_injector_schedule;
     Alcotest.test_case "spurious shootdowns deterministic" `Quick

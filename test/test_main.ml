@@ -25,4 +25,5 @@ let () =
       ("profile", Test_profile.suite);
       ("pt", Test_pt.suite);
       ("serve", Test_serve.suite);
+      ("resilience", Test_resilience.suite);
     ]

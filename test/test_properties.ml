@@ -385,6 +385,116 @@ let prop_replay_deterministic =
       in
       run () = run ())
 
+(* --- request conservation under random resilience configs ------------------------- *)
+
+(* Whatever mix of deadline/retry/hedge/breaker is armed and whatever the
+   machine does underneath, every arrived request must resolve to exactly
+   one of {in-deadline, timed-out, shed} — the ledger's sweep runs under
+   paranoid mode and its findings land in the report. *)
+let prop_resilience_conserves_requests =
+  let module R = Numa_apps.Resilience in
+  let module Runner = Numa_metrics.Runner in
+  let module Report = Numa_system.Report in
+  let gen =
+    let open QCheck.Gen in
+    let retry =
+      oneof
+        [
+          return None;
+          map2
+            (fun attempts jitter ->
+              Some
+                {
+                  R.max_attempts = attempts;
+                  base_backoff_ns = 0.2e6;
+                  max_backoff_ns = 2e6;
+                  jitter;
+                })
+            (int_range 1 4) (float_bound_inclusive 1.0);
+        ]
+    in
+    let hedge =
+      oneof
+        [ return None; map (fun f -> Some { R.factor = f }) (float_range 0.5 2.) ]
+    in
+    let breaker =
+      oneof
+        [
+          return None;
+          map (fun n -> Some { R.failures = n; cooldown_ns = 5e6 }) (int_range 2 8);
+        ]
+    in
+    let plan =
+      oneofl
+        [
+          "";
+          "node-offline:1@110,node-online:1@160";
+          "node-flap:1:30@110..170";
+          "frame-squeeze:1:0@0";
+        ]
+    in
+    let deadline = oneofl [ 800; 1_500; 3_000 ] in
+    let topology = oneofl [ "ace"; "multi-socket" ] in
+    tup6 deadline retry hedge breaker plan topology
+  in
+  let print (d, r, h, b, p, topo) =
+    Printf.sprintf "%s faults=%S topology=%s"
+      (R.to_string (R.make ~deadline_us:d ?retry:r ?hedge:h ?breaker:b ()))
+      p topo
+  in
+  QCheck.Test.make ~name:"resilient serve conserves requests under chaos" ~count:8
+    (QCheck.make ~print gen)
+    (fun (deadline_us, retry, hedge, breaker, plan, topology) ->
+      let faults =
+        match Numa_faults.Plan.of_string plan with
+        | Ok p -> p
+        | Error e -> QCheck.Test.fail_reportf "plan %S: %s" plan e
+      in
+      let config_tweak c =
+        match Config.of_topology_name ~n_cpus:c.Config.n_cpus topology with
+        | Some c -> c
+        | None -> QCheck.Test.fail_reportf "unknown topology %S" topology
+      in
+      let spec =
+        {
+          Runner.default_spec with
+          Runner.scale = 0.02;
+          n_cpus = 4;
+          nthreads = 4;
+          paranoid = true;
+          faults;
+          config_tweak;
+        }
+      in
+      let cfg = R.make ~deadline_us ?retry ?hedge ?breaker () in
+      let app =
+        Numa_apps.Serve.make
+          ~arrival:(Numa_util.Dist.arrival ~rate_per_s:11_000. ~burst:1. ())
+          ~resilience:cfg ()
+      in
+      let r = Runner.run app spec in
+      let res =
+        match r.Report.resilience with
+        | Some res -> res
+        | None -> QCheck.Test.fail_reportf "no resilience section"
+      in
+      if res.Report.conservation_violations <> 0 then
+        QCheck.Test.fail_reportf "%d conservation violations"
+          res.Report.conservation_violations;
+      if
+        res.Report.arrived
+        <> res.Report.served_in_deadline + res.Report.timed_out + res.Report.shed
+      then
+        QCheck.Test.fail_reportf "outcomes do not partition: %d <> %d + %d + %d"
+          res.Report.arrived res.Report.served_in_deadline res.Report.timed_out
+          res.Report.shed;
+      (match r.Report.robustness with
+      | Some rb when rb.Report.invariant_violations <> 0 ->
+          QCheck.Test.fail_reportf "%d invariant violations"
+            rb.Report.invariant_violations
+      | Some _ | None -> ());
+      true)
+
 let suite =
   [
     qcheck prop_coherence_move_limit;
@@ -398,4 +508,5 @@ let suite =
     qcheck prop_segregated_never_mixes_classes;
     qcheck prop_optimal_monotone_in_events;
     qcheck prop_replay_deterministic;
+    qcheck prop_resilience_conserves_requests;
   ]

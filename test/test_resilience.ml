@@ -1,0 +1,335 @@
+(* The resilient serving tier: cancellable virtual-time deadline timers,
+   the CLI spec parsers' error paths, the serve app's resilience section
+   end to end (accounting identities, request conservation under chaos,
+   breaker shedding, shard failover), and the resilience sweep's
+   acceptance gate. *)
+
+module Engine = Numa_sim.Engine
+module Api = Numa_sim.Api
+module Memory_iface = Numa_sim.Memory_iface
+module Config = Numa_machine.Config
+module Plan = Numa_faults.Plan
+module Report = Numa_system.Report
+module Runner = Numa_metrics.Runner
+module Serve = Numa_apps.Serve
+module R = Numa_apps.Resilience
+
+(* --- with_deadline: the cancellable timer ------------------------------- *)
+
+(* Timers fire at chunk boundaries; a fine compute slice makes the
+   boundary land exactly on the deadline so the timings below are crisp. *)
+let engine () =
+  let machine = Config.ace ~n_cpus:2 () in
+  let memory = Memory_iface.flat machine in
+  Engine.create
+    { (Engine.default_config ~n_cpus:2) with Engine.compute_slice_ns = 0.25e6 }
+    ~memory ~scheduler:Engine.Affinity
+
+let test_with_deadline_cancels_long_compute () =
+  let e = engine () in
+  let result = ref (Some 0) in
+  ignore
+    (Engine.spawn e ~cpu:0 ~name:"t" (fun () ->
+         result :=
+           Api.with_deadline ~until_ns:1e6 (fun () ->
+               Api.compute 5e6;
+               1)));
+  Engine.run e;
+  Alcotest.(check (option int)) "cancelled attempt returns None" None !result;
+  (* The cancel fires at the deadline instant, not when the compute would
+     have finished. *)
+  Alcotest.(check (float 1.)) "time stops at the deadline" 1e6 (Engine.elapsed_ns e)
+
+let test_with_deadline_in_time_returns_some () =
+  let e = engine () in
+  let result = ref None in
+  ignore
+    (Engine.spawn e ~cpu:0 ~name:"t" (fun () ->
+         result :=
+           Api.with_deadline ~until_ns:5e6 (fun () ->
+               Api.compute 1e6;
+               42)));
+  Engine.run e;
+  Alcotest.(check (option int)) "in-time attempt returns its value" (Some 42) !result;
+  Alcotest.(check (float 1.)) "no time charged beyond the work" 1e6
+    (Engine.elapsed_ns e)
+
+let test_with_deadline_nests () =
+  let e = engine () in
+  let inner = ref (Some 0) and outer = ref None in
+  ignore
+    (Engine.spawn e ~cpu:0 ~name:"t" (fun () ->
+         outer :=
+           Api.with_deadline ~until_ns:10e6 (fun () ->
+               inner :=
+                 Api.with_deadline ~until_ns:1e6 (fun () ->
+                     Api.compute 5e6;
+                     1);
+               Api.compute 1e6;
+               2)));
+  Engine.run e;
+  (* The inner timer fires and unwinds only its own scope; the outer
+     attempt keeps running and completes. *)
+  Alcotest.(check (option int)) "inner timer cancelled its scope" None !inner;
+  Alcotest.(check (option int)) "outer scope survived" (Some 2) !outer;
+  Alcotest.(check (float 1.)) "inner cancel at 1ms, then 1ms more work" 2e6
+    (Engine.elapsed_ns e)
+
+let test_with_deadline_wakes_parked_sleeper () =
+  let e = engine () in
+  let result = ref (Some 0) in
+  ignore
+    (Engine.spawn e ~cpu:0 ~name:"t" (fun () ->
+         result :=
+           Api.with_deadline ~until_ns:2e6 (fun () ->
+               (* Parked far past the deadline: the timer must wake and
+                  cancel the sleeper at its own instant. *)
+               Api.sleep_until ~ns:50e6;
+               1);
+         (* The body resumes right at the cancel; work from here is charged
+            from the deadline instant, not the abandoned sleep target. *)
+         Api.compute 1e6));
+  Engine.run e;
+  Alcotest.(check (option int)) "parked attempt cancelled" None !result;
+  Alcotest.(check (float 1.)) "only the post-cancel compute is charged" 1e6
+    (Engine.user_ns e ~cpu:0);
+  Alcotest.(check (float 1.)) "woken at the deadline, not the sleep target" 3e6
+    (Engine.elapsed_ns e)
+
+(* --- spec parsers' error paths ------------------------------------------ *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_error ~what ~needle = function
+  | Ok _ -> Alcotest.failf "%s should not parse" what
+  | Error msg ->
+      if not (contains ~needle msg) then
+        Alcotest.failf "%s error %S does not name %S" what msg needle
+
+let test_retry_spec_errors () =
+  List.iter
+    (fun (s, needle) -> check_error ~what:("retry " ^ s) ~needle (R.retry_of_string s))
+    [
+      ("banana", "ATTEMPTS:BASE_MS:MAX_MS:JITTER");
+      ("3:0.2:2", "ATTEMPTS:BASE_MS:MAX_MS:JITTER");
+      ("0:0.2:2:0.5", "attempts");
+      ("3:-1:2:0.5", "base backoff");
+      ("3:0.2:x:0.5", "max backoff");
+      ("3:0.2:2:1.5", "jitter");
+    ]
+
+let test_hedge_spec_errors () =
+  List.iter
+    (fun (s, needle) -> check_error ~what:("hedge " ^ s) ~needle (R.hedge_of_string s))
+    [ ("fast", "factor"); ("0", "factor"); ("-2", "factor") ]
+
+let test_breaker_spec_errors () =
+  List.iter
+    (fun (s, needle) ->
+      check_error ~what:("breaker " ^ s) ~needle (R.breaker_of_string s))
+    [
+      ("oops", "FAILURES:COOLDOWN_MS");
+      ("5", "FAILURES:COOLDOWN_MS");
+      ("0:10", "failure threshold");
+      ("5:0", "cooldown");
+    ]
+
+let test_spec_roundtrip () =
+  (match R.retry_of_string "3:0.2:2:0.5" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check string) "retry round-trips" "3:0.2:2:0.5" (R.retry_to_string r));
+  (match R.hedge_of_string "1.5" with
+  | Error e -> Alcotest.fail e
+  | Ok h -> Alcotest.(check string) "hedge round-trips" "1.5" (R.hedge_to_string h));
+  match R.breaker_of_string "8:10" with
+  | Error e -> Alcotest.fail e
+  | Ok b -> Alcotest.(check string) "breaker round-trips" "8:10" (R.breaker_to_string b)
+
+(* --- the serve app's resilience section --------------------------------- *)
+
+let arrival () = Numa_util.Dist.arrival ~rate_per_s:11_000. ~burst:1. ()
+
+let res_spec =
+  {
+    Runner.default_spec with
+    Runner.scale = 0.05;
+    n_cpus = 4;
+    nthreads = 4;
+    paranoid = true;
+  }
+
+let plan s =
+  match Plan.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "plan %S failed to parse: %s" s e
+
+let run_res ?faults cfg =
+  let spec =
+    match faults with
+    | None -> res_spec
+    | Some f -> { res_spec with Runner.faults = plan f }
+  in
+  Runner.run (Serve.make ~arrival:(arrival ()) ~resilience:cfg ()) spec
+
+let resilience_of r =
+  match r.Report.resilience with
+  | Some res -> res
+  | None -> Alcotest.fail "resilient run produced no resilience section"
+
+(* Every arrived request resolves to exactly one outcome; attempt ladders
+   are monotone; the SLO percentage is what the counters say. *)
+let check_identities res =
+  Alcotest.(check int) "outcomes partition the arrivals" res.Report.arrived
+    (res.Report.served_in_deadline + res.Report.timed_out + res.Report.shed);
+  Alcotest.(check int) "no conservation violations" 0
+    res.Report.conservation_violations;
+  let att = res.Report.attempts_started in
+  (* A request picked up already past its deadline starts no attempt, so
+     the first rung is bounded by, not equal to, the unshed arrivals. *)
+  Alcotest.(check bool) "first attempts <= arrived - shed" true
+    (Array.length att = 0 || att.(0) <= res.Report.arrived - res.Report.shed);
+  let expected =
+    if res.Report.arrived = 0 then 0.
+    else 100. *. float_of_int res.Report.served_in_deadline /. float_of_int res.Report.arrived
+  in
+  Alcotest.(check (float 1e-9)) "slo_pct consistent" expected res.Report.slo_pct
+
+let test_plain_run_has_no_resilience_section () =
+  let r = Runner.run (Serve.make ~arrival:(arrival ()) ()) res_spec in
+  Alcotest.(check bool) "section absent without a config" true
+    (r.Report.resilience = None)
+
+let test_observe_only_section () =
+  let r = run_res (R.make ~deadline_us:1_500 ()) in
+  let res = resilience_of r in
+  check_identities res;
+  (* No mechanisms: nothing shed, hedged or retried; the serving path is
+     the plain tier's with outcomes classified against the deadline. *)
+  Alcotest.(check int) "nothing shed" 0 res.Report.shed;
+  Alcotest.(check int) "no hedges" 0 res.Report.hedges;
+  Alcotest.(check int) "single attempt ladder" 1
+    (Array.length res.Report.attempts_started);
+  Alcotest.(check int) "observe-only serves every arrival once"
+    res.Report.arrived res.Report.attempts_started.(0);
+  Alcotest.(check bool) "all requests arrived" true (res.Report.arrived > 0);
+  let s =
+    match r.Report.serving with
+    | Some s -> s
+    | None -> Alcotest.fail "no serving section"
+  in
+  Alcotest.(check int) "resilience sees every served request" s.Report.requests
+    res.Report.arrived
+
+let full_config =
+  R.make ~deadline_us:1_500 ~retry:R.default_retry ~hedge:R.default_hedge
+    ~breaker:R.default_breaker ()
+
+let test_resilient_run_deterministic () =
+  let once () =
+    Numa_obs.Json.to_string
+      (Report.to_json (run_res ~faults:"node-offline:1@110,node-online:1@160" full_config))
+  in
+  Alcotest.(check string) "byte-identical resilient reports" (once ()) (once ())
+
+let test_conservation_under_chaos () =
+  (* Paranoid node outage + recovery: the ledger must still balance for
+     every mechanism mix. *)
+  List.iter
+    (fun cfg ->
+      let r = run_res ~faults:"node-offline:1@110,node-online:1@160" cfg in
+      let res = resilience_of r in
+      check_identities res;
+      (match r.Report.robustness with
+      | None -> Alcotest.fail "faulted paranoid run lost its robustness section"
+      | Some rb ->
+          Alcotest.(check int) "no invariant violations" 0
+            rb.Report.invariant_violations))
+    [
+      R.make ~deadline_us:1_500 ();
+      R.make ~deadline_us:1_500 ~retry:R.default_retry ();
+      full_config;
+    ]
+
+let test_breaker_sheds_on_starved_shard () =
+  (* Node 1's frame pool squeezed to zero before warmup: shard 1 serves
+     out of global memory for the whole run, slow enough that its breaker
+     must trip and shed. *)
+  let cfg =
+    R.make ~deadline_us:1_500 ~retry:R.default_retry ~breaker:R.default_breaker ()
+  in
+  let res = resilience_of (run_res ~faults:"frame-squeeze:1:0@0" cfg) in
+  check_identities res;
+  Alcotest.(check bool) "breaker opened" true (res.Report.breaker_opens > 0);
+  Alcotest.(check bool) "requests shed" true (res.Report.shed > 0)
+
+let test_failover_on_node_offline () =
+  let res =
+    resilience_of
+      (run_res ~faults:"node-offline:1@110,node-online:1@160" full_config)
+  in
+  check_identities res;
+  Alcotest.(check bool) "shard workers re-homed off the dead node" true
+    (res.Report.shard_failovers > 0);
+  Alcotest.(check bool) "retries happened" true
+    (Array.length res.Report.attempts_started > 1
+    && res.Report.attempts_started.(1) > 0)
+
+(* --- the sweep and its acceptance gate ---------------------------------- *)
+
+let test_sweep_gate_and_determinism () =
+  let module RS = Numa_metrics.Resilience in
+  let rows = RS.run ~jobs:2 () in
+  Alcotest.(check int) "4 scenarios" 4 (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) (row.RS.name ^ " has the full slate") 4
+        (List.length row.RS.cells))
+    rows;
+  Alcotest.(check int) "no violations anywhere in the grid" 0
+    (RS.total_violations rows);
+  let gate = RS.node_offline_gate rows in
+  if not (gate.RS.ratio >= 2.) then
+    Alcotest.failf
+      "node-offline gate: retry+breaker %.0f vs no-resilience %.0f is only %.2fx \
+       (need >= 2x)"
+      gate.RS.retry_breaker_goodput gate.RS.no_resilience_goodput gate.RS.ratio;
+  (* Same grid at a different fan-out: byte-identical artifact. *)
+  let json rows = Numa_obs.Json.to_string (RS.to_json rows) in
+  Alcotest.(check string) "jobs do not change the artifact" (json rows)
+    (json (RS.run ~jobs:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "with_deadline cancels long compute" `Quick
+      test_with_deadline_cancels_long_compute;
+    Alcotest.test_case "with_deadline returns Some in time" `Quick
+      test_with_deadline_in_time_returns_some;
+    Alcotest.test_case "with_deadline nests" `Quick test_with_deadline_nests;
+    Alcotest.test_case "with_deadline wakes parked sleeper" `Quick
+      test_with_deadline_wakes_parked_sleeper;
+    Alcotest.test_case "retry spec errors name the field" `Quick
+      test_retry_spec_errors;
+    Alcotest.test_case "hedge spec errors name the field" `Quick
+      test_hedge_spec_errors;
+    Alcotest.test_case "breaker spec errors name the field" `Quick
+      test_breaker_spec_errors;
+    Alcotest.test_case "spec round-trips" `Quick test_spec_roundtrip;
+    Alcotest.test_case "plain run has no resilience section" `Quick
+      test_plain_run_has_no_resilience_section;
+    Alcotest.test_case "observe-only section and identities" `Quick
+      test_observe_only_section;
+    Alcotest.test_case "resilient run deterministic" `Quick
+      test_resilient_run_deterministic;
+    Alcotest.test_case "conservation under chaos" `Quick
+      test_conservation_under_chaos;
+    Alcotest.test_case "breaker sheds on a starved shard" `Quick
+      test_breaker_sheds_on_starved_shard;
+    Alcotest.test_case "failover on node offline" `Quick
+      test_failover_on_node_offline;
+    Alcotest.test_case "sweep gate and determinism" `Slow
+      test_sweep_gate_and_determinism;
+  ]
